@@ -1,0 +1,737 @@
+package osprey
+
+// Benchmark harness: one testing.B benchmark per figure in the paper's
+// evaluation section (there are two figures and no tables), plus ablation
+// benches for each architectural claim DESIGN.md calls out. The figure
+// benches reuse the exact harnesses behind cmd/osprey-bench, shrunk so an
+// iteration completes in well under a second; run `go run ./cmd/osprey-bench`
+// for paper-scale runs and plots.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"osprey/internal/artifact"
+	"osprey/internal/core"
+	"osprey/internal/datastream"
+	"osprey/internal/ensemble"
+	"osprey/internal/epi"
+	"osprey/internal/experiments"
+	"osprey/internal/funcx"
+	"osprey/internal/globus"
+	"osprey/internal/gpr"
+	"osprey/internal/minisql"
+	"osprey/internal/objective"
+	"osprey/internal/opt"
+	"osprey/internal/pool"
+	"osprey/internal/proxystore"
+	"osprey/internal/sched"
+	"osprey/internal/service"
+	"osprey/internal/workflow"
+)
+
+// --- Figure 3: worker pool utilization vs batch size and threshold ---
+
+func benchFig3(b *testing.B, batch, threshold int) {
+	cfg := experiments.Fig3Config{
+		Workers: 8, BatchSize: batch, Threshold: threshold,
+		Tasks: 100, Dim: 2, TimeScale: 0.001, Seed: 1,
+	}
+	b.ReportAllocs()
+	var util float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		util = res.SteadyUtilization
+	}
+	b.ReportMetric(util, "steady-util")
+}
+
+// BenchmarkFig3_Batch50Threshold1 is the top panel: oversubscribed pool.
+func BenchmarkFig3_Batch50Threshold1(b *testing.B) { benchFig3(b, 12, 1) }
+
+// BenchmarkFig3_Batch33Threshold1 is the middle panel: batch = workers.
+func BenchmarkFig3_Batch33Threshold1(b *testing.B) { benchFig3(b, 8, 1) }
+
+// BenchmarkFig3_Batch33Threshold15 is the bottom panel: saw-tooth idling.
+func BenchmarkFig3_Batch33Threshold15(b *testing.B) { benchFig3(b, 8, 6) }
+
+// --- Figure 4: combined multi-pool federated workflow ---
+
+func BenchmarkFig4_MultiPool(b *testing.B) {
+	cfg := experiments.Fig4Config{
+		Tasks: 100, Dim: 2, Workers: 8, RetrainEvery: 15,
+		TimeScale: 0.002, Seed: 3, QueueDelay: 4,
+	}
+	b.ReportAllocs()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig4(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = len(res.Reprios)
+	}
+	b.ReportMetric(float64(rounds), "reprio-rounds")
+}
+
+// --- EMEWS DB ablations (§IV-C) ---
+
+func BenchmarkSubmitTask(b *testing.B) {
+	db, err := core.NewDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.SubmitTask("bench", 1, `{"x": [1.0, 2.0, 3.0, 4.0]}`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubmitQueryReportCycle(b *testing.B) {
+	db, err := core.NewDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id, err := db.SubmitTask("bench", 1, "p")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.QueryTasks(1, 1, "pool", time.Millisecond, time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.ReportTask(id, 1, "r"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.QueryResult(id, time.Millisecond, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdatePriorityBatch vs Single quantifies the §V-B batch-update
+// claim: one transaction per round instead of one per task.
+func BenchmarkUpdatePriorityBatch(b *testing.B) {
+	db, ids := prioritySetup(b, 700)
+	defer db.Close()
+	prios := make([]int, len(ids))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range prios {
+			prios[j] = (i + j) % 700
+		}
+		if _, err := db.UpdatePriorities(ids, prios); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdatePrioritySingle(b *testing.B) {
+	db, ids := prioritySetup(b, 700)
+	defer db.Close()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j, id := range ids {
+			if _, err := db.UpdatePriorities([]int64{id}, []int{(i + j) % 700}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func prioritySetup(b *testing.B, n int) (*core.DB, []int64) {
+	b.Helper()
+	db, err := core.NewDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]int64, n)
+	for i := range ids {
+		id, err := db.SubmitTask("bench", 1, "x")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return db, ids
+}
+
+func BenchmarkPopResultsBatch50(b *testing.B) {
+	db, err := core.NewDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const n = 50
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ids := make([]int64, n)
+		for j := range ids {
+			id, _ := db.SubmitTask("bench", 1, "x")
+			ids[j] = id
+		}
+		tasks, _ := db.QueryTasks(1, n, "p", time.Millisecond, time.Second)
+		for _, task := range tasks {
+			db.ReportTask(task.ID, 1, "r")
+		}
+		b.StartTimer()
+		got := 0
+		for got < n {
+			results, err := db.PopResults(ids, n, time.Millisecond, time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got += len(results)
+		}
+	}
+}
+
+// BenchmarkRequeue measures the fault-tolerance path: recover tasks held by
+// a crashed pool.
+func BenchmarkRequeue(b *testing.B) {
+	db, err := core.NewDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 50; j++ {
+			db.SubmitTask("bench", 1, "x")
+		}
+		db.QueryTasks(1, 50, "crashed", time.Millisecond, time.Second)
+		b.StartTimer()
+		n, err := db.RequeueRunning("crashed")
+		if err != nil || n != 50 {
+			b.Fatalf("requeued %d, %v", n, err)
+		}
+		b.StopTimer()
+		tasks, _ := db.QueryTasks(1, 50, "drain", time.Millisecond, time.Second)
+		for _, task := range tasks {
+			db.ReportTask(task.ID, 1, "r")
+		}
+		b.StartTimer()
+	}
+}
+
+// --- minisql substrate ---
+
+func BenchmarkMinisqlInsert(b *testing.B) {
+	e := minisql.NewEngine()
+	if _, err := e.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, v REAL, s TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec("INSERT INTO t (v, s) VALUES (?, ?)", float64(i), "payload"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinisqlIndexedSelect(b *testing.B) {
+	e := minisql.NewEngine()
+	e.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, wt INTEGER, prio INTEGER)")
+	e.Exec("CREATE INDEX t_wt ON t (wt)")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		e.Exec("INSERT INTO t (wt, prio) VALUES (?, ?)", rng.Intn(8), rng.Intn(1000))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec(
+			"SELECT id, prio FROM t WHERE wt = ? ORDER BY prio DESC LIMIT 10", i%8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- funcX fabric (§IV-B) ---
+
+func BenchmarkFuncxCall(b *testing.B) {
+	auth := funcx.NewTokenIssuer()
+	broker := funcx.NewBroker(auth, 3)
+	ep := funcx.NewEndpoint(broker, "e", 8, 100*time.Microsecond)
+	ep.Register("echo", func(ctx context.Context, p []byte) ([]byte, error) { return p, nil })
+	ep.GoOnline()
+	defer ep.GoOffline()
+	c := funcx.NewClient(broker, auth.Issue(funcx.ScopeSubmit, time.Hour))
+	payload := []byte(`{"x": 1}`)
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(ctx, "e", "echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFuncxRetry measures the fire-and-forget recovery cycle: kill the
+// endpoint mid-task, restart it, task completes on the second attempt.
+func BenchmarkFuncxRetry(b *testing.B) {
+	auth := funcx.NewTokenIssuer()
+	broker := funcx.NewBroker(auth, 10)
+	c := funcx.NewClient(broker, auth.Issue(funcx.ScopeSubmit, time.Hour))
+	ep := funcx.NewEndpoint(broker, "e", 1, 100*time.Microsecond)
+	attempt := 0
+	started := make(chan struct{}, 4)
+	ep.Register("flaky", func(ctx context.Context, p []byte) ([]byte, error) {
+		attempt++
+		if attempt%2 == 1 {
+			started <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return []byte("ok"), nil
+	})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep.GoOnline()
+		id, err := c.Submit("e", "flaky", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-started
+		ep.GoOffline()
+		ep.GoOnline()
+		if _, err := c.Result(ctx, id); err != nil {
+			b.Fatal(err)
+		}
+		ep.GoOffline()
+	}
+}
+
+// --- data fabric (§IV-E): proxy path vs inline payloads ---
+
+func benchProxyResolve(b *testing.B, size int) {
+	svc := globus.NewService(1e-6) // near-instant wire for CPU-cost focus
+	svc.AddEndpoint("src", 1e6, 0)
+	svc.AddEndpoint("dst", 1e6, 0)
+	producer := proxystore.NewRegistry()
+	producer.Register(proxystore.NewGlobusStore("g", svc, "src", "src"))
+	consumer := proxystore.NewRegistry()
+	consumer.Register(proxystore.NewGlobusStore("g", svc, "src", "dst"))
+	data := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", i)
+		p, err := producer.Proxy("g", key, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := consumer.Resolve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProxyResolve64KB(b *testing.B) { benchProxyResolve(b, 64<<10) }
+func BenchmarkProxyResolve4MB(b *testing.B)  { benchProxyResolve(b, 4<<20) }
+
+// BenchmarkProxyVsInline compares shipping a payload inline through funcX
+// against shipping a proxy reference: beyond the 10 MB cap inline is
+// impossible, and well before that the proxy's constant-size request wins.
+func BenchmarkProxyVsInline(b *testing.B) {
+	auth := funcx.NewTokenIssuer()
+	broker := funcx.NewBroker(auth, 3)
+	ep := funcx.NewEndpoint(broker, "e", 4, 100*time.Microsecond)
+	svc := globus.NewService(1e-6)
+	svc.AddEndpoint("src", 1e6, 0)
+	svc.AddEndpoint("dst", 1e6, 0)
+	producer := proxystore.NewRegistry()
+	producer.Register(proxystore.NewGlobusStore("g", svc, "src", "src"))
+	consumer := proxystore.NewRegistry()
+	consumer.Register(proxystore.NewGlobusStore("g", svc, "src", "dst"))
+	ep.Register("inline", func(ctx context.Context, p []byte) ([]byte, error) {
+		return []byte(fmt.Sprint(len(p))), nil
+	})
+	ep.Register("proxied", func(ctx context.Context, p []byte) ([]byte, error) {
+		proxy, err := proxystore.Decode(string(p))
+		if err != nil {
+			return nil, err
+		}
+		data, err := consumer.Resolve(proxy)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(fmt.Sprint(len(data))), nil
+	})
+	ep.GoOnline()
+	defer ep.GoOffline()
+	c := funcx.NewClient(broker, auth.Issue(funcx.ScopeSubmit, time.Hour))
+	payload := make([]byte, 8<<20) // under the cap so both paths work
+	ctx := context.Background()
+
+	b.Run("inline8MB", func(b *testing.B) {
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Call(ctx, "e", "inline", payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("proxied8MB", func(b *testing.B) {
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			p, err := producer.Proxy("g", fmt.Sprintf("pk%d", i), payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Call(ctx, "e", "proxied", []byte(p.Encode())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- GPR substrate scaling ---
+
+func benchGPRTrain(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x := objective.SamplePoints(rng, n, 4, -32, 32)
+	y := make([]float64, n)
+	for i, p := range x {
+		y[i] = objective.Ackley(p)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gpr.Fit(x, y, gpr.Params{LengthScale: 8, SignalVar: 20, NoiseVar: 1e-4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGPRTrain50(b *testing.B)  { benchGPRTrain(b, 50) }
+func BenchmarkGPRTrain200(b *testing.B) { benchGPRTrain(b, 200) }
+func BenchmarkGPRTrain400(b *testing.B) { benchGPRTrain(b, 400) }
+
+func BenchmarkGPRPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := objective.SamplePoints(rng, 200, 4, -32, 32)
+	y := make([]float64, len(x))
+	for i, p := range x {
+		y[i] = objective.Ackley(p)
+	}
+	gp, err := gpr.Fit(x, y, gpr.Params{LengthScale: 8, SignalVar: 20, NoiseVar: 1e-4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{1, -2, 3, -4}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gp.Predict(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ME algorithms: async vs batch-synchronous time-to-solution ---
+
+func runMEBench(b *testing.B, algo string) {
+	cfg := opt.Config{
+		ExpID: "bench", WorkType: 1, Samples: 60, Dim: 2, Lo: -5, Hi: 5,
+		RetrainEvery: 15, Seed: 5,
+		Delay:       objective.DelayConfig{Mu: 0.3, Sigma: 0.7, TimeScale: 0.001},
+		PollTimeout: 500 * time.Millisecond,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db, err := core.NewDB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := pool.New(db, pool.Config{Name: "p", Workers: 8, BatchSize: 8, WorkType: 1},
+			objective.Evaluator(objective.Ackley, cfg.Delay), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { defer close(done); p.Run(ctx) }()
+		var rerr error
+		switch algo {
+		case "async":
+			_, rerr = opt.RunAsync(ctx, db, cfg, nil)
+		case "batch":
+			_, rerr = opt.RunBatchSync(ctx, db, cfg, nil)
+		case "random":
+			_, rerr = opt.RunRandom(ctx, db, cfg, nil)
+		}
+		cancel()
+		<-done
+		db.Close()
+		if rerr != nil {
+			b.Fatal(rerr)
+		}
+	}
+}
+
+func BenchmarkMEAsyncGPR(b *testing.B)  { runMEBench(b, "async") }
+func BenchmarkMEBatchSync(b *testing.B) { runMEBench(b, "batch") }
+func BenchmarkMERandom(b *testing.B)    { runMEBench(b, "random") }
+
+// --- remote service round trip ---
+
+func BenchmarkServiceRoundTrip(b *testing.B) {
+	db, err := core.NewDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	srv, err := service.Serve(db, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := service.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SubmitTask("bench", 1, "p"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- scheduler simulator ---
+
+func BenchmarkSchedulerSubmitWait(b *testing.B) {
+	c, err := sched.New(sched.Config{Name: "b", Nodes: 4, CoresPerNode: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j, err := c.Submit(1, 0, func(context.Context) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- epidemiologic workloads ---
+
+func BenchmarkSEIRDeterministic(b *testing.B) {
+	init := epi.State{S: 999990, I: 10}
+	p := epi.Params{Beta: 0.4, Sigma: 0.25, Gamma: 0.15}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := epi.RunSEIR(init, p, 365, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSEIRStochastic(b *testing.B) {
+	init := epi.State{S: 999990, I: 10}
+	p := epi.Params{Beta: 0.4, Sigma: 0.25, Gamma: 0.15}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := epi.RunStochasticSEIR(init, p, 365, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAckley4D(b *testing.B) {
+	x := []float64{1.1, -2.2, 3.3, -4.4}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += objective.Ackley(x)
+	}
+	_ = sink
+}
+
+// --- data ingestion & curation (§II-B2) ---
+
+func BenchmarkDatastreamIngest(b *testing.B) {
+	truth := make([]float64, 200)
+	for i := range truth {
+		truth[i] = 100 + float64(i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	feed := datastream.SyntheticFeed(truth, datastream.FeedConfig{
+		ReportLag: 2, BackfillDays: 3, WeekdayEffect: 0.7, Noise: 0.05,
+	}, rng)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := datastream.NewStore()
+		s.Ingest("cases", feed)
+	}
+}
+
+func BenchmarkDatastreamCurate(b *testing.B) {
+	truth := make([]float64, 200)
+	for i := range truth {
+		truth[i] = 100 + float64(i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	s := datastream.NewStore()
+	s.Ingest("cases", datastream.SyntheticFeed(truth, datastream.FeedConfig{
+		ReportLag: 2, BackfillDays: 3, WeekdayEffect: 0.7, MissingProb: 0.05, Noise: 0.05,
+	}, rng))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := datastream.NewPipeline(s, "cases").Curate(300, 0, 199, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ensemble forecasting (§I workload) ---
+
+func BenchmarkEnsembleAggregate(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	trs := make([]ensemble.Trajectory, 300)
+	for i := range trs {
+		inc := make([]float64, 28)
+		for d := range inc {
+			inc[d] = 100 * rng.Float64()
+		}
+		trs[i] = ensemble.Trajectory{Incidence: inc}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ensemble.Aggregate(trs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnsembleWIS(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	trs := make([]ensemble.Trajectory, 200)
+	for i := range trs {
+		inc := make([]float64, 28)
+		for d := range inc {
+			inc[d] = 100 * rng.Float64()
+		}
+		trs[i] = ensemble.Trajectory{Incidence: inc}
+	}
+	f, err := ensemble.Aggregate(trs, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := make([]float64, 28)
+	for d := range obs {
+		obs[d] = 50
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ensemble.WIS(f, obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- artifact management (§II-B2c) ---
+
+func BenchmarkArtifactSaveLoad(b *testing.B) {
+	reg := proxystore.NewRegistry()
+	reg.Register(proxystore.NewMemStore("mem"))
+	m := artifact.NewManager(reg, "mem")
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		meta, err := m.Save("ckpt", artifact.KindCheckpoint, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Load("ckpt", meta.Version); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- workflow validation (§II-B3) ---
+
+func BenchmarkWorkflowRun(b *testing.B) {
+	spec := &workflow.Spec{
+		Name: "bench", Seed: 1,
+		ME: workflow.MESpec{Algorithm: "random", Samples: 30, Dim: 2, Lo: -5, Hi: 5, WorkType: 1},
+		Pools: []workflow.PoolSpec{
+			{Name: "p", Workers: 8, WorkType: 1, Objective: "ackley"},
+		},
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workflow.Run(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubmitBatch750 vs BenchmarkSubmitSingle750 quantifies the batch
+// submission path used by the ME drivers for the 750-task sample set.
+func BenchmarkSubmitBatch750(b *testing.B) {
+	payloads := make([]string, 750)
+	for i := range payloads {
+		payloads[i] = `{"x": [1.0, 2.0, 3.0, 4.0]}`
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db, err := core.NewDB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.SubmitTasks("bench", 1, payloads, nil); err != nil {
+			b.Fatal(err)
+		}
+		db.Close()
+	}
+}
+
+func BenchmarkSubmitSingle750(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db, err := core.NewDB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 750; j++ {
+			if _, err := db.SubmitTask("bench", 1, `{"x": [1.0, 2.0, 3.0, 4.0]}`); err != nil {
+				b.Fatal(err)
+			}
+		}
+		db.Close()
+	}
+}

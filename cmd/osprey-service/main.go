@@ -1,0 +1,92 @@
+// Command osprey-service runs the EMEWS task database and service (paper
+// §IV-C): the resource-local component worker pools and ME algorithms
+// connect to.
+//
+//	osprey-service -addr 127.0.0.1:7654 -snapshot state.gob
+//
+// With -snapshot, existing state is restored at startup and persisted on
+// SIGINT/SIGTERM, providing the restart fault-tolerance path (§II-B1c).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"osprey/internal/core"
+	"osprey/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("osprey-service: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7654", "listen address")
+		snapshot = flag.String("snapshot", "", "optional snapshot file for restart persistence")
+	)
+	flag.Parse()
+
+	db, err := loadDB(*snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	srv, err := service.Serve(db, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("EMEWS service listening on %s", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	if *snapshot != "" {
+		if err := saveDB(db, *snapshot); err != nil {
+			log.Fatalf("saving snapshot: %v", err)
+		}
+		log.Printf("state saved to %s", *snapshot)
+	}
+}
+
+func loadDB(path string) (*core.DB, error) {
+	if path == "" {
+		return core.NewDB()
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return core.NewDB()
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := core.RestoreDB(f)
+	if err != nil {
+		return nil, fmt.Errorf("restoring %s: %w", path, err)
+	}
+	log.Printf("restored state from %s", path)
+	return db, nil
+}
+
+func saveDB(db *core.DB, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.Snapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,101 @@
+// Command osprey-submit is a small CLI against a running EMEWS service: it
+// submits tasks, inspects queue state, and fetches results — the
+// command-line counterpart of the paper's Python/R task API (Listing 1).
+//
+//	osprey-submit -addr HOST:PORT submit -payload '{"x": [1, 2]}' -priority 5
+//	osprey-submit -addr HOST:PORT counts
+//	osprey-submit -addr HOST:PORT result -task 42 -timeout 30s
+//	osprey-submit -addr HOST:PORT cancel -task 42
+//	osprey-submit -addr HOST:PORT requeue -pool crashed-pool
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"osprey/internal/core"
+	"osprey/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("osprey-submit: ")
+	addr := flag.String("addr", "127.0.0.1:7654", "EMEWS service address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("usage: osprey-submit [-addr HOST:PORT] {submit|counts|result|cancel|requeue} [flags]")
+	}
+
+	client, err := service.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ExitOnError)
+		exp := fs.String("exp", "cli", "experiment id")
+		workType := fs.Int("worktype", 1, "work type")
+		payload := fs.String("payload", "", "task payload (JSON)")
+		priority := fs.Int("priority", 0, "priority")
+		fs.Parse(args[1:])
+		if *payload == "" {
+			log.Fatal("submit: -payload is required")
+		}
+		id, err := client.SubmitTask(*exp, *workType, *payload, core.WithPriority(*priority))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(id)
+	case "counts":
+		fs := flag.NewFlagSet("counts", flag.ExitOnError)
+		exp := fs.String("exp", "", "experiment id (empty = all)")
+		fs.Parse(args[1:])
+		counts, err := client.Counts(*exp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, st := range []core.Status{core.StatusQueued, core.StatusRunning, core.StatusComplete, core.StatusCanceled} {
+			fmt.Printf("%-10s %d\n", st, counts[st])
+		}
+	case "result":
+		fs := flag.NewFlagSet("result", flag.ExitOnError)
+		task := fs.Int64("task", 0, "task id")
+		timeout := fs.Duration("timeout", 10*time.Second, "wait timeout")
+		fs.Parse(args[1:])
+		res, err := client.QueryResult(*task, 250*time.Millisecond, *timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+	case "cancel":
+		fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+		task := fs.Int64("task", 0, "task id")
+		fs.Parse(args[1:])
+		n, err := client.CancelTasks([]int64{*task})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("canceled %d\n", n)
+	case "requeue":
+		fs := flag.NewFlagSet("requeue", flag.ExitOnError)
+		poolName := fs.String("pool", "", "crashed pool name")
+		fs.Parse(args[1:])
+		if *poolName == "" {
+			log.Fatal("requeue: -pool is required")
+		}
+		n, err := client.RequeueRunning(*poolName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("requeued %d\n", n)
+	default:
+		log.Printf("unknown command %q", args[0])
+		os.Exit(2)
+	}
+}

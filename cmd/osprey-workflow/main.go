@@ -1,0 +1,100 @@
+// Command osprey-workflow is the Shared Development Environment tooling of
+// paper §II-B3: run, publish, and validate portable workflow specs.
+//
+//	osprey-workflow run -spec workflow.json
+//	osprey-workflow publish -spec workflow.json -out baseline.json
+//	osprey-workflow check -baseline baseline.json
+//
+// `publish` runs the spec and records its metrics as a validation baseline;
+// `check` re-runs a published baseline and fails (exit 1) on correctness
+// regressions — the ResearchOps practice the paper adopts for model
+// validation and publishing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"osprey/internal/workflow"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("osprey-workflow: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: osprey-workflow {run|publish|check} [flags]")
+	}
+	ctx := context.Background()
+	switch os.Args[1] {
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ExitOnError)
+		specPath := fs.String("spec", "", "workflow spec JSON")
+		fs.Parse(os.Args[2:])
+		spec := loadSpec(*specPath)
+		result, err := workflow.Run(ctx, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workflow %q: %d tasks, best objective %g, %d reprioritizations, %.1f paper-s\n",
+			result.Name, result.Completed, result.BestY, result.Rounds, result.Duration)
+	case "publish":
+		fs := flag.NewFlagSet("publish", flag.ExitOnError)
+		specPath := fs.String("spec", "", "workflow spec JSON")
+		out := fs.String("out", "baseline.json", "baseline output path")
+		tol := fs.Float64("tolerance", 0.05, "allowed relative deviation in the objective")
+		fs.Parse(os.Args[2:])
+		spec := loadSpec(*specPath)
+		result, err := workflow.Run(ctx, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline, err := workflow.Publish(spec, result, *tol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := baseline.Marshal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published %q (best %g) to %s\n", result.Name, result.BestY, *out)
+	case "check":
+		fs := flag.NewFlagSet("check", flag.ExitOnError)
+		baselinePath := fs.String("baseline", "", "published baseline JSON")
+		fs.Parse(os.Args[2:])
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline, err := workflow.LoadBaseline(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := baseline.Check(ctx); err != nil {
+			log.Fatalf("REGRESSION: %v", err)
+		}
+		fmt.Printf("workflow %q validates against its baseline\n", baseline.Spec.Name)
+	default:
+		log.Fatalf("unknown command %q", os.Args[1])
+	}
+}
+
+func loadSpec(path string) *workflow.Spec {
+	if path == "" {
+		log.Fatal("-spec is required")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := workflow.Load(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return spec
+}

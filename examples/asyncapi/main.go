@@ -1,0 +1,105 @@
+// Asyncapi: a tour of the asynchronous task API of paper §V-B.
+//
+// Demonstrates every Future operation against a live worker pool: status
+// queries, as_completed, pop_completed, batch reprioritization, and
+// cancellation — the building blocks of the paper's Listing 2 algorithm.
+//
+//	go run ./examples/asyncapi
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"osprey"
+)
+
+func main() {
+	log.SetFlags(0)
+	db, err := osprey.NewDB()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// A deliberately slow single worker so queue operations are visible.
+	exec := func(payload string) (string, error) {
+		time.Sleep(30 * time.Millisecond)
+		return "done:" + payload, nil
+	}
+	p, err := osprey.NewPool(db, osprey.PoolConfig{
+		Name: "slow-pool", Workers: 1, BatchSize: 1, WorkType: 1,
+	}, exec, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go p.Run(ctx)
+
+	// Submit ten tasks at priority 0.
+	var futures []*osprey.Future
+	for i := 0; i < 10; i++ {
+		f, err := osprey.Submit(db, "tour", 1, fmt.Sprintf("task-%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	st, _ := futures[9].Status()
+	fmt.Printf("task %d status right after submit: %s\n", futures[9].TaskID(), st)
+
+	// Batch-reprioritize: make the last submitted tasks run first (§V-B's
+	// update_priority on a list of futures).
+	prios := make([]int, len(futures))
+	for i := range prios {
+		prios[i] = i // later submissions get higher priority
+	}
+	if _, err := osprey.UpdatePriorities(futures, prios); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reprioritized: later tasks now pop first")
+
+	// Cancel two of the early (now low-priority) tasks.
+	canceled := 0
+	for _, f := range futures[1:3] {
+		if ok, _ := f.Cancel(); ok {
+			canceled++
+		}
+	}
+	fmt.Printf("canceled %d queued tasks\n", canceled)
+
+	// as_completed: consume the first three completions as a stream.
+	fmt.Println("first three completions:")
+	live := futures[:0:0]
+	for _, f := range futures {
+		if st, _ := f.Status(); st != osprey.StatusCanceled {
+			live = append(live, f)
+		}
+	}
+	for f := range osprey.AsCompleted(ctx, live, 3) {
+		res, _ := f.Result(time.Second)
+		fmt.Printf("  task %d -> %s\n", f.TaskID(), res)
+	}
+
+	// pop_completed: drain the rest one at a time.
+	remaining := live[:0:0]
+	for _, f := range live {
+		if !f.Done() {
+			remaining = append(remaining, f)
+		}
+	}
+	for len(remaining) > 0 {
+		f, err := osprey.PopCompleted(&remaining, 10*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, _ := f.Result(time.Second)
+		fmt.Printf("  popped task %d -> %s\n", f.TaskID(), res)
+	}
+	counts, _ := db.Counts("tour")
+	fmt.Printf("final counts: %d complete, %d canceled\n",
+		counts[osprey.StatusComplete], counts[osprey.StatusCanceled])
+}

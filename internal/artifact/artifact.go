@@ -1,0 +1,205 @@
+// Package artifact manages algorithm and model artifacts (paper §II-B2c):
+// model-exploration state, calibrated model checkpoints, and fitted
+// surrogates, "complex, large, and numerous and not local to a specific
+// resource". Artifacts are stored through the ProxyStore data fabric — so
+// the same manager works over memory, shared filesystems, or Globus — with
+// a metadata catalog that supports listing, tagging, versioning, and
+// selecting checkpoints for re-execution on the original or different
+// resources.
+package artifact
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"osprey/internal/proxystore"
+)
+
+// Errors returned by the manager.
+var (
+	ErrNotFound = errors.New("artifact: not found")
+	ErrExists   = errors.New("artifact: version already exists")
+)
+
+// Kind classifies artifacts.
+type Kind string
+
+// Artifact kinds used by the platform.
+const (
+	KindCheckpoint Kind = "checkpoint" // ME exploration state
+	KindModel      Kind = "model"      // fitted surrogate / calibrated model
+	KindDataset    Kind = "dataset"    // curated data snapshot
+)
+
+// Meta is the catalog entry for one artifact version.
+type Meta struct {
+	Name      string           `json:"name"`
+	Version   int              `json:"version"`
+	Kind      Kind             `json:"kind"`
+	Tags      []string         `json:"tags,omitempty"`
+	Size      int              `json:"size"`
+	CreatedAt int64            `json:"created_at"` // unix nanos
+	Proxy     proxystore.Proxy `json:"proxy"`
+}
+
+// Key returns the storage key for this version.
+func (m Meta) Key() string { return fmt.Sprintf("artifact/%s/v%d", m.Name, m.Version) }
+
+// Manager catalogs artifacts stored in a proxystore backend.
+type Manager struct {
+	reg   *proxystore.Registry
+	store string
+
+	mu      sync.Mutex
+	entries map[string][]Meta // name -> versions ascending
+}
+
+// NewManager creates a manager writing artifacts into the named store of
+// the registry.
+func NewManager(reg *proxystore.Registry, storeName string) *Manager {
+	return &Manager{reg: reg, store: storeName, entries: make(map[string][]Meta)}
+}
+
+// Save stores data as the next version of name, returning its metadata.
+func (m *Manager) Save(name string, kind Kind, data []byte, tags ...string) (Meta, error) {
+	m.mu.Lock()
+	version := len(m.entries[name]) + 1
+	m.mu.Unlock()
+
+	meta := Meta{
+		Name: name, Version: version, Kind: kind,
+		Tags: tags, Size: len(data), CreatedAt: time.Now().UnixNano(),
+	}
+	proxy, err := m.reg.Proxy(m.store, meta.Key(), data)
+	if err != nil {
+		return Meta{}, fmt.Errorf("artifact: saving %s v%d: %w", name, version, err)
+	}
+	meta.Proxy = proxy
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Guard against a concurrent Save of the same name having won.
+	if len(m.entries[name])+1 != version {
+		return Meta{}, fmt.Errorf("%w: %s v%d", ErrExists, name, version)
+	}
+	m.entries[name] = append(m.entries[name], meta)
+	return meta, nil
+}
+
+// Load fetches a specific version's payload (lazily, through the proxy).
+func (m *Manager) Load(name string, version int) ([]byte, error) {
+	meta, err := m.Stat(name, version)
+	if err != nil {
+		return nil, err
+	}
+	return m.reg.Resolve(meta.Proxy)
+}
+
+// LoadLatest fetches the newest version.
+func (m *Manager) LoadLatest(name string) ([]byte, Meta, error) {
+	m.mu.Lock()
+	versions := m.entries[name]
+	m.mu.Unlock()
+	if len(versions) == 0 {
+		return nil, Meta{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	meta := versions[len(versions)-1]
+	data, err := m.reg.Resolve(meta.Proxy)
+	return data, meta, err
+}
+
+// Stat returns the metadata of one version without fetching the payload.
+func (m *Manager) Stat(name string, version int) (Meta, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, meta := range m.entries[name] {
+		if meta.Version == version {
+			return meta, nil
+		}
+	}
+	return Meta{}, fmt.Errorf("%w: %s v%d", ErrNotFound, name, version)
+}
+
+// List returns all versions of all artifacts, optionally filtered by kind
+// and tag ("" matches everything), sorted by name then version.
+func (m *Manager) List(kind Kind, tag string) []Meta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Meta
+	for _, versions := range m.entries {
+		for _, meta := range versions {
+			if kind != "" && meta.Kind != kind {
+				continue
+			}
+			if tag != "" && !hasTag(meta.Tags, tag) {
+				continue
+			}
+			out = append(out, meta)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+func hasTag(tags []string, tag string) bool {
+	for _, t := range tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Versions returns how many versions exist for name.
+func (m *Manager) Versions(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries[name])
+}
+
+// ExportCatalog serializes the metadata catalog so it can itself be staged
+// to another site; payloads stay behind their proxies.
+func (m *Manager) ExportCatalog() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return json.Marshal(m.entries)
+}
+
+// ImportCatalog loads a catalog exported elsewhere into a manager whose
+// registry can resolve the proxies (e.g. a Globus-backed store on the
+// consuming site).
+func (m *Manager) ImportCatalog(data []byte) error {
+	var entries map[string][]Meta
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("artifact: import: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, versions := range entries {
+		m.entries[name] = append(m.entries[name], versions...)
+		sort.Slice(m.entries[name], func(i, j int) bool {
+			return m.entries[name][i].Version < m.entries[name][j].Version
+		})
+	}
+	return nil
+}
+
+// Describe renders a human-readable catalog listing.
+func (m *Manager) Describe() string {
+	var sb strings.Builder
+	for _, meta := range m.List("", "") {
+		fmt.Fprintf(&sb, "%-24s v%-3d %-10s %8dB tags=%v\n",
+			meta.Name, meta.Version, meta.Kind, meta.Size, meta.Tags)
+	}
+	return sb.String()
+}

@@ -1,0 +1,154 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"osprey/internal/globus"
+	"osprey/internal/proxystore"
+)
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	reg := proxystore.NewRegistry()
+	reg.Register(proxystore.NewMemStore("mem"))
+	return NewManager(reg, "mem")
+}
+
+func TestSaveLoadVersioning(t *testing.T) {
+	m := newManager(t)
+	m1, err := m.Save("gpr", KindModel, []byte("v1-bytes"), "exp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Version != 1 || m1.Size != 8 {
+		t.Fatalf("meta = %+v", m1)
+	}
+	m2, _ := m.Save("gpr", KindModel, []byte("v2-bytes"))
+	if m2.Version != 2 {
+		t.Fatalf("second version = %d", m2.Version)
+	}
+	data, err := m.Load("gpr", 1)
+	if err != nil || string(data) != "v1-bytes" {
+		t.Fatalf("Load v1 = %q, %v", data, err)
+	}
+	latest, meta, err := m.LoadLatest("gpr")
+	if err != nil || string(latest) != "v2-bytes" || meta.Version != 2 {
+		t.Fatalf("LoadLatest = %q, %+v, %v", latest, meta, err)
+	}
+	if m.Versions("gpr") != 2 {
+		t.Fatalf("versions = %d", m.Versions("gpr"))
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	m := newManager(t)
+	if _, err := m.Load("nope", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := m.LoadLatest("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	m.Save("x", KindModel, []byte("d"))
+	if _, err := m.Load("x", 9); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing version err = %v", err)
+	}
+}
+
+func TestListFilters(t *testing.T) {
+	m := newManager(t)
+	m.Save("ckpt-a", KindCheckpoint, []byte("1"), "exp1")
+	m.Save("ckpt-a", KindCheckpoint, []byte("2"), "exp1", "final")
+	m.Save("model-b", KindModel, []byte("3"), "exp2")
+	all := m.List("", "")
+	if len(all) != 3 {
+		t.Fatalf("all = %d", len(all))
+	}
+	ckpts := m.List(KindCheckpoint, "")
+	if len(ckpts) != 2 || ckpts[0].Version != 1 {
+		t.Fatalf("checkpoints = %+v", ckpts)
+	}
+	finals := m.List("", "final")
+	if len(finals) != 1 || finals[0].Version != 2 {
+		t.Fatalf("finals = %+v", finals)
+	}
+	if s := m.Describe(); !strings.Contains(s, "ckpt-a") || !strings.Contains(s, "model-b") {
+		t.Fatalf("describe:\n%s", s)
+	}
+}
+
+func TestCatalogExportImportAcrossSites(t *testing.T) {
+	// Producer site saves artifacts into a Globus-backed store; the
+	// consumer imports the catalog and lazily pulls payloads — the paper's
+	// "easily rerun or continued ... on different resources" (§II-B2c).
+	svc := globus.NewService(0.0001)
+	svc.AddEndpoint("bebop", 500, 0.01)
+	svc.AddEndpoint("laptop", 500, 0.01)
+
+	prodReg := proxystore.NewRegistry()
+	prodReg.Register(proxystore.NewGlobusStore("g", svc, "bebop", "bebop"))
+	producer := NewManager(prodReg, "g")
+	payload := bytes.Repeat([]byte("state"), 1000)
+	if _, err := producer.Save("exploration-state", KindCheckpoint, payload, "round-5"); err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := producer.ExportCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	consReg := proxystore.NewRegistry()
+	consReg.Register(proxystore.NewGlobusStore("g", svc, "bebop", "laptop"))
+	consumer := NewManager(consReg, "g")
+	if err := consumer.ImportCatalog(catalog); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := consumer.LoadLatest("exploration-state")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("cross-site load failed: %v", err)
+	}
+	if meta.Kind != KindCheckpoint || !strings.Contains(strings.Join(meta.Tags, ","), "round-5") {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if err := consumer.ImportCatalog([]byte("{")); err == nil {
+		t.Fatal("bad catalog must error")
+	}
+}
+
+func TestConcurrentSaves(t *testing.T) {
+	m := newManager(t)
+	var wg sync.WaitGroup
+	var okCount, conflictCount sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := m.Save("shared", KindModel, []byte(fmt.Sprint(g))); err != nil {
+					conflictCount.Store(fmt.Sprintf("%d-%d", g, i), true)
+				} else {
+					okCount.Store(fmt.Sprintf("%d-%d", g, i), true)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Versions are dense 1..N for the successful saves.
+	n := m.Versions("shared")
+	for v := 1; v <= n; v++ {
+		if _, err := m.Stat("shared", v); err != nil {
+			t.Fatalf("version %d missing: %v", v, err)
+		}
+	}
+}
+
+func TestMetaKey(t *testing.T) {
+	meta := Meta{Name: "x", Version: 3}
+	if meta.Key() != "artifact/x/v3" {
+		t.Fatalf("key = %q", meta.Key())
+	}
+}

@@ -1,0 +1,145 @@
+// Package core implements the OSPREY EMEWS task database (EQSQL): the
+// fault-tolerant task queuing and execution layer at the center of the
+// paper's prototype architecture (§IV-C, §V-A).
+//
+// Tasks are submitted by model-exploration (ME) algorithms with an
+// experiment id, an integer work type, a JSON payload, a priority, and
+// optional metadata tags. They are stored in a resource-local SQL database
+// (package minisql) across five tables — tasks, output queue, input queue,
+// experiments, and tags — exactly mirroring the paper's schema. Worker pools
+// pop typed tasks off the output queue ordered by priority; completed results
+// are pushed onto the input queue where ME algorithms retrieve them.
+//
+// Because the queues live in the database and not in the ME process, tasks
+// and results survive resource failures: tasks stuck "running" on a crashed
+// pool can be requeued (RequeueRunning), and the whole database can be
+// snapshotted and restored on another resource.
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// Status is the lifecycle state of a task (paper §IV-C).
+type Status string
+
+// Task lifecycle states.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusComplete Status = "complete"
+	StatusCanceled Status = "canceled"
+)
+
+// ErrTimeout is returned by the polling queries when the delay/timeout
+// expires before a matching task or result appears. It corresponds to the
+// paper's {'type': 'status', 'payload': 'TIMEOUT'} response.
+var ErrTimeout = errors.New("eqsql: timeout")
+
+// ErrClosed is returned when the database has been shut down.
+var ErrClosed = errors.New("eqsql: database closed")
+
+// Task is one row of the tasks table joined with its queue state.
+type Task struct {
+	ID       int64
+	ExpID    string
+	WorkType int
+	Status   Status
+	Payload  string
+	Result   string
+	Pool     string
+	Priority int
+	Created  time.Time
+	Started  time.Time
+	Stopped  time.Time
+}
+
+// TaskResult pairs a completed task id with its result payload.
+type TaskResult struct {
+	ID     int64
+	Result string
+}
+
+// SubmitOptions carries the optional arguments of submit_task (§IV-A):
+// priority (defaults to 0) and metadata tags.
+type SubmitOptions struct {
+	Priority int
+	Tags     []string
+}
+
+// SubmitOption mutates SubmitOptions.
+type SubmitOption func(*SubmitOptions)
+
+// WithPriority sets the task priority; higher priorities pop first.
+func WithPriority(p int) SubmitOption {
+	return func(o *SubmitOptions) { o.Priority = p }
+}
+
+// WithTags attaches metadata tag strings to the task.
+func WithTags(tags ...string) SubmitOption {
+	return func(o *SubmitOptions) { o.Tags = append(o.Tags, tags...) }
+}
+
+// API is the EMEWS DB task interface shared by the in-process database and
+// the remote EMEWS-service client, so ME algorithms and worker pools run
+// unchanged against either (paper §IV-C, §V-A).
+type API interface {
+	// SubmitTask inserts a task and pushes it onto the output queue,
+	// returning the new unique task id.
+	SubmitTask(expID string, workType int, payload string, opts ...SubmitOption) (int64, error)
+
+	// SubmitTasks inserts a batch of tasks in one transaction (one network
+	// round trip through the service), returning their ids in order.
+	// priorities must be empty (all zero), have one element (applied to
+	// all), or one per payload.
+	SubmitTasks(expID string, workType int, payloads []string, priorities []int) ([]int64, error)
+
+	// QueryTasks pops up to n of the highest-priority queued tasks of the
+	// given work type, marking them running and owned by pool. It polls,
+	// re-checking every delay, until at least one task is available or
+	// timeout elapses (ErrTimeout).
+	QueryTasks(workType, n int, pool string, delay, timeout time.Duration) ([]Task, error)
+
+	// ReportTask records the result of a running task, marks it complete,
+	// and pushes it onto the input queue.
+	ReportTask(taskID int64, workType int, result string) error
+
+	// QueryResult polls the input queue for the completed task, pops it,
+	// and returns its result payload.
+	QueryResult(taskID int64, delay, timeout time.Duration) (string, error)
+
+	// PopResults pops up to max completed results belonging to ids from the
+	// input queue, polling until at least one is available or timeout
+	// elapses. It is the batch operation behind as_completed/pop_completed.
+	PopResults(ids []int64, max int, delay, timeout time.Duration) ([]TaskResult, error)
+
+	// Statuses returns the status of each existing task in ids.
+	Statuses(ids []int64) (map[int64]Status, error)
+
+	// Priorities returns the current output-queue priority of each task in
+	// ids that is still queued.
+	Priorities(ids []int64) (map[int64]int, error)
+
+	// UpdatePriorities sets new priorities on the still-queued tasks in ids
+	// as a single batch transaction (§V-B). priorities must have either one
+	// element (applied to all) or len(ids) elements. It returns the number
+	// of queue rows updated.
+	UpdatePriorities(ids []int64, priorities []int) (int, error)
+
+	// CancelTasks removes still-queued tasks from the output queue and marks
+	// them canceled, returning how many were canceled.
+	CancelTasks(ids []int64) (int, error)
+
+	// RequeueRunning returns tasks owned by a (presumed crashed) worker pool
+	// to the output queue at their previous priority, reporting how many
+	// tasks were recovered.
+	RequeueRunning(pool string) (int, error)
+
+	// Counts reports the number of tasks per status for an experiment
+	// ("" for all experiments).
+	Counts(expID string) (map[Status]int, error)
+
+	// Tags returns the metadata tags recorded for a task.
+	Tags(taskID int64) ([]string, error)
+}

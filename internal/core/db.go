@@ -1,0 +1,624 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"osprey/internal/minisql"
+)
+
+// schema is the five-table EMEWS DB layout from paper §IV-C: a tasks table,
+// output and input queue tables, an experiments table, and a tags table,
+// all linked by the shared task identifier.
+var schema = []string{
+	`CREATE TABLE IF NOT EXISTS eq_exp (
+		exp_id TEXT PRIMARY KEY,
+		created_at INTEGER)`,
+	`CREATE TABLE IF NOT EXISTS eq_tasks (
+		task_id INTEGER PRIMARY KEY AUTOINCREMENT,
+		exp_id TEXT,
+		work_type INTEGER,
+		status TEXT,
+		payload TEXT,
+		result TEXT,
+		pool TEXT,
+		priority INTEGER,
+		created_at INTEGER,
+		start_at INTEGER,
+		stop_at INTEGER)`,
+	`CREATE INDEX eq_tasks_status ON eq_tasks (status)`,
+	`CREATE INDEX eq_tasks_pool ON eq_tasks (pool)`,
+	`CREATE TABLE IF NOT EXISTS eq_out_q (
+		task_id INTEGER PRIMARY KEY,
+		work_type INTEGER,
+		priority INTEGER)`,
+	`CREATE INDEX eq_out_wt ON eq_out_q (work_type)`,
+	`CREATE TABLE IF NOT EXISTS eq_in_q (
+		task_id INTEGER PRIMARY KEY,
+		work_type INTEGER)`,
+	`CREATE TABLE IF NOT EXISTS eq_tags (
+		task_id INTEGER,
+		tag TEXT)`,
+	`CREATE INDEX eq_tags_task ON eq_tags (task_id)`,
+}
+
+// DB is the in-process EMEWS task database. It is safe for concurrent use by
+// any number of ME algorithms and worker pools.
+type DB struct {
+	eng    *minisql.Engine
+	outN   *notifier // signaled when the output queue grows
+	inN    *notifier // signaled when the input queue grows
+	closed atomic.Bool
+}
+
+var _ API = (*DB)(nil)
+
+// NewDB creates an empty EMEWS task database with the standard schema.
+func NewDB() (*DB, error) {
+	eng := minisql.NewEngine()
+	for _, stmt := range schema {
+		if _, err := eng.Exec(stmt); err != nil {
+			return nil, fmt.Errorf("eqsql: creating schema: %w", err)
+		}
+	}
+	return &DB{eng: eng, outN: newNotifier(), inN: newNotifier()}, nil
+}
+
+// Close shuts the database down, waking all polling queries with ErrClosed.
+func (db *DB) Close() {
+	db.closed.Store(true)
+	db.outN.notify()
+	db.inN.notify()
+}
+
+// Snapshot persists the full task-database state (fault tolerance: the
+// service can be stopped and restarted elsewhere, §II-B1c).
+func (db *DB) Snapshot(w io.Writer) error { return db.eng.Snapshot(w) }
+
+// RestoreDB loads a snapshot produced by Snapshot into a fresh DB.
+func RestoreDB(r io.Reader) (*DB, error) {
+	eng := minisql.NewEngine()
+	if err := eng.Restore(r); err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng, outN: newNotifier(), inN: newNotifier()}, nil
+}
+
+func nowNano() int64 { return time.Now().UnixNano() }
+
+// SubmitTask implements API.
+func (db *DB) SubmitTask(expID string, workType int, payload string, opts ...SubmitOption) (int64, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	var o SubmitOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var taskID int64
+	err := db.eng.Tx(func(tx *minisql.Tx) error {
+		res, err := tx.Exec(
+			"SELECT COUNT(*) FROM eq_exp WHERE exp_id = ?", expID)
+		if err != nil {
+			return err
+		}
+		if res.Rows[0][0].AsInt() == 0 {
+			if _, err := tx.Exec(
+				"INSERT INTO eq_exp (exp_id, created_at) VALUES (?, ?)",
+				expID, nowNano()); err != nil {
+				return err
+			}
+		}
+		res, err = tx.Exec(
+			`INSERT INTO eq_tasks (exp_id, work_type, status, payload, result,
+				pool, priority, created_at, start_at, stop_at)
+			 VALUES (?, ?, ?, ?, '', '', ?, ?, 0, 0)`,
+			expID, workType, string(StatusQueued), payload, o.Priority, nowNano())
+		if err != nil {
+			return err
+		}
+		taskID = res.LastInsertID
+		if _, err := tx.Exec(
+			"INSERT INTO eq_out_q (task_id, work_type, priority) VALUES (?, ?, ?)",
+			taskID, workType, o.Priority); err != nil {
+			return err
+		}
+		for _, tag := range o.Tags {
+			if _, err := tx.Exec(
+				"INSERT INTO eq_tags (task_id, tag) VALUES (?, ?)", taskID, tag); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	db.outN.notify()
+	return taskID, nil
+}
+
+// SubmitTasks implements API.
+func (db *DB) SubmitTasks(expID string, workType int, payloads []string, priorities []int) ([]int64, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	if len(payloads) == 0 {
+		return nil, nil
+	}
+	if len(priorities) > 1 && len(priorities) != len(payloads) {
+		return nil, fmt.Errorf("eqsql: SubmitTasks needs 0, 1, or %d priorities, got %d",
+			len(payloads), len(priorities))
+	}
+	prioOf := func(i int) int {
+		switch len(priorities) {
+		case 0:
+			return 0
+		case 1:
+			return priorities[0]
+		default:
+			return priorities[i]
+		}
+	}
+	ids := make([]int64, 0, len(payloads))
+	err := db.eng.Tx(func(tx *minisql.Tx) error {
+		ids = ids[:0]
+		res, err := tx.Exec("SELECT COUNT(*) FROM eq_exp WHERE exp_id = ?", expID)
+		if err != nil {
+			return err
+		}
+		if res.Rows[0][0].AsInt() == 0 {
+			if _, err := tx.Exec(
+				"INSERT INTO eq_exp (exp_id, created_at) VALUES (?, ?)", expID, nowNano()); err != nil {
+				return err
+			}
+		}
+		now := nowNano()
+		for i, payload := range payloads {
+			res, err := tx.Exec(
+				`INSERT INTO eq_tasks (exp_id, work_type, status, payload, result,
+					pool, priority, created_at, start_at, stop_at)
+				 VALUES (?, ?, ?, ?, '', '', ?, ?, 0, 0)`,
+				expID, workType, string(StatusQueued), payload, prioOf(i), now)
+			if err != nil {
+				return err
+			}
+			id := res.LastInsertID
+			if _, err := tx.Exec(
+				"INSERT INTO eq_out_q (task_id, work_type, priority) VALUES (?, ?, ?)",
+				id, workType, prioOf(i)); err != nil {
+				return err
+			}
+			ids = append(ids, id)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.outN.notify()
+	return ids, nil
+}
+
+// QueryTasks implements API. The pop is atomic: selected queue rows are
+// deleted and the corresponding tasks marked running in one transaction, so
+// two pools can never obtain the same task.
+func (db *DB) QueryTasks(workType, n int, pool string, delay, timeout time.Duration) ([]Task, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("eqsql: QueryTasks n must be positive, got %d", n)
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		if db.closed.Load() {
+			return nil, ErrClosed
+		}
+		wake := db.outN.wait()
+		tasks, err := db.tryPopTasks(workType, n, pool)
+		if err != nil {
+			return nil, err
+		}
+		if len(tasks) > 0 {
+			return tasks, nil
+		}
+		if !sleepUntil(wake, delay, deadline) {
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// sleepUntil blocks until wake fires, delay elapses, or the deadline timer
+// fires; it reports false when the deadline fired.
+func sleepUntil(wake <-chan struct{}, delay time.Duration, deadline *time.Timer) bool {
+	recheck := time.NewTimer(delay)
+	defer recheck.Stop()
+	select {
+	case <-wake:
+		return true
+	case <-recheck.C:
+		return true
+	case <-deadline.C:
+		return false
+	}
+}
+
+func (db *DB) tryPopTasks(workType, n int, pool string) ([]Task, error) {
+	var tasks []Task
+	err := db.eng.Tx(func(tx *minisql.Tx) error {
+		tasks = tasks[:0]
+		res, err := tx.Exec(
+			`SELECT task_id, priority FROM eq_out_q WHERE work_type = ?
+			 ORDER BY priority DESC, task_id ASC LIMIT ?`, workType, n)
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) == 0 {
+			return nil
+		}
+		now := nowNano()
+		for _, row := range res.Rows {
+			id := row[0].AsInt()
+			prio := int(row[1].AsInt())
+			if _, err := tx.Exec("DELETE FROM eq_out_q WHERE task_id = ?", id); err != nil {
+				return err
+			}
+			if _, err := tx.Exec(
+				"UPDATE eq_tasks SET status = ?, pool = ?, start_at = ? WHERE task_id = ?",
+				string(StatusRunning), pool, now, id); err != nil {
+				return err
+			}
+			tres, err := tx.Exec(
+				"SELECT exp_id, payload, created_at FROM eq_tasks WHERE task_id = ?", id)
+			if err != nil {
+				return err
+			}
+			if len(tres.Rows) == 0 {
+				return fmt.Errorf("eqsql: queue references missing task %d", id)
+			}
+			tasks = append(tasks, Task{
+				ID:       id,
+				ExpID:    tres.Rows[0][0].AsText(),
+				WorkType: workType,
+				Status:   StatusRunning,
+				Payload:  tres.Rows[0][1].AsText(),
+				Pool:     pool,
+				Priority: prio,
+				Created:  time.Unix(0, tres.Rows[0][2].AsInt()),
+				Started:  time.Unix(0, now),
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tasks, nil
+}
+
+// ReportTask implements API.
+func (db *DB) ReportTask(taskID int64, workType int, result string) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	err := db.eng.Tx(func(tx *minisql.Tx) error {
+		res, err := tx.Exec(
+			"UPDATE eq_tasks SET status = ?, result = ?, stop_at = ? WHERE task_id = ?",
+			string(StatusComplete), result, nowNano(), taskID)
+		if err != nil {
+			return err
+		}
+		if res.RowsAffected == 0 {
+			return fmt.Errorf("eqsql: report for unknown task %d", taskID)
+		}
+		_, err = tx.Exec(
+			"INSERT INTO eq_in_q (task_id, work_type) VALUES (?, ?)", taskID, workType)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	db.inN.notify()
+	return nil
+}
+
+// QueryResult implements API.
+func (db *DB) QueryResult(taskID int64, delay, timeout time.Duration) (string, error) {
+	results, err := db.PopResults([]int64{taskID}, 1, delay, timeout)
+	if err != nil {
+		return "", err
+	}
+	return results[0].Result, nil
+}
+
+// PopResults implements API.
+func (db *DB) PopResults(ids []int64, max int, delay, timeout time.Duration) ([]TaskResult, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("eqsql: PopResults requires at least one task id")
+	}
+	if max <= 0 {
+		max = len(ids)
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		if db.closed.Load() {
+			return nil, ErrClosed
+		}
+		wake := db.inN.wait()
+		results, err := db.tryPopResults(ids, max)
+		if err != nil {
+			return nil, err
+		}
+		if len(results) > 0 {
+			return results, nil
+		}
+		if !sleepUntil(wake, delay, deadline) {
+			return nil, ErrTimeout
+		}
+	}
+}
+
+func (db *DB) tryPopResults(ids []int64, max int) ([]TaskResult, error) {
+	var results []TaskResult
+	err := db.eng.Tx(func(tx *minisql.Tx) error {
+		results = results[:0]
+		sql, args := inClause("SELECT task_id FROM eq_in_q WHERE task_id IN (%s) ORDER BY task_id ASC LIMIT ?", ids)
+		args = append(args, max)
+		res, err := tx.Exec(sql, args...)
+		if err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			id := row[0].AsInt()
+			if _, err := tx.Exec("DELETE FROM eq_in_q WHERE task_id = ?", id); err != nil {
+				return err
+			}
+			rres, err := tx.Exec("SELECT result FROM eq_tasks WHERE task_id = ?", id)
+			if err != nil {
+				return err
+			}
+			if len(rres.Rows) == 0 {
+				return fmt.Errorf("eqsql: input queue references missing task %d", id)
+			}
+			results = append(results, TaskResult{ID: id, Result: rres.Rows[0][0].AsText()})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// inClause renders format with an n-ary "?" list and returns the args slice.
+func inClause(format string, ids []int64) (string, []any) {
+	marks := strings.Repeat("?, ", len(ids))
+	marks = marks[:len(marks)-2]
+	args := make([]any, len(ids))
+	for i, id := range ids {
+		args[i] = id
+	}
+	return fmt.Sprintf(format, marks), args
+}
+
+// Statuses implements API.
+func (db *DB) Statuses(ids []int64) (map[int64]Status, error) {
+	if len(ids) == 0 {
+		return map[int64]Status{}, nil
+	}
+	sql, args := inClause("SELECT task_id, status FROM eq_tasks WHERE task_id IN (%s)", ids)
+	res, err := db.eng.Exec(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]Status, len(res.Rows))
+	for _, row := range res.Rows {
+		out[row[0].AsInt()] = Status(row[1].AsText())
+	}
+	return out, nil
+}
+
+// Priorities implements API.
+func (db *DB) Priorities(ids []int64) (map[int64]int, error) {
+	if len(ids) == 0 {
+		return map[int64]int{}, nil
+	}
+	sql, args := inClause("SELECT task_id, priority FROM eq_out_q WHERE task_id IN (%s)", ids)
+	res, err := db.eng.Exec(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]int, len(res.Rows))
+	for _, row := range res.Rows {
+		out[row[0].AsInt()] = int(row[1].AsInt())
+	}
+	return out, nil
+}
+
+// UpdatePriorities implements API. The whole batch commits atomically, which
+// is what makes reprioritization cheap relative to per-task updates (§V-B).
+func (db *DB) UpdatePriorities(ids []int64, priorities []int) (int, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	if len(priorities) != 1 && len(priorities) != len(ids) {
+		return 0, fmt.Errorf("eqsql: UpdatePriorities needs 1 or %d priorities, got %d",
+			len(ids), len(priorities))
+	}
+	updated := 0
+	err := db.eng.Tx(func(tx *minisql.Tx) error {
+		updated = 0
+		for i, id := range ids {
+			p := priorities[0]
+			if len(priorities) > 1 {
+				p = priorities[i]
+			}
+			res, err := tx.Exec("UPDATE eq_out_q SET priority = ? WHERE task_id = ?", p, id)
+			if err != nil {
+				return err
+			}
+			if res.RowsAffected > 0 {
+				if _, err := tx.Exec(
+					"UPDATE eq_tasks SET priority = ? WHERE task_id = ?", p, id); err != nil {
+					return err
+				}
+				updated++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Priorities changed: waiting pools should re-pop in the new order.
+	db.outN.notify()
+	return updated, nil
+}
+
+// CancelTasks implements API. Only tasks still in the output queue can be
+// canceled; running tasks are owned by a pool (paper §VI: oversubscribed
+// tasks become ineligible for cancellation).
+func (db *DB) CancelTasks(ids []int64) (int, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	canceled := 0
+	err := db.eng.Tx(func(tx *minisql.Tx) error {
+		canceled = 0
+		for _, id := range ids {
+			res, err := tx.Exec("DELETE FROM eq_out_q WHERE task_id = ?", id)
+			if err != nil {
+				return err
+			}
+			if res.RowsAffected > 0 {
+				if _, err := tx.Exec(
+					"UPDATE eq_tasks SET status = ?, stop_at = ? WHERE task_id = ?",
+					string(StatusCanceled), nowNano(), id); err != nil {
+					return err
+				}
+				canceled++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return canceled, nil
+}
+
+// RequeueRunning implements API.
+func (db *DB) RequeueRunning(pool string) (int, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	requeued := 0
+	err := db.eng.Tx(func(tx *minisql.Tx) error {
+		requeued = 0
+		res, err := tx.Exec(
+			"SELECT task_id, work_type, priority FROM eq_tasks WHERE pool = ? AND status = ?",
+			pool, string(StatusRunning))
+		if err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			id := row[0].AsInt()
+			if _, err := tx.Exec(
+				"INSERT INTO eq_out_q (task_id, work_type, priority) VALUES (?, ?, ?)",
+				id, row[1].AsInt(), row[2].AsInt()); err != nil {
+				return err
+			}
+			if _, err := tx.Exec(
+				"UPDATE eq_tasks SET status = ?, pool = '', start_at = 0 WHERE task_id = ?",
+				string(StatusQueued), id); err != nil {
+				return err
+			}
+			requeued++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if requeued > 0 {
+		db.outN.notify()
+	}
+	return requeued, nil
+}
+
+// Counts implements API.
+func (db *DB) Counts(expID string) (map[Status]int, error) {
+	out := map[Status]int{}
+	for _, st := range []Status{StatusQueued, StatusRunning, StatusComplete, StatusCanceled} {
+		var res *minisql.Result
+		var err error
+		if expID == "" {
+			res, err = db.eng.Exec("SELECT COUNT(*) FROM eq_tasks WHERE status = ?", string(st))
+		} else {
+			res, err = db.eng.Exec(
+				"SELECT COUNT(*) FROM eq_tasks WHERE status = ? AND exp_id = ?", string(st), expID)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[st] = int(res.Rows[0][0].AsInt())
+	}
+	return out, nil
+}
+
+// Tags implements API.
+func (db *DB) Tags(taskID int64) ([]string, error) {
+	res, err := db.eng.Exec("SELECT tag FROM eq_tags WHERE task_id = ?", taskID)
+	if err != nil {
+		return nil, err
+	}
+	tags := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		tags = append(tags, row[0].AsText())
+	}
+	return tags, nil
+}
+
+// GetTask returns the full task row for inspection and tests.
+func (db *DB) GetTask(taskID int64) (Task, error) {
+	res, err := db.eng.Exec(
+		`SELECT exp_id, work_type, status, payload, result, pool, priority,
+			created_at, start_at, stop_at
+		 FROM eq_tasks WHERE task_id = ?`, taskID)
+	if err != nil {
+		return Task{}, err
+	}
+	if len(res.Rows) == 0 {
+		return Task{}, fmt.Errorf("eqsql: no task %d", taskID)
+	}
+	r := res.Rows[0]
+	return Task{
+		ID:       taskID,
+		ExpID:    r[0].AsText(),
+		WorkType: int(r[1].AsInt()),
+		Status:   Status(r[2].AsText()),
+		Payload:  r[3].AsText(),
+		Result:   r[4].AsText(),
+		Pool:     r[5].AsText(),
+		Priority: int(r[6].AsInt()),
+		Created:  time.Unix(0, r[7].AsInt()),
+		Started:  time.Unix(0, r[8].AsInt()),
+		Stopped:  time.Unix(0, r[9].AsInt()),
+	}, nil
+}
+
+// QueueLengths reports the output and input queue depths (monitoring).
+func (db *DB) QueueLengths() (out, in int, err error) {
+	o, err := db.eng.Exec("SELECT COUNT(*) FROM eq_out_q")
+	if err != nil {
+		return 0, 0, err
+	}
+	i, err := db.eng.Exec("SELECT COUNT(*) FROM eq_in_q")
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(o.Rows[0][0].AsInt()), int(i.Rows[0][0].AsInt()), nil
+}

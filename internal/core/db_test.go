@@ -1,0 +1,632 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const (
+	tick    = 5 * time.Millisecond
+	waitMax = 2 * time.Second
+)
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := NewDB()
+	if err != nil {
+		t.Fatalf("NewDB: %v", err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+func TestSubmitAndPop(t *testing.T) {
+	db := newTestDB(t)
+	id, err := db.SubmitTask("exp1", 1, `{"x": 1}`)
+	if err != nil {
+		t.Fatalf("SubmitTask: %v", err)
+	}
+	if id != 1 {
+		t.Fatalf("task id = %d, want 1", id)
+	}
+	tasks, err := db.QueryTasks(1, 1, "poolA", tick, waitMax)
+	if err != nil {
+		t.Fatalf("QueryTasks: %v", err)
+	}
+	if len(tasks) != 1 || tasks[0].ID != id || tasks[0].Payload != `{"x": 1}` {
+		t.Fatalf("tasks = %+v", tasks)
+	}
+	if tasks[0].Status != StatusRunning || tasks[0].Pool != "poolA" {
+		t.Fatalf("popped task state = %+v", tasks[0])
+	}
+	got, err := db.GetTask(id)
+	if err != nil || got.Status != StatusRunning {
+		t.Fatalf("GetTask = %+v, %v", got, err)
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	db := newTestDB(t)
+	low, _ := db.SubmitTask("e", 1, "low", WithPriority(1))
+	high, _ := db.SubmitTask("e", 1, "high", WithPriority(10))
+	mid, _ := db.SubmitTask("e", 1, "mid", WithPriority(5))
+	tasks, err := db.QueryTasks(1, 3, "p", tick, waitMax)
+	if err != nil {
+		t.Fatalf("QueryTasks: %v", err)
+	}
+	if len(tasks) != 3 {
+		t.Fatalf("got %d tasks", len(tasks))
+	}
+	wantOrder := []int64{high, mid, low}
+	for i, task := range tasks {
+		if task.ID != wantOrder[i] {
+			t.Fatalf("pop order = %v, want %v", []int64{tasks[0].ID, tasks[1].ID, tasks[2].ID}, wantOrder)
+		}
+	}
+}
+
+func TestPriorityTieBreaksByTaskID(t *testing.T) {
+	db := newTestDB(t)
+	var ids []int64
+	for i := 0; i < 5; i++ {
+		id, _ := db.SubmitTask("e", 1, fmt.Sprint(i))
+		ids = append(ids, id)
+	}
+	tasks, err := db.QueryTasks(1, 5, "p", tick, waitMax)
+	if err != nil {
+		t.Fatalf("QueryTasks: %v", err)
+	}
+	for i, task := range tasks {
+		if task.ID != ids[i] {
+			t.Fatalf("FIFO order violated at %d: %+v", i, tasks)
+		}
+	}
+}
+
+func TestWorkTypeIsolation(t *testing.T) {
+	db := newTestDB(t)
+	db.SubmitTask("e", 1, "sim")
+	gpuID, _ := db.SubmitTask("e", 2, "gpu")
+	tasks, err := db.QueryTasks(2, 5, "gpu-pool", tick, waitMax)
+	if err != nil {
+		t.Fatalf("QueryTasks: %v", err)
+	}
+	if len(tasks) != 1 || tasks[0].ID != gpuID {
+		t.Fatalf("work-type filter broken: %+v", tasks)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	db := newTestDB(t)
+	start := time.Now()
+	_, err := db.QueryTasks(1, 1, "p", tick, 50*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("returned too early: %v", elapsed)
+	}
+}
+
+func TestReportAndQueryResult(t *testing.T) {
+	db := newTestDB(t)
+	id, _ := db.SubmitTask("e", 1, "payload")
+	tasks, _ := db.QueryTasks(1, 1, "p", tick, waitMax)
+	if err := db.ReportTask(tasks[0].ID, 1, `{"y": 2}`); err != nil {
+		t.Fatalf("ReportTask: %v", err)
+	}
+	res, err := db.QueryResult(id, tick, waitMax)
+	if err != nil {
+		t.Fatalf("QueryResult: %v", err)
+	}
+	if res != `{"y": 2}` {
+		t.Fatalf("result = %q", res)
+	}
+	got, _ := db.GetTask(id)
+	if got.Status != StatusComplete {
+		t.Fatalf("status = %s, want complete", got.Status)
+	}
+	if got.Stopped.Before(got.Started) {
+		t.Fatalf("stop %v before start %v", got.Stopped, got.Started)
+	}
+	// Result is popped: second query times out.
+	if _, err := db.QueryResult(id, tick, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("second QueryResult err = %v, want timeout", err)
+	}
+}
+
+func TestQueryResultBlocksUntilReport(t *testing.T) {
+	db := newTestDB(t)
+	id, _ := db.SubmitTask("e", 1, "p")
+	done := make(chan string, 1)
+	go func() {
+		res, err := db.QueryResult(id, tick, waitMax)
+		if err != nil {
+			done <- "err:" + err.Error()
+			return
+		}
+		done <- res
+	}()
+	tasks, _ := db.QueryTasks(1, 1, "p", tick, waitMax)
+	time.Sleep(10 * time.Millisecond)
+	db.ReportTask(tasks[0].ID, 1, "answer")
+	select {
+	case res := <-done:
+		if res != "answer" {
+			t.Fatalf("result = %q", res)
+		}
+	case <-time.After(waitMax):
+		t.Fatal("QueryResult never returned")
+	}
+}
+
+func TestPopResultsBatch(t *testing.T) {
+	db := newTestDB(t)
+	var ids []int64
+	for i := 0; i < 6; i++ {
+		id, _ := db.SubmitTask("e", 1, fmt.Sprint(i))
+		ids = append(ids, id)
+	}
+	tasks, _ := db.QueryTasks(1, 6, "p", tick, waitMax)
+	for _, task := range tasks[:4] {
+		db.ReportTask(task.ID, 1, fmt.Sprintf("r%d", task.ID))
+	}
+	results, err := db.PopResults(ids, 3, tick, waitMax)
+	if err != nil {
+		t.Fatalf("PopResults: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3 (max)", len(results))
+	}
+	results2, err := db.PopResults(ids, 10, tick, waitMax)
+	if err != nil {
+		t.Fatalf("PopResults 2: %v", err)
+	}
+	if len(results2) != 1 {
+		t.Fatalf("got %d more results, want 1", len(results2))
+	}
+	for _, r := range append(results, results2...) {
+		if r.Result != fmt.Sprintf("r%d", r.ID) {
+			t.Fatalf("mismatched result %+v", r)
+		}
+	}
+}
+
+func TestPopResultsIgnoresForeignTasks(t *testing.T) {
+	db := newTestDB(t)
+	mine, _ := db.SubmitTask("e", 1, "m")
+	other, _ := db.SubmitTask("e", 1, "o")
+	tasks, _ := db.QueryTasks(1, 2, "p", tick, waitMax)
+	for _, task := range tasks {
+		db.ReportTask(task.ID, 1, "done")
+	}
+	results, err := db.PopResults([]int64{mine}, 5, tick, waitMax)
+	if err != nil || len(results) != 1 || results[0].ID != mine {
+		t.Fatalf("PopResults = %+v, %v", results, err)
+	}
+	// The other result is still poppable.
+	results, err = db.PopResults([]int64{other}, 5, tick, waitMax)
+	if err != nil || len(results) != 1 || results[0].ID != other {
+		t.Fatalf("other result = %+v, %v", results, err)
+	}
+}
+
+func TestStatusesAndCounts(t *testing.T) {
+	db := newTestDB(t)
+	a, _ := db.SubmitTask("e", 1, "a")
+	b, _ := db.SubmitTask("e", 1, "b")
+	c, _ := db.SubmitTask("other", 1, "c")
+	tasks, _ := db.QueryTasks(1, 1, "p", tick, waitMax)
+	db.ReportTask(tasks[0].ID, 1, "done")
+	sts, err := db.Statuses([]int64{a, b, c, 999})
+	if err != nil {
+		t.Fatalf("Statuses: %v", err)
+	}
+	if len(sts) != 3 {
+		t.Fatalf("statuses = %v (missing ids must be absent)", sts)
+	}
+	if sts[a] != StatusComplete || sts[b] != StatusQueued {
+		t.Fatalf("statuses = %v", sts)
+	}
+	counts, err := db.Counts("e")
+	if err != nil {
+		t.Fatalf("Counts: %v", err)
+	}
+	if counts[StatusComplete] != 1 || counts[StatusQueued] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	all, _ := db.Counts("")
+	if all[StatusQueued] != 2 {
+		t.Fatalf("all counts = %v", all)
+	}
+}
+
+func TestUpdatePriorities(t *testing.T) {
+	db := newTestDB(t)
+	var ids []int64
+	for i := 0; i < 4; i++ {
+		id, _ := db.SubmitTask("e", 1, fmt.Sprint(i))
+		ids = append(ids, id)
+	}
+	// Pop one so it is no longer eligible.
+	popped, _ := db.QueryTasks(1, 1, "p", tick, waitMax)
+	n, err := db.UpdatePriorities(ids, []int{40, 10, 30, 20})
+	if err != nil {
+		t.Fatalf("UpdatePriorities: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("updated %d, want 3 (one task already running)", n)
+	}
+	prios, _ := db.Priorities(ids)
+	if len(prios) != 3 {
+		t.Fatalf("priorities = %v", prios)
+	}
+	if prios[ids[2]] != 30 {
+		t.Fatalf("priorities = %v", prios)
+	}
+	// Remaining tasks pop in the new order.
+	rest, err := db.QueryTasks(1, 3, "p", tick, waitMax)
+	if err != nil {
+		t.Fatalf("QueryTasks: %v", err)
+	}
+	want := []int64{ids[2], ids[3], ids[1]}
+	if popped[0].ID == ids[0] {
+		// ids[0] was popped first (FIFO), rest sorted 30, 20, 10.
+		for i, task := range rest {
+			if task.ID != want[i] {
+				t.Fatalf("order after reprio = %v, want %v",
+					[]int64{rest[0].ID, rest[1].ID, rest[2].ID}, want)
+			}
+		}
+	}
+}
+
+func TestUpdatePrioritiesSingleValue(t *testing.T) {
+	db := newTestDB(t)
+	var ids []int64
+	for i := 0; i < 3; i++ {
+		id, _ := db.SubmitTask("e", 1, "x")
+		ids = append(ids, id)
+	}
+	n, err := db.UpdatePriorities(ids, []int{7})
+	if err != nil || n != 3 {
+		t.Fatalf("UpdatePriorities = %d, %v", n, err)
+	}
+	prios, _ := db.Priorities(ids)
+	for _, id := range ids {
+		if prios[id] != 7 {
+			t.Fatalf("prios = %v", prios)
+		}
+	}
+	if _, err := db.UpdatePriorities(ids, []int{1, 2}); err == nil {
+		t.Fatal("mismatched priority slice length must error")
+	}
+}
+
+func TestCancelTasks(t *testing.T) {
+	db := newTestDB(t)
+	a, _ := db.SubmitTask("e", 1, "a")
+	b, _ := db.SubmitTask("e", 1, "b")
+	tasks, _ := db.QueryTasks(1, 1, "p", tick, waitMax)
+	n, err := db.CancelTasks([]int64{a, b})
+	if err != nil {
+		t.Fatalf("CancelTasks: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("canceled %d, want 1 (task %d already running)", n, tasks[0].ID)
+	}
+	st, _ := db.Statuses([]int64{a, b})
+	if st[tasks[0].ID] != StatusRunning {
+		t.Fatalf("running task was canceled: %v", st)
+	}
+	var canceledID int64 = a
+	if tasks[0].ID == a {
+		canceledID = b
+	}
+	if st[canceledID] != StatusCanceled {
+		t.Fatalf("statuses = %v", st)
+	}
+	// Canceled task is not poppable.
+	if _, err := db.QueryTasks(1, 1, "p", tick, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("canceled task still in queue: %v", err)
+	}
+}
+
+func TestRequeueRunning(t *testing.T) {
+	db := newTestDB(t)
+	id, _ := db.SubmitTask("e", 1, "x", WithPriority(42))
+	if _, err := db.QueryTasks(1, 1, "crashed-pool", tick, waitMax); err != nil {
+		t.Fatalf("QueryTasks: %v", err)
+	}
+	n, err := db.RequeueRunning("crashed-pool")
+	if err != nil || n != 1 {
+		t.Fatalf("RequeueRunning = %d, %v", n, err)
+	}
+	tasks, err := db.QueryTasks(1, 1, "fresh-pool", tick, waitMax)
+	if err != nil {
+		t.Fatalf("re-pop: %v", err)
+	}
+	if tasks[0].ID != id || tasks[0].Priority != 42 {
+		t.Fatalf("requeued task = %+v (priority must survive)", tasks[0])
+	}
+	// Completed tasks are not requeued.
+	db.ReportTask(id, 1, "done")
+	n, _ = db.RequeueRunning("fresh-pool")
+	if n != 0 {
+		t.Fatalf("requeued %d completed tasks", n)
+	}
+}
+
+func TestTags(t *testing.T) {
+	db := newTestDB(t)
+	id, _ := db.SubmitTask("e", 1, "x", WithTags("gpr", "round-1"))
+	tags, err := db.Tags(id)
+	if err != nil {
+		t.Fatalf("Tags: %v", err)
+	}
+	if len(tags) != 2 || tags[0] != "gpr" || tags[1] != "round-1" {
+		t.Fatalf("tags = %v", tags)
+	}
+	other, _ := db.SubmitTask("e", 1, "y")
+	tags, _ = db.Tags(other)
+	if len(tags) != 0 {
+		t.Fatalf("untagged task has tags %v", tags)
+	}
+}
+
+func TestConcurrentPoolsNoDuplicatePop(t *testing.T) {
+	db := newTestDB(t)
+	const nTasks = 200
+	for i := 0; i < nTasks; i++ {
+		db.SubmitTask("e", 1, fmt.Sprint(i))
+	}
+	var mu sync.Mutex
+	seen := make(map[int64]string)
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			pool := fmt.Sprintf("pool%d", p)
+			for {
+				tasks, err := db.QueryTasks(1, 5, pool, tick, 100*time.Millisecond)
+				if errors.Is(err, ErrTimeout) {
+					return
+				}
+				if err != nil {
+					t.Errorf("QueryTasks: %v", err)
+					return
+				}
+				mu.Lock()
+				for _, task := range tasks {
+					if prev, dup := seen[task.ID]; dup {
+						t.Errorf("task %d popped by both %s and %s", task.ID, prev, pool)
+					}
+					seen[task.ID] = pool
+				}
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	if len(seen) != nTasks {
+		t.Fatalf("popped %d unique tasks, want %d", len(seen), nTasks)
+	}
+}
+
+func TestCloseWakesWaiters(t *testing.T) {
+	db, err := NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := db.QueryTasks(1, 1, "p", tick, time.Minute)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	db.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(waitMax):
+		t.Fatal("Close did not wake waiter")
+	}
+	if _, err := db.SubmitTask("e", 1, "x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestSnapshotRestoreWorkflowState(t *testing.T) {
+	db := newTestDB(t)
+	a, _ := db.SubmitTask("e", 1, "a", WithPriority(3))
+	b, _ := db.SubmitTask("e", 1, "b")
+	tasks, _ := db.QueryTasks(1, 1, "p", tick, waitMax)
+	db.ReportTask(tasks[0].ID, 1, "done")
+
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	db2, err := RestoreDB(&buf)
+	if err != nil {
+		t.Fatalf("RestoreDB: %v", err)
+	}
+	defer db2.Close()
+	st, _ := db2.Statuses([]int64{a, b})
+	if st[tasks[0].ID] != StatusComplete {
+		t.Fatalf("restored statuses = %v", st)
+	}
+	// Result still poppable, remaining task still queued, ids keep counting.
+	if res, err := db2.QueryResult(tasks[0].ID, tick, waitMax); err != nil || res != "done" {
+		t.Fatalf("restored result = %q, %v", res, err)
+	}
+	rest, err := db2.QueryTasks(1, 5, "p2", tick, waitMax)
+	if err != nil || len(rest) != 1 {
+		t.Fatalf("restored queue pop = %+v, %v", rest, err)
+	}
+	id3, _ := db2.SubmitTask("e", 1, "c")
+	if id3 != 3 {
+		t.Fatalf("id after restore = %d, want 3", id3)
+	}
+}
+
+func TestReportUnknownTask(t *testing.T) {
+	db := newTestDB(t)
+	if err := db.ReportTask(12345, 1, "x"); err == nil {
+		t.Fatal("reporting an unknown task must error")
+	}
+}
+
+func TestQueryTasksValidatesN(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.QueryTasks(1, 0, "p", tick, tick); err == nil {
+		t.Fatal("n=0 must error")
+	}
+}
+
+// Property: for any set of priorities, popping all tasks yields them in
+// non-increasing priority order with ids ascending within equal priorities.
+func TestPropertyPopOrdering(t *testing.T) {
+	f := func(prios []int8) bool {
+		if len(prios) == 0 {
+			return true
+		}
+		if len(prios) > 64 {
+			prios = prios[:64]
+		}
+		db, err := NewDB()
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		for i, p := range prios {
+			if _, err := db.SubmitTask("e", 1, fmt.Sprint(i), WithPriority(int(p))); err != nil {
+				return false
+			}
+		}
+		tasks, err := db.QueryTasks(1, len(prios), "p", tick, waitMax)
+		if err != nil || len(tasks) != len(prios) {
+			return false
+		}
+		for i := 1; i < len(tasks); i++ {
+			if tasks[i].Priority > tasks[i-1].Priority {
+				return false
+			}
+			if tasks[i].Priority == tasks[i-1].Priority && tasks[i].ID < tasks[i-1].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every submitted task is eventually either completed exactly once
+// or still queued — no loss, no duplication — under concurrent pop/report.
+func TestPropertyConservation(t *testing.T) {
+	db := newTestDB(t)
+	const n = 120
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i], _ = db.SubmitTask("e", 1, fmt.Sprint(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pool := fmt.Sprintf("w%d", w)
+			for {
+				tasks, err := db.QueryTasks(1, 3, pool, tick, 100*time.Millisecond)
+				if err != nil {
+					return
+				}
+				for _, task := range tasks {
+					if err := db.ReportTask(task.ID, 1, "ok"); err != nil {
+						t.Errorf("report: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	counts, _ := db.Counts("e")
+	if counts[StatusComplete] != n {
+		t.Fatalf("counts = %v, want %d complete", counts, n)
+	}
+	results, err := db.PopResults(ids, n, tick, waitMax)
+	if err != nil || len(results) != n {
+		t.Fatalf("PopResults got %d results, err %v", len(results), err)
+	}
+}
+
+func TestSubmitTasksBatch(t *testing.T) {
+	db := newTestDB(t)
+	ids, err := db.SubmitTasks("e", 1, []string{"a", "b", "c"}, nil)
+	if err != nil || len(ids) != 3 {
+		t.Fatalf("SubmitTasks = %v, %v", ids, err)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1]+1 {
+			t.Fatalf("ids not consecutive: %v", ids)
+		}
+	}
+	tasks, err := db.QueryTasks(1, 3, "p", tick, waitMax)
+	if err != nil || len(tasks) != 3 {
+		t.Fatalf("QueryTasks after batch = %d, %v", len(tasks), err)
+	}
+	if tasks[0].Payload != "a" || tasks[2].Payload != "c" {
+		t.Fatalf("payload order = %v %v %v", tasks[0].Payload, tasks[1].Payload, tasks[2].Payload)
+	}
+}
+
+func TestSubmitTasksBatchPriorities(t *testing.T) {
+	db := newTestDB(t)
+	// Per-task priorities apply.
+	ids, err := db.SubmitTasks("e", 1, []string{"low", "high"}, []int{1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, _ := db.QueryTasks(1, 2, "p", tick, waitMax)
+	if tasks[0].ID != ids[1] {
+		t.Fatalf("priority order wrong: %+v", tasks)
+	}
+	// Single priority broadcasts.
+	ids2, err := db.SubmitTasks("e", 1, []string{"x", "y"}, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prios, _ := db.Priorities(ids2)
+	if prios[ids2[0]] != 5 || prios[ids2[1]] != 5 {
+		t.Fatalf("broadcast priorities = %v", prios)
+	}
+	// Mismatched length errors.
+	if _, err := db.SubmitTasks("e", 1, []string{"x", "y"}, []int{1, 2, 3}); err == nil {
+		t.Fatal("mismatched priorities must error")
+	}
+	// Empty batch is a no-op.
+	if out, err := db.SubmitTasks("e", 1, nil, nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch = %v, %v", out, err)
+	}
+}
+
+func TestSubmitTasksBatchAtomicWithClose(t *testing.T) {
+	db, err := NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if _, err := db.SubmitTasks("e", 1, []string{"x"}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close = %v", err)
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+import "sync"
+
+// notifier is a broadcast signal: waiters grab the current channel and block
+// on it; notify closes that channel and installs a fresh one. This gives the
+// polling queries prompt wakeups without busy-waiting while preserving the
+// delay/timeout semantics of the paper's API.
+type notifier struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newNotifier() *notifier {
+	return &notifier{ch: make(chan struct{})}
+}
+
+// wait returns a channel closed at the next notify.
+func (n *notifier) wait() <-chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ch
+}
+
+// notify wakes all current waiters.
+func (n *notifier) notify() {
+	n.mu.Lock()
+	close(n.ch)
+	n.ch = make(chan struct{})
+	n.mu.Unlock()
+}

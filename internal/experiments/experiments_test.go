@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Small, fast configurations: shapes are scale-invariant, so shrunken runs
+// still exhibit the paper's qualitative behaviour.
+
+func smallFig3(batch, threshold int) Fig3Config {
+	return Fig3Config{
+		Workers: 8, BatchSize: batch, Threshold: threshold,
+		Tasks: 120, Dim: 2, TimeScale: 0.001, Seed: 42,
+	}
+}
+
+func TestFig3OversubscriptionBeatsExactBatch(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	over, err := RunFig3(ctx, smallFig3(12, 1)) // batch > workers: task cache
+	if err != nil {
+		t.Fatalf("RunFig3(12,1): %v", err)
+	}
+	exact, err := RunFig3(ctx, smallFig3(8, 1))
+	if err != nil {
+		t.Fatalf("RunFig3(8,1): %v", err)
+	}
+	lazy, err := RunFig3(ctx, smallFig3(8, 6)) // high threshold: saw-tooth
+	if err != nil {
+		t.Fatalf("RunFig3(8,6): %v", err)
+	}
+	// The paper's Figure 3 ordering in the steady-state window (the drain
+	// tail is excluded; oversubscription pays there by design):
+	// oversubscribed ≥ exact ≥ high-threshold.
+	t.Logf("steady utilization: over=%.3f exact=%.3f lazy=%.3f",
+		over.SteadyUtilization, exact.SteadyUtilization, lazy.SteadyUtilization)
+	if over.SteadyUtilization < exact.SteadyUtilization-0.05 {
+		t.Fatalf("oversubscribed steady utilization %.3f worse than exact %.3f",
+			over.SteadyUtilization, exact.SteadyUtilization)
+	}
+	if lazy.SteadyUtilization > exact.SteadyUtilization+0.03 {
+		t.Fatalf("high-threshold steady utilization %.3f better than threshold-1 %.3f",
+			lazy.SteadyUtilization, exact.SteadyUtilization)
+	}
+	// All panels completed all tasks.
+	for _, r := range []*Fig3Result{over, exact, lazy} {
+		if r.Makespan <= 0 {
+			t.Fatalf("makespan = %v", r.Makespan)
+		}
+		last := r.Series.Points[len(r.Series.Points)-1]
+		if last.V != 0 {
+			t.Fatalf("run ends with %v tasks still marked running", last.V)
+		}
+	}
+}
+
+func TestFig3ConcurrencyNeverExceedsWorkers(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := RunFig3(ctx, smallFig3(12, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Series.Points {
+		if p.V > float64(res.Config.Workers) {
+			t.Fatalf("concurrency %v exceeds %d workers", p.V, res.Config.Workers)
+		}
+	}
+}
+
+func TestFig4EndToEnd(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+	res, err := RunFig4(ctx, Fig4Config{
+		Tasks: 150, Dim: 2, Workers: 8, RetrainEvery: 15,
+		TimeScale: 0.002, Seed: 7, QueueDelay: 5,
+	})
+	if err != nil {
+		t.Fatalf("RunFig4: %v", err)
+	}
+	if res.Report.Completed != 150 {
+		t.Fatalf("completed = %d", res.Report.Completed)
+	}
+	// All three pools eventually executed work.
+	if len(res.PoolSeries) != 3 {
+		t.Fatalf("pools seen = %d (%v)", len(res.PoolSeries), res.PoolStarts)
+	}
+	// Pools start in order, with the later pools delayed by the scheduler.
+	t1, ok1 := res.PoolStarts["worker_pool_1"]
+	t2, ok2 := res.PoolStarts["worker_pool_2"]
+	t3, ok3 := res.PoolStarts["worker_pool_3"]
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("pool starts = %v", res.PoolStarts)
+	}
+	if !(t1 < t2 && t2 < t3) {
+		t.Fatalf("pool start order wrong: %v %v %v", t1, t2, t3)
+	}
+	if t2-t1 < res.Config.QueueDelay {
+		t.Fatalf("pool 2 started %.1fs after pool 1; queue delay is %.1fs", t2-t1, res.Config.QueueDelay)
+	}
+	// Reprioritizations happened and each window is well-formed.
+	if len(res.Reprios) < 4 {
+		t.Fatalf("reprio rounds = %d, want >= 4 (pool 3 starts on round 4)", len(res.Reprios))
+	}
+	for _, w := range res.Reprios {
+		if w.End < w.Start {
+			t.Fatalf("window %+v malformed", w)
+		}
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestFig4ReprioritizationsSpeedUpWithMorePools(t *testing.T) {
+	// As pools are added, 50-task windows complete faster, so the gaps
+	// between consecutive reprioritizations shrink (§VI, Figure 4 top).
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+	// TimeScale 0.01 keeps fixed wall-clock overheads (polling intervals,
+	// in-process GPR training) small relative to simulated task durations,
+	// matching their proportions in the paper's real runs.
+	res, err := RunFig4(ctx, Fig4Config{
+		Tasks: 200, Dim: 2, Workers: 8, RetrainEvery: 20,
+		TimeScale: 0.01, Seed: 11, QueueDelay: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reprios) < 5 {
+		t.Skipf("only %d rounds; not enough to compare cadence", len(res.Reprios))
+	}
+	// Compare the first inter-round gap (one pool) with the fastest gap
+	// later in the run (after more pools joined). The final gap sits in the
+	// straggler tail, so it is not representative of the cadence.
+	firstGap := res.Reprios[1].Start - res.Reprios[0].Start
+	minLater := firstGap * 100
+	for i := 2; i < len(res.Reprios); i++ {
+		if g := res.Reprios[i].Start - res.Reprios[i-1].Start; g < minLater {
+			minLater = g
+		}
+	}
+	t.Logf("first gap %.2fs, fastest later gap %.2fs", firstGap, minLater)
+	if minLater > firstGap {
+		t.Fatalf("reprioritization cadence never sped up: first %.2fs, best later %.2fs", firstGap, minLater)
+	}
+}
+
+func TestFig3Defaults(t *testing.T) {
+	var cfg Fig3Config
+	cfg.applyDefaults()
+	if cfg.Workers != 33 || cfg.Tasks != 750 || cfg.Dim != 4 {
+		t.Fatalf("paper defaults = %+v", cfg)
+	}
+	var f4 Fig4Config
+	f4.applyDefaults()
+	if f4.Tasks != 750 || f4.Workers != 33 || f4.RetrainEvery != 50 {
+		t.Fatalf("fig4 defaults = %+v", f4)
+	}
+}

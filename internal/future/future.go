@@ -1,0 +1,251 @@
+// Package future implements the OSPREY asynchronous task API (paper §V-B).
+//
+// A Future encapsulates the asynchronous execution of one submitted task.
+// Futures are created by Submit and expose status queries, result retrieval,
+// cancellation, and reprioritization without blocking the model-exploration
+// algorithm. Collection helpers — AsCompleted, PopCompleted and
+// UpdatePriorities — operate on groups of futures and perform batch
+// operations against the EMEWS DB rather than iterating task by task,
+// which is what enables the paper's fast time-to-solution algorithms.
+package future
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"osprey/internal/core"
+)
+
+// ErrCanceled is returned when a result is requested from a canceled future.
+var ErrCanceled = errors.New("future: task canceled")
+
+// DefaultDelay is the poll recheck interval used when none is specified,
+// matching the paper's API default of 0.5 s.
+const DefaultDelay = 500 * time.Millisecond
+
+// Future is a handle on one submitted task (paper §V-B).
+type Future struct {
+	api      core.API
+	id       int64
+	workType int
+
+	mu     sync.Mutex
+	done   bool
+	result string
+}
+
+// Submit submits a task through the EMEWS DB API and returns its Future.
+func Submit(api core.API, expID string, workType int, payload string, opts ...core.SubmitOption) (*Future, error) {
+	id, err := api.SubmitTask(expID, workType, payload, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Future{api: api, id: id, workType: workType}, nil
+}
+
+// Wrap adopts an already-submitted task id as a Future.
+func Wrap(api core.API, taskID int64, workType int) *Future {
+	return &Future{api: api, id: taskID, workType: workType}
+}
+
+// TaskID returns the unique EMEWS DB task identifier.
+func (f *Future) TaskID() int64 { return f.id }
+
+// WorkType returns the task's work type.
+func (f *Future) WorkType() int { return f.workType }
+
+// Done reports whether the result has already been retrieved locally.
+func (f *Future) Done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.done
+}
+
+// Status queries the task's current status without waiting for completion.
+func (f *Future) Status() (core.Status, error) {
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		return core.StatusComplete, nil
+	}
+	f.mu.Unlock()
+	sts, err := f.api.Statuses([]int64{f.id})
+	if err != nil {
+		return "", err
+	}
+	st, ok := sts[f.id]
+	if !ok {
+		return "", fmt.Errorf("future: unknown task %d", f.id)
+	}
+	return st, nil
+}
+
+// Result blocks until the task's result is available or timeout elapses
+// (core.ErrTimeout). Once retrieved, the result is cached locally: the
+// input-queue entry is consumed exactly once.
+func (f *Future) Result(timeout time.Duration) (string, error) {
+	f.mu.Lock()
+	if f.done {
+		r := f.result
+		f.mu.Unlock()
+		return r, nil
+	}
+	f.mu.Unlock()
+	res, err := f.api.QueryResult(f.id, DefaultDelay, timeout)
+	if err != nil {
+		if errors.Is(err, core.ErrTimeout) {
+			// Canceled tasks never produce results; surface that instead.
+			if st, serr := f.Status(); serr == nil && st == core.StatusCanceled {
+				return "", ErrCanceled
+			}
+		}
+		return "", err
+	}
+	f.setResult(res)
+	return res, nil
+}
+
+func (f *Future) setResult(res string) {
+	f.mu.Lock()
+	f.done = true
+	f.result = res
+	f.mu.Unlock()
+}
+
+// Cancel removes the task from the output queue if it has not started.
+// It reports whether the task was actually canceled.
+func (f *Future) Cancel() (bool, error) {
+	n, err := f.api.CancelTasks([]int64{f.id})
+	return n > 0, err
+}
+
+// Priority returns the task's current output-queue priority; ok is false if
+// the task is no longer queued.
+func (f *Future) Priority() (prio int, ok bool, err error) {
+	prios, err := f.api.Priorities([]int64{f.id})
+	if err != nil {
+		return 0, false, err
+	}
+	p, ok := prios[f.id]
+	return p, ok, nil
+}
+
+// SetPriority updates the task's priority while it remains queued. It
+// reports whether the task was still queued.
+func (f *Future) SetPriority(p int) (bool, error) {
+	n, err := f.api.UpdatePriorities([]int64{f.id}, []int{p})
+	return n > 0, err
+}
+
+// UpdatePriorities batch-updates the priorities of all still-queued futures
+// in fs. priorities must contain either a single value (applied to all) or
+// one value per future. It returns how many queue entries changed.
+func UpdatePriorities(fs []*Future, priorities []int) (int, error) {
+	if len(fs) == 0 {
+		return 0, nil
+	}
+	api := fs[0].api
+	ids := make([]int64, len(fs))
+	for i, f := range fs {
+		ids[i] = f.id
+	}
+	return api.UpdatePriorities(ids, priorities)
+}
+
+// CancelAll cancels every still-queued future in fs as one batch, returning
+// the number canceled.
+func CancelAll(fs []*Future) (int, error) {
+	if len(fs) == 0 {
+		return 0, nil
+	}
+	ids := make([]int64, len(fs))
+	for i, f := range fs {
+		ids[i] = f.id
+	}
+	return fs[0].api.CancelTasks(ids)
+}
+
+// PopCompleted blocks until one of the futures in *fs completes, removes it
+// from the slice and returns it with its result cached. It mirrors the
+// paper's pop_completed.
+func PopCompleted(fs *[]*Future, timeout time.Duration) (*Future, error) {
+	if len(*fs) == 0 {
+		return nil, errors.New("future: PopCompleted on empty future list")
+	}
+	api := (*fs)[0].api
+	byID := make(map[int64]int, len(*fs))
+	ids := make([]int64, len(*fs))
+	for i, f := range *fs {
+		ids[i] = f.id
+		byID[f.id] = i
+	}
+	results, err := api.PopResults(ids, 1, DefaultDelay, timeout)
+	if err != nil {
+		return nil, err
+	}
+	idx := byID[results[0].ID]
+	f := (*fs)[idx]
+	f.setResult(results[0].Result)
+	*fs = append((*fs)[:idx], (*fs)[idx+1:]...)
+	return f, nil
+}
+
+// AsCompleted returns a channel yielding up to n futures from fs as they
+// complete (all of them when n <= 0), closing the channel afterwards or when
+// ctx is done. Each yielded future has its result cached. It mirrors the
+// paper's as_completed generator.
+func AsCompleted(ctx context.Context, fs []*Future, n int) <-chan *Future {
+	out := make(chan *Future)
+	if n <= 0 || n > len(fs) {
+		n = len(fs)
+	}
+	go func() {
+		defer close(out)
+		remaining := append([]*Future(nil), fs...)
+		byID := make(map[int64]*Future, len(remaining))
+		for _, f := range remaining {
+			byID[f.id] = f
+		}
+		yielded := 0
+		for yielded < n && len(remaining) > 0 {
+			if ctx.Err() != nil {
+				return
+			}
+			api := remaining[0].api
+			ids := make([]int64, len(remaining))
+			for i, f := range remaining {
+				ids[i] = f.id
+			}
+			results, err := api.PopResults(ids, n-yielded, DefaultDelay, time.Second)
+			if err != nil {
+				if errors.Is(err, core.ErrTimeout) {
+					continue // poll again, honoring ctx
+				}
+				return
+			}
+			got := make(map[int64]bool, len(results))
+			for _, r := range results {
+				f := byID[r.ID]
+				f.setResult(r.Result)
+				got[r.ID] = true
+				select {
+				case out <- f:
+					yielded++
+				case <-ctx.Done():
+					return
+				}
+			}
+			rest := remaining[:0]
+			for _, f := range remaining {
+				if !got[f.id] {
+					rest = append(rest, f)
+				}
+			}
+			remaining = rest
+		}
+	}()
+	return out
+}

@@ -1,0 +1,126 @@
+package minisql
+
+// ColType is the declared type of a table column.
+type ColType uint8
+
+// Supported column types.
+const (
+	TypeInteger ColType = iota
+	TypeReal
+	TypeText
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TypeInteger:
+		return "INTEGER"
+	case TypeReal:
+		return "REAL"
+	default:
+		return "TEXT"
+	}
+}
+
+// ColumnDef describes one column of a CREATE TABLE statement.
+type ColumnDef struct {
+	Name       string
+	Type       ColType
+	PrimaryKey bool
+	AutoInc    bool
+}
+
+type createTableStmt struct {
+	Name        string
+	IfNotExists bool
+	Cols        []ColumnDef
+}
+
+type createIndexStmt struct {
+	Name  string
+	Table string
+	Col   string
+}
+
+type dropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+type insertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]expr
+}
+
+type selectCol struct {
+	Star bool
+	Agg  string // "", "COUNT", "MIN", "MAX", "SUM"
+	Name string // column name ("" for COUNT(*))
+}
+
+type orderKey struct {
+	Col  string
+	Desc bool
+}
+
+type selectStmt struct {
+	Cols    []selectCol
+	Table   string
+	Where   expr // nil when absent
+	OrderBy []orderKey
+	Limit   expr // nil when absent
+}
+
+type assign struct {
+	Col string
+	Val expr
+}
+
+type updateStmt struct {
+	Table string
+	Set   []assign
+	Where expr
+}
+
+type deleteStmt struct {
+	Table string
+	Where expr
+}
+
+type beginStmt struct{}
+type commitStmt struct{}
+type rollbackStmt struct{}
+
+// expr is a parsed SQL expression evaluated against a row.
+type expr interface {
+	eval(ev *evalCtx) (Value, error)
+}
+
+// evalCtx carries the current row and positional arguments.
+type evalCtx struct {
+	tbl  *table
+	row  []Value
+	args []Value
+}
+
+type colRef struct{ Name string }
+
+type litExpr struct{ V Value }
+
+type paramExpr struct{ Idx int }
+
+type binExpr struct {
+	Op string // = != < <= > >= AND OR
+	L  expr
+	R  expr
+}
+
+type inExpr struct {
+	Target expr
+	List   []expr
+}
+
+type isNullExpr struct {
+	Target expr
+	Not    bool
+}

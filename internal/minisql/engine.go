@@ -1,0 +1,743 @@
+package minisql
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Common engine errors.
+var (
+	ErrNoSuchTable = errors.New("minisql: no such table")
+	ErrNoTx        = errors.New("minisql: no transaction in progress")
+	ErrInTx        = errors.New("minisql: transaction already in progress")
+)
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	Columns      []string
+	Rows         [][]Value
+	RowsAffected int
+	LastInsertID int64
+}
+
+// Engine is an embedded relational database. All methods are safe for
+// concurrent use; statements execute under a single engine-wide writer lock,
+// mirroring the paper's single resource-local database instance.
+type Engine struct {
+	mu     sync.Mutex
+	tables map[string]*table
+
+	inTx bool
+	undo []undoOp
+}
+
+type undoKind uint8
+
+const (
+	undoInsert undoKind = iota // undone by deleting rowid
+	undoDelete                 // undone by re-inserting row
+	undoUpdate                 // undone by restoring old row
+)
+
+type undoOp struct {
+	kind  undoKind
+	table string
+	rowid int64
+	row   []Value
+}
+
+// NewEngine returns an empty database.
+func NewEngine() *Engine {
+	return &Engine{tables: make(map[string]*table)}
+}
+
+// Exec parses and executes a single SQL statement with positional `?`
+// arguments. It returns the statement result.
+func (e *Engine) Exec(sql string, args ...any) (*Result, error) {
+	stmt, nparams, err := parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) < nparams {
+		return nil, fmt.Errorf("minisql: statement has %d parameters, %d arguments given (in %q)",
+			nparams, len(args), compactSQL(sql))
+	}
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.execLocked(stmt, vals, sql)
+}
+
+// Tx runs fn inside a transaction: fn's statements are committed if fn
+// returns nil and rolled back otherwise. The engine lock is held throughout,
+// so fn must not call Exec (use the passed Tx handle).
+func (e *Engine) Tx(fn func(tx *Tx) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.inTx {
+		return ErrInTx
+	}
+	e.inTx = true
+	e.undo = e.undo[:0]
+	err := fn(&Tx{e: e})
+	if err != nil {
+		e.rollbackLocked()
+		e.inTx = false
+		return err
+	}
+	e.inTx = false
+	e.undo = e.undo[:0]
+	return nil
+}
+
+// Tx is a transaction handle passed to Engine.Tx callbacks.
+type Tx struct{ e *Engine }
+
+// Exec executes a statement within the transaction.
+func (tx *Tx) Exec(sql string, args ...any) (*Result, error) {
+	stmt, nparams, err := parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) < nparams {
+		return nil, fmt.Errorf("minisql: statement has %d parameters, %d arguments given (in %q)",
+			nparams, len(args), compactSQL(sql))
+	}
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return tx.e.execLocked(stmt, vals, sql)
+}
+
+func (e *Engine) execLocked(stmt any, args []Value, sql string) (*Result, error) {
+	switch st := stmt.(type) {
+	case createTableStmt:
+		return e.execCreateTable(st)
+	case createIndexStmt:
+		return e.execCreateIndex(st)
+	case dropTableStmt:
+		return e.execDropTable(st)
+	case insertStmt:
+		return e.execInsert(st, args)
+	case selectStmt:
+		return e.execSelect(st, args)
+	case updateStmt:
+		return e.execUpdate(st, args)
+	case deleteStmt:
+		return e.execDelete(st, args)
+	case beginStmt:
+		if e.inTx {
+			return nil, ErrInTx
+		}
+		e.inTx = true
+		e.undo = e.undo[:0]
+		return &Result{}, nil
+	case commitStmt:
+		if !e.inTx {
+			return nil, ErrNoTx
+		}
+		e.inTx = false
+		e.undo = e.undo[:0]
+		return &Result{}, nil
+	case rollbackStmt:
+		if !e.inTx {
+			return nil, ErrNoTx
+		}
+		e.rollbackLocked()
+		e.inTx = false
+		return &Result{}, nil
+	}
+	return nil, fmt.Errorf("minisql: cannot execute %q", compactSQL(sql))
+}
+
+func (e *Engine) rollbackLocked() {
+	for i := len(e.undo) - 1; i >= 0; i-- {
+		op := e.undo[i]
+		t := e.tables[op.table]
+		if t == nil {
+			continue
+		}
+		switch op.kind {
+		case undoInsert:
+			t.delete(op.rowid)
+		case undoDelete:
+			t.insertAt(op.rowid, op.row)
+		case undoUpdate:
+			t.update(op.rowid, op.row)
+		}
+	}
+	e.undo = e.undo[:0]
+}
+
+func (e *Engine) logUndo(op undoOp) {
+	if e.inTx {
+		e.undo = append(e.undo, op)
+	}
+}
+
+func (e *Engine) execCreateTable(st createTableStmt) (*Result, error) {
+	if _, exists := e.tables[st.Name]; exists {
+		if st.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("minisql: table %q already exists", st.Name)
+	}
+	t, err := newTable(st.Name, st.Cols)
+	if err != nil {
+		return nil, err
+	}
+	e.tables[st.Name] = t
+	return &Result{}, nil
+}
+
+func (e *Engine) execCreateIndex(st createIndexStmt) (*Result, error) {
+	t, ok := e.tables[st.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
+	}
+	if err := t.addIndex(st.Col); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) execDropTable(st dropTableStmt) (*Result, error) {
+	if _, ok := e.tables[st.Name]; !ok {
+		if st.IfExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Name)
+	}
+	delete(e.tables, st.Name)
+	return &Result{}, nil
+}
+
+func (e *Engine) execInsert(st insertStmt, args []Value) (*Result, error) {
+	t, ok := e.tables[st.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
+	}
+	cols := st.Cols
+	if len(cols) == 0 {
+		cols = make([]string, len(t.cols))
+		for i, c := range t.cols {
+			cols[i] = c.Name
+		}
+	}
+	colPos := make([]int, len(cols))
+	for i, c := range cols {
+		ci, ok := t.colIdx[c]
+		if !ok {
+			return nil, fmt.Errorf("minisql: no column %q in table %q", c, st.Table)
+		}
+		colPos[i] = ci
+	}
+	res := &Result{}
+	for _, exprRow := range st.Rows {
+		if len(exprRow) != len(cols) {
+			return nil, fmt.Errorf("minisql: INSERT into %q has %d values for %d columns",
+				st.Table, len(exprRow), len(cols))
+		}
+		row := make([]Value, len(t.cols))
+		for i := range row {
+			row[i] = Null()
+		}
+		ev := &evalCtx{tbl: t, args: args}
+		for i, ex := range exprRow {
+			v, err := ex.eval(ev)
+			if err != nil {
+				return nil, err
+			}
+			row[colPos[i]] = coerce(v, t.cols[colPos[i]].Type)
+		}
+		if t.autoCol >= 0 && row[t.autoCol].IsNull() {
+			row[t.autoCol] = Int64(t.nextKey)
+			t.nextKey++
+		} else if t.autoCol >= 0 {
+			if k := row[t.autoCol].AsInt(); k >= t.nextKey {
+				t.nextKey = k + 1
+			}
+		}
+		if t.autoCol >= 0 {
+			res.LastInsertID = row[t.autoCol].AsInt()
+		}
+		id := t.insert(row)
+		e.logUndo(undoOp{kind: undoInsert, table: t.name, rowid: id})
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+// matchIDs evaluates the WHERE clause and returns matching rowids in
+// insertion order, using a hash index when the predicate contains a
+// top-level equality (or IN) conjunct on an indexed column.
+func (e *Engine) matchIDs(t *table, where expr, args []Value) ([]int64, error) {
+	candidates := e.planCandidates(t, where, args)
+	if candidates == nil {
+		candidates = t.scanIDs()
+	}
+	if where == nil {
+		return candidates, nil
+	}
+	ev := &evalCtx{tbl: t, args: args}
+	out := candidates[:0:0]
+	for _, id := range candidates {
+		row, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		ev.row = row
+		v, err := where.eval(ev)
+		if err != nil {
+			return nil, err
+		}
+		if truthy(v) {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// planCandidates returns a candidate rowid set from an index, or nil when no
+// index applies and a full scan is needed.
+func (e *Engine) planCandidates(t *table, where expr, args []Value) []int64 {
+	conjuncts := flattenAnd(where)
+	for _, c := range conjuncts {
+		switch ex := c.(type) {
+		case *binExpr:
+			if ex.Op != "=" {
+				continue
+			}
+			col, val, ok := eqSides(t, ex, args)
+			if !ok {
+				continue
+			}
+			if ix := t.indexes[col]; ix != nil {
+				return ix.lookup(val)
+			}
+		case *inExpr:
+			cr, ok := ex.Target.(*colRef)
+			if !ok {
+				continue
+			}
+			ix := t.indexes[cr.Name]
+			if ix == nil {
+				continue
+			}
+			var ids []int64
+			ev := &evalCtx{tbl: t, args: args}
+			for _, le := range ex.List {
+				v, err := le.eval(ev)
+				if err != nil {
+					return nil
+				}
+				ids = append(ids, ix.lookup(v)...)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			return dedupeIDs(ids)
+		}
+	}
+	return nil
+}
+
+func dedupeIDs(ids []int64) []int64 {
+	out := ids[:0]
+	var last int64 = -1
+	for i, id := range ids {
+		if i == 0 || id != last {
+			out = append(out, id)
+		}
+		last = id
+	}
+	return out
+}
+
+func flattenAnd(ex expr) []expr {
+	b, ok := ex.(*binExpr)
+	if !ok || b.Op != "AND" {
+		if ex == nil {
+			return nil
+		}
+		return []expr{ex}
+	}
+	return append(flattenAnd(b.L), flattenAnd(b.R)...)
+}
+
+// eqSides extracts (column, constant value) from `col = const` in either order.
+func eqSides(t *table, ex *binExpr, args []Value) (string, Value, bool) {
+	try := func(l, r expr) (string, Value, bool) {
+		cr, ok := l.(*colRef)
+		if !ok {
+			return "", Value{}, false
+		}
+		if _, exists := t.colIdx[cr.Name]; !exists {
+			return "", Value{}, false
+		}
+		switch rv := r.(type) {
+		case *litExpr:
+			return cr.Name, rv.V, true
+		case *paramExpr:
+			if rv.Idx < len(args) {
+				return cr.Name, args[rv.Idx], true
+			}
+		}
+		return "", Value{}, false
+	}
+	if col, v, ok := try(ex.L, ex.R); ok {
+		return col, v, true
+	}
+	return try(ex.R, ex.L)
+}
+
+func (e *Engine) execSelect(st selectStmt, args []Value) (*Result, error) {
+	t, ok := e.tables[st.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
+	}
+	ids, err := e.matchIDs(t, st.Where, args)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate query?
+	if len(st.Cols) > 0 && st.Cols[0].Agg != "" {
+		return e.execAggregate(t, st, ids)
+	}
+
+	// Resolve projection.
+	var names []string
+	var pos []int
+	for _, sc := range st.Cols {
+		if sc.Star {
+			for i, c := range t.cols {
+				names = append(names, c.Name)
+				pos = append(pos, i)
+			}
+			continue
+		}
+		ci, ok := t.colIdx[sc.Name]
+		if !ok {
+			return nil, fmt.Errorf("minisql: no column %q in table %q", sc.Name, st.Table)
+		}
+		names = append(names, sc.Name)
+		pos = append(pos, ci)
+	}
+
+	// ORDER BY.
+	if len(st.OrderBy) > 0 {
+		keyPos := make([]int, len(st.OrderBy))
+		for i, k := range st.OrderBy {
+			ci, ok := t.colIdx[k.Col]
+			if !ok {
+				return nil, fmt.Errorf("minisql: no column %q in table %q", k.Col, st.Table)
+			}
+			keyPos[i] = ci
+		}
+		sort.SliceStable(ids, func(a, b int) bool {
+			ra, rb := t.rows[ids[a]], t.rows[ids[b]]
+			for i, kp := range keyPos {
+				c := ra[kp].Compare(rb[kp])
+				if c == 0 {
+					continue
+				}
+				if st.OrderBy[i].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	// LIMIT.
+	if st.Limit != nil {
+		ev := &evalCtx{tbl: t, args: args}
+		lv, err := st.Limit.eval(ev)
+		if err != nil {
+			return nil, err
+		}
+		n := int(lv.AsInt())
+		if n < 0 {
+			n = 0
+		}
+		if n < len(ids) {
+			ids = ids[:n]
+		}
+	}
+
+	res := &Result{Columns: names, Rows: make([][]Value, 0, len(ids))}
+	for _, id := range ids {
+		row := t.rows[id]
+		out := make([]Value, len(pos))
+		for i, p := range pos {
+			out[i] = row[p]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func (e *Engine) execAggregate(t *table, st selectStmt, ids []int64) (*Result, error) {
+	res := &Result{}
+	var out []Value
+	for _, sc := range st.Cols {
+		if sc.Agg == "" {
+			return nil, errors.New("minisql: cannot mix aggregate and plain columns")
+		}
+		res.Columns = append(res.Columns, aggName(sc))
+		switch sc.Agg {
+		case "COUNT":
+			out = append(out, Int64(int64(len(ids))))
+		case "MIN", "MAX", "SUM":
+			ci, ok := t.colIdx[sc.Name]
+			if !ok {
+				return nil, fmt.Errorf("minisql: no column %q in table %q", sc.Name, st.Table)
+			}
+			out = append(out, aggregate(sc.Agg, t, ids, ci))
+		}
+	}
+	res.Rows = [][]Value{out}
+	return res, nil
+}
+
+func aggName(sc selectCol) string {
+	if sc.Name == "" {
+		return "count"
+	}
+	return sc.Agg + "(" + sc.Name + ")"
+}
+
+func aggregate(op string, t *table, ids []int64, ci int) Value {
+	var acc Value
+	var sumI int64
+	var sumF float64
+	isFloat := false
+	n := 0
+	for _, id := range ids {
+		v := t.rows[id][ci]
+		if v.IsNull() {
+			continue
+		}
+		n++
+		switch op {
+		case "MIN":
+			if acc.IsNull() || v.Compare(acc) < 0 {
+				acc = v
+			}
+		case "MAX":
+			if acc.IsNull() || v.Compare(acc) > 0 {
+				acc = v
+			}
+		case "SUM":
+			if v.Kind == KindFloat {
+				isFloat = true
+			}
+			sumI += v.AsInt()
+			sumF += v.AsFloat()
+		}
+	}
+	if op == "SUM" {
+		if n == 0 {
+			return Null()
+		}
+		if isFloat {
+			return Float64(sumF)
+		}
+		return Int64(sumI)
+	}
+	return acc
+}
+
+func (e *Engine) execUpdate(st updateStmt, args []Value) (*Result, error) {
+	t, ok := e.tables[st.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
+	}
+	ids, err := e.matchIDs(t, st.Where, args)
+	if err != nil {
+		return nil, err
+	}
+	setPos := make([]int, len(st.Set))
+	for i, a := range st.Set {
+		ci, ok := t.colIdx[a.Col]
+		if !ok {
+			return nil, fmt.Errorf("minisql: no column %q in table %q", a.Col, st.Table)
+		}
+		setPos[i] = ci
+	}
+	ev := &evalCtx{tbl: t, args: args}
+	res := &Result{}
+	for _, id := range ids {
+		old := t.rows[id]
+		row := make([]Value, len(old))
+		copy(row, old)
+		ev.row = old
+		for i, a := range st.Set {
+			v, err := a.Val.eval(ev)
+			if err != nil {
+				return nil, err
+			}
+			row[setPos[i]] = coerce(v, t.cols[setPos[i]].Type)
+		}
+		prev := t.update(id, row)
+		e.logUndo(undoOp{kind: undoUpdate, table: t.name, rowid: id, row: prev})
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+func (e *Engine) execDelete(st deleteStmt, args []Value) (*Result, error) {
+	t, ok := e.tables[st.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
+	}
+	ids, err := e.matchIDs(t, st.Where, args)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, id := range ids {
+		row := t.delete(id)
+		if row != nil {
+			e.logUndo(undoOp{kind: undoDelete, table: t.name, rowid: id, row: row})
+			res.RowsAffected++
+		}
+	}
+	return res, nil
+}
+
+func truthy(v Value) bool {
+	switch v.Kind {
+	case KindNull:
+		return false
+	case KindInt:
+		return v.Int != 0
+	case KindFloat:
+		return v.Float != 0
+	default:
+		return v.Text != ""
+	}
+}
+
+// --- expression evaluation ---
+
+func (c *colRef) eval(ev *evalCtx) (Value, error) {
+	ci, ok := ev.tbl.colIdx[c.Name]
+	if !ok {
+		return Value{}, fmt.Errorf("minisql: no column %q in table %q", c.Name, ev.tbl.name)
+	}
+	if ev.row == nil {
+		return Value{}, fmt.Errorf("minisql: column %q referenced outside row context", c.Name)
+	}
+	return ev.row[ci], nil
+}
+
+func (l *litExpr) eval(*evalCtx) (Value, error) { return l.V, nil }
+
+func (p *paramExpr) eval(ev *evalCtx) (Value, error) {
+	if p.Idx >= len(ev.args) {
+		return Value{}, fmt.Errorf("minisql: statement needs at least %d arguments, got %d",
+			p.Idx+1, len(ev.args))
+	}
+	return ev.args[p.Idx], nil
+}
+
+func (b *binExpr) eval(ev *evalCtx) (Value, error) {
+	l, err := b.L.eval(ev)
+	if err != nil {
+		return Value{}, err
+	}
+	switch b.Op {
+	case "AND":
+		if !truthy(l) {
+			return Int64(0), nil
+		}
+		r, err := b.R.eval(ev)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolVal(truthy(r)), nil
+	case "OR":
+		if truthy(l) {
+			return Int64(1), nil
+		}
+		r, err := b.R.eval(ev)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolVal(truthy(r)), nil
+	}
+	r, err := b.R.eval(ev)
+	if err != nil {
+		return Value{}, err
+	}
+	// SQL three-valued logic: comparisons with NULL are false.
+	if l.IsNull() || r.IsNull() {
+		return Int64(0), nil
+	}
+	c := l.Compare(r)
+	switch b.Op {
+	case "=":
+		return boolVal(c == 0), nil
+	case "!=":
+		return boolVal(c != 0), nil
+	case "<":
+		return boolVal(c < 0), nil
+	case "<=":
+		return boolVal(c <= 0), nil
+	case ">":
+		return boolVal(c > 0), nil
+	case ">=":
+		return boolVal(c >= 0), nil
+	}
+	return Value{}, fmt.Errorf("minisql: unknown operator %q", b.Op)
+}
+
+func (in *inExpr) eval(ev *evalCtx) (Value, error) {
+	tv, err := in.Target.eval(ev)
+	if err != nil {
+		return Value{}, err
+	}
+	if tv.IsNull() {
+		return Int64(0), nil
+	}
+	for _, le := range in.List {
+		lv, err := le.eval(ev)
+		if err != nil {
+			return Value{}, err
+		}
+		if !lv.IsNull() && tv.Compare(lv) == 0 {
+			return Int64(1), nil
+		}
+	}
+	return Int64(0), nil
+}
+
+func (is *isNullExpr) eval(ev *evalCtx) (Value, error) {
+	tv, err := is.Target.eval(ev)
+	if err != nil {
+		return Value{}, err
+	}
+	return boolVal(tv.IsNull() != is.Not), nil
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return Int64(1)
+	}
+	return Int64(0)
+}

@@ -1,0 +1,640 @@
+package minisql
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func mustExec(t *testing.T, e *Engine, sql string, args ...any) *Result {
+	t.Helper()
+	res, err := e.Exec(sql, args...)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func newTaskEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine()
+	mustExec(t, e, `CREATE TABLE tasks (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		name TEXT, score REAL, status TEXT)`)
+	return e
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	e := newTaskEngine(t)
+	res := mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES (?, ?, ?)", "a", 1.5, "queued")
+	if res.LastInsertID != 1 {
+		t.Fatalf("LastInsertID = %d, want 1", res.LastInsertID)
+	}
+	mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES ('b', 2.5, 'queued'), ('c', 0.5, 'running')")
+	sel := mustExec(t, e, "SELECT id, name, score FROM tasks WHERE status = ?", "queued")
+	if len(sel.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(sel.Rows))
+	}
+	if sel.Rows[0][1].AsText() != "a" || sel.Rows[1][1].AsText() != "b" {
+		t.Fatalf("unexpected rows: %v", sel.Rows)
+	}
+	if got := sel.Columns; len(got) != 3 || got[0] != "id" {
+		t.Fatalf("columns = %v", got)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	e := newTaskEngine(t)
+	mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES ('a', 1, 's')")
+	sel := mustExec(t, e, "SELECT * FROM tasks")
+	if len(sel.Columns) != 4 || len(sel.Rows) != 1 || len(sel.Rows[0]) != 4 {
+		t.Fatalf("star select shape wrong: cols=%v rows=%v", sel.Columns, sel.Rows)
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	e := newTaskEngine(t)
+	for i := 0; i < 10; i++ {
+		mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES (?, ?, 'q')",
+			fmt.Sprintf("t%d", i), float64(i%5))
+	}
+	sel := mustExec(t, e, "SELECT name, score FROM tasks ORDER BY score DESC, name ASC LIMIT 3")
+	if len(sel.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(sel.Rows))
+	}
+	if sel.Rows[0][1].AsFloat() != 4 || sel.Rows[0][0].AsText() != "t4" {
+		t.Fatalf("row0 = %v", sel.Rows[0])
+	}
+	if sel.Rows[1][0].AsText() != "t9" {
+		t.Fatalf("row1 = %v (tie break by name failed)", sel.Rows[1])
+	}
+}
+
+func TestLimitParam(t *testing.T) {
+	e := newTaskEngine(t)
+	for i := 0; i < 5; i++ {
+		mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES ('x', 0, 'q')")
+	}
+	sel := mustExec(t, e, "SELECT id FROM tasks LIMIT ?", 2)
+	if len(sel.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(sel.Rows))
+	}
+	sel = mustExec(t, e, "SELECT id FROM tasks LIMIT ?", 0)
+	if len(sel.Rows) != 0 {
+		t.Fatalf("LIMIT 0 returned rows: %v", sel.Rows)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	e := newTaskEngine(t)
+	mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES ('a', 1, 'queued'), ('b', 2, 'queued')")
+	res := mustExec(t, e, "UPDATE tasks SET status = ?, score = ? WHERE name = ?", "running", 9.0, "a")
+	if res.RowsAffected != 1 {
+		t.Fatalf("update affected %d, want 1", res.RowsAffected)
+	}
+	sel := mustExec(t, e, "SELECT score FROM tasks WHERE status = 'running'")
+	if len(sel.Rows) != 1 || sel.Rows[0][0].AsFloat() != 9 {
+		t.Fatalf("after update: %v", sel.Rows)
+	}
+	res = mustExec(t, e, "DELETE FROM tasks WHERE status = 'queued'")
+	if res.RowsAffected != 1 {
+		t.Fatalf("delete affected %d, want 1", res.RowsAffected)
+	}
+	sel = mustExec(t, e, "SELECT COUNT(*) FROM tasks")
+	if sel.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("count = %v, want 1", sel.Rows[0][0])
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	e := newTaskEngine(t)
+	for i := 1; i <= 4; i++ {
+		mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES ('x', ?, 'q')", float64(i))
+	}
+	sel := mustExec(t, e, "SELECT COUNT(*), MIN(score), MAX(score), SUM(score) FROM tasks")
+	row := sel.Rows[0]
+	if row[0].AsInt() != 4 || row[1].AsFloat() != 1 || row[2].AsFloat() != 4 || row[3].AsFloat() != 10 {
+		t.Fatalf("aggregates = %v", row)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	e := newTaskEngine(t)
+	sel := mustExec(t, e, "SELECT COUNT(*), MAX(score) FROM tasks WHERE status = 'nope'")
+	if sel.Rows[0][0].AsInt() != 0 {
+		t.Fatalf("count = %v", sel.Rows[0][0])
+	}
+	if !sel.Rows[0][1].IsNull() {
+		t.Fatalf("max on empty = %v, want NULL", sel.Rows[0][1])
+	}
+}
+
+func TestWhereOperators(t *testing.T) {
+	e := newTaskEngine(t)
+	for i := 0; i < 10; i++ {
+		mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES (?, ?, 'q')",
+			fmt.Sprintf("t%d", i), float64(i))
+	}
+	cases := []struct {
+		where string
+		args  []any
+		want  int
+	}{
+		{"score < 5", nil, 5},
+		{"score <= 5", nil, 6},
+		{"score > 7", nil, 2},
+		{"score >= 7", nil, 3},
+		{"score != 0", nil, 9},
+		{"score <> 0", nil, 9},
+		{"score = 3 OR score = 4", nil, 2},
+		{"score >= 2 AND score < 4", nil, 2},
+		{"(score = 1 OR score = 2) AND name != 't1'", nil, 1},
+		{"score IN (1, 3, 5, 99)", nil, 3},
+		{"name IN (?, ?)", []any{"t0", "t9"}, 2},
+	}
+	for _, c := range cases {
+		sel := mustExec(t, e, "SELECT id FROM tasks WHERE "+c.where, c.args...)
+		if len(sel.Rows) != c.want {
+			t.Errorf("WHERE %s: got %d rows, want %d", c.where, len(sel.Rows), c.want)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	e := newTaskEngine(t)
+	mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES ('a', NULL, 'q')")
+	mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES ('b', 1, 'q')")
+	if n := len(mustExec(t, e, "SELECT id FROM tasks WHERE score = 1").Rows); n != 1 {
+		t.Fatalf("= with null present: %d rows", n)
+	}
+	if n := len(mustExec(t, e, "SELECT id FROM tasks WHERE score != 1").Rows); n != 0 {
+		t.Fatalf("!= must not match NULL: %d rows", n)
+	}
+	if n := len(mustExec(t, e, "SELECT id FROM tasks WHERE score IS NULL").Rows); n != 1 {
+		t.Fatalf("IS NULL: %d rows", n)
+	}
+	if n := len(mustExec(t, e, "SELECT id FROM tasks WHERE score IS NOT NULL").Rows); n != 1 {
+		t.Fatalf("IS NOT NULL: %d rows", n)
+	}
+}
+
+func TestIndexEqualityMatchesScan(t *testing.T) {
+	e := NewEngine()
+	mustExec(t, e, "CREATE TABLE q (id INTEGER PRIMARY KEY AUTOINCREMENT, wt INTEGER, prio INTEGER)")
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		mustExec(t, e, "INSERT INTO q (wt, prio) VALUES (?, ?)", rng.Intn(4), rng.Intn(100))
+	}
+	// Results with no index.
+	noIdx := mustExec(t, e, "SELECT id FROM q WHERE wt = 2 ORDER BY prio DESC, id ASC")
+	mustExec(t, e, "CREATE INDEX q_wt ON q (wt)")
+	withIdx := mustExec(t, e, "SELECT id FROM q WHERE wt = 2 ORDER BY prio DESC, id ASC")
+	if len(noIdx.Rows) != len(withIdx.Rows) {
+		t.Fatalf("index changed row count: %d vs %d", len(noIdx.Rows), len(withIdx.Rows))
+	}
+	for i := range noIdx.Rows {
+		if noIdx.Rows[i][0].AsInt() != withIdx.Rows[i][0].AsInt() {
+			t.Fatalf("row %d differs: %v vs %v", i, noIdx.Rows[i], withIdx.Rows[i])
+		}
+	}
+}
+
+func TestIndexMaintainedOnUpdateDelete(t *testing.T) {
+	e := NewEngine()
+	mustExec(t, e, "CREATE TABLE q (id INTEGER PRIMARY KEY AUTOINCREMENT, wt INTEGER)")
+	mustExec(t, e, "CREATE INDEX q_wt ON q (wt)")
+	mustExec(t, e, "INSERT INTO q (wt) VALUES (1), (1), (2)")
+	mustExec(t, e, "UPDATE q SET wt = 2 WHERE id = 1")
+	if n := len(mustExec(t, e, "SELECT id FROM q WHERE wt = 2").Rows); n != 2 {
+		t.Fatalf("after update: %d rows with wt=2, want 2", n)
+	}
+	mustExec(t, e, "DELETE FROM q WHERE wt = 2")
+	if n := len(mustExec(t, e, "SELECT id FROM q WHERE wt = 2").Rows); n != 0 {
+		t.Fatalf("after delete: %d rows with wt=2, want 0", n)
+	}
+	if n := len(mustExec(t, e, "SELECT id FROM q WHERE wt = 1").Rows); n != 1 {
+		t.Fatalf("after delete: %d rows with wt=1, want 1", n)
+	}
+}
+
+func TestTransactionRollback(t *testing.T) {
+	e := newTaskEngine(t)
+	mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES ('keep', 1, 'q')")
+	mustExec(t, e, "BEGIN")
+	mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES ('drop', 2, 'q')")
+	mustExec(t, e, "UPDATE tasks SET score = 99 WHERE name = 'keep'")
+	mustExec(t, e, "DELETE FROM tasks WHERE name = 'keep'")
+	mustExec(t, e, "ROLLBACK")
+	sel := mustExec(t, e, "SELECT name, score FROM tasks")
+	if len(sel.Rows) != 1 || sel.Rows[0][0].AsText() != "keep" || sel.Rows[0][1].AsFloat() != 1 {
+		t.Fatalf("after rollback: %v", sel.Rows)
+	}
+}
+
+func TestTransactionCommit(t *testing.T) {
+	e := newTaskEngine(t)
+	mustExec(t, e, "BEGIN")
+	mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES ('a', 1, 'q')")
+	mustExec(t, e, "COMMIT")
+	if n := len(mustExec(t, e, "SELECT id FROM tasks").Rows); n != 1 {
+		t.Fatalf("after commit: %d rows", n)
+	}
+	// Rollback after commit must fail.
+	if _, err := e.Exec("ROLLBACK"); err == nil {
+		t.Fatal("ROLLBACK without transaction should error")
+	}
+}
+
+func TestTxHelper(t *testing.T) {
+	e := newTaskEngine(t)
+	err := e.Tx(func(tx *Tx) error {
+		if _, err := tx.Exec("INSERT INTO tasks (name, score, status) VALUES ('a', 1, 'q')"); err != nil {
+			return err
+		}
+		return fmt.Errorf("boom")
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("Tx error = %v", err)
+	}
+	if n := len(mustExec(t, e, "SELECT id FROM tasks").Rows); n != 0 {
+		t.Fatalf("rolled-back Tx left %d rows", n)
+	}
+	if err := e.Tx(func(tx *Tx) error {
+		_, err := tx.Exec("INSERT INTO tasks (name, score, status) VALUES ('b', 2, 'q')")
+		return err
+	}); err != nil {
+		t.Fatalf("Tx: %v", err)
+	}
+	if n := len(mustExec(t, e, "SELECT id FROM tasks").Rows); n != 1 {
+		t.Fatalf("committed Tx rows = %d", n)
+	}
+}
+
+func TestRollbackRestoresIndexes(t *testing.T) {
+	e := NewEngine()
+	mustExec(t, e, "CREATE TABLE q (id INTEGER PRIMARY KEY AUTOINCREMENT, wt INTEGER)")
+	mustExec(t, e, "CREATE INDEX q_wt ON q (wt)")
+	mustExec(t, e, "INSERT INTO q (wt) VALUES (1)")
+	mustExec(t, e, "BEGIN")
+	mustExec(t, e, "UPDATE q SET wt = 5 WHERE wt = 1")
+	mustExec(t, e, "ROLLBACK")
+	if n := len(mustExec(t, e, "SELECT id FROM q WHERE wt = 1").Rows); n != 1 {
+		t.Fatalf("index lookup after rollback: %d rows, want 1", n)
+	}
+	if n := len(mustExec(t, e, "SELECT id FROM q WHERE wt = 5").Rows); n != 0 {
+		t.Fatalf("stale index entry after rollback: %d rows", n)
+	}
+}
+
+func TestAutoincrementSkipsProvidedIDs(t *testing.T) {
+	e := newTaskEngine(t)
+	mustExec(t, e, "INSERT INTO tasks (id, name, score, status) VALUES (10, 'x', 0, 'q')")
+	res := mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES ('y', 0, 'q')")
+	if res.LastInsertID != 11 {
+		t.Fatalf("LastInsertID = %d, want 11", res.LastInsertID)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := newTaskEngine(t)
+	for _, sql := range []string{
+		"SELECT * FROM missing",
+		"SELECT nope FROM tasks",
+		"INSERT INTO tasks (nope) VALUES (1)",
+		"SELECT FROM tasks",
+		"BOGUS STATEMENT",
+		"SELECT * FROM tasks WHERE",
+		"INSERT INTO tasks (name) VALUES (?, ?)",
+	} {
+		if _, err := e.Exec(sql); err == nil {
+			t.Errorf("Exec(%q) should fail", sql)
+		}
+	}
+	// Too few args.
+	if _, err := e.Exec("SELECT * FROM tasks WHERE name = ?"); err == nil {
+		t.Error("missing argument should fail")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	e := newTaskEngine(t)
+	mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES ('it''s', 0, 'q')")
+	sel := mustExec(t, e, "SELECT name FROM tasks WHERE name = 'it''s'")
+	if len(sel.Rows) != 1 || sel.Rows[0][0].AsText() != "it's" {
+		t.Fatalf("escaped string: %v", sel.Rows)
+	}
+}
+
+func TestTypeCoercion(t *testing.T) {
+	e := newTaskEngine(t)
+	// Text into REAL column coerces to number; int into TEXT becomes text.
+	mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES (?, ?, 'q')", 42, "3.5")
+	sel := mustExec(t, e, "SELECT name, score FROM tasks")
+	if sel.Rows[0][0].Kind != KindText || sel.Rows[0][0].AsText() != "42" {
+		t.Fatalf("name = %#v", sel.Rows[0][0])
+	}
+	if sel.Rows[0][1].Kind != KindFloat || sel.Rows[0][1].AsFloat() != 3.5 {
+		t.Fatalf("score = %#v", sel.Rows[0][1])
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	e := newTaskEngine(t)
+	mustExec(t, e, "CREATE INDEX t_status ON tasks (status)")
+	for i := 0; i < 20; i++ {
+		mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES (?, ?, ?)",
+			fmt.Sprintf("t%d", i), float64(i), []string{"queued", "running"}[i%2])
+	}
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	e2 := NewEngine()
+	if err := e2.Restore(&buf); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	a := mustExec(t, e, "SELECT id, name, score, status FROM tasks ORDER BY id")
+	b := mustExec(t, e2, "SELECT id, name, score, status FROM tasks ORDER BY id")
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j].Compare(b.Rows[i][j]) != 0 {
+				t.Fatalf("row %d col %d differs: %v vs %v", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+	// Autoincrement continues after restore.
+	res := mustExec(t, e2, "INSERT INTO tasks (name, score, status) VALUES ('new', 0, 'q')")
+	if res.LastInsertID != 21 {
+		t.Fatalf("LastInsertID after restore = %d, want 21", res.LastInsertID)
+	}
+	// Index still works after restore.
+	if n := len(mustExec(t, e2, "SELECT id FROM tasks WHERE status = 'queued'").Rows); n != 10 {
+		t.Fatalf("indexed query after restore: %d rows, want 10", n)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	e := NewEngine()
+	mustExec(t, e, "CREATE TABLE c (id INTEGER PRIMARY KEY AUTOINCREMENT, v INTEGER)")
+	var wg sync.WaitGroup
+	const n = 50
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if _, err := e.Exec("INSERT INTO c (v) VALUES (?)", g*n+i); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if _, err := e.Exec("SELECT COUNT(*) FROM c"); err != nil {
+					t.Errorf("select: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	sel := mustExec(t, e, "SELECT COUNT(*) FROM c")
+	if got := sel.Rows[0][0].AsInt(); got != 8*n {
+		t.Fatalf("count = %d, want %d", got, 8*n)
+	}
+	// All ids unique.
+	ids := mustExec(t, e, "SELECT id FROM c")
+	seen := map[int64]bool{}
+	for _, r := range ids.Rows {
+		if seen[r[0].AsInt()] {
+			t.Fatalf("duplicate id %d", r[0].AsInt())
+		}
+		seen[r[0].AsInt()] = true
+	}
+}
+
+// Property: ORDER BY on the engine sorts identically to sort.Slice on the
+// same data, for random int values.
+func TestPropertyOrderBy(t *testing.T) {
+	f := func(vals []int16) bool {
+		e := NewEngine()
+		if _, err := e.Exec("CREATE TABLE p (id INTEGER PRIMARY KEY AUTOINCREMENT, v INTEGER)"); err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if _, err := e.Exec("INSERT INTO p (v) VALUES (?)", int64(v)); err != nil {
+				return false
+			}
+		}
+		res, err := e.Exec("SELECT v FROM p ORDER BY v ASC")
+		if err != nil {
+			return false
+		}
+		want := append([]int16(nil), vals...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(res.Rows) != len(want) {
+			return false
+		}
+		for i, r := range res.Rows {
+			if r[0].AsInt() != int64(want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an indexed equality query returns exactly the rows a linear
+// filter over inserted data would, for random (key, value) pairs.
+func TestPropertyIndexLookup(t *testing.T) {
+	f := func(keys []uint8) bool {
+		e := NewEngine()
+		if _, err := e.Exec("CREATE TABLE p (id INTEGER PRIMARY KEY AUTOINCREMENT, k INTEGER)"); err != nil {
+			return false
+		}
+		if _, err := e.Exec("CREATE INDEX p_k ON p (k)"); err != nil {
+			return false
+		}
+		counts := map[int64]int{}
+		for _, k := range keys {
+			kk := int64(k % 8)
+			counts[kk]++
+			if _, err := e.Exec("INSERT INTO p (k) VALUES (?)", kk); err != nil {
+				return false
+			}
+		}
+		for k := int64(0); k < 8; k++ {
+			res, err := e.Exec("SELECT id FROM p WHERE k = ?", k)
+			if err != nil {
+				return false
+			}
+			if len(res.Rows) != counts[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: snapshot→restore is an identity on table contents.
+func TestPropertySnapshotRoundTrip(t *testing.T) {
+	f := func(vals []int32, texts []string) bool {
+		e := NewEngine()
+		if _, err := e.Exec("CREATE TABLE p (id INTEGER PRIMARY KEY AUTOINCREMENT, v INTEGER, s TEXT)"); err != nil {
+			return false
+		}
+		for i, v := range vals {
+			s := ""
+			if i < len(texts) {
+				s = texts[i]
+			}
+			if _, err := e.Exec("INSERT INTO p (v, s) VALUES (?, ?)", int64(v), s); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := e.Snapshot(&buf); err != nil {
+			return false
+		}
+		e2 := NewEngine()
+		if err := e2.Restore(&buf); err != nil {
+			return false
+		}
+		a, err1 := e.Exec("SELECT id, v, s FROM p ORDER BY id")
+		b, err2 := e2.Exec("SELECT id, v, s FROM p ORDER BY id")
+		if err1 != nil || err2 != nil || len(a.Rows) != len(b.Rows) {
+			return false
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if a.Rows[i][j].Compare(b.Rows[i][j]) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int64(1), Int64(2), -1},
+		{Int64(2), Int64(2), 0},
+		{Float64(2.5), Int64(2), 1},
+		{Int64(2), Float64(2.0), 0},
+		{Text("a"), Text("b"), -1},
+		{Null(), Int64(0), -1},
+		{Null(), Null(), 0},
+		{Int64(10), Text("10"), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTombstoneCompaction(t *testing.T) {
+	e := NewEngine()
+	mustExec(t, e, "CREATE TABLE q (id INTEGER PRIMARY KEY AUTOINCREMENT, v INTEGER)")
+	// Queue churn: insert and delete many times; table must stay correct.
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 100; i++ {
+			mustExec(t, e, "INSERT INTO q (v) VALUES (?)", i)
+		}
+		mustExec(t, e, "DELETE FROM q WHERE v < 95")
+	}
+	sel := mustExec(t, e, "SELECT COUNT(*) FROM q")
+	if got := sel.Rows[0][0].AsInt(); got != 30*5 {
+		t.Fatalf("count after churn = %d, want %d", got, 30*5)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	e := newTaskEngine(t)
+	mustExec(t, e, "DROP TABLE tasks")
+	if _, err := e.Exec("SELECT * FROM tasks"); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+	if _, err := e.Exec("DROP TABLE tasks"); err == nil {
+		t.Fatal("dropping a missing table must error")
+	}
+	mustExec(t, e, "DROP TABLE IF EXISTS tasks") // no-op succeeds
+	// Recreate after drop works.
+	mustExec(t, e, "CREATE TABLE tasks (id INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT)")
+	res := mustExec(t, e, "INSERT INTO tasks (v) VALUES ('x')")
+	if res.LastInsertID != 1 {
+		t.Fatalf("fresh table id = %d", res.LastInsertID)
+	}
+}
+
+func TestCreateTableIfNotExists(t *testing.T) {
+	e := newTaskEngine(t)
+	mustExec(t, e, "CREATE TABLE IF NOT EXISTS tasks (id INTEGER)")
+	if _, err := e.Exec("CREATE TABLE tasks (id INTEGER)"); err == nil {
+		t.Fatal("duplicate CREATE TABLE without IF NOT EXISTS must error")
+	}
+}
+
+func TestNestedTransactionRejected(t *testing.T) {
+	e := newTaskEngine(t)
+	mustExec(t, e, "BEGIN")
+	if _, err := e.Exec("BEGIN"); err == nil {
+		t.Fatal("nested BEGIN must error")
+	}
+	mustExec(t, e, "COMMIT")
+	// Tx helper refuses inside an open transaction too.
+	mustExec(t, e, "BEGIN")
+	if err := e.Tx(func(tx *Tx) error { return nil }); err == nil {
+		t.Fatal("Tx inside open transaction must error")
+	}
+	mustExec(t, e, "ROLLBACK")
+}
+
+func TestUpdateFromColumnValue(t *testing.T) {
+	e := newTaskEngine(t)
+	mustExec(t, e, "INSERT INTO tasks (name, score, status) VALUES ('a', 2, 'q')")
+	// SET col = other-col copies within the row.
+	mustExec(t, e, "UPDATE tasks SET status = name")
+	sel := mustExec(t, e, "SELECT status FROM tasks")
+	if sel.Rows[0][0].AsText() != "a" {
+		t.Fatalf("status = %v", sel.Rows[0][0])
+	}
+}
+
+func TestOrderByMissingColumn(t *testing.T) {
+	e := newTaskEngine(t)
+	if _, err := e.Exec("SELECT id FROM tasks ORDER BY nope"); err == nil {
+		t.Fatal("ORDER BY unknown column must error")
+	}
+	if _, err := e.Exec("SELECT MAX(nope) FROM tasks"); err == nil {
+		t.Fatal("aggregate over unknown column must error")
+	}
+	if _, err := e.Exec("SELECT COUNT(*), id FROM tasks"); err == nil {
+		t.Fatal("mixing aggregates and plain columns must error")
+	}
+}
+
+func TestSemicolonTolerated(t *testing.T) {
+	e := newTaskEngine(t)
+	mustExec(t, e, "SELECT id FROM tasks;")
+	if _, err := e.Exec("SELECT id FROM tasks; SELECT id FROM tasks"); err == nil {
+		t.Fatal("multiple statements must be rejected")
+	}
+}

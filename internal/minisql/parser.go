@@ -1,0 +1,598 @@
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type parser struct {
+	toks   []token
+	pos    int
+	params int
+}
+
+// parse returns the parsed statement and the number of `?` parameters it
+// references, so executors can validate the argument count up front.
+func parse(sql string) (any, int, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w (in %q)", err, compactSQL(sql))
+	}
+	// Allow a single trailing semicolon.
+	if p.peek().kind == tokPunct && p.peek().text == ";" {
+		p.pos++
+	}
+	if p.peek().kind != tokEOF {
+		return nil, 0, fmt.Errorf("minisql: trailing tokens at %q (in %q)", p.peek().text, compactSQL(sql))
+	}
+	return stmt, p.params, nil
+}
+
+func compactSQL(sql string) string {
+	s := strings.Join(strings.Fields(sql), " ")
+	if len(s) > 80 {
+		s = s[:80] + "..."
+	}
+	return s
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("minisql: expected %s, found %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.peek().kind == tokPunct && p.peek().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("minisql: expected %q, found %q", s, p.peek().text)
+	}
+	return nil
+}
+
+// ident accepts an identifier; unreserved keywords are not allowed, which is
+// fine for our internal schema (all names are lower-case identifiers).
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("minisql: expected identifier, found %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) statement() (any, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, fmt.Errorf("minisql: expected statement, found %q", t.text)
+	}
+	switch t.text {
+	case "CREATE":
+		return p.createStmt()
+	case "DROP":
+		return p.dropStmt()
+	case "INSERT":
+		return p.insertStmt()
+	case "SELECT":
+		return p.selectStmt()
+	case "UPDATE":
+		return p.updateStmt()
+	case "DELETE":
+		return p.deleteStmt()
+	case "BEGIN":
+		p.pos++
+		return beginStmt{}, nil
+	case "COMMIT":
+		p.pos++
+		return commitStmt{}, nil
+	case "ROLLBACK":
+		p.pos++
+		return rollbackStmt{}, nil
+	}
+	return nil, fmt.Errorf("minisql: unsupported statement %q", t.text)
+}
+
+func (p *parser) createStmt() (any, error) {
+	p.pos++ // CREATE
+	if p.acceptKeyword("INDEX") {
+		return p.createIndex()
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	st := createTableStmt{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.columnDef()
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, col)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) columnDef() (ColumnDef, error) {
+	var def ColumnDef
+	name, err := p.ident()
+	if err != nil {
+		return def, err
+	}
+	def.Name = name
+	t := p.next()
+	if t.kind != tokKeyword {
+		return def, fmt.Errorf("minisql: expected column type, found %q", t.text)
+	}
+	switch t.text {
+	case "INTEGER":
+		def.Type = TypeInteger
+	case "REAL":
+		def.Type = TypeReal
+	case "TEXT":
+		def.Type = TypeText
+	default:
+		return def, fmt.Errorf("minisql: unsupported column type %q", t.text)
+	}
+	for {
+		switch {
+		case p.acceptKeyword("PRIMARY"):
+			if err := p.expectKeyword("KEY"); err != nil {
+				return def, err
+			}
+			def.PrimaryKey = true
+		case p.acceptKeyword("AUTOINCREMENT"):
+			def.AutoInc = true
+		case p.acceptKeyword("NOT"):
+			if err := p.expectKeyword("NULL"); err != nil {
+				return def, err
+			}
+			// NOT NULL accepted and ignored (engine stores NULLs untyped).
+		default:
+			return def, nil
+		}
+	}
+}
+
+func (p *parser) createIndex() (any, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return createIndexStmt{Name: name, Table: tbl, Col: col}, nil
+}
+
+func (p *parser) dropStmt() (any, error) {
+	p.pos++ // DROP
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	st := dropTableStmt{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	return st, nil
+}
+
+func (p *parser) insertStmt() (any, error) {
+	p.pos++ // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	st := insertStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.acceptPunct("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *parser) selectStmt() (any, error) {
+	p.pos++ // SELECT
+	st := selectStmt{}
+	for {
+		sc, err := p.selectCol()
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, sc)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			key := orderKey{Col: col}
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, key)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.primaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = e
+	}
+	return st, nil
+}
+
+func (p *parser) selectCol() (selectCol, error) {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == "*" {
+		p.pos++
+		return selectCol{Star: true}, nil
+	}
+	if t.kind == tokKeyword && (t.text == "COUNT" || t.text == "MIN" || t.text == "MAX" || t.text == "SUM") {
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return selectCol{}, err
+		}
+		sc := selectCol{Agg: t.text}
+		if p.acceptPunct("*") {
+			if t.text != "COUNT" {
+				return sc, fmt.Errorf("minisql: %s(*) is not supported", t.text)
+			}
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return sc, err
+			}
+			sc.Name = col
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return sc, err
+		}
+		return sc, nil
+	}
+	col, err := p.ident()
+	if err != nil {
+		return selectCol{}, err
+	}
+	return selectCol{Name: col}, nil
+}
+
+func (p *parser) updateStmt() (any, error) {
+	p.pos++ // UPDATE
+	st := updateStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, assign{Col: col, Val: e})
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) deleteStmt() (any, error) {
+	p.pos++ // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	st := deleteStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+// expr parses OR-separated chains (lowest precedence).
+func (p *parser) expr() (expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (expr, error) {
+	left, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) cmpExpr() (expr, error) {
+	left, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "!=", "<>", "<", "<=", ">", ">=":
+			p.pos++
+			right, err := p.primaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			if op == "<>" {
+				op = "!="
+			}
+			return &binExpr{Op: op, L: left, R: right}, nil
+		}
+	}
+	if t.kind == tokKeyword && t.text == "IN" {
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var list []expr
+		for {
+			e, err := p.primaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &inExpr{Target: left, List: list}, nil
+	}
+	if t.kind == tokKeyword && t.text == "IS" {
+		p.pos++
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &isNullExpr{Target: left, Not: not}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) primaryExpr() (expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokParam:
+		p.pos++
+		e := &paramExpr{Idx: p.params}
+		p.params++
+		return e, nil
+	case t.kind == tokNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("minisql: bad number %q", t.text)
+			}
+			return &litExpr{V: Float64(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("minisql: bad number %q", t.text)
+		}
+		return &litExpr{V: Int64(n)}, nil
+	case t.kind == tokString:
+		p.pos++
+		return &litExpr{V: Text(t.text)}, nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.pos++
+		return &litExpr{V: Null()}, nil
+	case t.kind == tokIdent:
+		p.pos++
+		return &colRef{Name: t.text}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("minisql: unexpected token %q in expression", t.text)
+}

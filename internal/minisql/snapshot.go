@@ -1,0 +1,98 @@
+package minisql
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot wire format. Only exported types cross the gob boundary.
+
+type snapValue struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+	Text  string
+}
+
+type snapTable struct {
+	Name    string
+	Cols    []ColumnDef
+	Rows    [][]snapValue
+	NextKey int64
+	Indexes []string
+}
+
+type snapDB struct {
+	Version int
+	Tables  []snapTable
+}
+
+// Snapshot serializes the full database state to w. It provides the
+// service-restart fault tolerance path: the EMEWS service can persist the
+// task database and restore it on another resource (paper §II-B1c).
+func (e *Engine) Snapshot(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.inTx {
+		return ErrInTx
+	}
+	var s snapDB
+	s.Version = 1
+	for _, t := range e.tables {
+		st := snapTable{Name: t.name, Cols: t.cols, NextKey: t.nextKey}
+		for _, id := range t.scanIDs() {
+			row := t.rows[id]
+			sr := make([]snapValue, len(row))
+			for i, v := range row {
+				sr[i] = snapValue(v)
+			}
+			st.Rows = append(st.Rows, sr)
+		}
+		for col := range t.indexes {
+			st.Indexes = append(st.Indexes, col)
+		}
+		s.Tables = append(s.Tables, st)
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Restore replaces the database contents with a snapshot produced by
+// Snapshot.
+func (e *Engine) Restore(r io.Reader) error {
+	var s snapDB
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("minisql: restore: %w", err)
+	}
+	if s.Version != 1 {
+		return fmt.Errorf("minisql: restore: unsupported snapshot version %d", s.Version)
+	}
+	tables := make(map[string]*table, len(s.Tables))
+	for _, st := range s.Tables {
+		t, err := newTable(st.Name, st.Cols)
+		if err != nil {
+			return err
+		}
+		t.nextKey = st.NextKey
+		for _, col := range st.Indexes {
+			if err := t.addIndex(col); err != nil {
+				return err
+			}
+		}
+		for _, sr := range st.Rows {
+			row := make([]Value, len(sr))
+			for i, v := range sr {
+				row[i] = Value(v)
+			}
+			t.insert(row)
+		}
+		tables[st.Name] = t
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.inTx {
+		return ErrInTx
+	}
+	e.tables = tables
+	return nil
+}

@@ -1,0 +1,225 @@
+package minisql
+
+import (
+	"fmt"
+	"sort"
+)
+
+// table is the in-memory storage for one relation. Rows are keyed by a
+// monotonically increasing rowid; insertion order is preserved for scans so
+// that unordered SELECTs are deterministic.
+type table struct {
+	name    string
+	cols    []ColumnDef
+	colIdx  map[string]int
+	rows    map[int64][]Value
+	order   []int64 // insertion order; may contain tombstoned ids
+	tomb    map[int64]struct{}
+	dead    int // count of tombstoned entries in order
+	nextRow int64
+	autoCol int // index of AUTOINCREMENT column, or -1
+	nextKey int64
+	indexes map[string]*hashIndex // keyed by column name
+}
+
+// hashIndex maps a column value key to the rowids holding that value.
+type hashIndex struct {
+	col int
+	m   map[string]map[int64]struct{}
+}
+
+func newTable(name string, cols []ColumnDef) (*table, error) {
+	t := &table{
+		name:    name,
+		cols:    cols,
+		colIdx:  make(map[string]int, len(cols)),
+		rows:    make(map[int64][]Value),
+		tomb:    make(map[int64]struct{}),
+		autoCol: -1,
+		nextKey: 1,
+		indexes: make(map[string]*hashIndex),
+	}
+	for i, c := range cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("minisql: duplicate column %q in table %q", c.Name, name)
+		}
+		t.colIdx[c.Name] = i
+		if c.AutoInc {
+			if t.autoCol >= 0 {
+				return nil, fmt.Errorf("minisql: table %q has multiple AUTOINCREMENT columns", name)
+			}
+			if c.Type != TypeInteger {
+				return nil, fmt.Errorf("minisql: AUTOINCREMENT column %q must be INTEGER", c.Name)
+			}
+			t.autoCol = i
+		}
+		// Primary keys get an index automatically.
+		if c.PrimaryKey {
+			t.indexes[c.Name] = &hashIndex{col: i, m: make(map[string]map[int64]struct{})}
+		}
+	}
+	return t, nil
+}
+
+func (t *table) addIndex(col string) error {
+	ci, ok := t.colIdx[col]
+	if !ok {
+		return fmt.Errorf("minisql: no column %q in table %q", col, t.name)
+	}
+	if _, exists := t.indexes[col]; exists {
+		return nil
+	}
+	idx := &hashIndex{col: ci, m: make(map[string]map[int64]struct{})}
+	for id, row := range t.rows {
+		idx.add(row[ci], id)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+func (ix *hashIndex) add(v Value, rowid int64) {
+	k := v.key()
+	set := ix.m[k]
+	if set == nil {
+		set = make(map[int64]struct{})
+		ix.m[k] = set
+	}
+	set[rowid] = struct{}{}
+}
+
+func (ix *hashIndex) remove(v Value, rowid int64) {
+	k := v.key()
+	if set := ix.m[k]; set != nil {
+		delete(set, rowid)
+		if len(set) == 0 {
+			delete(ix.m, k)
+		}
+	}
+}
+
+// lookup returns the rowids matching value v in ascending rowid order.
+func (ix *hashIndex) lookup(v Value) []int64 {
+	set := ix.m[v.key()]
+	if len(set) == 0 {
+		return nil
+	}
+	ids := make([]int64, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// insert stores a full-width row and maintains indexes. The caller has
+// already applied column defaults and autoincrement.
+func (t *table) insert(row []Value) int64 {
+	id := t.nextRow
+	t.nextRow++
+	t.rows[id] = row
+	t.order = append(t.order, id)
+	for _, ix := range t.indexes {
+		ix.add(row[ix.col], id)
+	}
+	return id
+}
+
+// insertAt restores a row under a previous rowid (transaction rollback).
+// If the rowid is still tombstoned in the order slice, it is revived in
+// place rather than appended, so order never holds duplicates.
+func (t *table) insertAt(id int64, row []Value) {
+	t.rows[id] = row
+	if _, tombed := t.tomb[id]; tombed {
+		delete(t.tomb, id)
+		t.dead--
+	} else {
+		t.order = append(t.order, id)
+	}
+	if id >= t.nextRow {
+		t.nextRow = id + 1
+	}
+	for _, ix := range t.indexes {
+		ix.add(row[ix.col], id)
+	}
+}
+
+func (t *table) delete(id int64) []Value {
+	row, ok := t.rows[id]
+	if !ok {
+		return nil
+	}
+	for _, ix := range t.indexes {
+		ix.remove(row[ix.col], id)
+	}
+	delete(t.rows, id)
+	t.tomb[id] = struct{}{}
+	t.dead++
+	t.maybeCompact()
+	return row
+}
+
+func (t *table) update(id int64, row []Value) []Value {
+	old, ok := t.rows[id]
+	if !ok {
+		return nil
+	}
+	for _, ix := range t.indexes {
+		if old[ix.col].Compare(row[ix.col]) != 0 || old[ix.col].Kind != row[ix.col].Kind {
+			ix.remove(old[ix.col], id)
+			ix.add(row[ix.col], id)
+		}
+	}
+	t.rows[id] = row
+	return old
+}
+
+// maybeCompact rebuilds the order slice when most entries are tombstones,
+// keeping full-table scans O(live rows) for queue-like churn workloads.
+func (t *table) maybeCompact() {
+	if t.dead < 1024 || t.dead*2 < len(t.order) {
+		return
+	}
+	live := t.order[:0]
+	for _, id := range t.order {
+		if _, ok := t.rows[id]; ok {
+			live = append(live, id)
+		}
+	}
+	t.order = live
+	t.dead = 0
+	t.tomb = make(map[int64]struct{})
+}
+
+// scanIDs returns all live rowids in insertion order.
+func (t *table) scanIDs() []int64 {
+	ids := make([]int64, 0, len(t.rows))
+	for _, id := range t.order {
+		if _, ok := t.rows[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// coerce converts v to the declared column type where possible; TEXT columns
+// keep numeric values' text form, numeric columns parse text.
+func coerce(v Value, typ ColType) Value {
+	if v.Kind == KindNull {
+		return v
+	}
+	switch typ {
+	case TypeInteger:
+		if v.Kind != KindInt {
+			return Int64(v.AsInt())
+		}
+	case TypeReal:
+		if v.Kind != KindFloat {
+			return Float64(v.AsFloat())
+		}
+	case TypeText:
+		if v.Kind != KindText {
+			return Text(v.AsText())
+		}
+	}
+	return v
+}

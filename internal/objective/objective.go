@@ -1,0 +1,200 @@
+// Package objective provides the continuous test functions used by the
+// paper's example optimization workflow (§VI) — foremost the Ackley
+// function — plus the lognormally distributed execution-delay wrapper the
+// paper adds "to increase the otherwise millisecond runtime and to add task
+// runtime heterogeneity".
+package objective
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Func is an n-dimensional scalar objective.
+type Func func(x []float64) float64
+
+// Ackley is the Ackley function with the standard parameters a=20, b=0.2,
+// c=2π. Its global minimum is 0 at the origin.
+func Ackley(x []float64) float64 {
+	const (
+		a = 20.0
+		b = 0.2
+		c = 2 * math.Pi
+	)
+	n := float64(len(x))
+	var sumSq, sumCos float64
+	for _, v := range x {
+		sumSq += v * v
+		sumCos += math.Cos(c * v)
+	}
+	return -a*math.Exp(-b*math.Sqrt(sumSq/n)) - math.Exp(sumCos/n) + a + math.E
+}
+
+// Sphere is the sum-of-squares bowl, minimum 0 at the origin.
+func Sphere(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// Rastrigin is the highly multimodal Rastrigin function, minimum 0 at the
+// origin.
+func Rastrigin(x []float64) float64 {
+	s := 10 * float64(len(x))
+	for _, v := range x {
+		s += v*v - 10*math.Cos(2*math.Pi*v)
+	}
+	return s
+}
+
+// Rosenbrock is the banana-valley function, minimum 0 at (1, ..., 1).
+func Rosenbrock(x []float64) float64 {
+	var s float64
+	for i := 0; i+1 < len(x); i++ {
+		s += 100*math.Pow(x[i+1]-x[i]*x[i], 2) + math.Pow(1-x[i], 2)
+	}
+	return s
+}
+
+// Levy is the Levy function, minimum 0 at (1, ..., 1).
+func Levy(x []float64) float64 {
+	w := func(xi float64) float64 { return 1 + (xi-1)/4 }
+	n := len(x)
+	s := math.Pow(math.Sin(math.Pi*w(x[0])), 2)
+	for i := 0; i < n-1; i++ {
+		wi := w(x[i])
+		s += (wi - 1) * (wi - 1) * (1 + 10*math.Pow(math.Sin(math.Pi*wi+1), 2))
+	}
+	wn := w(x[n-1])
+	s += (wn - 1) * (wn - 1) * (1 + math.Pow(math.Sin(2*math.Pi*wn), 2))
+	return s
+}
+
+// ByName resolves an objective by its lower-case name.
+func ByName(name string) (Func, error) {
+	switch name {
+	case "ackley":
+		return Ackley, nil
+	case "sphere":
+		return Sphere, nil
+	case "rastrigin":
+		return Rastrigin, nil
+	case "rosenbrock":
+		return Rosenbrock, nil
+	case "levy":
+		return Levy, nil
+	}
+	return nil, fmt.Errorf("objective: unknown function %q", name)
+}
+
+// DelayConfig describes the lognormal sleep injected into each evaluation,
+// in paper-seconds, scaled by TimeScale into wall time (§VI).
+type DelayConfig struct {
+	// Mu and Sigma parameterize the underlying normal distribution of
+	// ln(delay-seconds). The paper does not publish its parameters; the
+	// defaults below give a ~3 s median with a heavy tail, matching the
+	// visual task-length spread in Figure 3.
+	Mu    float64
+	Sigma float64
+	// TimeScale converts paper-seconds to wall-seconds (0.01 → 100× faster).
+	TimeScale float64
+}
+
+// DefaultDelay returns the delay configuration used by the experiment
+// harness.
+func DefaultDelay(timeScale float64) DelayConfig {
+	return DelayConfig{Mu: 1.1, Sigma: 0.35, TimeScale: timeScale}
+}
+
+// Sample draws one task delay in paper-seconds.
+func (d DelayConfig) Sample(rng *rand.Rand) float64 {
+	return math.Exp(d.Mu + d.Sigma*rng.NormFloat64())
+}
+
+// Wall converts a paper-seconds duration to wall-clock time.
+func (d DelayConfig) Wall(paperSeconds float64) time.Duration {
+	scale := d.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	return time.Duration(paperSeconds * scale * float64(time.Second))
+}
+
+// Payload is the JSON task payload exchanged through the EMEWS DB for
+// objective-evaluation work: the sample point plus its pre-drawn delay so
+// evaluation is deterministic given the submitted task.
+type Payload struct {
+	X     []float64 `json:"x"`
+	Delay float64   `json:"delay,omitempty"` // paper-seconds
+}
+
+// Result is the JSON result payload pushed back through the input queue.
+type Result struct {
+	Y     float64   `json:"y"`
+	X     []float64 `json:"x"`
+	Delay float64   `json:"delay,omitempty"`
+}
+
+// EncodePayload marshals a task payload.
+func EncodePayload(p Payload) string {
+	b, _ := json.Marshal(p)
+	return string(b)
+}
+
+// DecodePayload unmarshals a task payload.
+func DecodePayload(s string) (Payload, error) {
+	var p Payload
+	if err := json.Unmarshal([]byte(s), &p); err != nil {
+		return Payload{}, fmt.Errorf("objective: bad payload %q: %w", s, err)
+	}
+	return p, nil
+}
+
+// EncodeResult marshals a result payload.
+func EncodeResult(r Result) string {
+	b, _ := json.Marshal(r)
+	return string(b)
+}
+
+// DecodeResult unmarshals a result payload.
+func DecodeResult(s string) (Result, error) {
+	var r Result
+	if err := json.Unmarshal([]byte(s), &r); err != nil {
+		return Result{}, fmt.Errorf("objective: bad result %q: %w", s, err)
+	}
+	return r, nil
+}
+
+// Evaluator returns a worker task function evaluating fn with the payload's
+// embedded delay: the executable the paper's worker pools run.
+func Evaluator(fn Func, delay DelayConfig) func(payload string) (string, error) {
+	return func(payload string) (string, error) {
+		p, err := DecodePayload(payload)
+		if err != nil {
+			return "", err
+		}
+		if p.Delay > 0 {
+			time.Sleep(delay.Wall(p.Delay))
+		}
+		return EncodeResult(Result{Y: fn(p.X), X: p.X, Delay: p.Delay}), nil
+	}
+}
+
+// SamplePoints draws n uniform points in [lo, hi]^dim — the initial sample
+// set of the §VI workflow (750 4-dimensional points in the paper).
+func SamplePoints(rng *rand.Rand, n, dim int, lo, hi float64) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = lo + (hi-lo)*rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}

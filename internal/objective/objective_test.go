@@ -1,0 +1,167 @@
+package objective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAckleyGlobalMinimum(t *testing.T) {
+	for _, dim := range []int{1, 2, 4, 10} {
+		origin := make([]float64, dim)
+		if v := Ackley(origin); math.Abs(v) > 1e-12 {
+			t.Fatalf("Ackley(0^%d) = %v, want 0", dim, v)
+		}
+	}
+}
+
+func TestAckleyKnownValues(t *testing.T) {
+	// Ackley(1,1) ≈ 3.6253849384403627 (standard reference value).
+	got := Ackley([]float64{1, 1})
+	if math.Abs(got-3.6253849384403627) > 1e-9 {
+		t.Fatalf("Ackley(1,1) = %v", got)
+	}
+}
+
+func TestMinimaOfAllObjectives(t *testing.T) {
+	cases := []struct {
+		name string
+		at   []float64
+	}{
+		{"ackley", []float64{0, 0, 0}},
+		{"sphere", []float64{0, 0, 0}},
+		{"rastrigin", []float64{0, 0, 0}},
+		{"rosenbrock", []float64{1, 1, 1}},
+		{"levy", []float64{1, 1, 1}},
+	}
+	for _, c := range cases {
+		fn, err := ByName(c.name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", c.name, err)
+		}
+		if v := fn(c.at); math.Abs(v) > 1e-9 {
+			t.Errorf("%s minimum value = %v, want 0", c.name, v)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown objective must error")
+	}
+}
+
+// Property: all objectives are non-negative everywhere in a bounded box.
+func TestPropertyNonNegative(t *testing.T) {
+	fns := []Func{Ackley, Sphere, Rastrigin, Rosenbrock, Levy}
+	f := func(a, b, c, d float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0.5
+			}
+			return math.Mod(v, 5)
+		}
+		x := []float64{clamp(a), clamp(b), clamp(c), clamp(d)}
+		for _, fn := range fns {
+			if fn(x) < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	p := Payload{X: []float64{1.5, -2.25}, Delay: 3.5}
+	enc := EncodePayload(p)
+	got, err := DecodePayload(enc)
+	if err != nil || len(got.X) != 2 || got.X[1] != -2.25 || got.Delay != 3.5 {
+		t.Fatalf("DecodePayload(%q) = %+v, %v", enc, got, err)
+	}
+	if _, err := DecodePayload("{bad"); err == nil {
+		t.Fatal("bad payload must error")
+	}
+	r := Result{Y: 7.25, X: p.X, Delay: 3.5}
+	rGot, err := DecodeResult(EncodeResult(r))
+	if err != nil || rGot.Y != 7.25 {
+		t.Fatalf("result round trip = %+v, %v", rGot, err)
+	}
+	if _, err := DecodeResult("nope"); err == nil {
+		t.Fatal("bad result must error")
+	}
+}
+
+func TestLognormalDelayDistribution(t *testing.T) {
+	d := DefaultDelay(1)
+	rng := rand.New(rand.NewSource(1))
+	n := 10000
+	var sum, sumLog float64
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		if v <= 0 {
+			t.Fatalf("non-positive delay %v", v)
+		}
+		sum += v
+		sumLog += math.Log(v)
+	}
+	meanLog := sumLog / float64(n)
+	if math.Abs(meanLog-d.Mu) > 0.02 {
+		t.Fatalf("mean log-delay = %v, want ~%v", meanLog, d.Mu)
+	}
+	// Lognormal mean = exp(mu + sigma²/2).
+	wantMean := math.Exp(d.Mu + d.Sigma*d.Sigma/2)
+	if math.Abs(sum/float64(n)-wantMean) > 0.15 {
+		t.Fatalf("mean delay = %v, want ~%v", sum/float64(n), wantMean)
+	}
+}
+
+func TestDelayWallScaling(t *testing.T) {
+	d := DelayConfig{Mu: 0, Sigma: 0, TimeScale: 0.001}
+	if w := d.Wall(2); w != 2*time.Millisecond {
+		t.Fatalf("Wall(2) = %v, want 2ms", w)
+	}
+	d.TimeScale = 0 // defaults to 1
+	if w := d.Wall(1); w != time.Second {
+		t.Fatalf("Wall with zero scale = %v", w)
+	}
+}
+
+func TestEvaluator(t *testing.T) {
+	eval := Evaluator(Sphere, DelayConfig{TimeScale: 0.0001})
+	payload := EncodePayload(Payload{X: []float64{3, 4}, Delay: 1})
+	start := time.Now()
+	res, err := eval(payload)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if time.Since(start) < 50*time.Microsecond {
+		t.Log("delay may be too short to measure; continuing")
+	}
+	r, err := DecodeResult(res)
+	if err != nil || r.Y != 25 {
+		t.Fatalf("result = %+v, %v", r, err)
+	}
+	if _, err := eval("{bad"); err == nil {
+		t.Fatal("bad payload must error")
+	}
+}
+
+func TestSamplePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := SamplePoints(rng, 750, 4, -32, 32)
+	if len(pts) != 750 {
+		t.Fatalf("n = %d", len(pts))
+	}
+	for _, p := range pts {
+		if len(p) != 4 {
+			t.Fatalf("dim = %d", len(p))
+		}
+		for _, v := range p {
+			if v < -32 || v > 32 {
+				t.Fatalf("point %v out of bounds", p)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package opt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"osprey/internal/funcx"
+	"osprey/internal/proxystore"
+)
+
+// TrainFunctionName is the funcX function name RemoteTrainer invokes.
+const TrainFunctionName = "gpr_rank"
+
+// trainRequest crosses the funcX payload boundary. The training data — the
+// large artifact — travels as a ProxyStore proxy; only the pending points
+// (and they are small) ride inline. This mirrors the paper passing the GPR
+// as a proxy object resolved during remote function evaluation (§VI).
+type trainRequest struct {
+	DataProxy string      `json:"data_proxy"`
+	Pending   [][]float64 `json:"pending"`
+}
+
+// trainData is the proxied artifact: the cumulative training set plus the
+// previous round's hyperparameters for a warm-started search. (The fitted
+// model itself is O(n²) — re-deriving it from data and hyperparameters is
+// far cheaper to ship than the Cholesky factor.)
+type trainData struct {
+	X      [][]float64 `json:"x"`
+	Y      []float64   `json:"y"`
+	WarmLS float64     `json:"warm_ls,omitempty"`
+}
+
+type trainResponse struct {
+	Priorities []int   `json:"priorities"`
+	WarmLS     float64 `json:"warm_ls"`
+}
+
+// TrainFunction returns the funcX Function a GPU/analysis endpoint registers
+// under TrainFunctionName: it resolves the training-data proxy, refits the
+// GPR (seeding the hyperparameter grid from the previous model if present),
+// and returns priorities for the pending points plus the new model.
+func TrainFunction(reg *proxystore.Registry) funcx.Function {
+	return func(ctx context.Context, payload []byte) ([]byte, error) {
+		var req trainRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("gpr_rank: bad request: %w", err)
+		}
+		proxy, err := proxystore.Decode(req.DataProxy)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := reg.Resolve(proxy)
+		if err != nil {
+			return nil, fmt.Errorf("gpr_rank: resolving data proxy: %w", err)
+		}
+		var data trainData
+		if err := json.Unmarshal(blob, &data); err != nil {
+			return nil, fmt.Errorf("gpr_rank: bad training data: %w", err)
+		}
+		gp, err := FitAdaptive(data.X, data.Y, data.WarmLS)
+		if err != nil {
+			return nil, err
+		}
+		preds, err := gp.PredictBatch(req.Pending)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(trainResponse{
+			Priorities: RankFromPredictions(preds),
+			WarmLS:     gp.Params().LengthScale,
+		})
+	}
+}
+
+// RemoteTrainer dispatches GPR retraining to a funcX endpoint, shipping the
+// training artifact through ProxyStore (backed by Globus between sites).
+type RemoteTrainer struct {
+	// Client submits to the funcX broker; Endpoint names the training site.
+	Client   *funcx.Client
+	Endpoint string
+	// Registry and StoreName locate the producer-side proxy store.
+	Registry  *proxystore.Registry
+	StoreName string
+	// Timeout bounds each remote call (default 30 s wall).
+	Timeout time.Duration
+
+	round  atomic.Int64
+	warmLS atomic.Pointer[float64]
+}
+
+// Rank implements Trainer by remote invocation.
+func (rt *RemoteTrainer) Rank(trainX [][]float64, trainY []float64, pending [][]float64) ([]int, error) {
+	round := rt.round.Add(1)
+	data := trainData{X: trainX, Y: trainY}
+	if prev := rt.warmLS.Load(); prev != nil {
+		data.WarmLS = *prev
+	}
+	blob, err := json.Marshal(data)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("gpr-train-%d", round)
+	proxy, err := rt.Registry.Proxy(rt.StoreName, key, blob)
+	if err != nil {
+		return nil, fmt.Errorf("opt: proxying training data: %w", err)
+	}
+	reqBytes, err := json.Marshal(trainRequest{DataProxy: proxy.Encode(), Pending: pending})
+	if err != nil {
+		return nil, err
+	}
+	timeout := rt.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	respBytes, err := rt.Client.Call(ctx, rt.Endpoint, TrainFunctionName, reqBytes)
+	if err != nil {
+		return nil, fmt.Errorf("opt: remote training: %w", err)
+	}
+	var resp trainResponse
+	if err := json.Unmarshal(respBytes, &resp); err != nil {
+		return nil, fmt.Errorf("opt: bad remote response: %w", err)
+	}
+	if len(resp.Priorities) != len(pending) {
+		return nil, fmt.Errorf("opt: remote returned %d priorities for %d pending points",
+			len(resp.Priorities), len(pending))
+	}
+	if resp.WarmLS > 0 {
+		ls := resp.WarmLS
+		rt.warmLS.Store(&ls)
+	}
+	return resp.Priorities, nil
+}

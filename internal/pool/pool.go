@@ -1,0 +1,267 @@
+// Package pool implements OSPREY's heterogeneous worker pools (paper §IV-D).
+//
+// A pool is the stand-in for the paper's Swift/T pilot-job application: a
+// fixed set of workers that query the EMEWS DB output queue for tasks of the
+// pool's work type, execute them concurrently, and report results to the
+// input queue. The pool's querying is governed by two knobs studied in
+// Figure 3:
+//
+//   - BatchSize: the maximum number of tasks the pool may own (obtained but
+//     not yet completed). A batch size above the worker count oversubscribes
+//     the pool, creating an in-memory task cache that keeps workers hot at
+//     the cost of making cached tasks ineligible for reprioritization or
+//     cancellation.
+//   - Threshold: how large the deficit between BatchSize and owned tasks
+//     must be before the pool asks the database for more. Large thresholds
+//     produce the saw-tooth idling of Figure 3 (bottom).
+//
+// Pools are typed: a pool only queries for its configured work type, so
+// pools can be matched to resources (CPU simulation pools, GPU ML pools).
+package pool
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"osprey/internal/core"
+	"osprey/internal/telemetry"
+)
+
+// TaskFunc executes one task payload and returns its result payload.
+type TaskFunc func(payload string) (string, error)
+
+// Config parameterizes a worker pool.
+type Config struct {
+	// Name identifies the pool in the EMEWS DB and in telemetry.
+	Name string
+	// Workers is the number of concurrent task executors (33 in the paper's
+	// experiments: one 36-core Bebop node).
+	Workers int
+	// BatchSize is the maximum number of owned tasks (paper: 33 or 50).
+	BatchSize int
+	// Threshold is the minimum deficit before re-querying (paper: 1 or 15).
+	Threshold int
+	// WorkType selects which tasks this pool consumes.
+	WorkType int
+	// QueryDelay and QueryTimeout control the database polling query.
+	QueryDelay   time.Duration
+	QueryTimeout time.Duration
+	// CoresOf, when set, extracts a task's core requirement from its
+	// payload, supporting the paper's multi-process MPI tasks (§II-B1a,
+	// Swift/T's @par): a k-core task occupies k of the pool's Workers
+	// slots for its whole execution. Requirements are clamped to
+	// [1, Workers]; nil treats every task as single-core.
+	CoresOf func(payload string) int
+}
+
+// JSONCores extracts an integer "cores" field from a JSON payload,
+// defaulting to 1 — a ready-made Config.CoresOf for JSON task schemas.
+func JSONCores(payload string) int {
+	var p struct {
+		Cores int `json:"cores"`
+	}
+	if err := json.Unmarshal([]byte(payload), &p); err != nil || p.Cores < 1 {
+		return 1
+	}
+	return p.Cores
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Name == "" {
+		return fmt.Errorf("pool: Name is required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = c.Workers
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 1
+	}
+	if c.Threshold > c.BatchSize {
+		return fmt.Errorf("pool: Threshold %d exceeds BatchSize %d", c.Threshold, c.BatchSize)
+	}
+	if c.QueryDelay <= 0 {
+		c.QueryDelay = 2 * time.Millisecond
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 50 * time.Millisecond
+	}
+	return nil
+}
+
+// Pool executes tasks of one work type against an EMEWS DB.
+type Pool struct {
+	cfg  Config
+	api  core.API
+	exec TaskFunc
+	rec  *telemetry.Recorder
+
+	owned    atomic.Int64
+	executed atomic.Int64
+	failed   atomic.Int64
+	running  atomic.Bool
+}
+
+// New creates a pool. rec may be nil when telemetry is not needed.
+func New(api core.API, cfg Config, exec TaskFunc, rec *telemetry.Recorder) (*Pool, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if api == nil || exec == nil {
+		return nil, fmt.Errorf("pool: api and exec are required")
+	}
+	return &Pool{cfg: cfg, api: api, exec: exec, rec: rec}, nil
+}
+
+// Name returns the pool's identifier.
+func (p *Pool) Name() string { return p.cfg.Name }
+
+// Owned returns the number of tasks currently obtained but not completed.
+func (p *Pool) Owned() int { return int(p.owned.Load()) }
+
+// Executed returns the number of tasks completed so far.
+func (p *Pool) Executed() int { return int(p.executed.Load()) }
+
+// Failed returns the number of task executions that returned an error.
+func (p *Pool) Failed() int { return int(p.failed.Load()) }
+
+// Running reports whether the pool's Run loop is active — the "active
+// monitoring of worker pools" the paper lists as future work (§VII).
+func (p *Pool) Running() bool { return p.running.Load() }
+
+// Run starts the pool and blocks until ctx is canceled. On return all
+// workers have exited; tasks that were fetched but never started remain
+// marked running in the database and can be recovered with
+// core.API.RequeueRunning (the paper's fault-tolerance path, §II-B1c).
+func (p *Pool) Run(ctx context.Context) error {
+	p.running.Store(true)
+	defer p.running.Store(false)
+	if p.rec != nil {
+		p.rec.Record(telemetry.PoolStart, p.cfg.Name, 0)
+		defer p.rec.Record(telemetry.PoolStop, p.cfg.Name, 0)
+	}
+
+	taskCh := make(chan core.Task)
+	// completions has capacity for every worker so completion signals never
+	// block; the fetcher drains it opportunistically.
+	completions := make(chan struct{}, p.cfg.Workers)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.dispatch(ctx, taskCh, completions, &wg)
+	}()
+
+	p.fetch(ctx, taskCh, completions)
+	wg.Wait()
+	return ctx.Err()
+}
+
+// dispatch assigns tasks to worker-core slots. Cores are a weighted
+// semaphore of Workers units; a k-core task (Config.CoresOf) holds k units,
+// modeling Swift/T running MPI executables across several workers. The
+// dispatcher is the only acquirer, so large tasks cannot deadlock: they
+// simply wait until enough cores free up.
+func (p *Pool) dispatch(ctx context.Context, taskCh <-chan core.Task, completions chan<- struct{}, wg *sync.WaitGroup) {
+	cores := make(chan struct{}, p.cfg.Workers)
+	for {
+		var task core.Task
+		select {
+		case task = <-taskCh:
+		case <-ctx.Done():
+			return
+		}
+		need := 1
+		if p.cfg.CoresOf != nil {
+			need = p.cfg.CoresOf(task.Payload)
+			if need < 1 {
+				need = 1
+			}
+			if need > p.cfg.Workers {
+				need = p.cfg.Workers
+			}
+		}
+		acquired := 0
+		for acquired < need {
+			select {
+			case cores <- struct{}{}:
+				acquired++
+			case <-ctx.Done():
+				for ; acquired > 0; acquired-- {
+					<-cores
+				}
+				return
+			}
+		}
+		wg.Add(1)
+		go func(task core.Task, need int) {
+			defer wg.Done()
+			p.execute(task)
+			for i := 0; i < need; i++ {
+				<-cores
+			}
+			select {
+			case completions <- struct{}{}:
+			default:
+			}
+		}(task, need)
+	}
+}
+
+// fetch implements the enhanced worker-pool query of §IV-D: request up to
+// (BatchSize - owned) tasks whenever that deficit reaches Threshold.
+func (p *Pool) fetch(ctx context.Context, taskCh chan<- core.Task, completions <-chan struct{}) {
+	for ctx.Err() == nil {
+		deficit := p.cfg.BatchSize - int(p.owned.Load())
+		if deficit < p.cfg.Threshold {
+			// Wait for a completion (or shutdown) before reconsidering.
+			select {
+			case <-completions:
+			case <-ctx.Done():
+				return
+			}
+			continue
+		}
+		tasks, err := p.api.QueryTasks(p.cfg.WorkType, deficit, p.cfg.Name, p.cfg.QueryDelay, p.cfg.QueryTimeout)
+		if err != nil {
+			// Timeout means an empty queue; anything else is retried the
+			// same way since the DB may be restarting (fire-and-forget).
+			continue
+		}
+		p.owned.Add(int64(len(tasks)))
+		for _, task := range tasks {
+			select {
+			case taskCh <- task:
+			case <-ctx.Done():
+				// Undelivered tasks stay running in the DB for requeue.
+				return
+			}
+		}
+	}
+}
+
+// execute runs one task to completion and reports its result.
+func (p *Pool) execute(task core.Task) {
+	if p.rec != nil {
+		p.rec.Record(telemetry.TaskStart, p.cfg.Name, task.ID)
+	}
+	result, err := p.exec(task.Payload)
+	if err != nil {
+		p.failed.Add(1)
+		result = fmt.Sprintf(`{"error": %q}`, err.Error())
+	}
+	if rerr := p.api.ReportTask(task.ID, p.cfg.WorkType, result); rerr == nil {
+		p.executed.Add(1)
+	}
+	if p.rec != nil {
+		p.rec.Record(telemetry.TaskEnd, p.cfg.Name, task.ID)
+	}
+	p.owned.Add(-1)
+}

@@ -1,0 +1,294 @@
+// Package proxystore implements the ProxyStore data fabric of paper §IV-E:
+// a common interface to data irrespective of where it resides. Producers Put
+// a byte payload into a named Store and receive a small JSON-serializable
+// Proxy reference; consumers pass proxies through size-limited channels
+// (such as the 10 MB funcX payload cap) and Resolve them lazily — the bytes
+// move only when actually needed, over whichever backend the store plugs in
+// (in-memory, shared filesystem, or Globus wide-area transfer).
+package proxystore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"osprey/internal/globus"
+)
+
+// Errors returned by the fabric.
+var (
+	ErrNoStore  = errors.New("proxystore: unknown store")
+	ErrNoKey    = errors.New("proxystore: no such key")
+	ErrChecksum = errors.New("proxystore: resolved data fails checksum")
+)
+
+// Store is a pluggable data backend.
+type Store interface {
+	// Name identifies the store within a Registry.
+	Name() string
+	// Put stores data under key.
+	Put(key string, data []byte) error
+	// Get retrieves the data stored under key.
+	Get(key string) ([]byte, error)
+	// Delete evicts key.
+	Delete(key string) error
+}
+
+// Proxy is the lazy reference passed between workflow components in place of
+// the data itself.
+type Proxy struct {
+	Store string `json:"store"`
+	Key   string `json:"key"`
+	Size  int    `json:"size"`
+	Sum   uint32 `json:"sum"`
+}
+
+// Encode renders the proxy as its JSON wire form.
+func (p Proxy) Encode() string {
+	b, _ := json.Marshal(p)
+	return string(b)
+}
+
+// Decode parses a proxy from its JSON wire form.
+func Decode(s string) (Proxy, error) {
+	var p Proxy
+	if err := json.Unmarshal([]byte(s), &p); err != nil {
+		return Proxy{}, fmt.Errorf("proxystore: bad proxy %q: %w", s, err)
+	}
+	return p, nil
+}
+
+// Registry maps store names to Store implementations and resolves proxies,
+// caching resolved payloads so repeated resolution is free.
+type Registry struct {
+	mu     sync.Mutex
+	stores map[string]Store
+	cache  map[string][]byte
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{stores: make(map[string]Store), cache: make(map[string][]byte)}
+}
+
+// Register adds a store.
+func (r *Registry) Register(s Store) {
+	r.mu.Lock()
+	r.stores[s.Name()] = s
+	r.mu.Unlock()
+}
+
+// Proxy stores data in the named store and returns its reference.
+func (r *Registry) Proxy(store, key string, data []byte) (Proxy, error) {
+	r.mu.Lock()
+	s, ok := r.stores[store]
+	r.mu.Unlock()
+	if !ok {
+		return Proxy{}, fmt.Errorf("%w: %q", ErrNoStore, store)
+	}
+	if err := s.Put(key, data); err != nil {
+		return Proxy{}, err
+	}
+	return Proxy{Store: store, Key: key, Size: len(data), Sum: crc32.ChecksumIEEE(data)}, nil
+}
+
+// Resolve fetches the proxy's payload, verifying size and checksum. Results
+// are cached per (store, key).
+func (r *Registry) Resolve(p Proxy) ([]byte, error) {
+	ck := p.Store + "\x00" + p.Key
+	r.mu.Lock()
+	if data, ok := r.cache[ck]; ok {
+		r.mu.Unlock()
+		return data, nil
+	}
+	s, ok := r.stores[p.Store]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoStore, p.Store)
+	}
+	data, err := s.Get(p.Key)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != p.Size || crc32.ChecksumIEEE(data) != p.Sum {
+		return nil, fmt.Errorf("%w: %s/%s", ErrChecksum, p.Store, p.Key)
+	}
+	r.mu.Lock()
+	r.cache[ck] = data
+	r.mu.Unlock()
+	return data, nil
+}
+
+// Evict drops a cached resolution.
+func (r *Registry) Evict(p Proxy) {
+	r.mu.Lock()
+	delete(r.cache, p.Store+"\x00"+p.Key)
+	r.mu.Unlock()
+}
+
+// --- in-memory store ---
+
+// MemStore is a process-local store (ProxyStore's Redis-like backend).
+type MemStore struct {
+	name string
+	mu   sync.Mutex
+	m    map[string][]byte
+}
+
+// NewMemStore creates an in-memory store.
+func NewMemStore(name string) *MemStore {
+	return &MemStore{name: name, m: make(map[string][]byte)}
+}
+
+// Name implements Store.
+func (s *MemStore) Name() string { return s.name }
+
+// Put implements Store.
+func (s *MemStore) Put(key string, data []byte) error {
+	s.mu.Lock()
+	s.m[key] = append([]byte(nil), data...)
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in %q", ErrNoKey, key, s.name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// --- shared-filesystem store ---
+
+// FileStore persists payloads under a directory, modeling ProxyStore's
+// shared-filesystem backend.
+type FileStore struct {
+	name string
+	dir  string
+}
+
+// NewFileStore creates a file-backed store rooted at dir.
+func NewFileStore(name, dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("proxystore: %w", err)
+	}
+	return &FileStore{name: name, dir: dir}, nil
+}
+
+// Name implements Store.
+func (s *FileStore) Name() string { return s.name }
+
+func (s *FileStore) path(key string) string {
+	// Keys may contain separators; flatten them.
+	safe := strings.NewReplacer("/", "_", "\\", "_", "..", "_").Replace(key)
+	return filepath.Join(s.dir, safe)
+}
+
+// Put implements Store.
+func (s *FileStore) Put(key string, data []byte) error {
+	return os.WriteFile(s.path(key), data, 0o644)
+}
+
+// Get implements Store.
+func (s *FileStore) Get(key string) ([]byte, error) {
+	data, err := os.ReadFile(s.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q in %q", ErrNoKey, key, s.name)
+	}
+	return data, err
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(key string) error {
+	err := os.Remove(s.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// --- Globus-backed store ---
+
+// GlobusStore moves payloads between sites with third-party Globus
+// transfers. Put writes to the home endpoint; Get on a consumer site pulls
+// the payload home→local on demand — exactly how the paper ships the GPR
+// model to the reprioritization function.
+type GlobusStore struct {
+	name  string
+	svc   *globus.Service
+	home  string // endpoint where Put lands
+	local string // endpoint this site reads from
+}
+
+// NewGlobusStore creates a Globus-backed store. home is the producing
+// endpoint; local is the consuming endpoint (equal to home on the producer
+// side).
+func NewGlobusStore(name string, svc *globus.Service, home, local string) *GlobusStore {
+	return &GlobusStore{name: name, svc: svc, home: home, local: local}
+}
+
+// Name implements Store.
+func (s *GlobusStore) Name() string { return s.name }
+
+// Put implements Store.
+func (s *GlobusStore) Put(key string, data []byte) error {
+	ep, err := s.svc.Endpoint(s.home)
+	if err != nil {
+		return err
+	}
+	ep.Put(key, data)
+	return nil
+}
+
+// Get implements Store. The transfer is synchronous from the caller's view
+// but third-party underneath: neither site connects to the other directly.
+func (s *GlobusStore) Get(key string) ([]byte, error) {
+	local, err := s.svc.Endpoint(s.local)
+	if err != nil {
+		return nil, err
+	}
+	if !local.Has(key) {
+		if s.home == s.local {
+			return nil, fmt.Errorf("%w: %q in %q", ErrNoKey, key, s.name)
+		}
+		t, err := s.svc.Submit(s.home, s.local, key)
+		if err != nil {
+			if errors.Is(err, globus.ErrNoFile) {
+				return nil, fmt.Errorf("%w: %q in %q", ErrNoKey, key, s.name)
+			}
+			return nil, err
+		}
+		if err := t.Wait(context.Background()); err != nil {
+			return nil, err
+		}
+	}
+	return local.Get(key)
+}
+
+// Delete implements Store (removes the local replica only).
+func (s *GlobusStore) Delete(key string) error {
+	local, err := s.svc.Endpoint(s.local)
+	if err != nil {
+		return err
+	}
+	local.Delete(key)
+	return nil
+}

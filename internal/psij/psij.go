@@ -1,0 +1,304 @@
+// Package psij provides a portable job-specification layer over
+// heterogeneous execution backends, modeled on the PSI/J library the paper
+// plans to adopt for "more robust interactions with HPC schedulers,
+// including active monitoring and termination of worker pools" (§VII).
+//
+// A JobSpec describes resources and lifecycle portably; Executors map it
+// onto a backend — an immediate local executor (funcX's "local fork"
+// provider) or a simulated batch cluster (internal/sched). Status callbacks
+// deliver the uniform job lifecycle regardless of backend.
+package psij
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"osprey/internal/sched"
+)
+
+// State is the portable job lifecycle.
+type State string
+
+// Portable job states (the PSI/J state model, collapsed).
+const (
+	StateQueued    State = "queued"
+	StateActive    State = "active"
+	StateCompleted State = "completed"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether s is a terminal state.
+func (s State) Terminal() bool {
+	return s == StateCompleted || s == StateFailed || s == StateCanceled
+}
+
+// JobSpec portably describes one job.
+type JobSpec struct {
+	Name string
+	// Cores requested (for batch backends).
+	Cores int
+	// WalltimeSeconds limits execution, in paper-seconds (0 = unlimited).
+	WalltimeSeconds float64
+	// Run is the job body; ctx is canceled on termination.
+	Run func(ctx context.Context) error
+}
+
+// StatusCallback observes lifecycle transitions.
+type StatusCallback func(job *Job, state State)
+
+// Job is a handle on a submitted job.
+type Job struct {
+	Spec JobSpec
+	ID   string
+
+	mu    sync.Mutex
+	state State
+	err   error
+	done  chan struct{}
+
+	cancelFn func()
+}
+
+// State returns the current portable state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job body's error after completion.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Wait blocks until the job is terminal or ctx is done.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Cancel requests termination.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	cancel := j.cancelFn
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+func (j *Job) transition(state State, err error, cb StatusCallback) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	if err != nil {
+		j.err = err
+	}
+	terminal := state.Terminal()
+	j.mu.Unlock()
+	if cb != nil {
+		cb(j, state)
+	}
+	if terminal {
+		close(j.done)
+	}
+}
+
+// Executor submits JobSpecs to some backend.
+type Executor interface {
+	// Name identifies the backend ("local", cluster name, ...).
+	Name() string
+	// Submit starts lifecycle management of spec. cb may be nil.
+	Submit(spec JobSpec, cb StatusCallback) (*Job, error)
+}
+
+// ErrNoBody is returned for specs without a Run function.
+var ErrNoBody = errors.New("psij: job spec has no body")
+
+// --- local executor ---
+
+// LocalExecutor runs jobs immediately in-process (the "local fork" model).
+type LocalExecutor struct {
+	mu     sync.Mutex
+	nextID int
+}
+
+// NewLocalExecutor creates a local executor.
+func NewLocalExecutor() *LocalExecutor { return &LocalExecutor{} }
+
+// Name implements Executor.
+func (e *LocalExecutor) Name() string { return "local" }
+
+// Submit implements Executor.
+func (e *LocalExecutor) Submit(spec JobSpec, cb StatusCallback) (*Job, error) {
+	if spec.Run == nil {
+		return nil, ErrNoBody
+	}
+	e.mu.Lock()
+	e.nextID++
+	id := fmt.Sprintf("local-%d", e.nextID)
+	e.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{Spec: spec, ID: id, state: StateQueued, done: make(chan struct{}), cancelFn: cancel}
+	job.transition(StateQueued, nil, cb)
+	go func() {
+		job.transition(StateActive, nil, cb)
+		err := spec.Run(ctx)
+		switch {
+		case ctx.Err() != nil:
+			job.transition(StateCanceled, ctx.Err(), cb)
+		case err != nil:
+			job.transition(StateFailed, err, cb)
+		default:
+			job.transition(StateCompleted, nil, cb)
+		}
+	}()
+	return job, nil
+}
+
+// --- batch executor over the cluster simulator ---
+
+// BatchExecutor maps JobSpecs onto a sched.Cluster.
+type BatchExecutor struct {
+	cluster *sched.Cluster
+	mu      sync.Mutex
+	nextID  int
+}
+
+// NewBatchExecutor wraps a cluster.
+func NewBatchExecutor(cluster *sched.Cluster) *BatchExecutor {
+	return &BatchExecutor{cluster: cluster}
+}
+
+// Name implements Executor.
+func (e *BatchExecutor) Name() string { return e.cluster.Name() }
+
+// Submit implements Executor.
+func (e *BatchExecutor) Submit(spec JobSpec, cb StatusCallback) (*Job, error) {
+	if spec.Run == nil {
+		return nil, ErrNoBody
+	}
+	cores := spec.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	e.mu.Lock()
+	e.nextID++
+	id := fmt.Sprintf("%s-%d", e.cluster.Name(), e.nextID)
+	e.mu.Unlock()
+
+	job := &Job{Spec: spec, ID: id, state: StateQueued, done: make(chan struct{})}
+	var bodyErr error
+	var bodyMu sync.Mutex
+	sj, err := e.cluster.Submit(cores, spec.WalltimeSeconds, func(ctx context.Context) {
+		job.transition(StateActive, nil, cb)
+		if err := spec.Run(ctx); err != nil && ctx.Err() == nil {
+			bodyMu.Lock()
+			bodyErr = err
+			bodyMu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	job.cancelFn = sj.Cancel
+	job.mu.Unlock()
+	job.transition(StateQueued, nil, cb)
+	go func() {
+		sj.Wait(context.Background())
+		bodyMu.Lock()
+		err := bodyErr
+		bodyMu.Unlock()
+		switch sj.State() {
+		case sched.JobCompleted:
+			if err != nil {
+				job.transition(StateFailed, err, cb)
+			} else {
+				job.transition(StateCompleted, nil, cb)
+			}
+		case sched.JobCanceled, sched.JobPreempted:
+			job.transition(StateCanceled, fmt.Errorf("psij: backend state %s", sj.State()), cb)
+		case sched.JobTimeout:
+			job.transition(StateFailed, fmt.Errorf("psij: walltime exceeded"), cb)
+		default:
+			job.transition(StateFailed, fmt.Errorf("psij: unexpected backend state %s", sj.State()), cb)
+		}
+	}()
+	return job, nil
+}
+
+// --- multi-executor registry ---
+
+// Registry routes job submissions to named executors: the single interface
+// OSPREY uses to reach all of its federated resources.
+type Registry struct {
+	mu        sync.Mutex
+	executors map[string]Executor
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{executors: make(map[string]Executor)} }
+
+// Register adds an executor under its name.
+func (r *Registry) Register(e Executor) {
+	r.mu.Lock()
+	r.executors[e.Name()] = e
+	r.mu.Unlock()
+}
+
+// Submit routes spec to the named executor.
+func (r *Registry) Submit(site string, spec JobSpec, cb StatusCallback) (*Job, error) {
+	r.mu.Lock()
+	e, ok := r.executors[site]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("psij: unknown site %q", site)
+	}
+	return e.Submit(spec, cb)
+}
+
+// Sites lists registered executor names.
+func (r *Registry) Sites() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.executors))
+	for name := range r.executors {
+		out = append(out, name)
+	}
+	return out
+}
+
+// WaitAll waits for all jobs, returning the first error encountered.
+func WaitAll(ctx context.Context, jobs []*Job) error {
+	for _, j := range jobs {
+		if err := j.Wait(ctx); err != nil {
+			return err
+		}
+		if j.State() == StateFailed {
+			return fmt.Errorf("psij: job %s failed: %w", j.ID, j.Err())
+		}
+	}
+	return nil
+}
+
+// WaitTimeout is a convenience bound for tests and examples.
+func WaitTimeout(j *Job, d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return j.Wait(ctx)
+}

@@ -1,0 +1,187 @@
+package psij
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"osprey/internal/sched"
+)
+
+const waitMax = 5 * time.Second
+
+func TestLocalExecutorLifecycle(t *testing.T) {
+	e := NewLocalExecutor()
+	var mu sync.Mutex
+	var states []State
+	cb := func(j *Job, s State) {
+		mu.Lock()
+		states = append(states, s)
+		mu.Unlock()
+	}
+	job, err := e.Submit(JobSpec{Name: "ok", Run: func(ctx context.Context) error { return nil }}, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WaitTimeout(job, waitMax); err != nil {
+		t.Fatal(err)
+	}
+	if job.State() != StateCompleted || job.Err() != nil {
+		t.Fatalf("state = %v, err = %v", job.State(), job.Err())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(states) < 3 || states[len(states)-1] != StateCompleted {
+		t.Fatalf("states = %v", states)
+	}
+}
+
+func TestLocalExecutorFailure(t *testing.T) {
+	e := NewLocalExecutor()
+	boom := errors.New("boom")
+	job, _ := e.Submit(JobSpec{Name: "bad", Run: func(ctx context.Context) error { return boom }}, nil)
+	WaitTimeout(job, waitMax)
+	if job.State() != StateFailed || !errors.Is(job.Err(), boom) {
+		t.Fatalf("state = %v, err = %v", job.State(), job.Err())
+	}
+}
+
+func TestLocalExecutorCancel(t *testing.T) {
+	e := NewLocalExecutor()
+	started := make(chan struct{})
+	job, _ := e.Submit(JobSpec{Name: "slow", Run: func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	}}, nil)
+	<-started
+	job.Cancel()
+	WaitTimeout(job, waitMax)
+	if job.State() != StateCanceled {
+		t.Fatalf("state = %v", job.State())
+	}
+}
+
+func TestNoBody(t *testing.T) {
+	if _, err := NewLocalExecutor().Submit(JobSpec{Name: "empty"}, nil); !errors.Is(err, ErrNoBody) {
+		t.Fatalf("err = %v", err)
+	}
+	cluster, _ := sched.New(sched.Config{Name: "c", Nodes: 1, CoresPerNode: 2})
+	defer cluster.Stop()
+	if _, err := NewBatchExecutor(cluster).Submit(JobSpec{}, nil); !errors.Is(err, ErrNoBody) {
+		t.Fatalf("batch err = %v", err)
+	}
+}
+
+func TestBatchExecutorLifecycle(t *testing.T) {
+	cluster, err := sched.New(sched.Config{Name: "bebop", Nodes: 1, CoresPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	e := NewBatchExecutor(cluster)
+	if e.Name() != "bebop" {
+		t.Fatalf("name = %s", e.Name())
+	}
+	job, err := e.Submit(JobSpec{Name: "j", Cores: 2,
+		Run: func(ctx context.Context) error { return nil }}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WaitTimeout(job, waitMax); err != nil {
+		t.Fatal(err)
+	}
+	if job.State() != StateCompleted {
+		t.Fatalf("state = %v", job.State())
+	}
+}
+
+func TestBatchExecutorBodyError(t *testing.T) {
+	cluster, _ := sched.New(sched.Config{Name: "c", Nodes: 1, CoresPerNode: 2})
+	defer cluster.Stop()
+	e := NewBatchExecutor(cluster)
+	job, _ := e.Submit(JobSpec{Name: "bad",
+		Run: func(ctx context.Context) error { return errors.New("body failed") }}, nil)
+	WaitTimeout(job, waitMax)
+	if job.State() != StateFailed {
+		t.Fatalf("state = %v, err = %v", job.State(), job.Err())
+	}
+}
+
+func TestBatchExecutorWalltime(t *testing.T) {
+	cluster, _ := sched.New(sched.Config{Name: "c", Nodes: 1, CoresPerNode: 2, TimeScale: 0.01})
+	defer cluster.Stop()
+	e := NewBatchExecutor(cluster)
+	job, _ := e.Submit(JobSpec{Name: "hang", WalltimeSeconds: 2,
+		Run: func(ctx context.Context) error { <-ctx.Done(); return ctx.Err() }}, nil)
+	WaitTimeout(job, waitMax)
+	if job.State() != StateFailed {
+		t.Fatalf("state = %v after walltime", job.State())
+	}
+}
+
+func TestBatchExecutorCancelQueued(t *testing.T) {
+	cluster, _ := sched.New(sched.Config{Name: "c", Nodes: 1, CoresPerNode: 1,
+		QueueDelay: sched.ConstantDelay(60), TimeScale: 0.01})
+	defer cluster.Stop()
+	e := NewBatchExecutor(cluster)
+	job, _ := e.Submit(JobSpec{Name: "q",
+		Run: func(ctx context.Context) error { return nil }}, nil)
+	job.Cancel()
+	WaitTimeout(job, waitMax)
+	if job.State() != StateCanceled {
+		t.Fatalf("state = %v", job.State())
+	}
+}
+
+func TestRegistryRouting(t *testing.T) {
+	cluster, _ := sched.New(sched.Config{Name: "theta", Nodes: 1, CoresPerNode: 8})
+	defer cluster.Stop()
+	r := NewRegistry()
+	r.Register(NewLocalExecutor())
+	r.Register(NewBatchExecutor(cluster))
+	if len(r.Sites()) != 2 {
+		t.Fatalf("sites = %v", r.Sites())
+	}
+	var jobs []*Job
+	for _, site := range []string{"local", "theta"} {
+		j, err := r.Submit(site, JobSpec{Name: site,
+			Run: func(ctx context.Context) error { return nil }}, nil)
+		if err != nil {
+			t.Fatalf("submit to %s: %v", site, err)
+		}
+		jobs = append(jobs, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), waitMax)
+	defer cancel()
+	if err := WaitAll(ctx, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit("mars", JobSpec{Run: func(context.Context) error { return nil }}, nil); err == nil {
+		t.Fatal("unknown site must error")
+	}
+}
+
+func TestWaitAllPropagatesFailure(t *testing.T) {
+	e := NewLocalExecutor()
+	good, _ := e.Submit(JobSpec{Run: func(context.Context) error { return nil }}, nil)
+	bad, _ := e.Submit(JobSpec{Run: func(context.Context) error { return errors.New("x") }}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), waitMax)
+	defer cancel()
+	if err := WaitAll(ctx, []*Job{good, bad}); err == nil {
+		t.Fatal("failure not propagated")
+	}
+}
+
+func TestStateTerminal(t *testing.T) {
+	for s, want := range map[State]bool{
+		StateQueued: false, StateActive: false,
+		StateCompleted: true, StateFailed: true, StateCanceled: true,
+	} {
+		if s.Terminal() != want {
+			t.Errorf("Terminal(%s) = %v", s, !want)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package service implements the EMEWS service of paper §IV-C: the
+// network-facing mediator between model-exploration algorithms, worker
+// pools, and the resource-local EMEWS task database. In the paper the ME
+// script on a laptop reaches the service on the Bebop cluster through an
+// SSH tunnel; here the service speaks a newline-delimited JSON protocol
+// over TCP and the Client type implements core.API so algorithms and pools
+// run unchanged against a local database or a remote service.
+package service
+
+import "encoding/json"
+
+// request is the wire form of one API call.
+type request struct {
+	Op string `json:"op"`
+
+	ExpID    string   `json:"exp_id,omitempty"`
+	WorkType int      `json:"work_type,omitempty"`
+	Payload  string   `json:"payload,omitempty"`
+	Priority int      `json:"priority,omitempty"`
+	Tags     []string `json:"tags,omitempty"`
+
+	TaskID  int64   `json:"task_id,omitempty"`
+	TaskIDs []int64 `json:"task_ids,omitempty"`
+	N       int     `json:"n,omitempty"`
+	Pool    string  `json:"pool,omitempty"`
+	DelayMS int64   `json:"delay_ms,omitempty"`
+	TimeMS  int64   `json:"timeout_ms,omitempty"`
+
+	Result     string   `json:"result,omitempty"`
+	Priorities []int    `json:"priorities,omitempty"`
+	Payloads   []string `json:"payloads,omitempty"`
+}
+
+// wireTask mirrors core.Task with wire-friendly timestamps.
+type wireTask struct {
+	ID       int64  `json:"id"`
+	ExpID    string `json:"exp_id"`
+	WorkType int    `json:"work_type"`
+	Status   string `json:"status"`
+	Payload  string `json:"payload"`
+	Result   string `json:"result,omitempty"`
+	Pool     string `json:"pool,omitempty"`
+	Priority int    `json:"priority"`
+	Created  int64  `json:"created_ns"`
+	Started  int64  `json:"started_ns"`
+	Stopped  int64  `json:"stopped_ns"`
+}
+
+// wireResult mirrors core.TaskResult.
+type wireResult struct {
+	ID     int64  `json:"id"`
+	Result string `json:"result"`
+}
+
+// response is the wire form of one API reply.
+type response struct {
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	Timeout bool   `json:"timeout,omitempty"`
+
+	TaskID     int64            `json:"task_id,omitempty"`
+	TaskIDs    []int64          `json:"task_ids,omitempty"`
+	Tasks      []wireTask       `json:"tasks,omitempty"`
+	Results    []wireResult     `json:"results,omitempty"`
+	StatusMap  map[int64]string `json:"status_map,omitempty"`
+	PrioMap    map[int64]int    `json:"prio_map,omitempty"`
+	Count      int              `json:"count,omitempty"`
+	CountsMap  map[string]int   `json:"counts_map,omitempty"`
+	TagList    []string         `json:"tags,omitempty"`
+	ResultText string           `json:"result_text,omitempty"`
+}
+
+func encode(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,482 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"osprey/internal/core"
+)
+
+// Server exposes an EMEWS task database over TCP.
+type Server struct {
+	db core.API
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server for db on addr (e.g. "127.0.0.1:0") and returns once
+// the listener is bound. Use Addr for the chosen address and Close to stop.
+func Serve(db core.API, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listen: %w", err)
+	}
+	s := &Server{db: db, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+const maxLine = 64 << 20 // generous: payloads are JSON strings
+
+func (s *Server) handle(conn net.Conn) {
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 64<<10), maxLine)
+	for scanner.Scan() {
+		var req request
+		resp := response{OK: true}
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			resp = response{Error: "bad request: " + err.Error()}
+		} else {
+			resp = s.dispatch(req)
+		}
+		out, err := encode(resp)
+		if err != nil {
+			out, _ = encode(response{Error: "encode: " + err.Error()})
+		}
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req request) response {
+	switch req.Op {
+	case "ping":
+		return response{OK: true}
+	case "submit":
+		opts := []core.SubmitOption{core.WithPriority(req.Priority)}
+		if len(req.Tags) > 0 {
+			opts = append(opts, core.WithTags(req.Tags...))
+		}
+		id, err := s.db.SubmitTask(req.ExpID, req.WorkType, req.Payload, opts...)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true, TaskID: id}
+	case "submit_batch":
+		ids, err := s.db.SubmitTasks(req.ExpID, req.WorkType, req.Payloads, req.Priorities)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true, TaskIDs: ids}
+	case "query_tasks":
+		tasks, err := s.db.QueryTasks(req.WorkType, req.N, req.Pool,
+			ms(req.DelayMS), ms(req.TimeMS))
+		if err != nil {
+			return errResponse(err)
+		}
+		out := make([]wireTask, len(tasks))
+		for i, t := range tasks {
+			out[i] = wireTask{
+				ID: t.ID, ExpID: t.ExpID, WorkType: t.WorkType, Status: string(t.Status),
+				Payload: t.Payload, Result: t.Result, Pool: t.Pool, Priority: t.Priority,
+				Created: t.Created.UnixNano(), Started: t.Started.UnixNano(),
+				Stopped: t.Stopped.UnixNano(),
+			}
+		}
+		return response{OK: true, Tasks: out}
+	case "report":
+		if err := s.db.ReportTask(req.TaskID, req.WorkType, req.Result); err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true}
+	case "query_result":
+		res, err := s.db.QueryResult(req.TaskID, ms(req.DelayMS), ms(req.TimeMS))
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true, ResultText: res}
+	case "pop_results":
+		results, err := s.db.PopResults(req.TaskIDs, req.N, ms(req.DelayMS), ms(req.TimeMS))
+		if err != nil {
+			return errResponse(err)
+		}
+		out := make([]wireResult, len(results))
+		for i, r := range results {
+			out[i] = wireResult{ID: r.ID, Result: r.Result}
+		}
+		return response{OK: true, Results: out}
+	case "statuses":
+		sts, err := s.db.Statuses(req.TaskIDs)
+		if err != nil {
+			return errResponse(err)
+		}
+		m := make(map[int64]string, len(sts))
+		for id, st := range sts {
+			m[id] = string(st)
+		}
+		return response{OK: true, StatusMap: m}
+	case "priorities":
+		prios, err := s.db.Priorities(req.TaskIDs)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true, PrioMap: prios}
+	case "update_priorities":
+		n, err := s.db.UpdatePriorities(req.TaskIDs, req.Priorities)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true, Count: n}
+	case "cancel":
+		n, err := s.db.CancelTasks(req.TaskIDs)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true, Count: n}
+	case "requeue":
+		n, err := s.db.RequeueRunning(req.Pool)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true, Count: n}
+	case "counts":
+		counts, err := s.db.Counts(req.ExpID)
+		if err != nil {
+			return errResponse(err)
+		}
+		m := make(map[string]int, len(counts))
+		for st, n := range counts {
+			m[string(st)] = n
+		}
+		return response{OK: true, CountsMap: m}
+	case "tags":
+		tags, err := s.db.Tags(req.TaskID)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true, TagList: tags}
+	}
+	return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+func errResponse(err error) response {
+	return response{Error: err.Error(), Timeout: errors.Is(err, core.ErrTimeout)}
+}
+
+func ms(v int64) time.Duration { return time.Duration(v) * time.Millisecond }
+
+// --- client ---
+
+// Client is a TCP client for a remote EMEWS service implementing core.API.
+// A Client multiplexes all calls over one connection, serializing them; use
+// one Client per concurrent component (one per worker pool, one per ME
+// algorithm), as the paper does with per-process DB connections.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	rd   *bufio.Scanner
+	addr string
+}
+
+var _ core.API = (*Client)(nil)
+
+// Dial connects to a service.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	return &Client{conn: conn, rd: sc, addr: addr}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Ping verifies the service is reachable.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(request{Op: "ping"}, time.Second)
+	return err
+}
+
+func (c *Client) roundTrip(req request, timeout time.Duration) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, err := encode(req)
+	if err != nil {
+		return response{}, err
+	}
+	// Allow the server-side poll to finish before the read deadline.
+	deadline := time.Now().Add(timeout + 10*time.Second)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return response{}, err
+	}
+	if _, err := c.conn.Write(out); err != nil {
+		return response{}, fmt.Errorf("service: write: %w", err)
+	}
+	if !c.rd.Scan() {
+		if err := c.rd.Err(); err != nil {
+			return response{}, fmt.Errorf("service: read: %w", err)
+		}
+		return response{}, errors.New("service: connection closed")
+	}
+	var resp response
+	if err := json.Unmarshal(c.rd.Bytes(), &resp); err != nil {
+		return response{}, fmt.Errorf("service: bad response: %w", err)
+	}
+	if !resp.OK {
+		if resp.Timeout {
+			return resp, core.ErrTimeout
+		}
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// SubmitTask implements core.API.
+func (c *Client) SubmitTask(expID string, workType int, payload string, opts ...core.SubmitOption) (int64, error) {
+	var o core.SubmitOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	resp, err := c.roundTrip(request{
+		Op: "submit", ExpID: expID, WorkType: workType, Payload: payload,
+		Priority: o.Priority, Tags: o.Tags,
+	}, time.Second)
+	if err != nil {
+		return 0, err
+	}
+	return resp.TaskID, nil
+}
+
+// SubmitTasks implements core.API.
+func (c *Client) SubmitTasks(expID string, workType int, payloads []string, priorities []int) ([]int64, error) {
+	resp, err := c.roundTrip(request{
+		Op: "submit_batch", ExpID: expID, WorkType: workType,
+		Payloads: payloads, Priorities: priorities,
+	}, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return resp.TaskIDs, nil
+}
+
+// QueryTasks implements core.API.
+func (c *Client) QueryTasks(workType, n int, pool string, delay, timeout time.Duration) ([]core.Task, error) {
+	resp, err := c.roundTrip(request{
+		Op: "query_tasks", WorkType: workType, N: n, Pool: pool,
+		DelayMS: delay.Milliseconds(), TimeMS: timeout.Milliseconds(),
+	}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]core.Task, len(resp.Tasks))
+	for i, t := range resp.Tasks {
+		tasks[i] = core.Task{
+			ID: t.ID, ExpID: t.ExpID, WorkType: t.WorkType, Status: core.Status(t.Status),
+			Payload: t.Payload, Result: t.Result, Pool: t.Pool, Priority: t.Priority,
+			Created: time.Unix(0, t.Created), Started: time.Unix(0, t.Started),
+			Stopped: time.Unix(0, t.Stopped),
+		}
+	}
+	return tasks, nil
+}
+
+// ReportTask implements core.API.
+func (c *Client) ReportTask(taskID int64, workType int, result string) error {
+	_, err := c.roundTrip(request{Op: "report", TaskID: taskID, WorkType: workType, Result: result}, time.Second)
+	return err
+}
+
+// QueryResult implements core.API.
+func (c *Client) QueryResult(taskID int64, delay, timeout time.Duration) (string, error) {
+	resp, err := c.roundTrip(request{
+		Op: "query_result", TaskID: taskID,
+		DelayMS: delay.Milliseconds(), TimeMS: timeout.Milliseconds(),
+	}, timeout)
+	if err != nil {
+		return "", err
+	}
+	return resp.ResultText, nil
+}
+
+// PopResults implements core.API.
+func (c *Client) PopResults(ids []int64, max int, delay, timeout time.Duration) ([]core.TaskResult, error) {
+	resp, err := c.roundTrip(request{
+		Op: "pop_results", TaskIDs: ids, N: max,
+		DelayMS: delay.Milliseconds(), TimeMS: timeout.Milliseconds(),
+	}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.TaskResult, len(resp.Results))
+	for i, r := range resp.Results {
+		out[i] = core.TaskResult{ID: r.ID, Result: r.Result}
+	}
+	return out, nil
+}
+
+// Statuses implements core.API.
+func (c *Client) Statuses(ids []int64) (map[int64]core.Status, error) {
+	resp, err := c.roundTrip(request{Op: "statuses", TaskIDs: ids}, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]core.Status, len(resp.StatusMap))
+	for id, st := range resp.StatusMap {
+		out[id] = core.Status(st)
+	}
+	return out, nil
+}
+
+// Priorities implements core.API.
+func (c *Client) Priorities(ids []int64) (map[int64]int, error) {
+	resp, err := c.roundTrip(request{Op: "priorities", TaskIDs: ids}, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if resp.PrioMap == nil {
+		return map[int64]int{}, nil
+	}
+	return resp.PrioMap, nil
+}
+
+// UpdatePriorities implements core.API.
+func (c *Client) UpdatePriorities(ids []int64, priorities []int) (int, error) {
+	resp, err := c.roundTrip(request{Op: "update_priorities", TaskIDs: ids, Priorities: priorities}, time.Second)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// CancelTasks implements core.API.
+func (c *Client) CancelTasks(ids []int64) (int, error) {
+	resp, err := c.roundTrip(request{Op: "cancel", TaskIDs: ids}, time.Second)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// RequeueRunning implements core.API.
+func (c *Client) RequeueRunning(pool string) (int, error) {
+	resp, err := c.roundTrip(request{Op: "requeue", Pool: pool}, time.Second)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// Counts implements core.API.
+func (c *Client) Counts(expID string) (map[core.Status]int, error) {
+	resp, err := c.roundTrip(request{Op: "counts", ExpID: expID}, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[core.Status]int, len(resp.CountsMap))
+	for st, n := range resp.CountsMap {
+		out[core.Status(st)] = n
+	}
+	return out, nil
+}
+
+// Tags implements core.API.
+func (c *Client) Tags(taskID int64) ([]string, error) {
+	resp, err := c.roundTrip(request{Op: "tags", TaskID: taskID}, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return resp.TagList, nil
+}
+
+// DialContext dials with retry until the service is up or ctx expires —
+// used when funcX starts the service remotely and the client must wait for
+// it to come online.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	for {
+		c, err := Dial(addr)
+		if err == nil {
+			if perr := c.Ping(); perr == nil {
+				return c, nil
+			}
+			c.Close()
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("service: %s not reachable: %w", addr, ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

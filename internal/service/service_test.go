@@ -1,0 +1,311 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"osprey/internal/core"
+	"osprey/internal/pool"
+)
+
+const (
+	tick    = 5 * time.Millisecond
+	waitMax = 3 * time.Second
+)
+
+func newServerClient(t *testing.T) (*core.DB, *Client) {
+	t.Helper()
+	db, err := core.NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(db, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
+		db.Close()
+	})
+	return db, c
+}
+
+func TestPing(t *testing.T) {
+	_, c := newServerClient(t)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+}
+
+func TestRemoteSubmitQueryReport(t *testing.T) {
+	_, c := newServerClient(t)
+	id, err := c.SubmitTask("exp", 1, `{"x": [1, 2]}`, core.WithPriority(4), core.WithTags("remote"))
+	if err != nil {
+		t.Fatalf("SubmitTask: %v", err)
+	}
+	tasks, err := c.QueryTasks(1, 1, "remote-pool", tick, waitMax)
+	if err != nil {
+		t.Fatalf("QueryTasks: %v", err)
+	}
+	if len(tasks) != 1 || tasks[0].ID != id || tasks[0].Payload != `{"x": [1, 2]}` ||
+		tasks[0].Priority != 4 || tasks[0].Pool != "remote-pool" {
+		t.Fatalf("tasks = %+v", tasks)
+	}
+	if err := c.ReportTask(id, 1, "r"); err != nil {
+		t.Fatalf("ReportTask: %v", err)
+	}
+	res, err := c.QueryResult(id, tick, waitMax)
+	if err != nil || res != "r" {
+		t.Fatalf("QueryResult = %q, %v", res, err)
+	}
+	tags, err := c.Tags(id)
+	if err != nil || len(tags) != 1 || tags[0] != "remote" {
+		t.Fatalf("Tags = %v, %v", tags, err)
+	}
+}
+
+func TestRemoteTimeoutMapsToErrTimeout(t *testing.T) {
+	_, c := newServerClient(t)
+	_, err := c.QueryTasks(1, 1, "p", tick, 50*time.Millisecond)
+	if !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("err = %v, want core.ErrTimeout", err)
+	}
+	if _, err := c.QueryResult(99, tick, 50*time.Millisecond); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("QueryResult err = %v", err)
+	}
+}
+
+func TestRemoteBatchOps(t *testing.T) {
+	_, c := newServerClient(t)
+	var ids []int64
+	for i := 0; i < 5; i++ {
+		id, _ := c.SubmitTask("e", 1, fmt.Sprint(i))
+		ids = append(ids, id)
+	}
+	sts, err := c.Statuses(ids)
+	if err != nil || len(sts) != 5 {
+		t.Fatalf("Statuses = %v, %v", sts, err)
+	}
+	n, err := c.UpdatePriorities(ids, []int{5, 4, 3, 2, 1})
+	if err != nil || n != 5 {
+		t.Fatalf("UpdatePriorities = %d, %v", n, err)
+	}
+	prios, err := c.Priorities(ids)
+	if err != nil || prios[ids[0]] != 5 {
+		t.Fatalf("Priorities = %v, %v", prios, err)
+	}
+	nc, err := c.CancelTasks(ids[3:])
+	if err != nil || nc != 2 {
+		t.Fatalf("CancelTasks = %d, %v", nc, err)
+	}
+	counts, err := c.Counts("e")
+	if err != nil || counts[core.StatusCanceled] != 2 || counts[core.StatusQueued] != 3 {
+		t.Fatalf("Counts = %v, %v", counts, err)
+	}
+}
+
+func TestRemotePopResults(t *testing.T) {
+	db, c := newServerClient(t)
+	var ids []int64
+	for i := 0; i < 3; i++ {
+		id, _ := c.SubmitTask("e", 1, "x")
+		ids = append(ids, id)
+	}
+	tasks, _ := db.QueryTasks(1, 3, "p", tick, waitMax)
+	for _, task := range tasks {
+		db.ReportTask(task.ID, 1, fmt.Sprintf("res-%d", task.ID))
+	}
+	results, err := c.PopResults(ids, 10, tick, waitMax)
+	if err != nil || len(results) != 3 {
+		t.Fatalf("PopResults = %v, %v", results, err)
+	}
+	for _, r := range results {
+		if r.Result != fmt.Sprintf("res-%d", r.ID) {
+			t.Fatalf("result = %+v", r)
+		}
+	}
+}
+
+func TestRemoteRequeue(t *testing.T) {
+	_, c := newServerClient(t)
+	c.SubmitTask("e", 1, "x")
+	if _, err := c.QueryTasks(1, 1, "dead-pool", tick, waitMax); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.RequeueRunning("dead-pool")
+	if err != nil || n != 1 {
+		t.Fatalf("RequeueRunning = %d, %v", n, err)
+	}
+}
+
+func TestWorkerPoolOverService(t *testing.T) {
+	// A worker pool running against the remote client — the paper's
+	// cross-resource deployment — completes tasks submitted by another
+	// client.
+	_, me := newServerClient(t)
+	_, poolClient := newServerClient2(t, me)
+
+	p, err := pool.New(poolClient, pool.Config{Name: "svc-pool", Workers: 3, WorkType: 1},
+		func(payload string) (string, error) { return "done:" + payload, nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go p.Run(ctx)
+
+	var ids []int64
+	for i := 0; i < 10; i++ {
+		id, err := me.SubmitTask("e", 1, fmt.Sprint(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	got := 0
+	for got < len(ids) {
+		results, err := me.PopResults(ids, len(ids), tick, waitMax)
+		if err != nil {
+			t.Fatalf("PopResults: %v (have %d)", err, got)
+		}
+		got += len(results)
+	}
+}
+
+// newServerClient2 dials a second client against the same server as c.
+func newServerClient2(t *testing.T, c *Client) (*Client, *Client) {
+	t.Helper()
+	c2, err := Dial(c.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
+	return c, c2
+}
+
+func TestConcurrentClients(t *testing.T) {
+	db, c := newServerClient(t)
+	_ = db
+	var clients []*Client
+	for i := 0; i < 4; i++ {
+		ci, err := Dial(c.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ci.Close()
+		clients = append(clients, ci)
+	}
+	var wg sync.WaitGroup
+	for i, ci := range clients {
+		wg.Add(1)
+		go func(i int, ci *Client) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if _, err := ci.SubmitTask("e", 1, fmt.Sprintf("%d-%d", i, j)); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(i, ci)
+	}
+	wg.Wait()
+	counts, err := c.Counts("e")
+	if err != nil || counts[core.StatusQueued] != 100 {
+		t.Fatalf("counts = %v, %v", counts, err)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, c := newServerClient(t)
+	// Unknown op via raw round trip.
+	if _, err := c.roundTrip(request{Op: "explode"}, time.Second); err == nil {
+		t.Fatal("unknown op must error")
+	}
+	// Report for a nonexistent task surfaces the DB error.
+	if err := c.ReportTask(424242, 1, "x"); err == nil {
+		t.Fatal("report unknown task must error")
+	}
+}
+
+func TestDialContextWaitsForService(t *testing.T) {
+	db, err := core.NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Reserve an address, start serving only after a delay.
+	srvCh := make(chan *Server, 1)
+	addrCh := make(chan string, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		srv, err := Serve(db, "127.0.0.1:0")
+		if err != nil {
+			return
+		}
+		addrCh <- srv.Addr()
+		srvCh <- srv
+	}()
+	// We do not know the port until it binds, so dial the real address with
+	// a context that outlives the startup delay.
+	addr := <-addrCh
+	ctx, cancel := context.WithTimeout(context.Background(), waitMax)
+	defer cancel()
+	c, err := DialContext(ctx, addr)
+	if err != nil {
+		t.Fatalf("DialContext: %v", err)
+	}
+	c.Close()
+	(<-srvCh).Close()
+
+	// Unreachable address times out.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	if _, err := DialContext(ctx2, "127.0.0.1:1"); err == nil {
+		t.Fatal("DialContext to dead address must fail")
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	_, c := newServerClient(t)
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = 'a' + byte(i%26)
+	}
+	id, err := c.SubmitTask("e", 1, string(big))
+	if err != nil {
+		t.Fatalf("submit 1MB payload: %v", err)
+	}
+	tasks, err := c.QueryTasks(1, 1, "p", tick, waitMax)
+	if err != nil || tasks[0].ID != id || tasks[0].Payload != string(big) {
+		t.Fatalf("large payload round trip failed: %v", err)
+	}
+}
+
+func TestRemoteSubmitBatch(t *testing.T) {
+	_, c := newServerClient(t)
+	payloads := make([]string, 100)
+	for i := range payloads {
+		payloads[i] = fmt.Sprintf(`{"i": %d}`, i)
+	}
+	ids, err := c.SubmitTasks("batch", 1, payloads, []int{3})
+	if err != nil || len(ids) != 100 {
+		t.Fatalf("SubmitTasks = %d ids, %v", len(ids), err)
+	}
+	counts, _ := c.Counts("batch")
+	if counts[core.StatusQueued] != 100 {
+		t.Fatalf("counts = %v", counts)
+	}
+	tasks, err := c.QueryTasks(1, 1, "p", tick, waitMax)
+	if err != nil || tasks[0].Priority != 3 {
+		t.Fatalf("first pop = %+v, %v", tasks, err)
+	}
+}

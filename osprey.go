@@ -1,0 +1,128 @@
+// Package osprey is the public facade of the OSPREY reproduction: an open
+// science platform for robust epidemic analysis (Collier et al., 2023,
+// arXiv:2304.14244), reimplemented as a self-contained Go library.
+//
+// The platform coordinates algorithm-driven HPC workflows across federated
+// resources. Its components, each in an internal package re-exported here:
+//
+//   - the EMEWS task database and its submit/query/report/result API
+//     (internal/core), backed by an embedded SQL engine (internal/minisql);
+//   - an asynchronous futures API over that database (internal/future);
+//   - a TCP EMEWS service and client for remote access (internal/service);
+//   - a federated function-as-a-service fabric (internal/funcx);
+//   - heterogeneous worker pools with batch/threshold querying
+//     (internal/pool) running on simulated batch clusters (internal/sched);
+//   - a proxy-object data fabric over wide-area transfer
+//     (internal/proxystore, internal/globus);
+//   - model-exploration algorithms with local or remote Gaussian-process
+//     reprioritization (internal/opt, internal/gpr);
+//   - epidemiologic model workloads (internal/epi); and
+//   - the experiment harnesses regenerating the paper's figures
+//     (internal/experiments).
+//
+// A minimal local workflow:
+//
+//	db, _ := osprey.NewDB()
+//	defer db.Close()
+//	p, _ := osprey.NewPool(db, osprey.PoolConfig{Name: "p", Workers: 4, WorkType: 1}, exec, nil)
+//	go p.Run(ctx)
+//	f, _ := osprey.Submit(db, "exp", 1, `{"x": [0.5, 1.5]}`)
+//	result, _ := f.Result(time.Minute)
+package osprey
+
+import (
+	"osprey/internal/core"
+	"osprey/internal/future"
+	"osprey/internal/pool"
+	"osprey/internal/service"
+)
+
+// Core task-database types.
+type (
+	// DB is the in-process EMEWS task database.
+	DB = core.DB
+	// API is the task interface shared by DB and the remote service client.
+	API = core.API
+	// Task is one task row.
+	Task = core.Task
+	// TaskResult pairs a task id with its result payload.
+	TaskResult = core.TaskResult
+	// Status is a task lifecycle state.
+	Status = core.Status
+	// SubmitOption configures task submission.
+	SubmitOption = core.SubmitOption
+)
+
+// Task lifecycle states.
+const (
+	StatusQueued   = core.StatusQueued
+	StatusRunning  = core.StatusRunning
+	StatusComplete = core.StatusComplete
+	StatusCanceled = core.StatusCanceled
+)
+
+// Sentinel errors.
+var (
+	// ErrTimeout is returned when a polling query expires.
+	ErrTimeout = core.ErrTimeout
+	// ErrClosed is returned after DB shutdown.
+	ErrClosed = core.ErrClosed
+)
+
+// NewDB creates an empty EMEWS task database.
+func NewDB() (*DB, error) { return core.NewDB() }
+
+// WithPriority sets a task's initial priority.
+func WithPriority(p int) SubmitOption { return core.WithPriority(p) }
+
+// WithTags attaches metadata tags to a task.
+func WithTags(tags ...string) SubmitOption { return core.WithTags(tags...) }
+
+// Futures API.
+type (
+	// Future is a handle on one asynchronous task (§V-B of the paper).
+	Future = future.Future
+)
+
+// Submit submits a task and returns its Future.
+var Submit = future.Submit
+
+// PopCompleted blocks until one future in the list completes, removing and
+// returning it.
+var PopCompleted = future.PopCompleted
+
+// AsCompleted yields futures as they complete.
+var AsCompleted = future.AsCompleted
+
+// UpdatePriorities batch-updates queued futures' priorities.
+var UpdatePriorities = future.UpdatePriorities
+
+// Worker pools.
+type (
+	// Pool executes tasks of one work type (§IV-D).
+	Pool = pool.Pool
+	// PoolConfig parameterizes a pool.
+	PoolConfig = pool.Config
+	// TaskFunc executes one payload.
+	TaskFunc = pool.TaskFunc
+)
+
+// NewPool creates a worker pool over any API implementation.
+var NewPool = pool.New
+
+// Remote service.
+type (
+	// Server exposes a DB over TCP (the EMEWS service, §IV-C).
+	Server = service.Server
+	// Client is a remote API implementation.
+	Client = service.Client
+)
+
+// Serve starts an EMEWS service for db on addr.
+var Serve = service.Serve
+
+// Dial connects to an EMEWS service.
+var Dial = service.Dial
+
+// DialContext dials with retry until the service is reachable.
+var DialContext = service.DialContext
