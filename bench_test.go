@@ -28,6 +28,7 @@ import (
 	"osprey/internal/opt"
 	"osprey/internal/pool"
 	"osprey/internal/proxystore"
+	"osprey/internal/replica"
 	"osprey/internal/sched"
 	"osprey/internal/service"
 	"osprey/internal/workflow"
@@ -516,6 +517,76 @@ func BenchmarkServiceRoundTrip(b *testing.B) {
 		if _, err := c.SubmitTask("bench", 1, "p"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkReplicatedSubmit measures the submit path through a 3-node
+// replicated service (leader + 2 followers): the leader's statement WAL
+// records each commit and ships it to both followers asynchronously, so the
+// client-visible latency is the single-node round trip plus the commit-hook
+// bookkeeping. Compare with BenchmarkServiceRoundTrip (standalone).
+func BenchmarkReplicatedSubmit(b *testing.B) {
+	leader, err := replica.New(replica.Config{ID: "b1", Priority: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srvLead, err := service.ServeNode(leader, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { srvLead.Close(); leader.Close() }()
+	addrs := []string{srvLead.Addr()}
+	followers := make([]*replica.Node, 2)
+	for i := range followers {
+		n, err := replica.New(replica.Config{
+			ID: fmt.Sprintf("b%d", i+2), Priority: 2 - i, Join: leader.Addr(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := service.ServeNode(n, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { srv.Close(); n.Close() }()
+		followers[i] = n
+		addrs = append(addrs, srv.Addr())
+	}
+	c, err := service.DialCluster(addrs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	// Let both followers bootstrap so the run measures steady-state
+	// shipping. A sentinel write makes the wait meaningful: before any write
+	// every Applied() is 0 and the comparison would pass vacuously.
+	if _, err := c.SubmitTask("bench-warmup", 1, "sentinel"); err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for leader.Applied() == 0 ||
+		followers[0].Applied() != leader.Applied() || followers[1].Applied() != leader.Applied() {
+		if time.Now().After(deadline) {
+			b.Fatal("followers never caught up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SubmitTask("bench", 1, `{"x": [1.0, 2.0, 3.0, 4.0]}`); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Drain: followers must absorb the full log (keeps the bench honest
+	// about replication keeping up, not just leader-side latency).
+	deadline = time.Now().Add(30 * time.Second)
+	for followers[0].Applied() != leader.Applied() || followers[1].Applied() != leader.Applied() {
+		if time.Now().After(deadline) {
+			b.Fatal("followers fell behind and never drained")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -2,10 +2,23 @@
 // §IV-C): the resource-local component worker pools and ME algorithms
 // connect to.
 //
+// Standalone with restart persistence (§II-B1c):
+//
 //	osprey-service -addr 127.0.0.1:7654 -snapshot state.gob
 //
 // With -snapshot, existing state is restored at startup and persisted on
-// SIGINT/SIGTERM, providing the restart fault-tolerance path (§II-B1c).
+// SIGINT/SIGTERM, providing the restart fault-tolerance path.
+//
+// Replicated cluster (live fault tolerance): start an initial leader, then
+// join followers to its replication address. Priorities decide promotion
+// order on leader death; clients connect with osprey.DialCluster. Bind
+// concrete host addresses (they are what peers and clients are told to
+// dial), or bind wildcards and name the dialable addresses explicitly with
+// -advertise/-repl-advertise:
+//
+//	osprey-service -addr host1:7654 -node-id n1 -repl-addr host1:7700 -priority 3
+//	osprey-service -addr host2:7655 -node-id n2 -repl-addr host2:7701 -priority 2 -join host1:7700
+//	osprey-service -addr host3:7656 -node-id n3 -repl-addr host3:7702 -priority 1 -join host1:7700
 package main
 
 import (
@@ -18,6 +31,7 @@ import (
 	"syscall"
 
 	"osprey/internal/core"
+	"osprey/internal/replica"
 	"osprey/internal/service"
 )
 
@@ -25,18 +39,68 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("osprey-service: ")
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7654", "listen address")
-		snapshot = flag.String("snapshot", "", "optional snapshot file for restart persistence")
+		addr          = flag.String("addr", "127.0.0.1:7654", "listen address")
+		snapshot      = flag.String("snapshot", "", "optional snapshot file for restart persistence (standalone mode)")
+		nodeID        = flag.String("node-id", "", "cluster node id; enables replicated mode")
+		replAddr      = flag.String("repl-addr", "127.0.0.1:0", "replication (log shipping) listen address")
+		replAdvertise = flag.String("repl-advertise", "", "replication address peers should dial (default: the bound -repl-addr)")
+		advertise     = flag.String("advertise", "", "service address peers and clients should dial (default: the bound -addr)")
+		priority      = flag.Int("priority", 0, "promotion priority on leader death (higher wins)")
+		join          = flag.String("join", "", "replication address of the leader to follow (empty: start as leader)")
 	)
 	flag.Parse()
 
-	db, err := loadDB(*snapshot)
+	if *nodeID != "" {
+		runReplicated(*addr, *nodeID, *replAddr, *replAdvertise, *advertise, *priority, *join, *snapshot)
+		return
+	}
+	runStandalone(*addr, *snapshot)
+}
+
+func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, priority int, join, snapshot string) {
+	if snapshot != "" {
+		log.Fatal("-snapshot is a standalone-mode flag; replicated nodes bootstrap from the leader")
+	}
+	n, err := replica.New(replica.Config{
+		ID:          nodeID,
+		Priority:    priority,
+		Addr:        replAddr,
+		Advertise:   replAdvertise,
+		ServiceAddr: advertise,
+		Join:        join,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := service.ServeNode(n, addr)
+	if err != nil {
+		n.Close()
+		log.Fatal(err)
+	}
+	role := "leader"
+	if join != "" {
+		role = fmt.Sprintf("follower of %s", join)
+	}
+	log.Printf("EMEWS service node %s (%s, priority %d) listening on %s, replication on %s",
+		nodeID, role, priority, srv.Addr(), n.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	srv.Close()
+	n.Close()
+}
+
+func runStandalone(addr, snapshot string) {
+	db, err := loadDB(snapshot)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
 
-	srv, err := service.Serve(db, *addr)
+	srv, err := service.Serve(db, addr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,11 +111,11 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
-	if *snapshot != "" {
-		if err := saveDB(db, *snapshot); err != nil {
+	if snapshot != "" {
+		if err := saveDB(db, snapshot); err != nil {
 			log.Fatalf("saving snapshot: %v", err)
 		}
-		log.Printf("state saved to %s", *snapshot)
+		log.Printf("state saved to %s", snapshot)
 	}
 }
 

@@ -29,20 +29,20 @@ var schema = []string{
 		created_at INTEGER,
 		start_at INTEGER,
 		stop_at INTEGER)`,
-	`CREATE INDEX eq_tasks_status ON eq_tasks (status)`,
-	`CREATE INDEX eq_tasks_pool ON eq_tasks (pool)`,
+	`CREATE INDEX IF NOT EXISTS eq_tasks_status ON eq_tasks (status)`,
+	`CREATE INDEX IF NOT EXISTS eq_tasks_pool ON eq_tasks (pool)`,
 	`CREATE TABLE IF NOT EXISTS eq_out_q (
 		task_id INTEGER PRIMARY KEY,
 		work_type INTEGER,
 		priority INTEGER)`,
-	`CREATE INDEX eq_out_wt ON eq_out_q (work_type)`,
+	`CREATE INDEX IF NOT EXISTS eq_out_wt ON eq_out_q (work_type)`,
 	`CREATE TABLE IF NOT EXISTS eq_in_q (
 		task_id INTEGER PRIMARY KEY,
 		work_type INTEGER)`,
 	`CREATE TABLE IF NOT EXISTS eq_tags (
 		task_id INTEGER,
 		tag TEXT)`,
-	`CREATE INDEX eq_tags_task ON eq_tags (task_id)`,
+	`CREATE INDEX IF NOT EXISTS eq_tags_task ON eq_tags (task_id)`,
 }
 
 // DB is the in-process EMEWS task database. It is safe for concurrent use by
@@ -85,6 +85,29 @@ func RestoreDB(r io.Reader) (*DB, error) {
 		return nil, err
 	}
 	return &DB{eng: eng, outN: newNotifier(), inN: newNotifier()}, nil
+}
+
+// Restore replaces the database contents in place with a snapshot, keeping
+// the DB identity (and any servers holding it) intact. Replication uses this
+// when a follower bootstraps from a leader snapshot.
+func (db *DB) Restore(r io.Reader) error {
+	if err := db.eng.Restore(r); err != nil {
+		return err
+	}
+	db.Wake()
+	return nil
+}
+
+// Engine exposes the underlying SQL engine so the replication layer can
+// install a commit hook, replay shipped log entries, and take snapshots.
+func (db *DB) Engine() *minisql.Engine { return db.eng }
+
+// Wake prods both queue notifiers. The replication layer calls it after
+// applying externally shipped entries, so local pollers observe replicated
+// queue changes as promptly as local writes.
+func (db *DB) Wake() {
+	db.outN.notify()
+	db.inN.notify()
 }
 
 func nowNano() int64 { return time.Now().UnixNano() }

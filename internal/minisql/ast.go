@@ -36,9 +36,10 @@ type createTableStmt struct {
 }
 
 type createIndexStmt struct {
-	Name  string
-	Table string
-	Col   string
+	Name        string
+	IfNotExists bool
+	Table       string
+	Col         string
 }
 
 type dropTableStmt struct {

@@ -31,21 +31,26 @@ type Engine struct {
 
 	inTx bool
 	undo []undoOp
+
+	hook     CommitHook // observes committed mutating statements (wal.go)
+	applying bool       // true while replaying a shipped entry
+	pending  []Stmt     // mutating statements awaiting commit
 }
 
 type undoKind uint8
 
 const (
-	undoInsert undoKind = iota // undone by deleting rowid
+	undoInsert undoKind = iota // undone by deleting rowid (and restoring nextKey)
 	undoDelete                 // undone by re-inserting row
 	undoUpdate                 // undone by restoring old row
 )
 
 type undoOp struct {
-	kind  undoKind
-	table string
-	rowid int64
-	row   []Value
+	kind    undoKind
+	table   string
+	rowid   int64
+	row     []Value
+	nextKey int64 // undoInsert: the table's nextKey before the insert
 }
 
 // NewEngine returns an empty database.
@@ -74,7 +79,29 @@ func (e *Engine) Exec(sql string, args ...any) (*Result, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.execLocked(stmt, vals, sql)
+	if !e.inTx && isMutating(stmt) {
+		// Implicit transaction: a mutating statement that fails part-way
+		// (e.g. a bad row in a multi-row INSERT) must leave no trace —
+		// partial effects would never reach the statement log, silently
+		// diverging replicas from the leader.
+		e.inTx = true
+		e.undo = e.undo[:0]
+		res, err := e.execLocked(stmt, vals, sql)
+		if err != nil {
+			e.rollbackLocked()
+			e.inTx = false
+			return nil, err
+		}
+		e.inTx = false
+		e.undo = e.undo[:0]
+		e.flushPendingLocked()
+		return res, nil
+	}
+	res, err := e.execLocked(stmt, vals, sql)
+	if err == nil && !e.inTx {
+		e.flushPendingLocked()
+	}
+	return res, err
 }
 
 // Tx runs fn inside a transaction: fn's statements are committed if fn
@@ -88,6 +115,7 @@ func (e *Engine) Tx(fn func(tx *Tx) error) error {
 	}
 	e.inTx = true
 	e.undo = e.undo[:0]
+	e.pending = nil
 	err := fn(&Tx{e: e})
 	if err != nil {
 		e.rollbackLocked()
@@ -96,6 +124,7 @@ func (e *Engine) Tx(fn func(tx *Tx) error) error {
 	}
 	e.inTx = false
 	e.undo = e.undo[:0]
+	e.flushPendingLocked()
 	return nil
 }
 
@@ -123,7 +152,52 @@ func (tx *Tx) Exec(sql string, args ...any) (*Result, error) {
 	return tx.e.execLocked(stmt, vals, sql)
 }
 
+// execLocked executes one parsed statement and, on success, records mutating
+// statements for the commit hook (flushed by Exec and Tx at commit points).
+// Inside a transaction each statement is atomic: a mid-statement failure
+// (e.g. a bad row in a multi-row INSERT) unwinds just that statement's
+// effects. Failed statements never reach the commit hook, so without the
+// unwind a caller that swallows the error and commits would persist rows
+// the statement log never saw — silently diverging replicas.
 func (e *Engine) execLocked(stmt any, args []Value, sql string) (*Result, error) {
+	mark := len(e.undo)
+	res, err := e.execStmtLocked(stmt, args, sql)
+	if err != nil {
+		if e.inTx {
+			e.rollbackToLocked(mark)
+		}
+		return res, err
+	}
+	if e.hook != nil && !e.applying && isMutating(stmt) {
+		e.pending = append(e.pending, Stmt{SQL: sql, Args: args})
+	}
+	return res, err
+}
+
+// isMutating reports whether a parsed statement changes database state and so
+// must be recorded in the statement log for replication.
+func isMutating(stmt any) bool {
+	switch stmt.(type) {
+	case createTableStmt, createIndexStmt, dropTableStmt, insertStmt, updateStmt, deleteStmt:
+		return true
+	}
+	return false
+}
+
+// flushPendingLocked hands the buffered committed statements to the hook.
+// The slice is surrendered to the hook, never reused.
+func (e *Engine) flushPendingLocked() {
+	if len(e.pending) == 0 {
+		return
+	}
+	stmts := e.pending
+	e.pending = nil
+	if e.hook != nil {
+		e.hook(stmts)
+	}
+}
+
+func (e *Engine) execStmtLocked(stmt any, args []Value, sql string) (*Result, error) {
 	switch st := stmt.(type) {
 	case createTableStmt:
 		return e.execCreateTable(st)
@@ -145,6 +219,7 @@ func (e *Engine) execLocked(stmt any, args []Value, sql string) (*Result, error)
 		}
 		e.inTx = true
 		e.undo = e.undo[:0]
+		e.pending = nil
 		return &Result{}, nil
 	case commitStmt:
 		if !e.inTx {
@@ -165,7 +240,14 @@ func (e *Engine) execLocked(stmt any, args []Value, sql string) (*Result, error)
 }
 
 func (e *Engine) rollbackLocked() {
-	for i := len(e.undo) - 1; i >= 0; i-- {
+	e.rollbackToLocked(0)
+	e.pending = nil
+}
+
+// rollbackToLocked unwinds undo entries down to mark (a statement-level
+// savepoint), leaving earlier entries in place.
+func (e *Engine) rollbackToLocked(mark int) {
+	for i := len(e.undo) - 1; i >= mark; i-- {
 		op := e.undo[i]
 		t := e.tables[op.table]
 		if t == nil {
@@ -174,13 +256,18 @@ func (e *Engine) rollbackLocked() {
 		switch op.kind {
 		case undoInsert:
 			t.delete(op.rowid)
+			// Restore the AUTOINCREMENT counter: a rolled-back insert is
+			// invisible to the statement log, so replicas replaying the log
+			// never bump it — the leader must not either, or task IDs
+			// diverge across the cluster.
+			t.nextKey = op.nextKey
 		case undoDelete:
 			t.insertAt(op.rowid, op.row)
 		case undoUpdate:
 			t.update(op.rowid, op.row)
 		}
 	}
-	e.undo = e.undo[:0]
+	e.undo = e.undo[:mark]
 }
 
 func (e *Engine) logUndo(op undoOp) {
@@ -208,6 +295,12 @@ func (e *Engine) execCreateIndex(st createIndexStmt) (*Result, error) {
 	t, ok := e.tables[st.Table]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
+	}
+	if _, exists := t.indexes[st.Col]; exists {
+		if st.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("minisql: index on %s (%s) already exists", st.Table, st.Col)
 	}
 	if err := t.addIndex(st.Col); err != nil {
 		return nil, err
@@ -256,6 +349,7 @@ func (e *Engine) execInsert(st insertStmt, args []Value) (*Result, error) {
 		for i := range row {
 			row[i] = Null()
 		}
+		prevNextKey := t.nextKey
 		ev := &evalCtx{tbl: t, args: args}
 		for i, ex := range exprRow {
 			v, err := ex.eval(ev)
@@ -276,7 +370,7 @@ func (e *Engine) execInsert(st insertStmt, args []Value) (*Result, error) {
 			res.LastInsertID = row[t.autoCol].AsInt()
 		}
 		id := t.insert(row)
-		e.logUndo(undoOp{kind: undoInsert, table: t.name, rowid: id})
+		e.logUndo(undoOp{kind: undoInsert, table: t.name, rowid: id, nextKey: prevNextKey})
 		res.RowsAffected++
 	}
 	return res, nil

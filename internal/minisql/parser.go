@@ -209,6 +209,16 @@ func (p *parser) columnDef() (ColumnDef, error) {
 }
 
 func (p *parser) createIndex() (any, error) {
+	st := createIndexStmt{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfNotExists = true
+	}
 	name, err := p.ident()
 	if err != nil {
 		return nil, err
@@ -230,7 +240,10 @@ func (p *parser) createIndex() (any, error) {
 	if err := p.expectPunct(")"); err != nil {
 		return nil, err
 	}
-	return createIndexStmt{Name: name, Table: tbl, Col: col}, nil
+	st.Name = name
+	st.Table = tbl
+	st.Col = col
+	return st, nil
 }
 
 func (p *parser) dropStmt() (any, error) {

@@ -32,6 +32,16 @@ type snapDB struct {
 // service-restart fault tolerance path: the EMEWS service can persist the
 // task database and restore it on another resource (paper §II-B1c).
 func (e *Engine) Snapshot(w io.Writer) error {
+	return e.SnapshotWith(w, nil)
+}
+
+// SnapshotWith serializes the database like Snapshot and, after a
+// successful write, invokes observe while the engine lock is still held.
+// Commits (and so commit-hook WAL appends) happen under that lock, which
+// lets the replication layer capture the exact log index a snapshot
+// corresponds to: no commit can land between the serialization and the
+// observation. observe must be fast and must not call back into the engine.
+func (e *Engine) SnapshotWith(w io.Writer, observe func()) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.inTx {
@@ -54,7 +64,13 @@ func (e *Engine) Snapshot(w io.Writer) error {
 		}
 		s.Tables = append(s.Tables, st)
 	}
-	return gob.NewEncoder(w).Encode(&s)
+	if err := gob.NewEncoder(w).Encode(&s); err != nil {
+		return err
+	}
+	if observe != nil {
+		observe()
+	}
+	return nil
 }
 
 // Restore replaces the database contents with a snapshot produced by

@@ -1,0 +1,150 @@
+package minisql
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stmt is one mutating SQL statement with its bound positional arguments,
+// exactly as executed on the engine. Replaying the same Stmt sequence against
+// an engine in the same starting state is deterministic: every dynamic value
+// (timestamps, payloads) arrives through Args, and AUTOINCREMENT keys are a
+// pure function of prior statements.
+type Stmt struct {
+	SQL  string
+	Args []Value
+}
+
+// LogEntry is one committed unit of work: a single statement for autocommit
+// execs, or every mutating statement of a transaction. Entries carry a
+// monotonically increasing index assigned by the WAL.
+type LogEntry struct {
+	Index uint64
+	Stmts []Stmt
+}
+
+// CommitHook observes every committed mutating statement batch. It is invoked
+// synchronously while the engine lock is held, so implementations must be
+// fast and must not call back into the engine.
+type CommitHook func(stmts []Stmt)
+
+// SetCommitHook installs h as the engine's commit observer (nil to remove).
+// The hook fires once per successful autocommit statement and once per
+// committed transaction, with the mutating statements in execution order.
+// Statements replayed through ApplyEntry do not fire the hook.
+func (e *Engine) SetCommitHook(h CommitHook) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hook = h
+}
+
+// ApplyEntry deterministically replays one log entry produced by a commit
+// hook on another engine. Multi-statement entries apply atomically: any
+// statement error rolls back the whole entry. The commit hook is suppressed
+// during replay, so a replica's own hook never re-records shipped entries.
+func (e *Engine) ApplyEntry(entry LogEntry) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.inTx {
+		return ErrInTx
+	}
+	e.applying = true
+	defer func() { e.applying = false }()
+	e.inTx = true
+	e.undo = e.undo[:0]
+	for _, s := range entry.Stmts {
+		stmt, _, err := parse(s.SQL)
+		if err != nil {
+			e.rollbackLocked()
+			e.inTx = false
+			return fmt.Errorf("minisql: apply entry %d: %w", entry.Index, err)
+		}
+		if _, err := e.execLocked(stmt, s.Args, s.SQL); err != nil {
+			e.rollbackLocked()
+			e.inTx = false
+			return fmt.Errorf("minisql: apply entry %d: %w", entry.Index, err)
+		}
+	}
+	e.inTx = false
+	e.undo = e.undo[:0]
+	return nil
+}
+
+// WAL is an in-memory write-ahead statement log: the ordered record of every
+// committed mutation since a base index. A leader replica appends its commit
+// hook output here and ships entries to followers; EntriesSince supports
+// resumable streaming and Compact trims entries every connected follower has
+// acknowledged.
+type WAL struct {
+	mu      sync.Mutex
+	base    uint64 // index of the last entry *before* entries[0]
+	entries []LogEntry
+	watch   chan struct{} // closed and replaced on every append
+}
+
+// NewWAL returns an empty log whose first entry will get index base+1.
+// Use base 0 for a fresh database, or the applied index of a promoted
+// follower so its log continues the cluster's numbering.
+func NewWAL(base uint64) *WAL {
+	return &WAL{base: base, watch: make(chan struct{})}
+}
+
+// Append records one committed statement batch and returns its index.
+func (w *WAL) Append(stmts []Stmt) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	idx := w.base + uint64(len(w.entries)) + 1
+	w.entries = append(w.entries, LogEntry{Index: idx, Stmts: stmts})
+	close(w.watch)
+	w.watch = make(chan struct{})
+	return idx
+}
+
+// LastIndex returns the index of the newest entry (the base when empty).
+func (w *WAL) LastIndex() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.base + uint64(len(w.entries))
+}
+
+// EntriesSince returns a copy of all entries with index > after. ok is false
+// when after precedes the compacted base, meaning the caller needs a fresh
+// snapshot instead of incremental entries.
+func (w *WAL) EntriesSince(after uint64) (out []LogEntry, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if after < w.base {
+		return nil, false
+	}
+	from := after - w.base
+	if from >= uint64(len(w.entries)) {
+		return nil, true
+	}
+	out = make([]LogEntry, len(w.entries)-int(from))
+	copy(out, w.entries[from:])
+	return out, true
+}
+
+// Watch returns a channel closed at the next Append, for streaming senders
+// to block on without polling.
+func (w *WAL) Watch() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.watch
+}
+
+// Compact drops entries with index <= upTo, keeping memory bounded once all
+// followers have acknowledged past that point.
+func (w *WAL) Compact(upTo uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if upTo <= w.base {
+		return
+	}
+	n := upTo - w.base
+	if n > uint64(len(w.entries)) {
+		n = uint64(len(w.entries))
+	}
+	w.entries = append([]LogEntry(nil), w.entries[n:]...)
+	w.base += n
+}

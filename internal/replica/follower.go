@@ -1,0 +1,280 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// runFollower is the follower's main loop: stream from the current leader
+// until the connection dies, then either follow a redirect or run the
+// deterministic promotion protocol.
+func (n *Node) runFollower() {
+	defer n.wg.Done()
+	target := n.cfg.Join
+	joined := false
+	forceSnap := false
+	for !n.isClosed() {
+		redirect, err := n.followOnce(target, &joined, forceSnap)
+		// A log gap or an entry that fails to apply means this replica's
+		// state no longer extends the leader's log; re-join with From 0 so
+		// the leader sends a fresh snapshot. Resuming instead would re-ship
+		// the identical entry, fail identically, and hot-loop forever.
+		forceSnap = errors.Is(err, errLogGap) || errors.Is(err, errApply)
+		if n.isClosed() {
+			return
+		}
+		if redirect != "" && redirect != target {
+			target = redirect
+			continue
+		}
+		if err != nil {
+			n.logf("stream from %s ended: %v", target, err)
+		}
+		if !joined {
+			// Never been part of the cluster yet (the leader may still be
+			// starting): keep knocking on the configured join address
+			// instead of claiming leadership with a one-node world view.
+			if !n.sleep(n.cfg.Heartbeat) {
+				return
+			}
+			continue
+		}
+		target = n.electOrPromote(target)
+		if target == "" {
+			return // promoted: leader duties run in their own goroutines
+		}
+	}
+}
+
+// errLogGap marks a shipped entry that does not extend the applied prefix;
+// errApply marks an entry whose replay failed. Both mean local state has
+// diverged from the leader's log, and the follower re-joins with a forced
+// snapshot to heal.
+var (
+	errLogGap = errors.New("replica: log gap")
+	errApply  = errors.New("replica: entry apply failed")
+)
+
+// followOnce joins the leader at addr and applies its stream until the
+// connection fails. It returns a redirect address when the contacted node
+// pointed at a different leader. forceSnap requests a snapshot bootstrap
+// even when an incremental resume would be possible.
+func (n *Node) followOnce(addr string, joined *bool, forceSnap bool) (redirect string, err error) {
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.ElectionTimeout)
+	if err != nil {
+		return "", err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return "", errors.New("replica: node closed")
+	}
+	n.stream = conn
+	self := n.selfPeerLocked()
+	applied, term := n.applied, n.term
+	n.mu.Unlock()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		if n.stream == conn {
+			n.stream = nil
+		}
+		n.mu.Unlock()
+	}()
+
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	from := applied
+	if forceSnap {
+		from = 0
+	}
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.ElectionTimeout))
+	if err := enc.Encode(&frame{Type: frameJoin, Peer: self, From: from, Term: term}); err != nil {
+		return "", err
+	}
+
+	// The hello may carry a full database snapshot, so the first read gets
+	// the bootstrap deadline; after that heartbeats arrive every
+	// cfg.Heartbeat and a silent leader is dead.
+	readDeadline := n.snapshotTimeout()
+	for {
+		conn.SetReadDeadline(time.Now().Add(readDeadline))
+		readDeadline = 2 * n.cfg.ElectionTimeout
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return "", err
+		}
+		switch f.Type {
+		case frameNotLeader:
+			return f.LeaderRepl, nil
+		case frameSnapshot:
+			if err := n.applySnapshot(f); err != nil {
+				return "", err
+			}
+			*joined = true
+			n.ack(enc, conn)
+		case frameEntry:
+			ok, err := n.applyEntryFrame(f)
+			if err != nil {
+				return "", err
+			}
+			if ok {
+				n.ack(enc, conn)
+			}
+		case frameHeartbeat:
+			if err := n.adoptView(f); err != nil {
+				return "", err
+			}
+			n.ack(enc, conn)
+		}
+	}
+}
+
+func (n *Node) ack(enc *gob.Encoder, conn net.Conn) {
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.ElectionTimeout))
+	enc.Encode(&frame{Type: frameAck, Applied: n.Applied()})
+}
+
+// applySnapshot bootstraps the local database from the leader's snapshot and
+// adopts its term and membership view.
+func (n *Node) applySnapshot(f frame) error {
+	if err := n.adoptView(f); err != nil {
+		return err
+	}
+	if err := n.db.Restore(bytes.NewReader(f.Snapshot)); err != nil {
+		return fmt.Errorf("replica: restoring snapshot: %w", err)
+	}
+	n.mu.Lock()
+	n.applied = f.SnapIndex
+	n.mu.Unlock()
+	n.logf("bootstrapped from snapshot at index %d (term %d)", f.SnapIndex, f.Term)
+	return nil
+}
+
+// applyEntryFrame replays one shipped entry; duplicates (replays after a
+// reconnect) are skipped, gaps force a re-join (and fresh snapshot).
+func (n *Node) applyEntryFrame(f frame) (applied bool, err error) {
+	n.mu.Lock()
+	cur := n.applied
+	n.mu.Unlock()
+	if f.Entry.Index <= cur {
+		return false, nil
+	}
+	if f.Entry.Index != cur+1 {
+		return false, fmt.Errorf("%w: have %d, got %d", errLogGap, cur, f.Entry.Index)
+	}
+	if err := n.eng.ApplyEntry(f.Entry); err != nil {
+		return false, fmt.Errorf("%w: %v", errApply, err)
+	}
+	n.mu.Lock()
+	n.applied = f.Entry.Index
+	n.mu.Unlock()
+	n.db.Wake()
+	return true, nil
+}
+
+// adoptView ingests the leader's term, membership and identity from a
+// snapshot or heartbeat frame, rejecting stale terms.
+func (n *Node) adoptView(f frame) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f.Term < n.term {
+		return fmt.Errorf("replica: stale leader term %d < %d", f.Term, n.term)
+	}
+	n.term = f.Term
+	n.leader = Peer{ReplAddr: f.LeaderRepl, SvcAddr: f.LeaderSvc}
+	peers := make(map[string]Peer, len(f.Peers)+1)
+	for _, p := range f.Peers {
+		peers[p.ID] = p
+		if p.ReplAddr == f.LeaderRepl {
+			n.leader = p
+		}
+	}
+	self := n.selfPeerLocked()
+	peers[self.ID] = self
+	n.peers = peers
+	return nil
+}
+
+// electOrPromote runs the deterministic failover protocol after losing the
+// leader at deadAddr. Every surviving node ranks the remaining membership
+// identically (priority desc, ID asc). The top-ranked node promotes itself
+// immediately; each lower rank waits rank x ElectionTimeout while probing
+// better-ranked peers, following whichever declares itself leader first, and
+// promotes itself only when every better candidate stayed silent. It returns
+// the new leader's replication address, or "" after self-promotion.
+func (n *Node) electOrPromote(deadAddr string) string {
+	// A broken stream is not proof of death: if the old leader still answers
+	// probes as leader, re-join it instead of electing.
+	if role, _ := n.probe(deadAddr); role == RoleLeader {
+		return deadAddr
+	}
+	n.mu.Lock()
+	deadID := n.leader.ID
+	cands := make([]Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p.ID != deadID && p.ReplAddr != deadAddr {
+			cands = append(cands, p)
+		}
+	}
+	selfID := n.cfg.ID
+	n.mu.Unlock()
+	rankPeers(cands)
+
+	myIdx := -1
+	for i, p := range cands {
+		if p.ID == selfID {
+			myIdx = i
+			break
+		}
+	}
+	if myIdx <= 0 {
+		// Top-ranked (or membership view lost): claim leadership now.
+		n.promote()
+		return ""
+	}
+	n.logf("leader %s lost; rank %d of %d in election", deadID, myIdx, len(cands))
+	deadline := time.Now().Add(time.Duration(myIdx) * n.cfg.ElectionTimeout)
+	for time.Now().Before(deadline) {
+		if n.isClosed() {
+			return ""
+		}
+		for _, c := range cands[:myIdx] {
+			role, leaderRepl := n.probe(c.ReplAddr)
+			if role == RoleLeader {
+				return c.ReplAddr
+			}
+			if leaderRepl != "" && leaderRepl != deadAddr && leaderRepl != c.ReplAddr {
+				return leaderRepl
+			}
+		}
+		if !n.sleep(n.cfg.Heartbeat) {
+			return ""
+		}
+	}
+	n.promote()
+	return ""
+}
+
+// probe asks the node at addr for its role and leader hint.
+func (n *Node) probe(addr string) (Role, string) {
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.ElectionTimeout/2)
+	if err != nil {
+		return RoleFollower, ""
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(n.cfg.ElectionTimeout))
+	if err := gob.NewEncoder(conn).Encode(&frame{Type: frameProbe}); err != nil {
+		return RoleFollower, ""
+	}
+	var f frame
+	if err := gob.NewDecoder(conn).Decode(&f); err != nil {
+		return RoleFollower, ""
+	}
+	return f.Role, f.LeaderRepl
+}

@@ -1,0 +1,283 @@
+package replica
+
+import (
+	"encoding/gob"
+	"net"
+	"time"
+
+	"osprey/internal/minisql"
+)
+
+// compactionFloor is how many acknowledged entries the leader retains beyond
+// the followers' minimum position, so a join whose snapshot races a
+// compaction still finds its entries and avoids a redundant re-bootstrap.
+const compactionFloor = 256
+
+// followerConn is the leader-side state of one connected follower. enc is
+// the connection's single gob encoder (gob streams must not mix encoders);
+// only the join/stream goroutine writes with it.
+type followerConn struct {
+	peer  Peer
+	conn  net.Conn
+	enc   *gob.Encoder
+	acked uint64 // highest applied index the follower acknowledged
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			n.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn serves one inbound replication connection: a probe (answered
+// and closed) or a follower join (snapshot + entry stream until the
+// connection dies).
+func (n *Node) handleConn(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	conn.SetReadDeadline(time.Now().Add(n.cfg.ElectionTimeout))
+	var f frame
+	if err := dec.Decode(&f); err != nil {
+		return
+	}
+	switch f.Type {
+	case frameProbe:
+		n.mu.Lock()
+		st := frame{
+			Type: frameStatus, Term: n.term, Role: n.role,
+			LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
+		}
+		n.mu.Unlock()
+		conn.SetWriteDeadline(time.Now().Add(n.cfg.ElectionTimeout))
+		enc.Encode(&st)
+	case frameJoin:
+		n.handleJoin(conn, enc, dec, f)
+	}
+}
+
+func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, join frame) {
+	n.mu.Lock()
+	if n.closed || n.role != RoleLeader {
+		resp := frame{
+			Type: frameNotLeader, Term: n.term,
+			LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
+		}
+		n.mu.Unlock()
+		conn.SetWriteDeadline(time.Now().Add(n.cfg.ElectionTimeout))
+		enc.Encode(&resp)
+		return
+	}
+	if _, known := n.peers[join.Peer.ID]; !known {
+		n.peers[join.Peer.ID] = join.Peer
+		n.notifyPeersChangedLocked()
+	} else {
+		n.peers[join.Peer.ID] = join.Peer
+	}
+	w := n.wal
+	term := n.term
+	n.mu.Unlock()
+
+	// A follower resuming within this leader's own term whose position the
+	// WAL still holds catches up incrementally: same term means its applied
+	// prefix came from this very log, so no re-bootstrap is needed. Anything
+	// else (fresh join, term change, compacted-away position) gets a
+	// snapshot, which makes the leader's state authoritative after failover
+	// and heals follower divergence wholesale.
+	resume := false
+	var snap []byte
+	var startIdx uint64
+	if join.Term == term && join.From > 0 {
+		if _, ok := w.EntriesSince(join.From); ok {
+			resume = true
+			startIdx = join.From
+		}
+	}
+	if !resume {
+		var err error
+		snap, startIdx, err = n.snapshotAt(w)
+		if err != nil {
+			n.logf("join %s: snapshot: %v", join.Peer.ID, err)
+			return
+		}
+	}
+
+	fol := &followerConn{peer: join.Peer, conn: conn, enc: enc, acked: startIdx}
+	n.mu.Lock()
+	if n.closed || n.role != RoleLeader {
+		n.mu.Unlock()
+		return
+	}
+	if old := n.followers[join.Peer.ID]; old != nil {
+		old.conn.Close()
+	}
+	n.followers[join.Peer.ID] = fol
+	hello := frame{
+		Type: frameSnapshot, Term: n.term, Role: RoleLeader,
+		Snapshot: snap, SnapIndex: startIdx,
+		Peers:      n.peerListLocked(),
+		LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
+	}
+	if resume {
+		hello.Type = frameHeartbeat
+		hello.Snapshot, hello.SnapIndex = nil, 0
+	}
+	n.mu.Unlock()
+	defer n.dropFollower(join.Peer.ID, fol)
+
+	// Snapshot transfer gets its own generous deadline, decoupled from the
+	// failure-detection timings (see snapshotTimeout).
+	conn.SetWriteDeadline(time.Now().Add(n.snapshotTimeout()))
+	if err := enc.Encode(&hello); err != nil {
+		return
+	}
+	if resume {
+		n.logf("follower %s resumed from index %d", join.Peer.ID, startIdx)
+	} else {
+		n.logf("follower %s joined at index %d", join.Peer.ID, startIdx)
+	}
+
+	// Acks flow back on the same connection; reading them also detects a
+	// dead follower, whose conn we close to unblock the sender below. The
+	// first ack waits out the follower's snapshot restore; later ones are
+	// heartbeat-paced.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer conn.Close()
+		ackDeadline := n.snapshotTimeout()
+		for {
+			conn.SetReadDeadline(time.Now().Add(ackDeadline))
+			ackDeadline = 4 * n.cfg.ElectionTimeout
+			var ack frame
+			if err := dec.Decode(&ack); err != nil {
+				return
+			}
+			if ack.Type != frameAck {
+				continue
+			}
+			n.mu.Lock()
+			if cur := n.followers[join.Peer.ID]; cur == fol && ack.Applied > fol.acked {
+				fol.acked = ack.Applied
+			}
+			n.mu.Unlock()
+		}
+	}()
+
+	n.streamTo(fol, w, startIdx)
+}
+
+// streamTo ships WAL entries to one follower, interleaving heartbeats when
+// the log is idle. Returns when the connection breaks, the node closes, or
+// leadership is lost.
+func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
+	pos := from
+	beat := time.NewTicker(n.cfg.Heartbeat)
+	defer beat.Stop()
+	for {
+		if n.isClosed() || !n.IsLeader() {
+			return
+		}
+		watch := w.Watch()
+		entries, ok := w.EntriesSince(pos)
+		if !ok {
+			// Compacted past this follower's position (only possible when it
+			// lagged by more than the retention floor): force a re-join and
+			// fresh snapshot by dropping the stream.
+			n.logf("follower %s lagged past compaction at %d", fol.peer.ID, pos)
+			return
+		}
+		for _, ent := range entries {
+			fol.conn.SetWriteDeadline(time.Now().Add(2 * n.cfg.ElectionTimeout))
+			if err := gobSend(fol, frame{Type: frameEntry, Term: n.Term(), Entry: ent}); err != nil {
+				return
+			}
+			pos = ent.Index
+		}
+		if len(entries) > 0 {
+			continue
+		}
+		sendBeat := false
+		select {
+		case <-n.closeCh:
+			return
+		case <-watch:
+		case <-n.peersWatch():
+			sendBeat = true // membership changed: broadcast it immediately
+		case <-beat.C:
+			sendBeat = true
+		}
+		if sendBeat {
+			n.mu.Lock()
+			hb := frame{
+				Type: frameHeartbeat, Term: n.term, Role: n.role,
+				Peers:      n.peerListLocked(),
+				LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
+			}
+			n.mu.Unlock()
+			fol.conn.SetWriteDeadline(time.Now().Add(2 * n.cfg.ElectionTimeout))
+			if err := gobSend(fol, hb); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// gobSend encodes one frame on the follower's connection. Each followerConn
+// has a single sender goroutine, so no write lock is needed.
+func gobSend(fol *followerConn, f frame) error {
+	return fol.enc.Encode(&f)
+}
+
+func (n *Node) dropFollower(id string, fol *followerConn) {
+	fol.conn.Close()
+	n.mu.Lock()
+	if n.followers[id] == fol {
+		delete(n.followers, id)
+	}
+	n.mu.Unlock()
+}
+
+// leaderHousekeeping periodically compacts the WAL up to the slowest
+// connected follower's acknowledged index (keeping a retention floor so
+// racing joins don't immediately re-bootstrap).
+func (n *Node) leaderHousekeeping() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.ElectionTimeout)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.closeCh:
+			return
+		case <-tick.C:
+		}
+		n.mu.Lock()
+		w := n.wal
+		isLeader := n.role == RoleLeader
+		min := uint64(0)
+		if w != nil {
+			min = w.LastIndex()
+			for _, f := range n.followers {
+				if f.acked < min {
+					min = f.acked
+				}
+			}
+		}
+		n.mu.Unlock()
+		if !isLeader {
+			return
+		}
+		if w != nil && min > compactionFloor {
+			w.Compact(min - compactionFloor)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package replica turns the single-node EMEWS service into a leader/follower
+// cluster, extending the paper's snapshot/restart fault tolerance (§II-B1c)
+// to live node loss.
+//
+// The design follows the classic statement-shipping shape: the leader's SQL
+// engine records every committed mutating statement in an in-memory
+// write-ahead log (minisql.WAL); followers join over a small TCP protocol,
+// bootstrap from an engine snapshot taken at a log index, then stream and
+// deterministically replay entries. Heartbeats carry the term and the full
+// membership list. When the leader dies, the surviving follower with the
+// highest promotion rank (priority desc, ID asc) promotes itself after a
+// rank-proportional backoff, so exactly one node wins without a vote; the
+// rest re-join the new leader and re-bootstrap from its snapshot, which makes
+// the new leader's state authoritative and heals any divergence.
+//
+// Replication is asynchronous: a write acknowledged by the leader may be
+// lost if the leader dies before shipping it. Completed task results that
+// HAVE replicated survive any single node loss, and the failover-aware
+// service client (service.DialCluster) recovers them from the new leader.
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"osprey/internal/core"
+	"osprey/internal/minisql"
+)
+
+// Config parameterizes one cluster node.
+type Config struct {
+	// ID uniquely names the node in the cluster. Defaults to the
+	// replication listen address.
+	ID string
+	// Priority is the promotion rank; the live follower with the highest
+	// priority is promoted when the leader dies (ties: lowest ID wins).
+	Priority int
+	// Addr is the replication listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Advertise is the replication address other nodes should dial to reach
+	// this one. It defaults to the bound listen address, which is correct on
+	// a single host; set it when binding a wildcard address (":7700") or
+	// behind NAT, where the raw listener address is not dialable remotely.
+	Advertise string
+	// ServiceAddr is the advertised EMEWS service address of this node;
+	// service.ServeNode fills it in automatically.
+	ServiceAddr string
+	// Join is the replication address of the leader to follow. Empty means
+	// this node boots as the cluster's initial leader.
+	Join string
+	// Heartbeat is the leader's keepalive interval (default 25ms).
+	Heartbeat time.Duration
+	// ElectionTimeout is how long a follower waits without hearing from the
+	// leader before starting failover, and the per-rank promotion backoff
+	// slot (default 8x Heartbeat).
+	ElectionTimeout time.Duration
+	// Logf, when set, receives replication lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Node is one member of a replicated EMEWS service cluster. It owns a
+// core.DB, ships (or applies) the statement WAL, and runs the failover
+// protocol. Create with New, wire the service with service.ServeNode (or
+// SetServiceAddr + Start), and shut down with Close.
+type Node struct {
+	cfg Config
+	db  *core.DB
+	eng *minisql.Engine
+	ln  net.Listener
+
+	mu        sync.Mutex
+	role      Role
+	term      uint64
+	applied   uint64 // last applied (follower) / committed (leader) log index
+	wal       *minisql.WAL
+	peers     map[string]Peer
+	leader    Peer
+	followers map[string]*followerConn
+	stream    net.Conn // follower's live connection to the leader
+	started   bool
+	closed    bool
+
+	peersCh chan struct{} // closed and replaced when membership changes
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New creates a node with a fresh EMEWS database and a bound replication
+// listener. The node is passive until Start.
+func New(cfg Config) (*Node, error) {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 25 * time.Millisecond
+	}
+	if cfg.ElectionTimeout <= 0 {
+		cfg.ElectionTimeout = 8 * cfg.Heartbeat
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	db, err := core.NewDB()
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		db.Close()
+		return nil, fmt.Errorf("replica: listen %s: %w", cfg.Addr, err)
+	}
+	if cfg.ID == "" {
+		cfg.ID = ln.Addr().String()
+	}
+	n := &Node{
+		cfg:       cfg,
+		db:        db,
+		eng:       db.Engine(),
+		ln:        ln,
+		peers:     make(map[string]Peer),
+		followers: make(map[string]*followerConn),
+		peersCh:   make(chan struct{}),
+		closeCh:   make(chan struct{}),
+	}
+	self := n.selfPeerLocked()
+	n.peers[self.ID] = self
+	if cfg.Join == "" {
+		n.role = RoleLeader
+		n.term = 1
+		n.wal = minisql.NewWAL(0)
+		n.leader = self
+	} else {
+		n.role = RoleFollower
+	}
+	n.eng.SetCommitHook(n.onCommit)
+	return n, nil
+}
+
+// Start launches the replication loops. Idempotent.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.started || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	role := n.role
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go n.acceptLoop()
+	if role == RoleFollower {
+		n.wg.Add(1)
+		go n.runFollower()
+	} else {
+		n.wg.Add(1)
+		go n.leaderHousekeeping()
+	}
+}
+
+// Close stops all replication activity and shuts the node's database down.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	close(n.closeCh)
+	conns := make([]net.Conn, 0, len(n.followers)+1)
+	for _, f := range n.followers {
+		conns = append(conns, f.conn)
+	}
+	if n.stream != nil {
+		conns = append(conns, n.stream)
+	}
+	n.mu.Unlock()
+	n.eng.SetCommitHook(nil)
+	n.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+	n.db.Close()
+}
+
+// DB returns the node's task database, for local serving.
+func (n *Node) DB() *core.DB { return n.db }
+
+// ID returns the node's cluster identity.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Addr returns the replication listen address (the --join target for other
+// nodes).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// SetServiceAddr records the EMEWS service address this node advertises to
+// peers and clients. Call before Start.
+func (n *Node) SetServiceAddr(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.ServiceAddr = addr
+	self := n.selfPeerLocked()
+	n.peers[self.ID] = self
+	if n.leader.ID == self.ID {
+		n.leader = self
+	}
+}
+
+// ServiceAddr returns the EMEWS service address this node advertises
+// ("" when not yet set).
+func (n *Node) ServiceAddr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.ServiceAddr
+}
+
+// Role returns the node's current cluster role.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// IsLeader reports whether this node currently leads the cluster.
+func (n *Node) IsLeader() bool { return n.Role() == RoleLeader }
+
+// Term returns the current leadership term.
+func (n *Node) Term() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.term
+}
+
+// Applied returns the index of the last log entry applied to (or committed
+// by) this node's database.
+func (n *Node) Applied() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.applied
+}
+
+// LeaderServiceAddr returns the EMEWS service address of the current leader
+// ("" while no leader is known).
+func (n *Node) LeaderServiceAddr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leader.SvcAddr
+}
+
+// LeaderID returns the node ID of the current leader ("" when unknown).
+func (n *Node) LeaderID() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leader.ID
+}
+
+// Peers returns the node's view of cluster membership in promotion order.
+func (n *Node) Peers() []Peer {
+	n.mu.Lock()
+	out := n.peerListLocked()
+	n.mu.Unlock()
+	rankPeers(out)
+	return out
+}
+
+func (n *Node) selfPeerLocked() Peer {
+	repl := n.cfg.Advertise
+	if repl == "" {
+		repl = n.ln.Addr().String()
+	}
+	return Peer{ID: n.cfg.ID, Priority: n.cfg.Priority, ReplAddr: repl, SvcAddr: n.cfg.ServiceAddr}
+}
+
+func (n *Node) peerListLocked() []Peer {
+	out := make([]Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// notifyPeersChangedLocked wakes every follower stream so a membership
+// change reaches the whole cluster within one send, not one heartbeat tick:
+// followers must agree on membership for promotion to stay deterministic.
+func (n *Node) notifyPeersChangedLocked() {
+	close(n.peersCh)
+	n.peersCh = make(chan struct{})
+}
+
+// peersWatch returns a channel closed at the next membership change.
+func (n *Node) peersWatch() <-chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peersCh
+}
+
+func (n *Node) isClosed() bool {
+	select {
+	case <-n.closeCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf("replica %s: "+format, append([]any{n.cfg.ID}, args...)...)
+	}
+}
+
+// onCommit is the engine commit hook: on the leader it appends the committed
+// statements to the WAL, which wakes the per-follower senders. It runs under
+// the engine lock, so it only touches the WAL and node bookkeeping.
+func (n *Node) onCommit(stmts []minisql.Stmt) {
+	n.mu.Lock()
+	w := n.wal
+	isLeader := n.role == RoleLeader
+	n.mu.Unlock()
+	if !isLeader || w == nil {
+		return
+	}
+	idx := w.Append(stmts)
+	n.mu.Lock()
+	if idx > n.applied {
+		n.applied = idx
+	}
+	n.mu.Unlock()
+}
+
+// promote makes this follower the new leader: bump the term, drop the dead
+// leader from membership, and open a fresh WAL continuing at the applied
+// index so joiners resume the cluster's numbering.
+func (n *Node) promote() {
+	n.mu.Lock()
+	if n.closed || n.role == RoleLeader {
+		n.mu.Unlock()
+		return
+	}
+	n.role = RoleLeader
+	n.term++
+	if n.leader.ID != "" && n.leader.ID != n.cfg.ID {
+		delete(n.peers, n.leader.ID)
+	}
+	n.leader = n.selfPeerLocked()
+	n.wal = minisql.NewWAL(n.applied)
+	n.followers = make(map[string]*followerConn)
+	term, applied := n.term, n.applied
+	n.mu.Unlock()
+	n.db.Wake()
+	n.logf("promoted to leader (term %d, log index %d)", term, applied)
+	n.wg.Add(1)
+	go n.leaderHousekeeping()
+}
+
+// snapshotAt captures a database snapshot together with the WAL index it
+// corresponds to. WAL appends happen under the engine lock (via the commit
+// hook), so reading LastIndex inside SnapshotWith's locked observation
+// yields the exact index the snapshot reflects — even under a sustained
+// write stream.
+func (n *Node) snapshotAt(w *minisql.WAL) ([]byte, uint64, error) {
+	var buf bytes.Buffer
+	var idx uint64
+	if err := n.eng.SnapshotWith(&buf, func() { idx = w.LastIndex() }); err != nil {
+		return nil, 0, err
+	}
+	return buf.Bytes(), idx, nil
+}
+
+// snapshotTimeout bounds snapshot transfer and restore during a join.
+// Bootstrap moves the whole database, so its deadline must not be coupled to
+// the heartbeat-scale failure-detection timeouts: a large task DB (or a slow
+// WAN link) would otherwise time out every join attempt forever, each retry
+// re-serializing a full snapshot under the engine lock.
+func (n *Node) snapshotTimeout() time.Duration {
+	d := 10 * n.cfg.ElectionTimeout
+	if d < 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+func (n *Node) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-n.closeCh:
+		return false
+	case <-t.C:
+		return true
+	}
+}

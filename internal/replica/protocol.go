@@ -1,0 +1,106 @@
+package replica
+
+import (
+	"sort"
+
+	"osprey/internal/minisql"
+)
+
+// Role is a node's position in the cluster.
+type Role int32
+
+// Cluster roles.
+const (
+	RoleFollower Role = iota
+	RoleLeader
+)
+
+func (r Role) String() string {
+	if r == RoleLeader {
+		return "leader"
+	}
+	return "follower"
+}
+
+// Peer identifies one cluster member: its replication endpoint (log
+// shipping), its EMEWS service endpoint (client traffic), and its promotion
+// priority. The leader broadcasts the full peer list in every heartbeat so
+// followers can run the deterministic promotion protocol without a separate
+// membership service.
+type Peer struct {
+	ID       string
+	Priority int
+	ReplAddr string
+	SvcAddr  string
+}
+
+// rankPeers orders peers by promotion rank: highest priority first, ties
+// broken by lowest ID. Every node computes the same order from the same
+// peer list, which is what makes failover deterministic.
+func rankPeers(peers []Peer) {
+	sort.Slice(peers, func(i, j int) bool {
+		if peers[i].Priority != peers[j].Priority {
+			return peers[i].Priority > peers[j].Priority
+		}
+		return peers[i].ID < peers[j].ID
+	})
+}
+
+// frameType tags one message of the log-shipping protocol.
+type frameType uint8
+
+const (
+	// frameJoin: follower -> leader. Announce identity, term, and last
+	// applied index. The leader replies with frameSnapshot, or — when the
+	// joiner is resuming within the leader's own term and the WAL still
+	// holds its position — a frameHeartbeat hello followed by the entries
+	// after From (incremental catch-up, no re-bootstrap). From 0 always
+	// forces a snapshot.
+	frameJoin frameType = iota
+	// frameProbe: any -> any. Ask a node for its role and known leader;
+	// answered with frameStatus. Used during elections.
+	frameProbe
+	// frameStatus: reply to frameProbe.
+	frameStatus
+	// frameNotLeader: join/probe reached a non-leader; carries the sender's
+	// best guess at the current leader.
+	frameNotLeader
+	// frameSnapshot: leader -> follower. Full database snapshot at SnapIndex;
+	// subsequent entries continue from there.
+	frameSnapshot
+	// frameEntry: leader -> follower. One committed log entry.
+	frameEntry
+	// frameHeartbeat: leader -> follower. Liveness plus current term and
+	// membership, sent when no entries are flowing.
+	frameHeartbeat
+	// frameAck: follower -> leader. Cumulative applied index, used for WAL
+	// compaction and catch-up monitoring.
+	frameAck
+)
+
+// frame is the single wire message of the replication protocol, gob-encoded
+// over the TCP log-shipping connection. Field use depends on Type.
+type frame struct {
+	Type frameType
+	Term uint64
+
+	// frameJoin / frameProbe
+	Peer Peer
+	From uint64 // joiner's applied index
+
+	// frameStatus / frameNotLeader / frameSnapshot / frameHeartbeat
+	Role       Role
+	LeaderRepl string
+	LeaderSvc  string
+	Peers      []Peer
+
+	// frameSnapshot
+	Snapshot  []byte
+	SnapIndex uint64
+
+	// frameEntry
+	Entry minisql.LogEntry
+
+	// frameAck
+	Applied uint64
+}

@@ -1,0 +1,454 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"osprey/internal/core"
+)
+
+// ClusterClient is a failover-aware EMEWS service client. It implements
+// core.API against a replicated service cluster: it resolves the current
+// leader through the "cluster" op, routes calls to it, and on connection
+// loss or transient cluster errors re-resolves and retries until
+// FailTimeout elapses. ME algorithms and worker pools built on core.API run
+// unchanged across leader failover.
+//
+// Retry semantics: idempotent reads retry freely. Queue-popping calls
+// (QueryTasks, PopResults, QueryResult) are at-most-once per attempt, so a
+// response lost to a dying leader can consume a queue entry without
+// delivering it; QueryResult additionally falls back to reading the
+// replicated task row after a failover, so results of completed tasks are
+// never lost with the old leader (they are, at worst, delivered twice).
+// Submits retried across a failover may, in the worst case, be applied twice
+// if the old leader replicated the write but died before answering.
+type ClusterClient struct {
+	addrs []string
+
+	// FailTimeout bounds how long a single call keeps retrying through
+	// connection loss and leaderless windows (beyond the call's own polling
+	// timeout). The default 15s rides out several election rounds.
+	FailTimeout time.Duration
+	// RetryDelay is the pause between re-resolution attempts (default 25ms).
+	RetryDelay time.Duration
+
+	mu     sync.Mutex
+	c      *Client
+	leader string // service address the current client is connected to
+}
+
+var _ core.API = (*ClusterClient)(nil)
+
+// DialCluster connects to a replicated EMEWS service given the service
+// addresses of any subset of its nodes (any one live node suffices: the
+// membership is discovered from whichever answers). It fails only when no
+// node is reachable.
+func DialCluster(addrs ...string) (*ClusterClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("service: DialCluster needs at least one address")
+	}
+	cc := &ClusterClient{
+		addrs:       append([]string(nil), addrs...),
+		FailTimeout: 15 * time.Second,
+		RetryDelay:  25 * time.Millisecond,
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if _, err := cc.clientLocked(); err != nil {
+		return nil, err
+	}
+	return cc, nil
+}
+
+// Close drops the current connection. The client can be reused; the next
+// call re-resolves.
+func (cc *ClusterClient) Close() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.c != nil {
+		cc.c.Close()
+		cc.c = nil
+	}
+	return nil
+}
+
+// Leader returns the service address of the node currently used.
+func (cc *ClusterClient) Leader() string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.leader
+}
+
+// Ping verifies some cluster node is reachable.
+func (cc *ClusterClient) Ping() error {
+	return cc.do(time.Second, func(c *Client) error { return c.Ping() })
+}
+
+func (cc *ClusterClient) client() (*Client, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.clientLocked()
+}
+
+// clientLocked returns the cached leader connection or resolves a new one:
+// ask every configured node (and any leader it hints at) for its role and
+// term. Among nodes claiming leadership the highest term wins — a deposed
+// leader cut off from its followers still answers "leader" at its old term,
+// and pinning to it would black-hole writes. With no leader reachable, any
+// live node serves as fallback: its server forwards writes once a leader
+// emerges.
+func (cc *ClusterClient) clientLocked() (*Client, error) {
+	if cc.c != nil {
+		return cc.c, nil
+	}
+	seen := make(map[string]bool, len(cc.addrs)+2)
+	// The last-known leader leads the scan: it is the most likely answer,
+	// and it keeps a client dialed with a subset of seed nodes working after
+	// those seeds die (the discovered leader survives re-resolution).
+	try := make([]string, 0, len(cc.addrs)+1)
+	if cc.leader != "" {
+		try = append(try, cc.leader)
+	}
+	try = append(try, cc.addrs...)
+	var best *Client // highest-term leader claimant so far
+	var bestAddr string
+	var bestTerm uint64
+	var fallback *Client
+	var fallbackAddr string
+	var firstErr error
+	for i := 0; i < len(try); i++ {
+		addr := try[i]
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		c, err := Dial(addr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		info, err := c.Cluster()
+		if err != nil {
+			c.Close()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if info.LeaderSvc != "" && !seen[info.LeaderSvc] {
+			try = append(try, info.LeaderSvc)
+		}
+		if info.Role == "leader" {
+			if best == nil || info.Term > bestTerm {
+				if best != nil {
+					best.Close()
+				}
+				best, bestAddr, bestTerm = c, addr, info.Term
+			} else {
+				c.Close()
+			}
+			continue
+		}
+		if fallback == nil {
+			fallback, fallbackAddr = c, addr
+		} else {
+			c.Close()
+		}
+	}
+	if best != nil {
+		if fallback != nil {
+			fallback.Close()
+		}
+		cc.c, cc.leader = best, bestAddr
+		return best, nil
+	}
+	if fallback != nil {
+		cc.c, cc.leader = fallback, fallbackAddr
+		return fallback, nil
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("%w: no cluster node reachable", ErrConn)
+	}
+	return nil, firstErr
+}
+
+// invalidate drops c if it is still the cached connection.
+func (cc *ClusterClient) invalidate(c *Client) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.c == c {
+		cc.c.Close()
+		cc.c = nil
+	}
+}
+
+// retryable reports whether an error justifies re-resolving the leader.
+func retryable(err error) bool {
+	return errors.Is(err, ErrConn) || errors.Is(err, ErrUnavailable)
+}
+
+// do runs fn against the current leader, retrying through connection loss
+// and leaderless windows until budget + FailTimeout elapses.
+func (cc *ClusterClient) do(budget time.Duration, fn func(c *Client) error) error {
+	deadline := time.Now().Add(budget + cc.FailTimeout)
+	var err error
+	for {
+		var c *Client
+		c, err = cc.client()
+		if err == nil {
+			err = fn(c)
+			if err == nil || !retryable(err) {
+				return err
+			}
+			cc.invalidate(c)
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(cc.RetryDelay)
+	}
+}
+
+// SubmitTask implements core.API.
+func (cc *ClusterClient) SubmitTask(expID string, workType int, payload string, opts ...core.SubmitOption) (int64, error) {
+	var id int64
+	err := cc.do(time.Second, func(c *Client) error {
+		var err error
+		id, err = c.SubmitTask(expID, workType, payload, opts...)
+		return err
+	})
+	return id, err
+}
+
+// SubmitTasks implements core.API.
+func (cc *ClusterClient) SubmitTasks(expID string, workType int, payloads []string, priorities []int) ([]int64, error) {
+	var ids []int64
+	err := cc.do(10*time.Second, func(c *Client) error {
+		var err error
+		ids, err = c.SubmitTasks(expID, workType, payloads, priorities)
+		return err
+	})
+	return ids, err
+}
+
+// QueryTasks implements core.API.
+func (cc *ClusterClient) QueryTasks(workType, n int, pool string, delay, timeout time.Duration) ([]core.Task, error) {
+	var tasks []core.Task
+	err := cc.pollChunked(timeout, func(c *Client, chunk time.Duration) error {
+		var err error
+		tasks, err = c.QueryTasks(workType, n, pool, delay, chunk)
+		return err
+	})
+	return tasks, err
+}
+
+// ReportTask implements core.API.
+func (cc *ClusterClient) ReportTask(taskID int64, workType int, result string) error {
+	return cc.do(time.Second, func(c *Client) error {
+		return c.ReportTask(taskID, workType, result)
+	})
+}
+
+// QueryResult implements core.API. After a mid-call failover it additionally
+// checks the replicated task row: a result whose input-queue entry was
+// consumed by the dead leader (pop applied, response lost) is still
+// recovered from the new leader's tasks table.
+func (cc *ClusterClient) QueryResult(taskID int64, delay, timeout time.Duration) (string, error) {
+	failedOver := false
+	var res string
+	err := cc.pollChunked(timeout, func(c *Client, chunk time.Duration) error {
+		if failedOver {
+			if task, terr := c.GetTask(taskID); terr == nil && task.Status == core.StatusComplete {
+				res = task.Result
+				return nil
+			}
+		}
+		var err error
+		res, err = c.QueryResult(taskID, delay, chunk)
+		if retryable(err) {
+			failedOver = true
+		}
+		return err
+	})
+	return res, err
+}
+
+// PopResults implements core.API.
+func (cc *ClusterClient) PopResults(ids []int64, max int, delay, timeout time.Duration) ([]core.TaskResult, error) {
+	var results []core.TaskResult
+	err := cc.pollChunked(timeout, func(c *Client, chunk time.Duration) error {
+		var err error
+		results, err = c.PopResults(ids, max, delay, chunk)
+		return err
+	})
+	return results, err
+}
+
+// pollChunked runs one polling call in sub-timeout chunks so a leader that
+// dies mid-poll is noticed and replaced without giving up the whole wait.
+func (cc *ClusterClient) pollChunked(timeout time.Duration, fn func(c *Client, chunk time.Duration) error) error {
+	const chunk = 500 * time.Millisecond
+	deadline := time.Now().Add(timeout)
+	hardDeadline := deadline.Add(cc.FailTimeout)
+	var connErr error // last connection-level failure; nil after any real answer
+	attempted := false
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			switch {
+			case !attempted:
+				// Zero/expired timeout still gets one immediate try, matching
+				// core.DB and Client semantics (a ready result pops even with
+				// timeout 0).
+				remain = time.Millisecond
+			case connErr == nil:
+				// The service genuinely answered "nothing yet" all the way
+				// to the deadline.
+				return core.ErrTimeout
+			case time.Now().After(hardDeadline):
+				return connErr
+			default:
+				// Connection trouble ate the tail of the budget: allow grace
+				// chunks so a failover window does not surface as a spurious
+				// timeout.
+				remain = chunk
+			}
+		}
+		step := remain
+		if step > chunk {
+			step = chunk
+		}
+		c, err := cc.client()
+		if err == nil {
+			attempted = true
+			err = fn(c, step)
+			switch {
+			case err == nil:
+				return nil
+			case errors.Is(err, core.ErrTimeout):
+				connErr = nil
+				continue
+			case retryable(err):
+				connErr = err
+				cc.invalidate(c)
+			default:
+				return err
+			}
+		} else {
+			connErr = err
+		}
+		if time.Now().After(hardDeadline) {
+			return connErr
+		}
+		time.Sleep(cc.RetryDelay)
+	}
+}
+
+// Statuses implements core.API.
+func (cc *ClusterClient) Statuses(ids []int64) (map[int64]core.Status, error) {
+	var out map[int64]core.Status
+	err := cc.do(time.Second, func(c *Client) error {
+		var err error
+		out, err = c.Statuses(ids)
+		return err
+	})
+	return out, err
+}
+
+// Priorities implements core.API.
+func (cc *ClusterClient) Priorities(ids []int64) (map[int64]int, error) {
+	var out map[int64]int
+	err := cc.do(time.Second, func(c *Client) error {
+		var err error
+		out, err = c.Priorities(ids)
+		return err
+	})
+	return out, err
+}
+
+// UpdatePriorities implements core.API.
+func (cc *ClusterClient) UpdatePriorities(ids []int64, priorities []int) (int, error) {
+	var n int
+	err := cc.do(time.Second, func(c *Client) error {
+		var err error
+		n, err = c.UpdatePriorities(ids, priorities)
+		return err
+	})
+	return n, err
+}
+
+// CancelTasks implements core.API.
+func (cc *ClusterClient) CancelTasks(ids []int64) (int, error) {
+	var n int
+	err := cc.do(time.Second, func(c *Client) error {
+		var err error
+		n, err = c.CancelTasks(ids)
+		return err
+	})
+	return n, err
+}
+
+// RequeueRunning implements core.API.
+func (cc *ClusterClient) RequeueRunning(pool string) (int, error) {
+	var n int
+	err := cc.do(time.Second, func(c *Client) error {
+		var err error
+		n, err = c.RequeueRunning(pool)
+		return err
+	})
+	return n, err
+}
+
+// Counts implements core.API.
+func (cc *ClusterClient) Counts(expID string) (map[core.Status]int, error) {
+	var out map[core.Status]int
+	err := cc.do(time.Second, func(c *Client) error {
+		var err error
+		out, err = c.Counts(expID)
+		return err
+	})
+	return out, err
+}
+
+// Tags implements core.API.
+func (cc *ClusterClient) Tags(taskID int64) ([]string, error) {
+	var out []string
+	err := cc.do(time.Second, func(c *Client) error {
+		var err error
+		out, err = c.Tags(taskID)
+		return err
+	})
+	return out, err
+}
+
+// GetTask fetches the full task row from whichever node is connected.
+func (cc *ClusterClient) GetTask(taskID int64) (core.Task, error) {
+	var t core.Task
+	err := cc.do(time.Second, func(c *Client) error {
+		var err error
+		t, err = c.GetTask(taskID)
+		return err
+	})
+	return t, err
+}
+
+// Cluster reports the connected node's replication status.
+func (cc *ClusterClient) Cluster() (ClusterInfo, error) {
+	var info ClusterInfo
+	err := cc.do(time.Second, func(c *Client) error {
+		var err error
+		info, err = c.Cluster()
+		return err
+	})
+	return info, err
+}
+
+// String describes the client for logs.
+func (cc *ClusterClient) String() string {
+	return "cluster(" + strings.Join(cc.addrs, ",") + ")"
+}

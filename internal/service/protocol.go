@@ -7,11 +7,20 @@
 // run unchanged against a local database or a remote service.
 package service
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"time"
+
+	"osprey/internal/core"
+)
 
 // request is the wire form of one API call.
 type request struct {
 	Op string `json:"op"`
+
+	// Fwd marks a request a follower already forwarded once; it is never
+	// forwarded again, bounding replication forwarding to a single hop.
+	Fwd bool `json:"fwd,omitempty"`
 
 	ExpID    string   `json:"exp_id,omitempty"`
 	WorkType int      `json:"work_type,omitempty"`
@@ -46,6 +55,26 @@ type wireTask struct {
 	Stopped  int64  `json:"stopped_ns"`
 }
 
+// toWireTask and fromWireTask are the single source of truth for the
+// core.Task <-> wireTask mapping, shared by every op that ships task rows.
+func toWireTask(t core.Task) wireTask {
+	return wireTask{
+		ID: t.ID, ExpID: t.ExpID, WorkType: t.WorkType, Status: string(t.Status),
+		Payload: t.Payload, Result: t.Result, Pool: t.Pool, Priority: t.Priority,
+		Created: t.Created.UnixNano(), Started: t.Started.UnixNano(),
+		Stopped: t.Stopped.UnixNano(),
+	}
+}
+
+func fromWireTask(t wireTask) core.Task {
+	return core.Task{
+		ID: t.ID, ExpID: t.ExpID, WorkType: t.WorkType, Status: core.Status(t.Status),
+		Payload: t.Payload, Result: t.Result, Pool: t.Pool, Priority: t.Priority,
+		Created: time.Unix(0, t.Created), Started: time.Unix(0, t.Started),
+		Stopped: time.Unix(0, t.Stopped),
+	}
+}
+
 // wireResult mirrors core.TaskResult.
 type wireResult struct {
 	ID     int64  `json:"id"`
@@ -57,6 +86,9 @@ type response struct {
 	OK      bool   `json:"ok"`
 	Error   string `json:"error,omitempty"`
 	Timeout bool   `json:"timeout,omitempty"`
+	// Transient marks errors worth retrying against another node (no leader
+	// elected yet, leader unreachable); failover clients re-resolve on them.
+	Transient bool `json:"transient,omitempty"`
 
 	TaskID     int64            `json:"task_id,omitempty"`
 	TaskIDs    []int64          `json:"task_ids,omitempty"`
@@ -68,6 +100,13 @@ type response struct {
 	CountsMap  map[string]int   `json:"counts_map,omitempty"`
 	TagList    []string         `json:"tags,omitempty"`
 	ResultText string           `json:"result_text,omitempty"`
+
+	// "cluster" op: replication status of the answering node.
+	Role      string `json:"role,omitempty"`
+	NodeID    string `json:"node_id,omitempty"`
+	LeaderSvc string `json:"leader_svc,omitempty"`
+	Term      uint64 `json:"term,omitempty"`
+	Applied   uint64 `json:"applied,omitempty"`
 }
 
 func encode(v any) ([]byte, error) {

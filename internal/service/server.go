@@ -11,12 +11,14 @@ import (
 	"time"
 
 	"osprey/internal/core"
+	"osprey/internal/replica"
 )
 
 // Server exposes an EMEWS task database over TCP.
 type Server struct {
-	db core.API
-	ln net.Listener
+	db   core.API
+	ln   net.Listener
+	node *replica.Node // nil for standalone servers
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -27,11 +29,35 @@ type Server struct {
 // Serve starts a server for db on addr (e.g. "127.0.0.1:0") and returns once
 // the listener is bound. Use Addr for the chosen address and Close to stop.
 func Serve(db core.API, addr string) (*Server, error) {
+	return serve(db, nil, addr)
+}
+
+// ServeNode starts a replica-aware server for cluster node n: reads are
+// served from the local (replicated) database, writes are forwarded to the
+// cluster leader while this node follows, and the "cluster" op reports
+// leadership so failover clients can re-resolve. ServeNode also advertises
+// the server's address to the cluster (unless ReplicaConfig.ServiceAddr
+// already names a remotely dialable one — needed for wildcard binds or NAT)
+// and starts the node's replication loops, so it is the one-call way to
+// bring a cluster member up.
+func ServeNode(n *replica.Node, addr string) (*Server, error) {
+	s, err := serve(n.DB(), n, addr)
+	if err != nil {
+		return nil, err
+	}
+	if n.ServiceAddr() == "" {
+		n.SetServiceAddr(s.Addr())
+	}
+	n.Start()
+	return s, nil
+}
+
+func serve(db core.API, node *replica.Node, addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("service: listen: %w", err)
 	}
-	s := &Server{db: db, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{db: db, ln: ln, node: node, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -114,10 +140,45 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// writeOps are the API calls that mutate the task database and therefore
+// must execute on the cluster leader. Everything else reads the local
+// replica. Note the "query" ops are writes: popping a task or result
+// mutates the queues.
+var writeOps = map[string]bool{
+	"submit": true, "submit_batch": true, "query_tasks": true, "report": true,
+	"query_result": true, "pop_results": true, "update_priorities": true,
+	"cancel": true, "requeue": true,
+}
+
 func (s *Server) dispatch(req request) response {
+	if s.node != nil && writeOps[req.Op] && !s.node.IsLeader() {
+		return s.forward(req)
+	}
 	switch req.Op {
 	case "ping":
 		return response{OK: true}
+	case "cluster":
+		resp := response{OK: true, Role: "leader", LeaderSvc: s.Addr()}
+		if s.node != nil {
+			resp.Role = s.node.Role().String()
+			resp.NodeID = s.node.ID()
+			resp.LeaderSvc = s.node.LeaderServiceAddr()
+			resp.Term = s.node.Term()
+			resp.Applied = s.node.Applied()
+		}
+		return resp
+	case "task_get":
+		g, ok := s.db.(interface {
+			GetTask(taskID int64) (core.Task, error)
+		})
+		if !ok {
+			return response{Error: "service: task_get unsupported by backend"}
+		}
+		task, err := g.GetTask(req.TaskID)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true, Tasks: []wireTask{toWireTask(task)}}
 	case "submit":
 		opts := []core.SubmitOption{core.WithPriority(req.Priority)}
 		if len(req.Tags) > 0 {
@@ -142,12 +203,7 @@ func (s *Server) dispatch(req request) response {
 		}
 		out := make([]wireTask, len(tasks))
 		for i, t := range tasks {
-			out[i] = wireTask{
-				ID: t.ID, ExpID: t.ExpID, WorkType: t.WorkType, Status: string(t.Status),
-				Payload: t.Payload, Result: t.Result, Pool: t.Pool, Priority: t.Priority,
-				Created: t.Created.UnixNano(), Started: t.Started.UnixNano(),
-				Stopped: t.Stopped.UnixNano(),
-			}
+			out[i] = toWireTask(t)
 		}
 		return response{OK: true, Tasks: out}
 	case "report":
@@ -225,6 +281,36 @@ func (s *Server) dispatch(req request) response {
 	return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 }
 
+// forward relays a write request from a follower to the current cluster
+// leader over a fresh connection (long-poll ops would head-of-line block a
+// shared one) and returns the leader's response verbatim. Forwarding is
+// single-hop: a request that bounced once fails fast so two nodes with stale
+// role views cannot ping-pong it.
+func (s *Server) forward(req request) response {
+	if req.Fwd {
+		return response{Error: "service: not the leader", Transient: true}
+	}
+	addr := s.node.LeaderServiceAddr()
+	if addr == "" || addr == s.Addr() {
+		return response{Error: "service: no cluster leader elected", Transient: true}
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return response{Error: "service: leader unreachable: " + err.Error(), Transient: true}
+	}
+	defer c.Close()
+	req.Fwd = true
+	timeout := ms(req.TimeMS)
+	if timeout < time.Second {
+		timeout = time.Second
+	}
+	resp, err := c.roundTrip(req, timeout)
+	if err != nil && errors.Is(err, ErrConn) {
+		return response{Error: "service: leader unreachable: " + err.Error(), Transient: true}
+	}
+	return resp
+}
+
 func errResponse(err error) response {
 	return response{Error: err.Error(), Timeout: errors.Is(err, core.ErrTimeout)}
 }
@@ -246,11 +332,20 @@ type Client struct {
 
 var _ core.API = (*Client)(nil)
 
+// ErrConn marks transport-level failures (dial, write, read, peer close) as
+// opposed to application errors returned by the service. Failover clients
+// re-resolve the leader when a call fails with ErrConn.
+var ErrConn = errors.New("service: connection lost")
+
+// ErrUnavailable marks transient cluster conditions (no leader yet, leader
+// unreachable from a forwarding follower); callers may retry.
+var ErrUnavailable = errors.New("service: temporarily unavailable")
+
 // Dial connects to a service.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
-		return nil, fmt.Errorf("service: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("service: dial %s: %w: %w", addr, ErrConn, err)
 	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64<<10), maxLine)
@@ -280,16 +375,16 @@ func (c *Client) roundTrip(req request, timeout time.Duration) (response, error)
 	// Allow the server-side poll to finish before the read deadline.
 	deadline := time.Now().Add(timeout + 10*time.Second)
 	if err := c.conn.SetDeadline(deadline); err != nil {
-		return response{}, err
+		return response{}, fmt.Errorf("service: deadline: %w: %w", ErrConn, err)
 	}
 	if _, err := c.conn.Write(out); err != nil {
-		return response{}, fmt.Errorf("service: write: %w", err)
+		return response{}, fmt.Errorf("service: write: %w: %w", ErrConn, err)
 	}
 	if !c.rd.Scan() {
 		if err := c.rd.Err(); err != nil {
-			return response{}, fmt.Errorf("service: read: %w", err)
+			return response{}, fmt.Errorf("service: read: %w: %w", ErrConn, err)
 		}
-		return response{}, errors.New("service: connection closed")
+		return response{}, fmt.Errorf("service: connection closed: %w", ErrConn)
 	}
 	var resp response
 	if err := json.Unmarshal(c.rd.Bytes(), &resp); err != nil {
@@ -298,6 +393,9 @@ func (c *Client) roundTrip(req request, timeout time.Duration) (response, error)
 	if !resp.OK {
 		if resp.Timeout {
 			return resp, core.ErrTimeout
+		}
+		if resp.Transient {
+			return resp, fmt.Errorf("%w: %s", ErrUnavailable, resp.Error)
 		}
 		return resp, errors.New(resp.Error)
 	}
@@ -343,12 +441,7 @@ func (c *Client) QueryTasks(workType, n int, pool string, delay, timeout time.Du
 	}
 	tasks := make([]core.Task, len(resp.Tasks))
 	for i, t := range resp.Tasks {
-		tasks[i] = core.Task{
-			ID: t.ID, ExpID: t.ExpID, WorkType: t.WorkType, Status: core.Status(t.Status),
-			Payload: t.Payload, Result: t.Result, Pool: t.Pool, Priority: t.Priority,
-			Created: time.Unix(0, t.Created), Started: time.Unix(0, t.Started),
-			Stopped: time.Unix(0, t.Stopped),
-		}
+		tasks[i] = fromWireTask(t)
 	}
 	return tasks, nil
 }
@@ -459,6 +552,44 @@ func (c *Client) Tags(taskID int64) ([]string, error) {
 		return nil, err
 	}
 	return resp.TagList, nil
+}
+
+// GetTask fetches the full task row without touching the queues. It reads
+// the local replica on whichever node it reaches, which is what lets
+// failover clients recover completed results whose input-queue entry died
+// with the old leader.
+func (c *Client) GetTask(taskID int64) (core.Task, error) {
+	resp, err := c.roundTrip(request{Op: "task_get", TaskID: taskID}, time.Second)
+	if err != nil {
+		return core.Task{}, err
+	}
+	if len(resp.Tasks) == 0 {
+		return core.Task{}, fmt.Errorf("service: task_get returned no task")
+	}
+	return fromWireTask(resp.Tasks[0]), nil
+}
+
+// ClusterInfo is a node's replication status as reported by the "cluster"
+// op. Standalone (non-replicated) servers answer as their own leader, so
+// failover clients work against them unchanged.
+type ClusterInfo struct {
+	Role      string
+	NodeID    string
+	LeaderSvc string
+	Term      uint64
+	Applied   uint64
+}
+
+// Cluster queries the node's replication status.
+func (c *Client) Cluster() (ClusterInfo, error) {
+	resp, err := c.roundTrip(request{Op: "cluster"}, time.Second)
+	if err != nil {
+		return ClusterInfo{}, err
+	}
+	return ClusterInfo{
+		Role: resp.Role, NodeID: resp.NodeID, LeaderSvc: resp.LeaderSvc,
+		Term: resp.Term, Applied: resp.Applied,
+	}, nil
 }
 
 // DialContext dials with retry until the service is up or ctx expires —

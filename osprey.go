@@ -9,6 +9,12 @@
 //     (internal/core), backed by an embedded SQL engine (internal/minisql);
 //   - an asynchronous futures API over that database (internal/future);
 //   - a TCP EMEWS service and client for remote access (internal/service);
+//   - a replication subsystem (internal/replica) that runs the service as a
+//     leader/follower cluster: committed statements ship through a
+//     write-ahead log, followers bootstrap from snapshots and serve reads
+//     locally while forwarding writes, a deterministic priority scheme
+//     promotes a follower when the leader dies, and DialCluster gives
+//     clients transparent failover;
 //   - a federated function-as-a-service fabric (internal/funcx);
 //   - heterogeneous worker pools with batch/threshold querying
 //     (internal/pool) running on simulated batch clusters (internal/sched);
@@ -34,6 +40,7 @@ import (
 	"osprey/internal/core"
 	"osprey/internal/future"
 	"osprey/internal/pool"
+	"osprey/internal/replica"
 	"osprey/internal/service"
 )
 
@@ -126,3 +133,29 @@ var Dial = service.Dial
 
 // DialContext dials with retry until the service is reachable.
 var DialContext = service.DialContext
+
+// Replicated service.
+type (
+	// ReplicaNode is one member of a replicated EMEWS service cluster.
+	ReplicaNode = replica.Node
+	// ReplicaConfig parameterizes a cluster node (identity, promotion
+	// priority, join address, failure-detection timings).
+	ReplicaConfig = replica.Config
+	// ClusterClient is a failover-aware API implementation that re-resolves
+	// the cluster leader on connection loss.
+	ClusterClient = service.ClusterClient
+)
+
+// NewReplica creates a cluster node: the initial leader when
+// ReplicaConfig.Join is empty, otherwise a follower of that leader.
+var NewReplica = replica.New
+
+// ServeNode starts the EMEWS service for a cluster node: reads answer from
+// the local replica, writes forward to the leader while the node follows.
+var ServeNode = service.ServeNode
+
+// DialCluster connects to a replicated EMEWS service given any subset of
+// its nodes' service addresses. The returned client implements API and
+// survives leader failover: it re-resolves the leader and retries, and
+// recovers completed task results from the replicas.
+var DialCluster = service.DialCluster
