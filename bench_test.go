@@ -526,7 +526,20 @@ func BenchmarkServiceRoundTrip(b *testing.B) {
 // client-visible latency is the single-node round trip plus the commit-hook
 // bookkeeping. Compare with BenchmarkServiceRoundTrip (standalone).
 func BenchmarkReplicatedSubmit(b *testing.B) {
-	leader, err := replica.New(replica.Config{ID: "b1", Priority: 3})
+	benchReplicatedSubmit(b, 0)
+}
+
+// BenchmarkQuorumSubmit measures the same path in synchronous-replication
+// mode (WriteQuorum 1): every submit additionally waits for one follower to
+// apply the entry and acknowledge it, so the delta over
+// BenchmarkReplicatedSubmit is the price of writes that survive immediate
+// leader death — one replication round trip.
+func BenchmarkQuorumSubmit(b *testing.B) {
+	benchReplicatedSubmit(b, 1)
+}
+
+func benchReplicatedSubmit(b *testing.B, quorum int) {
+	leader, err := replica.New(replica.Config{ID: "b1", Priority: 3, WriteQuorum: quorum})
 	if err != nil {
 		b.Fatal(err)
 	}

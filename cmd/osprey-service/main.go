@@ -19,6 +19,12 @@
 //	osprey-service -addr host1:7654 -node-id n1 -repl-addr host1:7700 -priority 3
 //	osprey-service -addr host2:7655 -node-id n2 -repl-addr host2:7701 -priority 2 -join host1:7700
 //	osprey-service -addr host3:7656 -node-id n3 -repl-addr host3:7702 -priority 1 -join host1:7700
+//
+// Replication is asynchronous by default. -write-quorum N holds every write
+// acknowledgement until N followers have applied it, so an acknowledged
+// write survives the leader dying immediately afterwards; a leader that
+// loses contact with a majority of the cluster steps down and answers
+// writes as unavailable until the real leader is found.
 package main
 
 import (
@@ -47,17 +53,18 @@ func main() {
 		advertise     = flag.String("advertise", "", "service address peers and clients should dial (default: the bound -addr)")
 		priority      = flag.Int("priority", 0, "promotion priority on leader death (higher wins)")
 		join          = flag.String("join", "", "replication address of the leader to follow (empty: start as leader)")
+		writeQuorum   = flag.Int("write-quorum", 0, "followers that must apply a write before it is acknowledged (0: asynchronous replication)")
 	)
 	flag.Parse()
 
 	if *nodeID != "" {
-		runReplicated(*addr, *nodeID, *replAddr, *replAdvertise, *advertise, *priority, *join, *snapshot)
+		runReplicated(*addr, *nodeID, *replAddr, *replAdvertise, *advertise, *priority, *writeQuorum, *join, *snapshot)
 		return
 	}
 	runStandalone(*addr, *snapshot)
 }
 
-func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, priority int, join, snapshot string) {
+func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, priority, writeQuorum int, join, snapshot string) {
 	if snapshot != "" {
 		log.Fatal("-snapshot is a standalone-mode flag; replicated nodes bootstrap from the leader")
 	}
@@ -68,6 +75,7 @@ func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, prio
 		Advertise:   replAdvertise,
 		ServiceAddr: advertise,
 		Join:        join,
+		WriteQuorum: writeQuorum,
 		Logf:        log.Printf,
 	})
 	if err != nil {
@@ -82,8 +90,12 @@ func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, prio
 	if join != "" {
 		role = fmt.Sprintf("follower of %s", join)
 	}
-	log.Printf("EMEWS service node %s (%s, priority %d) listening on %s, replication on %s",
-		nodeID, role, priority, srv.Addr(), n.Addr())
+	mode := "async replication"
+	if writeQuorum > 0 {
+		mode = fmt.Sprintf("write quorum %d", writeQuorum)
+	}
+	log.Printf("EMEWS service node %s (%s, priority %d, %s) listening on %s, replication on %s",
+		nodeID, role, priority, mode, srv.Addr(), n.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -2,11 +2,14 @@
 // one process.
 //
 // Three replica nodes start (one leader, two followers with descending
-// promotion priorities), each behind its own EMEWS service. A worker pool
-// and the ME side both connect through osprey.DialCluster. Mid-workload the
-// leader is killed: the highest-priority follower is promoted, the failover
-// clients re-resolve, and every task still completes — the paper's
-// snapshot/restart fault tolerance (§II-B1c) upgraded to live failover.
+// promotion priorities), each behind its own EMEWS service, with
+// WriteQuorum: 1 — every write acknowledgement is held until one follower
+// has applied it. A worker pool and the ME side both connect through
+// osprey.DialCluster. Mid-workload the leader is killed the instant a
+// marker submit is acknowledged: quorum mode guarantees the marker survives
+// on the new leader, the failover clients re-resolve, and every task still
+// completes — the paper's snapshot/restart fault tolerance (§II-B1c)
+// upgraded to live failover with synchronous durability.
 //
 //	go run ./examples/replication
 package main
@@ -23,8 +26,10 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	// 1. The initial leader and two followers, in promotion order.
-	lead, err := osprey.NewReplica(osprey.ReplicaConfig{ID: "n1", Priority: 3})
+	// 1. The initial leader and two followers, in promotion order. Every
+	// node runs with WriteQuorum: 1, so a write is only acknowledged once a
+	// follower holds it.
+	lead, err := osprey.NewReplica(osprey.ReplicaConfig{ID: "n1", Priority: 3, WriteQuorum: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +41,7 @@ func main() {
 	var addrs = []string{srv1.Addr()}
 	for i, prio := range []int{2, 1} {
 		n, err := osprey.NewReplica(osprey.ReplicaConfig{
-			ID: fmt.Sprintf("n%d", i+2), Priority: prio, Join: lead.Addr(),
+			ID: fmt.Sprintf("n%d", i+2), Priority: prio, Join: lead.Addr(), WriteQuorum: 1,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -87,7 +92,10 @@ func main() {
 		futures = append(futures, f)
 	}
 
-	// 4. Collect half the results, then kill the leader mid-workload.
+	// 4. Collect half the results, then kill the leader the instant a
+	// quorum write is acknowledged. With WriteQuorum: 1 the acknowledgement
+	// means a follower already applied the marker, so it cannot die with
+	// the leader — the loss window asynchronous replication leaves open.
 	collected := 0
 	for collected < total/2 {
 		if _, err := osprey.PopCompleted(&futures, 30*time.Second); err != nil {
@@ -95,7 +103,12 @@ func main() {
 		}
 		collected++
 	}
-	fmt.Printf("collected %d/%d results; killing the leader now\n", collected, total)
+	marker, err := me.SubmitTask("replicated", 2, "quorum-marker")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d/%d results; marker %d acknowledged under quorum — killing the leader now\n",
+		collected, total, marker)
 	killed := time.Now()
 	srv1.Close()
 	lead.Close()
@@ -113,6 +126,13 @@ func main() {
 	}
 	fmt.Printf("collected all %d results; node %s is leader (term %d) %.0fms after the kill\n",
 		total, info.NodeID, info.Term, time.Since(killed).Seconds()*1000)
+
+	// 6. The quorum-acknowledged marker survived the leader's death.
+	task, err := me.GetTask(marker)
+	if err != nil {
+		log.Fatalf("quorum marker lost with the old leader: %v", err)
+	}
+	fmt.Printf("quorum marker task %d survived the kill (status %s)\n", marker, task.Status)
 
 	counts, err := me.Counts("replicated")
 	if err != nil {

@@ -1,8 +1,11 @@
 package minisql
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 )
 
 // Stmt is one mutating SQL statement with its bound positional arguments,
@@ -70,23 +73,46 @@ func (e *Engine) ApplyEntry(entry LogEntry) error {
 	return nil
 }
 
+// ErrCommitTimeout is returned by WaitCommitted when the quorum watermark
+// does not reach the awaited index within the caller's timeout.
+var ErrCommitTimeout = errors.New("minisql: quorum commit timeout")
+
 // WAL is an in-memory write-ahead statement log: the ordered record of every
 // committed mutation since a base index. A leader replica appends its commit
 // hook output here and ships entries to followers; EntriesSince supports
 // resumable streaming and Compact trims entries every connected follower has
 // acknowledged.
+//
+// The WAL also carries the cluster's commit watermark: per-follower applied
+// acknowledgements feed Ack, and the watermark is the highest index that at
+// least quorum followers have applied. WaitCommitted lets a writer block
+// until its entry is quorum-replicated (synchronous-replication mode); with
+// quorum 0 every index counts as committed the moment it is appended, which
+// preserves asynchronous semantics.
 type WAL struct {
 	mu      sync.Mutex
 	base    uint64 // index of the last entry *before* entries[0]
 	entries []LogEntry
 	watch   chan struct{} // closed and replaced on every append
+
+	quorum int               // follower acks required per index (0 = async)
+	acks   map[string]uint64 // per-follower highest applied index
+	commit uint64            // quorum watermark (meaningful when quorum > 0)
+	waitCh chan struct{}     // closed and replaced when commit advances or the log seals
+	sealed error             // non-nil once Seal is called; fails all waits
 }
 
 // NewWAL returns an empty log whose first entry will get index base+1.
 // Use base 0 for a fresh database, or the applied index of a promoted
 // follower so its log continues the cluster's numbering.
 func NewWAL(base uint64) *WAL {
-	return &WAL{base: base, watch: make(chan struct{})}
+	return &WAL{
+		base:   base,
+		watch:  make(chan struct{}),
+		acks:   make(map[string]uint64),
+		commit: base,
+		waitCh: make(chan struct{}),
+	}
 }
 
 // Append records one committed statement batch and returns its index.
@@ -131,6 +157,117 @@ func (w *WAL) Watch() <-chan struct{} {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.watch
+}
+
+// SetQuorum sets how many distinct follower acknowledgements an index needs
+// before WaitCommitted considers it committed. 0 (the default) keeps the
+// asynchronous semantics: WaitCommitted returns immediately. Set once, before
+// the log is shared.
+func (w *WAL) SetQuorum(q int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.quorum = q
+}
+
+// Ack records that follower id has applied the log through idx. Acks are
+// cumulative and monotonic per follower; a stale (lower) ack is ignored, so
+// reconnecting followers can never move the watermark backwards.
+func (w *WAL) Ack(id string, idx uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if idx <= w.acks[id] {
+		return
+	}
+	w.acks[id] = idx
+	w.advanceLocked()
+}
+
+// Forget drops follower id's acknowledgement state (membership decay). The
+// watermark never regresses: indexes already committed stay committed.
+func (w *WAL) Forget(id string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.acks, id)
+}
+
+// advanceLocked recomputes the quorum watermark: the quorum-th highest
+// per-follower acknowledged index.
+func (w *WAL) advanceLocked() {
+	if w.quorum <= 0 || len(w.acks) < w.quorum {
+		return
+	}
+	vals := make([]uint64, 0, len(w.acks))
+	for _, v := range w.acks {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	if c := vals[w.quorum-1]; c > w.commit {
+		w.commit = c
+		close(w.waitCh)
+		w.waitCh = make(chan struct{})
+	}
+}
+
+// Committed returns the commit watermark: the highest index known replicated
+// to at least quorum followers. With quorum 0 everything appended counts as
+// committed.
+func (w *WAL) Committed() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.quorum <= 0 {
+		return w.base + uint64(len(w.entries))
+	}
+	return w.commit
+}
+
+// Seal fails every pending and future WaitCommitted with err. A leader seals
+// its log when it steps down: waiters must not block out their full timeout
+// against a log that will never advance.
+func (w *WAL) Seal(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.sealed != nil {
+		return
+	}
+	w.sealed = err
+	close(w.waitCh)
+	w.waitCh = make(chan struct{})
+}
+
+// WaitCommitted blocks until the quorum watermark reaches idx, the timeout
+// expires (ErrCommitTimeout), or the log is sealed (the Seal error). With
+// quorum 0 it returns nil immediately — asynchronous mode.
+func (w *WAL) WaitCommitted(idx uint64, timeout time.Duration) error {
+	w.mu.Lock()
+	if w.quorum <= 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	var timer *time.Timer
+	for {
+		if w.sealed != nil {
+			err := w.sealed
+			w.mu.Unlock()
+			return err
+		}
+		if w.commit >= idx {
+			w.mu.Unlock()
+			return nil
+		}
+		ch := w.waitCh
+		w.mu.Unlock()
+		if timer == nil {
+			timer = time.NewTimer(timeout)
+			defer timer.Stop()
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return fmt.Errorf("%w: index %d not replicated to %d followers within %v",
+				ErrCommitTimeout, idx, w.quorum, timeout)
+		}
+		w.mu.Lock()
+	}
 }
 
 // Compact drops entries with index <= upTo, keeping memory bounded once all

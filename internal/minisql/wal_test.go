@@ -2,7 +2,9 @@ package minisql
 
 import (
 	"bytes"
+	"errors"
 	"testing"
+	"time"
 )
 
 // newHookedEngine returns an engine with a WAL-feeding commit hook installed
@@ -369,5 +371,101 @@ func TestCreateIndexIfNotExists(t *testing.T) {
 	res := mustExec(t, e, "SELECT id FROM t WHERE v = ?", "a")
 	if len(res.Rows) != 1 {
 		t.Fatalf("indexed lookup after IF NOT EXISTS returned %d rows", len(res.Rows))
+	}
+}
+
+// TestQuorumWatermark: the commit watermark is the quorum-th highest
+// per-follower acknowledged index, acks are monotonic per follower, and
+// WaitCommitted unblocks exactly when the watermark covers the index.
+func TestQuorumWatermark(t *testing.T) {
+	w := NewWAL(0)
+	w.SetQuorum(2)
+	for i := 0; i < 5; i++ {
+		w.Append([]Stmt{{SQL: "INSERT"}})
+	}
+
+	if got := w.Committed(); got != 0 {
+		t.Fatalf("Committed before any acks = %d, want 0", got)
+	}
+	w.Ack("a", 3)
+	if got := w.Committed(); got != 0 {
+		t.Fatalf("Committed with 1 of 2 acks = %d, want 0", got)
+	}
+	w.Ack("b", 5)
+	if got := w.Committed(); got != 3 {
+		t.Fatalf("Committed(a=3, b=5) = %d, want 3 (2nd-highest ack)", got)
+	}
+	// Stale ack never regresses the watermark.
+	w.Ack("a", 2)
+	if got := w.Committed(); got != 3 {
+		t.Fatalf("Committed after stale ack = %d, want 3", got)
+	}
+	w.Ack("c", 4)
+	if got := w.Committed(); got != 4 {
+		t.Fatalf("Committed(a=3, b=5, c=4) = %d, want 4", got)
+	}
+
+	// WaitCommitted: index 3 is already committed; index 5 blocks until a
+	// second follower reaches it.
+	if err := w.WaitCommitted(3, time.Second); err != nil {
+		t.Fatalf("WaitCommitted(3): %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.WaitCommitted(5, 5*time.Second) }()
+	select {
+	case err := <-done:
+		t.Fatalf("WaitCommitted(5) returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	w.Ack("c", 5)
+	if err := <-done; err != nil {
+		t.Fatalf("WaitCommitted(5) after quorum: %v", err)
+	}
+}
+
+// TestQuorumWaitTimeoutAndSeal: an unreplicated index times out with
+// ErrCommitTimeout, and Seal fails pending and future waits immediately with
+// the seal error (a demoted leader must not strand writers).
+func TestQuorumWaitTimeoutAndSeal(t *testing.T) {
+	w := NewWAL(0)
+	w.SetQuorum(1)
+	w.Append([]Stmt{{SQL: "INSERT"}})
+
+	if err := w.WaitCommitted(1, 10*time.Millisecond); !errors.Is(err, ErrCommitTimeout) {
+		t.Fatalf("WaitCommitted on silent cluster = %v, want ErrCommitTimeout", err)
+	}
+
+	sealErr := errors.New("stepped down")
+	done := make(chan error, 1)
+	go func() { done <- w.WaitCommitted(1, 5*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	w.Seal(sealErr)
+	if err := <-done; !errors.Is(err, sealErr) {
+		t.Fatalf("pending wait after Seal = %v, want seal error", err)
+	}
+	if err := w.WaitCommitted(1, time.Second); !errors.Is(err, sealErr) {
+		t.Fatalf("new wait after Seal = %v, want seal error", err)
+	}
+}
+
+// TestQuorumZeroIsAsync: with quorum 0, every append is immediately
+// committed and WaitCommitted never blocks — the asynchronous semantics.
+func TestQuorumZeroIsAsync(t *testing.T) {
+	w := NewWAL(0)
+	idx := w.Append([]Stmt{{SQL: "INSERT"}})
+	if got := w.Committed(); got != idx {
+		t.Fatalf("async Committed = %d, want %d", got, idx)
+	}
+	start := time.Now()
+	if err := w.WaitCommitted(idx, time.Minute); err != nil {
+		t.Fatalf("async WaitCommitted: %v", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("async WaitCommitted blocked")
+	}
+	// Forgetting followers is a no-op for the async watermark.
+	w.Forget("nobody")
+	if got := w.Committed(); got != idx {
+		t.Fatalf("async Committed after Forget = %d, want %d", got, idx)
 	}
 }

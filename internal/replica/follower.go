@@ -13,11 +13,27 @@ import (
 // until the connection dies, then either follow a redirect or run the
 // deterministic promotion protocol.
 func (n *Node) runFollower() {
+	n.followLoop(n.cfg.Join, false)
+}
+
+// followLoop streams from target (probing the membership for a leader when
+// target is empty, as after a demotion). joined says whether this node has
+// ever been part of the cluster — only then may it take part in elections.
+func (n *Node) followLoop(target string, joined bool) {
 	defer n.wg.Done()
-	target := n.cfg.Join
-	joined := false
 	forceSnap := false
 	for !n.isClosed() {
+		if target == "" {
+			// No leader known (this node just stepped down): probe the
+			// membership until somebody claims or names one.
+			target = n.leaderHint()
+			if target == "" {
+				if !n.sleep(n.cfg.Heartbeat) {
+					return
+				}
+				continue
+			}
+		}
 		redirect, err := n.followOnce(target, &joined, forceSnap)
 		// A log gap or an entry that fails to apply means this replica's
 		// state no longer extends the leader's log; re-join with From 0 so
@@ -179,7 +195,11 @@ func (n *Node) applyEntryFrame(f frame) (applied bool, err error) {
 }
 
 // adoptView ingests the leader's term, membership and identity from a
-// snapshot or heartbeat frame, rejecting stale terms.
+// snapshot or heartbeat frame, rejecting stale terms. The leader's ID is
+// shipped explicitly (LeaderID) so dead-leader filtering in elections never
+// has to fall back to address comparison: matching a membership entry by
+// ReplAddr alone fails whenever the advertised address differs from the one
+// in the peer list.
 func (n *Node) adoptView(f frame) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -187,11 +207,16 @@ func (n *Node) adoptView(f frame) error {
 		return fmt.Errorf("replica: stale leader term %d < %d", f.Term, n.term)
 	}
 	n.term = f.Term
-	n.leader = Peer{ReplAddr: f.LeaderRepl, SvcAddr: f.LeaderSvc}
+	n.leader = Peer{ID: f.LeaderID, ReplAddr: f.LeaderRepl, SvcAddr: f.LeaderSvc}
 	peers := make(map[string]Peer, len(f.Peers)+1)
 	for _, p := range f.Peers {
 		peers[p.ID] = p
-		if p.ReplAddr == f.LeaderRepl {
+		switch {
+		case f.LeaderID != "" && p.ID == f.LeaderID:
+			n.leader = p
+		case f.LeaderID == "" && p.ReplAddr == f.LeaderRepl:
+			// Legacy frame without an explicit leader ID: best-effort
+			// recovery by replication address.
 			n.leader = p
 		}
 	}
@@ -201,17 +226,34 @@ func (n *Node) adoptView(f frame) error {
 	return nil
 }
 
+// promotionRank returns this node's election backoff rank within the ranked
+// candidate list. A node missing from its own membership view (view lost —
+// e.g. a snapshot raced the heartbeat that named it) ranks LAST, not first:
+// claiming instant leadership from a lost view is how two nodes split-brain
+// simultaneously. Ranked last, it sits out the full backoff probing everyone
+// else and only promotes when every candidate it can see stayed silent.
+func promotionRank(cands []Peer, selfID string) int {
+	for i, p := range cands {
+		if p.ID == selfID {
+			return i
+		}
+	}
+	return len(cands)
+}
+
 // electOrPromote runs the deterministic failover protocol after losing the
 // leader at deadAddr. Every surviving node ranks the remaining membership
-// identically (priority desc, ID asc). The top-ranked node promotes itself
-// immediately; each lower rank waits rank x ElectionTimeout while probing
-// better-ranked peers, following whichever declares itself leader first, and
-// promotes itself only when every better candidate stayed silent. It returns
-// the new leader's replication address, or "" after self-promotion.
+// identically (priority desc, ID asc). The top-ranked node proceeds to the
+// promotion gate immediately; each lower rank waits rank x ElectionTimeout
+// while probing better-ranked peers, following whichever declares itself
+// leader first, and enters the gate only when every better candidate stayed
+// silent. The gate itself (promoteGated) requires a reachable majority and
+// an up-to-date log. Returns the new leader's replication address, or ""
+// after self-promotion.
 func (n *Node) electOrPromote(deadAddr string) string {
 	// A broken stream is not proof of death: if the old leader still answers
 	// probes as leader, re-join it instead of electing.
-	if role, _ := n.probe(deadAddr); role == RoleLeader {
+	if f, ok := n.probe(deadAddr); ok && f.Role == RoleLeader {
 		return deadAddr
 	}
 	n.mu.Lock()
@@ -222,59 +264,148 @@ func (n *Node) electOrPromote(deadAddr string) string {
 			cands = append(cands, p)
 		}
 	}
-	selfID := n.cfg.ID
+	self := n.selfPeerLocked()
 	n.mu.Unlock()
 	rankPeers(cands)
 
-	myIdx := -1
-	for i, p := range cands {
-		if p.ID == selfID {
-			myIdx = i
-			break
+	myIdx := promotionRank(cands, self.ID)
+	if myIdx > 0 {
+		n.logf("leader %s lost; rank %d of %d in election", deadID, myIdx, len(cands))
+		deadline := time.Now().Add(time.Duration(myIdx) * n.cfg.ElectionTimeout)
+		for time.Now().Before(deadline) {
+			if n.isClosed() {
+				return ""
+			}
+			limit := myIdx
+			if limit > len(cands) {
+				limit = len(cands)
+			}
+			for _, c := range cands[:limit] {
+				if c.ID == self.ID {
+					continue
+				}
+				f, ok := n.probe(c.ReplAddr)
+				if !ok {
+					continue
+				}
+				if f.Role == RoleLeader {
+					return c.ReplAddr
+				}
+				if f.LeaderRepl != "" && f.LeaderRepl != deadAddr && f.LeaderRepl != c.ReplAddr {
+					return f.LeaderRepl
+				}
+			}
+			if !n.sleep(n.cfg.Heartbeat) {
+				return ""
+			}
 		}
 	}
-	if myIdx <= 0 {
-		// Top-ranked (or membership view lost): claim leadership now.
-		n.promote()
-		return ""
-	}
-	n.logf("leader %s lost; rank %d of %d in election", deadID, myIdx, len(cands))
-	deadline := time.Now().Add(time.Duration(myIdx) * n.cfg.ElectionTimeout)
-	for time.Now().Before(deadline) {
-		if n.isClosed() {
-			return ""
-		}
-		for _, c := range cands[:myIdx] {
-			role, leaderRepl := n.probe(c.ReplAddr)
-			if role == RoleLeader {
+	return n.promoteGated(cands, deadAddr)
+}
+
+// promoteGated is the final step of an election: self-promote only when this
+// node can reach a majority of the membership (counting itself) and no
+// reachable candidate has a more up-to-date log. Up-to-date is the (term,
+// applied) pair, compared lexicographically like Raft's election rule: a
+// higher term wins outright, equal terms compare applied indexes. Comparing
+// bare applied indexes would let a demoted ex-leader's unreplicated local
+// writes (high index, stale term) outrank a newer leader's
+// quorum-acknowledged entries and silently discard them on re-election.
+// The majority gate keeps a minority partition from electing a second
+// leader; the log gate keeps a quorum-acknowledged write alive by deferring
+// to whichever survivor holds it. A deferring node loops — the
+// more-up-to-date candidate promotes on its own backoff and is discovered by
+// the next probe round. A consequence of the majority gate: a 2-node cluster
+// cannot fail over automatically (the survivor is 1 of 2, not a majority) —
+// live failover needs 3+ nodes, the standard quorum trade.
+func (n *Node) promoteGated(cands []Peer, deadAddr string) string {
+	for !n.isClosed() {
+		n.mu.Lock()
+		myTerm, myApplied := n.term, n.applied
+		n.mu.Unlock()
+		reachable := 1 // self
+		behind := false
+		for _, c := range cands {
+			if c.ID == n.cfg.ID {
+				continue
+			}
+			f, ok := n.probe(c.ReplAddr)
+			if !ok {
+				continue
+			}
+			reachable++
+			if f.Role == RoleLeader {
 				return c.ReplAddr
 			}
-			if leaderRepl != "" && leaderRepl != deadAddr && leaderRepl != c.ReplAddr {
-				return leaderRepl
+			if f.LeaderRepl != "" && f.LeaderRepl != deadAddr && f.LeaderRepl != c.ReplAddr {
+				return f.LeaderRepl
+			}
+			if f.Term > myTerm || (f.Term == myTerm && f.Applied > myApplied) {
+				behind = true
 			}
 		}
-		if !n.sleep(n.cfg.Heartbeat) {
+		n.mu.Lock()
+		majority := len(n.peers)/2 + 1
+		n.mu.Unlock()
+		if reachable >= majority && !behind {
+			n.promote()
+			return ""
+		}
+		n.logf("election stalled: %d/%d reachable (majority %d), behind=%v",
+			reachable, len(cands)+1, majority, behind)
+		if !n.sleep(n.cfg.ElectionTimeout) {
 			return ""
 		}
 	}
-	n.promote()
 	return ""
 }
 
-// probe asks the node at addr for its role and leader hint.
-func (n *Node) probe(addr string) (Role, string) {
+// leaderHint probes the known membership for the current leader: the first
+// peer that claims leadership, or the leader another peer points at. Used by
+// a demoted ex-leader, which has no join target to fall back on.
+func (n *Node) leaderHint() string {
+	n.mu.Lock()
+	peers := n.peerListLocked()
+	selfID := n.cfg.ID
+	n.mu.Unlock()
+	for _, p := range peers {
+		if p.ID == selfID {
+			continue
+		}
+		f, ok := n.probe(p.ReplAddr)
+		if !ok {
+			continue
+		}
+		if f.Role == RoleLeader {
+			return p.ReplAddr
+		}
+		if f.LeaderRepl != "" {
+			return f.LeaderRepl
+		}
+	}
+	return ""
+}
+
+// probe asks the node at addr for its status frame (role, leader hint,
+// applied index). ok is false when the node is unreachable — the distinction
+// feeds the election majority gate. The probe carries this node's identity
+// so a leader can count probes toward its majority lease.
+func (n *Node) probe(addr string) (frame, bool) {
 	conn, err := net.DialTimeout("tcp", addr, n.cfg.ElectionTimeout/2)
 	if err != nil {
-		return RoleFollower, ""
+		return frame{}, false
 	}
 	defer conn.Close()
+	n.mu.Lock()
+	self := n.selfPeerLocked()
+	n.mu.Unlock()
 	conn.SetDeadline(time.Now().Add(n.cfg.ElectionTimeout))
-	if err := gob.NewEncoder(conn).Encode(&frame{Type: frameProbe}); err != nil {
-		return RoleFollower, ""
+	if err := gob.NewEncoder(conn).Encode(&frame{Type: frameProbe, Peer: self}); err != nil {
+		return frame{}, false
 	}
 	var f frame
 	if err := gob.NewDecoder(conn).Decode(&f); err != nil {
-		return RoleFollower, ""
+		return frame{}, false
 	}
-	return f.Role, f.LeaderRepl
+	return f, true
 }

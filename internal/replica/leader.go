@@ -52,10 +52,13 @@ func (n *Node) handleConn(conn net.Conn) {
 	}
 	switch f.Type {
 	case frameProbe:
+		// A probe is contact: a follower checking on us during an election
+		// counts toward the majority lease just like an ack does.
+		n.touchPeer(f.Peer.ID)
 		n.mu.Lock()
 		st := frame{
-			Type: frameStatus, Term: n.term, Role: n.role,
-			LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
+			Type: frameStatus, Term: n.term, Role: n.role, Applied: n.applied,
+			LeaderID: n.leader.ID, LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
 		}
 		n.mu.Unlock()
 		conn.SetWriteDeadline(time.Now().Add(n.cfg.ElectionTimeout))
@@ -70,7 +73,7 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 	if n.closed || n.role != RoleLeader {
 		resp := frame{
 			Type: frameNotLeader, Term: n.term,
-			LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
+			LeaderID: n.leader.ID, LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
 		}
 		n.mu.Unlock()
 		conn.SetWriteDeadline(time.Now().Add(n.cfg.ElectionTimeout))
@@ -83,6 +86,7 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 	} else {
 		n.peers[join.Peer.ID] = join.Peer
 	}
+	n.contact[join.Peer.ID] = time.Now()
 	w := n.wal
 	term := n.term
 	n.mu.Unlock()
@@ -124,8 +128,8 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 	hello := frame{
 		Type: frameSnapshot, Term: n.term, Role: RoleLeader,
 		Snapshot: snap, SnapIndex: startIdx,
-		Peers:      n.peerListLocked(),
-		LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
+		Peers:    n.peerListLocked(),
+		LeaderID: n.leader.ID, LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
 	}
 	if resume {
 		hello.Type = frameHeartbeat
@@ -149,7 +153,8 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 	// Acks flow back on the same connection; reading them also detects a
 	// dead follower, whose conn we close to unblock the sender below. The
 	// first ack waits out the follower's snapshot restore; later ones are
-	// heartbeat-paced.
+	// heartbeat-paced. Each ack feeds the WAL's quorum commit watermark
+	// (unblocking synchronous writes) and renews the majority lease.
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -169,7 +174,9 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 			if cur := n.followers[join.Peer.ID]; cur == fol && ack.Applied > fol.acked {
 				fol.acked = ack.Applied
 			}
+			n.contact[join.Peer.ID] = time.Now()
 			n.mu.Unlock()
+			w.Ack(join.Peer.ID, ack.Applied)
 		}
 	}()
 
@@ -220,8 +227,8 @@ func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
 			n.mu.Lock()
 			hb := frame{
 				Type: frameHeartbeat, Term: n.term, Role: n.role,
-				Peers:      n.peerListLocked(),
-				LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
+				Peers:    n.peerListLocked(),
+				LeaderID: n.leader.ID, LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
 			}
 			n.mu.Unlock()
 			fol.conn.SetWriteDeadline(time.Now().Add(2 * n.cfg.ElectionTimeout))
@@ -247,22 +254,38 @@ func (n *Node) dropFollower(id string, fol *followerConn) {
 	n.mu.Unlock()
 }
 
-// leaderHousekeeping periodically compacts the WAL up to the slowest
-// connected follower's acknowledged index (keeping a retention floor so
-// racing joins don't immediately re-bootstrap).
+// leaderHousekeeping runs the leader's periodic duties on a heartbeat tick:
+// the majority-lease check every tick (a partitioned leader must step down
+// within ~LeaseTimeout, which is heartbeat-scale), and — on an
+// election-timeout cadence — WAL compaction up to the slowest connected
+// follower's acknowledged index (with a retention floor so racing joins
+// don't immediately re-bootstrap) plus lease-based membership decay.
 func (n *Node) leaderHousekeeping() {
 	defer n.wg.Done()
-	tick := time.NewTicker(n.cfg.ElectionTimeout)
+	tick := time.NewTicker(n.cfg.Heartbeat)
 	defer tick.Stop()
-	for {
+	slowEvery := int(n.cfg.ElectionTimeout / n.cfg.Heartbeat)
+	if slowEvery < 1 {
+		slowEvery = 1
+	}
+	for i := 0; ; i++ {
 		select {
 		case <-n.closeCh:
 			return
 		case <-tick.C:
 		}
+		if !n.IsLeader() {
+			return
+		}
+		if n.leaseExpired() {
+			n.demote("no ack or probe from a majority of peers within the lease window")
+			return
+		}
+		if i%slowEvery != 0 {
+			continue
+		}
 		n.mu.Lock()
 		w := n.wal
-		isLeader := n.role == RoleLeader
 		min := uint64(0)
 		if w != nil {
 			min = w.LastIndex()
@@ -273,11 +296,77 @@ func (n *Node) leaderHousekeeping() {
 			}
 		}
 		n.mu.Unlock()
-		if !isLeader {
-			return
-		}
 		if w != nil && min > compactionFloor {
 			w.Compact(min - compactionFloor)
 		}
+		n.decayPeers(w)
+	}
+}
+
+// leaseExpired reports whether this leader has lost its majority lease: it
+// holds the lease while it has heard (ack, join, or probe) from enough peers
+// within LeaseTimeout that, counting itself, a majority of the membership is
+// in contact. A single-node cluster is always in contact with itself. A
+// freshly promoted leader gets a grace period (set in promote) so survivors
+// have time to run their own failure detection and re-join.
+func (n *Node) leaseExpired() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := time.Now()
+	if now.Before(n.leaseRef) {
+		return false
+	}
+	inContact := 1 // self
+	for id := range n.peers {
+		if id == n.cfg.ID {
+			continue
+		}
+		if t, ok := n.contact[id]; ok && now.Sub(t) <= n.cfg.LeaseTimeout {
+			inContact++
+		}
+	}
+	return inContact < len(n.peers)/2+1
+}
+
+// decayPeers drops membership entries with no live follower connection and
+// no contact for PeerDecayTimeouts election timeouts, then broadcasts the
+// shrunken view. Long-dead peers would otherwise consume a backoff slot in
+// every future election. The decay window is clamped above the lease window
+// so a partitioned minority leader demotes (lease) before it can shrink its
+// membership into a fake majority (decay).
+func (n *Node) decayPeers(w *minisql.WAL) {
+	if n.cfg.PeerDecayTimeouts < 0 {
+		return
+	}
+	window := time.Duration(n.cfg.PeerDecayTimeouts) * n.cfg.ElectionTimeout
+	if min := 2 * n.cfg.LeaseTimeout; window < min {
+		window = min
+	}
+	now := time.Now()
+	var dropped []string
+	n.mu.Lock()
+	for id := range n.peers {
+		if id == n.cfg.ID {
+			continue
+		}
+		if _, connected := n.followers[id]; connected {
+			continue
+		}
+		if t, ok := n.contact[id]; ok && now.Sub(t) <= window {
+			continue
+		}
+		delete(n.peers, id)
+		delete(n.contact, id)
+		dropped = append(dropped, id)
+	}
+	if len(dropped) > 0 {
+		n.notifyPeersChangedLocked()
+	}
+	n.mu.Unlock()
+	for _, id := range dropped {
+		if w != nil {
+			w.Forget(id)
+		}
+		n.logf("decayed dead peer %s from membership", id)
 	}
 }

@@ -13,10 +13,30 @@
 // rest re-join the new leader and re-bootstrap from its snapshot, which makes
 // the new leader's state authoritative and heals any divergence.
 //
-// Replication is asynchronous: a write acknowledged by the leader may be
-// lost if the leader dies before shipping it. Completed task results that
-// HAVE replicated survive any single node loss, and the failover-aware
-// service client (service.DialCluster) recovers them from the new leader.
+// Replication is asynchronous by default: a write acknowledged by the leader
+// may be lost if the leader dies before shipping it. Setting
+// Config.WriteQuorum > 0 switches writes to synchronous replication — the
+// leader's WAL tracks per-follower acknowledgements into a quorum commit
+// watermark, and the service layer holds each write's reply until the
+// watermark covers it, so an acknowledged write survives the immediate death
+// of the leader. Completed task results that have replicated survive any
+// single node loss either way, and the failover-aware service client
+// (service.DialCluster) recovers them from the new leader.
+//
+// Leadership is leased: a leader that cannot hear acks or probes from a
+// majority of its membership within the lease window steps down to follower
+// (demote) and answers writes as unavailable, so a partitioned-away leader
+// stops accepting doomed writes instead of serving as a zombie. Elections are
+// majority-gated and log-aware: a candidate only self-promotes when it can
+// reach a majority of the membership and no reachable candidate has a more
+// up-to-date (term, applied) log position, which keeps quorum-acknowledged
+// writes alive across failover and prevents minority-side split brain.
+//
+// The majority rule is the standard quorum trade: automatic failover (and a
+// leader surviving follower loss) requires a cluster of at least 3 nodes. A
+// 2-node cluster that loses either member becomes read-only until the peer
+// returns — where PR 1's ungated promotion would instead have risked two
+// leaders under a partition.
 package replica
 
 import (
@@ -57,6 +77,23 @@ type Config struct {
 	// leader before starting failover, and the per-rank promotion backoff
 	// slot (default 8x Heartbeat).
 	ElectionTimeout time.Duration
+	// WriteQuorum is the number of followers that must acknowledge a write
+	// before the service layer confirms it to the client. 0 (the default)
+	// keeps replication fully asynchronous. With N > 0 an acknowledged write
+	// survives the immediate death of the leader, at the cost of one
+	// replication round trip of latency per write.
+	WriteQuorum int
+	// LeaseTimeout is the leadership lease window: a leader that hears no
+	// ack or probe from a majority of its membership for this long demotes
+	// itself to follower and stops accepting writes (default
+	// 2x ElectionTimeout).
+	LeaseTimeout time.Duration
+	// PeerDecayTimeouts is the membership decay window in election timeouts:
+	// the leader drops a peer with no connection and no contact for this many
+	// ElectionTimeouts and broadcasts the shrunken view, so long-dead nodes
+	// stop consuming election backoff slots. 0 selects the default (20);
+	// negative disables decay.
+	PeerDecayTimeouts int
 	// Logf, when set, receives replication lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -79,7 +116,9 @@ type Node struct {
 	peers     map[string]Peer
 	leader    Peer
 	followers map[string]*followerConn
-	stream    net.Conn // follower's live connection to the leader
+	contact   map[string]time.Time // last ack/join/probe heard from each peer
+	leaseRef  time.Time            // lease grace: no demotion before this
+	stream    net.Conn             // follower's live connection to the leader
 	started   bool
 	closed    bool
 
@@ -96,6 +135,12 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.ElectionTimeout <= 0 {
 		cfg.ElectionTimeout = 8 * cfg.Heartbeat
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 2 * cfg.ElectionTimeout
+	}
+	if cfg.PeerDecayTimeouts == 0 {
+		cfg.PeerDecayTimeouts = 20
 	}
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
@@ -119,6 +164,7 @@ func New(cfg Config) (*Node, error) {
 		ln:        ln,
 		peers:     make(map[string]Peer),
 		followers: make(map[string]*followerConn),
+		contact:   make(map[string]time.Time),
 		peersCh:   make(chan struct{}),
 		closeCh:   make(chan struct{}),
 	}
@@ -128,6 +174,7 @@ func New(cfg Config) (*Node, error) {
 		n.role = RoleLeader
 		n.term = 1
 		n.wal = minisql.NewWAL(0)
+		n.wal.SetQuorum(cfg.WriteQuorum)
 		n.leader = self
 	} else {
 		n.role = RoleFollower
@@ -190,9 +237,16 @@ func (n *Node) DB() *core.DB { return n.db }
 // ID returns the node's cluster identity.
 func (n *Node) ID() string { return n.cfg.ID }
 
-// Addr returns the replication listen address (the --join target for other
-// nodes).
-func (n *Node) Addr() string { return n.ln.Addr().String() }
+// Addr returns the replication address other nodes should dial (the --join
+// target): the advertised address when Config.Advertise is set, otherwise the
+// bound listen address. The raw listener address is not dialable remotely
+// behind NAT or a wildcard bind, which is exactly what Advertise exists for.
+func (n *Node) Addr() string {
+	if n.cfg.Advertise != "" {
+		return n.cfg.Advertise
+	}
+	return n.ln.Addr().String()
+}
 
 // SetServiceAddr records the EMEWS service address this node advertises to
 // peers and clients. Call before Start.
@@ -329,6 +383,74 @@ func (n *Node) onCommit(stmts []minisql.Stmt) {
 	n.mu.Unlock()
 }
 
+// Lease and quorum sentinel errors. Both are transient cluster conditions:
+// service callers surface them as ErrUnavailable so failover clients
+// re-resolve the leader and retry.
+var (
+	// ErrNotLeader is returned by WaitQuorum on a node that is not (or no
+	// longer) the cluster leader.
+	ErrNotLeader = fmt.Errorf("replica: not the leader")
+	// ErrDemoted fails quorum waits that were pending when the leader
+	// stepped down after losing its majority lease.
+	ErrDemoted = fmt.Errorf("replica: leader demoted (lost majority lease)")
+)
+
+// touchPeer records that peer id was heard from (ack, join, or probe) for the
+// majority lease and membership decay.
+func (n *Node) touchPeer(id string) {
+	if id == "" {
+		return
+	}
+	n.mu.Lock()
+	n.contact[id] = time.Now()
+	n.mu.Unlock()
+}
+
+// WriteQuorum returns the configured synchronous-replication quorum
+// (0 = asynchronous).
+func (n *Node) WriteQuorum() int { return n.cfg.WriteQuorum }
+
+// Committed returns the quorum commit watermark on the leader (equal to
+// Applied in asynchronous mode) and the applied index elsewhere.
+func (n *Node) Committed() uint64 {
+	n.mu.Lock()
+	w, applied := n.wal, n.applied
+	n.mu.Unlock()
+	if w == nil {
+		return applied
+	}
+	return w.Committed()
+}
+
+// WaitQuorum blocks until every write committed so far is replicated to
+// WriteQuorum followers. It returns nil immediately in asynchronous mode,
+// ErrNotLeader when the node does not lead, ErrDemoted when the leader steps
+// down mid-wait, and a quorum-timeout error when the cluster cannot
+// replicate within the bounded window. The service layer calls it between
+// executing a write and confirming it to the client.
+//
+// The wait is deliberately conservative: the caller's own entry has no
+// identity outside the engine commit hook, so the wait covers the newest
+// applied index at call time — the caller's write plus any concurrent
+// writes committed just after it. That can only over-wait (never confirm an
+// unreplicated write); in the worst case a write whose own entry did
+// replicate still reports a transient failure because a later concurrent
+// entry did not. Plumbing exact per-request indexes through core.API would
+// remove the over-wait (see ROADMAP).
+func (n *Node) WaitQuorum() error {
+	if n.cfg.WriteQuorum <= 0 {
+		return nil
+	}
+	n.mu.Lock()
+	if n.role != RoleLeader || n.wal == nil {
+		n.mu.Unlock()
+		return ErrNotLeader
+	}
+	w, idx := n.wal, n.applied
+	n.mu.Unlock()
+	return w.WaitCommitted(idx, 2*n.cfg.LeaseTimeout)
+}
+
 // promote makes this follower the new leader: bump the term, drop the dead
 // leader from membership, and open a fresh WAL continuing at the applied
 // index so joiners resume the cluster's numbering.
@@ -345,13 +467,52 @@ func (n *Node) promote() {
 	}
 	n.leader = n.selfPeerLocked()
 	n.wal = minisql.NewWAL(n.applied)
+	n.wal.SetQuorum(n.cfg.WriteQuorum)
 	n.followers = make(map[string]*followerConn)
+	// Lease grace: surviving followers need their own failure detection and
+	// election backoff before they re-join, so the fresh leader must not
+	// count the silence since its own promotion against them.
+	now := time.Now()
+	for id := range n.peers {
+		n.contact[id] = now
+	}
+	n.leaseRef = now.Add(2 * n.cfg.LeaseTimeout)
 	term, applied := n.term, n.applied
 	n.mu.Unlock()
 	n.db.Wake()
 	n.logf("promoted to leader (term %d, log index %d)", term, applied)
 	n.wg.Add(1)
 	go n.leaderHousekeeping()
+}
+
+// demote steps a leader down to follower after it lost its majority lease:
+// it stops accepting writes (pending quorum waits fail with ErrDemoted),
+// drops its follower streams, forgets the leader identity, and starts the
+// follower loop to hunt for the majority side's leader. The mirror image of
+// promote — leadership is no longer one-way.
+func (n *Node) demote(reason string) {
+	n.mu.Lock()
+	if n.closed || n.role != RoleLeader {
+		n.mu.Unlock()
+		return
+	}
+	n.role = RoleFollower
+	w := n.wal
+	n.wal = nil
+	n.leader = Peer{} // unknown until the majority side's leader is found
+	fols := n.followers
+	n.followers = make(map[string]*followerConn)
+	term := n.term
+	n.mu.Unlock()
+	if w != nil {
+		w.Seal(ErrDemoted)
+	}
+	for _, f := range fols {
+		f.conn.Close()
+	}
+	n.logf("stepping down at term %d: %s", term, reason)
+	n.wg.Add(1)
+	go n.followLoop("", true)
 }
 
 // snapshotAt captures a database snapshot together with the WAL index it

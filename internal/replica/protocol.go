@@ -57,8 +57,10 @@ const (
 	// after From (incremental catch-up, no re-bootstrap). From 0 always
 	// forces a snapshot.
 	frameJoin frameType = iota
-	// frameProbe: any -> any. Ask a node for its role and known leader;
-	// answered with frameStatus. Used during elections.
+	// frameProbe: any -> any. Ask a node for its role, known leader, and
+	// applied index; answered with frameStatus. Used during elections (the
+	// majority + log gate) and counted toward the receiving leader's
+	// majority lease. Carries the prober's Peer identity.
 	frameProbe
 	// frameStatus: reply to frameProbe.
 	frameStatus
@@ -88,8 +90,12 @@ type frame struct {
 	Peer Peer
 	From uint64 // joiner's applied index
 
-	// frameStatus / frameNotLeader / frameSnapshot / frameHeartbeat
+	// frameStatus / frameNotLeader / frameSnapshot / frameHeartbeat.
+	// LeaderID names the leader explicitly so followers recover the full
+	// leader Peer even when its advertised address does not match any
+	// membership entry's ReplAddr.
 	Role       Role
+	LeaderID   string
 	LeaderRepl string
 	LeaderSvc  string
 	Peers      []Peer
@@ -101,6 +107,7 @@ type frame struct {
 	// frameEntry
 	Entry minisql.LogEntry
 
-	// frameAck
+	// frameAck (cumulative applied index) and frameStatus (the responder's
+	// applied index, feeding the election log gate)
 	Applied uint64
 }

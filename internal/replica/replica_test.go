@@ -204,3 +204,193 @@ func TestLateFollowerWaitsForLeader(t *testing.T) {
 		t.Fatal("unjoined follower promoted itself")
 	}
 }
+
+// TestAddrReturnsAdvertise: Addr is documented as "the --join target for
+// other nodes", so it must return the advertised address when one is set —
+// the raw listener address is undialable behind NAT or a wildcard bind.
+func TestAddrReturnsAdvertise(t *testing.T) {
+	n, err := New(Config{ID: "adv", Advertise: "203.0.113.9:7700"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if got := n.Addr(); got != "203.0.113.9:7700" {
+		t.Fatalf("Addr() with Advertise = %q, want the advertised address", got)
+	}
+
+	plain, err := New(Config{ID: "plain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if got := plain.Addr(); got == "" || got == "203.0.113.9:7700" {
+		t.Fatalf("Addr() without Advertise = %q, want the bound listener address", got)
+	}
+}
+
+// TestPromotionRankViewLost: a node missing from its own membership view
+// must rank LAST (full backoff, probing everyone), not first — two view-lost
+// nodes both claiming instant leadership is a split brain.
+func TestPromotionRankViewLost(t *testing.T) {
+	cands := []Peer{{ID: "a", Priority: 3}, {ID: "b", Priority: 2}, {ID: "c", Priority: 1}}
+	rankPeers(cands)
+	if got := promotionRank(cands, "a"); got != 0 {
+		t.Fatalf("rank of top candidate = %d, want 0", got)
+	}
+	if got := promotionRank(cands, "c"); got != 2 {
+		t.Fatalf("rank of bottom candidate = %d, want 2", got)
+	}
+	if got := promotionRank(cands, "ghost"); got != len(cands) {
+		t.Fatalf("rank of view-lost node = %d, want %d (last)", got, len(cands))
+	}
+	if got := promotionRank(nil, "ghost"); got != 0 {
+		t.Fatalf("rank with empty candidate list = %d, want 0", got)
+	}
+}
+
+// TestAdoptViewLeaderID: the leader's identity ships explicitly in every
+// view frame, so a follower recovers the full leader Peer (ID included) even
+// when no membership entry's ReplAddr matches the advertised LeaderRepl.
+// Without the ID, dead-leader filtering in elections degrades to address
+// comparison.
+func TestAdoptViewLeaderID(t *testing.T) {
+	n, err := New(Config{ID: "f1", Join: "203.0.113.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	err = n.adoptView(frame{
+		Term:     7,
+		LeaderID: "lead", LeaderRepl: "198.51.100.2:7700", LeaderSvc: "svc-lead",
+		Peers: []Peer{
+			// The membership entry carries a different ReplAddr than the
+			// advertised one — address matching would miss it.
+			{ID: "lead", Priority: 9, ReplAddr: "10.0.0.2:7700", SvcAddr: "svc-lead"},
+			{ID: "f1", Priority: 1, ReplAddr: "10.0.0.3:7700"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.LeaderID(); got != "lead" {
+		t.Fatalf("LeaderID after adoptView = %q, want %q", got, "lead")
+	}
+	n.mu.Lock()
+	leader := n.leader
+	n.mu.Unlock()
+	if leader.Priority != 9 {
+		t.Fatalf("adopted leader peer = %+v, want the full membership entry", leader)
+	}
+}
+
+// TestLeaderIDInFrames: the join hello and probe status frames name the
+// leader explicitly.
+func TestLeaderIDInFrames(t *testing.T) {
+	leader := newNode(t, "idl", 3, "")
+	defer leader.Close()
+	peer := Peer{ID: "probe", Priority: 0, ReplAddr: "127.0.0.1:1"}
+	hello := dialJoin(t, leader.Addr(), frame{Type: frameJoin, Peer: peer, Term: 1, From: 0})
+	if hello.LeaderID != "idl" {
+		t.Fatalf("join hello LeaderID = %q, want %q", hello.LeaderID, "idl")
+	}
+	status := dialJoin(t, leader.Addr(), frame{Type: frameProbe, Peer: peer})
+	if status.LeaderID != "idl" {
+		t.Fatalf("probe status LeaderID = %q, want %q", status.LeaderID, "idl")
+	}
+}
+
+// TestPeerDecay: the leader drops a peer with no connection and no contact
+// for PeerDecayTimeouts election timeouts and broadcasts the shrunken view,
+// so long-dead nodes stop consuming election backoff slots.
+func TestPeerDecay(t *testing.T) {
+	mk := func(id string, prio int, join string) *Node {
+		t.Helper()
+		n, err := New(Config{
+			ID: id, Priority: prio, Join: join,
+			Heartbeat: beat, ElectionTimeout: elect,
+			PeerDecayTimeouts: 1, // clamped up to 2x lease by the leader
+			Logf:              t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.SetServiceAddr("svc-" + id)
+		n.Start()
+		return n
+	}
+	leader := mk("d1", 3, "")
+	defer leader.Close()
+	f2 := mk("d2", 2, leader.Addr())
+	defer f2.Close()
+	f3 := mk("d3", 1, leader.Addr())
+
+	waitFor(t, "membership convergence", func() bool {
+		return len(leader.Peers()) == 3 && len(f2.Peers()) == 3
+	})
+
+	f3.Close()
+	waitFor(t, "leader decays d3", func() bool { return len(leader.Peers()) == 2 })
+	for _, p := range leader.Peers() {
+		if p.ID == "d3" {
+			t.Fatal("decayed peer still in leader membership")
+		}
+	}
+	// The shrunken view reaches the surviving follower via heartbeat.
+	waitFor(t, "follower adopts decayed view", func() bool { return len(f2.Peers()) == 2 })
+}
+
+// TestLeaderDemotesWithoutMajority: a leader that stops hearing from a
+// majority of its membership steps down within the lease window instead of
+// serving as a zombie, and its role change is observable.
+func TestLeaderDemotesWithoutMajority(t *testing.T) {
+	leader := newNode(t, "m1", 3, "")
+	defer leader.Close()
+	f2 := newNode(t, "m2", 2, leader.Addr())
+	f3 := newNode(t, "m3", 1, leader.Addr())
+
+	waitFor(t, "membership convergence", func() bool { return len(leader.Peers()) == 3 })
+
+	// Kill both followers: the leader is now a minority of one.
+	start := time.Now()
+	f2.Close()
+	f3.Close()
+	waitFor(t, "leader demotion", func() bool { return !leader.IsLeader() })
+	// Lease window (2x election timeout) plus detection slack.
+	if d := time.Since(start); d > 8*elect {
+		t.Fatalf("demotion took %v, want < %v", d, 8*elect)
+	}
+}
+
+// TestQuorumWriteBlocksWithoutFollowers: with WriteQuorum 1 and no follower
+// connected, WaitQuorum fails (timeout or demotion) instead of confirming an
+// unreplicated write; with a follower streaming it returns promptly.
+func TestQuorumWriteBlocksWithoutFollowers(t *testing.T) {
+	n, err := New(Config{
+		ID: "q1", Priority: 3,
+		Heartbeat: beat, ElectionTimeout: elect, WriteQuorum: 1,
+		LeaseTimeout: 4 * elect,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetServiceAddr("svc-q1")
+	n.Start()
+
+	submitN(t, n.DB(), 1)
+	if err := n.WaitQuorum(); err == nil {
+		t.Fatal("WaitQuorum succeeded with no follower in the cluster")
+	}
+
+	fol := newNode(t, "q2", 2, n.Addr())
+	defer fol.Close()
+	waitFor(t, "follower catch-up", func() bool { return fol.Applied() == n.Applied() })
+	if err := n.WaitQuorum(); err != nil {
+		t.Fatalf("WaitQuorum with a caught-up follower: %v", err)
+	}
+	if got := n.Committed(); got != n.Applied() {
+		t.Fatalf("Committed = %d, want %d", got, n.Applied())
+	}
+}

@@ -25,6 +25,12 @@ import (
 // never lost with the old leader (they are, at worst, delivered twice).
 // Submits retried across a failover may, in the worst case, be applied twice
 // if the old leader replicated the write but died before answering.
+//
+// When the cluster runs with replica.Config.WriteQuorum > 0, every
+// acknowledged write has already been applied by that many followers, so an
+// acknowledged submit is never lost to leader death; a demoted or quorumless
+// leader answers with ErrUnavailable, which this client treats like any
+// transient condition — re-resolve the real leader and retry.
 type ClusterClient struct {
 	addrs []string
 

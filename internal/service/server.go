@@ -150,10 +150,40 @@ var writeOps = map[string]bool{
 	"cancel": true, "requeue": true,
 }
 
+// quorumOps are the writes whose replies are held until the mutation is
+// quorum-replicated (Config.WriteQuorum > 0): the client-initiated state
+// changes that must survive the leader's immediate death once acknowledged.
+// The queue-popping polls (query_tasks, pop_results, query_result) are
+// deliberately excluded — they are at-most-once per attempt by design and
+// quorum-waiting each poll chunk would serialize worker batching on
+// replication round trips.
+var quorumOps = map[string]bool{
+	"submit": true, "submit_batch": true, "report": true,
+	"update_priorities": true, "cancel": true, "requeue": true,
+}
+
 func (s *Server) dispatch(req request) response {
 	if s.node != nil && writeOps[req.Op] && !s.node.IsLeader() {
 		return s.forward(req)
 	}
+	resp := s.exec(req)
+	// In synchronous-replication mode a write is only confirmed once
+	// WriteQuorum followers have applied it; a demoted or partitioned
+	// leader answers with a transient error so DialCluster re-resolves the
+	// real leader instead of trusting a zombie. The write may still have
+	// committed locally — like any quorum system, a failed ack is
+	// ambiguous, and retries can apply it twice (already the documented
+	// failover semantics).
+	if resp.OK && s.node != nil && quorumOps[req.Op] {
+		if err := s.node.WaitQuorum(); err != nil {
+			return response{Error: "service: write not quorum-committed: " + err.Error(), Transient: true}
+		}
+	}
+	return resp
+}
+
+// exec runs one request against the local database.
+func (s *Server) exec(req request) response {
 	switch req.Op {
 	case "ping":
 		return response{OK: true}

@@ -13,8 +13,12 @@
 //     leader/follower cluster: committed statements ship through a
 //     write-ahead log, followers bootstrap from snapshots and serve reads
 //     locally while forwarding writes, a deterministic priority scheme
-//     promotes a follower when the leader dies, and DialCluster gives
-//     clients transparent failover;
+//     promotes a follower when the leader dies (majority-gated, preferring
+//     the most-up-to-date survivor), an optional write quorum
+//     (ReplicaConfig.WriteQuorum) makes acknowledged writes survive
+//     immediate leader death, a leader partitioned from the majority
+//     demotes itself instead of accepting doomed writes, and DialCluster
+//     gives clients transparent failover;
 //   - a federated function-as-a-service fabric (internal/funcx);
 //   - heterogeneous worker pools with batch/threshold querying
 //     (internal/pool) running on simulated batch clusters (internal/sched);
@@ -139,12 +143,20 @@ type (
 	// ReplicaNode is one member of a replicated EMEWS service cluster.
 	ReplicaNode = replica.Node
 	// ReplicaConfig parameterizes a cluster node (identity, promotion
-	// priority, join address, failure-detection timings).
+	// priority, join address, failure-detection timings, and the write
+	// quorum: WriteQuorum > 0 holds each write acknowledgement until that
+	// many followers applied it, so acknowledged writes survive immediate
+	// leader death).
 	ReplicaConfig = replica.Config
 	// ClusterClient is a failover-aware API implementation that re-resolves
 	// the cluster leader on connection loss.
 	ClusterClient = service.ClusterClient
 )
+
+// ErrUnavailable marks transient cluster conditions — no leader elected yet,
+// a demoted leader rejecting writes, a quorum not reached in time. Failover
+// clients (DialCluster) retry it automatically; direct Dial callers may too.
+var ErrUnavailable = service.ErrUnavailable
 
 // NewReplica creates a cluster node: the initial leader when
 // ReplicaConfig.Join is empty, otherwise a follower of that leader.
