@@ -603,6 +603,87 @@ func benchReplicatedSubmit(b *testing.B, quorum int) {
 	}
 }
 
+// BenchmarkLeaderRead and BenchmarkFollowerRead measure the read scale-out
+// claim of follower read routing: the same parallel task_get workload against
+// a 3-node cluster, once with every read pinned to the leader and once spread
+// across the follower replicas under session commit tokens (read-your-writes
+// preserved). EMEWS workloads are read-dominated — ME algorithms poll status
+// and results far more often than they submit — so follower reads absorbing
+// that traffic is what converts replication from redundancy into capacity.
+func BenchmarkLeaderRead(b *testing.B)   { benchClusterRead(b, false) }
+func BenchmarkFollowerRead(b *testing.B) { benchClusterRead(b, true) }
+
+func benchClusterRead(b *testing.B, followerReads bool) {
+	leader, err := replica.New(replica.Config{ID: "r1", Priority: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srvLead, err := service.ServeNode(leader, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { srvLead.Close(); leader.Close() }()
+	addrs := []string{srvLead.Addr()}
+	followers := make([]*replica.Node, 2)
+	for i := range followers {
+		n, err := replica.New(replica.Config{
+			ID: fmt.Sprintf("r%d", i+2), Priority: 2 - i, Join: leader.Addr(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := service.ServeNode(n, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { srv.Close(); n.Close() }()
+		followers[i] = n
+		addrs = append(addrs, srv.Addr())
+	}
+
+	seed, err := service.Dial(srvLead.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	payloads := make([]string, 64)
+	for i := range payloads {
+		payloads[i] = fmt.Sprintf(`{"x": %d}`, i)
+	}
+	ids, err := seed.SubmitTasks("bench-read", 1, payloads, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for leader.Applied() == 0 ||
+		followers[0].Applied() != leader.Applied() || followers[1].Applied() != leader.Applied() {
+		if time.Now().After(deadline) {
+			b.Fatal("followers never caught up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		cc, err := service.DialCluster(addrs...)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		cc.ReadFromFollowers = followerReads
+		defer cc.Close()
+		i := 0
+		for pb.Next() {
+			if _, err := cc.GetTask(ids[i%len(ids)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
 // --- scheduler simulator ---
 
 func BenchmarkSchedulerSubmitWait(b *testing.B) {

@@ -25,6 +25,16 @@
 // write survives the leader dying immediately afterwards; a leader that
 // loses contact with a majority of the cluster steps down and answers
 // writes as unavailable until the real leader is found.
+//
+// Automatic failover needs a reachable majority, which a 2-node cluster
+// cannot form after losing either member. The operator escape hatch is a
+// forced manual promotion of the survivor:
+//
+//	osprey-service -promote host2:7655
+//
+// It overrides the majority election gate, so only use it when the missing
+// peers are known dead — forcing both sides of a live partition creates
+// split brain.
 package main
 
 import (
@@ -54,14 +64,34 @@ func main() {
 		priority      = flag.Int("priority", 0, "promotion priority on leader death (higher wins)")
 		join          = flag.String("join", "", "replication address of the leader to follow (empty: start as leader)")
 		writeQuorum   = flag.Int("write-quorum", 0, "followers that must apply a write before it is acknowledged (0: asynchronous replication)")
+		promote       = flag.String("promote", "", "admin: force-promote the node at this service address to cluster leader (majority-gate override for 2-node clusters), then exit")
 	)
 	flag.Parse()
 
+	if *promote != "" {
+		runPromote(*promote)
+		return
+	}
 	if *nodeID != "" {
 		runReplicated(*addr, *nodeID, *replAddr, *replAdvertise, *advertise, *priority, *writeQuorum, *join, *snapshot)
 		return
 	}
 	runStandalone(*addr, *snapshot)
+}
+
+// runPromote force-promotes the replicated node at addr: the operator
+// escape hatch for clusters that cannot form an electing majority.
+func runPromote(addr string) {
+	c, err := service.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	info, err := c.Promote()
+	if err != nil {
+		log.Fatalf("promoting %s: %v", addr, err)
+	}
+	log.Printf("node %s promoted: role=%s term=%d applied=%d", info.NodeID, info.Role, info.Term, info.Applied)
 }
 
 func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, priority, writeQuorum int, join, snapshot string) {

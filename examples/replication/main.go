@@ -4,12 +4,17 @@
 // Three replica nodes start (one leader, two followers with descending
 // promotion priorities), each behind its own EMEWS service, with
 // WriteQuorum: 1 — every write acknowledgement is held until one follower
-// has applied it. A worker pool and the ME side both connect through
-// osprey.DialCluster. Mid-workload the leader is killed the instant a
-// marker submit is acknowledged: quorum mode guarantees the marker survives
-// on the new leader, the failover clients re-resolve, and every task still
-// completes — the paper's snapshot/restart fault tolerance (§II-B1c)
-// upgraded to live failover with synchronous durability.
+// has applied it, and every acknowledgement carries the write's commit
+// token (its own WAL index). A worker pool and the ME side both connect
+// through osprey.DialCluster, which routes their read-only traffic (status
+// and task lookups — the bulk of an EMEWS workload) across the follower
+// replicas, shipping the session's high-water commit token so every read is
+// read-your-writes consistent no matter which follower answers.
+// Mid-workload the leader is killed the instant a marker submit is
+// acknowledged: quorum mode guarantees the marker survives on the new
+// leader, the failover clients re-resolve, and every task still completes —
+// the paper's snapshot/restart fault tolerance (§II-B1c) upgraded to live
+// failover with synchronous durability and follower read scale-out.
 //
 //	go run ./examples/replication
 package main
@@ -127,16 +132,21 @@ func main() {
 	fmt.Printf("collected all %d results; node %s is leader (term %d) %.0fms after the kill\n",
 		total, info.NodeID, info.Term, time.Since(killed).Seconds()*1000)
 
-	// 6. The quorum-acknowledged marker survived the leader's death.
+	// 6. The quorum-acknowledged marker survived the leader's death. This
+	// read — like every GetTask/Statuses/Counts on a ClusterClient — is
+	// served by a follower replica, held until the follower's applied index
+	// reaches the session's commit token, so it must observe the marker even
+	// though the node that acknowledged it is dead.
 	task, err := me.GetTask(marker)
 	if err != nil {
 		log.Fatalf("quorum marker lost with the old leader: %v", err)
 	}
-	fmt.Printf("quorum marker task %d survived the kill (status %s)\n", marker, task.Status)
+	fmt.Printf("quorum marker task %d survived the kill (status %s, read served under session token %d)\n",
+		marker, task.Status, me.Token())
 
 	counts, err := me.Counts("replicated")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("final task counts on the new leader: %v\n", counts)
+	fmt.Printf("final task counts, read from a follower replica: %v\n", counts)
 }

@@ -62,10 +62,11 @@ type TaskResult struct {
 }
 
 // SubmitOptions carries the optional arguments of submit_task (§IV-A):
-// priority (defaults to 0) and metadata tags.
+// priority (defaults to 0), metadata tags, and an idempotency dedup key.
 type SubmitOptions struct {
 	Priority int
 	Tags     []string
+	DedupKey string
 }
 
 // SubmitOption mutates SubmitOptions.
@@ -79,6 +80,59 @@ func WithPriority(p int) SubmitOption {
 // WithTags attaches metadata tag strings to the task.
 func WithTags(tags ...string) SubmitOption {
 	return func(o *SubmitOptions) { o.Tags = append(o.Tags, tags...) }
+}
+
+// WithDedupKey makes the submit idempotent under the given client-chosen key:
+// if a task with the same dedup key already exists, the submit inserts
+// nothing and returns the original task's id. This is what disambiguates a
+// retry after an ambiguous failure (e.g. a quorum timeout that may or may not
+// have committed locally): retrying with the same key can never create a
+// duplicate task. Keys live in the tasks table and replicate with it, so
+// deduplication holds across leader failover too.
+func WithDedupKey(key string) SubmitOption {
+	return func(o *SubmitOptions) { o.DedupKey = key }
+}
+
+// Token is a commit token: the WAL index of the log entry a mutating
+// operation produced. A write's token identifies exactly that write in the
+// replication stream, so the service layer can hold the write's
+// acknowledgement until precisely its own entry is quorum-replicated (no
+// over-wait on later concurrent writes), and a reader can pass the token back
+// as a minimum-freshness bound — any replica whose applied index has reached
+// the token is guaranteed to reflect the write (read-your-writes). Token 0
+// means "no entry" (a no-op write, or a backend without a statement log) and
+// imposes no freshness bound.
+type Token = uint64
+
+// TokenAPI extends API with commit-token-returning variants of the mutating
+// operations. The in-process DB and the remote service client both implement
+// it; the service layer prefers it when present so every write's reply can
+// carry the write's own WAL index.
+type TokenAPI interface {
+	API
+
+	// SubmitTaskT is SubmitTask returning the write's commit token. A
+	// deduplicated re-submit (WithDedupKey hit) returns the engine's commit
+	// high-water mark, which covers the original insert.
+	SubmitTaskT(expID string, workType int, payload string, opts ...SubmitOption) (int64, Token, error)
+
+	// SubmitTasksT is SubmitTasks returning the batch's commit token, with
+	// optional per-payload dedup keys (nil, or one per payload; "" entries
+	// are not deduplicated). Payloads whose key already exists are skipped
+	// and report the original task id in their position.
+	SubmitTasksT(expID string, workType int, payloads []string, priorities []int, dedupKeys []string) ([]int64, Token, error)
+
+	// ReportTaskT is ReportTask returning the write's commit token.
+	ReportTaskT(taskID int64, workType int, result string) (Token, error)
+
+	// UpdatePrioritiesT is UpdatePriorities returning the commit token.
+	UpdatePrioritiesT(ids []int64, priorities []int) (int, Token, error)
+
+	// CancelTasksT is CancelTasks returning the commit token.
+	CancelTasksT(ids []int64) (int, Token, error)
+
+	// RequeueRunningT is RequeueRunning returning the commit token.
+	RequeueRunningT(pool string) (int, Token, error)
 }
 
 // API is the EMEWS DB task interface shared by the in-process database and

@@ -28,9 +28,14 @@ var schema = []string{
 		priority INTEGER,
 		created_at INTEGER,
 		start_at INTEGER,
-		stop_at INTEGER)`,
+		stop_at INTEGER,
+		dedup_key TEXT)`,
 	`CREATE INDEX IF NOT EXISTS eq_tasks_status ON eq_tasks (status)`,
 	`CREATE INDEX IF NOT EXISTS eq_tasks_pool ON eq_tasks (pool)`,
+	// The dedup index is what makes WithDedupKey submits idempotent: the
+	// existence check inside the submit transaction is an indexed lookup, and
+	// because the check runs under the engine's writer lock it is race-free.
+	`CREATE INDEX IF NOT EXISTS eq_tasks_dedup ON eq_tasks (dedup_key)`,
 	`CREATE TABLE IF NOT EXISTS eq_out_q (
 		task_id INTEGER PRIMARY KEY,
 		work_type INTEGER,
@@ -54,7 +59,7 @@ type DB struct {
 	closed atomic.Bool
 }
 
-var _ API = (*DB)(nil)
+var _ TokenAPI = (*DB)(nil)
 
 // NewDB creates an empty EMEWS task database with the standard schema.
 func NewDB() (*DB, error) {
@@ -84,6 +89,9 @@ func RestoreDB(r io.Reader) (*DB, error) {
 	if err := eng.Restore(r); err != nil {
 		return nil, err
 	}
+	if err := migrateSchema(eng); err != nil {
+		return nil, err
+	}
 	return &DB{eng: eng, outN: newNotifier(), inN: newNotifier()}, nil
 }
 
@@ -94,8 +102,58 @@ func (db *DB) Restore(r io.Reader) error {
 	if err := db.eng.Restore(r); err != nil {
 		return err
 	}
+	if err := migrateSchema(db.eng); err != nil {
+		return err
+	}
 	db.Wake()
 	return nil
+}
+
+// migrateSchema upgrades a database restored from a snapshot written before
+// the dedup_key column existed. Snapshots carry full table definitions, so a
+// pre-upgrade eq_tasks comes back without the column and every submit's
+// INSERT would fail; the rebuild re-inserts the rows under the current
+// schema (dedup_key '', i.e. not deduplicable — exactly their old
+// semantics). Explicit task_ids keep the AUTOINCREMENT counter correct.
+func migrateSchema(eng *minisql.Engine) error {
+	if _, err := eng.Exec("SELECT dedup_key FROM eq_tasks LIMIT 1"); err == nil {
+		return nil
+	}
+	rows, err := eng.Exec(
+		`SELECT task_id, exp_id, work_type, status, payload, result, pool,
+			priority, created_at, start_at, stop_at FROM eq_tasks`)
+	if err != nil {
+		// No recognizable tasks table: not an EMEWS snapshot this version can
+		// migrate — surface the restore as-is rather than guessing.
+		return fmt.Errorf("eqsql: migrating restored schema: %w", err)
+	}
+	return eng.Tx(func(tx *minisql.Tx) error {
+		if _, err := tx.Exec("DROP TABLE eq_tasks"); err != nil {
+			return err
+		}
+		for _, stmt := range schema {
+			if !strings.Contains(stmt, "eq_tasks") {
+				continue
+			}
+			if _, err := tx.Exec(stmt); err != nil {
+				return err
+			}
+		}
+		for _, r := range rows.Rows {
+			args := make([]any, 0, len(r)+1)
+			for _, v := range r {
+				args = append(args, v)
+			}
+			args = append(args, "")
+			if _, err := tx.Exec(
+				`INSERT INTO eq_tasks (task_id, exp_id, work_type, status, payload,
+					result, pool, priority, created_at, start_at, stop_at, dedup_key)
+				 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`, args...); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // Engine exposes the underlying SQL engine so the replication layer can
@@ -114,41 +172,95 @@ func nowNano() int64 { return time.Now().UnixNano() }
 
 // SubmitTask implements API.
 func (db *DB) SubmitTask(expID string, workType int, payload string, opts ...SubmitOption) (int64, error) {
+	id, _, err := db.SubmitTaskT(expID, workType, payload, opts...)
+	return id, err
+}
+
+// ensureExp creates the experiment row on first reference.
+func ensureExp(tx *minisql.Tx, expID string) error {
+	res, err := tx.Exec("SELECT COUNT(*) FROM eq_exp WHERE exp_id = ?", expID)
+	if err != nil {
+		return err
+	}
+	if res.Rows[0][0].AsInt() == 0 {
+		if _, err := tx.Exec(
+			"INSERT INTO eq_exp (exp_id, created_at) VALUES (?, ?)",
+			expID, nowNano()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dedupLookup returns the id of the existing task carrying key, if any. Keys
+// are only ever checked when non-empty, so the unkeyed rows (dedup_key '')
+// never match.
+func dedupLookup(tx *minisql.Tx, key string) (int64, bool, error) {
+	res, err := tx.Exec("SELECT task_id FROM eq_tasks WHERE dedup_key = ?", key)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, false, nil
+	}
+	return res.Rows[0][0].AsInt(), true, nil
+}
+
+// insertTask inserts one task row plus its output-queue entry and returns the
+// new task id.
+func insertTask(tx *minisql.Tx, expID string, workType int, payload string, priority int, dedupKey string, now int64) (int64, error) {
+	res, err := tx.Exec(
+		`INSERT INTO eq_tasks (exp_id, work_type, status, payload, result,
+			pool, priority, created_at, start_at, stop_at, dedup_key)
+		 VALUES (?, ?, ?, ?, '', '', ?, ?, 0, 0, ?)`,
+		expID, workType, string(StatusQueued), payload, priority, now, dedupKey)
+	if err != nil {
+		return 0, err
+	}
+	id := res.LastInsertID
+	if _, err := tx.Exec(
+		"INSERT INTO eq_out_q (task_id, work_type, priority) VALUES (?, ?, ?)",
+		id, workType, priority); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// SubmitTaskT implements TokenAPI. With a dedup key, a re-submit whose key
+// already exists inserts nothing and returns the original task id; its token
+// is the engine's commit high-water mark, which is ≥ the original insert's
+// entry — so waiting on it (for quorum or freshness) still covers the
+// original write.
+func (db *DB) SubmitTaskT(expID string, workType int, payload string, opts ...SubmitOption) (int64, Token, error) {
 	if db.closed.Load() {
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
 	var o SubmitOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
 	var taskID int64
-	err := db.eng.Tx(func(tx *minisql.Tx) error {
-		res, err := tx.Exec(
-			"SELECT COUNT(*) FROM eq_exp WHERE exp_id = ?", expID)
-		if err != nil {
-			return err
-		}
-		if res.Rows[0][0].AsInt() == 0 {
-			if _, err := tx.Exec(
-				"INSERT INTO eq_exp (exp_id, created_at) VALUES (?, ?)",
-				expID, nowNano()); err != nil {
+	dup := false
+	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
+		dup = false
+		if o.DedupKey != "" {
+			id, found, err := dedupLookup(tx, o.DedupKey)
+			if err != nil {
 				return err
 			}
+			if found {
+				taskID, dup = id, true
+				return nil
+			}
 		}
-		res, err = tx.Exec(
-			`INSERT INTO eq_tasks (exp_id, work_type, status, payload, result,
-				pool, priority, created_at, start_at, stop_at)
-			 VALUES (?, ?, ?, ?, '', '', ?, ?, 0, 0)`,
-			expID, workType, string(StatusQueued), payload, o.Priority, nowNano())
+		if err := ensureExp(tx, expID); err != nil {
+			return err
+		}
+		id, err := insertTask(tx, expID, workType, payload, o.Priority, o.DedupKey, nowNano())
 		if err != nil {
 			return err
 		}
-		taskID = res.LastInsertID
-		if _, err := tx.Exec(
-			"INSERT INTO eq_out_q (task_id, work_type, priority) VALUES (?, ?, ?)",
-			taskID, workType, o.Priority); err != nil {
-			return err
-		}
+		taskID = id
 		for _, tag := range o.Tags {
 			if _, err := tx.Exec(
 				"INSERT INTO eq_tags (task_id, tag) VALUES (?, ?)", taskID, tag); err != nil {
@@ -158,23 +270,36 @@ func (db *DB) SubmitTask(expID string, workType int, payload string, opts ...Sub
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
+	}
+	if dup {
+		return taskID, db.eng.LastLogged(), nil
 	}
 	db.outN.notify()
-	return taskID, nil
+	return taskID, tok, nil
 }
 
 // SubmitTasks implements API.
 func (db *DB) SubmitTasks(expID string, workType int, payloads []string, priorities []int) ([]int64, error) {
+	ids, _, err := db.SubmitTasksT(expID, workType, payloads, priorities, nil)
+	return ids, err
+}
+
+// SubmitTasksT implements TokenAPI.
+func (db *DB) SubmitTasksT(expID string, workType int, payloads []string, priorities []int, dedupKeys []string) ([]int64, Token, error) {
 	if db.closed.Load() {
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	if len(payloads) == 0 {
-		return nil, nil
+		return nil, 0, nil
 	}
 	if len(priorities) > 1 && len(priorities) != len(payloads) {
-		return nil, fmt.Errorf("eqsql: SubmitTasks needs 0, 1, or %d priorities, got %d",
+		return nil, 0, fmt.Errorf("eqsql: SubmitTasks needs 0, 1, or %d priorities, got %d",
 			len(payloads), len(priorities))
+	}
+	if len(dedupKeys) > 0 && len(dedupKeys) != len(payloads) {
+		return nil, 0, fmt.Errorf("eqsql: SubmitTasks needs 0 or %d dedup keys, got %d",
+			len(payloads), len(dedupKeys))
 	}
 	prioOf := func(i int) int {
 		switch len(priorities) {
@@ -186,44 +311,51 @@ func (db *DB) SubmitTasks(expID string, workType int, payloads []string, priorit
 			return priorities[i]
 		}
 	}
-	ids := make([]int64, 0, len(payloads))
-	err := db.eng.Tx(func(tx *minisql.Tx) error {
-		ids = ids[:0]
-		res, err := tx.Exec("SELECT COUNT(*) FROM eq_exp WHERE exp_id = ?", expID)
-		if err != nil {
-			return err
+	keyOf := func(i int) string {
+		if len(dedupKeys) == 0 {
+			return ""
 		}
-		if res.Rows[0][0].AsInt() == 0 {
-			if _, err := tx.Exec(
-				"INSERT INTO eq_exp (exp_id, created_at) VALUES (?, ?)", expID, nowNano()); err != nil {
-				return err
-			}
+		return dedupKeys[i]
+	}
+	ids := make([]int64, 0, len(payloads))
+	inserted := false
+	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
+		ids = ids[:0]
+		inserted = false
+		if err := ensureExp(tx, expID); err != nil {
+			return err
 		}
 		now := nowNano()
 		for i, payload := range payloads {
-			res, err := tx.Exec(
-				`INSERT INTO eq_tasks (exp_id, work_type, status, payload, result,
-					pool, priority, created_at, start_at, stop_at)
-				 VALUES (?, ?, ?, ?, '', '', ?, ?, 0, 0)`,
-				expID, workType, string(StatusQueued), payload, prioOf(i), now)
+			if key := keyOf(i); key != "" {
+				id, found, err := dedupLookup(tx, key)
+				if err != nil {
+					return err
+				}
+				if found {
+					ids = append(ids, id)
+					continue
+				}
+			}
+			id, err := insertTask(tx, expID, workType, payload, prioOf(i), keyOf(i), now)
 			if err != nil {
 				return err
 			}
-			id := res.LastInsertID
-			if _, err := tx.Exec(
-				"INSERT INTO eq_out_q (task_id, work_type, priority) VALUES (?, ?, ?)",
-				id, workType, prioOf(i)); err != nil {
-				return err
-			}
+			inserted = true
 			ids = append(ids, id)
 		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	if !inserted {
+		// Every payload deduplicated: nothing new was logged, but the
+		// high-water mark covers all the original inserts.
+		return ids, db.eng.LastLogged(), nil
 	}
 	db.outN.notify()
-	return ids, nil
+	return ids, tok, nil
 }
 
 // QueryTasks implements API. The pop is atomic: selected queue rows are
@@ -323,10 +455,16 @@ func (db *DB) tryPopTasks(workType, n int, pool string) ([]Task, error) {
 
 // ReportTask implements API.
 func (db *DB) ReportTask(taskID int64, workType int, result string) error {
+	_, err := db.ReportTaskT(taskID, workType, result)
+	return err
+}
+
+// ReportTaskT implements TokenAPI.
+func (db *DB) ReportTaskT(taskID int64, workType int, result string) (Token, error) {
 	if db.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
-	err := db.eng.Tx(func(tx *minisql.Tx) error {
+	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
 		res, err := tx.Exec(
 			"UPDATE eq_tasks SET status = ?, result = ?, stop_at = ? WHERE task_id = ?",
 			string(StatusComplete), result, nowNano(), taskID)
@@ -341,10 +479,10 @@ func (db *DB) ReportTask(taskID int64, workType int, result string) error {
 		return err
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	db.inN.notify()
-	return nil
+	return tok, nil
 }
 
 // QueryResult implements API.
@@ -464,15 +602,21 @@ func (db *DB) Priorities(ids []int64) (map[int64]int, error) {
 // UpdatePriorities implements API. The whole batch commits atomically, which
 // is what makes reprioritization cheap relative to per-task updates (§V-B).
 func (db *DB) UpdatePriorities(ids []int64, priorities []int) (int, error) {
+	n, _, err := db.UpdatePrioritiesT(ids, priorities)
+	return n, err
+}
+
+// UpdatePrioritiesT implements TokenAPI.
+func (db *DB) UpdatePrioritiesT(ids []int64, priorities []int) (int, Token, error) {
 	if db.closed.Load() {
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
 	if len(priorities) != 1 && len(priorities) != len(ids) {
-		return 0, fmt.Errorf("eqsql: UpdatePriorities needs 1 or %d priorities, got %d",
+		return 0, 0, fmt.Errorf("eqsql: UpdatePriorities needs 1 or %d priorities, got %d",
 			len(ids), len(priorities))
 	}
 	updated := 0
-	err := db.eng.Tx(func(tx *minisql.Tx) error {
+	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
 		updated = 0
 		for i, id := range ids {
 			p := priorities[0]
@@ -494,22 +638,28 @@ func (db *DB) UpdatePriorities(ids []int64, priorities []int) (int, error) {
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	// Priorities changed: waiting pools should re-pop in the new order.
 	db.outN.notify()
-	return updated, nil
+	return updated, tok, nil
 }
 
 // CancelTasks implements API. Only tasks still in the output queue can be
 // canceled; running tasks are owned by a pool (paper §VI: oversubscribed
 // tasks become ineligible for cancellation).
 func (db *DB) CancelTasks(ids []int64) (int, error) {
+	n, _, err := db.CancelTasksT(ids)
+	return n, err
+}
+
+// CancelTasksT implements TokenAPI.
+func (db *DB) CancelTasksT(ids []int64) (int, Token, error) {
 	if db.closed.Load() {
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
 	canceled := 0
-	err := db.eng.Tx(func(tx *minisql.Tx) error {
+	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
 		canceled = 0
 		for _, id := range ids {
 			res, err := tx.Exec("DELETE FROM eq_out_q WHERE task_id = ?", id)
@@ -528,18 +678,24 @@ func (db *DB) CancelTasks(ids []int64) (int, error) {
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return canceled, nil
+	return canceled, tok, nil
 }
 
 // RequeueRunning implements API.
 func (db *DB) RequeueRunning(pool string) (int, error) {
+	n, _, err := db.RequeueRunningT(pool)
+	return n, err
+}
+
+// RequeueRunningT implements TokenAPI.
+func (db *DB) RequeueRunningT(pool string) (int, Token, error) {
 	if db.closed.Load() {
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
 	requeued := 0
-	err := db.eng.Tx(func(tx *minisql.Tx) error {
+	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
 		requeued = 0
 		res, err := tx.Exec(
 			"SELECT task_id, work_type, priority FROM eq_tasks WHERE pool = ? AND status = ?",
@@ -564,12 +720,12 @@ func (db *DB) RequeueRunning(pool string) (int, error) {
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if requeued > 0 {
 		db.outN.notify()
 	}
-	return requeued, nil
+	return requeued, tok, nil
 }
 
 // Counts implements API.

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"osprey/internal/minisql"
+)
+
+// TestSubmitTaskDedupKey: a resubmit carrying the same dedup key inserts
+// nothing and returns the original task id — the idempotency that
+// disambiguates retries after ambiguous (quorum-timeout) failures.
+func TestSubmitTaskDedupKey(t *testing.T) {
+	db, err := NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	id1, tok1, err := db.SubmitTaskT("dedup", 1, "payload", WithDedupKey("k1"), WithPriority(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok1 != 0 {
+		// No commit hook installed: tokens are 0 on a plain DB.
+		t.Fatalf("token without a statement log = %d, want 0", tok1)
+	}
+
+	id2, _, err := db.SubmitTaskT("dedup", 1, "payload", WithDedupKey("k1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id1 {
+		t.Fatalf("duplicate submit returned id %d, want original %d", id2, id1)
+	}
+	counts, err := db.Counts("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[StatusQueued] != 1 {
+		t.Fatalf("counts after duplicate submit = %v, want exactly 1 queued", counts)
+	}
+	// The original's attributes (priority) are preserved, not overwritten.
+	task, err := db.GetTask(id1)
+	if err != nil || task.Priority != 7 {
+		t.Fatalf("original task after dedup = %+v, %v; want priority 7", task, err)
+	}
+
+	// A different key is a different task; no key never deduplicates.
+	id3, err := db.SubmitTask("dedup", 1, "payload", WithDedupKey("k2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id4, err := db.SubmitTask("dedup", 1, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id5, err := db.SubmitTask("dedup", 1, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id1 || id4 == id1 || id5 == id4 {
+		t.Fatalf("distinct submits collapsed: ids %d %d %d %d", id1, id3, id4, id5)
+	}
+}
+
+// TestSubmitTasksDedupKeys: batch dedup — a fully retried batch returns the
+// original ids with no new rows, and a partially landed batch re-submits
+// only the missing payloads.
+func TestSubmitTasksDedupKeys(t *testing.T) {
+	db, err := NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	payloads := []string{"a", "b", "c"}
+	keys := []string{"ba", "bb", "bc"}
+	ids, _, err := db.SubmitTasksT("batch", 1, payloads, nil, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("got %d ids, want 3", len(ids))
+	}
+
+	// Full retry: identical ids, still 3 tasks.
+	again, _, err := db.SubmitTasksT("batch", 1, payloads, nil, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if again[i] != ids[i] {
+			t.Fatalf("retried batch id[%d] = %d, want original %d", i, again[i], ids[i])
+		}
+	}
+	counts, err := db.Counts("batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[StatusQueued] != 3 {
+		t.Fatalf("counts after retried batch = %v, want 3 queued", counts)
+	}
+
+	// Partial retry with one new payload: only it is inserted.
+	mixed, _, err := db.SubmitTasksT("batch", 1, []string{"a", "d"}, nil, []string{"ba", "bd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed[0] != ids[0] {
+		t.Fatalf("mixed batch reused id %d for key ba, want %d", mixed[0], ids[0])
+	}
+	if mixed[1] == ids[0] || mixed[1] == ids[1] || mixed[1] == ids[2] {
+		t.Fatalf("new key bd reused an existing id %d", mixed[1])
+	}
+	counts, _ = db.Counts("batch")
+	if counts[StatusQueued] != 4 {
+		t.Fatalf("counts after mixed batch = %v, want 4 queued", counts)
+	}
+
+	// Key-count validation.
+	if _, _, err := db.SubmitTasksT("batch", 1, payloads, nil, []string{"only-one"}); err == nil {
+		t.Fatal("mismatched dedup key count accepted")
+	}
+}
+
+// TestRestoreMigratesPreDedupSnapshot: a snapshot written before the
+// dedup_key column existed restores into a working database — the migration
+// rebuilds eq_tasks under the current schema, keeps the rows and the
+// AUTOINCREMENT counter, and submits (which now name dedup_key) work again.
+func TestRestoreMigratesPreDedupSnapshot(t *testing.T) {
+	// Reconstruct the pre-upgrade schema and state by hand.
+	old := minisql.NewEngine()
+	for _, stmt := range []string{
+		`CREATE TABLE eq_exp (exp_id TEXT PRIMARY KEY, created_at INTEGER)`,
+		`CREATE TABLE eq_tasks (
+			task_id INTEGER PRIMARY KEY AUTOINCREMENT,
+			exp_id TEXT, work_type INTEGER, status TEXT, payload TEXT,
+			result TEXT, pool TEXT, priority INTEGER,
+			created_at INTEGER, start_at INTEGER, stop_at INTEGER)`,
+		`CREATE INDEX eq_tasks_status ON eq_tasks (status)`,
+		`CREATE INDEX eq_tasks_pool ON eq_tasks (pool)`,
+		`CREATE TABLE eq_out_q (task_id INTEGER PRIMARY KEY, work_type INTEGER, priority INTEGER)`,
+		`CREATE INDEX eq_out_wt ON eq_out_q (work_type)`,
+		`CREATE TABLE eq_in_q (task_id INTEGER PRIMARY KEY, work_type INTEGER)`,
+		`CREATE TABLE eq_tags (task_id INTEGER, tag TEXT)`,
+		`CREATE INDEX eq_tags_task ON eq_tags (task_id)`,
+		`INSERT INTO eq_exp (exp_id, created_at) VALUES ('legacy', 1)`,
+		`INSERT INTO eq_tasks (exp_id, work_type, status, payload, result, pool,
+			priority, created_at, start_at, stop_at)
+		 VALUES ('legacy', 1, 'queued', 'old-payload', '', '', 5, 1, 0, 0)`,
+		`INSERT INTO eq_out_q (task_id, work_type, priority) VALUES (1, 1, 5)`,
+	} {
+		if _, err := old.Exec(stmt); err != nil {
+			t.Fatalf("building legacy state: %v", err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := old.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := RestoreDB(&snap)
+	if err != nil {
+		t.Fatalf("restoring pre-dedup snapshot: %v", err)
+	}
+	defer db.Close()
+
+	// The legacy row survived the rebuild.
+	task, err := db.GetTask(1)
+	if err != nil || task.Payload != "old-payload" || task.Priority != 5 {
+		t.Fatalf("legacy task after migration = %+v, %v", task, err)
+	}
+	// Submits (which name dedup_key) work, and the AUTOINCREMENT counter
+	// continues past the migrated rows.
+	id, err := db.SubmitTask("legacy", 1, "new-payload", WithDedupKey("mig-k"))
+	if err != nil {
+		t.Fatalf("submit after migration: %v", err)
+	}
+	if id != 2 {
+		t.Fatalf("post-migration task id = %d, want 2 (AUTOINCREMENT continued)", id)
+	}
+	if dup, err := db.SubmitTask("legacy", 1, "new-payload", WithDedupKey("mig-k")); err != nil || dup != id {
+		t.Fatalf("dedup on migrated db = (%d, %v), want %d", dup, err, id)
+	}
+}

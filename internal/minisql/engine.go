@@ -32,9 +32,10 @@ type Engine struct {
 	inTx bool
 	undo []undoOp
 
-	hook     CommitHook // observes committed mutating statements (wal.go)
-	applying bool       // true while replaying a shipped entry
-	pending  []Stmt     // mutating statements awaiting commit
+	hook       CommitHook // observes committed mutating statements (wal.go)
+	applying   bool       // true while replaying a shipped entry
+	pending    []Stmt     // mutating statements awaiting commit
+	lastLogged uint64     // highest log index the hook has assigned
 }
 
 type undoKind uint8
@@ -61,19 +62,29 @@ func NewEngine() *Engine {
 // Exec parses and executes a single SQL statement with positional `?`
 // arguments. It returns the statement result.
 func (e *Engine) Exec(sql string, args ...any) (*Result, error) {
+	res, _, err := e.ExecLogged(sql, args...)
+	return res, err
+}
+
+// ExecLogged is Exec returning, additionally, the commit token of the
+// statement: the log index the commit hook assigned to this statement's WAL
+// entry. The token is 0 for non-mutating statements, when no hook is
+// installed, or while inside an explicit transaction (the whole transaction
+// gets one entry at COMMIT — use TxLogged).
+func (e *Engine) ExecLogged(sql string, args ...any) (*Result, uint64, error) {
 	stmt, nparams, err := parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if len(args) < nparams {
-		return nil, fmt.Errorf("minisql: statement has %d parameters, %d arguments given (in %q)",
+		return nil, 0, fmt.Errorf("minisql: statement has %d parameters, %d arguments given (in %q)",
 			nparams, len(args), compactSQL(sql))
 	}
 	vals := make([]Value, len(args))
 	for i, a := range args {
 		v, err := toValue(a)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		vals[i] = v
 	}
@@ -90,28 +101,38 @@ func (e *Engine) Exec(sql string, args ...any) (*Result, error) {
 		if err != nil {
 			e.rollbackLocked()
 			e.inTx = false
-			return nil, err
+			return nil, 0, err
 		}
 		e.inTx = false
 		e.undo = e.undo[:0]
-		e.flushPendingLocked()
-		return res, nil
+		idx := e.flushPendingLocked()
+		return res, idx, nil
 	}
 	res, err := e.execLocked(stmt, vals, sql)
+	var idx uint64
 	if err == nil && !e.inTx {
-		e.flushPendingLocked()
+		idx = e.flushPendingLocked()
 	}
-	return res, err
+	return res, idx, err
 }
 
 // Tx runs fn inside a transaction: fn's statements are committed if fn
 // returns nil and rolled back otherwise. The engine lock is held throughout,
 // so fn must not call Exec (use the passed Tx handle).
 func (e *Engine) Tx(fn func(tx *Tx) error) error {
+	_, err := e.TxLogged(fn)
+	return err
+}
+
+// TxLogged is Tx returning, additionally, the commit token of the
+// transaction: the log index the commit hook assigned to the transaction's
+// WAL entry. The token is 0 when the transaction contained no mutating
+// statements or no hook is installed.
+func (e *Engine) TxLogged(fn func(tx *Tx) error) (uint64, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.inTx {
-		return ErrInTx
+		return 0, ErrInTx
 	}
 	e.inTx = true
 	e.undo = e.undo[:0]
@@ -120,12 +141,21 @@ func (e *Engine) Tx(fn func(tx *Tx) error) error {
 	if err != nil {
 		e.rollbackLocked()
 		e.inTx = false
-		return err
+		return 0, err
 	}
 	e.inTx = false
 	e.undo = e.undo[:0]
-	e.flushPendingLocked()
-	return nil
+	return e.flushPendingLocked(), nil
+}
+
+// LastLogged returns the highest log index the commit hook has assigned so
+// far: the engine-local commit high-water mark. It is the conservative token
+// for operations that turn out to be no-ops (e.g. a deduplicated re-submit):
+// whatever entry the original operation produced is covered by it.
+func (e *Engine) LastLogged() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastLogged
 }
 
 // Tx is a transaction handle passed to Engine.Tx callbacks.
@@ -184,17 +214,23 @@ func isMutating(stmt any) bool {
 	return false
 }
 
-// flushPendingLocked hands the buffered committed statements to the hook.
-// The slice is surrendered to the hook, never reused.
-func (e *Engine) flushPendingLocked() {
+// flushPendingLocked hands the buffered committed statements to the hook and
+// returns the log index the hook assigned (0 when there was nothing to flush
+// or no hook). The slice is surrendered to the hook, never reused.
+func (e *Engine) flushPendingLocked() uint64 {
 	if len(e.pending) == 0 {
-		return
+		return 0
 	}
 	stmts := e.pending
 	e.pending = nil
-	if e.hook != nil {
-		e.hook(stmts)
+	if e.hook == nil {
+		return 0
 	}
+	idx := e.hook(stmts)
+	if idx > e.lastLogged {
+		e.lastLogged = idx
+	}
+	return idx
 }
 
 func (e *Engine) execStmtLocked(stmt any, args []Value, sql string) (*Result, error) {

@@ -28,8 +28,11 @@ type LogEntry struct {
 
 // CommitHook observes every committed mutating statement batch. It is invoked
 // synchronously while the engine lock is held, so implementations must be
-// fast and must not call back into the engine.
-type CommitHook func(stmts []Stmt)
+// fast and must not call back into the engine. The hook returns the log index
+// it assigned to the batch (0 when it did not record one); the engine hands
+// that index back to the committing caller through ExecLogged/TxLogged, which
+// is what gives every write a commit token identifying its own WAL entry.
+type CommitHook func(stmts []Stmt) uint64
 
 // SetCommitHook installs h as the engine's commit observer (nil to remove).
 // The hook fires once per successful autocommit statement and once per
@@ -70,7 +73,24 @@ func (e *Engine) ApplyEntry(entry LogEntry) error {
 	}
 	e.inTx = false
 	e.undo = e.undo[:0]
+	// Replayed entries advance the commit high-water mark too: a replica
+	// promoted to leader must be able to issue covering tokens (LastLogged)
+	// for writes it only ever saw through the log.
+	if entry.Index > e.lastLogged {
+		e.lastLogged = entry.Index
+	}
 	return nil
+}
+
+// SetLastLogged overrides the commit high-water mark. The replication layer
+// calls it after a snapshot bootstrap: the snapshot's writes are reflected
+// in the restored state but never pass through ApplyEntry, so without this
+// a promoted ex-bootstrapper would issue zero tokens for deduplicated
+// re-submits of pre-snapshot writes.
+func (e *Engine) SetLastLogged(idx uint64) {
+	e.mu.Lock()
+	e.lastLogged = idx
+	e.mu.Unlock()
 }
 
 // ErrCommitTimeout is returned by WaitCommitted when the quorum watermark

@@ -16,7 +16,7 @@ func newHookedEngine(t *testing.T, schema ...string) (*Engine, *WAL) {
 		mustExec(t, e, s)
 	}
 	w := NewWAL(0)
-	e.SetCommitHook(func(stmts []Stmt) { w.Append(stmts) })
+	e.SetCommitHook(func(stmts []Stmt) uint64 { return w.Append(stmts) })
 	return e, w
 }
 

@@ -23,6 +23,11 @@ func (n *Node) followLoop(target string, joined bool) {
 	defer n.wg.Done()
 	forceSnap := false
 	for !n.isClosed() {
+		if n.IsLeader() {
+			// Promoted out from under the loop (operator ForcePromote):
+			// leader duties already run in their own goroutines.
+			return
+		}
 		if target == "" {
 			// No leader known (this node just stepped down): probe the
 			// membership until somebody claims or names one.
@@ -165,9 +170,17 @@ func (n *Node) applySnapshot(f frame) error {
 	if err := n.db.Restore(bytes.NewReader(f.Snapshot)); err != nil {
 		return fmt.Errorf("replica: restoring snapshot: %w", err)
 	}
+	// Unlike setApplied this may move the index backwards: a re-bootstrap
+	// after divergence replaces local state with the leader's authoritative
+	// snapshot wholesale, so the applied index must track it down too.
+	// WaitApplied callers are woken either way and simply re-block until the
+	// stream catches back up past their token.
 	n.mu.Lock()
 	n.applied = f.SnapIndex
+	close(n.appliedCh)
+	n.appliedCh = make(chan struct{})
 	n.mu.Unlock()
+	n.eng.SetLastLogged(f.SnapIndex)
 	n.logf("bootstrapped from snapshot at index %d (term %d)", f.SnapIndex, f.Term)
 	return nil
 }
@@ -187,9 +200,7 @@ func (n *Node) applyEntryFrame(f frame) (applied bool, err error) {
 	if err := n.eng.ApplyEntry(f.Entry); err != nil {
 		return false, fmt.Errorf("%w: %v", errApply, err)
 	}
-	n.mu.Lock()
-	n.applied = f.Entry.Index
-	n.mu.Unlock()
+	n.setApplied(f.Entry.Index)
 	n.db.Wake()
 	return true, nil
 }

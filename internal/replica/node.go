@@ -122,9 +122,10 @@ type Node struct {
 	started   bool
 	closed    bool
 
-	peersCh chan struct{} // closed and replaced when membership changes
-	closeCh chan struct{}
-	wg      sync.WaitGroup
+	peersCh   chan struct{} // closed and replaced when membership changes
+	appliedCh chan struct{} // closed and replaced when the applied index advances
+	closeCh   chan struct{}
+	wg        sync.WaitGroup
 }
 
 // New creates a node with a fresh EMEWS database and a bound replication
@@ -166,6 +167,7 @@ func New(cfg Config) (*Node, error) {
 		followers: make(map[string]*followerConn),
 		contact:   make(map[string]time.Time),
 		peersCh:   make(chan struct{}),
+		appliedCh: make(chan struct{}),
 		closeCh:   make(chan struct{}),
 	}
 	self := n.selfPeerLocked()
@@ -365,20 +367,31 @@ func (n *Node) logf(format string, args ...any) {
 }
 
 // onCommit is the engine commit hook: on the leader it appends the committed
-// statements to the WAL, which wakes the per-follower senders. It runs under
-// the engine lock, so it only touches the WAL and node bookkeeping.
-func (n *Node) onCommit(stmts []minisql.Stmt) {
+// statements to the WAL, which wakes the per-follower senders, and returns
+// the assigned index — the commit token the engine hands back to the caller
+// through ExecLogged/TxLogged. It runs under the engine lock, so it only
+// touches the WAL and node bookkeeping.
+func (n *Node) onCommit(stmts []minisql.Stmt) uint64 {
 	n.mu.Lock()
 	w := n.wal
 	isLeader := n.role == RoleLeader
 	n.mu.Unlock()
 	if !isLeader || w == nil {
-		return
+		return 0
 	}
 	idx := w.Append(stmts)
+	n.setApplied(idx)
+	return idx
+}
+
+// setApplied advances the applied index (never regresses) and wakes
+// WaitApplied callers.
+func (n *Node) setApplied(idx uint64) {
 	n.mu.Lock()
 	if idx > n.applied {
 		n.applied = idx
+		close(n.appliedCh)
+		n.appliedCh = make(chan struct{})
 	}
 	n.mu.Unlock()
 }
@@ -387,12 +400,18 @@ func (n *Node) onCommit(stmts []minisql.Stmt) {
 // service callers surface them as ErrUnavailable so failover clients
 // re-resolve the leader and retry.
 var (
-	// ErrNotLeader is returned by WaitQuorum on a node that is not (or no
-	// longer) the cluster leader.
+	// ErrNotLeader is returned by the quorum waits on a node that is not (or
+	// no longer) the cluster leader.
 	ErrNotLeader = fmt.Errorf("replica: not the leader")
 	// ErrDemoted fails quorum waits that were pending when the leader
 	// stepped down after losing its majority lease.
 	ErrDemoted = fmt.Errorf("replica: leader demoted (lost majority lease)")
+	// ErrStale is returned by WaitApplied when the replica cannot reach the
+	// requested log index within the staleness bound: the caller's freshness
+	// requirement (commit token) is ahead of this replica.
+	ErrStale = fmt.Errorf("replica: replica behind requested commit token")
+	// ErrClosed is returned by waits on a closed node.
+	ErrClosed = fmt.Errorf("replica: node closed")
 )
 
 // touchPeer records that peer id was heard from (ack, join, or probe) for the
@@ -423,22 +442,30 @@ func (n *Node) Committed() uint64 {
 }
 
 // WaitQuorum blocks until every write committed so far is replicated to
-// WriteQuorum followers. It returns nil immediately in asynchronous mode,
+// WriteQuorum followers: the conservative wait on the newest applied index
+// at call time. It remains the fallback for callers that do not know their
+// write's own WAL index (a core.API backend without commit tokens); it can
+// over-wait — a write whose own entry replicated may still report a
+// transient failure because a later concurrent entry missed quorum. Callers
+// holding a commit token should use WaitQuorumIndex instead.
+func (n *Node) WaitQuorum() error {
+	n.mu.Lock()
+	idx := n.applied
+	n.mu.Unlock()
+	return n.WaitQuorumIndex(idx)
+}
+
+// WaitQuorumIndex blocks until the log entry at exactly idx is replicated to
+// WriteQuorum followers: the per-request quorum wait. Because idx is the
+// calling write's own commit token, a concurrent later write that misses
+// quorum can no longer fail this one. It returns nil immediately in
+// asynchronous mode or for idx 0 (the write produced no log entry),
 // ErrNotLeader when the node does not lead, ErrDemoted when the leader steps
 // down mid-wait, and a quorum-timeout error when the cluster cannot
-// replicate within the bounded window. The service layer calls it between
-// executing a write and confirming it to the client.
-//
-// The wait is deliberately conservative: the caller's own entry has no
-// identity outside the engine commit hook, so the wait covers the newest
-// applied index at call time — the caller's write plus any concurrent
-// writes committed just after it. That can only over-wait (never confirm an
-// unreplicated write); in the worst case a write whose own entry did
-// replicate still reports a transient failure because a later concurrent
-// entry did not. Plumbing exact per-request indexes through core.API would
-// remove the over-wait (see ROADMAP).
-func (n *Node) WaitQuorum() error {
-	if n.cfg.WriteQuorum <= 0 {
+// replicate idx within the bounded window. The service layer calls it
+// between executing a write and confirming it to the client.
+func (n *Node) WaitQuorumIndex(idx uint64) error {
+	if n.cfg.WriteQuorum <= 0 || idx == 0 {
 		return nil
 	}
 	n.mu.Lock()
@@ -446,9 +473,77 @@ func (n *Node) WaitQuorum() error {
 		n.mu.Unlock()
 		return ErrNotLeader
 	}
-	w, idx := n.wal, n.applied
+	w := n.wal
 	n.mu.Unlock()
 	return w.WaitCommitted(idx, 2*n.cfg.LeaseTimeout)
+}
+
+// WaitApplied blocks until this node's applied index reaches idx, so a read
+// served from the local replica is guaranteed to reflect every write up to
+// the caller's commit token. It returns ErrStale when the replica cannot
+// catch up within timeout (timeout 0 checks once without blocking) — the
+// caller should fall back to a fresher replica or the leader. On the leader
+// the applied index is the newest committed index, so a token the cluster
+// has issued never blocks there.
+func (n *Node) WaitApplied(idx uint64, timeout time.Duration) error {
+	var timer *time.Timer
+	for {
+		n.mu.Lock()
+		if n.applied >= idx {
+			n.mu.Unlock()
+			return nil
+		}
+		if n.closed {
+			n.mu.Unlock()
+			return ErrClosed
+		}
+		ch := n.appliedCh
+		n.mu.Unlock()
+		if timeout <= 0 {
+			return fmt.Errorf("%w: have %d, need %d", ErrStale, n.Applied(), idx)
+		}
+		if timer == nil {
+			timer = time.NewTimer(timeout)
+			defer timer.Stop()
+		}
+		select {
+		case <-ch:
+		case <-n.closeCh:
+			return ErrClosed
+		case <-timer.C:
+			return fmt.Errorf("%w: have %d, need %d after %v", ErrStale, n.Applied(), idx, timeout)
+		}
+	}
+}
+
+// ForcePromote is the operator escape hatch for clusters that cannot form an
+// electing majority — the canonical case is a 2-node cluster after one node
+// dies, where the survivor is 1 of 2 and the majority gate (correctly)
+// refuses automatic failover. It promotes this node to leader immediately,
+// overriding the gate. The operator asserts what the protocol cannot know:
+// that the missing peers are really dead, not partitioned away. Forcing
+// promotion on BOTH sides of a live partition creates split brain, exactly
+// as it would in any quorum system. Idempotent on a current leader.
+func (n *Node) ForcePromote() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if n.role == RoleLeader {
+		n.mu.Unlock()
+		return nil
+	}
+	stream := n.stream
+	n.mu.Unlock()
+	n.logf("forced promotion: operator override of the majority election gate")
+	n.promote()
+	// Sever any live stream to an old leader; the follower loop observes the
+	// role change and exits instead of re-electing.
+	if stream != nil {
+		stream.Close()
+	}
+	return nil
 }
 
 // promote makes this follower the new leader: bump the term, drop the dead

@@ -1,0 +1,196 @@
+package replica
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"osprey/internal/core"
+	"osprey/internal/minisql"
+)
+
+// newSoloLeader returns an unstarted leader node: commits append to its WAL
+// and acks can be fed directly, which gives tests exact control over which
+// indexes are quorum-replicated.
+func newSoloLeader(t *testing.T, quorum int) *Node {
+	t.Helper()
+	n, err := New(Config{
+		ID: "solo", WriteQuorum: quorum,
+		Heartbeat: beat, ElectionTimeout: elect,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+// TestWaitQuorumIndexExact is the regression test for the PR-2 over-wait:
+// WaitQuorum waited on the newest applied index at call time, so a write
+// whose own entry had replicated could still fail because a *later*
+// concurrent entry missed quorum. With per-request commit tokens the earlier
+// quorum-acked write succeeds while the later one misses quorum — both
+// entries already in the log before either wait begins, the exact
+// interleaving the old code got wrong.
+func TestWaitQuorumIndexExact(t *testing.T) {
+	n := newSoloLeader(t, 1)
+
+	_, tokA, err := n.DB().SubmitTaskT("exact", 1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tokB, err := n.DB().SubmitTaskT("exact", 1, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tokA == 0 || tokB <= tokA {
+		t.Fatalf("tokens not monotonically assigned: a=%d b=%d", tokA, tokB)
+	}
+
+	// Both entries are appended; now a follower acknowledges only A's.
+	errA := make(chan error, 1)
+	errB := make(chan error, 1)
+	go func() { errA <- n.WaitQuorumIndex(tokA) }()
+	go func() { errB <- n.WaitQuorumIndex(tokB) }()
+	n.wal.Ack("f1", tokA)
+
+	select {
+	case err := <-errA:
+		if err != nil {
+			t.Fatalf("WaitQuorumIndex(%d) after its own ack = %v, want nil: the over-wait is back", tokA, err)
+		}
+	case <-time.After(waitMax):
+		t.Fatalf("WaitQuorumIndex(%d) still blocked although its own entry is acked", tokA)
+	}
+	if err := <-errB; !errors.Is(err, minisql.ErrCommitTimeout) {
+		t.Fatalf("WaitQuorumIndex(%d) with no ack = %v, want commit timeout", tokB, err)
+	}
+
+	// The legacy whole-log wait in the same state fails — what every write
+	// suffered before per-request tokens.
+	if err := n.WaitQuorum(); !errors.Is(err, minisql.ErrCommitTimeout) {
+		t.Fatalf("conservative WaitQuorum = %v, want commit timeout (B is unreplicated)", err)
+	}
+
+	// Once B's entry is acknowledged too, both wait styles succeed.
+	n.wal.Ack("f1", tokB)
+	if err := n.WaitQuorumIndex(tokB); err != nil {
+		t.Fatalf("WaitQuorumIndex(%d) after ack: %v", tokB, err)
+	}
+	if err := n.WaitQuorum(); err != nil {
+		t.Fatalf("WaitQuorum after full ack: %v", err)
+	}
+}
+
+// TestWaitQuorumIndexZeroToken: token 0 (a write that produced no log entry,
+// or an async-mode cluster) never blocks.
+func TestWaitQuorumIndexZeroToken(t *testing.T) {
+	n := newSoloLeader(t, 1)
+	if err := n.WaitQuorumIndex(0); err != nil {
+		t.Fatalf("WaitQuorumIndex(0) = %v, want nil", err)
+	}
+	async := newNode(t, "async-tok", 1, "")
+	defer async.Close()
+	if err := async.WaitQuorumIndex(42); err != nil {
+		t.Fatalf("WaitQuorumIndex on async node = %v, want nil", err)
+	}
+}
+
+// TestWaitApplied: the follower-side freshness wait behind token-bounded
+// reads — satisfied immediately at or below the applied index, woken by the
+// next apply, and ErrStale once the bound cannot be met in time.
+func TestWaitApplied(t *testing.T) {
+	n := newSoloLeader(t, 0)
+	_, tok, err := n.DB().SubmitTaskT("applied", 1, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WaitApplied(tok, 0); err != nil {
+		t.Fatalf("WaitApplied(%d) at applied index: %v", tok, err)
+	}
+
+	// Zero timeout checks once: a bound ahead of the replica fails now.
+	if err := n.WaitApplied(tok+1, 0); !errors.Is(err, ErrStale) {
+		t.Fatalf("WaitApplied(%d, 0) = %v, want ErrStale", tok+1, err)
+	}
+	if err := n.WaitApplied(tok+1, 30*time.Millisecond); !errors.Is(err, ErrStale) {
+		t.Fatalf("WaitApplied(%d, 30ms) = %v, want ErrStale", tok+1, err)
+	}
+
+	// A waiter blocked on a future index is woken by the commit that
+	// reaches it.
+	done := make(chan error, 1)
+	go func() { done <- n.WaitApplied(tok+1, waitMax) }()
+	time.Sleep(5 * time.Millisecond)
+	if _, _, err := n.DB().SubmitTaskT("applied", 1, "y"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitApplied woken by commit: %v", err)
+		}
+	case <-time.After(waitMax):
+		t.Fatal("WaitApplied never woke although the index was reached")
+	}
+}
+
+// TestForcePromoteTwoNodeCluster: the operator escape hatch. A 2-node
+// cluster cannot fail over automatically (the survivor is 1 of 2, not a
+// majority — asserted first), but a forced promotion overrides the gate and
+// restores a writable leader.
+func TestForcePromoteTwoNodeCluster(t *testing.T) {
+	n1 := newNode(t, "fp1", 2, "")
+	n2 := newNode(t, "fp2", 1, n1.Addr())
+	defer n2.Close()
+	waitFor(t, "membership", func() bool { return len(n1.Peers()) == 2 && len(n2.Peers()) == 2 })
+
+	if _, err := n1.DB().SubmitTask("fp", 1, "before-kill"); err != nil {
+		t.Fatal(err)
+	}
+	origID, origTok, err := n1.DB().SubmitTaskT("fp", 1, "keyed", core.WithDedupKey("fp-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "replication", func() bool { return n2.Applied() == n1.Applied() && n2.Applied() > 0 })
+
+	n1.Close()
+	// The survivor must NOT self-promote: give it several election windows.
+	time.Sleep(6 * elect)
+	if n2.IsLeader() {
+		t.Fatal("survivor of a 2-node cluster promoted itself past the majority gate")
+	}
+
+	if err := n2.ForcePromote(); err != nil {
+		t.Fatalf("ForcePromote: %v", err)
+	}
+	waitFor(t, "forced leadership", func() bool { return n2.IsLeader() })
+	if err := n2.ForcePromote(); err != nil {
+		t.Fatalf("ForcePromote on a leader should be idempotent: %v", err)
+	}
+
+	// Regression: the new leader saw the keyed write only through log replay
+	// (no local commit has happened here yet), and a dedup retry must still
+	// return the original id with a covering (non-zero) token — replayed
+	// entries seed the engine's commit high-water mark.
+	id, tok, err := n2.DB().SubmitTaskT("fp", 1, "keyed", core.WithDedupKey("fp-key"))
+	if err != nil || id != origID {
+		t.Fatalf("dedup retry on replay-built leader = (%d, %v), want original id %d", id, err, origID)
+	}
+	if tok == 0 || tok < origTok {
+		t.Fatalf("dedup retry token %d does not cover the original entry %d — quorum waits and read-your-writes would silently skip it", tok, origTok)
+	}
+
+	// The forced leader accepts writes and retains the replicated state.
+	if _, err := n2.DB().SubmitTask("fp", 1, "after-promote"); err != nil {
+		t.Fatalf("write on force-promoted leader: %v", err)
+	}
+	counts, err := n2.DB().Counts("fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[core.StatusQueued] != 3 {
+		t.Fatalf("forced leader has counts %v, want 3 queued", counts)
+	}
+}

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"strings"
@@ -31,6 +33,22 @@ import (
 // acknowledged submit is never lost to leader death; a demoted or quorumless
 // leader answers with ErrUnavailable, which this client treats like any
 // transient condition — re-resolve the real leader and retry.
+//
+// Read scale-out: the client tracks a session commit token — the highest WAL
+// index any of its operations has observed — and routes read-only calls
+// (GetTask, Statuses, Priorities, Counts, Tags) round-robin across follower
+// replicas, shipping the token as a minimum-freshness bound. A follower
+// serves the read only once its applied index has reached the token
+// (read-your-writes and monotonic reads for this session); one that cannot
+// catch up within ReadStaleness answers transiently and the client moves on
+// to the next follower, falling back to the leader last. EMEWS workloads are
+// dominated by status/result polling, so this is what lets followers absorb
+// the read load instead of the leader serializing everything.
+//
+// Submits are idempotent by default: every SubmitTask/SubmitTasks call
+// without an explicit core.WithDedupKey gets a session-unique key, so the
+// client's own retries after an ambiguous quorum failure (write committed
+// locally, acknowledgement lost) can never create duplicate tasks.
 type ClusterClient struct {
 	addrs []string
 
@@ -40,10 +58,28 @@ type ClusterClient struct {
 	FailTimeout time.Duration
 	// RetryDelay is the pause between re-resolution attempts (default 25ms).
 	RetryDelay time.Duration
+	// ReadFromFollowers routes read-only calls across follower replicas with
+	// the session token as freshness bound. Enabled by DialCluster; disable
+	// to pin every call to the leader.
+	ReadFromFollowers bool
+	// ReadStaleness bounds how long a follower may block catching up to the
+	// session token before the read moves on (next follower, then leader).
+	// The default 1s covers replication hiccups without stalling reads on a
+	// wedged replica.
+	ReadStaleness time.Duration
 
-	mu     sync.Mutex
-	c      *Client
-	leader string // service address the current client is connected to
+	mu      sync.Mutex
+	c       *Client
+	leader  string             // service address the current client is connected to
+	token   uint64             // session high-water commit token
+	peers   []string           // every member's service address (last resolution)
+	readers map[string]*Client // open read connections to followers
+	readSeq uint64             // round-robin cursor over followers
+	readBad map[string]time.Time // follower cooldown: skip recent failures
+
+	dedupBase string // session-unique prefix for generated dedup keys
+	dedupSeq  uint64 // counter for generated dedup keys
+	noDedup   bool   // backend rejected dedup keys: stop auto-attaching them
 }
 
 var _ core.API = (*ClusterClient)(nil)
@@ -56,10 +92,19 @@ func DialCluster(addrs ...string) (*ClusterClient, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("service: DialCluster needs at least one address")
 	}
+	var rnd [8]byte
+	if _, err := rand.Read(rnd[:]); err != nil {
+		return nil, fmt.Errorf("service: dedup key seed: %w", err)
+	}
 	cc := &ClusterClient{
-		addrs:       append([]string(nil), addrs...),
-		FailTimeout: 15 * time.Second,
-		RetryDelay:  25 * time.Millisecond,
+		addrs:             append([]string(nil), addrs...),
+		FailTimeout:       15 * time.Second,
+		RetryDelay:        25 * time.Millisecond,
+		ReadFromFollowers: true,
+		ReadStaleness:     time.Second,
+		readers:           make(map[string]*Client),
+		readBad:           make(map[string]time.Time),
+		dedupBase:         "cc-" + hex.EncodeToString(rnd[:]),
 	}
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
@@ -69,14 +114,18 @@ func DialCluster(addrs ...string) (*ClusterClient, error) {
 	return cc, nil
 }
 
-// Close drops the current connection. The client can be reused; the next
-// call re-resolves.
+// Close drops the current connection and all follower read connections. The
+// client can be reused; the next call re-resolves.
 func (cc *ClusterClient) Close() error {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if cc.c != nil {
 		cc.c.Close()
 		cc.c = nil
+	}
+	for addr, c := range cc.readers {
+		c.Close()
+		delete(cc.readers, addr)
 	}
 	return nil
 }
@@ -86,6 +135,50 @@ func (cc *ClusterClient) Leader() string {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	return cc.leader
+}
+
+// Token returns the session's high-water commit token: the WAL index of the
+// newest write (or freshest read) this client has observed. Reads routed to
+// followers carry it as their minimum-freshness bound.
+func (cc *ClusterClient) Token() uint64 {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.token
+}
+
+// noteToken ratchets the session token (it never regresses).
+func (cc *ClusterClient) noteToken(tok uint64) {
+	cc.mu.Lock()
+	if tok > cc.token {
+		cc.token = tok
+	}
+	cc.mu.Unlock()
+}
+
+// autoDedupKey returns a fresh session-unique idempotency key, or "" when
+// the backend has rejected dedup keys (a core.API implementation without
+// token support) and auto-keying is switched off for the session.
+func (cc *ClusterClient) autoDedupKey() string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.noDedup {
+		return ""
+	}
+	cc.dedupSeq++
+	return fmt.Sprintf("%s-%d", cc.dedupBase, cc.dedupSeq)
+}
+
+// dedupUnsupported recognizes the server's rejection of dedup keys. Only
+// auto-attached keys downgrade on it — a caller's explicit WithDedupKey
+// demanded idempotency the backend cannot give, and must fail loudly.
+func (cc *ClusterClient) dedupUnsupported(err error) bool {
+	if err == nil || !strings.Contains(err.Error(), "dedup keys unsupported") {
+		return false
+	}
+	cc.mu.Lock()
+	cc.noDedup = true
+	cc.mu.Unlock()
+	return true
 }
 
 // Ping verifies some cluster node is reachable.
@@ -149,6 +242,11 @@ func (cc *ClusterClient) clientLocked() (*Client, error) {
 		if info.LeaderSvc != "" && !seen[info.LeaderSvc] {
 			try = append(try, info.LeaderSvc)
 		}
+		if len(info.PeerSvcs) > 0 {
+			// Any member's view works: the leader broadcasts membership on
+			// every heartbeat, so views converge within one beat.
+			cc.peers = append(cc.peers[:0], info.PeerSvcs...)
+		}
 		if info.Role == "leader" {
 			if best == nil || info.Term > bestTerm {
 				if best != nil {
@@ -208,7 +306,11 @@ func (cc *ClusterClient) do(budget time.Duration, fn func(c *Client) error) erro
 		c, err = cc.client()
 		if err == nil {
 			err = fn(c)
-			if err == nil || !retryable(err) {
+			if err == nil {
+				cc.noteToken(c.LastToken())
+				return nil
+			}
+			if !retryable(err) {
 				return err
 			}
 			cc.invalidate(c)
@@ -220,25 +322,160 @@ func (cc *ClusterClient) do(budget time.Duration, fn func(c *Client) error) erro
 	}
 }
 
-// SubmitTask implements core.API.
+// reader returns an open read connection to addr, dialing on first use.
+func (cc *ClusterClient) reader(addr string) (*Client, error) {
+	cc.mu.Lock()
+	if c := cc.readers[addr]; c != nil {
+		cc.mu.Unlock()
+		return c, nil
+	}
+	cc.mu.Unlock()
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	if prev := cc.readers[addr]; prev != nil {
+		cc.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	cc.readers[addr] = c
+	cc.mu.Unlock()
+	return c, nil
+}
+
+// dropReader discards a failed read connection.
+func (cc *ClusterClient) dropReader(addr string, c *Client) {
+	cc.mu.Lock()
+	if cc.readers[addr] == c {
+		delete(cc.readers, addr)
+	}
+	cc.mu.Unlock()
+	c.Close()
+}
+
+// doRead runs one read-only call. With follower routing enabled it rotates
+// through the known follower replicas, shipping the session token as the
+// freshness bound; a follower that is unreachable or cannot catch up within
+// ReadStaleness is skipped. The leader is the last resort — both the
+// fallback when every follower lags and the only target when no follower is
+// known — so reads keep working on clusters of one and during partial
+// outages, including the leaderless election window (followers still answer).
+func (cc *ClusterClient) doRead(budget time.Duration, fn func(c *Client, token uint64, wait time.Duration) error) error {
+	now := time.Now()
+	cc.mu.Lock()
+	token := cc.token
+	wait := cc.ReadStaleness
+	routed := cc.ReadFromFollowers
+	leader := cc.leader
+	var followers []string
+	if routed {
+		for _, addr := range cc.peers {
+			if addr == "" || addr == leader {
+				continue
+			}
+			// Cooldown: a follower that just failed or lagged is skipped for
+			// one ReadStaleness window instead of taxing every read with a
+			// fresh dial attempt or a full staleness wait.
+			if bad, ok := cc.readBad[addr]; ok && now.Sub(bad) < wait {
+				continue
+			}
+			followers = append(followers, addr)
+		}
+	}
+	seq := cc.readSeq
+	cc.readSeq++
+	cc.mu.Unlock()
+
+	for i := range followers {
+		addr := followers[(int(seq)+i)%len(followers)]
+		c, err := cc.reader(addr)
+		if err != nil {
+			cc.markReadBad(addr)
+			continue
+		}
+		err = fn(c, token, wait)
+		if err == nil {
+			cc.noteToken(c.LastToken())
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		cc.markReadBad(addr)
+		if errors.Is(err, ErrConn) {
+			cc.dropReader(addr, c)
+		}
+	}
+	return cc.do(budget, func(c *Client) error { return fn(c, token, wait) })
+}
+
+func (cc *ClusterClient) markReadBad(addr string) {
+	cc.mu.Lock()
+	cc.readBad[addr] = time.Now()
+	cc.mu.Unlock()
+}
+
+// SubmitTask implements core.API. Unless the caller supplied its own
+// core.WithDedupKey, a session-unique key is attached, making the retries
+// this client performs across failover and quorum timeouts idempotent: the
+// write lands at most once no matter how often it is re-sent.
 func (cc *ClusterClient) SubmitTask(expID string, workType int, payload string, opts ...core.SubmitOption) (int64, error) {
+	var o core.SubmitOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	auto := false
+	if o.DedupKey == "" {
+		if key := cc.autoDedupKey(); key != "" {
+			opts = append(opts[:len(opts):len(opts)], core.WithDedupKey(key))
+			auto = true
+		}
+	}
 	var id int64
-	err := cc.do(time.Second, func(c *Client) error {
-		var err error
-		id, err = c.SubmitTask(expID, workType, payload, opts...)
-		return err
-	})
+	submit := func(sendOpts []core.SubmitOption) error {
+		return cc.do(time.Second, func(c *Client) error {
+			var err error
+			id, err = c.SubmitTask(expID, workType, payload, sendOpts...)
+			return err
+		})
+	}
+	err := submit(opts)
+	if auto && cc.dedupUnsupported(err) {
+		// Token-less backend: fall back to the pre-token at-least-once
+		// semantics rather than failing the submit outright.
+		err = submit(opts[:len(opts)-1])
+	}
 	return id, err
 }
 
-// SubmitTasks implements core.API.
+// SubmitTasks implements core.API. Like SubmitTask, the batch gets
+// session-unique dedup keys (one per payload) so a retried batch re-submits
+// only the payloads that did not land the first time.
 func (cc *ClusterClient) SubmitTasks(expID string, workType int, payloads []string, priorities []int) ([]int64, error) {
+	var keys []string
+	if len(payloads) > 0 {
+		if first := cc.autoDedupKey(); first != "" {
+			keys = make([]string, len(payloads))
+			keys[0] = first
+			for i := 1; i < len(keys); i++ {
+				keys[i] = cc.autoDedupKey()
+			}
+		}
+	}
 	var ids []int64
-	err := cc.do(10*time.Second, func(c *Client) error {
-		var err error
-		ids, err = c.SubmitTasks(expID, workType, payloads, priorities)
-		return err
-	})
+	submit := func(sendKeys []string) error {
+		return cc.do(10*time.Second, func(c *Client) error {
+			var err error
+			ids, _, err = c.SubmitTasksT(expID, workType, payloads, priorities, sendKeys)
+			return err
+		})
+	}
+	err := submit(keys)
+	if keys != nil && cc.dedupUnsupported(err) {
+		err = submit(nil)
+	}
 	return ids, err
 }
 
@@ -335,6 +572,7 @@ func (cc *ClusterClient) pollChunked(timeout time.Duration, fn func(c *Client, c
 			err = fn(c, step)
 			switch {
 			case err == nil:
+				cc.noteToken(c.LastToken())
 				return nil
 			case errors.Is(err, core.ErrTimeout):
 				connErr = nil
@@ -355,12 +593,13 @@ func (cc *ClusterClient) pollChunked(timeout time.Duration, fn func(c *Client, c
 	}
 }
 
-// Statuses implements core.API.
+// Statuses implements core.API. Status polls dominate ME workloads; they are
+// served by follower replicas under the session's freshness token.
 func (cc *ClusterClient) Statuses(ids []int64) (map[int64]core.Status, error) {
 	var out map[int64]core.Status
-	err := cc.do(time.Second, func(c *Client) error {
+	err := cc.doRead(time.Second, func(c *Client, token uint64, wait time.Duration) error {
 		var err error
-		out, err = c.Statuses(ids)
+		out, err = c.statusesAt(ids, token, wait)
 		return err
 	})
 	return out, err
@@ -369,9 +608,9 @@ func (cc *ClusterClient) Statuses(ids []int64) (map[int64]core.Status, error) {
 // Priorities implements core.API.
 func (cc *ClusterClient) Priorities(ids []int64) (map[int64]int, error) {
 	var out map[int64]int
-	err := cc.do(time.Second, func(c *Client) error {
+	err := cc.doRead(time.Second, func(c *Client, token uint64, wait time.Duration) error {
 		var err error
-		out, err = c.Priorities(ids)
+		out, err = c.prioritiesAt(ids, token, wait)
 		return err
 	})
 	return out, err
@@ -413,9 +652,9 @@ func (cc *ClusterClient) RequeueRunning(pool string) (int, error) {
 // Counts implements core.API.
 func (cc *ClusterClient) Counts(expID string) (map[core.Status]int, error) {
 	var out map[core.Status]int
-	err := cc.do(time.Second, func(c *Client) error {
+	err := cc.doRead(time.Second, func(c *Client, token uint64, wait time.Duration) error {
 		var err error
-		out, err = c.Counts(expID)
+		out, err = c.countsAt(expID, token, wait)
 		return err
 	})
 	return out, err
@@ -424,20 +663,21 @@ func (cc *ClusterClient) Counts(expID string) (map[core.Status]int, error) {
 // Tags implements core.API.
 func (cc *ClusterClient) Tags(taskID int64) ([]string, error) {
 	var out []string
-	err := cc.do(time.Second, func(c *Client) error {
+	err := cc.doRead(time.Second, func(c *Client, token uint64, wait time.Duration) error {
 		var err error
-		out, err = c.Tags(taskID)
+		out, err = c.tagsAt(taskID, token, wait)
 		return err
 	})
 	return out, err
 }
 
-// GetTask fetches the full task row from whichever node is connected.
+// GetTask fetches the full task row from a follower replica (or the leader
+// as last resort), with read-your-writes guaranteed by the session token.
 func (cc *ClusterClient) GetTask(taskID int64) (core.Task, error) {
 	var t core.Task
-	err := cc.do(time.Second, func(c *Client) error {
+	err := cc.doRead(time.Second, func(c *Client, token uint64, wait time.Duration) error {
 		var err error
-		t, err = c.GetTask(taskID)
+		t, err = c.getTaskAt(taskID, token, wait)
 		return err
 	})
 	return t, err

@@ -22,6 +22,22 @@ type request struct {
 	// forwarded again, bounding replication forwarding to a single hop.
 	Fwd bool `json:"fwd,omitempty"`
 
+	// Token is the caller's minimum-freshness bound for read ops: the
+	// answering replica must have applied the WAL through this index before
+	// serving, which is what gives a session read-your-writes when its reads
+	// are routed to followers. 0 imposes no bound.
+	Token uint64 `json:"token,omitempty"`
+	// WaitMS bounds how long the replica may block waiting to catch up to
+	// Token before answering "behind" (transient); 0 means answer
+	// immediately if behind.
+	WaitMS int64 `json:"wait_ms,omitempty"`
+
+	// DedupKey (submit) / DedupKeys (submit_batch, one per payload) make
+	// retried submits idempotent: a key that already exists returns the
+	// original task id instead of inserting a duplicate.
+	DedupKey  string   `json:"dedup_key,omitempty"`
+	DedupKeys []string `json:"dedup_keys,omitempty"`
+
 	ExpID    string   `json:"exp_id,omitempty"`
 	WorkType int      `json:"work_type,omitempty"`
 	Payload  string   `json:"payload,omitempty"`
@@ -90,6 +106,13 @@ type response struct {
 	// elected yet, leader unreachable); failover clients re-resolve on them.
 	Transient bool `json:"transient,omitempty"`
 
+	// Token is the commit token of the operation: for writes, the WAL index
+	// of the write's own log entry (what the server quorum-waited on); for
+	// reads, the answering replica's applied index at serve time. Clients
+	// ratchet their session high-water token from it, giving read-your-writes
+	// and monotonic reads across replicas.
+	Token uint64 `json:"token,omitempty"`
+
 	TaskID     int64            `json:"task_id,omitempty"`
 	TaskIDs    []int64          `json:"task_ids,omitempty"`
 	Tasks      []wireTask       `json:"tasks,omitempty"`
@@ -101,12 +124,15 @@ type response struct {
 	TagList    []string         `json:"tags,omitempty"`
 	ResultText string           `json:"result_text,omitempty"`
 
-	// "cluster" op: replication status of the answering node.
-	Role      string `json:"role,omitempty"`
-	NodeID    string `json:"node_id,omitempty"`
-	LeaderSvc string `json:"leader_svc,omitempty"`
-	Term      uint64 `json:"term,omitempty"`
-	Applied   uint64 `json:"applied,omitempty"`
+	// "cluster" op: replication status of the answering node. PeerSvcs lists
+	// the service addresses of every cluster member the node knows of, which
+	// is what lets DialCluster spread read-only traffic across followers.
+	Role      string   `json:"role,omitempty"`
+	NodeID    string   `json:"node_id,omitempty"`
+	LeaderSvc string   `json:"leader_svc,omitempty"`
+	Term      uint64   `json:"term,omitempty"`
+	Applied   uint64   `json:"applied,omitempty"`
+	PeerSvcs  []string `json:"peer_svcs,omitempty"`
 }
 
 func encode(v any) ([]byte, error) {

@@ -17,6 +17,7 @@ import (
 // Server exposes an EMEWS task database over TCP.
 type Server struct {
 	db   core.API
+	tdb  core.TokenAPI // db when it supports commit tokens, else nil
 	ln   net.Listener
 	node *replica.Node // nil for standalone servers
 
@@ -58,6 +59,7 @@ func serve(db core.API, node *replica.Node, addr string) (*Server, error) {
 		return nil, fmt.Errorf("service: listen: %w", err)
 	}
 	s := &Server{db: db, ln: ln, node: node, conns: make(map[net.Conn]struct{})}
+	s.tdb, _ = db.(core.TokenAPI)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -166,18 +168,44 @@ func (s *Server) dispatch(req request) response {
 	if s.node != nil && writeOps[req.Op] && !s.node.IsLeader() {
 		return s.forward(req)
 	}
+	// Freshness-bounded reads: a client shipping a commit token demands that
+	// this replica has applied the WAL at least through it. A replica that
+	// cannot catch up within the client's wait bound answers transiently so
+	// the client falls back to a fresher replica or the leader — the
+	// staleness bound that makes follower reads safe to load-balance.
+	var readToken uint64
+	if s.node != nil && !writeOps[req.Op] {
+		if req.Token > 0 {
+			if err := s.node.WaitApplied(req.Token, ms(req.WaitMS)); err != nil {
+				return response{Error: "service: " + err.Error(), Transient: true}
+			}
+		}
+		// Captured before the read executes, so the token never overstates
+		// what the read observed.
+		readToken = s.node.Applied()
+	}
 	resp := s.exec(req)
 	// In synchronous-replication mode a write is only confirmed once
 	// WriteQuorum followers have applied it; a demoted or partitioned
 	// leader answers with a transient error so DialCluster re-resolves the
 	// real leader instead of trusting a zombie. The write may still have
-	// committed locally — like any quorum system, a failed ack is
-	// ambiguous, and retries can apply it twice (already the documented
-	// failover semantics).
+	// committed locally — a failed ack is ambiguous, which is exactly what
+	// dedup-keyed submits exist to disambiguate on retry. With a token-aware
+	// backend the wait covers precisely the request's own WAL entry; the
+	// fallback waits on the newest committed index (conservative over-wait).
 	if resp.OK && s.node != nil && quorumOps[req.Op] {
-		if err := s.node.WaitQuorum(); err != nil {
+		var err error
+		if s.tdb != nil {
+			err = s.node.WaitQuorumIndex(resp.Token)
+		} else {
+			err = s.node.WaitQuorum()
+		}
+		if err != nil {
 			return response{Error: "service: write not quorum-committed: " + err.Error(), Transient: true}
 		}
+	}
+	if resp.OK && resp.Token == 0 {
+		resp.Token = readToken
 	}
 	return resp
 }
@@ -188,15 +216,29 @@ func (s *Server) exec(req request) response {
 	case "ping":
 		return response{OK: true}
 	case "cluster":
-		resp := response{OK: true, Role: "leader", LeaderSvc: s.Addr()}
+		resp := response{OK: true, Role: "leader", LeaderSvc: s.Addr(), PeerSvcs: []string{s.Addr()}}
 		if s.node != nil {
 			resp.Role = s.node.Role().String()
 			resp.NodeID = s.node.ID()
 			resp.LeaderSvc = s.node.LeaderServiceAddr()
 			resp.Term = s.node.Term()
 			resp.Applied = s.node.Applied()
+			resp.PeerSvcs = resp.PeerSvcs[:0]
+			for _, p := range s.node.Peers() {
+				if p.SvcAddr != "" {
+					resp.PeerSvcs = append(resp.PeerSvcs, p.SvcAddr)
+				}
+			}
 		}
 		return resp
+	case "cluster_promote":
+		if s.node == nil {
+			return response{Error: "service: cluster_promote on a standalone (non-replicated) server"}
+		}
+		if err := s.node.ForcePromote(); err != nil {
+			return errResponse(err)
+		}
+		return s.exec(request{Op: "cluster"})
 	case "task_get":
 		g, ok := s.db.(interface {
 			GetTask(taskID int64) (core.Task, error)
@@ -214,12 +256,35 @@ func (s *Server) exec(req request) response {
 		if len(req.Tags) > 0 {
 			opts = append(opts, core.WithTags(req.Tags...))
 		}
+		if req.DedupKey != "" {
+			opts = append(opts, core.WithDedupKey(req.DedupKey))
+		}
+		if s.tdb != nil {
+			id, tok, err := s.tdb.SubmitTaskT(req.ExpID, req.WorkType, req.Payload, opts...)
+			if err != nil {
+				return errResponse(err)
+			}
+			return response{OK: true, TaskID: id, Token: tok}
+		}
+		if req.DedupKey != "" {
+			return response{Error: "service: dedup keys unsupported by backend"}
+		}
 		id, err := s.db.SubmitTask(req.ExpID, req.WorkType, req.Payload, opts...)
 		if err != nil {
 			return errResponse(err)
 		}
 		return response{OK: true, TaskID: id}
 	case "submit_batch":
+		if s.tdb != nil {
+			ids, tok, err := s.tdb.SubmitTasksT(req.ExpID, req.WorkType, req.Payloads, req.Priorities, req.DedupKeys)
+			if err != nil {
+				return errResponse(err)
+			}
+			return response{OK: true, TaskIDs: ids, Token: tok}
+		}
+		if len(req.DedupKeys) > 0 {
+			return response{Error: "service: dedup keys unsupported by backend"}
+		}
 		ids, err := s.db.SubmitTasks(req.ExpID, req.WorkType, req.Payloads, req.Priorities)
 		if err != nil {
 			return errResponse(err)
@@ -237,6 +302,13 @@ func (s *Server) exec(req request) response {
 		}
 		return response{OK: true, Tasks: out}
 	case "report":
+		if s.tdb != nil {
+			tok, err := s.tdb.ReportTaskT(req.TaskID, req.WorkType, req.Result)
+			if err != nil {
+				return errResponse(err)
+			}
+			return response{OK: true, Token: tok}
+		}
 		if err := s.db.ReportTask(req.TaskID, req.WorkType, req.Result); err != nil {
 			return errResponse(err)
 		}
@@ -274,18 +346,39 @@ func (s *Server) exec(req request) response {
 		}
 		return response{OK: true, PrioMap: prios}
 	case "update_priorities":
+		if s.tdb != nil {
+			n, tok, err := s.tdb.UpdatePrioritiesT(req.TaskIDs, req.Priorities)
+			if err != nil {
+				return errResponse(err)
+			}
+			return response{OK: true, Count: n, Token: tok}
+		}
 		n, err := s.db.UpdatePriorities(req.TaskIDs, req.Priorities)
 		if err != nil {
 			return errResponse(err)
 		}
 		return response{OK: true, Count: n}
 	case "cancel":
+		if s.tdb != nil {
+			n, tok, err := s.tdb.CancelTasksT(req.TaskIDs)
+			if err != nil {
+				return errResponse(err)
+			}
+			return response{OK: true, Count: n, Token: tok}
+		}
 		n, err := s.db.CancelTasks(req.TaskIDs)
 		if err != nil {
 			return errResponse(err)
 		}
 		return response{OK: true, Count: n}
 	case "requeue":
+		if s.tdb != nil {
+			n, tok, err := s.tdb.RequeueRunningT(req.Pool)
+			if err != nil {
+				return errResponse(err)
+			}
+			return response{OK: true, Count: n, Token: tok}
+		}
 		n, err := s.db.RequeueRunning(req.Pool)
 		if err != nil {
 			return errResponse(err)
@@ -354,13 +447,14 @@ func ms(v int64) time.Duration { return time.Duration(v) * time.Millisecond }
 // one Client per concurrent component (one per worker pool, one per ME
 // algorithm), as the paper does with per-process DB connections.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	rd   *bufio.Scanner
-	addr string
+	mu        sync.Mutex
+	conn      net.Conn
+	rd        *bufio.Scanner
+	addr      string
+	lastToken uint64 // highest commit token seen in any response
 }
 
-var _ core.API = (*Client)(nil)
+var _ core.TokenAPI = (*Client)(nil)
 
 // ErrConn marks transport-level failures (dial, write, read, peer close) as
 // opposed to application errors returned by the service. Failover clients
@@ -420,6 +514,9 @@ func (c *Client) roundTrip(req request, timeout time.Duration) (response, error)
 	if err := json.Unmarshal(c.rd.Bytes(), &resp); err != nil {
 		return response{}, fmt.Errorf("service: bad response: %w", err)
 	}
+	if resp.Token > c.lastToken {
+		c.lastToken = resp.Token
+	}
 	if !resp.OK {
 		if resp.Timeout {
 			return resp, core.ErrTimeout
@@ -432,32 +529,52 @@ func (c *Client) roundTrip(req request, timeout time.Duration) (response, error)
 	return resp, nil
 }
 
+// LastToken returns the highest commit token observed in any response on
+// this client: the session's high-water mark for read-your-writes reads.
+func (c *Client) LastToken() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastToken
+}
+
 // SubmitTask implements core.API.
 func (c *Client) SubmitTask(expID string, workType int, payload string, opts ...core.SubmitOption) (int64, error) {
+	id, _, err := c.SubmitTaskT(expID, workType, payload, opts...)
+	return id, err
+}
+
+// SubmitTaskT implements core.TokenAPI.
+func (c *Client) SubmitTaskT(expID string, workType int, payload string, opts ...core.SubmitOption) (int64, core.Token, error) {
 	var o core.SubmitOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
 	resp, err := c.roundTrip(request{
 		Op: "submit", ExpID: expID, WorkType: workType, Payload: payload,
-		Priority: o.Priority, Tags: o.Tags,
+		Priority: o.Priority, Tags: o.Tags, DedupKey: o.DedupKey,
 	}, time.Second)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return resp.TaskID, nil
+	return resp.TaskID, resp.Token, nil
 }
 
 // SubmitTasks implements core.API.
 func (c *Client) SubmitTasks(expID string, workType int, payloads []string, priorities []int) ([]int64, error) {
+	ids, _, err := c.SubmitTasksT(expID, workType, payloads, priorities, nil)
+	return ids, err
+}
+
+// SubmitTasksT implements core.TokenAPI.
+func (c *Client) SubmitTasksT(expID string, workType int, payloads []string, priorities []int, dedupKeys []string) ([]int64, core.Token, error) {
 	resp, err := c.roundTrip(request{
 		Op: "submit_batch", ExpID: expID, WorkType: workType,
-		Payloads: payloads, Priorities: priorities,
+		Payloads: payloads, Priorities: priorities, DedupKeys: dedupKeys,
 	}, 10*time.Second)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return resp.TaskIDs, nil
+	return resp.TaskIDs, resp.Token, nil
 }
 
 // QueryTasks implements core.API.
@@ -478,8 +595,17 @@ func (c *Client) QueryTasks(workType, n int, pool string, delay, timeout time.Du
 
 // ReportTask implements core.API.
 func (c *Client) ReportTask(taskID int64, workType int, result string) error {
-	_, err := c.roundTrip(request{Op: "report", TaskID: taskID, WorkType: workType, Result: result}, time.Second)
+	_, err := c.ReportTaskT(taskID, workType, result)
 	return err
+}
+
+// ReportTaskT implements core.TokenAPI.
+func (c *Client) ReportTaskT(taskID int64, workType int, result string) (core.Token, error) {
+	resp, err := c.roundTrip(request{Op: "report", TaskID: taskID, WorkType: workType, Result: result}, time.Second)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Token, nil
 }
 
 // QueryResult implements core.API.
@@ -512,7 +638,15 @@ func (c *Client) PopResults(ids []int64, max int, delay, timeout time.Duration) 
 
 // Statuses implements core.API.
 func (c *Client) Statuses(ids []int64) (map[int64]core.Status, error) {
-	resp, err := c.roundTrip(request{Op: "statuses", TaskIDs: ids}, time.Second)
+	return c.statusesAt(ids, 0, 0)
+}
+
+// statusesAt is Statuses with a minimum-freshness commit token: the replica
+// answers only once it has applied the WAL through token (waiting up to
+// wait), or transiently refuses.
+func (c *Client) statusesAt(ids []int64, token uint64, wait time.Duration) (map[int64]core.Status, error) {
+	resp, err := c.roundTrip(request{Op: "statuses", TaskIDs: ids, Token: token, WaitMS: wait.Milliseconds()},
+		time.Second+wait)
 	if err != nil {
 		return nil, err
 	}
@@ -525,7 +659,12 @@ func (c *Client) Statuses(ids []int64) (map[int64]core.Status, error) {
 
 // Priorities implements core.API.
 func (c *Client) Priorities(ids []int64) (map[int64]int, error) {
-	resp, err := c.roundTrip(request{Op: "priorities", TaskIDs: ids}, time.Second)
+	return c.prioritiesAt(ids, 0, 0)
+}
+
+func (c *Client) prioritiesAt(ids []int64, token uint64, wait time.Duration) (map[int64]int, error) {
+	resp, err := c.roundTrip(request{Op: "priorities", TaskIDs: ids, Token: token, WaitMS: wait.Milliseconds()},
+		time.Second+wait)
 	if err != nil {
 		return nil, err
 	}
@@ -537,34 +676,57 @@ func (c *Client) Priorities(ids []int64) (map[int64]int, error) {
 
 // UpdatePriorities implements core.API.
 func (c *Client) UpdatePriorities(ids []int64, priorities []int) (int, error) {
+	n, _, err := c.UpdatePrioritiesT(ids, priorities)
+	return n, err
+}
+
+// UpdatePrioritiesT implements core.TokenAPI.
+func (c *Client) UpdatePrioritiesT(ids []int64, priorities []int) (int, core.Token, error) {
 	resp, err := c.roundTrip(request{Op: "update_priorities", TaskIDs: ids, Priorities: priorities}, time.Second)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return resp.Count, nil
+	return resp.Count, resp.Token, nil
 }
 
 // CancelTasks implements core.API.
 func (c *Client) CancelTasks(ids []int64) (int, error) {
+	n, _, err := c.CancelTasksT(ids)
+	return n, err
+}
+
+// CancelTasksT implements core.TokenAPI.
+func (c *Client) CancelTasksT(ids []int64) (int, core.Token, error) {
 	resp, err := c.roundTrip(request{Op: "cancel", TaskIDs: ids}, time.Second)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return resp.Count, nil
+	return resp.Count, resp.Token, nil
 }
 
 // RequeueRunning implements core.API.
 func (c *Client) RequeueRunning(pool string) (int, error) {
+	n, _, err := c.RequeueRunningT(pool)
+	return n, err
+}
+
+// RequeueRunningT implements core.TokenAPI.
+func (c *Client) RequeueRunningT(pool string) (int, core.Token, error) {
 	resp, err := c.roundTrip(request{Op: "requeue", Pool: pool}, time.Second)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return resp.Count, nil
+	return resp.Count, resp.Token, nil
 }
 
 // Counts implements core.API.
 func (c *Client) Counts(expID string) (map[core.Status]int, error) {
-	resp, err := c.roundTrip(request{Op: "counts", ExpID: expID}, time.Second)
+	return c.countsAt(expID, 0, 0)
+}
+
+func (c *Client) countsAt(expID string, token uint64, wait time.Duration) (map[core.Status]int, error) {
+	resp, err := c.roundTrip(request{Op: "counts", ExpID: expID, Token: token, WaitMS: wait.Milliseconds()},
+		time.Second+wait)
 	if err != nil {
 		return nil, err
 	}
@@ -577,7 +739,12 @@ func (c *Client) Counts(expID string) (map[core.Status]int, error) {
 
 // Tags implements core.API.
 func (c *Client) Tags(taskID int64) ([]string, error) {
-	resp, err := c.roundTrip(request{Op: "tags", TaskID: taskID}, time.Second)
+	return c.tagsAt(taskID, 0, 0)
+}
+
+func (c *Client) tagsAt(taskID int64, token uint64, wait time.Duration) ([]string, error) {
+	resp, err := c.roundTrip(request{Op: "tags", TaskID: taskID, Token: token, WaitMS: wait.Milliseconds()},
+		time.Second+wait)
 	if err != nil {
 		return nil, err
 	}
@@ -589,7 +756,12 @@ func (c *Client) Tags(taskID int64) ([]string, error) {
 // failover clients recover completed results whose input-queue entry died
 // with the old leader.
 func (c *Client) GetTask(taskID int64) (core.Task, error) {
-	resp, err := c.roundTrip(request{Op: "task_get", TaskID: taskID}, time.Second)
+	return c.getTaskAt(taskID, 0, 0)
+}
+
+func (c *Client) getTaskAt(taskID int64, token uint64, wait time.Duration) (core.Task, error) {
+	resp, err := c.roundTrip(request{Op: "task_get", TaskID: taskID, Token: token, WaitMS: wait.Milliseconds()},
+		time.Second+wait)
 	if err != nil {
 		return core.Task{}, err
 	}
@@ -608,6 +780,9 @@ type ClusterInfo struct {
 	LeaderSvc string
 	Term      uint64
 	Applied   uint64
+	// PeerSvcs lists the service addresses of every cluster member the
+	// answering node knows of (itself included).
+	PeerSvcs []string
 }
 
 // Cluster queries the node's replication status.
@@ -618,7 +793,24 @@ func (c *Client) Cluster() (ClusterInfo, error) {
 	}
 	return ClusterInfo{
 		Role: resp.Role, NodeID: resp.NodeID, LeaderSvc: resp.LeaderSvc,
-		Term: resp.Term, Applied: resp.Applied,
+		Term: resp.Term, Applied: resp.Applied, PeerSvcs: resp.PeerSvcs,
+	}, nil
+}
+
+// Promote forces the connected node to promote itself to cluster leader,
+// overriding the majority election gate — the operator escape hatch for
+// deployments that cannot form a majority (canonically: the survivor of a
+// 2-node cluster). It returns the node's post-promotion status. Use only
+// when the missing peers are known dead; forcing both sides of a live
+// partition splits the brain.
+func (c *Client) Promote() (ClusterInfo, error) {
+	resp, err := c.roundTrip(request{Op: "cluster_promote"}, 5*time.Second)
+	if err != nil {
+		return ClusterInfo{}, err
+	}
+	return ClusterInfo{
+		Role: resp.Role, NodeID: resp.NodeID, LeaderSvc: resp.LeaderSvc,
+		Term: resp.Term, Applied: resp.Applied, PeerSvcs: resp.PeerSvcs,
 	}, nil
 }
 

@@ -89,6 +89,22 @@ func WithPriority(p int) SubmitOption { return core.WithPriority(p) }
 // WithTags attaches metadata tags to a task.
 func WithTags(tags ...string) SubmitOption { return core.WithTags(tags...) }
 
+// WithDedupKey makes a submit idempotent under a client-chosen key: a retry
+// carrying the same key returns the original task's id instead of inserting
+// a duplicate — the disambiguation for retries after ambiguous failures
+// (e.g. a quorum timeout that may have committed locally).
+func WithDedupKey(key string) SubmitOption { return core.WithDedupKey(key) }
+
+// Token is a commit token: the WAL index of a mutating operation's own log
+// entry. Writes return it (TokenAPI), quorum acknowledgements wait on
+// exactly it, and reads can carry it as a minimum-freshness bound so
+// follower replicas serve read-your-writes-consistent answers.
+type Token = core.Token
+
+// TokenAPI extends API with commit-token-returning write variants; the
+// in-process DB and the remote service client both implement it.
+type TokenAPI = core.TokenAPI
+
 // Futures API.
 type (
 	// Future is a handle on one asynchronous task (§V-B of the paper).
@@ -168,6 +184,8 @@ var ServeNode = service.ServeNode
 
 // DialCluster connects to a replicated EMEWS service given any subset of
 // its nodes' service addresses. The returned client implements API and
-// survives leader failover: it re-resolves the leader and retries, and
-// recovers completed task results from the replicas.
+// survives leader failover: it re-resolves the leader and retries, recovers
+// completed task results from the replicas, load-balances read-only calls
+// across follower replicas under a session commit token (read-your-writes),
+// and attaches per-call dedup keys so its retries never duplicate submits.
 var DialCluster = service.DialCluster
