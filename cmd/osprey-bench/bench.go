@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// keyBenchmarks are the hot-path benchmarks the BENCH_*.json trajectory
+// tracks: one per optimized layer (core submit/pop cycle, minisql ordered
+// index, replica quorum shipping, service follower reads).
+const keyBenchmarks = "^(BenchmarkSubmitTask|BenchmarkSubmitQueryReportCycle|" +
+	"BenchmarkPopResultsBatch50|BenchmarkQuorumSubmit|BenchmarkFollowerRead|" +
+	"BenchmarkMinisqlIndexedSelect)$"
+
+// benchResult is one benchmark's measurements as recorded in BENCH_*.json.
+type benchResult struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// benchLine parses one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkSubmitTask-8   123456   15209 ns/op   3694 B/op   40 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9]+) allocs/op)?`)
+
+// runBenchmarks executes the benchmark regex against the repository root
+// package and returns name → measurements.
+func runBenchmarks(bench, benchtime string) (map[string]benchResult, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-benchtime", benchtime, ".")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w\n%s", err, out)
+	}
+	results := make(map[string]benchResult)
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		var r benchResult
+		r.NsOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			r.BOp, _ = strconv.ParseFloat(m[3], 64)
+			r.AllocsOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		results[m[1]] = r
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark results matched %q", bench)
+	}
+	return results, nil
+}
+
+// writeBaseline emits the JSON baseline (sorted keys, stable diffs).
+func writeBaseline(path string, results map[string]benchResult) error {
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// checkBaseline compares fresh results against a committed baseline and
+// returns an error when any benchmark's ns/op regressed beyond maxRegress
+// (0.25 = 25%), or when a baseline benchmark was not measured at all — a
+// renamed or regex-dropped benchmark must not silently fall out of the gate
+// while it reports green. New benchmarks absent from the baseline are
+// reported but pass; they start gating once their baseline lands.
+func checkBaseline(path string, results map[string]benchResult, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base map[string]benchResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failed []string
+	fmt.Printf("%-34s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range names {
+		cur := results[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Printf("%-34s %14s %14.0f %8s\n", name, "(new)", cur.NsOp, "-")
+			continue
+		}
+		delta := (cur.NsOp - b.NsOp) / b.NsOp
+		mark := ""
+		if delta > maxRegress {
+			mark = "  << REGRESSION"
+			failed = append(failed, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.0f%%)",
+				name, b.NsOp, cur.NsOp, delta*100))
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %+7.1f%%%s\n", name, b.NsOp, cur.NsOp, delta*100, mark)
+	}
+	for name := range base {
+		if _, ok := results[name]; !ok {
+			fmt.Printf("%-34s (in baseline, not measured)\n", name)
+			failed = append(failed, fmt.Sprintf(
+				"%s: in baseline but not measured (renamed? regex drift?) — re-record the baseline", name))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("ns/op regressed >%.0f%% vs %s:\n  %s",
+			maxRegress*100, path, strings.Join(failed, "\n  "))
+	}
+	return nil
+}
+
+// runBenchMode drives the -json/-check flags; it exits the process.
+func runBenchMode(jsonPath, checkPath, bench, benchtime string, maxRegress float64) {
+	results, err := runBenchmarks(bench, benchtime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonPath != "" {
+		if err := writeBaseline(jsonPath, results); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d benchmark results to %s\n", len(results), jsonPath)
+	}
+	if checkPath != "" {
+		if err := checkBaseline(checkPath, results, maxRegress); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("benchmark gate passed")
+	}
+	os.Exit(0)
+}

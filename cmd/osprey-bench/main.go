@@ -1,8 +1,15 @@
-// Command osprey-bench regenerates the paper's evaluation figures (§VI).
+// Command osprey-bench regenerates the paper's evaluation figures (§VI) and
+// drives the hot-path benchmark trajectory (BENCH_*.json).
 //
 //	osprey-bench -fig 3            # three utilization panels (Figure 3)
 //	osprey-bench -fig 4            # combined federated workflow (Figure 4)
 //	osprey-bench -fig 0            # both
+//	osprey-bench -json BENCH_pr4.json        # record the key-benchmark baseline
+//	osprey-bench -check BENCH_pr4.json       # fail if ns/op regressed >25%
+//
+// The -json/-check modes shell out to `go test -bench` for the key hot-path
+// benchmarks and read/write name → {ns_op, b_op, allocs_op} JSON, so perf
+// PRs commit a measured baseline and CI gates on it.
 //
 // By default runs use paper-scale parameters (750 tasks, 33 workers per
 // pool, reprioritization every 50 completions) at TimeScale 0.01, so the
@@ -33,8 +40,18 @@ func main() {
 		timeScale = flag.Float64("timescale", 0.01, "wall-seconds per paper-second")
 		seed      = flag.Int64("seed", 2023, "random seed")
 		csvPath   = flag.String("csv", "", "write series CSV to this file prefix")
+
+		jsonPath   = flag.String("json", "", "run the key benchmarks and write a BENCH_*.json baseline to this path")
+		checkPath  = flag.String("check", "", "run the key benchmarks and fail if ns/op regressed beyond -max-regress vs this baseline")
+		benchRe    = flag.String("bench", keyBenchmarks, "benchmark regex for -json/-check")
+		benchtime  = flag.String("benchtime", "0.3s", "per-benchmark measuring time for -json/-check")
+		maxRegress = flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression for -check")
 	)
 	flag.Parse()
+
+	if *jsonPath != "" || *checkPath != "" {
+		runBenchMode(*jsonPath, *checkPath, *benchRe, *benchtime, *maxRegress)
+	}
 
 	ctx := context.Background()
 	if *fig == 3 || *fig == 0 {

@@ -41,6 +41,10 @@ var schema = []string{
 		work_type INTEGER,
 		priority INTEGER)`,
 	`CREATE INDEX IF NOT EXISTS eq_out_wt ON eq_out_q (work_type)`,
+	// The ordered index is what lets the pop's ORDER BY priority DESC ...
+	// LIMIT n read the top-n directly off a sorted structure instead of
+	// scanning and sorting the whole output queue on every poll.
+	`CREATE ORDERED INDEX IF NOT EXISTS eq_out_prio ON eq_out_q (priority)`,
 	`CREATE TABLE IF NOT EXISTS eq_in_q (
 		task_id INTEGER PRIMARY KEY,
 		work_type INTEGER)`,
@@ -109,13 +113,32 @@ func (db *DB) Restore(r io.Reader) error {
 	return nil
 }
 
-// migrateSchema upgrades a database restored from a snapshot written before
-// the dedup_key column existed. Snapshots carry full table definitions, so a
-// pre-upgrade eq_tasks comes back without the column and every submit's
-// INSERT would fail; the rebuild re-inserts the rows under the current
-// schema (dedup_key '', i.e. not deduplicable — exactly their old
-// semantics). Explicit task_ids keep the AUTOINCREMENT counter correct.
+// migrateSchema upgrades a database restored from a snapshot written by an
+// older version: first the dedup_key column rebuild (below), then a re-run
+// of the schema's idempotent statements — snapshots carry only the tables
+// and indexes that existed when they were written, so without the re-run a
+// restore would silently drop later schema additions (canonically the
+// eq_out_prio ordered index, and with it the pop fast path). CREATE ... IF
+// NOT EXISTS no-ops on everything already present, and CREATE ORDERED INDEX
+// upgrades an existing plain index in place.
 func migrateSchema(eng *minisql.Engine) error {
+	if err := migrateDedup(eng); err != nil {
+		return err
+	}
+	for _, stmt := range schema {
+		if _, err := eng.Exec(stmt); err != nil {
+			return fmt.Errorf("eqsql: ensuring schema after restore: %w", err)
+		}
+	}
+	return nil
+}
+
+// migrateDedup rebuilds eq_tasks for snapshots written before the dedup_key
+// column existed: a pre-upgrade eq_tasks comes back without the column and
+// every submit's INSERT would fail; the rebuild re-inserts the rows under
+// the current schema (dedup_key '', i.e. not deduplicable — exactly their
+// old semantics). Explicit task_ids keep the AUTOINCREMENT counter correct.
+func migrateDedup(eng *minisql.Engine) error {
 	if _, err := eng.Exec("SELECT dedup_key FROM eq_tasks LIMIT 1"); err == nil {
 		return nil
 	}
@@ -400,6 +423,10 @@ func sleepUntil(wake <-chan struct{}, delay time.Duration, deadline *time.Timer)
 	}
 }
 
+// tryPopTasks pops the top-n queue entries with three batched statements —
+// one DELETE, one UPDATE, one SELECT over the popped id set — instead of
+// three statements per task: the transaction (and the WAL entry it ships to
+// followers) stays O(1) in statement count no matter the batch width.
 func (db *DB) tryPopTasks(workType, n int, pool string) ([]Task, error) {
 	var tasks []Task
 	err := db.eng.Tx(func(tx *minisql.Tx) error {
@@ -414,34 +441,49 @@ func (db *DB) tryPopTasks(workType, n int, pool string) ([]Task, error) {
 			return nil
 		}
 		now := nowNano()
-		for _, row := range res.Rows {
+		ids := make([]int64, len(res.Rows))
+		prio := make(map[int64]int, len(res.Rows))
+		for i, row := range res.Rows {
 			id := row[0].AsInt()
-			prio := int(row[1].AsInt())
-			if _, err := tx.Exec("DELETE FROM eq_out_q WHERE task_id = ?", id); err != nil {
-				return err
-			}
-			if _, err := tx.Exec(
-				"UPDATE eq_tasks SET status = ?, pool = ?, start_at = ? WHERE task_id = ?",
-				string(StatusRunning), pool, now, id); err != nil {
-				return err
-			}
-			tres, err := tx.Exec(
-				"SELECT exp_id, payload, created_at FROM eq_tasks WHERE task_id = ?", id)
-			if err != nil {
-				return err
-			}
-			if len(tres.Rows) == 0 {
+			ids[i] = id
+			prio[id] = int(row[1].AsInt())
+		}
+		del, dargs := inClause("DELETE FROM eq_out_q WHERE task_id IN (%s)", ids)
+		if _, err := tx.Exec(del, dargs...); err != nil {
+			return err
+		}
+		upd, idArgs := inClause(
+			"UPDATE eq_tasks SET status = ?, pool = ?, start_at = ? WHERE task_id IN (%s)", ids)
+		uargs := make([]any, 0, len(idArgs)+3)
+		uargs = append(uargs, string(StatusRunning), pool, now)
+		uargs = append(uargs, idArgs...)
+		if _, err := tx.Exec(upd, uargs...); err != nil {
+			return err
+		}
+		sel, sargs := inClause(
+			"SELECT task_id, exp_id, payload, created_at FROM eq_tasks WHERE task_id IN (%s)", ids)
+		tres, err := tx.Exec(sel, sargs...)
+		if err != nil {
+			return err
+		}
+		rowOf := make(map[int64][]minisql.Value, len(tres.Rows))
+		for _, r := range tres.Rows {
+			rowOf[r[0].AsInt()] = r
+		}
+		for _, id := range ids {
+			r, ok := rowOf[id]
+			if !ok {
 				return fmt.Errorf("eqsql: queue references missing task %d", id)
 			}
 			tasks = append(tasks, Task{
 				ID:       id,
-				ExpID:    tres.Rows[0][0].AsText(),
+				ExpID:    r[1].AsText(),
 				WorkType: workType,
 				Status:   StatusRunning,
-				Payload:  tres.Rows[0][1].AsText(),
+				Payload:  r[2].AsText(),
 				Pool:     pool,
-				Priority: prio,
-				Created:  time.Unix(0, tres.Rows[0][2].AsInt()),
+				Priority: prio[id],
+				Created:  time.Unix(0, r[3].AsInt()),
 				Started:  time.Unix(0, now),
 			})
 		}
@@ -522,6 +564,8 @@ func (db *DB) PopResults(ids []int64, max int, delay, timeout time.Duration) ([]
 	}
 }
 
+// tryPopResults mirrors tryPopTasks: one DELETE and one SELECT over the
+// popped id set replace the per-result statement pairs.
 func (db *DB) tryPopResults(ids []int64, max int) ([]TaskResult, error) {
 	var results []TaskResult
 	err := db.eng.Tx(func(tx *minisql.Tx) error {
@@ -532,19 +576,32 @@ func (db *DB) tryPopResults(ids []int64, max int) ([]TaskResult, error) {
 		if err != nil {
 			return err
 		}
-		for _, row := range res.Rows {
-			id := row[0].AsInt()
-			if _, err := tx.Exec("DELETE FROM eq_in_q WHERE task_id = ?", id); err != nil {
-				return err
-			}
-			rres, err := tx.Exec("SELECT result FROM eq_tasks WHERE task_id = ?", id)
-			if err != nil {
-				return err
-			}
-			if len(rres.Rows) == 0 {
+		if len(res.Rows) == 0 {
+			return nil
+		}
+		popped := make([]int64, len(res.Rows))
+		for i, row := range res.Rows {
+			popped[i] = row[0].AsInt()
+		}
+		del, dargs := inClause("DELETE FROM eq_in_q WHERE task_id IN (%s)", popped)
+		if _, err := tx.Exec(del, dargs...); err != nil {
+			return err
+		}
+		sel, sargs := inClause("SELECT task_id, result FROM eq_tasks WHERE task_id IN (%s)", popped)
+		rres, err := tx.Exec(sel, sargs...)
+		if err != nil {
+			return err
+		}
+		resOf := make(map[int64]string, len(rres.Rows))
+		for _, r := range rres.Rows {
+			resOf[r[0].AsInt()] = r[1].AsText()
+		}
+		for _, id := range popped {
+			text, ok := resOf[id]
+			if !ok {
 				return fmt.Errorf("eqsql: input queue references missing task %d", id)
 			}
-			results = append(results, TaskResult{ID: id, Result: rres.Rows[0][0].AsText()})
+			results = append(results, TaskResult{ID: id, Result: text})
 		}
 		return nil
 	})

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"osprey/internal/minisql"
 )
@@ -182,5 +183,64 @@ func TestRestoreMigratesPreDedupSnapshot(t *testing.T) {
 	}
 	if dup, err := db.SubmitTask("legacy", 1, "new-payload", WithDedupKey("mig-k")); err != nil || dup != id {
 		t.Fatalf("dedup on migrated db = (%d, %v), want %d", dup, err, id)
+	}
+}
+
+// TestRestoreEnsuresOrderedIndex: a snapshot from the version that already
+// had dedup_key but predated the eq_out_prio ordered index must come back
+// with the index — migrateSchema re-applies the idempotent schema statements
+// after every restore, so later schema additions are never silently dropped
+// (losing the index would quietly demote every pop to scan-and-sort).
+func TestRestoreEnsuresOrderedIndex(t *testing.T) {
+	old := minisql.NewEngine()
+	for _, stmt := range []string{
+		`CREATE TABLE eq_exp (exp_id TEXT PRIMARY KEY, created_at INTEGER)`,
+		`CREATE TABLE eq_tasks (
+			task_id INTEGER PRIMARY KEY AUTOINCREMENT,
+			exp_id TEXT, work_type INTEGER, status TEXT, payload TEXT,
+			result TEXT, pool TEXT, priority INTEGER,
+			created_at INTEGER, start_at INTEGER, stop_at INTEGER, dedup_key TEXT)`,
+		`CREATE INDEX eq_tasks_status ON eq_tasks (status)`,
+		`CREATE INDEX eq_tasks_pool ON eq_tasks (pool)`,
+		`CREATE INDEX eq_tasks_dedup ON eq_tasks (dedup_key)`,
+		`CREATE TABLE eq_out_q (task_id INTEGER PRIMARY KEY, work_type INTEGER, priority INTEGER)`,
+		`CREATE INDEX eq_out_wt ON eq_out_q (work_type)`,
+		`CREATE TABLE eq_in_q (task_id INTEGER PRIMARY KEY, work_type INTEGER)`,
+		`CREATE TABLE eq_tags (task_id INTEGER, tag TEXT)`,
+		`CREATE INDEX eq_tags_task ON eq_tags (task_id)`,
+		`INSERT INTO eq_tasks (exp_id, work_type, status, payload, result, pool,
+			priority, created_at, start_at, stop_at, dedup_key)
+		 VALUES ('legacy', 1, 'queued', 'p1', '', '', 3, 1, 0, 0, ''),
+		        ('legacy', 1, 'queued', 'p2', '', '', 8, 1, 0, 0, '')`,
+		`INSERT INTO eq_out_q (task_id, work_type, priority) VALUES (1, 1, 3), (2, 1, 8)`,
+	} {
+		if _, err := old.Exec(stmt); err != nil {
+			t.Fatalf("building pre-ordered-index state: %v", err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := old.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := RestoreDB(&snap)
+	if err != nil {
+		t.Fatalf("restoring pre-ordered-index snapshot: %v", err)
+	}
+	defer db.Close()
+
+	// The ordered index must already exist: creating it again WITHOUT
+	// IF NOT EXISTS has to fail with "already exists".
+	if _, err := db.Engine().Exec(
+		"CREATE ORDERED INDEX eq_out_prio ON eq_out_q (priority)"); err == nil {
+		t.Fatal("eq_out_prio missing after restore: migrateSchema did not re-apply the schema")
+	}
+	// And pops come back in priority order off the restored queue.
+	tasks, err := db.QueryTasks(1, 2, "pool", time.Millisecond, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 || tasks[0].ID != 2 || tasks[1].ID != 1 {
+		t.Fatalf("post-restore pop order = %+v, want task 2 (prio 8) then 1 (prio 3)", tasks)
 	}
 }

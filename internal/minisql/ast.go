@@ -40,6 +40,10 @@ type createIndexStmt struct {
 	IfNotExists bool
 	Table       string
 	Col         string
+	// Ordered requests a sorted index (CREATE ORDERED INDEX): equality
+	// lookups still hit the hash side, and ORDER BY <col> ... LIMIT n reads
+	// the top-n directly off the sorted side instead of scan+sort.
+	Ordered bool
 }
 
 type dropTableStmt struct {

@@ -36,6 +36,8 @@ type Engine struct {
 	applying   bool       // true while replaying a shipped entry
 	pending    []Stmt     // mutating statements awaiting commit
 	lastLogged uint64     // highest log index the hook has assigned
+
+	plans *planCache // parsed-statement LRU (plancache.go)
 }
 
 type undoKind uint8
@@ -56,7 +58,7 @@ type undoOp struct {
 
 // NewEngine returns an empty database.
 func NewEngine() *Engine {
-	return &Engine{tables: make(map[string]*table)}
+	return &Engine{tables: make(map[string]*table), plans: newPlanCache()}
 }
 
 // Exec parses and executes a single SQL statement with positional `?`
@@ -72,7 +74,7 @@ func (e *Engine) Exec(sql string, args ...any) (*Result, error) {
 // installed, or while inside an explicit transaction (the whole transaction
 // gets one entry at COMMIT — use TxLogged).
 func (e *Engine) ExecLogged(sql string, args ...any) (*Result, uint64, error) {
-	stmt, nparams, err := parse(sql)
+	stmt, nparams, err := e.cachedParse(sql)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -163,7 +165,7 @@ type Tx struct{ e *Engine }
 
 // Exec executes a statement within the transaction.
 func (tx *Tx) Exec(sql string, args ...any) (*Result, error) {
-	stmt, nparams, err := parse(sql)
+	stmt, nparams, err := tx.e.cachedParse(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -324,6 +326,7 @@ func (e *Engine) execCreateTable(st createTableStmt) (*Result, error) {
 		return nil, err
 	}
 	e.tables[st.Name] = t
+	e.plans.purge()
 	return &Result{}, nil
 }
 
@@ -332,15 +335,26 @@ func (e *Engine) execCreateIndex(st createIndexStmt) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
 	}
-	if _, exists := t.indexes[st.Col]; exists {
+	if ix, exists := t.indexes[st.Col]; exists {
+		if st.Ordered && !ix.ordered {
+			// Orderedness is a property the statement demands, not a second
+			// index: upgrade the existing hash index in place (even under IF
+			// NOT EXISTS) instead of refusing.
+			if err := t.addIndex(st.Col, true); err != nil {
+				return nil, err
+			}
+			e.plans.purge()
+			return &Result{}, nil
+		}
 		if st.IfNotExists {
 			return &Result{}, nil
 		}
 		return nil, fmt.Errorf("minisql: index on %s (%s) already exists", st.Table, st.Col)
 	}
-	if err := t.addIndex(st.Col); err != nil {
+	if err := t.addIndex(st.Col, st.Ordered); err != nil {
 		return nil, err
 	}
+	e.plans.purge()
 	return &Result{}, nil
 }
 
@@ -352,6 +366,7 @@ func (e *Engine) execDropTable(st dropTableStmt) (*Result, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Name)
 	}
 	delete(e.tables, st.Name)
+	e.plans.purge()
 	return &Result{}, nil
 }
 
@@ -484,6 +499,27 @@ func (e *Engine) planCandidates(t *table, where expr, args []Value) []int64 {
 	return nil
 }
 
+// eqCardinality estimates, without materializing candidates, how many rows a
+// top-level `col = const` conjunct on a hash-indexed column pins the result
+// to. bounded is false when no such conjunct exists (the result could be the
+// whole table).
+func (e *Engine) eqCardinality(t *table, where expr, args []Value) (est int, bounded bool) {
+	for _, c := range flattenAnd(where) {
+		ex, ok := c.(*binExpr)
+		if !ok || ex.Op != "=" {
+			continue
+		}
+		col, val, ok := eqSides(t, ex, args)
+		if !ok {
+			continue
+		}
+		if ix := t.indexes[col]; ix != nil {
+			return len(ix.m[val.key()]), true
+		}
+	}
+	return 0, false
+}
+
 func dedupeIDs(ids []int64) []int64 {
 	out := ids[:0]
 	var last int64 = -1
@@ -538,9 +574,19 @@ func (e *Engine) execSelect(st selectStmt, args []Value) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
 	}
-	ids, err := e.matchIDs(t, st.Where, args)
+
+	// Ordered top-n fast path: ORDER BY an ordered-indexed column with a
+	// LIMIT reads the index in key order and stops at n matches, replacing
+	// the scan-everything-then-sort pipeline below.
+	ids, fromIndex, err := e.orderedTopN(t, st, args)
 	if err != nil {
 		return nil, err
+	}
+	if !fromIndex {
+		ids, err = e.matchIDs(t, st.Where, args)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Aggregate query?
@@ -567,58 +613,192 @@ func (e *Engine) execSelect(st selectStmt, args []Value) (*Result, error) {
 		pos = append(pos, ci)
 	}
 
-	// ORDER BY.
-	if len(st.OrderBy) > 0 {
-		keyPos := make([]int, len(st.OrderBy))
-		for i, k := range st.OrderBy {
-			ci, ok := t.colIdx[k.Col]
-			if !ok {
-				return nil, fmt.Errorf("minisql: no column %q in table %q", k.Col, st.Table)
+	// ORDER BY and LIMIT — already applied when the ids came off the index.
+	if !fromIndex {
+		if len(st.OrderBy) > 0 {
+			keyPos := make([]int, len(st.OrderBy))
+			for i, k := range st.OrderBy {
+				ci, ok := t.colIdx[k.Col]
+				if !ok {
+					return nil, fmt.Errorf("minisql: no column %q in table %q", k.Col, st.Table)
+				}
+				keyPos[i] = ci
 			}
-			keyPos[i] = ci
+			sort.SliceStable(ids, func(a, b int) bool {
+				ra, rb := t.rows[ids[a]], t.rows[ids[b]]
+				for i, kp := range keyPos {
+					c := ra[kp].Compare(rb[kp])
+					if c == 0 {
+						continue
+					}
+					if st.OrderBy[i].Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+				return false
+			})
 		}
-		sort.SliceStable(ids, func(a, b int) bool {
-			ra, rb := t.rows[ids[a]], t.rows[ids[b]]
-			for i, kp := range keyPos {
-				c := ra[kp].Compare(rb[kp])
-				if c == 0 {
-					continue
-				}
-				if st.OrderBy[i].Desc {
-					return c > 0
-				}
-				return c < 0
+		if st.Limit != nil {
+			ev := &evalCtx{tbl: t, args: args}
+			lv, err := st.Limit.eval(ev)
+			if err != nil {
+				return nil, err
 			}
-			return false
-		})
+			n := int(lv.AsInt())
+			if n < 0 {
+				n = 0
+			}
+			if n < len(ids) {
+				ids = ids[:n]
+			}
+		}
 	}
 
-	// LIMIT.
-	if st.Limit != nil {
-		ev := &evalCtx{tbl: t, args: args}
-		lv, err := st.Limit.eval(ev)
-		if err != nil {
-			return nil, err
-		}
-		n := int(lv.AsInt())
-		if n < 0 {
-			n = 0
-		}
-		if n < len(ids) {
-			ids = ids[:n]
-		}
-	}
-
-	res := &Result{Columns: names, Rows: make([][]Value, 0, len(ids))}
-	for _, id := range ids {
+	// One flat backing array for all result rows: the per-row []Value
+	// allocation is the dominant allocator in queue-pop result sets.
+	res := &Result{Columns: names, Rows: make([][]Value, len(ids))}
+	flat := make([]Value, len(ids)*len(pos))
+	for k, id := range ids {
 		row := t.rows[id]
-		out := make([]Value, len(pos))
+		out := flat[k*len(pos) : (k+1)*len(pos) : (k+1)*len(pos)]
 		for i, p := range pos {
 			out[i] = row[p]
 		}
-		res.Rows = append(res.Rows, out)
+		res.Rows[k] = out
 	}
 	return res, nil
+}
+
+// orderedTopN serves SELECT ... [WHERE ...] ORDER BY k1 [DESC] [, k2 ...]
+// LIMIT n off the ordered index on k1, when one exists: rows are visited in
+// k1 order (runs of equal k1 sub-sorted by the remaining keys) and the scan
+// stops as soon as n rows matched the WHERE clause. fromIndex is false when
+// the query shape or schema rules the path out and the caller must fall back
+// to scan-and-sort. The trade: a highly selective WHERE over a huge table
+// pays an index scan proportional to the rows *visited*, not matched — the
+// EMEWS queue pops (filter by work_type, order by priority) match most of
+// what they visit, which is exactly the shape this path is for.
+func (e *Engine) orderedTopN(t *table, st selectStmt, args []Value) (ids []int64, fromIndex bool, err error) {
+	if len(st.OrderBy) == 0 || st.Limit == nil {
+		return nil, false, nil
+	}
+	if len(st.Cols) > 0 && st.Cols[0].Agg != "" {
+		return nil, false, nil
+	}
+	ix := t.indexes[st.OrderBy[0].Col]
+	if ix == nil || !ix.ordered {
+		return nil, false, nil
+	}
+	rest := st.OrderBy[1:]
+	restPos := make([]int, len(rest))
+	for i, k := range rest {
+		ci, ok := t.colIdx[k.Col]
+		if !ok {
+			return nil, false, fmt.Errorf("minisql: no column %q in table %q", k.Col, st.Table)
+		}
+		restPos[i] = ci
+	}
+	ev := &evalCtx{tbl: t, args: args}
+	lv, err := st.Limit.eval(ev)
+	if err != nil {
+		return nil, false, err
+	}
+	n := int(lv.AsInt())
+	if n <= 0 {
+		return []int64{}, true, nil
+	}
+	// When an equality conjunct pins the result to a small hash-indexed
+	// candidate set, sorting those few candidates beats walking the ordered
+	// index past every non-matching row — leave the query to the fallback.
+	if est, bounded := e.eqCardinality(t, st.Where, args); bounded && est <= 4*n+16 {
+		return nil, false, nil
+	}
+
+	sorted := ix.sorted
+	desc := st.OrderBy[0].Desc
+	var group []int64
+	cmpRest := func(a, b int64) int {
+		ra, rb := t.rows[a], t.rows[b]
+		for i, kp := range restPos {
+			c := ra[kp].Compare(rb[kp])
+			if c == 0 {
+				continue
+			}
+			if rest[i].Desc {
+				return -c
+			}
+			return c
+		}
+		return 0
+	}
+	// flushRun filters one run of equal first-key values (ascending rowid, i.e.
+	// deterministic insertion-id order) through the WHERE clause and appends
+	// it in remaining-key order; a stable sort keeps full ties in rowid order,
+	// matching the fallback path's stable full sort. Queue pops usually find
+	// the run already in remaining-key order (task ids ascend with rowids), so
+	// an O(len) orderedness pre-pass skips the sort outright.
+	flushRun := func(run []ordEntry) error {
+		group = group[:0]
+		for _, ent := range run {
+			if st.Where != nil {
+				ev.row = t.rows[ent.id]
+				v, err := st.Where.eval(ev)
+				if err != nil {
+					return err
+				}
+				if !truthy(v) {
+					continue
+				}
+			}
+			group = append(group, ent.id)
+		}
+		if len(restPos) > 0 && len(group) > 1 {
+			inOrder := true
+			for k := 1; k < len(group); k++ {
+				if cmpRest(group[k-1], group[k]) > 0 {
+					inOrder = false
+					break
+				}
+			}
+			if !inOrder {
+				sort.SliceStable(group, func(a, b int) bool { return cmpRest(group[a], group[b]) < 0 })
+			}
+		}
+		ids = append(ids, group...)
+		return nil
+	}
+
+	if desc {
+		for i := len(sorted) - 1; i >= 0 && len(ids) < n; {
+			j := i
+			for j >= 0 && sorted[j].v.Compare(sorted[i].v) == 0 {
+				j--
+			}
+			if err := flushRun(sorted[j+1 : i+1]); err != nil {
+				return nil, false, err
+			}
+			i = j
+		}
+	} else {
+		for i := 0; i < len(sorted) && len(ids) < n; {
+			j := i
+			for j < len(sorted) && sorted[j].v.Compare(sorted[i].v) == 0 {
+				j++
+			}
+			if err := flushRun(sorted[i:j]); err != nil {
+				return nil, false, err
+			}
+			i = j
+		}
+	}
+	if len(ids) > n {
+		ids = ids[:n]
+	}
+	if ids == nil {
+		ids = []int64{}
+	}
+	return ids, true, nil
 }
 
 func (e *Engine) execAggregate(t *table, st selectStmt, ids []int64) (*Result, error) {

@@ -25,7 +25,7 @@ type token struct {
 }
 
 var keywords = map[string]bool{
-	"CREATE": true, "TABLE": true, "INDEX": true, "ON": true, "IF": true,
+	"CREATE": true, "TABLE": true, "INDEX": true, "ORDERED": true, "ON": true, "IF": true,
 	"NOT": true, "EXISTS": true, "PRIMARY": true, "KEY": true,
 	"AUTOINCREMENT": true, "INTEGER": true, "REAL": true, "TEXT": true,
 	"INSERT": true, "INTO": true, "VALUES": true,

@@ -126,8 +126,14 @@ func (p *parser) statement() (any, error) {
 
 func (p *parser) createStmt() (any, error) {
 	p.pos++ // CREATE
+	if p.acceptKeyword("ORDERED") {
+		if err := p.expectKeyword("INDEX"); err != nil {
+			return nil, err
+		}
+		return p.createIndex(true)
+	}
 	if p.acceptKeyword("INDEX") {
-		return p.createIndex()
+		return p.createIndex(false)
 	}
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
@@ -208,8 +214,8 @@ func (p *parser) columnDef() (ColumnDef, error) {
 	}
 }
 
-func (p *parser) createIndex() (any, error) {
-	st := createIndexStmt{}
+func (p *parser) createIndex(ordered bool) (any, error) {
+	st := createIndexStmt{Ordered: ordered}
 	if p.acceptKeyword("IF") {
 		if err := p.expectKeyword("NOT"); err != nil {
 			return nil, err

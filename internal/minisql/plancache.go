@@ -1,0 +1,106 @@
+package minisql
+
+import (
+	"container/list"
+	"sync"
+)
+
+// planCacheSize bounds the number of parsed statements kept per engine. The
+// EMEWS hot paths cycle through a few dozen distinct statement texts (the
+// IN-clause variants of the batched pops add one text per batch width), so
+// 512 leaves generous headroom while keeping a pathological ad-hoc workload
+// from holding every statement it ever saw.
+const planCacheSize = 512
+
+// plan is one cached parse result: the immutable statement AST plus its
+// positional-parameter count. The AST is shared by every execution of the
+// same SQL text — execution never mutates it (column binding happens at exec
+// time against the live table), which is what makes the share safe.
+type plan struct {
+	stmt    any
+	nparams int
+}
+
+// planCache is an LRU of parsed statements keyed by exact SQL text. It has
+// its own lock so Exec callers can hit the cache before taking the engine
+// lock; the engine only calls purge (DDL, Restore) while holding its lock,
+// and the lock order engine→cache is never reversed.
+type planCache struct {
+	mu  sync.Mutex
+	ent map[string]*list.Element
+	lru *list.List // front = most recently used; values are *planNode
+}
+
+type planNode struct {
+	sql string
+	p   plan
+}
+
+func newPlanCache() *planCache {
+	return &planCache{ent: make(map[string]*list.Element), lru: list.New()}
+}
+
+// get returns the cached plan for sql, if any.
+func (c *planCache) get(sql string) (plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.ent[sql]
+	if !ok {
+		return plan{}, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*planNode).p, true
+}
+
+// put stores a parse result, evicting the least recently used entry at
+// capacity.
+func (c *planCache) put(sql string, p plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.ent[sql]; ok {
+		el.Value.(*planNode).p = p
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.ent[sql] = c.lru.PushFront(&planNode{sql: sql, p: p})
+	if c.lru.Len() > planCacheSize {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.ent, last.Value.(*planNode).sql)
+	}
+}
+
+// purge evicts everything. Called on DDL (CREATE/DROP TABLE, CREATE INDEX)
+// and snapshot Restore: parsed ASTs are schema-independent today, but a plan
+// that outlives the schema it was first executed against is a standing
+// invitation for stale-binding bugs the moment plans grow binding state, so
+// the cache is invalidated wholesale at every schema boundary.
+func (c *planCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ent = make(map[string]*list.Element)
+	c.lru.Init()
+}
+
+// len reports the number of cached plans (tests).
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// cachedParse is parse through the engine's plan cache: each distinct SQL
+// text is lexed and parsed once and the immutable AST reused, which removes
+// the parser from every hot path (submit, pop, report re-execute the same
+// handful of statements forever).
+func (e *Engine) cachedParse(sql string) (any, int, error) {
+	if p, ok := e.plans.get(sql); ok {
+		return p.stmt, p.nparams, nil
+	}
+	stmt, nparams, err := parse(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	e.plans.put(sql, plan{stmt: stmt, nparams: nparams})
+	return stmt, nparams, nil
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // snapshot wire format. Only exported types cross the gob boundary.
@@ -21,6 +22,10 @@ type snapTable struct {
 	Rows    [][]snapValue
 	NextKey int64
 	Indexes []string
+	// Ordered lists the columns whose index carries the sorted side. A
+	// pre-ordered-index snapshot decodes with Ordered nil and restores plain
+	// hash indexes — correct, just without the top-n fast path.
+	Ordered []string
 }
 
 type snapDB struct {
@@ -49,7 +54,16 @@ func (e *Engine) SnapshotWith(w io.Writer, observe func()) error {
 	}
 	var s snapDB
 	s.Version = 1
-	for _, t := range e.tables {
+	// Tables and index lists serialize in sorted order so two engines in the
+	// same logical state produce byte-identical snapshots — the property the
+	// replication tests compare leader and replayed-follower state by.
+	names := make([]string, 0, len(e.tables))
+	for name := range e.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := e.tables[name]
 		st := snapTable{Name: t.name, Cols: t.cols, NextKey: t.nextKey}
 		for _, id := range t.scanIDs() {
 			row := t.rows[id]
@@ -59,9 +73,15 @@ func (e *Engine) SnapshotWith(w io.Writer, observe func()) error {
 			}
 			st.Rows = append(st.Rows, sr)
 		}
-		for col := range t.indexes {
-			st.Indexes = append(st.Indexes, col)
+		for col, ix := range t.indexes {
+			if ix.ordered {
+				st.Ordered = append(st.Ordered, col)
+			} else {
+				st.Indexes = append(st.Indexes, col)
+			}
 		}
+		sort.Strings(st.Indexes)
+		sort.Strings(st.Ordered)
 		s.Tables = append(s.Tables, st)
 	}
 	if err := gob.NewEncoder(w).Encode(&s); err != nil {
@@ -91,7 +111,12 @@ func (e *Engine) Restore(r io.Reader) error {
 		}
 		t.nextKey = st.NextKey
 		for _, col := range st.Indexes {
-			if err := t.addIndex(col); err != nil {
+			if err := t.addIndex(col, false); err != nil {
+				return err
+			}
+		}
+		for _, col := range st.Ordered {
+			if err := t.addIndex(col, true); err != nil {
 				return err
 			}
 		}
@@ -110,5 +135,8 @@ func (e *Engine) Restore(r io.Reader) error {
 		return ErrInTx
 	}
 	e.tables = tables
+	// The restore is a wholesale schema replacement; stale plans must not
+	// survive it any more than they survive a DDL statement.
+	e.plans.purge()
 	return nil
 }

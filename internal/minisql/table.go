@@ -22,10 +22,36 @@ type table struct {
 	indexes map[string]*hashIndex // keyed by column name
 }
 
-// hashIndex maps a column value key to the rowids holding that value.
+// hashIndex maps a column value key to the rowids holding that value. An
+// ordered index additionally maintains a sorted (value, rowid) slice, giving
+// ORDER BY <col> ... LIMIT n queries the top-n directly: equality lookups
+// stay O(1) on the hash side, ordered scans read the sorted side in place of
+// the full-table scan-and-sort.
 type hashIndex struct {
-	col int
-	m   map[string]map[int64]struct{}
+	col     int
+	m       map[string]map[int64]struct{}
+	ordered bool
+	sorted  []ordEntry // ascending by (value, rowid); nil unless ordered
+}
+
+// ordEntry is one element of an ordered index: a column value and the rowid
+// holding it, kept sorted ascending by value with rowid as the tiebreak so
+// equal-value runs enumerate in deterministic insertion-id order.
+type ordEntry struct {
+	v  Value
+	id int64
+}
+
+// ordSearch returns the position of (v, id) in the sorted slice — the insert
+// point when absent.
+func (ix *hashIndex) ordSearch(v Value, id int64) int {
+	return sort.Search(len(ix.sorted), func(i int) bool {
+		c := ix.sorted[i].v.Compare(v)
+		if c != 0 {
+			return c > 0
+		}
+		return ix.sorted[i].id >= id
+	})
 }
 
 func newTable(name string, cols []ColumnDef) (*table, error) {
@@ -61,23 +87,57 @@ func newTable(name string, cols []ColumnDef) (*table, error) {
 	return t, nil
 }
 
-func (t *table) addIndex(col string) error {
+func (t *table) addIndex(col string, ordered bool) error {
 	ci, ok := t.colIdx[col]
 	if !ok {
 		return fmt.Errorf("minisql: no column %q in table %q", col, t.name)
 	}
-	if _, exists := t.indexes[col]; exists {
+	if ix, exists := t.indexes[col]; exists {
+		if ordered && !ix.ordered {
+			// Upgrade in place: the hash side is already maintained, only the
+			// sorted side needs building.
+			ix.ordered = true
+			ix.buildSorted(t)
+		}
 		return nil
 	}
-	idx := &hashIndex{col: ci, m: make(map[string]map[int64]struct{})}
+	idx := &hashIndex{col: ci, m: make(map[string]map[int64]struct{}), ordered: ordered}
 	for id, row := range t.rows {
-		idx.add(row[ci], id)
+		idx.addHash(row[ci], id)
+	}
+	if ordered {
+		idx.buildSorted(t)
 	}
 	t.indexes[col] = idx
 	return nil
 }
 
+// buildSorted (re)derives the sorted side from the live rows.
+func (ix *hashIndex) buildSorted(t *table) {
+	ix.sorted = make([]ordEntry, 0, len(t.rows))
+	for id, row := range t.rows {
+		ix.sorted = append(ix.sorted, ordEntry{v: row[ix.col], id: id})
+	}
+	sort.Slice(ix.sorted, func(i, j int) bool {
+		c := ix.sorted[i].v.Compare(ix.sorted[j].v)
+		if c != 0 {
+			return c < 0
+		}
+		return ix.sorted[i].id < ix.sorted[j].id
+	})
+}
+
 func (ix *hashIndex) add(v Value, rowid int64) {
+	ix.addHash(v, rowid)
+	if ix.ordered {
+		i := ix.ordSearch(v, rowid)
+		ix.sorted = append(ix.sorted, ordEntry{})
+		copy(ix.sorted[i+1:], ix.sorted[i:])
+		ix.sorted[i] = ordEntry{v: v, id: rowid}
+	}
+}
+
+func (ix *hashIndex) addHash(v Value, rowid int64) {
 	k := v.key()
 	set := ix.m[k]
 	if set == nil {
@@ -93,6 +153,11 @@ func (ix *hashIndex) remove(v Value, rowid int64) {
 		delete(set, rowid)
 		if len(set) == 0 {
 			delete(ix.m, k)
+		}
+	}
+	if ix.ordered {
+		if i := ix.ordSearch(v, rowid); i < len(ix.sorted) && ix.sorted[i].id == rowid {
+			ix.sorted = append(ix.sorted[:i], ix.sorted[i+1:]...)
 		}
 	}
 }

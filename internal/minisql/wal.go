@@ -59,7 +59,7 @@ func (e *Engine) ApplyEntry(entry LogEntry) error {
 	e.inTx = true
 	e.undo = e.undo[:0]
 	for _, s := range entry.Stmts {
-		stmt, _, err := parse(s.SQL)
+		stmt, _, err := e.cachedParse(s.SQL)
 		if err != nil {
 			e.rollbackLocked()
 			e.inTx = false
@@ -115,11 +115,12 @@ type WAL struct {
 	entries []LogEntry
 	watch   chan struct{} // closed and replaced on every append
 
-	quorum int               // follower acks required per index (0 = async)
-	acks   map[string]uint64 // per-follower highest applied index
-	commit uint64            // quorum watermark (meaningful when quorum > 0)
-	waitCh chan struct{}     // closed and replaced when commit advances or the log seals
-	sealed error             // non-nil once Seal is called; fails all waits
+	quorum  int               // follower acks required per index (0 = async)
+	acks    map[string]uint64 // per-follower highest applied index
+	commit  uint64            // quorum watermark (meaningful when quorum > 0)
+	waitCh  chan struct{}     // closed and replaced when commit advances or the log seals
+	sealed  error             // non-nil once Seal is called; fails all waits
+	waiters int               // writers currently blocked in WaitCommitted
 }
 
 // NewWAL returns an empty log whose first entry will get index base+1.
@@ -263,6 +264,12 @@ func (w *WAL) WaitCommitted(idx uint64, timeout time.Duration) error {
 		w.mu.Unlock()
 		return nil
 	}
+	w.waiters++
+	defer func() {
+		w.mu.Lock()
+		w.waiters--
+		w.mu.Unlock()
+	}()
 	var timer *time.Timer
 	for {
 		if w.sealed != nil {
@@ -288,6 +295,17 @@ func (w *WAL) WaitCommitted(idx uint64, timeout time.Duration) error {
 		}
 		w.mu.Lock()
 	}
+}
+
+// QuorumWaiters reports how many writers are currently blocked in
+// WaitCommitted. It is the leader's group-commit concurrency signal: two or
+// more blocked writers mean the next flush is worth holding for the
+// coalescing deadline, because every write in the resulting batch completes
+// on one follower ack.
+func (w *WAL) QuorumWaiters() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.waiters
 }
 
 // Compact drops entries with index <= upTo, keeping memory bounded once all

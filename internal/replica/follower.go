@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"osprey/internal/minisql"
 )
 
 // runFollower is the follower's main loop: stream from the current leader
@@ -140,7 +142,15 @@ func (n *Node) followOnce(addr string, joined *bool, forceSnap bool) (redirect s
 			*joined = true
 			n.ack(enc, conn)
 		case frameEntry:
-			ok, err := n.applyEntryFrame(f)
+			ok, err := n.applyOne(f.Entry)
+			if err != nil {
+				return "", err
+			}
+			if ok {
+				n.ack(enc, conn)
+			}
+		case frameEntries:
+			ok, err := n.applyEntriesFrame(f)
 			if err != nil {
 				return "", err
 			}
@@ -185,24 +195,42 @@ func (n *Node) applySnapshot(f frame) error {
 	return nil
 }
 
-// applyEntryFrame replays one shipped entry; duplicates (replays after a
-// reconnect) are skipped, gaps force a re-join (and fresh snapshot).
-func (n *Node) applyEntryFrame(f frame) (applied bool, err error) {
+// applyOne replays one shipped entry; duplicates (replays after a reconnect)
+// are skipped, gaps force a re-join (and fresh snapshot).
+func (n *Node) applyOne(ent minisql.LogEntry) (applied bool, err error) {
 	n.mu.Lock()
 	cur := n.applied
 	n.mu.Unlock()
-	if f.Entry.Index <= cur {
+	if ent.Index <= cur {
 		return false, nil
 	}
-	if f.Entry.Index != cur+1 {
-		return false, fmt.Errorf("%w: have %d, got %d", errLogGap, cur, f.Entry.Index)
+	if ent.Index != cur+1 {
+		return false, fmt.Errorf("%w: have %d, got %d", errLogGap, cur, ent.Index)
 	}
-	if err := n.eng.ApplyEntry(f.Entry); err != nil {
+	if err := n.eng.ApplyEntry(ent); err != nil {
 		return false, fmt.Errorf("%w: %v", errApply, err)
 	}
-	n.setApplied(f.Entry.Index)
+	n.setApplied(ent.Index)
 	n.db.Wake()
 	return true, nil
+}
+
+// applyEntriesFrame replays one group-committed batch in order. Each entry
+// advances the applied index individually, so a crash mid-batch re-joins
+// from exactly the last applied entry and the leader re-ships the rest; the
+// single ack the caller sends afterwards carries the batch high-water mark,
+// advancing the leader's quorum watermark for every entry at once.
+func (n *Node) applyEntriesFrame(f frame) (applied bool, err error) {
+	for _, ent := range f.Entries {
+		ok, err := n.applyOne(ent)
+		if err != nil {
+			return applied, err
+		}
+		if ok {
+			applied = true
+		}
+	}
+	return applied, nil
 }
 
 // adoptView ingests the leader's term, membership and identity from a

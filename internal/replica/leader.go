@@ -183,9 +183,16 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 	n.streamTo(fol, w, startIdx)
 }
 
+// maxBatchEntries caps one frameEntries frame so a deeply lagged follower
+// catches up in bounded frames instead of one giant allocation.
+const maxBatchEntries = 256
+
 // streamTo ships WAL entries to one follower, interleaving heartbeats when
-// the log is idle. Returns when the connection breaks, the node closes, or
-// leadership is lost.
+// the log is idle. Entries are group-committed: everything pending ships in
+// one batched frame, which the follower acks once at its high-water mark —
+// under concurrent write load N replication round trips collapse to ~1.
+// Returns when the connection breaks, the node closes, or leadership is
+// lost.
 func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
 	pos := from
 	beat := time.NewTicker(n.cfg.Heartbeat)
@@ -203,14 +210,20 @@ func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
 			n.logf("follower %s lagged past compaction at %d", fol.peer.ID, pos)
 			return
 		}
-		for _, ent := range entries {
-			fol.conn.SetWriteDeadline(time.Now().Add(2 * n.cfg.ElectionTimeout))
-			if err := gobSend(fol, frame{Type: frameEntry, Term: n.Term(), Entry: ent}); err != nil {
-				return
-			}
-			pos = ent.Index
-		}
 		if len(entries) > 0 {
+			term := n.Term()
+			for start := 0; start < len(entries); start += maxBatchEntries {
+				end := start + maxBatchEntries
+				if end > len(entries) {
+					end = len(entries)
+				}
+				batch := entries[start:end]
+				fol.conn.SetWriteDeadline(time.Now().Add(2 * n.cfg.ElectionTimeout))
+				if err := gobSend(fol, frame{Type: frameEntries, Term: term, Entries: batch}); err != nil {
+					return
+				}
+				pos = batch[len(batch)-1].Index
+			}
 			continue
 		}
 		sendBeat := false
@@ -218,6 +231,16 @@ func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
 		case <-n.closeCh:
 			return
 		case <-watch:
+			// Group commit: two or more writers blocked in quorum waits mean
+			// more commits are landing right now, so hold this flush for the
+			// group-commit deadline and ship them — and quorum-ack them — as
+			// one frame. A single (serial) writer never waits: its entry
+			// flushes immediately.
+			if n.cfg.GroupCommitDelay > 0 && w.QuorumWaiters() > 1 {
+				if !n.sleep(n.cfg.GroupCommitDelay) {
+					return
+				}
+			}
 		case <-n.peersWatch():
 			sendBeat = true // membership changed: broadcast it immediately
 		case <-beat.C:

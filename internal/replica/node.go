@@ -94,6 +94,18 @@ type Config struct {
 	// stop consuming election backoff slots. 0 selects the default (20);
 	// negative disables decay.
 	PeerDecayTimeouts int
+	// GroupCommitDelay is the group-commit flush deadline. When two or more
+	// writers are blocked in quorum waits (WAL.QuorumWaiters > 1 — i.e.
+	// synchronous-replication mode under concurrent load), the leader holds
+	// the next flush this long so commits landing close together coalesce
+	// into one batched frame — and one follower ack covering them all. A
+	// single serial writer never pays the delay, so it bounds the *added*
+	// write latency under concurrency rather than taxing every write. In
+	// asynchronous mode (WriteQuorum 0) no one blocks, the delay never
+	// engages, and batching still happens naturally whenever entries
+	// accumulate while a frame is in flight. 0 selects the default (200µs);
+	// negative disables coalescing.
+	GroupCommitDelay time.Duration
 	// Logf, when set, receives replication lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -142,6 +154,9 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.PeerDecayTimeouts == 0 {
 		cfg.PeerDecayTimeouts = 20
+	}
+	if cfg.GroupCommitDelay == 0 {
+		cfg.GroupCommitDelay = 200 * time.Microsecond
 	}
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"

@@ -8,7 +8,6 @@
 package service
 
 import (
-	"encoding/json"
 	"time"
 
 	"osprey/internal/core"
@@ -133,12 +132,4 @@ type response struct {
 	Term      uint64   `json:"term,omitempty"`
 	Applied   uint64   `json:"applied,omitempty"`
 	PeerSvcs  []string `json:"peer_svcs,omitempty"`
-}
-
-func encode(v any) ([]byte, error) {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return nil, err
-	}
-	return append(b, '\n'), nil
 }

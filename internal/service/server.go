@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -119,24 +120,33 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-const maxLine = 64 << 20 // generous: payloads are JSON strings
+const maxLine = 64 << 20 // per-message bound; payloads are JSON strings
 
+// handle serves one connection with a single reused JSON decoder/encoder
+// pair over buffered I/O: the per-request Unmarshal/Marshal allocations and
+// the unbuffered per-response write syscall were measurable on the submit
+// hot path. json.Encoder terminates every value with '\n', so the wire
+// format stays newline-delimited JSON. A malformed request now closes the
+// connection (the stream position is unknowable after a decode error)
+// instead of answering per line. The LimitedReader is topped up before each
+// decode, preserving the old line scanner's property that one request can
+// never buffer more than maxLine bytes.
 func (s *Server) handle(conn net.Conn) {
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 64<<10), maxLine)
-	for scanner.Scan() {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	lr := &io.LimitedReader{R: bufio.NewReaderSize(conn, 64<<10)}
+	dec := json.NewDecoder(lr)
+	enc := json.NewEncoder(bw)
+	for {
+		lr.N = maxLine
 		var req request
-		resp := response{OK: true}
-		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
-			resp = response{Error: "bad request: " + err.Error()}
-		} else {
-			resp = s.dispatch(req)
+		if err := dec.Decode(&req); err != nil {
+			return
 		}
-		out, err := encode(resp)
-		if err != nil {
-			out, _ = encode(response{Error: "encode: " + err.Error()})
+		resp := s.dispatch(req)
+		if err := enc.Encode(&resp); err != nil {
+			return
 		}
-		if _, err := conn.Write(out); err != nil {
+		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
@@ -173,18 +183,23 @@ func (s *Server) dispatch(req request) response {
 	// cannot catch up within the client's wait bound answers transiently so
 	// the client falls back to a fresher replica or the leader — the
 	// staleness bound that makes follower reads safe to load-balance.
-	var readToken uint64
-	if s.node != nil && !writeOps[req.Op] {
-		if req.Token > 0 {
-			if err := s.node.WaitApplied(req.Token, ms(req.WaitMS)); err != nil {
-				return response{Error: "service: " + err.Error(), Transient: true}
-			}
+	isRead := s.node != nil && !writeOps[req.Op]
+	if isRead && req.Token > 0 {
+		if err := s.node.WaitApplied(req.Token, ms(req.WaitMS)); err != nil {
+			return response{Error: "service: " + err.Error(), Transient: true}
 		}
-		// Captured before the read executes, so the token never overstates
-		// what the read observed.
-		readToken = s.node.Applied()
 	}
 	resp := s.exec(req)
+	// The read token is captured AFTER the read executes: it may overstate
+	// what the read observed (an entry applied mid-read), which only makes a
+	// later token-bounded read wait longer. Capturing before would
+	// understate, letting a session observe state its token does not cover —
+	// a later read on a lagging follower could then un-see it, breaking the
+	// monotonic-reads promise.
+	var readToken uint64
+	if isRead {
+		readToken = s.node.Applied()
+	}
 	// In synchronous-replication mode a write is only confirmed once
 	// WriteQuorum followers have applied it; a demoted or partitioned
 	// leader answers with a transient error so DialCluster re-resolves the
@@ -449,7 +464,10 @@ func ms(v int64) time.Duration { return time.Duration(v) * time.Millisecond }
 type Client struct {
 	mu        sync.Mutex
 	conn      net.Conn
-	rd        *bufio.Scanner
+	bw        *bufio.Writer
+	enc       *json.Encoder     // writes into bw; one per connection
+	lim       *io.LimitedReader // per-response size bound, topped up per read
+	dec       *json.Decoder     // reads the response stream; one per connection
 	addr      string
 	lastToken uint64 // highest commit token seen in any response
 }
@@ -471,9 +489,16 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: dial %s: %w: %w", addr, ErrConn, err)
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64<<10), maxLine)
-	return &Client{conn: conn, rd: sc, addr: addr}, nil
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	lim := &io.LimitedReader{R: bufio.NewReaderSize(conn, 64<<10)}
+	return &Client{
+		conn: conn,
+		bw:   bw,
+		enc:  json.NewEncoder(bw),
+		lim:  lim,
+		dec:  json.NewDecoder(lim),
+		addr: addr,
+	}, nil
 }
 
 // Close closes the connection.
@@ -492,27 +517,24 @@ func (c *Client) Ping() error {
 func (c *Client) roundTrip(req request, timeout time.Duration) (response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out, err := encode(req)
-	if err != nil {
-		return response{}, err
-	}
 	// Allow the server-side poll to finish before the read deadline.
 	deadline := time.Now().Add(timeout + 10*time.Second)
 	if err := c.conn.SetDeadline(deadline); err != nil {
 		return response{}, fmt.Errorf("service: deadline: %w: %w", ErrConn, err)
 	}
-	if _, err := c.conn.Write(out); err != nil {
+	if err := c.enc.Encode(&req); err != nil {
 		return response{}, fmt.Errorf("service: write: %w: %w", ErrConn, err)
 	}
-	if !c.rd.Scan() {
-		if err := c.rd.Err(); err != nil {
-			return response{}, fmt.Errorf("service: read: %w: %w", ErrConn, err)
-		}
-		return response{}, fmt.Errorf("service: connection closed: %w", ErrConn)
+	if err := c.bw.Flush(); err != nil {
+		return response{}, fmt.Errorf("service: write: %w: %w", ErrConn, err)
 	}
+	c.lim.N = maxLine
 	var resp response
-	if err := json.Unmarshal(c.rd.Bytes(), &resp); err != nil {
-		return response{}, fmt.Errorf("service: bad response: %w", err)
+	if err := c.dec.Decode(&resp); err != nil {
+		// Any decode failure poisons the stream (the position within a
+		// half-read value is unknowable), so surface it as a connection
+		// error and let failover clients redial.
+		return response{}, fmt.Errorf("service: read: %w: %w", ErrConn, err)
 	}
 	if resp.Token > c.lastToken {
 		c.lastToken = resp.Token
