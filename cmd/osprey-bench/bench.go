@@ -14,10 +14,12 @@ import (
 
 // keyBenchmarks are the hot-path benchmarks the BENCH_*.json trajectory
 // tracks: one per optimized layer (core submit/pop cycle, minisql ordered
-// index, replica quorum shipping, service follower reads).
+// index, replica quorum shipping, service follower reads), plus the
+// logged-vs-unlogged pop pair guarding the Session redesign's claim that
+// commit tokens on pops stay under ~10% overhead.
 const keyBenchmarks = "^(BenchmarkSubmitTask|BenchmarkSubmitQueryReportCycle|" +
 	"BenchmarkPopResultsBatch50|BenchmarkQuorumSubmit|BenchmarkFollowerRead|" +
-	"BenchmarkMinisqlIndexedSelect)$"
+	"BenchmarkMinisqlIndexedSelect|BenchmarkPopTokenOverhead)$"
 
 // benchResult is one benchmark's measurements as recorded in BENCH_*.json.
 type benchResult struct {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -47,16 +48,16 @@ func main() {
 		if *payload == "" {
 			log.Fatal("submit: -payload is required")
 		}
-		id, err := client.SubmitTask(*exp, *workType, *payload, core.WithPriority(*priority))
+		res, err := client.Submit(context.Background(), *exp, *workType, *payload, core.WithPriority(*priority))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(id)
+		fmt.Println(res.ID)
 	case "counts":
 		fs := flag.NewFlagSet("counts", flag.ExitOnError)
 		exp := fs.String("exp", "", "experiment id (empty = all)")
 		fs.Parse(args[1:])
-		counts, err := client.Counts(*exp)
+		counts, err := client.Counts(context.Background(), *exp)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,20 +69,22 @@ func main() {
 		task := fs.Int64("task", 0, "task id")
 		timeout := fs.Duration("timeout", 10*time.Second, "wait timeout")
 		fs.Parse(args[1:])
-		res, err := client.QueryResult(*task, 250*time.Millisecond, *timeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		res, err := client.QueryResult(ctx, *task)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(res)
+		fmt.Println(res.Result)
 	case "cancel":
 		fs := flag.NewFlagSet("cancel", flag.ExitOnError)
 		task := fs.Int64("task", 0, "task id")
 		fs.Parse(args[1:])
-		n, err := client.CancelTasks([]int64{*task})
+		res, err := client.CancelTasks(context.Background(), []int64{*task})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("canceled %d\n", n)
+		fmt.Printf("canceled %d\n", res.Count)
 	case "requeue":
 		fs := flag.NewFlagSet("requeue", flag.ExitOnError)
 		poolName := fs.String("pool", "", "crashed pool name")
@@ -89,11 +92,11 @@ func main() {
 		if *poolName == "" {
 			log.Fatal("requeue: -pool is required")
 		}
-		n, err := client.RequeueRunning(*poolName)
+		res, err := client.RequeueRunning(context.Background(), *poolName)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("requeued %d\n", n)
+		fmt.Printf("requeued %d\n", res.Count)
 	default:
 		log.Printf("unknown command %q", args[0])
 		os.Exit(2)

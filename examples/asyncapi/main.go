@@ -99,7 +99,7 @@ func main() {
 		res, _ := f.Result(time.Second)
 		fmt.Printf("  popped task %d -> %s\n", f.TaskID(), res)
 	}
-	counts, _ := db.Counts("tour")
+	counts, _ := db.Counts(context.Background(), "tour")
 	fmt.Printf("final counts: %d complete, %d canceled\n",
 		counts[osprey.StatusComplete], counts[osprey.StatusCanceled])
 }

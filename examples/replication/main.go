@@ -101,19 +101,28 @@ func main() {
 	// quorum write is acknowledged. With WriteQuorum: 1 the acknowledgement
 	// means a follower already applied the marker, so it cannot die with
 	// the leader — the loss window asynchronous replication leaves open.
+	// Each popped future carries its pop's commit token: session-consistent
+	// polling means a follower-served status read for that task can never
+	// show the pre-pop state.
 	collected := 0
 	for collected < total/2 {
-		if _, err := osprey.PopCompleted(&futures, 30*time.Second); err != nil {
+		f, err := osprey.PopCompleted(&futures, 30*time.Second)
+		if err != nil {
 			log.Fatal(err)
 		}
 		collected++
+		if collected == 1 {
+			fmt.Printf("first result popped: future token %d bounds every later read of task %d\n",
+				f.Token(), f.TaskID())
+		}
 	}
-	marker, err := me.SubmitTask("replicated", 2, "quorum-marker")
+	markerRes, err := me.Submit(context.Background(), "replicated", 2, "quorum-marker")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("collected %d/%d results; marker %d acknowledged under quorum — killing the leader now\n",
-		collected, total, marker)
+	marker := markerRes.ID
+	fmt.Printf("collected %d/%d results; marker %d acknowledged under quorum (token %d) — killing the leader now\n",
+		collected, total, marker, markerRes.Token)
 	killed := time.Now()
 	srv1.Close()
 	lead.Close()
@@ -137,14 +146,14 @@ func main() {
 	// served by a follower replica, held until the follower's applied index
 	// reaches the session's commit token, so it must observe the marker even
 	// though the node that acknowledged it is dead.
-	task, err := me.GetTask(marker)
+	task, err := me.GetTask(context.Background(), marker)
 	if err != nil {
 		log.Fatalf("quorum marker lost with the old leader: %v", err)
 	}
 	fmt.Printf("quorum marker task %d survived the kill (status %s, read served under session token %d)\n",
 		marker, task.Status, me.Token())
 
-	counts, err := me.Counts("replicated")
+	counts, err := me.Counts(context.Background(), "replicated")
 	if err != nil {
 		log.Fatal(err)
 	}

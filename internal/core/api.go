@@ -104,40 +104,13 @@ func WithDedupKey(key string) SubmitOption {
 // imposes no freshness bound.
 type Token = uint64
 
-// TokenAPI extends API with commit-token-returning variants of the mutating
-// operations. The in-process DB and the remote service client both implement
-// it; the service layer prefers it when present so every write's reply can
-// carry the write's own WAL index.
-type TokenAPI interface {
-	API
-
-	// SubmitTaskT is SubmitTask returning the write's commit token. A
-	// deduplicated re-submit (WithDedupKey hit) returns the engine's commit
-	// high-water mark, which covers the original insert.
-	SubmitTaskT(expID string, workType int, payload string, opts ...SubmitOption) (int64, Token, error)
-
-	// SubmitTasksT is SubmitTasks returning the batch's commit token, with
-	// optional per-payload dedup keys (nil, or one per payload; "" entries
-	// are not deduplicated). Payloads whose key already exists are skipped
-	// and report the original task id in their position.
-	SubmitTasksT(expID string, workType int, payloads []string, priorities []int, dedupKeys []string) ([]int64, Token, error)
-
-	// ReportTaskT is ReportTask returning the write's commit token.
-	ReportTaskT(taskID int64, workType int, result string) (Token, error)
-
-	// UpdatePrioritiesT is UpdatePriorities returning the commit token.
-	UpdatePrioritiesT(ids []int64, priorities []int) (int, Token, error)
-
-	// CancelTasksT is CancelTasks returning the commit token.
-	CancelTasksT(ids []int64) (int, Token, error)
-
-	// RequeueRunningT is RequeueRunning returning the commit token.
-	RequeueRunningT(pool string) (int, Token, error)
-}
-
-// API is the EMEWS DB task interface shared by the in-process database and
-// the remote EMEWS-service client, so ME algorithms and worker pools run
-// unchanged against either (paper §IV-C, §V-A).
+// API is the v1 EMEWS DB task interface: timeout-pair polling, no commit
+// tokens.
+//
+// Deprecated: new code should use Session, whose operations take a context
+// and return commit tokens (pops included). API remains for one release so
+// existing ME algorithms compile unchanged — wrap any Session with Compat to
+// obtain one, and wrap a legacy API backend with Lift to serve it.
 type API interface {
 	// SubmitTask inserts a task and pushes it onto the output queue,
 	// returning the new unique task id.

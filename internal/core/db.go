@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -41,10 +43,13 @@ var schema = []string{
 		work_type INTEGER,
 		priority INTEGER)`,
 	`CREATE INDEX IF NOT EXISTS eq_out_wt ON eq_out_q (work_type)`,
-	// The ordered index is what lets the pop's ORDER BY priority DESC ...
-	// LIMIT n read the top-n directly off a sorted structure instead of
-	// scanning and sorting the whole output queue on every poll.
-	`CREATE ORDERED INDEX IF NOT EXISTS eq_out_prio ON eq_out_q (priority)`,
+	// The composite ordered index serves the pop's exact ORDER BY
+	// (priority DESC, task_id ASC) ... LIMIT n directly off its sorted side.
+	// The second key column is what keeps the top-n scan bounded when every
+	// queued task shares one priority — the common uniform-priority workload
+	// previously degenerated into a single equal-key run the scan had to
+	// visit end to end.
+	`CREATE ORDERED INDEX IF NOT EXISTS eq_out_prio ON eq_out_q (priority, task_id)`,
 	`CREATE TABLE IF NOT EXISTS eq_in_q (
 		task_id INTEGER PRIMARY KEY,
 		work_type INTEGER)`,
@@ -56,6 +61,12 @@ var schema = []string{
 
 // DB is the in-process EMEWS task database. It is safe for concurrent use by
 // any number of ME algorithms and worker pools.
+//
+// DB implements Session directly: with a single local copy of the data every
+// read is trivially fresh, so the per-read consistency levels are accepted
+// and equivalent, and Token reports the engine's commit high-water mark —
+// a bound covering every write this process has made, valid to hand to
+// remote sessions reading through followers.
 type DB struct {
 	eng    *minisql.Engine
 	outN   *notifier // signaled when the output queue grows
@@ -63,7 +74,7 @@ type DB struct {
 	closed atomic.Bool
 }
 
-var _ TokenAPI = (*DB)(nil)
+var _ Session = (*DB)(nil)
 
 // NewDB creates an empty EMEWS task database with the standard schema.
 func NewDB() (*DB, error) {
@@ -120,7 +131,9 @@ func (db *DB) Restore(r io.Reader) error {
 // restore would silently drop later schema additions (canonically the
 // eq_out_prio ordered index, and with it the pop fast path). CREATE ... IF
 // NOT EXISTS no-ops on everything already present, and CREATE ORDERED INDEX
-// upgrades an existing plain index in place.
+// upgrades an existing plain index in place. A snapshot from the
+// single-column eq_out_prio era keeps its old (priority) index and gains the
+// composite one; both stay correct, the composite serves the pops.
 func migrateSchema(eng *minisql.Engine) error {
 	if err := migrateDedup(eng); err != nil {
 		return err
@@ -136,8 +149,9 @@ func migrateSchema(eng *minisql.Engine) error {
 // migrateDedup rebuilds eq_tasks for snapshots written before the dedup_key
 // column existed: a pre-upgrade eq_tasks comes back without the column and
 // every submit's INSERT would fail; the rebuild re-inserts the rows under
-// the current schema (dedup_key '', i.e. not deduplicable — exactly their
-// old semantics). Explicit task_ids keep the AUTOINCREMENT counter correct.
+// the current schema (an empty dedup_key, i.e. not deduplicable — exactly
+// their old semantics). Explicit task_ids keep the AUTOINCREMENT counter
+// correct.
 func migrateDedup(eng *minisql.Engine) error {
 	if _, err := eng.Exec("SELECT dedup_key FROM eq_tasks LIMIT 1"); err == nil {
 		return nil
@@ -193,11 +207,9 @@ func (db *DB) Wake() {
 
 func nowNano() int64 { return time.Now().UnixNano() }
 
-// SubmitTask implements API.
-func (db *DB) SubmitTask(expID string, workType int, payload string, opts ...SubmitOption) (int64, error) {
-	id, _, err := db.SubmitTaskT(expID, workType, payload, opts...)
-	return id, err
-}
+// Token implements Session: the engine's commit high-water mark, which
+// covers every write this database has committed or replayed.
+func (db *DB) Token() Token { return db.eng.LastLogged() }
 
 // ensureExp creates the experiment row on first reference.
 func ensureExp(tx *minisql.Tx, expID string) error {
@@ -216,7 +228,7 @@ func ensureExp(tx *minisql.Tx, expID string) error {
 }
 
 // dedupLookup returns the id of the existing task carrying key, if any. Keys
-// are only ever checked when non-empty, so the unkeyed rows (dedup_key '')
+// are only ever checked when non-empty, so the unkeyed (empty-string) rows
 // never match.
 func dedupLookup(tx *minisql.Tx, key string) (int64, bool, error) {
 	res, err := tx.Exec("SELECT task_id FROM eq_tasks WHERE dedup_key = ?", key)
@@ -249,14 +261,16 @@ func insertTask(tx *minisql.Tx, expID string, workType int, payload string, prio
 	return id, nil
 }
 
-// SubmitTaskT implements TokenAPI. With a dedup key, a re-submit whose key
-// already exists inserts nothing and returns the original task id; its token
-// is the engine's commit high-water mark, which is ≥ the original insert's
-// entry — so waiting on it (for quorum or freshness) still covers the
-// original write.
-func (db *DB) SubmitTaskT(expID string, workType int, payload string, opts ...SubmitOption) (int64, Token, error) {
+// Submit implements Session. With a dedup key, a re-submit whose key already
+// exists inserts nothing and returns the original task id; its token is the
+// engine's commit high-water mark, which is ≥ the original insert's entry —
+// so waiting on it (for quorum or freshness) still covers the original write.
+func (db *DB) Submit(ctx context.Context, expID string, workType int, payload string, opts ...SubmitOption) (SubmitRes, error) {
 	if db.closed.Load() {
-		return 0, 0, ErrClosed
+		return SubmitRes{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return SubmitRes{}, ctxErr(ctx)
 	}
 	var o SubmitOptions
 	for _, opt := range opts {
@@ -293,35 +307,32 @@ func (db *DB) SubmitTaskT(expID string, workType int, payload string, opts ...Su
 		return nil
 	})
 	if err != nil {
-		return 0, 0, err
+		return SubmitRes{}, err
 	}
 	if dup {
-		return taskID, db.eng.LastLogged(), nil
+		return SubmitRes{ID: taskID, Token: db.eng.LastLogged()}, nil
 	}
 	db.outN.notify()
-	return taskID, tok, nil
+	return SubmitRes{ID: taskID, Token: tok}, nil
 }
 
-// SubmitTasks implements API.
-func (db *DB) SubmitTasks(expID string, workType int, payloads []string, priorities []int) ([]int64, error) {
-	ids, _, err := db.SubmitTasksT(expID, workType, payloads, priorities, nil)
-	return ids, err
-}
-
-// SubmitTasksT implements TokenAPI.
-func (db *DB) SubmitTasksT(expID string, workType int, payloads []string, priorities []int, dedupKeys []string) ([]int64, Token, error) {
+// SubmitBatch implements Session.
+func (db *DB) SubmitBatch(ctx context.Context, expID string, workType int, payloads []string, priorities []int, dedupKeys []string) (BatchRes, error) {
 	if db.closed.Load() {
-		return nil, 0, ErrClosed
+		return BatchRes{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return BatchRes{}, ctxErr(ctx)
 	}
 	if len(payloads) == 0 {
-		return nil, 0, nil
+		return BatchRes{}, nil
 	}
 	if len(priorities) > 1 && len(priorities) != len(payloads) {
-		return nil, 0, fmt.Errorf("eqsql: SubmitTasks needs 0, 1, or %d priorities, got %d",
+		return BatchRes{}, fmt.Errorf("eqsql: SubmitBatch needs 0, 1, or %d priorities, got %d",
 			len(payloads), len(priorities))
 	}
 	if len(dedupKeys) > 0 && len(dedupKeys) != len(payloads) {
-		return nil, 0, fmt.Errorf("eqsql: SubmitTasks needs 0 or %d dedup keys, got %d",
+		return BatchRes{}, fmt.Errorf("eqsql: SubmitBatch needs 0 or %d dedup keys, got %d",
 			len(payloads), len(dedupKeys))
 	}
 	prioOf := func(i int) int {
@@ -370,66 +381,99 @@ func (db *DB) SubmitTasksT(expID string, workType int, payloads []string, priori
 		return nil
 	})
 	if err != nil {
-		return nil, 0, err
+		return BatchRes{}, err
 	}
 	if !inserted {
 		// Every payload deduplicated: nothing new was logged, but the
 		// high-water mark covers all the original inserts.
-		return ids, db.eng.LastLogged(), nil
+		return BatchRes{IDs: ids, Token: db.eng.LastLogged()}, nil
 	}
 	db.outN.notify()
-	return ids, tok, nil
+	return BatchRes{IDs: ids, Token: tok}, nil
 }
 
-// QueryTasks implements API. The pop is atomic: selected queue rows are
+// QueryTasks implements Session. The pop is atomic: selected queue rows are
 // deleted and the corresponding tasks marked running in one transaction, so
-// two pools can never obtain the same task.
-func (db *DB) QueryTasks(workType, n int, pool string, delay, timeout time.Duration) ([]Task, error) {
+// two pools can never obtain the same task. The deadline comes from ctx;
+// even an already-expired context gets one immediate attempt, so a ready
+// task pops with a zero timeout exactly as in v1.
+func (db *DB) QueryTasks(ctx context.Context, workType, n int, pool string) (TasksRes, error) {
 	if n <= 0 {
-		return nil, fmt.Errorf("eqsql: QueryTasks n must be positive, got %d", n)
+		return TasksRes{}, fmt.Errorf("eqsql: QueryTasks n must be positive, got %d", n)
 	}
-	deadline := time.NewTimer(timeout)
-	defer deadline.Stop()
 	for {
 		if db.closed.Load() {
-			return nil, ErrClosed
+			return TasksRes{}, ErrClosed
+		}
+		// An explicit cancellation aborts before the pop mutates the queues;
+		// only a deadline expiry earns the one-shot immediate attempt.
+		if err := ctx.Err(); errors.Is(err, context.Canceled) {
+			return TasksRes{}, err
 		}
 		wake := db.outN.wait()
-		tasks, err := db.tryPopTasks(workType, n, pool)
+		tasks, tok, err := db.tryPopTasks(workType, n, pool)
 		if err != nil {
-			return nil, err
+			return TasksRes{}, err
 		}
 		if len(tasks) > 0 {
-			return tasks, nil
+			return TasksRes{Tasks: tasks, Token: tok}, nil
 		}
-		if !sleepUntil(wake, delay, deadline) {
-			return nil, ErrTimeout
+		if err := pollWait(ctx, wake); err != nil {
+			return TasksRes{}, err
 		}
 	}
 }
 
-// sleepUntil blocks until wake fires, delay elapses, or the deadline timer
-// fires; it reports false when the deadline fired.
-func sleepUntil(wake <-chan struct{}, delay time.Duration, deadline *time.Timer) bool {
-	recheck := time.NewTimer(delay)
+// pollWait blocks until wake fires, DefaultPollDelay elapses (the missed-
+// notification recheck bound), or ctx finishes — reporting ErrTimeout on a
+// deadline expiry and the cancellation cause otherwise.
+func pollWait(ctx context.Context, wake <-chan struct{}) error {
+	if err := ctx.Err(); err != nil {
+		return ctxErr(ctx)
+	}
+	recheck := time.NewTimer(DefaultPollDelay)
 	defer recheck.Stop()
 	select {
 	case <-wake:
-		return true
+		return nil
 	case <-recheck.C:
-		return true
-	case <-deadline.C:
-		return false
+		return nil
+	case <-ctx.Done():
+		return ctxErr(ctx)
 	}
+}
+
+// The pop statements use the width-oblivious IN (?...) spread, so every
+// batch size executes through one cached plan and the transaction (and the
+// WAL entry it ships to followers) stays O(1) in statement count no matter
+// the batch width.
+const (
+	popTasksDel = "DELETE FROM eq_out_q WHERE task_id IN (?...)"
+	popTasksUpd = "UPDATE eq_tasks SET status = ?, pool = ?, start_at = ? WHERE task_id IN (?...)"
+	popTasksSel = "SELECT task_id, exp_id, payload, created_at FROM eq_tasks WHERE task_id IN (?...)"
+
+	popResultsPick = "SELECT task_id FROM eq_in_q WHERE task_id IN (?...) ORDER BY task_id ASC LIMIT ?"
+	popResultsDel  = "DELETE FROM eq_in_q WHERE task_id IN (?...)"
+	popResultsSel  = "SELECT task_id, result FROM eq_tasks WHERE task_id IN (?...)"
+)
+
+// idArgs widens an id slice into statement arguments.
+func idArgs(ids []int64, extra int) []any {
+	args := make([]any, len(ids), len(ids)+extra)
+	for i, id := range ids {
+		args[i] = id
+	}
+	return args
 }
 
 // tryPopTasks pops the top-n queue entries with three batched statements —
 // one DELETE, one UPDATE, one SELECT over the popped id set — instead of
-// three statements per task: the transaction (and the WAL entry it ships to
-// followers) stays O(1) in statement count no matter the batch width.
-func (db *DB) tryPopTasks(workType, n int, pool string) ([]Task, error) {
+// three statements per task. The transaction runs logged: the pop is a
+// mutation of the queues like any other, and its commit token is what lets
+// the popping session read its own pop through a follower (read-your-pops).
+func (db *DB) tryPopTasks(workType, n int, pool string) ([]Task, Token, error) {
 	var tasks []Task
-	err := db.eng.Tx(func(tx *minisql.Tx) error {
+	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
 		tasks = tasks[:0]
 		res, err := tx.Exec(
 			`SELECT task_id, priority FROM eq_out_q WHERE work_type = ?
@@ -448,21 +492,15 @@ func (db *DB) tryPopTasks(workType, n int, pool string) ([]Task, error) {
 			ids[i] = id
 			prio[id] = int(row[1].AsInt())
 		}
-		del, dargs := inClause("DELETE FROM eq_out_q WHERE task_id IN (%s)", ids)
-		if _, err := tx.Exec(del, dargs...); err != nil {
+		args := idArgs(ids, 0)
+		if _, err := tx.Exec(popTasksDel, args...); err != nil {
 			return err
 		}
-		upd, idArgs := inClause(
-			"UPDATE eq_tasks SET status = ?, pool = ?, start_at = ? WHERE task_id IN (%s)", ids)
-		uargs := make([]any, 0, len(idArgs)+3)
-		uargs = append(uargs, string(StatusRunning), pool, now)
-		uargs = append(uargs, idArgs...)
-		if _, err := tx.Exec(upd, uargs...); err != nil {
+		uargs := append([]any{string(StatusRunning), pool, now}, args...)
+		if _, err := tx.Exec(popTasksUpd, uargs...); err != nil {
 			return err
 		}
-		sel, sargs := inClause(
-			"SELECT task_id, exp_id, payload, created_at FROM eq_tasks WHERE task_id IN (%s)", ids)
-		tres, err := tx.Exec(sel, sargs...)
+		tres, err := tx.Exec(popTasksSel, args...)
 		if err != nil {
 			return err
 		}
@@ -490,21 +528,18 @@ func (db *DB) tryPopTasks(workType, n int, pool string) ([]Task, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return tasks, nil
+	return tasks, tok, nil
 }
 
-// ReportTask implements API.
-func (db *DB) ReportTask(taskID int64, workType int, result string) error {
-	_, err := db.ReportTaskT(taskID, workType, result)
-	return err
-}
-
-// ReportTaskT implements TokenAPI.
-func (db *DB) ReportTaskT(taskID int64, workType int, result string) (Token, error) {
+// Report implements Session.
+func (db *DB) Report(ctx context.Context, taskID int64, workType int, result string) (Res, error) {
 	if db.closed.Load() {
-		return 0, ErrClosed
+		return Res{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return Res{}, ctxErr(ctx)
 	}
 	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
 		res, err := tx.Exec(
@@ -521,58 +556,59 @@ func (db *DB) ReportTaskT(taskID int64, workType int, result string) (Token, err
 		return err
 	})
 	if err != nil {
-		return 0, err
+		return Res{}, err
 	}
 	db.inN.notify()
-	return tok, nil
+	return Res{Token: tok}, nil
 }
 
-// QueryResult implements API.
-func (db *DB) QueryResult(taskID int64, delay, timeout time.Duration) (string, error) {
-	results, err := db.PopResults([]int64{taskID}, 1, delay, timeout)
+// QueryResult implements Session.
+func (db *DB) QueryResult(ctx context.Context, taskID int64) (ResultRes, error) {
+	res, err := db.PopResults(ctx, []int64{taskID}, 1)
 	if err != nil {
-		return "", err
+		return ResultRes{}, err
 	}
-	return results[0].Result, nil
+	return ResultRes{Result: res.Results[0].Result, Token: res.Token}, nil
 }
 
-// PopResults implements API.
-func (db *DB) PopResults(ids []int64, max int, delay, timeout time.Duration) ([]TaskResult, error) {
+// PopResults implements Session.
+func (db *DB) PopResults(ctx context.Context, ids []int64, max int) (ResultsRes, error) {
 	if len(ids) == 0 {
-		return nil, fmt.Errorf("eqsql: PopResults requires at least one task id")
+		return ResultsRes{}, fmt.Errorf("eqsql: PopResults requires at least one task id")
 	}
 	if max <= 0 {
 		max = len(ids)
 	}
-	deadline := time.NewTimer(timeout)
-	defer deadline.Stop()
 	for {
 		if db.closed.Load() {
-			return nil, ErrClosed
+			return ResultsRes{}, ErrClosed
+		}
+		if err := ctx.Err(); errors.Is(err, context.Canceled) {
+			return ResultsRes{}, err
 		}
 		wake := db.inN.wait()
-		results, err := db.tryPopResults(ids, max)
+		results, tok, err := db.tryPopResults(ids, max)
 		if err != nil {
-			return nil, err
+			return ResultsRes{}, err
 		}
 		if len(results) > 0 {
-			return results, nil
+			return ResultsRes{Results: results, Token: tok}, nil
 		}
-		if !sleepUntil(wake, delay, deadline) {
-			return nil, ErrTimeout
+		if err := pollWait(ctx, wake); err != nil {
+			return ResultsRes{}, err
 		}
 	}
 }
 
 // tryPopResults mirrors tryPopTasks: one DELETE and one SELECT over the
-// popped id set replace the per-result statement pairs.
-func (db *DB) tryPopResults(ids []int64, max int) ([]TaskResult, error) {
+// popped id set, committed through the statement log so the pop carries its
+// own token.
+func (db *DB) tryPopResults(ids []int64, max int) ([]TaskResult, Token, error) {
 	var results []TaskResult
-	err := db.eng.Tx(func(tx *minisql.Tx) error {
+	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
 		results = results[:0]
-		sql, args := inClause("SELECT task_id FROM eq_in_q WHERE task_id IN (%s) ORDER BY task_id ASC LIMIT ?", ids)
-		args = append(args, max)
-		res, err := tx.Exec(sql, args...)
+		args := append(idArgs(ids, 1), max)
+		res, err := tx.Exec(popResultsPick, args...)
 		if err != nil {
 			return err
 		}
@@ -583,12 +619,11 @@ func (db *DB) tryPopResults(ids []int64, max int) ([]TaskResult, error) {
 		for i, row := range res.Rows {
 			popped[i] = row[0].AsInt()
 		}
-		del, dargs := inClause("DELETE FROM eq_in_q WHERE task_id IN (%s)", popped)
-		if _, err := tx.Exec(del, dargs...); err != nil {
+		pargs := idArgs(popped, 0)
+		if _, err := tx.Exec(popResultsDel, pargs...); err != nil {
 			return err
 		}
-		sel, sargs := inClause("SELECT task_id, result FROM eq_tasks WHERE task_id IN (%s)", popped)
-		rres, err := tx.Exec(sel, sargs...)
+		rres, err := tx.Exec(popResultsSel, pargs...)
 		if err != nil {
 			return err
 		}
@@ -606,29 +641,21 @@ func (db *DB) tryPopResults(ids []int64, max int) ([]TaskResult, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return results, nil
+	return results, tok, nil
 }
 
-// inClause renders format with an n-ary "?" list and returns the args slice.
-func inClause(format string, ids []int64) (string, []any) {
-	marks := strings.Repeat("?, ", len(ids))
-	marks = marks[:len(marks)-2]
-	args := make([]any, len(ids))
-	for i, id := range ids {
-		args[i] = id
+// Statuses implements Session. In-process reads are always current, so the
+// consistency options are accepted and equivalent.
+func (db *DB) Statuses(ctx context.Context, ids []int64, opts ...ReadOption) (map[int64]Status, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(ctx)
 	}
-	return fmt.Sprintf(format, marks), args
-}
-
-// Statuses implements API.
-func (db *DB) Statuses(ids []int64) (map[int64]Status, error) {
 	if len(ids) == 0 {
 		return map[int64]Status{}, nil
 	}
-	sql, args := inClause("SELECT task_id, status FROM eq_tasks WHERE task_id IN (%s)", ids)
-	res, err := db.eng.Exec(sql, args...)
+	res, err := db.eng.Exec("SELECT task_id, status FROM eq_tasks WHERE task_id IN (?...)", idArgs(ids, 0)...)
 	if err != nil {
 		return nil, err
 	}
@@ -639,13 +666,15 @@ func (db *DB) Statuses(ids []int64) (map[int64]Status, error) {
 	return out, nil
 }
 
-// Priorities implements API.
-func (db *DB) Priorities(ids []int64) (map[int64]int, error) {
+// Priorities implements Session.
+func (db *DB) Priorities(ctx context.Context, ids []int64, opts ...ReadOption) (map[int64]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(ctx)
+	}
 	if len(ids) == 0 {
 		return map[int64]int{}, nil
 	}
-	sql, args := inClause("SELECT task_id, priority FROM eq_out_q WHERE task_id IN (%s)", ids)
-	res, err := db.eng.Exec(sql, args...)
+	res, err := db.eng.Exec("SELECT task_id, priority FROM eq_out_q WHERE task_id IN (?...)", idArgs(ids, 0)...)
 	if err != nil {
 		return nil, err
 	}
@@ -656,20 +685,18 @@ func (db *DB) Priorities(ids []int64) (map[int64]int, error) {
 	return out, nil
 }
 
-// UpdatePriorities implements API. The whole batch commits atomically, which
-// is what makes reprioritization cheap relative to per-task updates (§V-B).
-func (db *DB) UpdatePriorities(ids []int64, priorities []int) (int, error) {
-	n, _, err := db.UpdatePrioritiesT(ids, priorities)
-	return n, err
-}
-
-// UpdatePrioritiesT implements TokenAPI.
-func (db *DB) UpdatePrioritiesT(ids []int64, priorities []int) (int, Token, error) {
+// UpdatePriorities implements Session. The whole batch commits atomically,
+// which is what makes reprioritization cheap relative to per-task updates
+// (§V-B).
+func (db *DB) UpdatePriorities(ctx context.Context, ids []int64, priorities []int) (CountRes, error) {
 	if db.closed.Load() {
-		return 0, 0, ErrClosed
+		return CountRes{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return CountRes{}, ctxErr(ctx)
 	}
 	if len(priorities) != 1 && len(priorities) != len(ids) {
-		return 0, 0, fmt.Errorf("eqsql: UpdatePriorities needs 1 or %d priorities, got %d",
+		return CountRes{}, fmt.Errorf("eqsql: UpdatePriorities needs 1 or %d priorities, got %d",
 			len(ids), len(priorities))
 	}
 	updated := 0
@@ -695,25 +722,22 @@ func (db *DB) UpdatePrioritiesT(ids []int64, priorities []int) (int, Token, erro
 		return nil
 	})
 	if err != nil {
-		return 0, 0, err
+		return CountRes{}, err
 	}
 	// Priorities changed: waiting pools should re-pop in the new order.
 	db.outN.notify()
-	return updated, tok, nil
+	return CountRes{Count: updated, Token: tok}, nil
 }
 
-// CancelTasks implements API. Only tasks still in the output queue can be
+// CancelTasks implements Session. Only tasks still in the output queue can be
 // canceled; running tasks are owned by a pool (paper §VI: oversubscribed
 // tasks become ineligible for cancellation).
-func (db *DB) CancelTasks(ids []int64) (int, error) {
-	n, _, err := db.CancelTasksT(ids)
-	return n, err
-}
-
-// CancelTasksT implements TokenAPI.
-func (db *DB) CancelTasksT(ids []int64) (int, Token, error) {
+func (db *DB) CancelTasks(ctx context.Context, ids []int64) (CountRes, error) {
 	if db.closed.Load() {
-		return 0, 0, ErrClosed
+		return CountRes{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return CountRes{}, ctxErr(ctx)
 	}
 	canceled := 0
 	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
@@ -735,21 +759,18 @@ func (db *DB) CancelTasksT(ids []int64) (int, Token, error) {
 		return nil
 	})
 	if err != nil {
-		return 0, 0, err
+		return CountRes{}, err
 	}
-	return canceled, tok, nil
+	return CountRes{Count: canceled, Token: tok}, nil
 }
 
-// RequeueRunning implements API.
-func (db *DB) RequeueRunning(pool string) (int, error) {
-	n, _, err := db.RequeueRunningT(pool)
-	return n, err
-}
-
-// RequeueRunningT implements TokenAPI.
-func (db *DB) RequeueRunningT(pool string) (int, Token, error) {
+// RequeueRunning implements Session.
+func (db *DB) RequeueRunning(ctx context.Context, pool string) (CountRes, error) {
 	if db.closed.Load() {
-		return 0, 0, ErrClosed
+		return CountRes{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return CountRes{}, ctxErr(ctx)
 	}
 	requeued := 0
 	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
@@ -777,16 +798,19 @@ func (db *DB) RequeueRunningT(pool string) (int, Token, error) {
 		return nil
 	})
 	if err != nil {
-		return 0, 0, err
+		return CountRes{}, err
 	}
 	if requeued > 0 {
 		db.outN.notify()
 	}
-	return requeued, tok, nil
+	return CountRes{Count: requeued, Token: tok}, nil
 }
 
-// Counts implements API.
-func (db *DB) Counts(expID string) (map[Status]int, error) {
+// Counts implements Session.
+func (db *DB) Counts(ctx context.Context, expID string, opts ...ReadOption) (map[Status]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(ctx)
+	}
 	out := map[Status]int{}
 	for _, st := range []Status{StatusQueued, StatusRunning, StatusComplete, StatusCanceled} {
 		var res *minisql.Result
@@ -805,8 +829,11 @@ func (db *DB) Counts(expID string) (map[Status]int, error) {
 	return out, nil
 }
 
-// Tags implements API.
-func (db *DB) Tags(taskID int64) ([]string, error) {
+// Tags implements Session.
+func (db *DB) Tags(ctx context.Context, taskID int64, opts ...ReadOption) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(ctx)
+	}
 	res, err := db.eng.Exec("SELECT tag FROM eq_tags WHERE task_id = ?", taskID)
 	if err != nil {
 		return nil, err
@@ -818,8 +845,12 @@ func (db *DB) Tags(taskID int64) ([]string, error) {
 	return tags, nil
 }
 
-// GetTask returns the full task row for inspection and tests.
-func (db *DB) GetTask(taskID int64) (Task, error) {
+// GetTask implements Session: the full task row for inspection, recovery,
+// and tests.
+func (db *DB) GetTask(ctx context.Context, taskID int64, opts ...ReadOption) (Task, error) {
+	if err := ctx.Err(); err != nil {
+		return Task{}, ctxErr(ctx)
+	}
 	res, err := db.eng.Exec(
 		`SELECT exp_id, work_type, status, payload, result, pool, priority,
 			created_at, start_at, stop_at

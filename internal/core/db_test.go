@@ -15,26 +15,29 @@ const (
 	waitMax = 2 * time.Second
 )
 
-func newTestDB(t *testing.T) *DB {
+// newTestDB returns the Session-backed DB plus its v1 compat adapter: the
+// v1-style assertions below run through Compat, doubling as coverage that
+// the deprecated API surface still behaves exactly as before the redesign.
+func newTestDB(t *testing.T) (*DB, compatAPI) {
 	t.Helper()
 	db, err := NewDB()
 	if err != nil {
 		t.Fatalf("NewDB: %v", err)
 	}
 	t.Cleanup(db.Close)
-	return db
+	return db, Compat(db).(compatAPI)
 }
 
 func TestSubmitAndPop(t *testing.T) {
-	db := newTestDB(t)
-	id, err := db.SubmitTask("exp1", 1, `{"x": 1}`)
+	_, api := newTestDB(t)
+	id, err := api.SubmitTask("exp1", 1, `{"x": 1}`)
 	if err != nil {
 		t.Fatalf("SubmitTask: %v", err)
 	}
 	if id != 1 {
 		t.Fatalf("task id = %d, want 1", id)
 	}
-	tasks, err := db.QueryTasks(1, 1, "poolA", tick, waitMax)
+	tasks, err := api.QueryTasks(1, 1, "poolA", tick, waitMax)
 	if err != nil {
 		t.Fatalf("QueryTasks: %v", err)
 	}
@@ -44,18 +47,18 @@ func TestSubmitAndPop(t *testing.T) {
 	if tasks[0].Status != StatusRunning || tasks[0].Pool != "poolA" {
 		t.Fatalf("popped task state = %+v", tasks[0])
 	}
-	got, err := db.GetTask(id)
+	got, err := api.GetTask(id)
 	if err != nil || got.Status != StatusRunning {
 		t.Fatalf("GetTask = %+v, %v", got, err)
 	}
 }
 
 func TestPriorityOrder(t *testing.T) {
-	db := newTestDB(t)
-	low, _ := db.SubmitTask("e", 1, "low", WithPriority(1))
-	high, _ := db.SubmitTask("e", 1, "high", WithPriority(10))
-	mid, _ := db.SubmitTask("e", 1, "mid", WithPriority(5))
-	tasks, err := db.QueryTasks(1, 3, "p", tick, waitMax)
+	_, api := newTestDB(t)
+	low, _ := api.SubmitTask("e", 1, "low", WithPriority(1))
+	high, _ := api.SubmitTask("e", 1, "high", WithPriority(10))
+	mid, _ := api.SubmitTask("e", 1, "mid", WithPriority(5))
+	tasks, err := api.QueryTasks(1, 3, "p", tick, waitMax)
 	if err != nil {
 		t.Fatalf("QueryTasks: %v", err)
 	}
@@ -71,13 +74,13 @@ func TestPriorityOrder(t *testing.T) {
 }
 
 func TestPriorityTieBreaksByTaskID(t *testing.T) {
-	db := newTestDB(t)
+	_, api := newTestDB(t)
 	var ids []int64
 	for i := 0; i < 5; i++ {
-		id, _ := db.SubmitTask("e", 1, fmt.Sprint(i))
+		id, _ := api.SubmitTask("e", 1, fmt.Sprint(i))
 		ids = append(ids, id)
 	}
-	tasks, err := db.QueryTasks(1, 5, "p", tick, waitMax)
+	tasks, err := api.QueryTasks(1, 5, "p", tick, waitMax)
 	if err != nil {
 		t.Fatalf("QueryTasks: %v", err)
 	}
@@ -89,10 +92,10 @@ func TestPriorityTieBreaksByTaskID(t *testing.T) {
 }
 
 func TestWorkTypeIsolation(t *testing.T) {
-	db := newTestDB(t)
-	db.SubmitTask("e", 1, "sim")
-	gpuID, _ := db.SubmitTask("e", 2, "gpu")
-	tasks, err := db.QueryTasks(2, 5, "gpu-pool", tick, waitMax)
+	_, api := newTestDB(t)
+	api.SubmitTask("e", 1, "sim")
+	gpuID, _ := api.SubmitTask("e", 2, "gpu")
+	tasks, err := api.QueryTasks(2, 5, "gpu-pool", tick, waitMax)
 	if err != nil {
 		t.Fatalf("QueryTasks: %v", err)
 	}
@@ -102,9 +105,9 @@ func TestWorkTypeIsolation(t *testing.T) {
 }
 
 func TestQueryTimeout(t *testing.T) {
-	db := newTestDB(t)
+	_, api := newTestDB(t)
 	start := time.Now()
-	_, err := db.QueryTasks(1, 1, "p", tick, 50*time.Millisecond)
+	_, err := api.QueryTasks(1, 1, "p", tick, 50*time.Millisecond)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -114,20 +117,20 @@ func TestQueryTimeout(t *testing.T) {
 }
 
 func TestReportAndQueryResult(t *testing.T) {
-	db := newTestDB(t)
-	id, _ := db.SubmitTask("e", 1, "payload")
-	tasks, _ := db.QueryTasks(1, 1, "p", tick, waitMax)
-	if err := db.ReportTask(tasks[0].ID, 1, `{"y": 2}`); err != nil {
+	_, api := newTestDB(t)
+	id, _ := api.SubmitTask("e", 1, "payload")
+	tasks, _ := api.QueryTasks(1, 1, "p", tick, waitMax)
+	if err := api.ReportTask(tasks[0].ID, 1, `{"y": 2}`); err != nil {
 		t.Fatalf("ReportTask: %v", err)
 	}
-	res, err := db.QueryResult(id, tick, waitMax)
+	res, err := api.QueryResult(id, tick, waitMax)
 	if err != nil {
 		t.Fatalf("QueryResult: %v", err)
 	}
 	if res != `{"y": 2}` {
 		t.Fatalf("result = %q", res)
 	}
-	got, _ := db.GetTask(id)
+	got, _ := api.GetTask(id)
 	if got.Status != StatusComplete {
 		t.Fatalf("status = %s, want complete", got.Status)
 	}
@@ -135,26 +138,26 @@ func TestReportAndQueryResult(t *testing.T) {
 		t.Fatalf("stop %v before start %v", got.Stopped, got.Started)
 	}
 	// Result is popped: second query times out.
-	if _, err := db.QueryResult(id, tick, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+	if _, err := api.QueryResult(id, tick, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("second QueryResult err = %v, want timeout", err)
 	}
 }
 
 func TestQueryResultBlocksUntilReport(t *testing.T) {
-	db := newTestDB(t)
-	id, _ := db.SubmitTask("e", 1, "p")
+	_, api := newTestDB(t)
+	id, _ := api.SubmitTask("e", 1, "p")
 	done := make(chan string, 1)
 	go func() {
-		res, err := db.QueryResult(id, tick, waitMax)
+		res, err := api.QueryResult(id, tick, waitMax)
 		if err != nil {
 			done <- "err:" + err.Error()
 			return
 		}
 		done <- res
 	}()
-	tasks, _ := db.QueryTasks(1, 1, "p", tick, waitMax)
+	tasks, _ := api.QueryTasks(1, 1, "p", tick, waitMax)
 	time.Sleep(10 * time.Millisecond)
-	db.ReportTask(tasks[0].ID, 1, "answer")
+	api.ReportTask(tasks[0].ID, 1, "answer")
 	select {
 	case res := <-done:
 		if res != "answer" {
@@ -166,24 +169,24 @@ func TestQueryResultBlocksUntilReport(t *testing.T) {
 }
 
 func TestPopResultsBatch(t *testing.T) {
-	db := newTestDB(t)
+	_, api := newTestDB(t)
 	var ids []int64
 	for i := 0; i < 6; i++ {
-		id, _ := db.SubmitTask("e", 1, fmt.Sprint(i))
+		id, _ := api.SubmitTask("e", 1, fmt.Sprint(i))
 		ids = append(ids, id)
 	}
-	tasks, _ := db.QueryTasks(1, 6, "p", tick, waitMax)
+	tasks, _ := api.QueryTasks(1, 6, "p", tick, waitMax)
 	for _, task := range tasks[:4] {
-		db.ReportTask(task.ID, 1, fmt.Sprintf("r%d", task.ID))
+		api.ReportTask(task.ID, 1, fmt.Sprintf("r%d", task.ID))
 	}
-	results, err := db.PopResults(ids, 3, tick, waitMax)
+	results, err := api.PopResults(ids, 3, tick, waitMax)
 	if err != nil {
 		t.Fatalf("PopResults: %v", err)
 	}
 	if len(results) != 3 {
 		t.Fatalf("got %d results, want 3 (max)", len(results))
 	}
-	results2, err := db.PopResults(ids, 10, tick, waitMax)
+	results2, err := api.PopResults(ids, 10, tick, waitMax)
 	if err != nil {
 		t.Fatalf("PopResults 2: %v", err)
 	}
@@ -198,32 +201,32 @@ func TestPopResultsBatch(t *testing.T) {
 }
 
 func TestPopResultsIgnoresForeignTasks(t *testing.T) {
-	db := newTestDB(t)
-	mine, _ := db.SubmitTask("e", 1, "m")
-	other, _ := db.SubmitTask("e", 1, "o")
-	tasks, _ := db.QueryTasks(1, 2, "p", tick, waitMax)
+	_, api := newTestDB(t)
+	mine, _ := api.SubmitTask("e", 1, "m")
+	other, _ := api.SubmitTask("e", 1, "o")
+	tasks, _ := api.QueryTasks(1, 2, "p", tick, waitMax)
 	for _, task := range tasks {
-		db.ReportTask(task.ID, 1, "done")
+		api.ReportTask(task.ID, 1, "done")
 	}
-	results, err := db.PopResults([]int64{mine}, 5, tick, waitMax)
+	results, err := api.PopResults([]int64{mine}, 5, tick, waitMax)
 	if err != nil || len(results) != 1 || results[0].ID != mine {
 		t.Fatalf("PopResults = %+v, %v", results, err)
 	}
 	// The other result is still poppable.
-	results, err = db.PopResults([]int64{other}, 5, tick, waitMax)
+	results, err = api.PopResults([]int64{other}, 5, tick, waitMax)
 	if err != nil || len(results) != 1 || results[0].ID != other {
 		t.Fatalf("other result = %+v, %v", results, err)
 	}
 }
 
 func TestStatusesAndCounts(t *testing.T) {
-	db := newTestDB(t)
-	a, _ := db.SubmitTask("e", 1, "a")
-	b, _ := db.SubmitTask("e", 1, "b")
-	c, _ := db.SubmitTask("other", 1, "c")
-	tasks, _ := db.QueryTasks(1, 1, "p", tick, waitMax)
-	db.ReportTask(tasks[0].ID, 1, "done")
-	sts, err := db.Statuses([]int64{a, b, c, 999})
+	_, api := newTestDB(t)
+	a, _ := api.SubmitTask("e", 1, "a")
+	b, _ := api.SubmitTask("e", 1, "b")
+	c, _ := api.SubmitTask("other", 1, "c")
+	tasks, _ := api.QueryTasks(1, 1, "p", tick, waitMax)
+	api.ReportTask(tasks[0].ID, 1, "done")
+	sts, err := api.Statuses([]int64{a, b, c, 999})
 	if err != nil {
 		t.Fatalf("Statuses: %v", err)
 	}
@@ -233,36 +236,36 @@ func TestStatusesAndCounts(t *testing.T) {
 	if sts[a] != StatusComplete || sts[b] != StatusQueued {
 		t.Fatalf("statuses = %v", sts)
 	}
-	counts, err := db.Counts("e")
+	counts, err := api.Counts("e")
 	if err != nil {
 		t.Fatalf("Counts: %v", err)
 	}
 	if counts[StatusComplete] != 1 || counts[StatusQueued] != 1 {
 		t.Fatalf("counts = %v", counts)
 	}
-	all, _ := db.Counts("")
+	all, _ := api.Counts("")
 	if all[StatusQueued] != 2 {
 		t.Fatalf("all counts = %v", all)
 	}
 }
 
 func TestUpdatePriorities(t *testing.T) {
-	db := newTestDB(t)
+	_, api := newTestDB(t)
 	var ids []int64
 	for i := 0; i < 4; i++ {
-		id, _ := db.SubmitTask("e", 1, fmt.Sprint(i))
+		id, _ := api.SubmitTask("e", 1, fmt.Sprint(i))
 		ids = append(ids, id)
 	}
 	// Pop one so it is no longer eligible.
-	popped, _ := db.QueryTasks(1, 1, "p", tick, waitMax)
-	n, err := db.UpdatePriorities(ids, []int{40, 10, 30, 20})
+	popped, _ := api.QueryTasks(1, 1, "p", tick, waitMax)
+	n, err := api.UpdatePriorities(ids, []int{40, 10, 30, 20})
 	if err != nil {
 		t.Fatalf("UpdatePriorities: %v", err)
 	}
 	if n != 3 {
 		t.Fatalf("updated %d, want 3 (one task already running)", n)
 	}
-	prios, _ := db.Priorities(ids)
+	prios, _ := api.Priorities(ids)
 	if len(prios) != 3 {
 		t.Fatalf("priorities = %v", prios)
 	}
@@ -270,7 +273,7 @@ func TestUpdatePriorities(t *testing.T) {
 		t.Fatalf("priorities = %v", prios)
 	}
 	// Remaining tasks pop in the new order.
-	rest, err := db.QueryTasks(1, 3, "p", tick, waitMax)
+	rest, err := api.QueryTasks(1, 3, "p", tick, waitMax)
 	if err != nil {
 		t.Fatalf("QueryTasks: %v", err)
 	}
@@ -287,40 +290,40 @@ func TestUpdatePriorities(t *testing.T) {
 }
 
 func TestUpdatePrioritiesSingleValue(t *testing.T) {
-	db := newTestDB(t)
+	_, api := newTestDB(t)
 	var ids []int64
 	for i := 0; i < 3; i++ {
-		id, _ := db.SubmitTask("e", 1, "x")
+		id, _ := api.SubmitTask("e", 1, "x")
 		ids = append(ids, id)
 	}
-	n, err := db.UpdatePriorities(ids, []int{7})
+	n, err := api.UpdatePriorities(ids, []int{7})
 	if err != nil || n != 3 {
 		t.Fatalf("UpdatePriorities = %d, %v", n, err)
 	}
-	prios, _ := db.Priorities(ids)
+	prios, _ := api.Priorities(ids)
 	for _, id := range ids {
 		if prios[id] != 7 {
 			t.Fatalf("prios = %v", prios)
 		}
 	}
-	if _, err := db.UpdatePriorities(ids, []int{1, 2}); err == nil {
+	if _, err := api.UpdatePriorities(ids, []int{1, 2}); err == nil {
 		t.Fatal("mismatched priority slice length must error")
 	}
 }
 
 func TestCancelTasks(t *testing.T) {
-	db := newTestDB(t)
-	a, _ := db.SubmitTask("e", 1, "a")
-	b, _ := db.SubmitTask("e", 1, "b")
-	tasks, _ := db.QueryTasks(1, 1, "p", tick, waitMax)
-	n, err := db.CancelTasks([]int64{a, b})
+	_, api := newTestDB(t)
+	a, _ := api.SubmitTask("e", 1, "a")
+	b, _ := api.SubmitTask("e", 1, "b")
+	tasks, _ := api.QueryTasks(1, 1, "p", tick, waitMax)
+	n, err := api.CancelTasks([]int64{a, b})
 	if err != nil {
 		t.Fatalf("CancelTasks: %v", err)
 	}
 	if n != 1 {
 		t.Fatalf("canceled %d, want 1 (task %d already running)", n, tasks[0].ID)
 	}
-	st, _ := db.Statuses([]int64{a, b})
+	st, _ := api.Statuses([]int64{a, b})
 	if st[tasks[0].ID] != StatusRunning {
 		t.Fatalf("running task was canceled: %v", st)
 	}
@@ -332,22 +335,22 @@ func TestCancelTasks(t *testing.T) {
 		t.Fatalf("statuses = %v", st)
 	}
 	// Canceled task is not poppable.
-	if _, err := db.QueryTasks(1, 1, "p", tick, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+	if _, err := api.QueryTasks(1, 1, "p", tick, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("canceled task still in queue: %v", err)
 	}
 }
 
 func TestRequeueRunning(t *testing.T) {
-	db := newTestDB(t)
-	id, _ := db.SubmitTask("e", 1, "x", WithPriority(42))
-	if _, err := db.QueryTasks(1, 1, "crashed-pool", tick, waitMax); err != nil {
+	_, api := newTestDB(t)
+	id, _ := api.SubmitTask("e", 1, "x", WithPriority(42))
+	if _, err := api.QueryTasks(1, 1, "crashed-pool", tick, waitMax); err != nil {
 		t.Fatalf("QueryTasks: %v", err)
 	}
-	n, err := db.RequeueRunning("crashed-pool")
+	n, err := api.RequeueRunning("crashed-pool")
 	if err != nil || n != 1 {
 		t.Fatalf("RequeueRunning = %d, %v", n, err)
 	}
-	tasks, err := db.QueryTasks(1, 1, "fresh-pool", tick, waitMax)
+	tasks, err := api.QueryTasks(1, 1, "fresh-pool", tick, waitMax)
 	if err != nil {
 		t.Fatalf("re-pop: %v", err)
 	}
@@ -355,35 +358,35 @@ func TestRequeueRunning(t *testing.T) {
 		t.Fatalf("requeued task = %+v (priority must survive)", tasks[0])
 	}
 	// Completed tasks are not requeued.
-	db.ReportTask(id, 1, "done")
-	n, _ = db.RequeueRunning("fresh-pool")
+	api.ReportTask(id, 1, "done")
+	n, _ = api.RequeueRunning("fresh-pool")
 	if n != 0 {
 		t.Fatalf("requeued %d completed tasks", n)
 	}
 }
 
 func TestTags(t *testing.T) {
-	db := newTestDB(t)
-	id, _ := db.SubmitTask("e", 1, "x", WithTags("gpr", "round-1"))
-	tags, err := db.Tags(id)
+	_, api := newTestDB(t)
+	id, _ := api.SubmitTask("e", 1, "x", WithTags("gpr", "round-1"))
+	tags, err := api.Tags(id)
 	if err != nil {
 		t.Fatalf("Tags: %v", err)
 	}
 	if len(tags) != 2 || tags[0] != "gpr" || tags[1] != "round-1" {
 		t.Fatalf("tags = %v", tags)
 	}
-	other, _ := db.SubmitTask("e", 1, "y")
-	tags, _ = db.Tags(other)
+	other, _ := api.SubmitTask("e", 1, "y")
+	tags, _ = api.Tags(other)
 	if len(tags) != 0 {
 		t.Fatalf("untagged task has tags %v", tags)
 	}
 }
 
 func TestConcurrentPoolsNoDuplicatePop(t *testing.T) {
-	db := newTestDB(t)
+	_, api := newTestDB(t)
 	const nTasks = 200
 	for i := 0; i < nTasks; i++ {
-		db.SubmitTask("e", 1, fmt.Sprint(i))
+		api.SubmitTask("e", 1, fmt.Sprint(i))
 	}
 	var mu sync.Mutex
 	seen := make(map[int64]string)
@@ -394,7 +397,7 @@ func TestConcurrentPoolsNoDuplicatePop(t *testing.T) {
 			defer wg.Done()
 			pool := fmt.Sprintf("pool%d", p)
 			for {
-				tasks, err := db.QueryTasks(1, 5, pool, tick, 100*time.Millisecond)
+				tasks, err := api.QueryTasks(1, 5, pool, tick, 100*time.Millisecond)
 				if errors.Is(err, ErrTimeout) {
 					return
 				}
@@ -424,9 +427,10 @@ func TestCloseWakesWaiters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	api := Compat(db).(compatAPI)
 	errc := make(chan error, 1)
 	go func() {
-		_, err := db.QueryTasks(1, 1, "p", tick, time.Minute)
+		_, err := api.QueryTasks(1, 1, "p", tick, time.Minute)
 		errc <- err
 	}()
 	time.Sleep(20 * time.Millisecond)
@@ -439,17 +443,17 @@ func TestCloseWakesWaiters(t *testing.T) {
 	case <-time.After(waitMax):
 		t.Fatal("Close did not wake waiter")
 	}
-	if _, err := db.SubmitTask("e", 1, "x"); !errors.Is(err, ErrClosed) {
+	if _, err := api.SubmitTask("e", 1, "x"); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close: %v", err)
 	}
 }
 
 func TestSnapshotRestoreWorkflowState(t *testing.T) {
-	db := newTestDB(t)
-	a, _ := db.SubmitTask("e", 1, "a", WithPriority(3))
-	b, _ := db.SubmitTask("e", 1, "b")
-	tasks, _ := db.QueryTasks(1, 1, "p", tick, waitMax)
-	db.ReportTask(tasks[0].ID, 1, "done")
+	db, api := newTestDB(t)
+	a, _ := api.SubmitTask("e", 1, "a", WithPriority(3))
+	b, _ := api.SubmitTask("e", 1, "b")
+	tasks, _ := api.QueryTasks(1, 1, "p", tick, waitMax)
+	api.ReportTask(tasks[0].ID, 1, "done")
 
 	var buf bytes.Buffer
 	if err := db.Snapshot(&buf); err != nil {
@@ -460,34 +464,35 @@ func TestSnapshotRestoreWorkflowState(t *testing.T) {
 		t.Fatalf("RestoreDB: %v", err)
 	}
 	defer db2.Close()
-	st, _ := db2.Statuses([]int64{a, b})
+	api2 := Compat(db2).(compatAPI)
+	st, _ := api2.Statuses([]int64{a, b})
 	if st[tasks[0].ID] != StatusComplete {
 		t.Fatalf("restored statuses = %v", st)
 	}
 	// Result still poppable, remaining task still queued, ids keep counting.
-	if res, err := db2.QueryResult(tasks[0].ID, tick, waitMax); err != nil || res != "done" {
+	if res, err := api2.QueryResult(tasks[0].ID, tick, waitMax); err != nil || res != "done" {
 		t.Fatalf("restored result = %q, %v", res, err)
 	}
-	rest, err := db2.QueryTasks(1, 5, "p2", tick, waitMax)
+	rest, err := api2.QueryTasks(1, 5, "p2", tick, waitMax)
 	if err != nil || len(rest) != 1 {
 		t.Fatalf("restored queue pop = %+v, %v", rest, err)
 	}
-	id3, _ := db2.SubmitTask("e", 1, "c")
+	id3, _ := api2.SubmitTask("e", 1, "c")
 	if id3 != 3 {
 		t.Fatalf("id after restore = %d, want 3", id3)
 	}
 }
 
 func TestReportUnknownTask(t *testing.T) {
-	db := newTestDB(t)
-	if err := db.ReportTask(12345, 1, "x"); err == nil {
+	_, api := newTestDB(t)
+	if err := api.ReportTask(12345, 1, "x"); err == nil {
 		t.Fatal("reporting an unknown task must error")
 	}
 }
 
 func TestQueryTasksValidatesN(t *testing.T) {
-	db := newTestDB(t)
-	if _, err := db.QueryTasks(1, 0, "p", tick, tick); err == nil {
+	_, api := newTestDB(t)
+	if _, err := api.QueryTasks(1, 0, "p", tick, tick); err == nil {
 		t.Fatal("n=0 must error")
 	}
 }
@@ -507,12 +512,13 @@ func TestPropertyPopOrdering(t *testing.T) {
 			return false
 		}
 		defer db.Close()
+		api := Compat(db).(compatAPI)
 		for i, p := range prios {
-			if _, err := db.SubmitTask("e", 1, fmt.Sprint(i), WithPriority(int(p))); err != nil {
+			if _, err := api.SubmitTask("e", 1, fmt.Sprint(i), WithPriority(int(p))); err != nil {
 				return false
 			}
 		}
-		tasks, err := db.QueryTasks(1, len(prios), "p", tick, waitMax)
+		tasks, err := api.QueryTasks(1, len(prios), "p", tick, waitMax)
 		if err != nil || len(tasks) != len(prios) {
 			return false
 		}
@@ -534,11 +540,11 @@ func TestPropertyPopOrdering(t *testing.T) {
 // Property: every submitted task is eventually either completed exactly once
 // or still queued — no loss, no duplication — under concurrent pop/report.
 func TestPropertyConservation(t *testing.T) {
-	db := newTestDB(t)
+	_, api := newTestDB(t)
 	const n = 120
 	ids := make([]int64, n)
 	for i := range ids {
-		ids[i], _ = db.SubmitTask("e", 1, fmt.Sprint(i))
+		ids[i], _ = api.SubmitTask("e", 1, fmt.Sprint(i))
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
@@ -547,12 +553,12 @@ func TestPropertyConservation(t *testing.T) {
 			defer wg.Done()
 			pool := fmt.Sprintf("w%d", w)
 			for {
-				tasks, err := db.QueryTasks(1, 3, pool, tick, 100*time.Millisecond)
+				tasks, err := api.QueryTasks(1, 3, pool, tick, 100*time.Millisecond)
 				if err != nil {
 					return
 				}
 				for _, task := range tasks {
-					if err := db.ReportTask(task.ID, 1, "ok"); err != nil {
+					if err := api.ReportTask(task.ID, 1, "ok"); err != nil {
 						t.Errorf("report: %v", err)
 					}
 				}
@@ -560,19 +566,19 @@ func TestPropertyConservation(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	counts, _ := db.Counts("e")
+	counts, _ := api.Counts("e")
 	if counts[StatusComplete] != n {
 		t.Fatalf("counts = %v, want %d complete", counts, n)
 	}
-	results, err := db.PopResults(ids, n, tick, waitMax)
+	results, err := api.PopResults(ids, n, tick, waitMax)
 	if err != nil || len(results) != n {
 		t.Fatalf("PopResults got %d results, err %v", len(results), err)
 	}
 }
 
 func TestSubmitTasksBatch(t *testing.T) {
-	db := newTestDB(t)
-	ids, err := db.SubmitTasks("e", 1, []string{"a", "b", "c"}, nil)
+	_, api := newTestDB(t)
+	ids, err := api.SubmitTasks("e", 1, []string{"a", "b", "c"}, nil)
 	if err != nil || len(ids) != 3 {
 		t.Fatalf("SubmitTasks = %v, %v", ids, err)
 	}
@@ -581,7 +587,7 @@ func TestSubmitTasksBatch(t *testing.T) {
 			t.Fatalf("ids not consecutive: %v", ids)
 		}
 	}
-	tasks, err := db.QueryTasks(1, 3, "p", tick, waitMax)
+	tasks, err := api.QueryTasks(1, 3, "p", tick, waitMax)
 	if err != nil || len(tasks) != 3 {
 		t.Fatalf("QueryTasks after batch = %d, %v", len(tasks), err)
 	}
@@ -591,31 +597,31 @@ func TestSubmitTasksBatch(t *testing.T) {
 }
 
 func TestSubmitTasksBatchPriorities(t *testing.T) {
-	db := newTestDB(t)
+	_, api := newTestDB(t)
 	// Per-task priorities apply.
-	ids, err := db.SubmitTasks("e", 1, []string{"low", "high"}, []int{1, 9})
+	ids, err := api.SubmitTasks("e", 1, []string{"low", "high"}, []int{1, 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tasks, _ := db.QueryTasks(1, 2, "p", tick, waitMax)
+	tasks, _ := api.QueryTasks(1, 2, "p", tick, waitMax)
 	if tasks[0].ID != ids[1] {
 		t.Fatalf("priority order wrong: %+v", tasks)
 	}
 	// Single priority broadcasts.
-	ids2, err := db.SubmitTasks("e", 1, []string{"x", "y"}, []int{5})
+	ids2, err := api.SubmitTasks("e", 1, []string{"x", "y"}, []int{5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	prios, _ := db.Priorities(ids2)
+	prios, _ := api.Priorities(ids2)
 	if prios[ids2[0]] != 5 || prios[ids2[1]] != 5 {
 		t.Fatalf("broadcast priorities = %v", prios)
 	}
 	// Mismatched length errors.
-	if _, err := db.SubmitTasks("e", 1, []string{"x", "y"}, []int{1, 2, 3}); err == nil {
+	if _, err := api.SubmitTasks("e", 1, []string{"x", "y"}, []int{1, 2, 3}); err == nil {
 		t.Fatal("mismatched priorities must error")
 	}
 	// Empty batch is a no-op.
-	if out, err := db.SubmitTasks("e", 1, nil, nil); err != nil || len(out) != 0 {
+	if out, err := api.SubmitTasks("e", 1, nil, nil); err != nil || len(out) != 0 {
 		t.Fatalf("empty batch = %v, %v", out, err)
 	}
 }
@@ -625,8 +631,9 @@ func TestSubmitTasksBatchAtomicWithClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	api := Compat(db).(compatAPI)
 	db.Close()
-	if _, err := db.SubmitTasks("e", 1, []string{"x"}, nil); !errors.Is(err, ErrClosed) {
+	if _, err := api.SubmitTasks("e", 1, []string{"x"}, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close = %v", err)
 	}
 }

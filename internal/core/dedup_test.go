@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -18,23 +19,25 @@ func TestSubmitTaskDedupKey(t *testing.T) {
 	}
 	defer db.Close()
 
-	id1, tok1, err := db.SubmitTaskT("dedup", 1, "payload", WithDedupKey("k1"), WithPriority(7))
+	ctx := context.Background()
+	res1, err := db.Submit(ctx, "dedup", 1, "payload", WithDedupKey("k1"), WithPriority(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tok1 != 0 {
+	if res1.Token != 0 {
 		// No commit hook installed: tokens are 0 on a plain DB.
-		t.Fatalf("token without a statement log = %d, want 0", tok1)
+		t.Fatalf("token without a statement log = %d, want 0", res1.Token)
 	}
+	id1 := res1.ID
 
-	id2, _, err := db.SubmitTaskT("dedup", 1, "payload", WithDedupKey("k1"))
+	res2, err := db.Submit(ctx, "dedup", 1, "payload", WithDedupKey("k1"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if id2 != id1 {
-		t.Fatalf("duplicate submit returned id %d, want original %d", id2, id1)
+	if res2.ID != id1 {
+		t.Fatalf("duplicate submit returned id %d, want original %d", res2.ID, id1)
 	}
-	counts, err := db.Counts("dedup")
+	counts, err := db.Counts(ctx, "dedup")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,26 +45,26 @@ func TestSubmitTaskDedupKey(t *testing.T) {
 		t.Fatalf("counts after duplicate submit = %v, want exactly 1 queued", counts)
 	}
 	// The original's attributes (priority) are preserved, not overwritten.
-	task, err := db.GetTask(id1)
+	task, err := db.GetTask(ctx, id1)
 	if err != nil || task.Priority != 7 {
 		t.Fatalf("original task after dedup = %+v, %v; want priority 7", task, err)
 	}
 
 	// A different key is a different task; no key never deduplicates.
-	id3, err := db.SubmitTask("dedup", 1, "payload", WithDedupKey("k2"))
+	id3, err := db.Submit(ctx, "dedup", 1, "payload", WithDedupKey("k2"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	id4, err := db.SubmitTask("dedup", 1, "payload")
+	id4, err := db.Submit(ctx, "dedup", 1, "payload")
 	if err != nil {
 		t.Fatal(err)
 	}
-	id5, err := db.SubmitTask("dedup", 1, "payload")
+	id5, err := db.Submit(ctx, "dedup", 1, "payload")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if id3 == id1 || id4 == id1 || id5 == id4 {
-		t.Fatalf("distinct submits collapsed: ids %d %d %d %d", id1, id3, id4, id5)
+	if id3.ID == id1 || id4.ID == id1 || id5.ID == id4.ID {
+		t.Fatalf("distinct submits collapsed: ids %d %d %d %d", id1, id3.ID, id4.ID, id5.ID)
 	}
 }
 
@@ -75,27 +78,29 @@ func TestSubmitTasksDedupKeys(t *testing.T) {
 	}
 	defer db.Close()
 
+	ctx := context.Background()
 	payloads := []string{"a", "b", "c"}
 	keys := []string{"ba", "bb", "bc"}
-	ids, _, err := db.SubmitTasksT("batch", 1, payloads, nil, keys)
+	batch, err := db.SubmitBatch(ctx, "batch", 1, payloads, nil, keys)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ids := batch.IDs
 	if len(ids) != 3 {
 		t.Fatalf("got %d ids, want 3", len(ids))
 	}
 
 	// Full retry: identical ids, still 3 tasks.
-	again, _, err := db.SubmitTasksT("batch", 1, payloads, nil, keys)
+	again, err := db.SubmitBatch(ctx, "batch", 1, payloads, nil, keys)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range ids {
-		if again[i] != ids[i] {
-			t.Fatalf("retried batch id[%d] = %d, want original %d", i, again[i], ids[i])
+		if again.IDs[i] != ids[i] {
+			t.Fatalf("retried batch id[%d] = %d, want original %d", i, again.IDs[i], ids[i])
 		}
 	}
-	counts, err := db.Counts("batch")
+	counts, err := db.Counts(ctx, "batch")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,23 +109,23 @@ func TestSubmitTasksDedupKeys(t *testing.T) {
 	}
 
 	// Partial retry with one new payload: only it is inserted.
-	mixed, _, err := db.SubmitTasksT("batch", 1, []string{"a", "d"}, nil, []string{"ba", "bd"})
+	mixed, err := db.SubmitBatch(ctx, "batch", 1, []string{"a", "d"}, nil, []string{"ba", "bd"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mixed[0] != ids[0] {
-		t.Fatalf("mixed batch reused id %d for key ba, want %d", mixed[0], ids[0])
+	if mixed.IDs[0] != ids[0] {
+		t.Fatalf("mixed batch reused id %d for key ba, want %d", mixed.IDs[0], ids[0])
 	}
-	if mixed[1] == ids[0] || mixed[1] == ids[1] || mixed[1] == ids[2] {
-		t.Fatalf("new key bd reused an existing id %d", mixed[1])
+	if mixed.IDs[1] == ids[0] || mixed.IDs[1] == ids[1] || mixed.IDs[1] == ids[2] {
+		t.Fatalf("new key bd reused an existing id %d", mixed.IDs[1])
 	}
-	counts, _ = db.Counts("batch")
+	counts, _ = db.Counts(ctx, "batch")
 	if counts[StatusQueued] != 4 {
 		t.Fatalf("counts after mixed batch = %v, want 4 queued", counts)
 	}
 
 	// Key-count validation.
-	if _, _, err := db.SubmitTasksT("batch", 1, payloads, nil, []string{"only-one"}); err == nil {
+	if _, err := db.SubmitBatch(ctx, "batch", 1, payloads, nil, []string{"only-one"}); err == nil {
 		t.Fatal("mismatched dedup key count accepted")
 	}
 }
@@ -168,21 +173,22 @@ func TestRestoreMigratesPreDedupSnapshot(t *testing.T) {
 	defer db.Close()
 
 	// The legacy row survived the rebuild.
-	task, err := db.GetTask(1)
+	ctx := context.Background()
+	task, err := db.GetTask(ctx, 1)
 	if err != nil || task.Payload != "old-payload" || task.Priority != 5 {
 		t.Fatalf("legacy task after migration = %+v, %v", task, err)
 	}
 	// Submits (which name dedup_key) work, and the AUTOINCREMENT counter
 	// continues past the migrated rows.
-	id, err := db.SubmitTask("legacy", 1, "new-payload", WithDedupKey("mig-k"))
+	sub, err := db.Submit(ctx, "legacy", 1, "new-payload", WithDedupKey("mig-k"))
 	if err != nil {
 		t.Fatalf("submit after migration: %v", err)
 	}
-	if id != 2 {
-		t.Fatalf("post-migration task id = %d, want 2 (AUTOINCREMENT continued)", id)
+	if sub.ID != 2 {
+		t.Fatalf("post-migration task id = %d, want 2 (AUTOINCREMENT continued)", sub.ID)
 	}
-	if dup, err := db.SubmitTask("legacy", 1, "new-payload", WithDedupKey("mig-k")); err != nil || dup != id {
-		t.Fatalf("dedup on migrated db = (%d, %v), want %d", dup, err, id)
+	if dup, err := db.Submit(ctx, "legacy", 1, "new-payload", WithDedupKey("mig-k")); err != nil || dup.ID != sub.ID {
+		t.Fatalf("dedup on migrated db = (%d, %v), want %d", dup.ID, err, sub.ID)
 	}
 }
 
@@ -229,18 +235,20 @@ func TestRestoreEnsuresOrderedIndex(t *testing.T) {
 	}
 	defer db.Close()
 
-	// The ordered index must already exist: creating it again WITHOUT
-	// IF NOT EXISTS has to fail with "already exists".
+	// The (now composite) ordered index must already exist: creating it
+	// again WITHOUT IF NOT EXISTS has to fail with "already exists".
 	if _, err := db.Engine().Exec(
-		"CREATE ORDERED INDEX eq_out_prio ON eq_out_q (priority)"); err == nil {
+		"CREATE ORDERED INDEX eq_out_prio ON eq_out_q (priority, task_id)"); err == nil {
 		t.Fatal("eq_out_prio missing after restore: migrateSchema did not re-apply the schema")
 	}
 	// And pops come back in priority order off the restored queue.
-	tasks, err := db.QueryTasks(1, 2, "pool", time.Millisecond, time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	res, err := db.QueryTasks(ctx, 1, 2, "pool")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tasks) != 2 || tasks[0].ID != 2 || tasks[1].ID != 1 {
-		t.Fatalf("post-restore pop order = %+v, want task 2 (prio 8) then 1 (prio 3)", tasks)
+	if len(res.Tasks) != 2 || res.Tasks[0].ID != 2 || res.Tasks[1].ID != 1 {
+		t.Fatalf("post-restore pop order = %+v, want task 2 (prio 8) then 1 (prio 3)", res.Tasks)
 	}
 }

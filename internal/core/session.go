@@ -1,0 +1,491 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file defines the v2 EMEWS DB surface: one context-first, commit-token-
+// aware Session interface shared by the in-process database and the remote
+// service clients. It replaces the PR 1–4 split into API (token-less) plus a
+// TokenAPI shadow of `...T` twins, under which the pop paths returned no
+// tokens at all — so a session that popped a task on the leader and then read
+// its status from a follower could observe the pre-pop state. Every mutating
+// operation of a Session, pops included, returns its commit token inside a
+// small result struct, and reads take per-call consistency levels instead of
+// a client-global staleness knob.
+//
+// The old API interface remains available as a deprecated adapter
+// (Compat(Session) API) so third-party ME algorithms compile unchanged for
+// one release; Lift(API) Session adapts legacy token-less backends the other
+// way.
+
+// Level is a per-read consistency level.
+type Level uint8
+
+const (
+	// LevelSession (the default) bounds the read by the session's commit
+	// token: any replica that has applied the WAL through the token may serve
+	// it, giving read-your-writes — and, with tokens on pops, read-your-pops —
+	// plus monotonic reads within the session.
+	LevelSession Level = iota
+	// LevelStrong serves the read from the cluster leader's current state:
+	// the freshest answer the cluster can give, at the cost of leader load
+	// and a forwarding hop from followers.
+	LevelStrong
+	// LevelEventual serves the read from any replica with no freshness bound:
+	// the cheapest read, a best-effort snapshot exactly like a token-0 read.
+	LevelEventual
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelStrong:
+		return "strong"
+	case LevelEventual:
+		return "eventual"
+	default:
+		return "session"
+	}
+}
+
+// ReadOptions collects the per-call options of a Session read.
+type ReadOptions struct {
+	Level Level
+}
+
+// ReadOption mutates ReadOptions.
+type ReadOption func(*ReadOptions)
+
+// Strong requests leader-fresh consistency for this read.
+func Strong() ReadOption { return func(o *ReadOptions) { o.Level = LevelStrong } }
+
+// Eventual drops the session freshness bound for this read: any replica may
+// answer immediately.
+func Eventual() ReadOption { return func(o *ReadOptions) { o.Level = LevelEventual } }
+
+// ApplyReadOptions folds opts into a ReadOptions value — a helper for Session
+// implementers.
+func ApplyReadOptions(opts []ReadOption) ReadOptions {
+	var o ReadOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// Res carries the commit token of a mutating operation with no other result.
+type Res struct{ Token Token }
+
+// SubmitRes is the result of Session.Submit.
+type SubmitRes struct {
+	ID    int64
+	Token Token
+}
+
+// BatchRes is the result of Session.SubmitBatch.
+type BatchRes struct {
+	IDs   []int64
+	Token Token
+}
+
+// TasksRes is the result of Session.QueryTasks: the popped tasks and the pop
+// transaction's own commit token.
+type TasksRes struct {
+	Tasks []Task
+	Token Token
+}
+
+// ResultRes is the result of Session.QueryResult.
+type ResultRes struct {
+	Result string
+	Token  Token
+}
+
+// ResultsRes is the result of Session.PopResults.
+type ResultsRes struct {
+	Results []TaskResult
+	Token   Token
+}
+
+// CountRes is the result of the counting mutations (UpdatePriorities,
+// CancelTasks, RequeueRunning).
+type CountRes struct {
+	Count int
+	Token Token
+}
+
+// DefaultPollDelay is the fallback recheck interval of the polling
+// operations. Implementations wake on queue notifications where available;
+// the delay only bounds how stale a missed notification can leave a poll.
+const DefaultPollDelay = 100 * time.Millisecond
+
+// Session is the unified EMEWS DB task interface (v2): one surface shared by
+// the in-process database (DB), the remote service client (service.Client),
+// and the failover-aware cluster client (service.DialCluster), so ME
+// algorithms and worker pools run unchanged against any of them (paper §IV-C,
+// §V-A).
+//
+// Every operation takes a leading context; the polling operations
+// (QueryTasks, QueryResult, PopResults) derive their deadline from it and
+// return ErrTimeout when it expires with nothing to deliver. Every mutating
+// operation — the pop paths included, since popping mutates the queues —
+// returns the commit token of its own WAL entry. A Session tracks the highest
+// token any of its operations observed (Token) and reads default to that
+// session bound: after a pop through a Session, a follower-served status read
+// through the same Session is guaranteed to see the post-pop state.
+type Session interface {
+	// Submit inserts a task and pushes it onto the output queue.
+	Submit(ctx context.Context, expID string, workType int, payload string, opts ...SubmitOption) (SubmitRes, error)
+
+	// SubmitBatch inserts a batch of tasks in one transaction (one network
+	// round trip through the service). priorities must be empty (all zero),
+	// have one element (applied to all), or one per payload. dedupKeys is nil
+	// or one key per payload ("" entries are not deduplicated); payloads
+	// whose key already exists are skipped and report the original task id in
+	// their position.
+	SubmitBatch(ctx context.Context, expID string, workType int, payloads []string, priorities []int, dedupKeys []string) (BatchRes, error)
+
+	// QueryTasks pops up to n of the highest-priority queued tasks of the
+	// given work type, marking them running and owned by pool. It polls until
+	// at least one task is available or ctx expires (ErrTimeout).
+	QueryTasks(ctx context.Context, workType, n int, pool string) (TasksRes, error)
+
+	// Report records the result of a running task, marks it complete, and
+	// pushes it onto the input queue.
+	Report(ctx context.Context, taskID int64, workType int, result string) (Res, error)
+
+	// QueryResult polls the input queue for the completed task, pops it, and
+	// returns its result payload.
+	QueryResult(ctx context.Context, taskID int64) (ResultRes, error)
+
+	// PopResults pops up to max completed results belonging to ids from the
+	// input queue, polling until at least one is available or ctx expires.
+	PopResults(ctx context.Context, ids []int64, max int) (ResultsRes, error)
+
+	// Statuses returns the status of each existing task in ids.
+	Statuses(ctx context.Context, ids []int64, opts ...ReadOption) (map[int64]Status, error)
+
+	// Priorities returns the current output-queue priority of each task in
+	// ids that is still queued.
+	Priorities(ctx context.Context, ids []int64, opts ...ReadOption) (map[int64]int, error)
+
+	// UpdatePriorities sets new priorities on the still-queued tasks in ids
+	// as a single batch transaction (§V-B). priorities must have either one
+	// element (applied to all) or len(ids) elements.
+	UpdatePriorities(ctx context.Context, ids []int64, priorities []int) (CountRes, error)
+
+	// CancelTasks removes still-queued tasks from the output queue and marks
+	// them canceled.
+	CancelTasks(ctx context.Context, ids []int64) (CountRes, error)
+
+	// RequeueRunning returns tasks owned by a (presumed crashed) worker pool
+	// to the output queue at their previous priority.
+	RequeueRunning(ctx context.Context, pool string) (CountRes, error)
+
+	// Counts reports the number of tasks per status for an experiment
+	// ("" for all experiments).
+	Counts(ctx context.Context, expID string, opts ...ReadOption) (map[Status]int, error)
+
+	// Tags returns the metadata tags recorded for a task.
+	Tags(ctx context.Context, taskID int64, opts ...ReadOption) ([]string, error)
+
+	// GetTask returns the full task row without touching the queues.
+	GetTask(ctx context.Context, taskID int64, opts ...ReadOption) (Task, error)
+
+	// Token returns the session's high-water commit token: the newest WAL
+	// index any operation of this session has produced or observed. It is the
+	// default freshness bound of LevelSession reads, and can be handed to
+	// another session to extend the guarantee across sessions.
+	Token() Token
+}
+
+// CtxErr maps a finished context to the API's timeout semantics: a deadline
+// expiry is the paper's TIMEOUT answer (ErrTimeout), a cancellation surfaces
+// as itself. Every Session implementation (DB, the service clients, Lift)
+// shares this mapping.
+func CtxErr(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	return ctx.Err()
+}
+
+func ctxErr(ctx context.Context) error { return CtxErr(ctx) }
+
+// --- Compat: Session -> deprecated API ---
+
+// Compat adapts a Session to the deprecated v1 API interface, so ME
+// algorithms and pools written against core.API compile and run unchanged
+// for one more release. The polling methods translate their explicit timeout
+// into a context deadline; the delay argument is ignored (sessions poll on
+// queue notifications with DefaultPollDelay as the recheck bound). Commit
+// tokens still ratchet inside the wrapped Session, so reads through other
+// consumers of the same Session keep their guarantees — the adapter merely
+// does not surface tokens to its own caller.
+func Compat(s Session) API { return compatAPI{s} }
+
+type compatAPI struct{ s Session }
+
+// pollCtx converts a v1 timeout into a polling context. The v1 contract gives
+// a zero (or negative) timeout one immediate attempt, which Session
+// implementations honor by attempting before checking the deadline.
+func pollCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout < 0 {
+		timeout = 0
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}
+
+func (c compatAPI) SubmitTask(expID string, workType int, payload string, opts ...SubmitOption) (int64, error) {
+	res, err := c.s.Submit(context.Background(), expID, workType, payload, opts...)
+	return res.ID, err
+}
+
+func (c compatAPI) SubmitTasks(expID string, workType int, payloads []string, priorities []int) ([]int64, error) {
+	res, err := c.s.SubmitBatch(context.Background(), expID, workType, payloads, priorities, nil)
+	return res.IDs, err
+}
+
+func (c compatAPI) QueryTasks(workType, n int, pool string, delay, timeout time.Duration) ([]Task, error) {
+	ctx, cancel := pollCtx(timeout)
+	defer cancel()
+	res, err := c.s.QueryTasks(ctx, workType, n, pool)
+	return res.Tasks, err
+}
+
+func (c compatAPI) ReportTask(taskID int64, workType int, result string) error {
+	_, err := c.s.Report(context.Background(), taskID, workType, result)
+	return err
+}
+
+func (c compatAPI) QueryResult(taskID int64, delay, timeout time.Duration) (string, error) {
+	ctx, cancel := pollCtx(timeout)
+	defer cancel()
+	res, err := c.s.QueryResult(ctx, taskID)
+	return res.Result, err
+}
+
+func (c compatAPI) PopResults(ids []int64, max int, delay, timeout time.Duration) ([]TaskResult, error) {
+	ctx, cancel := pollCtx(timeout)
+	defer cancel()
+	res, err := c.s.PopResults(ctx, ids, max)
+	return res.Results, err
+}
+
+func (c compatAPI) Statuses(ids []int64) (map[int64]Status, error) {
+	return c.s.Statuses(context.Background(), ids)
+}
+
+func (c compatAPI) Priorities(ids []int64) (map[int64]int, error) {
+	return c.s.Priorities(context.Background(), ids)
+}
+
+func (c compatAPI) UpdatePriorities(ids []int64, priorities []int) (int, error) {
+	res, err := c.s.UpdatePriorities(context.Background(), ids, priorities)
+	return res.Count, err
+}
+
+func (c compatAPI) CancelTasks(ids []int64) (int, error) {
+	res, err := c.s.CancelTasks(context.Background(), ids)
+	return res.Count, err
+}
+
+func (c compatAPI) RequeueRunning(pool string) (int, error) {
+	res, err := c.s.RequeueRunning(context.Background(), pool)
+	return res.Count, err
+}
+
+func (c compatAPI) Counts(expID string) (map[Status]int, error) {
+	return c.s.Counts(context.Background(), expID)
+}
+
+func (c compatAPI) Tags(taskID int64) ([]string, error) {
+	return c.s.Tags(context.Background(), taskID)
+}
+
+// GetTask exposes the Session's task fetch on the concrete adapter (it is not
+// part of the v1 API interface, but v1 servers probed for it dynamically).
+func (c compatAPI) GetTask(taskID int64) (Task, error) {
+	return c.s.GetTask(context.Background(), taskID)
+}
+
+// Unwrap returns the adapted Session, letting layers that receive an API
+// value rediscover the full v2 surface.
+func (c compatAPI) Unwrap() Session { return c.s }
+
+// --- Lift: deprecated API -> Session ---
+
+// ErrNoTokens marks operations a token-less v1 backend cannot honor.
+var ErrNoTokens = errors.New("eqsql: dedup keys unsupported by backend (no commit tokens)")
+
+// Lift adapts a legacy token-less API implementation to the Session
+// interface: every commit token is 0 (no freshness bound), consistency
+// options are ignored, and dedup keys are rejected — the backend cannot make
+// submits idempotent, and silently dropping the caller's idempotency demand
+// would be worse than failing. Session consumers built for at-least-once
+// semantics (e.g. DialCluster's auto-keyed submits) detect the rejection and
+// downgrade.
+func Lift(api API) Session {
+	if c, ok := api.(compatAPI); ok {
+		return c.s // round-trip: un-wrap instead of stacking adapters
+	}
+	return liftSession{api}
+}
+
+type liftSession struct{ api API }
+
+// Tokenless reports whether s is a Lift adapter over a token-less v1
+// backend. The service layer uses it to choose the conservative quorum wait
+// (newest committed index) over the exact per-token wait: a lifted backend's
+// zero tokens mean "unknown entry", not "no entry".
+func Tokenless(s Session) bool {
+	_, ok := s.(liftSession)
+	return ok
+}
+
+// liftPoll runs one v1 polling call in context-sized chunks. A canceled
+// context aborts before the (queue-mutating) poll runs; a deadline expiry
+// still earns the one-shot immediate attempt.
+func liftPoll(ctx context.Context, fn func(timeout time.Duration) error) error {
+	const chunk = 500 * time.Millisecond
+	first := true
+	for {
+		if err := ctx.Err(); errors.Is(err, context.Canceled) {
+			return err
+		}
+		step := chunk
+		if d, ok := ctx.Deadline(); ok {
+			remain := time.Until(d)
+			if remain <= 0 {
+				if !first {
+					return ErrTimeout
+				}
+				// The v1 contract gives an expired timeout one immediate try.
+				remain = time.Millisecond
+			}
+			if remain < step {
+				step = remain
+			}
+		}
+		err := fn(step)
+		first = false
+		if !errors.Is(err, ErrTimeout) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctxErr(ctx)
+		default:
+		}
+	}
+}
+
+func (l liftSession) Submit(ctx context.Context, expID string, workType int, payload string, opts ...SubmitOption) (SubmitRes, error) {
+	var o SubmitOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.DedupKey != "" {
+		return SubmitRes{}, ErrNoTokens
+	}
+	if err := ctx.Err(); err != nil {
+		return SubmitRes{}, ctxErr(ctx)
+	}
+	id, err := l.api.SubmitTask(expID, workType, payload, opts...)
+	return SubmitRes{ID: id}, err
+}
+
+func (l liftSession) SubmitBatch(ctx context.Context, expID string, workType int, payloads []string, priorities []int, dedupKeys []string) (BatchRes, error) {
+	for _, k := range dedupKeys {
+		if k != "" {
+			return BatchRes{}, ErrNoTokens
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return BatchRes{}, ctxErr(ctx)
+	}
+	ids, err := l.api.SubmitTasks(expID, workType, payloads, priorities)
+	return BatchRes{IDs: ids}, err
+}
+
+func (l liftSession) QueryTasks(ctx context.Context, workType, n int, pool string) (TasksRes, error) {
+	var tasks []Task
+	err := liftPoll(ctx, func(timeout time.Duration) error {
+		var err error
+		tasks, err = l.api.QueryTasks(workType, n, pool, DefaultPollDelay, timeout)
+		return err
+	})
+	return TasksRes{Tasks: tasks}, err
+}
+
+func (l liftSession) Report(ctx context.Context, taskID int64, workType int, result string) (Res, error) {
+	if err := ctx.Err(); err != nil {
+		return Res{}, ctxErr(ctx)
+	}
+	return Res{}, l.api.ReportTask(taskID, workType, result)
+}
+
+func (l liftSession) QueryResult(ctx context.Context, taskID int64) (ResultRes, error) {
+	var res string
+	err := liftPoll(ctx, func(timeout time.Duration) error {
+		var err error
+		res, err = l.api.QueryResult(taskID, DefaultPollDelay, timeout)
+		return err
+	})
+	return ResultRes{Result: res}, err
+}
+
+func (l liftSession) PopResults(ctx context.Context, ids []int64, max int) (ResultsRes, error) {
+	var results []TaskResult
+	err := liftPoll(ctx, func(timeout time.Duration) error {
+		var err error
+		results, err = l.api.PopResults(ids, max, DefaultPollDelay, timeout)
+		return err
+	})
+	return ResultsRes{Results: results}, err
+}
+
+func (l liftSession) Statuses(ctx context.Context, ids []int64, opts ...ReadOption) (map[int64]Status, error) {
+	return l.api.Statuses(ids)
+}
+
+func (l liftSession) Priorities(ctx context.Context, ids []int64, opts ...ReadOption) (map[int64]int, error) {
+	return l.api.Priorities(ids)
+}
+
+func (l liftSession) UpdatePriorities(ctx context.Context, ids []int64, priorities []int) (CountRes, error) {
+	n, err := l.api.UpdatePriorities(ids, priorities)
+	return CountRes{Count: n}, err
+}
+
+func (l liftSession) CancelTasks(ctx context.Context, ids []int64) (CountRes, error) {
+	n, err := l.api.CancelTasks(ids)
+	return CountRes{Count: n}, err
+}
+
+func (l liftSession) RequeueRunning(ctx context.Context, pool string) (CountRes, error) {
+	n, err := l.api.RequeueRunning(pool)
+	return CountRes{Count: n}, err
+}
+
+func (l liftSession) Counts(ctx context.Context, expID string, opts ...ReadOption) (map[Status]int, error) {
+	return l.api.Counts(expID)
+}
+
+func (l liftSession) Tags(ctx context.Context, taskID int64, opts ...ReadOption) ([]string, error) {
+	return l.api.Tags(taskID)
+}
+
+func (l liftSession) GetTask(ctx context.Context, taskID int64, opts ...ReadOption) (Task, error) {
+	if g, ok := l.api.(interface {
+		GetTask(taskID int64) (Task, error)
+	}); ok {
+		return g.GetTask(taskID)
+	}
+	return Task{}, fmt.Errorf("eqsql: GetTask unsupported by backend")
+}
+
+func (l liftSession) Token() Token { return 0 }

@@ -9,6 +9,7 @@ package experiments
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -108,24 +109,27 @@ func RunFig3(ctx context.Context, cfg Fig3Config) (*Fig3Result, error) {
 	for i, x := range points {
 		payloads[i] = objective.EncodePayload(objective.Payload{X: x, Delay: delay.Sample(rng)})
 	}
-	ids, err := db.SubmitTasks("fig3", 1, payloads, nil)
+	batch, err := db.SubmitBatch(ctx, "fig3", 1, payloads, nil, nil)
 	if err != nil {
 		return nil, err
 	}
+	ids := batch.IDs
 	// Drain all results.
 	got := 0
 	for got < len(ids) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		results, err := db.PopResults(ids, len(ids), 5*time.Millisecond, 5*time.Second)
+		popCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		results, err := db.PopResults(popCtx, ids, len(ids))
+		cancel()
 		if err != nil {
-			if err == core.ErrTimeout {
+			if errors.Is(err, core.ErrTimeout) {
 				continue
 			}
 			return nil, err
 		}
-		got += len(results)
+		got += len(results.Results)
 	}
 	cancelPool()
 	<-poolDone
@@ -324,7 +328,7 @@ func RunFig4(ctx context.Context, cfg Fig4Config) (*Fig4Result, error) {
 			}
 		},
 	}
-	report, err := opt.RunAsync(ctx, meClient, meCfg, rec)
+	report, err := opt.RunAsync(ctx, core.Compat(meClient), meCfg, rec)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,15 @@
 // UpdatePriorities — operate on groups of futures and perform batch
 // operations against the EMEWS DB rather than iterating task by task,
 // which is what enables the paper's fast time-to-solution algorithms.
+//
+// Futures ride the Session API: every mutating operation a future performs
+// (the submit itself, result pops, cancellation, reprioritization) returns a
+// commit token, and the future ratchets the highest one it has seen (Token).
+// Because the underlying Session ratchets the same tokens internally, any
+// read through that Session — from this process or routed to a follower
+// replica — already reflects the future's own writes and pops; Token lets a
+// caller extend that guarantee to a *different* session by handing the bound
+// over explicitly.
 package future
 
 import (
@@ -22,33 +31,36 @@ import (
 // ErrCanceled is returned when a result is requested from a canceled future.
 var ErrCanceled = errors.New("future: task canceled")
 
-// DefaultDelay is the poll recheck interval used when none is specified,
-// matching the paper's API default of 0.5 s.
+// DefaultDelay is the poll recheck interval the v1 API used, retained for
+// callers that still parameterize polling; Session polls are notification-
+// driven and use it only as a chunk size.
 const DefaultDelay = 500 * time.Millisecond
 
 // Future is a handle on one submitted task (paper §V-B).
 type Future struct {
-	api      core.API
+	sess     core.Session
 	id       int64
 	workType int
 
 	mu     sync.Mutex
 	done   bool
 	result string
+	tok    core.Token
 }
 
-// Submit submits a task through the EMEWS DB API and returns its Future.
-func Submit(api core.API, expID string, workType int, payload string, opts ...core.SubmitOption) (*Future, error) {
-	id, err := api.SubmitTask(expID, workType, payload, opts...)
+// Submit submits a task through the EMEWS DB Session and returns its Future,
+// carrying the submit's commit token.
+func Submit(sess core.Session, expID string, workType int, payload string, opts ...core.SubmitOption) (*Future, error) {
+	res, err := sess.Submit(context.Background(), expID, workType, payload, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Future{api: api, id: id, workType: workType}, nil
+	return &Future{sess: sess, id: res.ID, workType: workType, tok: res.Token}, nil
 }
 
 // Wrap adopts an already-submitted task id as a Future.
-func Wrap(api core.API, taskID int64, workType int) *Future {
-	return &Future{api: api, id: taskID, workType: workType}
+func Wrap(sess core.Session, taskID int64, workType int) *Future {
+	return &Future{sess: sess, id: taskID, workType: workType}
 }
 
 // TaskID returns the unique EMEWS DB task identifier.
@@ -56,6 +68,26 @@ func (f *Future) TaskID() int64 { return f.id }
 
 // WorkType returns the task's work type.
 func (f *Future) WorkType() int { return f.workType }
+
+// Token returns the highest commit token any of this future's operations has
+// produced — at minimum the submit's own token, ratcheting as results are
+// retrieved or the task is canceled or reprioritized. A reader session given
+// this token is guaranteed to observe the future's task in its current
+// state, even through a follower replica.
+func (f *Future) Token() core.Token {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tok
+}
+
+// noteToken ratchets the future's token high-water mark.
+func (f *Future) noteToken(tok core.Token) {
+	f.mu.Lock()
+	if tok > f.tok {
+		f.tok = tok
+	}
+	f.mu.Unlock()
+}
 
 // Done reports whether the result has already been retrieved locally.
 func (f *Future) Done() bool {
@@ -65,6 +97,8 @@ func (f *Future) Done() bool {
 }
 
 // Status queries the task's current status without waiting for completion.
+// The read runs at session consistency: it always reflects this future's own
+// submit and pops.
 func (f *Future) Status() (core.Status, error) {
 	f.mu.Lock()
 	if f.done {
@@ -72,7 +106,7 @@ func (f *Future) Status() (core.Status, error) {
 		return core.StatusComplete, nil
 	}
 	f.mu.Unlock()
-	sts, err := f.api.Statuses([]int64{f.id})
+	sts, err := f.sess.Statuses(context.Background(), []int64{f.id})
 	if err != nil {
 		return "", err
 	}
@@ -94,7 +128,9 @@ func (f *Future) Result(timeout time.Duration) (string, error) {
 		return r, nil
 	}
 	f.mu.Unlock()
-	res, err := f.api.QueryResult(f.id, DefaultDelay, timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	res, err := f.sess.QueryResult(ctx, f.id)
 	if err != nil {
 		if errors.Is(err, core.ErrTimeout) {
 			// Canceled tasks never produce results; surface that instead.
@@ -104,28 +140,35 @@ func (f *Future) Result(timeout time.Duration) (string, error) {
 		}
 		return "", err
 	}
-	f.setResult(res)
-	return res, nil
+	f.setResult(res.Result, res.Token)
+	return res.Result, nil
 }
 
-func (f *Future) setResult(res string) {
+func (f *Future) setResult(res string, tok core.Token) {
 	f.mu.Lock()
 	f.done = true
 	f.result = res
+	if tok > f.tok {
+		f.tok = tok
+	}
 	f.mu.Unlock()
 }
 
 // Cancel removes the task from the output queue if it has not started.
 // It reports whether the task was actually canceled.
 func (f *Future) Cancel() (bool, error) {
-	n, err := f.api.CancelTasks([]int64{f.id})
-	return n > 0, err
+	res, err := f.sess.CancelTasks(context.Background(), []int64{f.id})
+	if err != nil {
+		return false, err
+	}
+	f.noteToken(res.Token)
+	return res.Count > 0, nil
 }
 
 // Priority returns the task's current output-queue priority; ok is false if
 // the task is no longer queued.
 func (f *Future) Priority() (prio int, ok bool, err error) {
-	prios, err := f.api.Priorities([]int64{f.id})
+	prios, err := f.sess.Priorities(context.Background(), []int64{f.id})
 	if err != nil {
 		return 0, false, err
 	}
@@ -136,8 +179,12 @@ func (f *Future) Priority() (prio int, ok bool, err error) {
 // SetPriority updates the task's priority while it remains queued. It
 // reports whether the task was still queued.
 func (f *Future) SetPriority(p int) (bool, error) {
-	n, err := f.api.UpdatePriorities([]int64{f.id}, []int{p})
-	return n > 0, err
+	res, err := f.sess.UpdatePriorities(context.Background(), []int64{f.id}, []int{p})
+	if err != nil {
+		return false, err
+	}
+	f.noteToken(res.Token)
+	return res.Count > 0, nil
 }
 
 // UpdatePriorities batch-updates the priorities of all still-queued futures
@@ -147,12 +194,19 @@ func UpdatePriorities(fs []*Future, priorities []int) (int, error) {
 	if len(fs) == 0 {
 		return 0, nil
 	}
-	api := fs[0].api
+	sess := fs[0].sess
 	ids := make([]int64, len(fs))
 	for i, f := range fs {
 		ids[i] = f.id
 	}
-	return api.UpdatePriorities(ids, priorities)
+	res, err := sess.UpdatePriorities(context.Background(), ids, priorities)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range fs {
+		f.noteToken(res.Token)
+	}
+	return res.Count, nil
 }
 
 // CancelAll cancels every still-queued future in fs as one batch, returning
@@ -165,38 +219,49 @@ func CancelAll(fs []*Future) (int, error) {
 	for i, f := range fs {
 		ids[i] = f.id
 	}
-	return fs[0].api.CancelTasks(ids)
+	res, err := fs[0].sess.CancelTasks(context.Background(), ids)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range fs {
+		f.noteToken(res.Token)
+	}
+	return res.Count, nil
 }
 
 // PopCompleted blocks until one of the futures in *fs completes, removes it
 // from the slice and returns it with its result cached. It mirrors the
-// paper's pop_completed.
+// paper's pop_completed. The pop's commit token lands on the returned
+// future, so a reader session handed Future.Token observes the post-pop
+// state.
 func PopCompleted(fs *[]*Future, timeout time.Duration) (*Future, error) {
 	if len(*fs) == 0 {
 		return nil, errors.New("future: PopCompleted on empty future list")
 	}
-	api := (*fs)[0].api
+	sess := (*fs)[0].sess
 	byID := make(map[int64]int, len(*fs))
 	ids := make([]int64, len(*fs))
 	for i, f := range *fs {
 		ids[i] = f.id
 		byID[f.id] = i
 	}
-	results, err := api.PopResults(ids, 1, DefaultDelay, timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	res, err := sess.PopResults(ctx, ids, 1)
 	if err != nil {
 		return nil, err
 	}
-	idx := byID[results[0].ID]
+	idx := byID[res.Results[0].ID]
 	f := (*fs)[idx]
-	f.setResult(results[0].Result)
+	f.setResult(res.Results[0].Result, res.Token)
 	*fs = append((*fs)[:idx], (*fs)[idx+1:]...)
 	return f, nil
 }
 
 // AsCompleted returns a channel yielding up to n futures from fs as they
 // complete (all of them when n <= 0), closing the channel afterwards or when
-// ctx is done. Each yielded future has its result cached. It mirrors the
-// paper's as_completed generator.
+// ctx is done. Each yielded future has its result cached and carries the
+// pop's commit token. It mirrors the paper's as_completed generator.
 func AsCompleted(ctx context.Context, fs []*Future, n int) <-chan *Future {
 	out := make(chan *Future)
 	if n <= 0 || n > len(fs) {
@@ -214,22 +279,24 @@ func AsCompleted(ctx context.Context, fs []*Future, n int) <-chan *Future {
 			if ctx.Err() != nil {
 				return
 			}
-			api := remaining[0].api
+			sess := remaining[0].sess
 			ids := make([]int64, len(remaining))
 			for i, f := range remaining {
 				ids[i] = f.id
 			}
-			results, err := api.PopResults(ids, n-yielded, DefaultDelay, time.Second)
+			popCtx, cancel := context.WithTimeout(ctx, time.Second)
+			res, err := sess.PopResults(popCtx, ids, n-yielded)
+			cancel()
 			if err != nil {
 				if errors.Is(err, core.ErrTimeout) {
 					continue // poll again, honoring ctx
 				}
 				return
 			}
-			got := make(map[int64]bool, len(results))
-			for _, r := range results {
+			got := make(map[int64]bool, len(res.Results))
+			for _, r := range res.Results {
 				f := byID[r.ID]
-				f.setResult(r.Result)
+				f.setResult(r.Result, res.Token)
 				got[r.ID] = true
 				select {
 				case out <- f:

@@ -31,15 +31,29 @@ func newDB(t *testing.T) *core.DB {
 func worker(ctx context.Context, db *core.DB, workType int, transform func(string) string) {
 	go func() {
 		for ctx.Err() == nil {
-			tasks, err := db.QueryTasks(workType, 4, "test-pool", tick, 100*time.Millisecond)
+			qctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+			res, err := db.QueryTasks(qctx, workType, 4, "test-pool")
+			cancel()
 			if err != nil {
 				continue
 			}
-			for _, task := range tasks {
-				db.ReportTask(task.ID, workType, transform(task.Payload))
+			for _, task := range res.Tasks {
+				db.Report(context.Background(), task.ID, workType, transform(task.Payload))
 			}
 		}
 	}()
+}
+
+// popOne pops up to n tasks directly off the DB (test plumbing).
+func popOne(t *testing.T, db *core.DB, workType, n int) []core.Task {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), waitMax)
+	defer cancel()
+	res, err := db.QueryTasks(ctx, workType, n, "p")
+	if err != nil {
+		t.Fatalf("QueryTasks: %v", err)
+	}
+	return res.Tasks
 }
 
 func TestFutureResult(t *testing.T) {
@@ -79,12 +93,12 @@ func TestFutureStatus(t *testing.T) {
 	if err != nil || st != core.StatusQueued {
 		t.Fatalf("Status = %v, %v", st, err)
 	}
-	tasks, _ := db.QueryTasks(1, 1, "p", tick, waitMax)
+	tasks := popOne(t, db, 1, 1)
 	st, _ = f.Status()
 	if st != core.StatusRunning {
 		t.Fatalf("Status = %v, want running", st)
 	}
-	db.ReportTask(tasks[0].ID, 1, "done")
+	db.Report(context.Background(), tasks[0].ID, 1, "done")
 	st, _ = f.Status()
 	if st != core.StatusComplete {
 		t.Fatalf("Status = %v, want complete", st)
@@ -107,7 +121,7 @@ func TestFutureCancel(t *testing.T) {
 	}
 	// Cancel after pop fails.
 	g, _ := Submit(db, "e", 1, "y")
-	db.QueryTasks(1, 1, "p", tick, waitMax)
+	popOne(t, db, 1, 1)
 	ok, _ = g.Cancel()
 	if ok {
 		t.Fatal("canceled a running task")
@@ -129,7 +143,7 @@ func TestFuturePriority(t *testing.T) {
 	if p != 9 {
 		t.Fatalf("priority = %d, want 9", p)
 	}
-	db.QueryTasks(1, 1, "p", tick, waitMax)
+	popOne(t, db, 1, 1)
 	_, ok, _ = f.Priority()
 	if ok {
 		t.Fatal("running task still reports a queue priority")
@@ -236,7 +250,7 @@ func TestUpdatePrioritiesBatch(t *testing.T) {
 	if err != nil || n != 6 {
 		t.Fatalf("UpdatePriorities = %d, %v", n, err)
 	}
-	tasks, _ := db.QueryTasks(1, 6, "p", tick, waitMax)
+	tasks := popOne(t, db, 1, 6)
 	for i, task := range tasks {
 		if task.ID != fs[i].TaskID() {
 			t.Fatalf("pop order after batch reprio wrong at %d: %+v", i, tasks)
@@ -254,7 +268,7 @@ func TestCancelAll(t *testing.T) {
 		f, _ := Submit(db, "e", 1, "x")
 		fs = append(fs, f)
 	}
-	db.QueryTasks(1, 1, "p", tick, waitMax) // one becomes running
+	popOne(t, db, 1, 1) // one becomes running
 	n, err := CancelAll(fs)
 	if err != nil || n != 3 {
 		t.Fatalf("CancelAll = %d, %v", n, err)
@@ -263,8 +277,9 @@ func TestCancelAll(t *testing.T) {
 
 func TestWrap(t *testing.T) {
 	db := newDB(t)
-	id, _ := db.SubmitTask("e", 7, "payload")
-	f := Wrap(db, id, 7)
+	sub, _ := db.Submit(context.Background(), "e", 7, "payload")
+	f := Wrap(db, sub.ID, 7)
+	id := sub.ID
 	if f.TaskID() != id || f.WorkType() != 7 {
 		t.Fatalf("Wrap = %+v", f)
 	}

@@ -39,7 +39,11 @@ type createIndexStmt struct {
 	Name        string
 	IfNotExists bool
 	Table       string
-	Col         string
+	// Cols is the key column list: one column, or two for a composite index
+	// whose entries sort by (col1, col2). A composite ordered index bounds the
+	// equal-key run length of the top-n scan by the cardinality of the pair
+	// instead of the first column alone.
+	Cols []string
 	// Ordered requests a sorted index (CREATE ORDERED INDEX): equality
 	// lookups still hit the hash side, and ORDER BY <col> ... LIMIT n reads
 	// the top-n directly off the sorted side instead of scan+sort.
@@ -101,18 +105,28 @@ type expr interface {
 	eval(ev *evalCtx) (Value, error)
 }
 
-// evalCtx carries the current row and positional arguments.
+// evalCtx carries the current row, positional arguments, and the width of the
+// statement's spread parameter (0 when the statement has none): the number of
+// trailing arguments the `IN (?...)` list absorbed at execution time.
 type evalCtx struct {
-	tbl  *table
-	row  []Value
-	args []Value
+	tbl     *table
+	row     []Value
+	args    []Value
+	spreadN int
 }
 
 type colRef struct{ Name string }
 
 type litExpr struct{ V Value }
 
-type paramExpr struct{ Idx int }
+// paramExpr is one `?` placeholder. Idx counts fixed parameters only; a
+// parameter textually after a spread shifts right by the spread's runtime
+// width, so `... IN (?...) ... LIMIT ?` binds the LIMIT to the last argument
+// no matter how many ids the IN list consumed.
+type paramExpr struct {
+	Idx         int
+	AfterSpread bool
+}
 
 type binExpr struct {
 	Op string // = != < <= > >= AND OR
@@ -120,9 +134,16 @@ type binExpr struct {
 	R  expr
 }
 
+// inExpr is `target IN (...)`. Spread marks the width-oblivious form
+// `IN (?...)`: List is nil and the members are args[SpreadStart :
+// SpreadStart+spreadN], bound at execution time. One parsed plan therefore
+// serves every batch width, where an explicit `?, ?, ...` list costs a
+// distinct statement text (and plan-cache entry) per width.
 type inExpr struct {
-	Target expr
-	List   []expr
+	Target      expr
+	List        []expr
+	Spread      bool
+	SpreadStart int
 }
 
 type isNullExpr struct {

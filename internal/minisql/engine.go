@@ -36,6 +36,7 @@ type Engine struct {
 	applying   bool       // true while replaying a shipped entry
 	pending    []Stmt     // mutating statements awaiting commit
 	lastLogged uint64     // highest log index the hook has assigned
+	spreadN    int        // spread-IN width of the statement executing now
 
 	plans *planCache // parsed-statement LRU (plancache.go)
 }
@@ -74,13 +75,14 @@ func (e *Engine) Exec(sql string, args ...any) (*Result, error) {
 // installed, or while inside an explicit transaction (the whole transaction
 // gets one entry at COMMIT — use TxLogged).
 func (e *Engine) ExecLogged(sql string, args ...any) (*Result, uint64, error) {
-	stmt, nparams, err := e.cachedParse(sql)
+	p, err := e.cachedParse(sql)
 	if err != nil {
 		return nil, 0, err
 	}
-	if len(args) < nparams {
+	stmt := p.stmt
+	if len(args) < p.nparams {
 		return nil, 0, fmt.Errorf("minisql: statement has %d parameters, %d arguments given (in %q)",
-			nparams, len(args), compactSQL(sql))
+			p.nparams, len(args), compactSQL(sql))
 	}
 	vals := make([]Value, len(args))
 	for i, a := range args {
@@ -92,6 +94,10 @@ func (e *Engine) ExecLogged(sql string, args ...any) (*Result, uint64, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.spreadN = 0
+	if p.spread {
+		e.spreadN = len(args) - p.nparams
+	}
 	if !e.inTx && isMutating(stmt) {
 		// Implicit transaction: a mutating statement that fails part-way
 		// (e.g. a bad row in a multi-row INSERT) must leave no trace —
@@ -165,13 +171,13 @@ type Tx struct{ e *Engine }
 
 // Exec executes a statement within the transaction.
 func (tx *Tx) Exec(sql string, args ...any) (*Result, error) {
-	stmt, nparams, err := tx.e.cachedParse(sql)
+	p, err := tx.e.cachedParse(sql)
 	if err != nil {
 		return nil, err
 	}
-	if len(args) < nparams {
+	if len(args) < p.nparams {
 		return nil, fmt.Errorf("minisql: statement has %d parameters, %d arguments given (in %q)",
-			nparams, len(args), compactSQL(sql))
+			p.nparams, len(args), compactSQL(sql))
 	}
 	vals := make([]Value, len(args))
 	for i, a := range args {
@@ -181,7 +187,11 @@ func (tx *Tx) Exec(sql string, args ...any) (*Result, error) {
 		}
 		vals[i] = v
 	}
-	return tx.e.execLocked(stmt, vals, sql)
+	tx.e.spreadN = 0
+	if p.spread {
+		tx.e.spreadN = len(args) - p.nparams
+	}
+	return tx.e.execLocked(p.stmt, vals, sql)
 }
 
 // execLocked executes one parsed statement and, on success, records mutating
@@ -335,12 +345,13 @@ func (e *Engine) execCreateIndex(st createIndexStmt) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
 	}
-	if ix, exists := t.indexes[st.Col]; exists {
+	spec := indexSpec(st.Cols)
+	if ix, exists := t.indexes[spec]; exists {
 		if st.Ordered && !ix.ordered {
 			// Orderedness is a property the statement demands, not a second
 			// index: upgrade the existing hash index in place (even under IF
 			// NOT EXISTS) instead of refusing.
-			if err := t.addIndex(st.Col, true); err != nil {
+			if err := t.addIndex(spec, true); err != nil {
 				return nil, err
 			}
 			e.plans.purge()
@@ -349,9 +360,9 @@ func (e *Engine) execCreateIndex(st createIndexStmt) (*Result, error) {
 		if st.IfNotExists {
 			return &Result{}, nil
 		}
-		return nil, fmt.Errorf("minisql: index on %s (%s) already exists", st.Table, st.Col)
+		return nil, fmt.Errorf("minisql: index on %s (%s) already exists", st.Table, spec)
 	}
-	if err := t.addIndex(st.Col, st.Ordered); err != nil {
+	if err := t.addIndex(spec, st.Ordered); err != nil {
 		return nil, err
 	}
 	e.plans.purge()
@@ -401,7 +412,7 @@ func (e *Engine) execInsert(st insertStmt, args []Value) (*Result, error) {
 			row[i] = Null()
 		}
 		prevNextKey := t.nextKey
-		ev := &evalCtx{tbl: t, args: args}
+		ev := &evalCtx{tbl: t, args: args, spreadN: e.spreadN}
 		for i, ex := range exprRow {
 			v, err := ex.eval(ev)
 			if err != nil {
@@ -438,7 +449,7 @@ func (e *Engine) matchIDs(t *table, where expr, args []Value) ([]int64, error) {
 	if where == nil {
 		return candidates, nil
 	}
-	ev := &evalCtx{tbl: t, args: args}
+	ev := &evalCtx{tbl: t, args: args, spreadN: e.spreadN}
 	out := candidates[:0:0]
 	for _, id := range candidates {
 		row, ok := t.rows[id]
@@ -484,13 +495,19 @@ func (e *Engine) planCandidates(t *table, where expr, args []Value) []int64 {
 				continue
 			}
 			var ids []int64
-			ev := &evalCtx{tbl: t, args: args}
-			for _, le := range ex.List {
-				v, err := le.eval(ev)
-				if err != nil {
-					return nil
+			ev := &evalCtx{tbl: t, args: args, spreadN: e.spreadN}
+			if ex.Spread {
+				for _, v := range ex.spreadArgs(ev) {
+					ids = append(ids, ix.lookup(v)...)
 				}
-				ids = append(ids, ix.lookup(v)...)
+			} else {
+				for _, le := range ex.List {
+					v, err := le.eval(ev)
+					if err != nil {
+						return nil
+					}
+					ids = append(ids, ix.lookup(v)...)
+				}
 			}
 			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			return dedupeIDs(ids)
@@ -640,7 +657,7 @@ func (e *Engine) execSelect(st selectStmt, args []Value) (*Result, error) {
 			})
 		}
 		if st.Limit != nil {
-			ev := &evalCtx{tbl: t, args: args}
+			ev := &evalCtx{tbl: t, args: args, spreadN: e.spreadN}
 			lv, err := st.Limit.eval(ev)
 			if err != nil {
 				return nil, err
@@ -670,6 +687,16 @@ func (e *Engine) execSelect(st selectStmt, args []Value) (*Result, error) {
 	return res, nil
 }
 
+// runStart returns the index of the first entry of the equal-first-key run
+// ending at i. The slice is sorted ascending by v, so a binary search finds
+// the boundary in O(log n); the linear alternative re-walks the entire run
+// per pop — O(queue) when every row shares one key, exactly the degeneration
+// the composite index exists to avoid.
+func runStart(sorted []ordEntry, i int) int {
+	v := sorted[i].v
+	return sort.Search(i, func(m int) bool { return sorted[m].v.Compare(v) >= 0 })
+}
+
 // orderedTopN serves SELECT ... [WHERE ...] ORDER BY k1 [DESC] [, k2 ...]
 // LIMIT n off the ordered index on k1, when one exists: rows are visited in
 // k1 order (runs of equal k1 sub-sorted by the remaining keys) and the scan
@@ -686,8 +713,32 @@ func (e *Engine) orderedTopN(t *table, st selectStmt, args []Value) (ids []int64
 	if len(st.Cols) > 0 && st.Cols[0].Agg != "" {
 		return nil, false, nil
 	}
-	ix := t.indexes[st.OrderBy[0].Col]
-	if ix == nil || !ix.ordered {
+	// Index selection: among ordered indexes leading with the first ORDER BY
+	// column, prefer a composite whose second column continues the ORDER BY
+	// ascending — its sorted side carries the full query order, so the scan
+	// streams matches and stops at n even when every row shares one first-key
+	// value (the uniform-priority queue case, where a single-column index
+	// degenerates into one whole-table run). A composite whose second column
+	// does not match the query is unusable here: its within-run order is not
+	// the insertion order the fallback sort would produce.
+	var ix, single *hashIndex
+	stream := false
+	for _, cand := range t.indexes {
+		if !cand.ordered || t.cols[cand.cols[0]].Name != st.OrderBy[0].Col {
+			continue
+		}
+		if len(cand.cols) == 1 {
+			single = cand
+			continue
+		}
+		if len(st.OrderBy) == 2 && t.cols[cand.cols[1]].Name == st.OrderBy[1].Col && !st.OrderBy[1].Desc {
+			ix, stream = cand, true
+		}
+	}
+	if ix == nil {
+		ix = single
+	}
+	if ix == nil {
 		return nil, false, nil
 	}
 	rest := st.OrderBy[1:]
@@ -699,7 +750,7 @@ func (e *Engine) orderedTopN(t *table, st selectStmt, args []Value) (ids []int64
 		}
 		restPos[i] = ci
 	}
-	ev := &evalCtx{tbl: t, args: args}
+	ev := &evalCtx{tbl: t, args: args, spreadN: e.spreadN}
 	lv, err := st.Limit.eval(ev)
 	if err != nil {
 		return nil, false, err
@@ -717,6 +768,60 @@ func (e *Engine) orderedTopN(t *table, st selectStmt, args []Value) (ids []int64
 
 	sorted := ix.sorted
 	desc := st.OrderBy[0].Desc
+
+	if stream {
+		// Composite fast path: within each equal-first-key run the sorted side
+		// already carries the remaining ORDER BY order (second key ascending,
+		// rowid tiebreak matching the fallback's stable sort), so matches
+		// append directly and the scan stops the moment n rows matched —
+		// bounding the visit by matches needed, not by run length.
+		match := func(id int64) (bool, error) {
+			if st.Where == nil {
+				return true, nil
+			}
+			ev.row = t.rows[id]
+			v, err := st.Where.eval(ev)
+			if err != nil {
+				return false, err
+			}
+			return truthy(v), nil
+		}
+		if desc {
+			for i := len(sorted) - 1; i >= 0 && len(ids) < n; {
+				j := runStart(sorted, i) - 1
+				for _, ent := range sorted[j+1 : i+1] {
+					if len(ids) >= n {
+						break
+					}
+					ok, err := match(ent.id)
+					if err != nil {
+						return nil, false, err
+					}
+					if ok {
+						ids = append(ids, ent.id)
+					}
+				}
+				i = j
+			}
+		} else {
+			// Ascending on both keys: the slice's global order is the query
+			// order.
+			for i := 0; i < len(sorted) && len(ids) < n; i++ {
+				ok, err := match(sorted[i].id)
+				if err != nil {
+					return nil, false, err
+				}
+				if ok {
+					ids = append(ids, sorted[i].id)
+				}
+			}
+		}
+		if ids == nil {
+			ids = []int64{}
+		}
+		return ids, true, nil
+	}
+
 	var group []int64
 	cmpRest := func(a, b int64) int {
 		ra, rb := t.rows[a], t.rows[b]
@@ -771,10 +876,7 @@ func (e *Engine) orderedTopN(t *table, st selectStmt, args []Value) (ids []int64
 
 	if desc {
 		for i := len(sorted) - 1; i >= 0 && len(ids) < n; {
-			j := i
-			for j >= 0 && sorted[j].v.Compare(sorted[i].v) == 0 {
-				j--
-			}
+			j := runStart(sorted, i) - 1
 			if err := flushRun(sorted[j+1 : i+1]); err != nil {
 				return nil, false, err
 			}
@@ -889,7 +991,7 @@ func (e *Engine) execUpdate(st updateStmt, args []Value) (*Result, error) {
 		}
 		setPos[i] = ci
 	}
-	ev := &evalCtx{tbl: t, args: args}
+	ev := &evalCtx{tbl: t, args: args, spreadN: e.spreadN}
 	res := &Result{}
 	for _, id := range ids {
 		old := t.rows[id]
@@ -959,11 +1061,17 @@ func (c *colRef) eval(ev *evalCtx) (Value, error) {
 func (l *litExpr) eval(*evalCtx) (Value, error) { return l.V, nil }
 
 func (p *paramExpr) eval(ev *evalCtx) (Value, error) {
-	if p.Idx >= len(ev.args) {
-		return Value{}, fmt.Errorf("minisql: statement needs at least %d arguments, got %d",
-			p.Idx+1, len(ev.args))
+	idx := p.Idx
+	if p.AfterSpread {
+		// Fixed parameters after an IN (?...) spread shift right by however
+		// many arguments the spread absorbed this execution.
+		idx += ev.spreadN
 	}
-	return ev.args[p.Idx], nil
+	if idx >= len(ev.args) {
+		return Value{}, fmt.Errorf("minisql: statement needs at least %d arguments, got %d",
+			idx+1, len(ev.args))
+	}
+	return ev.args[idx], nil
 }
 
 func (b *binExpr) eval(ev *evalCtx) (Value, error) {
@@ -1025,6 +1133,14 @@ func (in *inExpr) eval(ev *evalCtx) (Value, error) {
 	if tv.IsNull() {
 		return Int64(0), nil
 	}
+	if in.Spread {
+		for _, lv := range in.spreadArgs(ev) {
+			if !lv.IsNull() && tv.Compare(lv) == 0 {
+				return Int64(1), nil
+			}
+		}
+		return Int64(0), nil
+	}
 	for _, le := range in.List {
 		lv, err := le.eval(ev)
 		if err != nil {
@@ -1035,6 +1151,18 @@ func (in *inExpr) eval(ev *evalCtx) (Value, error) {
 		}
 	}
 	return Int64(0), nil
+}
+
+// spreadArgs returns the argument window an IN (?...) list binds to in this
+// execution: spreadN arguments starting at the spread's fixed-parameter
+// offset.
+func (in *inExpr) spreadArgs(ev *evalCtx) []Value {
+	lo := in.SpreadStart
+	hi := lo + ev.spreadN
+	if lo > len(ev.args) || hi > len(ev.args) {
+		return nil
+	}
+	return ev.args[lo:hi]
 }
 
 func (is *isNullExpr) eval(ev *evalCtx) (Value, error) {

@@ -51,6 +51,14 @@ func lex(src string) ([]token, error) {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			l.pos++
 		case c == '?':
+			// "?..." is the spread parameter: an IN list whose width is decided
+			// by the argument count at execution time, so one plan serves every
+			// batch size.
+			if strings.HasPrefix(l.src[l.pos:], "?...") {
+				l.emit(tokParam, "?...")
+				l.pos += 4
+				break
+			}
 			l.emit(tokParam, "?")
 			l.pos++
 		case c == '\'':

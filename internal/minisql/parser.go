@@ -7,31 +7,34 @@ import (
 )
 
 type parser struct {
-	toks   []token
-	pos    int
-	params int
+	toks      []token
+	pos       int
+	params    int
+	sawSpread bool
 }
 
-// parse returns the parsed statement and the number of `?` parameters it
-// references, so executors can validate the argument count up front.
-func parse(sql string) (any, int, error) {
+// parse returns the parsed statement, the number of fixed `?` parameters it
+// references (executors validate the argument count up front), and whether
+// the statement contains a spread `IN (?...)` list, which absorbs every
+// argument beyond the fixed count.
+func parse(sql string) (any, int, bool, error) {
 	toks, err := lex(sql)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	p := &parser{toks: toks}
 	stmt, err := p.statement()
 	if err != nil {
-		return nil, 0, fmt.Errorf("%w (in %q)", err, compactSQL(sql))
+		return nil, 0, false, fmt.Errorf("%w (in %q)", err, compactSQL(sql))
 	}
 	// Allow a single trailing semicolon.
 	if p.peek().kind == tokPunct && p.peek().text == ";" {
 		p.pos++
 	}
 	if p.peek().kind != tokEOF {
-		return nil, 0, fmt.Errorf("minisql: trailing tokens at %q (in %q)", p.peek().text, compactSQL(sql))
+		return nil, 0, false, fmt.Errorf("minisql: trailing tokens at %q (in %q)", p.peek().text, compactSQL(sql))
 	}
-	return stmt, p.params, nil
+	return stmt, p.params, p.sawSpread, nil
 }
 
 func compactSQL(sql string) string {
@@ -239,16 +242,25 @@ func (p *parser) createIndex(ordered bool) (any, error) {
 	if err := p.expectPunct("("); err != nil {
 		return nil, err
 	}
-	col, err := p.ident()
-	if err != nil {
-		return nil, err
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, col)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
 	}
 	if err := p.expectPunct(")"); err != nil {
 		return nil, err
 	}
+	if len(st.Cols) > 2 {
+		return nil, fmt.Errorf("minisql: composite indexes support at most 2 columns, got %d", len(st.Cols))
+	}
 	st.Name = name
 	st.Table = tbl
-	st.Col = col
 	return st, nil
 }
 
@@ -543,6 +555,17 @@ func (p *parser) cmpExpr() (expr, error) {
 		if err := p.expectPunct("("); err != nil {
 			return nil, err
 		}
+		if p.peek().kind == tokParam && p.peek().text == "?..." {
+			p.pos++
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			if p.sawSpread {
+				return nil, fmt.Errorf("minisql: at most one IN (?...) spread per statement")
+			}
+			p.sawSpread = true
+			return &inExpr{Target: left, Spread: true, SpreadStart: p.params}, nil
+		}
 		var list []expr
 		for {
 			e, err := p.primaryExpr()
@@ -575,8 +598,11 @@ func (p *parser) primaryExpr() (expr, error) {
 	t := p.peek()
 	switch {
 	case t.kind == tokParam:
+		if t.text == "?..." {
+			return nil, fmt.Errorf("minisql: spread parameter ?... is only allowed as the sole member of an IN list")
+		}
 		p.pos++
-		e := &paramExpr{Idx: p.params}
+		e := &paramExpr{Idx: p.params, AfterSpread: p.sawSpread}
 		p.params++
 		return e, nil
 	case t.kind == tokNumber:

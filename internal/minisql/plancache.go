@@ -2,6 +2,7 @@ package minisql
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 )
 
@@ -12,13 +13,16 @@ import (
 // from holding every statement it ever saw.
 const planCacheSize = 512
 
-// plan is one cached parse result: the immutable statement AST plus its
-// positional-parameter count. The AST is shared by every execution of the
-// same SQL text — execution never mutates it (column binding happens at exec
-// time against the live table), which is what makes the share safe.
+// plan is one cached parse result: the immutable statement AST, its fixed
+// positional-parameter count, and whether it contains a spread IN (?...)
+// list. The AST is shared by every execution of the same SQL text — execution
+// never mutates it (column binding happens at exec time against the live
+// table, spread widths bind per execution), which is what makes the share
+// safe.
 type plan struct {
 	stmt    any
 	nparams int
+	spread  bool
 }
 
 // planCache is an LRU of parsed statements keyed by exact SQL text. It has
@@ -92,15 +96,100 @@ func (c *planCache) len() int {
 // cachedParse is parse through the engine's plan cache: each distinct SQL
 // text is lexed and parsed once and the immutable AST reused, which removes
 // the parser from every hot path (submit, pop, report re-execute the same
-// handful of statements forever).
-func (e *Engine) cachedParse(sql string) (any, int, error) {
+// handful of statements forever). A cache hit on the raw text costs nothing
+// beyond the lookup; on a miss the text is normalized — an explicit
+// all-parameter IN list collapses to the spread form — and the raw text is
+// stored as an alias of the normalized plan, so a caller that renders
+// `IN (?, ?, ?)` per batch width parses once per statement shape and every
+// width shares the same immutable AST.
+func (e *Engine) cachedParse(sql string) (plan, error) {
 	if p, ok := e.plans.get(sql); ok {
-		return p.stmt, p.nparams, nil
+		return p, nil
 	}
-	stmt, nparams, err := parse(sql)
+	norm := normalizeIN(sql)
+	if norm != sql {
+		if p, ok := e.plans.get(norm); ok {
+			e.plans.put(sql, p) // alias: future raw-text hits skip the scan
+			return p, nil
+		}
+	}
+	stmt, nparams, spread, err := parse(norm)
 	if err != nil {
-		return nil, 0, err
+		return plan{}, err
 	}
-	e.plans.put(sql, plan{stmt: stmt, nparams: nparams})
-	return stmt, nparams, nil
+	p := plan{stmt: stmt, nparams: nparams, spread: spread}
+	e.plans.put(norm, p)
+	if norm != sql {
+		e.plans.put(sql, p)
+	}
+	return p, nil
 }
+
+// normalizeIN rewrites the FIRST parenthesized all-parameter IN list —
+// `IN (?, ?, ?)` of any width — to the width-oblivious spread form
+// `IN (?...)`. Only the first is rewritten because a statement supports at
+// most one spread (a second variable-width list would make the widths
+// ambiguous); later all-parameter lists keep their explicit form and stay
+// valid. Lists containing anything but `?` placeholders are left untouched,
+// as is everything inside string literals. The rewrite is deterministic and
+// idempotent, so leaders and followers replaying the same WAL statement
+// text reach the same plan.
+func normalizeIN(sql string) string {
+	// A statement that already contains a spread anywhere keeps its explicit
+	// lists: the parser allows one spread per statement, so rewriting a
+	// fixed list next to an existing `?...` would break a valid statement.
+	// (The substring test can also hit inside a string literal; skipping
+	// normalization is always safe — the statement just keeps its
+	// width-specific cache entry.)
+	if strings.Contains(sql, "?...") {
+		return sql
+	}
+	i := 0
+	for i < len(sql) {
+		c := sql[i]
+		if c == '\'' {
+			// Skip the string literal (doubled quotes escape).
+			i++
+			for i < len(sql) {
+				if sql[i] == '\'' {
+					if i+1 < len(sql) && sql[i+1] == '\'' {
+						i += 2
+						continue
+					}
+					break
+				}
+				i++
+			}
+			i++
+			continue
+		}
+		if (c == 'I' || c == 'i') && i+1 < len(sql) && (sql[i+1] == 'N' || sql[i+1] == 'n') &&
+			(i == 0 || !isIdentPart(sql[i-1])) && (i+2 >= len(sql) || !isIdentPart(sql[i+2])) {
+			j := i + 2
+			for j < len(sql) && isSpace(sql[j]) {
+				j++
+			}
+			if j < len(sql) && sql[j] == '(' {
+				k, params := j+1, 0
+				for ; k < len(sql); k++ {
+					ch := sql[k]
+					if ch == '?' {
+						params++
+						continue
+					}
+					if ch == ',' || isSpace(ch) {
+						continue
+					}
+					break
+				}
+				if params > 0 && k < len(sql) && sql[k] == ')' {
+					return sql[:i] + "IN (?...)" + sql[k+1:]
+				}
+			}
+		}
+		i++
+	}
+	return sql
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }

@@ -1,0 +1,332 @@
+package minisql
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSpreadINWidths: one IN (?...) statement text serves every argument
+// width, including parameters on both sides of the spread.
+func TestSpreadINWidths(t *testing.T) {
+	e := NewEngine()
+	mustExec(t, e, "CREATE TABLE q (id INTEGER PRIMARY KEY, wt INTEGER)")
+	for i := 1; i <= 10; i++ {
+		mustExec(t, e, "INSERT INTO q (id, wt) VALUES (?, ?)", i, i%2)
+	}
+
+	const sel = "SELECT id FROM q WHERE id IN (?...) ORDER BY id ASC LIMIT ?"
+	for _, tc := range []struct {
+		args []any
+		want []int64
+	}{
+		{[]any{3, 100}, []int64{3}},
+		{[]any{5, 2, 9, 100}, []int64{2, 5, 9}},
+		{[]any{5, 2, 9, 2}, []int64{2, 5}}, // LIMIT binds after the spread
+		{[]any{100}, nil},                  // zero-width spread matches nothing
+	} {
+		res, err := e.Exec(sel, tc.args...)
+		if err != nil {
+			t.Fatalf("Exec(%v): %v", tc.args, err)
+		}
+		var got []int64
+		for _, r := range res.Rows {
+			got = append(got, r[0].AsInt())
+		}
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Fatalf("spread select args %v = %v, want %v", tc.args, got, tc.want)
+		}
+	}
+
+	// Parameters before the spread keep their positions.
+	res, err := e.Exec("UPDATE q SET wt = ? WHERE id IN (?...)", 7, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 3 {
+		t.Fatalf("spread update affected %d rows, want 3", res.RowsAffected)
+	}
+	res = mustExec(t, e, "SELECT COUNT(*) FROM q WHERE wt = ?", 7)
+	if res.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("wt=7 count = %d, want 3", res.Rows[0][0].AsInt())
+	}
+}
+
+// TestSpreadINPlanCacheWidthOblivious: distinct batch widths of the same
+// logical statement — spread form or legacy explicit `?, ?, ...` lists —
+// share a single parsed plan. Each raw legacy text keeps a small alias
+// entry (so cache hits never re-scan the text), but every alias points at
+// the one normalized AST: the parser runs once per statement shape, not
+// once per arity.
+func TestSpreadINPlanCacheWidthOblivious(t *testing.T) {
+	e := NewEngine()
+	mustExec(t, e, "CREATE TABLE q (id INTEGER PRIMARY KEY)")
+	mustExec(t, e, "INSERT INTO q (id) VALUES (1), (2), (3), (4)")
+
+	var texts []string
+	for w := 1; w <= 8; w++ {
+		marks := "?"
+		args := []any{1}
+		for i := 1; i < w; i++ {
+			marks += ", ?"
+			args = append(args, i+1)
+		}
+		text := "SELECT id FROM q WHERE id IN (" + marks + ")"
+		texts = append(texts, text)
+		if _, err := e.Exec(text, args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The spread form and every legacy width resolve to the same AST.
+	canon, ok := e.plans.get("SELECT id FROM q WHERE id IN (?...)")
+	if !ok {
+		t.Fatal("normalized plan not cached")
+	}
+	want := canon.stmt.(selectStmt).Where
+	for _, text := range texts {
+		p, ok := e.plans.get(text)
+		if !ok {
+			t.Fatalf("raw text %q not aliased in the cache", text)
+		}
+		if p.stmt.(selectStmt).Where != want {
+			t.Fatalf("width variant %q parsed its own AST instead of sharing the normalized plan", text)
+		}
+	}
+}
+
+// TestNormalizeIN covers the rewrite rules, in particular what must NOT be
+// rewritten.
+func TestNormalizeIN(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"SELECT a FROM t WHERE a IN (?, ?, ?)", "SELECT a FROM t WHERE a IN (?...)"},
+		{"SELECT a FROM t WHERE a IN (?)", "SELECT a FROM t WHERE a IN (?...)"},
+		{"SELECT a FROM t WHERE a in ( ? , ? )", "SELECT a FROM t WHERE a IN (?...)"},
+		{"SELECT a FROM t WHERE a IN (?...)", "SELECT a FROM t WHERE a IN (?...)"},
+		{"SELECT a FROM t WHERE a IN (1, 2)", "SELECT a FROM t WHERE a IN (1, 2)"},
+		{"SELECT a FROM t WHERE a IN (?, 2)", "SELECT a FROM t WHERE a IN (?, 2)"},
+		{"INSERT INTO t (a, b) VALUES (?, ?)", "INSERT INTO t (a, b) VALUES (?, ?)"},
+		{"SELECT a FROM t WHERE a = 'x IN (?, ?)'", "SELECT a FROM t WHERE a = 'x IN (?, ?)'"},
+		{"SELECT a FROM tin WHERE a = ?", "SELECT a FROM tin WHERE a = ?"},
+		{"UPDATE t SET a = ? WHERE b IN (?, ?) AND c = ?", "UPDATE t SET a = ? WHERE b IN (?...) AND c = ?"},
+		// Only the FIRST all-parameter list is rewritten: a statement allows
+		// one spread, and the second list stays valid in explicit form.
+		{"SELECT a FROM t WHERE a IN (?, ?) AND b IN (?, ?)", "SELECT a FROM t WHERE a IN (?...) AND b IN (?, ?)"},
+		// A pre-existing spread disables rewriting anywhere else — on either
+		// side of it.
+		{"SELECT a FROM t WHERE a IN (?...) AND b IN (?, ?)", "SELECT a FROM t WHERE a IN (?...) AND b IN (?, ?)"},
+		{"SELECT a FROM t WHERE a IN (?, ?) AND b IN (?...)", "SELECT a FROM t WHERE a IN (?, ?) AND b IN (?...)"},
+	} {
+		if got := normalizeIN(tc.in); got != tc.want {
+			t.Errorf("normalizeIN(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestTwoParamINLists is the regression test for over-eager normalization:
+// a statement with two all-parameter IN lists was valid before the spread
+// form existed and must stay executable — the first list becomes the spread
+// (absorbing the surplus arguments), the second keeps its fixed width.
+func TestTwoParamINLists(t *testing.T) {
+	e := NewEngine()
+	mustExec(t, e, "CREATE TABLE q (id INTEGER PRIMARY KEY, wt INTEGER)")
+	for i := 1; i <= 6; i++ {
+		mustExec(t, e, "INSERT INTO q (id, wt) VALUES (?, ?)", i, i)
+	}
+	res, err := e.Exec("SELECT id FROM q WHERE id IN (?, ?, ?) AND wt IN (?, ?)", 1, 2, 5, 2, 5)
+	if err != nil {
+		t.Fatalf("two-IN-list statement: %v", err)
+	}
+	var got []int64
+	for _, r := range res.Rows {
+		got = append(got, r[0].AsInt())
+	}
+	if fmt.Sprint(got) != "[2 5]" {
+		t.Fatalf("two-IN-list result = %v, want [2 5]", got)
+	}
+	// An explicit fixed list ahead of a spread is equally valid: the fixed
+	// list keeps its width, the spread absorbs the surplus.
+	res, err = e.Exec("SELECT id FROM q WHERE wt IN (?, ?) AND id IN (?...)", 2, 5, 1, 2, 5)
+	if err != nil {
+		t.Fatalf("fixed-list-before-spread statement: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("fixed-list-before-spread result = %v, want 2 rows", res.Rows)
+	}
+}
+
+// TestSpreadINIndexedLookup: the spread list still drives the hash-index
+// candidate plan rather than a full scan — observed through a working WHERE
+// over a primary-key column (behavioral check plus a direct planCandidates
+// probe).
+func TestSpreadINIndexedLookup(t *testing.T) {
+	e := NewEngine()
+	mustExec(t, e, "CREATE TABLE q (id INTEGER PRIMARY KEY, v TEXT)")
+	for i := 1; i <= 100; i++ {
+		mustExec(t, e, "INSERT INTO q (id, v) VALUES (?, ?)", i, fmt.Sprintf("v%d", i))
+	}
+	p, err := e.cachedParse("DELETE FROM q WHERE id IN (?...)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.stmt.(deleteStmt)
+	e.mu.Lock()
+	e.spreadN = 3
+	ids := e.planCandidates(e.tables["q"], st.Where, []Value{Int64(7), Int64(3), Int64(99)})
+	e.mu.Unlock()
+	// planCandidates returns internal rowids (0-based insertion ids here):
+	// task ids 3, 7, 99 occupy rowids 2, 6, 98. The point is the set is 3
+	// indexed hits, not a 100-row scan (a scan-fallback returns nil).
+	if fmt.Sprint(ids) != "[2 6 98]" {
+		t.Fatalf("planCandidates over spread IN = %v, want the indexed candidate set [2 6 98]", ids)
+	}
+}
+
+// TestSpreadINReplay: a WAL entry whose statement carries a legacy explicit
+// IN list replays identically on a follower engine whose plan cache holds
+// the normalized spread form — leader/replica determinism across the
+// normalization boundary.
+func TestSpreadINReplay(t *testing.T) {
+	leader, follower := NewEngine(), NewEngine()
+	wal := NewWAL(0)
+	leader.SetCommitHook(wal.Append)
+	setup := []string{
+		"CREATE TABLE q (id INTEGER PRIMARY KEY, wt INTEGER)",
+		"INSERT INTO q (id, wt) VALUES (1, 0), (2, 0), (3, 0), (4, 0)",
+	}
+	for _, s := range setup {
+		mustExec(t, leader, s)
+	}
+	// Warm the follower's cache with the spread form before replaying the
+	// legacy text, so both texts must resolve to the same plan.
+	if _, err := leader.Exec("DELETE FROM q WHERE id IN (?, ?)", 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := wal.EntriesSince(0)
+	if _, err := follower.Exec("SELECT 1 FROM q WHERE id IN (?...)", 1); err == nil {
+		t.Fatal("expected table-missing error before replay")
+	}
+	for _, ent := range entries {
+		if err := follower.ApplyEntry(ent); err != nil {
+			t.Fatalf("ApplyEntry(%d): %v", ent.Index, err)
+		}
+	}
+	var a, b bytes.Buffer
+	if err := leader.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("leader and replayed follower snapshots diverge")
+	}
+}
+
+// TestCompositeOrderedTopNMatchesSort is the two-column twin of
+// TestOrderedTopNMatchesSort, driven with a UNIFORM first key for many rows —
+// the degenerate single-run shape the composite index exists for — plus mixed
+// priorities, random churn, and the exact pop query shape.
+func TestCompositeOrderedTopNMatchesSort(t *testing.T) {
+	indexed, ref := NewEngine(), NewEngine()
+	const schema = "CREATE TABLE q (task_id INTEGER PRIMARY KEY, wt INTEGER, prio INTEGER)"
+	execBoth(t, indexed, ref, schema)
+	if _, err := indexed.Exec("CREATE ORDERED INDEX q_prio ON q (prio, task_id)"); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	nextID := int64(1)
+	live := []int64{}
+	queries := []string{
+		"SELECT task_id, prio FROM q WHERE wt = ? ORDER BY prio DESC, task_id ASC LIMIT ?",
+		"SELECT task_id FROM q WHERE wt = ? ORDER BY prio ASC, task_id ASC LIMIT ?",
+		"SELECT task_id FROM q ORDER BY prio DESC, task_id ASC LIMIT ?",
+		// Not servable by the composite index (no second key / mismatched
+		// second key): must fall back and still agree.
+		"SELECT task_id FROM q ORDER BY prio DESC LIMIT ?",
+		"SELECT task_id FROM q ORDER BY prio DESC, wt ASC LIMIT ?",
+	}
+	check := func() {
+		t.Helper()
+		for _, qs := range queries {
+			var args []any
+			if countParams(qs) == 2 {
+				args = []any{rng.Intn(3), rng.Intn(12) + 1}
+			} else {
+				args = []any{rng.Intn(12) + 1}
+			}
+			ri, err := indexed.Exec(qs, args...)
+			if err != nil {
+				t.Fatalf("indexed %q: %v", qs, err)
+			}
+			rr, err := ref.Exec(qs, args...)
+			if err != nil {
+				t.Fatalf("reference %q: %v", qs, err)
+			}
+			if fmt.Sprint(ri.Rows) != fmt.Sprint(rr.Rows) {
+				t.Fatalf("divergence on %q args %v:\n index: %v\n  sort: %v",
+					qs, args, ri.Rows, rr.Rows)
+			}
+		}
+	}
+
+	for step := 0; step < 300; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6 || len(live) == 0:
+			// Mostly priority 0 — uniform-priority runs — with occasional
+			// outliers.
+			prio := 0
+			if rng.Intn(5) == 0 {
+				prio = rng.Intn(8)
+			}
+			execBoth(t, indexed, ref, "INSERT INTO q (task_id, wt, prio) VALUES (?, ?, ?)",
+				nextID, rng.Intn(3), prio)
+			live = append(live, nextID)
+			nextID++
+		case op < 8:
+			i := rng.Intn(len(live))
+			execBoth(t, indexed, ref, "DELETE FROM q WHERE task_id = ?", live[i])
+			live = append(live[:i], live[i+1:]...)
+		default:
+			execBoth(t, indexed, ref, "UPDATE q SET prio = ? WHERE task_id = ?",
+				rng.Intn(8), live[rng.Intn(len(live))])
+		}
+		if step%20 == 0 {
+			check()
+		}
+	}
+	check()
+}
+
+// TestCompositeOrderedSnapshotRoundTrip: the two-column spec must survive
+// snapshot/restore with its sorted side intact.
+func TestCompositeOrderedSnapshotRoundTrip(t *testing.T) {
+	e := NewEngine()
+	mustExec(t, e, "CREATE TABLE q (task_id INTEGER PRIMARY KEY, prio INTEGER)")
+	mustExec(t, e, "CREATE ORDERED INDEX IF NOT EXISTS q_prio ON q (prio, task_id)")
+	for i := 1; i <= 30; i++ {
+		mustExec(t, e, "INSERT INTO q (task_id, prio) VALUES (?, 0)", i)
+	}
+	var snap bytes.Buffer
+	if err := e.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	r := NewEngine()
+	if err := r.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	ix := r.tables["q"].indexes["prio,task_id"]
+	if ix == nil || !ix.ordered || len(ix.cols) != 2 {
+		t.Fatalf("restored composite index = %+v, want ordered 2-column", ix)
+	}
+	res, err := r.Exec("SELECT task_id FROM q ORDER BY prio DESC, task_id ASC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range []int64{1, 2, 3} {
+		if res.Rows[i][0].AsInt() != w {
+			t.Fatalf("restored composite top-n = %v, want [1 2 3]", res.Rows)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package minisql
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // table is the in-memory storage for one relation. Rows are keyed by a
@@ -22,36 +23,67 @@ type table struct {
 	indexes map[string]*hashIndex // keyed by column name
 }
 
-// hashIndex maps a column value key to the rowids holding that value. An
-// ordered index additionally maintains a sorted (value, rowid) slice, giving
-// ORDER BY <col> ... LIMIT n queries the top-n directly: equality lookups
-// stay O(1) on the hash side, ordered scans read the sorted side in place of
-// the full-table scan-and-sort.
+// hashIndex maps a key-column value (or two-column value pair) to the rowids
+// holding it. An ordered index additionally maintains a sorted
+// (value, [value2,] rowid) slice, giving ORDER BY <col> ... LIMIT n queries
+// the top-n directly: equality lookups stay O(1) on the hash side, ordered
+// scans read the sorted side in place of the full-table scan-and-sort. A
+// composite (two-column) ordered index bounds the equal-key run length of
+// that scan by the (col1, col2) pair cardinality — the fix for queues whose
+// first key is uniform (every task at one priority) degenerating into one
+// whole-queue run.
 type hashIndex struct {
-	col     int
+	cols    []int // key column positions; 1 or 2 entries
 	m       map[string]map[int64]struct{}
 	ordered bool
-	sorted  []ordEntry // ascending by (value, rowid); nil unless ordered
+	sorted  []ordEntry // ascending by (v, v2, rowid); nil unless ordered
 }
 
-// ordEntry is one element of an ordered index: a column value and the rowid
-// holding it, kept sorted ascending by value with rowid as the tiebreak so
-// equal-value runs enumerate in deterministic insertion-id order.
+// ordEntry is one element of an ordered index: the key column value(s) and
+// the rowid holding them, kept sorted ascending with rowid as the final
+// tiebreak so equal-value runs enumerate in deterministic insertion-id order.
+// v2 is Null() for single-column indexes, which compares equal everywhere and
+// leaves the single-column ordering untouched.
 type ordEntry struct {
 	v  Value
+	v2 Value
 	id int64
 }
 
-// ordSearch returns the position of (v, id) in the sorted slice — the insert
+func (a ordEntry) less(b ordEntry) bool {
+	if c := a.v.Compare(b.v); c != 0 {
+		return c < 0
+	}
+	if c := a.v2.Compare(b.v2); c != 0 {
+		return c < 0
+	}
+	return a.id < b.id
+}
+
+// ordSearch returns the position of ent in the sorted slice — the insert
 // point when absent.
-func (ix *hashIndex) ordSearch(v Value, id int64) int {
+func (ix *hashIndex) ordSearch(ent ordEntry) int {
 	return sort.Search(len(ix.sorted), func(i int) bool {
-		c := ix.sorted[i].v.Compare(v)
-		if c != 0 {
-			return c > 0
-		}
-		return ix.sorted[i].id >= id
+		return !ix.sorted[i].less(ent)
 	})
+}
+
+// entry builds the index entry for a row.
+func (ix *hashIndex) entry(row []Value, id int64) ordEntry {
+	ent := ordEntry{v: row[ix.cols[0]], v2: Null(), id: id}
+	if len(ix.cols) > 1 {
+		ent.v2 = row[ix.cols[1]]
+	}
+	return ent
+}
+
+// hashKey renders the entry's hash-side key. Composite keys join the
+// per-column keys with a separator no key prefix can collide with.
+func (ix *hashIndex) hashKey(ent ordEntry) string {
+	if len(ix.cols) == 1 {
+		return ent.v.key()
+	}
+	return ent.v.key() + "\x1f" + ent.v2.key()
 }
 
 func newTable(name string, cols []ColumnDef) (*table, error) {
@@ -81,18 +113,31 @@ func newTable(name string, cols []ColumnDef) (*table, error) {
 		}
 		// Primary keys get an index automatically.
 		if c.PrimaryKey {
-			t.indexes[c.Name] = &hashIndex{col: i, m: make(map[string]map[int64]struct{})}
+			t.indexes[c.Name] = &hashIndex{cols: []int{i}, m: make(map[string]map[int64]struct{})}
 		}
 	}
 	return t, nil
 }
 
-func (t *table) addIndex(col string, ordered bool) error {
-	ci, ok := t.colIdx[col]
-	if !ok {
-		return fmt.Errorf("minisql: no column %q in table %q", col, t.name)
+// indexSpec is the canonical map key for an index: its column names joined
+// with commas ("priority" / "priority,task_id").
+func indexSpec(cols []string) string { return strings.Join(cols, ",") }
+
+// addIndex creates (or upgrades) the index over the comma-joined column spec.
+func (t *table) addIndex(spec string, ordered bool) error {
+	cols := strings.Split(spec, ",")
+	if len(cols) > 2 {
+		return fmt.Errorf("minisql: composite indexes support at most 2 columns, got %d", len(cols))
 	}
-	if ix, exists := t.indexes[col]; exists {
+	pos := make([]int, len(cols))
+	for i, col := range cols {
+		ci, ok := t.colIdx[col]
+		if !ok {
+			return fmt.Errorf("minisql: no column %q in table %q", col, t.name)
+		}
+		pos[i] = ci
+	}
+	if ix, exists := t.indexes[spec]; exists {
 		if ordered && !ix.ordered {
 			// Upgrade in place: the hash side is already maintained, only the
 			// sorted side needs building.
@@ -101,14 +146,14 @@ func (t *table) addIndex(col string, ordered bool) error {
 		}
 		return nil
 	}
-	idx := &hashIndex{col: ci, m: make(map[string]map[int64]struct{}), ordered: ordered}
+	idx := &hashIndex{cols: pos, m: make(map[string]map[int64]struct{}), ordered: ordered}
 	for id, row := range t.rows {
-		idx.addHash(row[ci], id)
+		idx.addHash(idx.entry(row, id))
 	}
 	if ordered {
 		idx.buildSorted(t)
 	}
-	t.indexes[col] = idx
+	t.indexes[spec] = idx
 	return nil
 }
 
@@ -116,47 +161,41 @@ func (t *table) addIndex(col string, ordered bool) error {
 func (ix *hashIndex) buildSorted(t *table) {
 	ix.sorted = make([]ordEntry, 0, len(t.rows))
 	for id, row := range t.rows {
-		ix.sorted = append(ix.sorted, ordEntry{v: row[ix.col], id: id})
+		ix.sorted = append(ix.sorted, ix.entry(row, id))
 	}
-	sort.Slice(ix.sorted, func(i, j int) bool {
-		c := ix.sorted[i].v.Compare(ix.sorted[j].v)
-		if c != 0 {
-			return c < 0
-		}
-		return ix.sorted[i].id < ix.sorted[j].id
-	})
+	sort.Slice(ix.sorted, func(i, j int) bool { return ix.sorted[i].less(ix.sorted[j]) })
 }
 
-func (ix *hashIndex) add(v Value, rowid int64) {
-	ix.addHash(v, rowid)
+func (ix *hashIndex) add(ent ordEntry) {
+	ix.addHash(ent)
 	if ix.ordered {
-		i := ix.ordSearch(v, rowid)
+		i := ix.ordSearch(ent)
 		ix.sorted = append(ix.sorted, ordEntry{})
 		copy(ix.sorted[i+1:], ix.sorted[i:])
-		ix.sorted[i] = ordEntry{v: v, id: rowid}
+		ix.sorted[i] = ent
 	}
 }
 
-func (ix *hashIndex) addHash(v Value, rowid int64) {
-	k := v.key()
+func (ix *hashIndex) addHash(ent ordEntry) {
+	k := ix.hashKey(ent)
 	set := ix.m[k]
 	if set == nil {
 		set = make(map[int64]struct{})
 		ix.m[k] = set
 	}
-	set[rowid] = struct{}{}
+	set[ent.id] = struct{}{}
 }
 
-func (ix *hashIndex) remove(v Value, rowid int64) {
-	k := v.key()
+func (ix *hashIndex) remove(ent ordEntry) {
+	k := ix.hashKey(ent)
 	if set := ix.m[k]; set != nil {
-		delete(set, rowid)
+		delete(set, ent.id)
 		if len(set) == 0 {
 			delete(ix.m, k)
 		}
 	}
 	if ix.ordered {
-		if i := ix.ordSearch(v, rowid); i < len(ix.sorted) && ix.sorted[i].id == rowid {
+		if i := ix.ordSearch(ent); i < len(ix.sorted) && ix.sorted[i].id == ent.id {
 			ix.sorted = append(ix.sorted[:i], ix.sorted[i+1:]...)
 		}
 	}
@@ -184,7 +223,7 @@ func (t *table) insert(row []Value) int64 {
 	t.rows[id] = row
 	t.order = append(t.order, id)
 	for _, ix := range t.indexes {
-		ix.add(row[ix.col], id)
+		ix.add(ix.entry(row, id))
 	}
 	return id
 }
@@ -204,7 +243,7 @@ func (t *table) insertAt(id int64, row []Value) {
 		t.nextRow = id + 1
 	}
 	for _, ix := range t.indexes {
-		ix.add(row[ix.col], id)
+		ix.add(ix.entry(row, id))
 	}
 }
 
@@ -214,7 +253,7 @@ func (t *table) delete(id int64) []Value {
 		return nil
 	}
 	for _, ix := range t.indexes {
-		ix.remove(row[ix.col], id)
+		ix.remove(ix.entry(row, id))
 	}
 	delete(t.rows, id)
 	t.tomb[id] = struct{}{}
@@ -223,15 +262,25 @@ func (t *table) delete(id int64) []Value {
 	return row
 }
 
+// keyChanged reports whether any key column differs between the rows.
+func (ix *hashIndex) keyChanged(old, new []Value) bool {
+	for _, ci := range ix.cols {
+		if old[ci].Compare(new[ci]) != 0 || old[ci].Kind != new[ci].Kind {
+			return true
+		}
+	}
+	return false
+}
+
 func (t *table) update(id int64, row []Value) []Value {
 	old, ok := t.rows[id]
 	if !ok {
 		return nil
 	}
 	for _, ix := range t.indexes {
-		if old[ix.col].Compare(row[ix.col]) != 0 || old[ix.col].Kind != row[ix.col].Kind {
-			ix.remove(old[ix.col], id)
-			ix.add(row[ix.col], id)
+		if ix.keyChanged(old, row) {
+			ix.remove(ix.entry(old, id))
+			ix.add(ix.entry(row, id))
 		}
 	}
 	t.rows[id] = row

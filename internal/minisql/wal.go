@@ -59,13 +59,17 @@ func (e *Engine) ApplyEntry(entry LogEntry) error {
 	e.inTx = true
 	e.undo = e.undo[:0]
 	for _, s := range entry.Stmts {
-		stmt, _, err := e.cachedParse(s.SQL)
+		p, err := e.cachedParse(s.SQL)
 		if err != nil {
 			e.rollbackLocked()
 			e.inTx = false
 			return fmt.Errorf("minisql: apply entry %d: %w", entry.Index, err)
 		}
-		if _, err := e.execLocked(stmt, s.Args, s.SQL); err != nil {
+		e.spreadN = 0
+		if p.spread && len(s.Args) > p.nparams {
+			e.spreadN = len(s.Args) - p.nparams
+		}
+		if _, err := e.execLocked(p.stmt, s.Args, s.SQL); err != nil {
 			e.rollbackLocked()
 			e.inTx = false
 			return fmt.Errorf("minisql: apply entry %d: %w", entry.Index, err)

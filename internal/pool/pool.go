@@ -47,7 +47,9 @@ type Config struct {
 	Threshold int
 	// WorkType selects which tasks this pool consumes.
 	WorkType int
-	// QueryDelay and QueryTimeout control the database polling query.
+	// QueryDelay is retained for configuration compatibility; sessions poll
+	// on queue notifications, so only QueryTimeout (the per-query deadline)
+	// still shapes the fetch loop.
 	QueryDelay   time.Duration
 	QueryTimeout time.Duration
 	// CoresOf, when set, extracts a task's core requirement from its
@@ -98,7 +100,7 @@ func (c *Config) applyDefaults() error {
 // Pool executes tasks of one work type against an EMEWS DB.
 type Pool struct {
 	cfg  Config
-	api  core.API
+	api  core.Session
 	exec TaskFunc
 	rec  *telemetry.Recorder
 
@@ -108,8 +110,11 @@ type Pool struct {
 	running  atomic.Bool
 }
 
-// New creates a pool. rec may be nil when telemetry is not needed.
-func New(api core.API, cfg Config, exec TaskFunc, rec *telemetry.Recorder) (*Pool, error) {
+// New creates a pool over any Session implementation — the in-process DB, a
+// service client, or a failover-aware cluster client. rec may be nil when
+// telemetry is not needed. Legacy core.API backends can be wrapped with
+// core.Lift.
+func New(api core.Session, cfg Config, exec TaskFunc, rec *telemetry.Recorder) (*Pool, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
@@ -138,7 +143,7 @@ func (p *Pool) Running() bool { return p.running.Load() }
 // Run starts the pool and blocks until ctx is canceled. On return all
 // workers have exited; tasks that were fetched but never started remain
 // marked running in the database and can be recovered with
-// core.API.RequeueRunning (the paper's fault-tolerance path, §II-B1c).
+// Session.RequeueRunning (the paper's fault-tolerance path, §II-B1c).
 func (p *Pool) Run(ctx context.Context) error {
 	p.running.Store(true)
 	defer p.running.Store(false)
@@ -229,12 +234,15 @@ func (p *Pool) fetch(ctx context.Context, taskCh chan<- core.Task, completions <
 			}
 			continue
 		}
-		tasks, err := p.api.QueryTasks(p.cfg.WorkType, deficit, p.cfg.Name, p.cfg.QueryDelay, p.cfg.QueryTimeout)
+		qctx, cancel := context.WithTimeout(ctx, p.cfg.QueryTimeout)
+		res, err := p.api.QueryTasks(qctx, p.cfg.WorkType, deficit, p.cfg.Name)
+		cancel()
 		if err != nil {
 			// Timeout means an empty queue; anything else is retried the
 			// same way since the DB may be restarting (fire-and-forget).
 			continue
 		}
+		tasks := res.Tasks
 		p.owned.Add(int64(len(tasks)))
 		for _, task := range tasks {
 			select {
@@ -257,7 +265,7 @@ func (p *Pool) execute(task core.Task) {
 		p.failed.Add(1)
 		result = fmt.Sprintf(`{"error": %q}`, err.Error())
 	}
-	if rerr := p.api.ReportTask(task.ID, p.cfg.WorkType, result); rerr == nil {
+	if _, rerr := p.api.Report(context.Background(), task.ID, p.cfg.WorkType, result); rerr == nil {
 		p.executed.Add(1)
 	}
 	if p.rec != nil {

@@ -18,19 +18,26 @@ const (
 	waitMax = 5 * time.Second
 )
 
-func newDB(t *testing.T) *core.DB {
+// testDB pairs the Session-backed DB (handed to pools) with its v1 compat
+// adapter, so the existing v1-style assertions double as Compat coverage.
+type testDB struct {
+	core.API
+	DB *core.DB
+}
+
+func newDB(t *testing.T) testDB {
 	t.Helper()
 	db, err := core.NewDB()
 	if err != nil {
 		t.Fatalf("NewDB: %v", err)
 	}
 	t.Cleanup(db.Close)
-	return db
+	return testDB{API: core.Compat(db), DB: db}
 }
 
 func echoExec(payload string) (string, error) { return "r:" + payload, nil }
 
-func submitN(t *testing.T, db *core.DB, workType, n int) []int64 {
+func submitN(t *testing.T, db testDB, workType, n int) []int64 {
 	t.Helper()
 	ids := make([]int64, n)
 	for i := range ids {
@@ -77,7 +84,7 @@ func waitFor(t *testing.T, cond func() bool, msg string) {
 func TestPoolExecutesAllTasks(t *testing.T) {
 	db := newDB(t)
 	ids := submitN(t, db, 1, 40)
-	p, err := New(db, Config{Name: "p1", Workers: 4, BatchSize: 8, WorkType: 1}, echoExec, nil)
+	p, err := New(db.DB, Config{Name: "p1", Workers: 4, BatchSize: 8, WorkType: 1}, echoExec, nil)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -105,7 +112,7 @@ func TestPoolExecutesAllTasks(t *testing.T) {
 func TestPoolResultContents(t *testing.T) {
 	db := newDB(t)
 	id, _ := db.SubmitTask("e", 1, "payload-x")
-	p, _ := New(db, Config{Name: "p", Workers: 1, WorkType: 1}, echoExec, nil)
+	p, _ := New(db.DB, Config{Name: "p", Workers: 1, WorkType: 1}, echoExec, nil)
 	stop := runPool(t, p)
 	defer stop()
 	res, err := db.QueryResult(id, tick, waitMax)
@@ -118,7 +125,7 @@ func TestPoolWorkTypeFilter(t *testing.T) {
 	db := newDB(t)
 	simID, _ := db.SubmitTask("e", 1, "sim")
 	gpuID, _ := db.SubmitTask("e", 2, "gpu")
-	p, _ := New(db, Config{Name: "gpu-pool", Workers: 2, WorkType: 2}, echoExec, nil)
+	p, _ := New(db.DB, Config{Name: "gpu-pool", Workers: 2, WorkType: 2}, echoExec, nil)
 	stop := runPool(t, p)
 	defer stop()
 	if res, err := db.QueryResult(gpuID, tick, waitMax); err != nil || res != "r:gpu" {
@@ -140,7 +147,7 @@ func TestPoolOwnershipCap(t *testing.T) {
 		<-block
 		return "ok", nil
 	}
-	p, _ := New(db, Config{Name: "p", Workers: 3, BatchSize: 10, WorkType: 1}, exec, nil)
+	p, _ := New(db.DB, Config{Name: "p", Workers: 3, BatchSize: 10, WorkType: 1}, exec, nil)
 	stop := runPool(t, p)
 	defer stop()
 	// With all workers blocked the pool may own at most BatchSize tasks.
@@ -169,7 +176,7 @@ func TestPoolThresholdDefersFetching(t *testing.T) {
 	}
 	// BatchSize 10, threshold 5: after the initial fill, completing 4 tasks
 	// must not trigger a refetch; completing a 5th must.
-	p, _ := New(db, Config{Name: "p", Workers: 10, BatchSize: 10, Threshold: 5, WorkType: 1}, exec, nil)
+	p, _ := New(db.DB, Config{Name: "p", Workers: 10, BatchSize: 10, Threshold: 5, WorkType: 1}, exec, nil)
 	stop := runPool(t, p)
 	defer stop()
 	waitFor(t, func() bool { return p.Owned() == 10 }, "initial fill did not reach batch size")
@@ -198,8 +205,8 @@ func TestEquitableSharingAcrossPools(t *testing.T) {
 		time.Sleep(time.Millisecond)
 		return "ok", nil
 	}
-	p1, _ := New(db, Config{Name: "a", Workers: 8, BatchSize: 8, WorkType: 1}, slowExec, nil)
-	p2, _ := New(db, Config{Name: "b", Workers: 8, BatchSize: 8, WorkType: 1}, slowExec, nil)
+	p1, _ := New(db.DB, Config{Name: "a", Workers: 8, BatchSize: 8, WorkType: 1}, slowExec, nil)
+	p2, _ := New(db.DB, Config{Name: "b", Workers: 8, BatchSize: 8, WorkType: 1}, slowExec, nil)
 	stop1 := runPool(t, p1)
 	defer stop1()
 	stop2 := runPool(t, p2)
@@ -224,7 +231,7 @@ func TestPoolCrashRequeue(t *testing.T) {
 		<-hang
 		return "never", nil
 	}
-	crash, _ := New(db, Config{Name: "crashy", Workers: 4, BatchSize: 8, WorkType: 1}, hungExec, nil)
+	crash, _ := New(db.DB, Config{Name: "crashy", Workers: 4, BatchSize: 8, WorkType: 1}, hungExec, nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
 	go func() { defer close(done); crash.Run(ctx) }()
@@ -237,7 +244,7 @@ func TestPoolCrashRequeue(t *testing.T) {
 	if err != nil || n == 0 {
 		t.Fatalf("RequeueRunning = %d, %v", n, err)
 	}
-	fresh, _ := New(db, Config{Name: "fresh", Workers: 4, BatchSize: 8, WorkType: 1}, echoExec, nil)
+	fresh, _ := New(db.DB, Config{Name: "fresh", Workers: 4, BatchSize: 8, WorkType: 1}, echoExec, nil)
 	stop := runPool(t, fresh)
 	defer stop()
 	got := 0
@@ -254,7 +261,7 @@ func TestPoolTaskError(t *testing.T) {
 	db := newDB(t)
 	id, _ := db.SubmitTask("e", 1, "bad")
 	exec := func(payload string) (string, error) { return "", errors.New("exec exploded") }
-	p, _ := New(db, Config{Name: "p", Workers: 1, WorkType: 1}, exec, nil)
+	p, _ := New(db.DB, Config{Name: "p", Workers: 1, WorkType: 1}, exec, nil)
 	stop := runPool(t, p)
 	defer stop()
 	res, err := db.QueryResult(id, tick, waitMax)
@@ -271,7 +278,7 @@ func TestPoolTelemetry(t *testing.T) {
 	db := newDB(t)
 	submitN(t, db, 1, 10)
 	rec := telemetry.NewRecorder(1)
-	p, _ := New(db, Config{Name: "p", Workers: 2, WorkType: 1}, echoExec, rec)
+	p, _ := New(db.DB, Config{Name: "p", Workers: 2, WorkType: 1}, echoExec, rec)
 	stop := runPool(t, p)
 	waitFor(t, func() bool { return p.Executed() == 10 }, "tasks incomplete")
 	stop()
@@ -299,19 +306,19 @@ func TestPoolTelemetry(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	db := newDB(t)
-	if _, err := New(db, Config{}, echoExec, nil); err == nil {
+	if _, err := New(db.DB, Config{}, echoExec, nil); err == nil {
 		t.Fatal("missing name must error")
 	}
-	if _, err := New(db, Config{Name: "p", BatchSize: 2, Threshold: 5}, echoExec, nil); err == nil {
+	if _, err := New(db.DB, Config{Name: "p", BatchSize: 2, Threshold: 5}, echoExec, nil); err == nil {
 		t.Fatal("threshold > batch must error")
 	}
 	if _, err := New(nil, Config{Name: "p"}, echoExec, nil); err == nil {
 		t.Fatal("nil api must error")
 	}
-	if _, err := New(db, Config{Name: "p"}, nil, nil); err == nil {
+	if _, err := New(db.DB, Config{Name: "p"}, nil, nil); err == nil {
 		t.Fatal("nil exec must error")
 	}
-	p, err := New(db, Config{Name: "p"}, echoExec, nil)
+	p, err := New(db.DB, Config{Name: "p"}, echoExec, nil)
 	if err != nil {
 		t.Fatalf("minimal config: %v", err)
 	}
@@ -322,7 +329,7 @@ func TestConfigValidation(t *testing.T) {
 
 func TestPoolRunningFlag(t *testing.T) {
 	db := newDB(t)
-	p, _ := New(db, Config{Name: "p", WorkType: 1}, echoExec, nil)
+	p, _ := New(db.DB, Config{Name: "p", WorkType: 1}, echoExec, nil)
 	if p.Running() {
 		t.Fatal("Running before Run")
 	}
@@ -357,7 +364,7 @@ func TestMultiCoreTaskOccupiesSlots(t *testing.T) {
 		smallStarted.Add(1)
 		return "small-done", nil
 	}
-	p, err := New(db, Config{
+	p, err := New(db.DB, Config{
 		Name: "mpi", Workers: 4, BatchSize: 8, WorkType: 1, CoresOf: JSONCores,
 	}, exec, nil)
 	if err != nil {
@@ -396,7 +403,7 @@ func TestMultiCoreClampedToPoolSize(t *testing.T) {
 	// deadlocked.
 	db := newDB(t)
 	id, _ := db.SubmitTask("e", 1, `{"cores": 64}`)
-	p, _ := New(db, Config{Name: "small", Workers: 2, WorkType: 1, CoresOf: JSONCores},
+	p, _ := New(db.DB, Config{Name: "small", Workers: 2, WorkType: 1, CoresOf: JSONCores},
 		func(string) (string, error) { return "ok", nil }, nil)
 	stop := runPool(t, p)
 	defer stop()
@@ -423,7 +430,7 @@ func TestMixedCoreThroughput(t *testing.T) {
 		curCores.Add(-k)
 		return "ok", nil
 	}
-	p, _ := New(db, Config{Name: "mix", Workers: 4, BatchSize: 8, WorkType: 1, CoresOf: JSONCores}, exec, nil)
+	p, _ := New(db.DB, Config{Name: "mix", Workers: 4, BatchSize: 8, WorkType: 1, CoresOf: JSONCores}, exec, nil)
 	stop := runPool(t, p)
 	defer stop()
 	var ids []int64

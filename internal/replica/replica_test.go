@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"context"
 	"encoding/gob"
 	"net"
 	"testing"
@@ -47,11 +48,11 @@ func submitN(t *testing.T, db *core.DB, n int) []int64 {
 	t.Helper()
 	ids := make([]int64, n)
 	for i := range ids {
-		id, err := db.SubmitTask("exp", 1, "payload")
+		res, err := db.Submit(context.Background(), "exp", 1, "payload")
 		if err != nil {
 			t.Fatal(err)
 		}
-		ids[i] = id
+		ids[i] = res.ID
 	}
 	return ids
 }
@@ -67,7 +68,7 @@ func TestFollowerBootstrapAndStream(t *testing.T) {
 	defer fol.Close()
 	waitFor(t, "bootstrap", func() bool { return fol.Applied() == leader.Applied() })
 
-	counts, err := fol.DB().Counts("exp")
+	counts, err := fol.DB().Counts(context.Background(), "exp")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestFollowerBootstrapAndStream(t *testing.T) {
 	// Post-join writes arrive via entry streaming.
 	submitN(t, leader.DB(), 7)
 	waitFor(t, "stream catch-up", func() bool { return fol.Applied() == leader.Applied() })
-	counts, err = fol.DB().Counts("exp")
+	counts, err = fol.DB().Counts(context.Background(), "exp")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestDeterministicPromotionOnLeaderDeath(t *testing.T) {
 	// Writes on the new leader replicate to the surviving follower.
 	submitN(t, f2.DB(), 3)
 	waitFor(t, "n3 catch-up on new leader", func() bool { return f3.Applied() == f2.Applied() })
-	counts, err := f3.DB().Counts("exp")
+	counts, err := f3.DB().Counts(context.Background(), "exp")
 	if err != nil {
 		t.Fatal(err)
 	}

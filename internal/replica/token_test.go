@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -36,14 +37,15 @@ func newSoloLeader(t *testing.T, quorum int) *Node {
 func TestWaitQuorumIndexExact(t *testing.T) {
 	n := newSoloLeader(t, 1)
 
-	_, tokA, err := n.DB().SubmitTaskT("exact", 1, "a")
+	resA, err := n.DB().Submit(context.Background(), "exact", 1, "a")
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, tokB, err := n.DB().SubmitTaskT("exact", 1, "b")
+	resB, err := n.DB().Submit(context.Background(), "exact", 1, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
+	tokA, tokB := resA.Token, resB.Token
 	if tokA == 0 || tokB <= tokA {
 		t.Fatalf("tokens not monotonically assigned: a=%d b=%d", tokA, tokB)
 	}
@@ -102,10 +104,11 @@ func TestWaitQuorumIndexZeroToken(t *testing.T) {
 // next apply, and ErrStale once the bound cannot be met in time.
 func TestWaitApplied(t *testing.T) {
 	n := newSoloLeader(t, 0)
-	_, tok, err := n.DB().SubmitTaskT("applied", 1, "x")
+	xres, err := n.DB().Submit(context.Background(), "applied", 1, "x")
 	if err != nil {
 		t.Fatal(err)
 	}
+	tok := xres.Token
 	if err := n.WaitApplied(tok, 0); err != nil {
 		t.Fatalf("WaitApplied(%d) at applied index: %v", tok, err)
 	}
@@ -123,7 +126,7 @@ func TestWaitApplied(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- n.WaitApplied(tok+1, waitMax) }()
 	time.Sleep(5 * time.Millisecond)
-	if _, _, err := n.DB().SubmitTaskT("applied", 1, "y"); err != nil {
+	if _, err := n.DB().Submit(context.Background(), "applied", 1, "y"); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -146,13 +149,14 @@ func TestForcePromoteTwoNodeCluster(t *testing.T) {
 	defer n2.Close()
 	waitFor(t, "membership", func() bool { return len(n1.Peers()) == 2 && len(n2.Peers()) == 2 })
 
-	if _, err := n1.DB().SubmitTask("fp", 1, "before-kill"); err != nil {
+	if _, err := n1.DB().Submit(context.Background(), "fp", 1, "before-kill"); err != nil {
 		t.Fatal(err)
 	}
-	origID, origTok, err := n1.DB().SubmitTaskT("fp", 1, "keyed", core.WithDedupKey("fp-key"))
+	orig, err := n1.DB().Submit(context.Background(), "fp", 1, "keyed", core.WithDedupKey("fp-key"))
 	if err != nil {
 		t.Fatal(err)
 	}
+	origID, origTok := orig.ID, orig.Token
 	waitFor(t, "replication", func() bool { return n2.Applied() == n1.Applied() && n2.Applied() > 0 })
 
 	n1.Close()
@@ -174,19 +178,19 @@ func TestForcePromoteTwoNodeCluster(t *testing.T) {
 	// (no local commit has happened here yet), and a dedup retry must still
 	// return the original id with a covering (non-zero) token — replayed
 	// entries seed the engine's commit high-water mark.
-	id, tok, err := n2.DB().SubmitTaskT("fp", 1, "keyed", core.WithDedupKey("fp-key"))
-	if err != nil || id != origID {
-		t.Fatalf("dedup retry on replay-built leader = (%d, %v), want original id %d", id, err, origID)
+	retry, err := n2.DB().Submit(context.Background(), "fp", 1, "keyed", core.WithDedupKey("fp-key"))
+	if err != nil || retry.ID != origID {
+		t.Fatalf("dedup retry on replay-built leader = (%d, %v), want original id %d", retry.ID, err, origID)
 	}
-	if tok == 0 || tok < origTok {
-		t.Fatalf("dedup retry token %d does not cover the original entry %d — quorum waits and read-your-writes would silently skip it", tok, origTok)
+	if retry.Token == 0 || retry.Token < origTok {
+		t.Fatalf("dedup retry token %d does not cover the original entry %d — quorum waits and read-your-writes would silently skip it", retry.Token, origTok)
 	}
 
 	// The forced leader accepts writes and retains the replicated state.
-	if _, err := n2.DB().SubmitTask("fp", 1, "after-promote"); err != nil {
+	if _, err := n2.DB().Submit(context.Background(), "fp", 1, "after-promote"); err != nil {
 		t.Fatalf("write on force-promoted leader: %v", err)
 	}
-	counts, err := n2.DB().Counts("fp")
+	counts, err := n2.DB().Counts(context.Background(), "fp")
 	if err != nil {
 		t.Fatal(err)
 	}

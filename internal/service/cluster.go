@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -13,11 +14,12 @@ import (
 )
 
 // ClusterClient is a failover-aware EMEWS service client. It implements
-// core.API against a replicated service cluster: it resolves the current
+// core.Session against a replicated service cluster: it resolves the current
 // leader through the "cluster" op, routes calls to it, and on connection
 // loss or transient cluster errors re-resolves and retries until
-// FailTimeout elapses. ME algorithms and worker pools built on core.API run
-// unchanged across leader failover.
+// FailTimeout elapses. ME algorithms and worker pools built on core.Session
+// (or the deprecated core.API via core.Compat) run unchanged across leader
+// failover.
 //
 // Retry semantics: idempotent reads retry freely. Queue-popping calls
 // (QueryTasks, PopResults, QueryResult) are at-most-once per attempt, so a
@@ -25,8 +27,6 @@ import (
 // delivering it; QueryResult additionally falls back to reading the
 // replicated task row after a failover, so results of completed tasks are
 // never lost with the old leader (they are, at worst, delivered twice).
-// Submits retried across a failover may, in the worst case, be applied twice
-// if the old leader replicated the write but died before answering.
 //
 // When the cluster runs with replica.Config.WriteQuorum > 0, every
 // acknowledged write has already been applied by that many followers, so an
@@ -35,46 +35,49 @@ import (
 // transient condition — re-resolve the real leader and retry.
 //
 // Read scale-out: the client tracks a session commit token — the highest WAL
-// index any of its operations has observed — and routes read-only calls
-// (GetTask, Statuses, Priorities, Counts, Tags) round-robin across follower
-// replicas, shipping the token as a minimum-freshness bound. A follower
-// serves the read only once its applied index has reached the token
-// (read-your-writes and monotonic reads for this session); one that cannot
-// catch up within ReadStaleness answers transiently and the client moves on
-// to the next follower, falling back to the leader last. EMEWS workloads are
-// dominated by status/result polling, so this is what lets followers absorb
-// the read load instead of the leader serializing everything.
+// index any of its operations has observed, pops included — and routes
+// read-only calls (GetTask, Statuses, Priorities, Counts, Tags) round-robin
+// across follower replicas, shipping the token as a minimum-freshness bound.
+// A follower serves the read only once its applied index has reached the
+// token (read-your-writes, read-your-pops, and monotonic reads for this
+// session); one that cannot catch up within the read's staleness bound
+// answers transiently and the client moves on to the next follower, falling
+// back to the leader last. Per-call consistency levels refine the routing:
+// core.Strong() pins the read to the leader, core.Eventual() drops the
+// freshness bound entirely. EMEWS workloads are dominated by status/result
+// polling, so this is what lets followers absorb the read load instead of
+// the leader serializing everything.
 //
-// Submits are idempotent by default: every SubmitTask/SubmitTasks call
-// without an explicit core.WithDedupKey gets a session-unique key, so the
-// client's own retries after an ambiguous quorum failure (write committed
-// locally, acknowledgement lost) can never create duplicate tasks.
+// Submits are idempotent by default: every Submit/SubmitBatch call without
+// an explicit dedup key gets a session-unique one, so the client's own
+// retries after an ambiguous quorum failure (write committed locally,
+// acknowledgement lost) can never create duplicate tasks.
 type ClusterClient struct {
 	addrs []string
 
 	// FailTimeout bounds how long a single call keeps retrying through
 	// connection loss and leaderless windows (beyond the call's own polling
-	// timeout). The default 15s rides out several election rounds.
+	// deadline). The default 15s rides out several election rounds.
 	FailTimeout time.Duration
 	// RetryDelay is the pause between re-resolution attempts (default 25ms).
 	RetryDelay time.Duration
-	// ReadFromFollowers routes read-only calls across follower replicas with
-	// the session token as freshness bound. Enabled by DialCluster; disable
-	// to pin every call to the leader.
+	// ReadFromFollowers routes session- and eventual-consistency reads across
+	// follower replicas. Enabled by DialCluster; disable to pin every call to
+	// the leader. Strong reads always go to the leader regardless.
 	ReadFromFollowers bool
-	// ReadStaleness bounds how long a follower may block catching up to the
-	// session token before the read moves on (next follower, then leader).
-	// The default 1s covers replication hiccups without stalling reads on a
-	// wedged replica.
+	// ReadStaleness is the default bound on how long a follower may block
+	// catching up to the session token before the read moves on (next
+	// follower, then leader) when the call's context has no deadline. A
+	// context deadline shorter than this tightens the bound per call.
 	ReadStaleness time.Duration
 
 	mu      sync.Mutex
 	c       *Client
-	leader  string             // service address the current client is connected to
-	token   uint64             // session high-water commit token
-	peers   []string           // every member's service address (last resolution)
-	readers map[string]*Client // open read connections to followers
-	readSeq uint64             // round-robin cursor over followers
+	leader  string               // service address the current client is connected to
+	token   uint64               // session high-water commit token
+	peers   []string             // every member's service address (last resolution)
+	readers map[string]*Client   // open read connections to followers
+	readSeq uint64               // round-robin cursor over followers
 	readBad map[string]time.Time // follower cooldown: skip recent failures
 
 	dedupBase string // session-unique prefix for generated dedup keys
@@ -82,7 +85,7 @@ type ClusterClient struct {
 	noDedup   bool   // backend rejected dedup keys: stop auto-attaching them
 }
 
-var _ core.API = (*ClusterClient)(nil)
+var _ core.Session = (*ClusterClient)(nil)
 
 // DialCluster connects to a replicated EMEWS service given the service
 // addresses of any subset of its nodes (any one live node suffices: the
@@ -137,10 +140,11 @@ func (cc *ClusterClient) Leader() string {
 	return cc.leader
 }
 
-// Token returns the session's high-water commit token: the WAL index of the
-// newest write (or freshest read) this client has observed. Reads routed to
-// followers carry it as their minimum-freshness bound.
-func (cc *ClusterClient) Token() uint64 {
+// Token implements core.Session: the session's high-water commit token — the
+// WAL index of the newest write or pop (or freshest read) this client has
+// observed. Session-level reads routed to followers carry it as their
+// minimum-freshness bound.
+func (cc *ClusterClient) Token() core.Token {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	return cc.token
@@ -156,8 +160,8 @@ func (cc *ClusterClient) noteToken(tok uint64) {
 }
 
 // autoDedupKey returns a fresh session-unique idempotency key, or "" when
-// the backend has rejected dedup keys (a core.API implementation without
-// token support) and auto-keying is switched off for the session.
+// the backend has rejected dedup keys (a lifted token-less backend) and
+// auto-keying is switched off for the session.
 func (cc *ClusterClient) autoDedupKey() string {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
@@ -169,7 +173,7 @@ func (cc *ClusterClient) autoDedupKey() string {
 }
 
 // dedupUnsupported recognizes the server's rejection of dedup keys. Only
-// auto-attached keys downgrade on it — a caller's explicit WithDedupKey
+// auto-attached keys downgrade on it — a caller's explicit dedup key
 // demanded idempotency the backend cannot give, and must fail loudly.
 func (cc *ClusterClient) dedupUnsupported(err error) bool {
 	if err == nil || !strings.Contains(err.Error(), "dedup keys unsupported") {
@@ -355,19 +359,34 @@ func (cc *ClusterClient) dropReader(addr string, c *Client) {
 	c.Close()
 }
 
-// doRead runs one read-only call. With follower routing enabled it rotates
-// through the known follower replicas, shipping the session token as the
-// freshness bound; a follower that is unreachable or cannot catch up within
-// ReadStaleness is skipped. The leader is the last resort — both the
-// fallback when every follower lags and the only target when no follower is
-// known — so reads keep working on clusters of one and during partial
-// outages, including the leaderless election window (followers still answer).
-func (cc *ClusterClient) doRead(budget time.Duration, fn func(c *Client, token uint64, wait time.Duration) error) error {
+// doRead runs one read-only call at the requested consistency level.
+//
+//   - LevelStrong pins the read to the leader connection and flags it
+//     "strong" on the wire, so a follower that turns out to be answering
+//     forwards it to the real leader.
+//   - LevelSession (default) rotates through the known follower replicas,
+//     shipping the session token as the freshness bound; a follower that is
+//     unreachable or cannot catch up within the staleness bound is skipped.
+//   - LevelEventual rotates the same way with no token, taking whatever
+//     state the first reachable replica has.
+//
+// The leader is the last resort — both the fallback when every follower
+// lags and the only target when no follower is known — so reads keep
+// working on clusters of one and during partial outages, including the
+// leaderless election window (followers still answer session and eventual
+// reads).
+func (cc *ClusterClient) doRead(ctx context.Context, opts []core.ReadOption, fn func(c *Client, token uint64, wait time.Duration, level string) error) error {
+	// A finished context aborts the read before any routing or round trip —
+	// matching the mutating ops (reads have no one-shot-attempt contract).
+	if err := ctx.Err(); err != nil {
+		return core.CtxErr(ctx)
+	}
+	o := core.ApplyReadOptions(opts)
 	now := time.Now()
 	cc.mu.Lock()
 	token := cc.token
 	wait := cc.ReadStaleness
-	routed := cc.ReadFromFollowers
+	routed := cc.ReadFromFollowers && o.Level != core.LevelStrong
 	leader := cc.leader
 	var followers []string
 	if routed {
@@ -376,8 +395,8 @@ func (cc *ClusterClient) doRead(budget time.Duration, fn func(c *Client, token u
 				continue
 			}
 			// Cooldown: a follower that just failed or lagged is skipped for
-			// one ReadStaleness window instead of taxing every read with a
-			// fresh dial attempt or a full staleness wait.
+			// one staleness window instead of taxing every read with a fresh
+			// dial attempt or a full staleness wait.
 			if bad, ok := cc.readBad[addr]; ok && now.Sub(bad) < wait {
 				continue
 			}
@@ -388,6 +407,19 @@ func (cc *ClusterClient) doRead(budget time.Duration, fn func(c *Client, token u
 	cc.readSeq++
 	cc.mu.Unlock()
 
+	if d, ok := ctx.Deadline(); ok {
+		if r := time.Until(d); r > 0 && r < wait {
+			wait = r
+		}
+	}
+	level := ""
+	switch o.Level {
+	case core.LevelStrong:
+		level = "strong"
+	case core.LevelEventual:
+		level, token, wait = "eventual", 0, 0
+	}
+
 	for i := range followers {
 		addr := followers[(int(seq)+i)%len(followers)]
 		c, err := cc.reader(addr)
@@ -395,7 +427,7 @@ func (cc *ClusterClient) doRead(budget time.Duration, fn func(c *Client, token u
 			cc.markReadBad(addr)
 			continue
 		}
-		err = fn(c, token, wait)
+		err = fn(c, token, wait, level)
 		if err == nil {
 			cc.noteToken(c.LastToken())
 			return nil
@@ -408,7 +440,7 @@ func (cc *ClusterClient) doRead(budget time.Duration, fn func(c *Client, token u
 			cc.dropReader(addr, c)
 		}
 	}
-	return cc.do(budget, func(c *Client) error { return fn(c, token, wait) })
+	return cc.do(time.Second, func(c *Client) error { return fn(c, token, wait, level) })
 }
 
 func (cc *ClusterClient) markReadBad(addr string) {
@@ -417,11 +449,11 @@ func (cc *ClusterClient) markReadBad(addr string) {
 	cc.mu.Unlock()
 }
 
-// SubmitTask implements core.API. Unless the caller supplied its own
+// Submit implements core.Session. Unless the caller supplied its own
 // core.WithDedupKey, a session-unique key is attached, making the retries
 // this client performs across failover and quorum timeouts idempotent: the
 // write lands at most once no matter how often it is re-sent.
-func (cc *ClusterClient) SubmitTask(expID string, workType int, payload string, opts ...core.SubmitOption) (int64, error) {
+func (cc *ClusterClient) Submit(ctx context.Context, expID string, workType int, payload string, opts ...core.SubmitOption) (core.SubmitRes, error) {
 	var o core.SubmitOptions
 	for _, opt := range opts {
 		opt(&o)
@@ -433,11 +465,11 @@ func (cc *ClusterClient) SubmitTask(expID string, workType int, payload string, 
 			auto = true
 		}
 	}
-	var id int64
+	var res core.SubmitRes
 	submit := func(sendOpts []core.SubmitOption) error {
 		return cc.do(time.Second, func(c *Client) error {
 			var err error
-			id, err = c.SubmitTask(expID, workType, payload, sendOpts...)
+			res, err = c.Submit(ctx, expID, workType, payload, sendOpts...)
 			return err
 		})
 	}
@@ -447,72 +479,78 @@ func (cc *ClusterClient) SubmitTask(expID string, workType int, payload string, 
 		// semantics rather than failing the submit outright.
 		err = submit(opts[:len(opts)-1])
 	}
-	return id, err
+	return res, err
 }
 
-// SubmitTasks implements core.API. Like SubmitTask, the batch gets
-// session-unique dedup keys (one per payload) so a retried batch re-submits
-// only the payloads that did not land the first time.
-func (cc *ClusterClient) SubmitTasks(expID string, workType int, payloads []string, priorities []int) ([]int64, error) {
-	var keys []string
-	if len(payloads) > 0 {
+// SubmitBatch implements core.Session. Like Submit, a batch without
+// caller-supplied keys gets session-unique dedup keys (one per payload) so a
+// retried batch re-submits only the payloads that did not land the first
+// time.
+func (cc *ClusterClient) SubmitBatch(ctx context.Context, expID string, workType int, payloads []string, priorities []int, dedupKeys []string) (core.BatchRes, error) {
+	auto := false
+	if len(dedupKeys) == 0 && len(payloads) > 0 {
 		if first := cc.autoDedupKey(); first != "" {
-			keys = make([]string, len(payloads))
-			keys[0] = first
-			for i := 1; i < len(keys); i++ {
-				keys[i] = cc.autoDedupKey()
+			dedupKeys = make([]string, len(payloads))
+			dedupKeys[0] = first
+			for i := 1; i < len(dedupKeys); i++ {
+				dedupKeys[i] = cc.autoDedupKey()
 			}
+			auto = true
 		}
 	}
-	var ids []int64
+	var res core.BatchRes
 	submit := func(sendKeys []string) error {
 		return cc.do(10*time.Second, func(c *Client) error {
 			var err error
-			ids, _, err = c.SubmitTasksT(expID, workType, payloads, priorities, sendKeys)
+			res, err = c.SubmitBatch(ctx, expID, workType, payloads, priorities, sendKeys)
 			return err
 		})
 	}
-	err := submit(keys)
-	if keys != nil && cc.dedupUnsupported(err) {
+	err := submit(dedupKeys)
+	if auto && cc.dedupUnsupported(err) {
 		err = submit(nil)
 	}
-	return ids, err
+	return res, err
 }
 
-// QueryTasks implements core.API.
-func (cc *ClusterClient) QueryTasks(workType, n int, pool string, delay, timeout time.Duration) ([]core.Task, error) {
-	var tasks []core.Task
-	err := cc.pollChunked(timeout, func(c *Client, chunk time.Duration) error {
+// QueryTasks implements core.Session.
+func (cc *ClusterClient) QueryTasks(ctx context.Context, workType, n int, pool string) (core.TasksRes, error) {
+	var res core.TasksRes
+	err := cc.pollChunked(ctx, func(c *Client, chunk context.Context) error {
 		var err error
-		tasks, err = c.QueryTasks(workType, n, pool, delay, chunk)
+		res, err = c.QueryTasks(chunk, workType, n, pool)
 		return err
 	})
-	return tasks, err
+	return res, err
 }
 
-// ReportTask implements core.API.
-func (cc *ClusterClient) ReportTask(taskID int64, workType int, result string) error {
-	return cc.do(time.Second, func(c *Client) error {
-		return c.ReportTask(taskID, workType, result)
+// Report implements core.Session.
+func (cc *ClusterClient) Report(ctx context.Context, taskID int64, workType int, result string) (core.Res, error) {
+	var res core.Res
+	err := cc.do(time.Second, func(c *Client) error {
+		var err error
+		res, err = c.Report(ctx, taskID, workType, result)
+		return err
 	})
+	return res, err
 }
 
-// QueryResult implements core.API. After a mid-call failover it additionally
-// checks the replicated task row: a result whose input-queue entry was
-// consumed by the dead leader (pop applied, response lost) is still
-// recovered from the new leader's tasks table.
-func (cc *ClusterClient) QueryResult(taskID int64, delay, timeout time.Duration) (string, error) {
+// QueryResult implements core.Session. After a mid-call failover it
+// additionally checks the replicated task row: a result whose input-queue
+// entry was consumed by the dead leader (pop applied, response lost) is
+// still recovered from the new leader's tasks table.
+func (cc *ClusterClient) QueryResult(ctx context.Context, taskID int64) (core.ResultRes, error) {
 	failedOver := false
-	var res string
-	err := cc.pollChunked(timeout, func(c *Client, chunk time.Duration) error {
+	var res core.ResultRes
+	err := cc.pollChunked(ctx, func(c *Client, chunk context.Context) error {
 		if failedOver {
-			if task, terr := c.GetTask(taskID); terr == nil && task.Status == core.StatusComplete {
-				res = task.Result
+			if task, terr := c.GetTask(chunk, taskID); terr == nil && task.Status == core.StatusComplete {
+				res = core.ResultRes{Result: task.Result, Token: c.LastToken()}
 				return nil
 			}
 		}
 		var err error
-		res, err = c.QueryResult(taskID, delay, chunk)
+		res, err = c.QueryResult(chunk, taskID)
 		if retryable(err) {
 			failedOver = true
 		}
@@ -521,61 +559,86 @@ func (cc *ClusterClient) QueryResult(taskID int64, delay, timeout time.Duration)
 	return res, err
 }
 
-// PopResults implements core.API.
-func (cc *ClusterClient) PopResults(ids []int64, max int, delay, timeout time.Duration) ([]core.TaskResult, error) {
-	var results []core.TaskResult
-	err := cc.pollChunked(timeout, func(c *Client, chunk time.Duration) error {
+// PopResults implements core.Session.
+func (cc *ClusterClient) PopResults(ctx context.Context, ids []int64, max int) (core.ResultsRes, error) {
+	var res core.ResultsRes
+	err := cc.pollChunked(ctx, func(c *Client, chunk context.Context) error {
 		var err error
-		results, err = c.PopResults(ids, max, delay, chunk)
+		res, err = c.PopResults(chunk, ids, max)
 		return err
 	})
-	return results, err
+	return res, err
 }
 
-// pollChunked runs one polling call in sub-timeout chunks so a leader that
+// pollChunked runs one polling call in sub-deadline chunks so a leader that
 // dies mid-poll is noticed and replaced without giving up the whole wait.
-func (cc *ClusterClient) pollChunked(timeout time.Duration, fn func(c *Client, chunk time.Duration) error) error {
+// The overall deadline comes from ctx; without one the poll runs until
+// something arrives or ctx is canceled.
+func (cc *ClusterClient) pollChunked(ctx context.Context, fn func(c *Client, chunk context.Context) error) error {
 	const chunk = 500 * time.Millisecond
-	deadline := time.Now().Add(timeout)
-	hardDeadline := deadline.Add(cc.FailTimeout)
+	deadline, bounded := ctx.Deadline()
+	var hardDeadline time.Time
+	if bounded {
+		hardDeadline = deadline.Add(cc.FailTimeout)
+	}
 	var connErr error // last connection-level failure; nil after any real answer
 	attempted := false
 	for {
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			switch {
-			case !attempted:
-				// Zero/expired timeout still gets one immediate try, matching
-				// core.DB and Client semantics (a ready result pops even with
-				// timeout 0).
-				remain = time.Millisecond
-			case connErr == nil:
-				// The service genuinely answered "nothing yet" all the way
-				// to the deadline.
-				return core.ErrTimeout
-			case time.Now().After(hardDeadline):
-				return connErr
-			default:
-				// Connection trouble ate the tail of the budget: allow grace
-				// chunks so a failover window does not surface as a spurious
-				// timeout.
-				remain = chunk
-			}
+		// A deadline expiry is handled below (grace chunks included); an
+		// explicit cancellation aborts the poll outright.
+		if err := ctx.Err(); errors.Is(err, context.Canceled) {
+			return err
 		}
-		step := remain
-		if step > chunk {
-			step = chunk
+		step := chunk
+		if bounded {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				switch {
+				case !attempted:
+					// Zero/expired deadline still gets one immediate try,
+					// matching core.DB and Client semantics (a ready result
+					// pops even with timeout 0).
+					remain = time.Millisecond
+				case connErr == nil:
+					// The service genuinely answered "nothing yet" all the way
+					// to the deadline.
+					return core.ErrTimeout
+				case time.Now().After(hardDeadline):
+					return connErr
+				default:
+					// Connection trouble ate the tail of the budget: allow
+					// grace chunks so a failover window does not surface as a
+					// spurious timeout.
+					remain = chunk
+				}
+			}
+			step = remain
+			if step > chunk {
+				step = chunk
+			}
 		}
 		c, err := cc.client()
 		if err == nil {
 			attempted = true
-			err = fn(c, step)
+			stepCtx, cancel := context.WithTimeout(context.Background(), step)
+			err = fn(c, stepCtx)
+			cancel()
 			switch {
 			case err == nil:
 				cc.noteToken(c.LastToken())
 				return nil
 			case errors.Is(err, core.ErrTimeout):
 				connErr = nil
+				if !bounded {
+					select {
+					case <-ctx.Done():
+						if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+							return core.ErrTimeout
+						}
+						return ctx.Err()
+					default:
+					}
+				}
 				continue
 			case retryable(err):
 				connErr = err
@@ -586,98 +649,99 @@ func (cc *ClusterClient) pollChunked(timeout time.Duration, fn func(c *Client, c
 		} else {
 			connErr = err
 		}
-		if time.Now().After(hardDeadline) {
+		if bounded && time.Now().After(hardDeadline) {
 			return connErr
 		}
 		time.Sleep(cc.RetryDelay)
 	}
 }
 
-// Statuses implements core.API. Status polls dominate ME workloads; they are
-// served by follower replicas under the session's freshness token.
-func (cc *ClusterClient) Statuses(ids []int64) (map[int64]core.Status, error) {
+// Statuses implements core.Session. Status polls dominate ME workloads; they
+// are served by follower replicas under the session's freshness token.
+func (cc *ClusterClient) Statuses(ctx context.Context, ids []int64, opts ...core.ReadOption) (map[int64]core.Status, error) {
 	var out map[int64]core.Status
-	err := cc.doRead(time.Second, func(c *Client, token uint64, wait time.Duration) error {
+	err := cc.doRead(ctx, opts, func(c *Client, token uint64, wait time.Duration, level string) error {
 		var err error
-		out, err = c.statusesAt(ids, token, wait)
+		out, err = c.statusesAt(ids, token, wait, level)
 		return err
 	})
 	return out, err
 }
 
-// Priorities implements core.API.
-func (cc *ClusterClient) Priorities(ids []int64) (map[int64]int, error) {
+// Priorities implements core.Session.
+func (cc *ClusterClient) Priorities(ctx context.Context, ids []int64, opts ...core.ReadOption) (map[int64]int, error) {
 	var out map[int64]int
-	err := cc.doRead(time.Second, func(c *Client, token uint64, wait time.Duration) error {
+	err := cc.doRead(ctx, opts, func(c *Client, token uint64, wait time.Duration, level string) error {
 		var err error
-		out, err = c.prioritiesAt(ids, token, wait)
+		out, err = c.prioritiesAt(ids, token, wait, level)
 		return err
 	})
 	return out, err
 }
 
-// UpdatePriorities implements core.API.
-func (cc *ClusterClient) UpdatePriorities(ids []int64, priorities []int) (int, error) {
-	var n int
+// UpdatePriorities implements core.Session.
+func (cc *ClusterClient) UpdatePriorities(ctx context.Context, ids []int64, priorities []int) (core.CountRes, error) {
+	var res core.CountRes
 	err := cc.do(time.Second, func(c *Client) error {
 		var err error
-		n, err = c.UpdatePriorities(ids, priorities)
+		res, err = c.UpdatePriorities(ctx, ids, priorities)
 		return err
 	})
-	return n, err
+	return res, err
 }
 
-// CancelTasks implements core.API.
-func (cc *ClusterClient) CancelTasks(ids []int64) (int, error) {
-	var n int
+// CancelTasks implements core.Session.
+func (cc *ClusterClient) CancelTasks(ctx context.Context, ids []int64) (core.CountRes, error) {
+	var res core.CountRes
 	err := cc.do(time.Second, func(c *Client) error {
 		var err error
-		n, err = c.CancelTasks(ids)
+		res, err = c.CancelTasks(ctx, ids)
 		return err
 	})
-	return n, err
+	return res, err
 }
 
-// RequeueRunning implements core.API.
-func (cc *ClusterClient) RequeueRunning(pool string) (int, error) {
-	var n int
+// RequeueRunning implements core.Session.
+func (cc *ClusterClient) RequeueRunning(ctx context.Context, pool string) (core.CountRes, error) {
+	var res core.CountRes
 	err := cc.do(time.Second, func(c *Client) error {
 		var err error
-		n, err = c.RequeueRunning(pool)
+		res, err = c.RequeueRunning(ctx, pool)
 		return err
 	})
-	return n, err
+	return res, err
 }
 
-// Counts implements core.API.
-func (cc *ClusterClient) Counts(expID string) (map[core.Status]int, error) {
+// Counts implements core.Session.
+func (cc *ClusterClient) Counts(ctx context.Context, expID string, opts ...core.ReadOption) (map[core.Status]int, error) {
 	var out map[core.Status]int
-	err := cc.doRead(time.Second, func(c *Client, token uint64, wait time.Duration) error {
+	err := cc.doRead(ctx, opts, func(c *Client, token uint64, wait time.Duration, level string) error {
 		var err error
-		out, err = c.countsAt(expID, token, wait)
+		out, err = c.countsAt(expID, token, wait, level)
 		return err
 	})
 	return out, err
 }
 
-// Tags implements core.API.
-func (cc *ClusterClient) Tags(taskID int64) ([]string, error) {
+// Tags implements core.Session.
+func (cc *ClusterClient) Tags(ctx context.Context, taskID int64, opts ...core.ReadOption) ([]string, error) {
 	var out []string
-	err := cc.doRead(time.Second, func(c *Client, token uint64, wait time.Duration) error {
+	err := cc.doRead(ctx, opts, func(c *Client, token uint64, wait time.Duration, level string) error {
 		var err error
-		out, err = c.tagsAt(taskID, token, wait)
+		out, err = c.tagsAt(taskID, token, wait, level)
 		return err
 	})
 	return out, err
 }
 
-// GetTask fetches the full task row from a follower replica (or the leader
-// as last resort), with read-your-writes guaranteed by the session token.
-func (cc *ClusterClient) GetTask(taskID int64) (core.Task, error) {
+// GetTask implements core.Session: the full task row from a follower replica
+// (or the leader as last resort), with read-your-writes and read-your-pops
+// guaranteed by the session token.
+func (cc *ClusterClient) GetTask(ctx context.Context, taskID int64, opts ...core.ReadOption) (core.Task, error) {
 	var t core.Task
-	err := cc.doRead(time.Second, func(c *Client, token uint64, wait time.Duration) error {
+	err := cc.doRead(ctx, opts, func(c *Client, token uint64, wait time.Duration, level string) error {
 		var err error
-		t, err = c.getTaskAt(taskID, token, wait)
+		t, err = c.getTaskAt(taskID, token, wait, level)
 		return err
 	})
 	return t, err

@@ -94,7 +94,7 @@ func TestClusterFailover(t *testing.T) {
 	go func() { defer close(poolDone); p.Run(poolCtx) }()
 
 	waitCond(t, "all tasks complete", func() bool {
-		counts, err := n1.DB().Counts("failover")
+		counts, err := n1.DB().Counts(context.Background(), "failover")
 		return err == nil && counts[core.StatusComplete] == total
 	})
 	poolCancel()
@@ -151,7 +151,7 @@ func TestClusterFailover(t *testing.T) {
 	}
 
 	// No completed tasks were lost: the new leader's replica has all of them.
-	counts, err := cc.Counts("failover")
+	counts, err := cc.Counts(context.Background(), "failover")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,12 +165,12 @@ func TestClusterFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer folClient.Close()
-	id, err := folClient.SubmitTask("failover", 1, "via-follower")
+	id, err := core.Compat(folClient).SubmitTask("failover", 1, "via-follower")
 	if err != nil {
 		t.Fatalf("submit via follower: %v", err)
 	}
 	waitCond(t, "forwarded write replicated", func() bool { return n3.Applied() == n2.Applied() })
-	task, err := n3.DB().GetTask(id)
+	task, err := n3.DB().GetTask(context.Background(), id)
 	if err != nil || task.Payload != "via-follower" {
 		t.Fatalf("forwarded task on follower replica: %+v, %v", task, err)
 	}
@@ -204,18 +204,18 @@ func TestDialClusterStandalone(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cc.Close()
-	id, err := cc.SubmitTask("solo", 1, "p")
+	id, err := core.Compat(cc).SubmitTask("solo", 1, "p")
 	if err != nil {
 		t.Fatal(err)
 	}
-	tasks, err := cc.QueryTasks(1, 1, "pool", tick, waitMax)
+	tasks, err := core.Compat(cc).QueryTasks(1, 1, "pool", tick, waitMax)
 	if err != nil || len(tasks) != 1 || tasks[0].ID != id {
 		t.Fatalf("QueryTasks = %v, %v", tasks, err)
 	}
-	if err := cc.ReportTask(id, 1, "r"); err != nil {
+	if err := core.Compat(cc).ReportTask(id, 1, "r"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := cc.QueryResult(id, tick, waitMax)
+	res, err := core.Compat(cc).QueryResult(id, tick, waitMax)
 	if err != nil || res != "r" {
 		t.Fatalf("QueryResult = %q, %v", res, err)
 	}
@@ -232,7 +232,7 @@ func TestFollowerServesReadsLocally(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := leaderClient.SubmitTask("reads", 1, "x", core.WithTags("t1"))
+	id, err := core.Compat(leaderClient).SubmitTask("reads", 1, "x", core.WithTags("t1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,15 +249,15 @@ func TestFollowerServesReadsLocally(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer folClient.Close()
-	sts, err := folClient.Statuses([]int64{id})
+	sts, err := folClient.Statuses(context.Background(), []int64{id})
 	if err != nil || sts[id] != core.StatusQueued {
 		t.Fatalf("follower Statuses = %v, %v", sts, err)
 	}
-	tags, err := folClient.Tags(id)
+	tags, err := folClient.Tags(context.Background(), id)
 	if err != nil || len(tags) != 1 || tags[0] != "t1" {
 		t.Fatalf("follower Tags = %v, %v", tags, err)
 	}
-	counts, err := folClient.Counts("reads")
+	counts, err := folClient.Counts(context.Background(), "reads")
 	if err != nil || counts[core.StatusQueued] != 1 {
 		t.Fatalf("follower Counts = %v, %v", counts, err)
 	}

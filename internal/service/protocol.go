@@ -23,13 +23,19 @@ type request struct {
 
 	// Token is the caller's minimum-freshness bound for read ops: the
 	// answering replica must have applied the WAL through this index before
-	// serving, which is what gives a session read-your-writes when its reads
-	// are routed to followers. 0 imposes no bound.
+	// serving, which is what gives a session read-your-writes (and, with
+	// tokens on pop responses, read-your-pops) when its reads are routed to
+	// followers. 0 imposes no bound.
 	Token uint64 `json:"token,omitempty"`
 	// WaitMS bounds how long the replica may block waiting to catch up to
 	// Token before answering "behind" (transient); 0 means answer
-	// immediately if behind.
+	// immediately if behind. Polling ops reuse it as the poll deadline,
+	// derived from the caller's context.
 	WaitMS int64 `json:"wait_ms,omitempty"`
+	// Level is the read's consistency level: "" (session, token-bounded),
+	// "strong" (execute on the leader), or "eventual" (any replica, no
+	// bound). A follower forwards strong reads to the leader like writes.
+	Level string `json:"level,omitempty"`
 
 	// DedupKey (submit) / DedupKeys (submit_batch, one per payload) make
 	// retried submits idempotent: a key that already exists returns the
@@ -47,8 +53,10 @@ type request struct {
 	TaskIDs []int64 `json:"task_ids,omitempty"`
 	N       int     `json:"n,omitempty"`
 	Pool    string  `json:"pool,omitempty"`
-	DelayMS int64   `json:"delay_ms,omitempty"`
-	TimeMS  int64   `json:"timeout_ms,omitempty"`
+	// TimeMS is the previous release's polling deadline field; servers treat
+	// it as WaitMS when WaitMS is absent so old clients keep long-polling
+	// through a rolling upgrade. New clients send WaitMS only.
+	TimeMS int64 `json:"timeout_ms,omitempty"`
 
 	Result     string   `json:"result,omitempty"`
 	Priorities []int    `json:"priorities,omitempty"`

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -56,7 +57,7 @@ func TestQuorumWriteSurvivesLeaderKill(t *testing.T) {
 
 	const total = 10
 	for i := 0; i < total; i++ {
-		if _, err := cc.SubmitTask("quorum", 1, fmt.Sprint(i)); err != nil {
+		if _, err := core.Compat(cc).SubmitTask("quorum", 1, fmt.Sprint(i)); err != nil {
 			t.Fatalf("quorum submit %d: %v", i, err)
 		}
 	}
@@ -70,7 +71,7 @@ func TestQuorumWriteSurvivesLeaderKill(t *testing.T) {
 	if n3.IsLeader() {
 		newLeader = n3
 	}
-	counts, err := newLeader.DB().Counts("quorum")
+	counts, err := newLeader.DB().Counts(context.Background(), "quorum")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestQuorumWriteSurvivesLeaderKill(t *testing.T) {
 	}
 
 	// The failover client keeps working against the new leader.
-	counts, err = cc.Counts("quorum")
+	counts, err = cc.Counts(context.Background(), "quorum")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestAsyncAckWindowStillExists(t *testing.T) {
 		// Acknowledged with zero live followers: were the leader to die now,
 		// this write would be gone. WriteQuorum: 0 preserves exactly the old
 		// asynchronous semantics.
-		if _, err := c.SubmitTask("window", 1, "doomed"); err != nil {
+		if _, err := core.Compat(c).SubmitTask("window", 1, "doomed"); err != nil {
 			t.Fatalf("async submit after follower death: %v", err)
 		}
 	})
@@ -128,7 +129,7 @@ func TestAsyncAckWindowStillExists(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer c.Close()
-		if _, err := c.SubmitTask("window", 1, "refused"); !errors.Is(err, ErrUnavailable) {
+		if _, err := core.Compat(c).SubmitTask("window", 1, "refused"); !errors.Is(err, ErrUnavailable) {
 			t.Fatalf("quorum submit after follower death = %v, want ErrUnavailable", err)
 		}
 	})
@@ -164,7 +165,7 @@ func TestMinorityLeaderDemotesAndRejectsWrites(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.SubmitTask("zombie", 1, "doomed"); !errors.Is(err, ErrUnavailable) {
+	if _, err := core.Compat(c).SubmitTask("zombie", 1, "doomed"); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("write on demoted leader = %v, want ErrUnavailable", err)
 	}
 
@@ -190,14 +191,14 @@ func TestQuorumZeroPreservesAsyncSemantics(t *testing.T) {
 	}
 	defer c.Close()
 	start := time.Now()
-	id, err := c.SubmitTask("solo", 1, "p")
+	id, err := core.Compat(c).SubmitTask("solo", 1, "p")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d := time.Since(start); d > elect {
 		t.Fatalf("async submit took %v — it must not wait on replication", d)
 	}
-	sts, err := c.Statuses([]int64{id})
+	sts, err := c.Statuses(context.Background(), []int64{id})
 	if err != nil || sts[id] != core.StatusQueued {
 		t.Fatalf("Statuses = %v, %v", sts, err)
 	}

@@ -17,10 +17,10 @@ import (
 
 // Server exposes an EMEWS task database over TCP.
 type Server struct {
-	db   core.API
-	tdb  core.TokenAPI // db when it supports commit tokens, else nil
-	ln   net.Listener
-	node *replica.Node // nil for standalone servers
+	db        core.Session
+	tokenless bool // db is a lifted v1 backend: no commit tokens
+	ln        net.Listener
+	node      *replica.Node // nil for standalone servers
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -30,18 +30,20 @@ type Server struct {
 
 // Serve starts a server for db on addr (e.g. "127.0.0.1:0") and returns once
 // the listener is bound. Use Addr for the chosen address and Close to stop.
-func Serve(db core.API, addr string) (*Server, error) {
+// Legacy token-less backends can be served through core.Lift.
+func Serve(db core.Session, addr string) (*Server, error) {
 	return serve(db, nil, addr)
 }
 
 // ServeNode starts a replica-aware server for cluster node n: reads are
-// served from the local (replicated) database, writes are forwarded to the
-// cluster leader while this node follows, and the "cluster" op reports
-// leadership so failover clients can re-resolve. ServeNode also advertises
-// the server's address to the cluster (unless ReplicaConfig.ServiceAddr
-// already names a remotely dialable one — needed for wildcard binds or NAT)
-// and starts the node's replication loops, so it is the one-call way to
-// bring a cluster member up.
+// served from the local (replicated) database, writes — the queue-popping
+// ops included — and strong-consistency reads are forwarded to the cluster
+// leader while this node follows, and the "cluster" op reports leadership so
+// failover clients can re-resolve. ServeNode also advertises the server's
+// address to the cluster (unless ReplicaConfig.ServiceAddr already names a
+// remotely dialable one — needed for wildcard binds or NAT) and starts the
+// node's replication loops, so it is the one-call way to bring a cluster
+// member up.
 func ServeNode(n *replica.Node, addr string) (*Server, error) {
 	s, err := serve(n.DB(), n, addr)
 	if err != nil {
@@ -54,13 +56,15 @@ func ServeNode(n *replica.Node, addr string) (*Server, error) {
 	return s, nil
 }
 
-func serve(db core.API, node *replica.Node, addr string) (*Server, error) {
+func serve(db core.Session, node *replica.Node, addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("service: listen: %w", err)
 	}
-	s := &Server{db: db, ln: ln, node: node, conns: make(map[net.Conn]struct{})}
-	s.tdb, _ = db.(core.TokenAPI)
+	s := &Server{
+		db: db, tokenless: core.Tokenless(db),
+		ln: ln, node: node, conns: make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -126,7 +130,7 @@ const maxLine = 64 << 20 // per-message bound; payloads are JSON strings
 // pair over buffered I/O: the per-request Unmarshal/Marshal allocations and
 // the unbuffered per-response write syscall were measurable on the submit
 // hot path. json.Encoder terminates every value with '\n', so the wire
-// format stays newline-delimited JSON. A malformed request now closes the
+// format stays newline-delimited JSON. A malformed request closes the
 // connection (the stream position is unknowable after a decode error)
 // instead of answering per line. The LimitedReader is topped up before each
 // decode, preserving the old line scanner's property that one request can
@@ -168,23 +172,30 @@ var writeOps = map[string]bool{
 // The queue-popping polls (query_tasks, pop_results, query_result) are
 // deliberately excluded — they are at-most-once per attempt by design and
 // quorum-waiting each poll chunk would serialize worker batching on
-// replication round trips.
+// replication round trips. Their responses still carry the pop's commit
+// token, so a session's later follower reads wait for the pop to replicate
+// (read-your-pops) even though the pop itself is acknowledged on the
+// leader's commit alone.
 var quorumOps = map[string]bool{
 	"submit": true, "submit_batch": true, "report": true,
 	"update_priorities": true, "cancel": true, "requeue": true,
 }
 
 func (s *Server) dispatch(req request) response {
-	if s.node != nil && writeOps[req.Op] && !s.node.IsLeader() {
+	// Writes and strong-consistency reads must execute on the leader.
+	needLeader := writeOps[req.Op] || req.Level == "strong"
+	if s.node != nil && needLeader && !s.node.IsLeader() {
 		return s.forward(req)
 	}
 	// Freshness-bounded reads: a client shipping a commit token demands that
 	// this replica has applied the WAL at least through it. A replica that
 	// cannot catch up within the client's wait bound answers transiently so
 	// the client falls back to a fresher replica or the leader — the
-	// staleness bound that makes follower reads safe to load-balance.
+	// staleness bound that makes follower reads safe to load-balance. Strong
+	// reads reach here only on the leader, whose applied index is the newest
+	// committed state; eventual reads carry token 0 and never wait.
 	isRead := s.node != nil && !writeOps[req.Op]
-	if isRead && req.Token > 0 {
+	if isRead && req.Token > 0 && req.Level != "strong" {
 		if err := s.node.WaitApplied(req.Token, ms(req.WaitMS)); err != nil {
 			return response{Error: "service: " + err.Error(), Transient: true}
 		}
@@ -205,15 +216,16 @@ func (s *Server) dispatch(req request) response {
 	// leader answers with a transient error so DialCluster re-resolves the
 	// real leader instead of trusting a zombie. The write may still have
 	// committed locally — a failed ack is ambiguous, which is exactly what
-	// dedup-keyed submits exist to disambiguate on retry. With a token-aware
-	// backend the wait covers precisely the request's own WAL entry; the
-	// fallback waits on the newest committed index (conservative over-wait).
+	// dedup-keyed submits exist to disambiguate on retry. The wait covers
+	// precisely the request's own WAL entry (its commit token); a lifted
+	// token-less backend falls back to waiting on the newest committed index
+	// (conservative over-wait).
 	if resp.OK && s.node != nil && quorumOps[req.Op] {
 		var err error
-		if s.tdb != nil {
-			err = s.node.WaitQuorumIndex(resp.Token)
-		} else {
+		if s.tokenless {
 			err = s.node.WaitQuorum()
+		} else {
+			err = s.node.WaitQuorumIndex(resp.Token)
 		}
 		if err != nil {
 			return response{Error: "service: write not quorum-committed: " + err.Error(), Transient: true}
@@ -225,8 +237,23 @@ func (s *Server) dispatch(req request) response {
 	return resp
 }
 
+// pollCtx builds the server-side polling context from the request's WaitMS
+// deadline, honoring the previous release's timeout_ms field when WaitMS is
+// absent (a rolling-upgrade client must keep long-polling, not busy-spin on
+// instant timeouts). An expired (or zero) budget still performs one
+// immediate attempt inside the Session, preserving the try-then-wait
+// contract.
+func pollCtx(req request) (context.Context, context.CancelFunc) {
+	waitMS := req.WaitMS
+	if waitMS == 0 && req.TimeMS > 0 {
+		waitMS = req.TimeMS
+	}
+	return context.WithTimeout(context.Background(), ms(waitMS))
+}
+
 // exec runs one request against the local database.
 func (s *Server) exec(req request) response {
+	ctx := context.Background()
 	switch req.Op {
 	case "ping":
 		return response{OK: true}
@@ -255,13 +282,7 @@ func (s *Server) exec(req request) response {
 		}
 		return s.exec(request{Op: "cluster"})
 	case "task_get":
-		g, ok := s.db.(interface {
-			GetTask(taskID int64) (core.Task, error)
-		})
-		if !ok {
-			return response{Error: "service: task_get unsupported by backend"}
-		}
-		task, err := g.GetTask(req.TaskID)
+		task, err := s.db.GetTask(ctx, req.TaskID)
 		if err != nil {
 			return errResponse(err)
 		}
@@ -274,78 +295,57 @@ func (s *Server) exec(req request) response {
 		if req.DedupKey != "" {
 			opts = append(opts, core.WithDedupKey(req.DedupKey))
 		}
-		if s.tdb != nil {
-			id, tok, err := s.tdb.SubmitTaskT(req.ExpID, req.WorkType, req.Payload, opts...)
-			if err != nil {
-				return errResponse(err)
-			}
-			return response{OK: true, TaskID: id, Token: tok}
-		}
-		if req.DedupKey != "" {
-			return response{Error: "service: dedup keys unsupported by backend"}
-		}
-		id, err := s.db.SubmitTask(req.ExpID, req.WorkType, req.Payload, opts...)
+		res, err := s.db.Submit(ctx, req.ExpID, req.WorkType, req.Payload, opts...)
 		if err != nil {
 			return errResponse(err)
 		}
-		return response{OK: true, TaskID: id}
+		return response{OK: true, TaskID: res.ID, Token: res.Token}
 	case "submit_batch":
-		if s.tdb != nil {
-			ids, tok, err := s.tdb.SubmitTasksT(req.ExpID, req.WorkType, req.Payloads, req.Priorities, req.DedupKeys)
-			if err != nil {
-				return errResponse(err)
-			}
-			return response{OK: true, TaskIDs: ids, Token: tok}
-		}
-		if len(req.DedupKeys) > 0 {
-			return response{Error: "service: dedup keys unsupported by backend"}
-		}
-		ids, err := s.db.SubmitTasks(req.ExpID, req.WorkType, req.Payloads, req.Priorities)
+		res, err := s.db.SubmitBatch(ctx, req.ExpID, req.WorkType, req.Payloads, req.Priorities, req.DedupKeys)
 		if err != nil {
 			return errResponse(err)
 		}
-		return response{OK: true, TaskIDs: ids}
+		return response{OK: true, TaskIDs: res.IDs, Token: res.Token}
 	case "query_tasks":
-		tasks, err := s.db.QueryTasks(req.WorkType, req.N, req.Pool,
-			ms(req.DelayMS), ms(req.TimeMS))
+		pctx, cancel := pollCtx(req)
+		defer cancel()
+		res, err := s.db.QueryTasks(pctx, req.WorkType, req.N, req.Pool)
 		if err != nil {
 			return errResponse(err)
 		}
-		out := make([]wireTask, len(tasks))
-		for i, t := range tasks {
+		out := make([]wireTask, len(res.Tasks))
+		for i, t := range res.Tasks {
 			out[i] = toWireTask(t)
 		}
-		return response{OK: true, Tasks: out}
+		return response{OK: true, Tasks: out, Token: res.Token}
 	case "report":
-		if s.tdb != nil {
-			tok, err := s.tdb.ReportTaskT(req.TaskID, req.WorkType, req.Result)
-			if err != nil {
-				return errResponse(err)
-			}
-			return response{OK: true, Token: tok}
-		}
-		if err := s.db.ReportTask(req.TaskID, req.WorkType, req.Result); err != nil {
+		res, err := s.db.Report(ctx, req.TaskID, req.WorkType, req.Result)
+		if err != nil {
 			return errResponse(err)
 		}
-		return response{OK: true}
+		return response{OK: true, Token: res.Token}
 	case "query_result":
-		res, err := s.db.QueryResult(req.TaskID, ms(req.DelayMS), ms(req.TimeMS))
+		pctx, cancel := pollCtx(req)
+		defer cancel()
+		res, err := s.db.QueryResult(pctx, req.TaskID)
 		if err != nil {
 			return errResponse(err)
 		}
-		return response{OK: true, ResultText: res}
+		return response{OK: true, ResultText: res.Result, Token: res.Token}
 	case "pop_results":
-		results, err := s.db.PopResults(req.TaskIDs, req.N, ms(req.DelayMS), ms(req.TimeMS))
+		pctx, cancel := pollCtx(req)
+		defer cancel()
+		res, err := s.db.PopResults(pctx, req.TaskIDs, req.N)
 		if err != nil {
 			return errResponse(err)
 		}
-		out := make([]wireResult, len(results))
-		for i, r := range results {
+		out := make([]wireResult, len(res.Results))
+		for i, r := range res.Results {
 			out[i] = wireResult{ID: r.ID, Result: r.Result}
 		}
-		return response{OK: true, Results: out}
+		return response{OK: true, Results: out, Token: res.Token}
 	case "statuses":
-		sts, err := s.db.Statuses(req.TaskIDs)
+		sts, err := s.db.Statuses(ctx, req.TaskIDs)
 		if err != nil {
 			return errResponse(err)
 		}
@@ -355,52 +355,31 @@ func (s *Server) exec(req request) response {
 		}
 		return response{OK: true, StatusMap: m}
 	case "priorities":
-		prios, err := s.db.Priorities(req.TaskIDs)
+		prios, err := s.db.Priorities(ctx, req.TaskIDs)
 		if err != nil {
 			return errResponse(err)
 		}
 		return response{OK: true, PrioMap: prios}
 	case "update_priorities":
-		if s.tdb != nil {
-			n, tok, err := s.tdb.UpdatePrioritiesT(req.TaskIDs, req.Priorities)
-			if err != nil {
-				return errResponse(err)
-			}
-			return response{OK: true, Count: n, Token: tok}
-		}
-		n, err := s.db.UpdatePriorities(req.TaskIDs, req.Priorities)
+		res, err := s.db.UpdatePriorities(ctx, req.TaskIDs, req.Priorities)
 		if err != nil {
 			return errResponse(err)
 		}
-		return response{OK: true, Count: n}
+		return response{OK: true, Count: res.Count, Token: res.Token}
 	case "cancel":
-		if s.tdb != nil {
-			n, tok, err := s.tdb.CancelTasksT(req.TaskIDs)
-			if err != nil {
-				return errResponse(err)
-			}
-			return response{OK: true, Count: n, Token: tok}
-		}
-		n, err := s.db.CancelTasks(req.TaskIDs)
+		res, err := s.db.CancelTasks(ctx, req.TaskIDs)
 		if err != nil {
 			return errResponse(err)
 		}
-		return response{OK: true, Count: n}
+		return response{OK: true, Count: res.Count, Token: res.Token}
 	case "requeue":
-		if s.tdb != nil {
-			n, tok, err := s.tdb.RequeueRunningT(req.Pool)
-			if err != nil {
-				return errResponse(err)
-			}
-			return response{OK: true, Count: n, Token: tok}
-		}
-		n, err := s.db.RequeueRunning(req.Pool)
+		res, err := s.db.RequeueRunning(ctx, req.Pool)
 		if err != nil {
 			return errResponse(err)
 		}
-		return response{OK: true, Count: n}
+		return response{OK: true, Count: res.Count, Token: res.Token}
 	case "counts":
-		counts, err := s.db.Counts(req.ExpID)
+		counts, err := s.db.Counts(ctx, req.ExpID)
 		if err != nil {
 			return errResponse(err)
 		}
@@ -410,7 +389,7 @@ func (s *Server) exec(req request) response {
 		}
 		return response{OK: true, CountsMap: m}
 	case "tags":
-		tags, err := s.db.Tags(req.TaskID)
+		tags, err := s.db.Tags(ctx, req.TaskID)
 		if err != nil {
 			return errResponse(err)
 		}
@@ -419,11 +398,12 @@ func (s *Server) exec(req request) response {
 	return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 }
 
-// forward relays a write request from a follower to the current cluster
-// leader over a fresh connection (long-poll ops would head-of-line block a
-// shared one) and returns the leader's response verbatim. Forwarding is
-// single-hop: a request that bounced once fails fast so two nodes with stale
-// role views cannot ping-pong it.
+// forward relays a request that needs the leader (a write, or a strong read)
+// from a follower to the current cluster leader over a fresh connection
+// (long-poll ops would head-of-line block a shared one) and returns the
+// leader's response verbatim. Forwarding is single-hop: a request that
+// bounced once fails fast so two nodes with stale role views cannot
+// ping-pong it.
 func (s *Server) forward(req request) response {
 	if req.Fwd {
 		return response{Error: "service: not the leader", Transient: true}
@@ -438,7 +418,7 @@ func (s *Server) forward(req request) response {
 	}
 	defer c.Close()
 	req.Fwd = true
-	timeout := ms(req.TimeMS)
+	timeout := ms(req.WaitMS)
 	if timeout < time.Second {
 		timeout = time.Second
 	}
@@ -457,10 +437,14 @@ func ms(v int64) time.Duration { return time.Duration(v) * time.Millisecond }
 
 // --- client ---
 
-// Client is a TCP client for a remote EMEWS service implementing core.API.
-// A Client multiplexes all calls over one connection, serializing them; use
-// one Client per concurrent component (one per worker pool, one per ME
-// algorithm), as the paper does with per-process DB connections.
+// Client is a TCP client for a remote EMEWS service implementing
+// core.Session. A Client multiplexes all calls over one connection,
+// serializing them; use one Client per concurrent component (one per worker
+// pool, one per ME algorithm), as the paper does with per-process DB
+// connections. The session commit token ratchets on every response — writes
+// and pops return their own WAL index, reads report the serving replica's
+// applied index — and session-level reads ship it back as their freshness
+// bound.
 type Client struct {
 	mu        sync.Mutex
 	conn      net.Conn
@@ -472,7 +456,12 @@ type Client struct {
 	lastToken uint64 // highest commit token seen in any response
 }
 
-var _ core.TokenAPI = (*Client)(nil)
+var _ core.Session = (*Client)(nil)
+
+// DefaultReadWait bounds how long a session-level read lets the serving
+// replica catch up to the freshness token before the replica answers
+// transiently, when the caller's context carries no deadline.
+const DefaultReadWait = time.Second
 
 // ErrConn marks transport-level failures (dial, write, read, peer close) as
 // opposed to application errors returned by the service. Failover clients
@@ -552,21 +541,84 @@ func (c *Client) roundTrip(req request, timeout time.Duration) (response, error)
 }
 
 // LastToken returns the highest commit token observed in any response on
-// this client: the session's high-water mark for read-your-writes reads.
+// this client: the session's high-water mark for read-your-writes (and
+// read-your-pops) reads.
 func (c *Client) LastToken() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lastToken
 }
 
-// SubmitTask implements core.API.
-func (c *Client) SubmitTask(expID string, workType int, payload string, opts ...core.SubmitOption) (int64, error) {
-	id, _, err := c.SubmitTaskT(expID, workType, payload, opts...)
-	return id, err
+// Token implements core.Session.
+func (c *Client) Token() core.Token { return c.LastToken() }
+
+// callTimeout derives a per-attempt round-trip budget from ctx: the context
+// remaining time, capped at def. The cap is what keeps failover responsive —
+// a single write attempt against a silently dead peer must not consume a
+// generous caller deadline; the retry layers (ClusterClient.do) own the
+// long-horizon retrying, one bounded attempt at a time.
+func callTimeout(ctx context.Context, def time.Duration) time.Duration {
+	if d, ok := ctx.Deadline(); ok {
+		r := time.Until(d)
+		if r < time.Millisecond {
+			return time.Millisecond
+		}
+		if r < def {
+			return r
+		}
+	}
+	return def
 }
 
-// SubmitTaskT implements core.TokenAPI.
-func (c *Client) SubmitTaskT(expID string, workType int, payload string, opts ...core.SubmitOption) (int64, core.Token, error) {
+// poll runs one polling op. With a context deadline the whole remaining
+// budget ships to the server as WaitMS in a single round trip; without one,
+// the client long-polls in chunks until the context is canceled or something
+// arrives — the wire analogue of an unbounded Session poll.
+func (c *Client) poll(ctx context.Context, send func(waitMS int64, budget time.Duration) (response, error)) (response, error) {
+	const chunk = time.Second
+	first := true
+	for {
+		// An explicit cancellation must not execute the pop at all (the pop
+		// mutates the queues); only a deadline expiry earns the one-shot try.
+		if err := ctx.Err(); errors.Is(err, context.Canceled) {
+			return response{}, err
+		}
+		budget := chunk
+		if d, ok := ctx.Deadline(); ok {
+			remain := time.Until(d)
+			if remain <= 0 {
+				if !first {
+					return response{}, core.ErrTimeout
+				}
+				// An expired deadline still earns one immediate attempt,
+				// matching the Session contract.
+				remain = time.Millisecond
+			}
+			budget = remain
+		}
+		resp, err := send(budget.Milliseconds(), budget)
+		first = false
+		if !errors.Is(err, core.ErrTimeout) {
+			return resp, err
+		}
+		if _, bounded := ctx.Deadline(); bounded {
+			return resp, core.ErrTimeout
+		}
+		select {
+		case <-ctx.Done():
+			return resp, core.CtxErr(ctx)
+		default:
+		}
+	}
+}
+
+// Submit implements core.Session.
+func (c *Client) Submit(ctx context.Context, expID string, workType int, payload string, opts ...core.SubmitOption) (core.SubmitRes, error) {
+	// Mutating ops honor cancellation before touching the wire — matching
+	// core.DB, a canceled context must not execute the write.
+	if err := ctx.Err(); err != nil {
+		return core.SubmitRes{}, core.CtxErr(ctx)
+	}
 	var o core.SubmitOptions
 	for _, opt := range opts {
 		opt(&o)
@@ -574,100 +626,119 @@ func (c *Client) SubmitTaskT(expID string, workType int, payload string, opts ..
 	resp, err := c.roundTrip(request{
 		Op: "submit", ExpID: expID, WorkType: workType, Payload: payload,
 		Priority: o.Priority, Tags: o.Tags, DedupKey: o.DedupKey,
-	}, time.Second)
+	}, callTimeout(ctx, time.Second))
 	if err != nil {
-		return 0, 0, err
+		return core.SubmitRes{}, err
 	}
-	return resp.TaskID, resp.Token, nil
+	return core.SubmitRes{ID: resp.TaskID, Token: resp.Token}, nil
 }
 
-// SubmitTasks implements core.API.
-func (c *Client) SubmitTasks(expID string, workType int, payloads []string, priorities []int) ([]int64, error) {
-	ids, _, err := c.SubmitTasksT(expID, workType, payloads, priorities, nil)
-	return ids, err
-}
-
-// SubmitTasksT implements core.TokenAPI.
-func (c *Client) SubmitTasksT(expID string, workType int, payloads []string, priorities []int, dedupKeys []string) ([]int64, core.Token, error) {
+// SubmitBatch implements core.Session.
+func (c *Client) SubmitBatch(ctx context.Context, expID string, workType int, payloads []string, priorities []int, dedupKeys []string) (core.BatchRes, error) {
+	if err := ctx.Err(); err != nil {
+		return core.BatchRes{}, core.CtxErr(ctx)
+	}
 	resp, err := c.roundTrip(request{
 		Op: "submit_batch", ExpID: expID, WorkType: workType,
 		Payloads: payloads, Priorities: priorities, DedupKeys: dedupKeys,
-	}, 10*time.Second)
+	}, callTimeout(ctx, 10*time.Second))
 	if err != nil {
-		return nil, 0, err
+		return core.BatchRes{}, err
 	}
-	return resp.TaskIDs, resp.Token, nil
+	return core.BatchRes{IDs: resp.TaskIDs, Token: resp.Token}, nil
 }
 
-// QueryTasks implements core.API.
-func (c *Client) QueryTasks(workType, n int, pool string, delay, timeout time.Duration) ([]core.Task, error) {
-	resp, err := c.roundTrip(request{
-		Op: "query_tasks", WorkType: workType, N: n, Pool: pool,
-		DelayMS: delay.Milliseconds(), TimeMS: timeout.Milliseconds(),
-	}, timeout)
+// QueryTasks implements core.Session.
+func (c *Client) QueryTasks(ctx context.Context, workType, n int, pool string) (core.TasksRes, error) {
+	resp, err := c.poll(ctx, func(waitMS int64, budget time.Duration) (response, error) {
+		return c.roundTrip(request{
+			Op: "query_tasks", WorkType: workType, N: n, Pool: pool, WaitMS: waitMS,
+		}, budget)
+	})
 	if err != nil {
-		return nil, err
+		return core.TasksRes{}, err
 	}
 	tasks := make([]core.Task, len(resp.Tasks))
 	for i, t := range resp.Tasks {
 		tasks[i] = fromWireTask(t)
 	}
-	return tasks, nil
+	return core.TasksRes{Tasks: tasks, Token: resp.Token}, nil
 }
 
-// ReportTask implements core.API.
-func (c *Client) ReportTask(taskID int64, workType int, result string) error {
-	_, err := c.ReportTaskT(taskID, workType, result)
-	return err
-}
-
-// ReportTaskT implements core.TokenAPI.
-func (c *Client) ReportTaskT(taskID int64, workType int, result string) (core.Token, error) {
-	resp, err := c.roundTrip(request{Op: "report", TaskID: taskID, WorkType: workType, Result: result}, time.Second)
-	if err != nil {
-		return 0, err
+// Report implements core.Session.
+func (c *Client) Report(ctx context.Context, taskID int64, workType int, result string) (core.Res, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Res{}, core.CtxErr(ctx)
 	}
-	return resp.Token, nil
-}
-
-// QueryResult implements core.API.
-func (c *Client) QueryResult(taskID int64, delay, timeout time.Duration) (string, error) {
-	resp, err := c.roundTrip(request{
-		Op: "query_result", TaskID: taskID,
-		DelayMS: delay.Milliseconds(), TimeMS: timeout.Milliseconds(),
-	}, timeout)
+	resp, err := c.roundTrip(request{Op: "report", TaskID: taskID, WorkType: workType, Result: result},
+		callTimeout(ctx, time.Second))
 	if err != nil {
-		return "", err
+		return core.Res{}, err
 	}
-	return resp.ResultText, nil
+	return core.Res{Token: resp.Token}, nil
 }
 
-// PopResults implements core.API.
-func (c *Client) PopResults(ids []int64, max int, delay, timeout time.Duration) ([]core.TaskResult, error) {
-	resp, err := c.roundTrip(request{
-		Op: "pop_results", TaskIDs: ids, N: max,
-		DelayMS: delay.Milliseconds(), TimeMS: timeout.Milliseconds(),
-	}, timeout)
+// QueryResult implements core.Session.
+func (c *Client) QueryResult(ctx context.Context, taskID int64) (core.ResultRes, error) {
+	resp, err := c.poll(ctx, func(waitMS int64, budget time.Duration) (response, error) {
+		return c.roundTrip(request{Op: "query_result", TaskID: taskID, WaitMS: waitMS}, budget)
+	})
 	if err != nil {
-		return nil, err
+		return core.ResultRes{}, err
+	}
+	return core.ResultRes{Result: resp.ResultText, Token: resp.Token}, nil
+}
+
+// PopResults implements core.Session.
+func (c *Client) PopResults(ctx context.Context, ids []int64, max int) (core.ResultsRes, error) {
+	resp, err := c.poll(ctx, func(waitMS int64, budget time.Duration) (response, error) {
+		return c.roundTrip(request{Op: "pop_results", TaskIDs: ids, N: max, WaitMS: waitMS}, budget)
+	})
+	if err != nil {
+		return core.ResultsRes{}, err
 	}
 	out := make([]core.TaskResult, len(resp.Results))
 	for i, r := range resp.Results {
 		out[i] = core.TaskResult{ID: r.ID, Result: r.Result}
 	}
-	return out, nil
+	return core.ResultsRes{Results: out, Token: resp.Token}, nil
 }
 
-// Statuses implements core.API.
-func (c *Client) Statuses(ids []int64) (map[int64]core.Status, error) {
-	return c.statusesAt(ids, 0, 0)
+// readParams renders per-call consistency options into wire terms: the
+// freshness token, the catch-up wait bound, and the level flag. The
+// connection's own session token is the session-level default.
+func (c *Client) readParams(ctx context.Context, opts []core.ReadOption) (token uint64, wait time.Duration, level string) {
+	o := core.ApplyReadOptions(opts)
+	switch o.Level {
+	case core.LevelStrong:
+		return 0, 0, "strong"
+	case core.LevelEventual:
+		return 0, 0, "eventual"
+	default:
+		wait = DefaultReadWait
+		if d, ok := ctx.Deadline(); ok {
+			if r := time.Until(d); r < wait {
+				wait = max(r, 0)
+			}
+		}
+		return c.LastToken(), wait, ""
+	}
 }
 
-// statusesAt is Statuses with a minimum-freshness commit token: the replica
-// answers only once it has applied the WAL through token (waiting up to
-// wait), or transiently refuses.
-func (c *Client) statusesAt(ids []int64, token uint64, wait time.Duration) (map[int64]core.Status, error) {
-	resp, err := c.roundTrip(request{Op: "statuses", TaskIDs: ids, Token: token, WaitMS: wait.Milliseconds()},
+// Statuses implements core.Session.
+func (c *Client) Statuses(ctx context.Context, ids []int64, opts ...core.ReadOption) (map[int64]core.Status, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.CtxErr(ctx)
+	}
+	token, wait, level := c.readParams(ctx, opts)
+	return c.statusesAt(ids, token, wait, level)
+}
+
+// statusesAt is Statuses with an explicit minimum-freshness commit token:
+// the replica answers only once it has applied the WAL through token
+// (waiting up to wait), or transiently refuses.
+func (c *Client) statusesAt(ids []int64, token uint64, wait time.Duration, level string) (map[int64]core.Status, error) {
+	resp, err := c.roundTrip(request{Op: "statuses", TaskIDs: ids, Token: token, WaitMS: wait.Milliseconds(), Level: level},
 		time.Second+wait)
 	if err != nil {
 		return nil, err
@@ -679,13 +750,17 @@ func (c *Client) statusesAt(ids []int64, token uint64, wait time.Duration) (map[
 	return out, nil
 }
 
-// Priorities implements core.API.
-func (c *Client) Priorities(ids []int64) (map[int64]int, error) {
-	return c.prioritiesAt(ids, 0, 0)
+// Priorities implements core.Session.
+func (c *Client) Priorities(ctx context.Context, ids []int64, opts ...core.ReadOption) (map[int64]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.CtxErr(ctx)
+	}
+	token, wait, level := c.readParams(ctx, opts)
+	return c.prioritiesAt(ids, token, wait, level)
 }
 
-func (c *Client) prioritiesAt(ids []int64, token uint64, wait time.Duration) (map[int64]int, error) {
-	resp, err := c.roundTrip(request{Op: "priorities", TaskIDs: ids, Token: token, WaitMS: wait.Milliseconds()},
+func (c *Client) prioritiesAt(ids []int64, token uint64, wait time.Duration, level string) (map[int64]int, error) {
+	resp, err := c.roundTrip(request{Op: "priorities", TaskIDs: ids, Token: token, WaitMS: wait.Milliseconds(), Level: level},
 		time.Second+wait)
 	if err != nil {
 		return nil, err
@@ -696,58 +771,54 @@ func (c *Client) prioritiesAt(ids []int64, token uint64, wait time.Duration) (ma
 	return resp.PrioMap, nil
 }
 
-// UpdatePriorities implements core.API.
-func (c *Client) UpdatePriorities(ids []int64, priorities []int) (int, error) {
-	n, _, err := c.UpdatePrioritiesT(ids, priorities)
-	return n, err
-}
-
-// UpdatePrioritiesT implements core.TokenAPI.
-func (c *Client) UpdatePrioritiesT(ids []int64, priorities []int) (int, core.Token, error) {
-	resp, err := c.roundTrip(request{Op: "update_priorities", TaskIDs: ids, Priorities: priorities}, time.Second)
-	if err != nil {
-		return 0, 0, err
+// UpdatePriorities implements core.Session.
+func (c *Client) UpdatePriorities(ctx context.Context, ids []int64, priorities []int) (core.CountRes, error) {
+	if err := ctx.Err(); err != nil {
+		return core.CountRes{}, core.CtxErr(ctx)
 	}
-	return resp.Count, resp.Token, nil
-}
-
-// CancelTasks implements core.API.
-func (c *Client) CancelTasks(ids []int64) (int, error) {
-	n, _, err := c.CancelTasksT(ids)
-	return n, err
-}
-
-// CancelTasksT implements core.TokenAPI.
-func (c *Client) CancelTasksT(ids []int64) (int, core.Token, error) {
-	resp, err := c.roundTrip(request{Op: "cancel", TaskIDs: ids}, time.Second)
+	resp, err := c.roundTrip(request{Op: "update_priorities", TaskIDs: ids, Priorities: priorities},
+		callTimeout(ctx, time.Second))
 	if err != nil {
-		return 0, 0, err
+		return core.CountRes{}, err
 	}
-	return resp.Count, resp.Token, nil
+	return core.CountRes{Count: resp.Count, Token: resp.Token}, nil
 }
 
-// RequeueRunning implements core.API.
-func (c *Client) RequeueRunning(pool string) (int, error) {
-	n, _, err := c.RequeueRunningT(pool)
-	return n, err
-}
-
-// RequeueRunningT implements core.TokenAPI.
-func (c *Client) RequeueRunningT(pool string) (int, core.Token, error) {
-	resp, err := c.roundTrip(request{Op: "requeue", Pool: pool}, time.Second)
+// CancelTasks implements core.Session.
+func (c *Client) CancelTasks(ctx context.Context, ids []int64) (core.CountRes, error) {
+	if err := ctx.Err(); err != nil {
+		return core.CountRes{}, core.CtxErr(ctx)
+	}
+	resp, err := c.roundTrip(request{Op: "cancel", TaskIDs: ids}, callTimeout(ctx, time.Second))
 	if err != nil {
-		return 0, 0, err
+		return core.CountRes{}, err
 	}
-	return resp.Count, resp.Token, nil
+	return core.CountRes{Count: resp.Count, Token: resp.Token}, nil
 }
 
-// Counts implements core.API.
-func (c *Client) Counts(expID string) (map[core.Status]int, error) {
-	return c.countsAt(expID, 0, 0)
+// RequeueRunning implements core.Session.
+func (c *Client) RequeueRunning(ctx context.Context, pool string) (core.CountRes, error) {
+	if err := ctx.Err(); err != nil {
+		return core.CountRes{}, core.CtxErr(ctx)
+	}
+	resp, err := c.roundTrip(request{Op: "requeue", Pool: pool}, callTimeout(ctx, time.Second))
+	if err != nil {
+		return core.CountRes{}, err
+	}
+	return core.CountRes{Count: resp.Count, Token: resp.Token}, nil
 }
 
-func (c *Client) countsAt(expID string, token uint64, wait time.Duration) (map[core.Status]int, error) {
-	resp, err := c.roundTrip(request{Op: "counts", ExpID: expID, Token: token, WaitMS: wait.Milliseconds()},
+// Counts implements core.Session.
+func (c *Client) Counts(ctx context.Context, expID string, opts ...core.ReadOption) (map[core.Status]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.CtxErr(ctx)
+	}
+	token, wait, level := c.readParams(ctx, opts)
+	return c.countsAt(expID, token, wait, level)
+}
+
+func (c *Client) countsAt(expID string, token uint64, wait time.Duration, level string) (map[core.Status]int, error) {
+	resp, err := c.roundTrip(request{Op: "counts", ExpID: expID, Token: token, WaitMS: wait.Milliseconds(), Level: level},
 		time.Second+wait)
 	if err != nil {
 		return nil, err
@@ -759,13 +830,17 @@ func (c *Client) countsAt(expID string, token uint64, wait time.Duration) (map[c
 	return out, nil
 }
 
-// Tags implements core.API.
-func (c *Client) Tags(taskID int64) ([]string, error) {
-	return c.tagsAt(taskID, 0, 0)
+// Tags implements core.Session.
+func (c *Client) Tags(ctx context.Context, taskID int64, opts ...core.ReadOption) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.CtxErr(ctx)
+	}
+	token, wait, level := c.readParams(ctx, opts)
+	return c.tagsAt(taskID, token, wait, level)
 }
 
-func (c *Client) tagsAt(taskID int64, token uint64, wait time.Duration) ([]string, error) {
-	resp, err := c.roundTrip(request{Op: "tags", TaskID: taskID, Token: token, WaitMS: wait.Milliseconds()},
+func (c *Client) tagsAt(taskID int64, token uint64, wait time.Duration, level string) ([]string, error) {
+	resp, err := c.roundTrip(request{Op: "tags", TaskID: taskID, Token: token, WaitMS: wait.Milliseconds(), Level: level},
 		time.Second+wait)
 	if err != nil {
 		return nil, err
@@ -773,16 +848,20 @@ func (c *Client) tagsAt(taskID int64, token uint64, wait time.Duration) ([]strin
 	return resp.TagList, nil
 }
 
-// GetTask fetches the full task row without touching the queues. It reads
-// the local replica on whichever node it reaches, which is what lets
+// GetTask implements core.Session. It reads the local replica of whichever
+// node it reaches (under the session freshness bound), which is what lets
 // failover clients recover completed results whose input-queue entry died
 // with the old leader.
-func (c *Client) GetTask(taskID int64) (core.Task, error) {
-	return c.getTaskAt(taskID, 0, 0)
+func (c *Client) GetTask(ctx context.Context, taskID int64, opts ...core.ReadOption) (core.Task, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Task{}, core.CtxErr(ctx)
+	}
+	token, wait, level := c.readParams(ctx, opts)
+	return c.getTaskAt(taskID, token, wait, level)
 }
 
-func (c *Client) getTaskAt(taskID int64, token uint64, wait time.Duration) (core.Task, error) {
-	resp, err := c.roundTrip(request{Op: "task_get", TaskID: taskID, Token: token, WaitMS: wait.Milliseconds()},
+func (c *Client) getTaskAt(taskID int64, token uint64, wait time.Duration, level string) (core.Task, error) {
+	resp, err := c.roundTrip(request{Op: "task_get", TaskID: taskID, Token: token, WaitMS: wait.Milliseconds(), Level: level},
 		time.Second+wait)
 	if err != nil {
 		return core.Task{}, err

@@ -17,7 +17,15 @@ const (
 	waitMax = 3 * time.Second
 )
 
-func newServerClient(t *testing.T) (*core.DB, *Client) {
+// v1client exposes the deprecated API surface of a wire Client (through
+// core.Compat) next to the Client itself, so the v1-style tests below double
+// as end-to-end coverage of the compat adapter over the wire.
+type v1client struct {
+	core.API
+	C *Client
+}
+
+func newServerClient(t *testing.T) (*core.DB, v1client) {
 	t.Helper()
 	db, err := core.NewDB()
 	if err != nil {
@@ -36,12 +44,12 @@ func newServerClient(t *testing.T) (*core.DB, *Client) {
 		srv.Close()
 		db.Close()
 	})
-	return db, c
+	return db, v1client{API: core.Compat(c), C: c}
 }
 
 func TestPing(t *testing.T) {
 	_, c := newServerClient(t)
-	if err := c.Ping(); err != nil {
+	if err := c.C.Ping(); err != nil {
 		t.Fatalf("Ping: %v", err)
 	}
 }
@@ -120,9 +128,11 @@ func TestRemotePopResults(t *testing.T) {
 		id, _ := c.SubmitTask("e", 1, "x")
 		ids = append(ids, id)
 	}
-	tasks, _ := db.QueryTasks(1, 3, "p", tick, waitMax)
-	for _, task := range tasks {
-		db.ReportTask(task.ID, 1, fmt.Sprintf("res-%d", task.ID))
+	qctx, qcancel := context.WithTimeout(context.Background(), waitMax)
+	popped, _ := db.QueryTasks(qctx, 1, 3, "p")
+	qcancel()
+	for _, task := range popped.Tasks {
+		db.Report(context.Background(), task.ID, 1, fmt.Sprintf("res-%d", task.ID))
 	}
 	results, err := c.PopResults(ids, 10, tick, waitMax)
 	if err != nil || len(results) != 3 {
@@ -152,7 +162,7 @@ func TestWorkerPoolOverService(t *testing.T) {
 	// cross-resource deployment — completes tasks submitted by another
 	// client.
 	_, me := newServerClient(t)
-	_, poolClient := newServerClient2(t, me)
+	_, poolClient := newServerClient2(t, me.C)
 
 	p, err := pool.New(poolClient, pool.Config{Name: "svc-pool", Workers: 3, WorkType: 1},
 		func(payload string) (string, error) { return "done:" + payload, nil }, nil)
@@ -182,7 +192,7 @@ func TestWorkerPoolOverService(t *testing.T) {
 }
 
 // newServerClient2 dials a second client against the same server as c.
-func newServerClient2(t *testing.T, c *Client) (*Client, *Client) {
+func newServerClient2(t *testing.T, c *Client) (*Client, *Client) { //nolint:unparam
 	t.Helper()
 	c2, err := Dial(c.addr)
 	if err != nil {
@@ -197,7 +207,7 @@ func TestConcurrentClients(t *testing.T) {
 	_ = db
 	var clients []*Client
 	for i := 0; i < 4; i++ {
-		ci, err := Dial(c.addr)
+		ci, err := Dial(c.C.addr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,7 +220,7 @@ func TestConcurrentClients(t *testing.T) {
 		go func(i int, ci *Client) {
 			defer wg.Done()
 			for j := 0; j < 25; j++ {
-				if _, err := ci.SubmitTask("e", 1, fmt.Sprintf("%d-%d", i, j)); err != nil {
+				if _, err := ci.Submit(context.Background(), "e", 1, fmt.Sprintf("%d-%d", i, j)); err != nil {
 					t.Errorf("submit: %v", err)
 					return
 				}
@@ -227,7 +237,7 @@ func TestConcurrentClients(t *testing.T) {
 func TestBadRequests(t *testing.T) {
 	_, c := newServerClient(t)
 	// Unknown op via raw round trip.
-	if _, err := c.roundTrip(request{Op: "explode"}, time.Second); err == nil {
+	if _, err := c.C.roundTrip(request{Op: "explode"}, time.Second); err == nil {
 		t.Fatal("unknown op must error")
 	}
 	// Report for a nonexistent task surfaces the DB error.

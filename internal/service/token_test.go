@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -54,21 +55,21 @@ func TestDuplicateSubmitAfterQuorumTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.SubmitTask("warmup", 1, "w"); err != nil {
+	if _, err := core.Compat(c).SubmitTask("warmup", 1, "w"); err != nil {
 		t.Fatalf("warm-up quorum submit: %v", err)
 	}
 
 	// Freeze n3: with WriteQuorum 2 and only n2 acking, the next submit
 	// commits locally and on n2 but cannot reach quorum.
 	release := stallEngine(t, n3)
-	id1, err := c.SubmitTask("ambiguous", 1, "payload", core.WithDedupKey("retry-1"))
+	id1, err := core.Compat(c).SubmitTask("ambiguous", 1, "payload", core.WithDedupKey("retry-1"))
 	if !errors.Is(err, ErrUnavailable) {
 		release()
 		t.Fatalf("submit with a frozen quorum = (%d, %v), want ErrUnavailable", id1, err)
 	}
 	// The ambiguity, demonstrated: the client got an error, yet the write is
 	// committed on the leader.
-	counts, err := n1.DB().Counts("ambiguous")
+	counts, err := n1.DB().Counts(context.Background(), "ambiguous")
 	if err != nil {
 		release()
 		t.Fatal(err)
@@ -83,18 +84,18 @@ func TestDuplicateSubmitAfterQuorumTimeout(t *testing.T) {
 	waitCond(t, "stalled follower caught up", func() bool {
 		return n3.Applied() == n1.Applied() && n3.Applied() > 0
 	})
-	id2, err := c.SubmitTask("ambiguous", 1, "payload", core.WithDedupKey("retry-1"))
+	id2, err := core.Compat(c).SubmitTask("ambiguous", 1, "payload", core.WithDedupKey("retry-1"))
 	if err != nil {
 		t.Fatalf("retried submit after heal: %v", err)
 	}
-	counts, err = n1.DB().Counts("ambiguous")
+	counts, err = n1.DB().Counts(context.Background(), "ambiguous")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if counts[core.StatusQueued] != 1 {
 		t.Fatalf("counts after retry = %v, want exactly 1 task — the retry duplicated the submit", counts)
 	}
-	task, err := n1.DB().GetTask(id2)
+	task, err := n1.DB().GetTask(context.Background(), id2)
 	if err != nil || task.Payload != "payload" {
 		t.Fatalf("retried submit resolved to task %+v, %v", task, err)
 	}
@@ -116,7 +117,7 @@ func TestFollowerReadsAndForcedPromotion(t *testing.T) {
 	}
 	defer cc.Close()
 
-	id1, err := cc.SubmitTask("escape", 1, "pre-kill")
+	id1, err := core.Compat(cc).SubmitTask("escape", 1, "pre-kill")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +131,11 @@ func TestFollowerReadsAndForcedPromotion(t *testing.T) {
 
 	// Leaderless for good (survivor is 1 of 2): reads must still answer,
 	// served by the follower replica.
-	task, err := cc.GetTask(id1)
+	task, err := cc.GetTask(context.Background(), id1)
 	if err != nil || task.Payload != "pre-kill" {
 		t.Fatalf("follower-served GetTask with no leader = %+v, %v", task, err)
 	}
-	sts, err := cc.Statuses([]int64{id1})
+	sts, err := cc.Statuses(context.Background(), []int64{id1})
 	if err != nil || sts[id1] != core.StatusQueued {
 		t.Fatalf("follower-served Statuses with no leader = %v, %v", sts, err)
 	}
@@ -158,11 +159,11 @@ func TestFollowerReadsAndForcedPromotion(t *testing.T) {
 
 	// Writes work again, and the session's read-your-writes holds across
 	// the forced leader switch.
-	id2, err := cc.SubmitTask("escape", 1, "post-promote")
+	id2, err := core.Compat(cc).SubmitTask("escape", 1, "post-promote")
 	if err != nil {
 		t.Fatalf("submit after forced promotion: %v", err)
 	}
-	task, err = cc.GetTask(id2)
+	task, err = cc.GetTask(context.Background(), id2)
 	if err != nil || task.Payload != "post-promote" {
 		t.Fatalf("read-your-writes after forced promotion = %+v, %v", task, err)
 	}
@@ -188,7 +189,7 @@ func TestFollowerReadRoutingAcrossFailover(t *testing.T) {
 
 	ids := make([]int64, 5)
 	for i := range ids {
-		id, err := cc.SubmitTask("routing", 1, "p")
+		id, err := core.Compat(cc).SubmitTask("routing", 1, "p")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,14 +210,14 @@ func TestFollowerReadRoutingAcrossFailover(t *testing.T) {
 	// no leader at all.
 	reads := 0
 	for !n2.IsLeader() {
-		sts, err := cc.Statuses(ids)
+		sts, err := cc.Statuses(context.Background(), ids)
 		if err != nil {
 			t.Fatalf("Statuses during election (read %d): %v", reads, err)
 		}
 		if len(sts) != len(ids) {
 			t.Fatalf("Statuses during election returned %d entries, want %d", len(sts), len(ids))
 		}
-		if _, err := cc.GetTask(ids[reads%len(ids)]); err != nil {
+		if _, err := cc.GetTask(context.Background(), ids[reads%len(ids)]); err != nil {
 			t.Fatalf("GetTask during election (read %d): %v", reads, err)
 		}
 		reads++
@@ -235,15 +236,15 @@ func TestFollowerReadRoutingAcrossFailover(t *testing.T) {
 
 	// Read-your-writes across the leader switch: a write accepted by the new
 	// leader is immediately visible to the session's follower reads.
-	id, err := cc.SubmitTask("routing", 1, "after-failover")
+	id, err := core.Compat(cc).SubmitTask("routing", 1, "after-failover")
 	if err != nil {
 		t.Fatalf("submit after failover: %v", err)
 	}
-	task, err := cc.GetTask(id)
+	task, err := cc.GetTask(context.Background(), id)
 	if err != nil || task.Payload != "after-failover" {
 		t.Fatalf("token-bounded read after failover = %+v, %v", task, err)
 	}
-	sts, err := cc.Statuses([]int64{id})
+	sts, err := cc.Statuses(context.Background(), []int64{id})
 	if err != nil || sts[id] != core.StatusQueued {
 		t.Fatalf("Statuses after failover = %v, %v", sts, err)
 	}
@@ -271,7 +272,7 @@ func TestReadYourWritesOnLaggingFollower(t *testing.T) {
 	defer cc.Close()
 	cc.ReadStaleness = 100 * time.Millisecond
 
-	if _, err := cc.SubmitTask("lag", 1, "warm"); err != nil {
+	if _, err := core.Compat(cc).SubmitTask("lag", 1, "warm"); err != nil {
 		t.Fatal(err)
 	}
 	waitCond(t, "all applied", func() bool {
@@ -279,7 +280,7 @@ func TestReadYourWritesOnLaggingFollower(t *testing.T) {
 	})
 
 	release := stallEngine(t, n3)
-	id, err := cc.SubmitTask("lag", 1, "fresh")
+	id, err := core.Compat(cc).SubmitTask("lag", 1, "fresh")
 	if err != nil {
 		release()
 		t.Fatal(err)
@@ -289,7 +290,7 @@ func TestReadYourWritesOnLaggingFollower(t *testing.T) {
 	// the staleness bound, and rotates to the caught-up n2 — both must
 	// return the fresh write.
 	for i := 0; i < 2; i++ {
-		task, err := cc.GetTask(id)
+		task, err := cc.GetTask(context.Background(), id)
 		if err != nil || task.Payload != "fresh" {
 			release()
 			t.Fatalf("read %d against a lagging follower = %+v, %v", i, task, err)
@@ -297,14 +298,16 @@ func TestReadYourWritesOnLaggingFollower(t *testing.T) {
 	}
 	release()
 	waitCond(t, "stalled follower caught up", func() bool { return n3.Applied() == n1.Applied() })
-	task, err := cc.GetTask(id)
+	task, err := cc.GetTask(context.Background(), id)
 	if err != nil || task.Payload != "fresh" {
 		t.Fatalf("read after heal = %+v, %v", task, err)
 	}
 }
 
 // plainAPI wraps a DB exposing only the token-less core.API method set, like
-// a third-party backend predating commit tokens.
+// a third-party backend predating commit tokens. Serving it requires the
+// core.Lift adapter, whose zero tokens and dedup rejection are exactly what
+// this test exercises.
 type plainAPI struct{ core.API }
 
 // TestDialClusterDowngradesDedupOnPlainBackend: DialCluster auto-attaches
@@ -318,7 +321,7 @@ func TestDialClusterDowngradesDedupOnPlainBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	srv, err := Serve(plainAPI{db}, "127.0.0.1:0")
+	srv, err := Serve(core.Lift(plainAPI{core.Compat(db)}), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,15 +332,15 @@ func TestDialClusterDowngradesDedupOnPlainBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cc.Close()
-	id, err := cc.SubmitTask("plain", 1, "p")
+	id, err := core.Compat(cc).SubmitTask("plain", 1, "p")
 	if err != nil || id == 0 {
 		t.Fatalf("auto-keyed submit against a token-less backend = (%d, %v), want downgrade to keyless", id, err)
 	}
-	ids, err := cc.SubmitTasks("plain", 1, []string{"a", "b"}, nil)
+	ids, err := core.Compat(cc).SubmitTasks("plain", 1, []string{"a", "b"}, nil)
 	if err != nil || len(ids) != 2 {
 		t.Fatalf("auto-keyed batch against a token-less backend = (%v, %v), want downgrade", ids, err)
 	}
-	if _, err := cc.SubmitTask("plain", 1, "p", core.WithDedupKey("explicit")); err == nil {
+	if _, err := core.Compat(cc).SubmitTask("plain", 1, "p", core.WithDedupKey("explicit")); err == nil {
 		t.Fatal("explicit dedup key against a token-less backend must fail, not silently drop idempotency")
 	}
 }

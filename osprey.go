@@ -52,7 +52,14 @@ import (
 type (
 	// DB is the in-process EMEWS task database.
 	DB = core.DB
-	// API is the task interface shared by DB and the remote service client.
+	// Session is the unified context-aware task interface (v2) shared by DB,
+	// the remote service client, and the failover-aware cluster client: every
+	// operation takes a context, every mutating operation — queue pops
+	// included — returns its commit token, and reads take per-call
+	// consistency levels (Strong / session default / Eventual).
+	Session = core.Session
+	// API is the deprecated v1 task interface; wrap any Session with Compat
+	// to obtain one.
 	API = core.API
 	// Task is one task row.
 	Task = core.Task
@@ -62,6 +69,23 @@ type (
 	Status = core.Status
 	// SubmitOption configures task submission.
 	SubmitOption = core.SubmitOption
+	// ReadOption sets a per-read consistency level on Session reads.
+	ReadOption = core.ReadOption
+	// Res carries a mutating operation's commit token; SubmitRes, BatchRes,
+	// TasksRes, ResultRes, ResultsRes and CountRes are its op-specific kin.
+	Res = core.Res
+	// SubmitRes is the result of Session.Submit.
+	SubmitRes = core.SubmitRes
+	// BatchRes is the result of Session.SubmitBatch.
+	BatchRes = core.BatchRes
+	// TasksRes is the result of Session.QueryTasks (tasks + pop token).
+	TasksRes = core.TasksRes
+	// ResultRes is the result of Session.QueryResult.
+	ResultRes = core.ResultRes
+	// ResultsRes is the result of Session.PopResults.
+	ResultsRes = core.ResultsRes
+	// CountRes is the result of the counting mutations.
+	CountRes = core.CountRes
 )
 
 // Task lifecycle states.
@@ -96,14 +120,25 @@ func WithTags(tags ...string) SubmitOption { return core.WithTags(tags...) }
 func WithDedupKey(key string) SubmitOption { return core.WithDedupKey(key) }
 
 // Token is a commit token: the WAL index of a mutating operation's own log
-// entry. Writes return it (TokenAPI), quorum acknowledgements wait on
-// exactly it, and reads can carry it as a minimum-freshness bound so
-// follower replicas serve read-your-writes-consistent answers.
+// entry. Every Session mutation returns it (pops included), quorum
+// acknowledgements wait on exactly it, and reads carry the session's
+// high-water token as a minimum-freshness bound so follower replicas serve
+// read-your-writes — and read-your-pops — consistent answers.
 type Token = core.Token
 
-// TokenAPI extends API with commit-token-returning write variants; the
-// in-process DB and the remote service client both implement it.
-type TokenAPI = core.TokenAPI
+// Strong pins a Session read to the cluster leader's current state.
+var Strong = core.Strong
+
+// Eventual lets any replica answer a Session read with no freshness bound.
+var Eventual = core.Eventual
+
+// Compat adapts a Session to the deprecated v1 API, so ME algorithms written
+// against core.API compile unchanged for one release.
+var Compat = core.Compat
+
+// Lift adapts a legacy token-less API backend to the Session interface
+// (tokens 0, dedup keys rejected) so it can still be served.
+var Lift = core.Lift
 
 // Futures API.
 type (

@@ -36,9 +36,12 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil || st != StatusComplete {
 		t.Fatalf("Status = %v, %v", st, err)
 	}
-	tags, err := db.Tags(f.TaskID())
+	tags, err := db.Tags(ctx, f.TaskID())
 	if err != nil || len(tags) != 1 || tags[0] != "facade" {
 		t.Fatalf("Tags = %v, %v", tags, err)
+	}
+	if f.Token() != db.Token() && db.Token() != 0 {
+		t.Fatalf("future token %d does not track the DB high-water mark %d", f.Token(), db.Token())
 	}
 }
 
