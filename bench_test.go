@@ -26,6 +26,7 @@ import (
 	"osprey/internal/gpr"
 	"osprey/internal/minisql"
 	"osprey/internal/objective"
+	"osprey/internal/obs"
 	"osprey/internal/opt"
 	"osprey/internal/pool"
 	"osprey/internal/proxystore"
@@ -101,6 +102,45 @@ func BenchmarkSubmitTask(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkInstrumentedSubmit is BenchmarkSubmitTask with every observability
+// tap engaged — the slow-query log armed (threshold high enough to never
+// fire, so the bench pays the per-statement check, not the log), and a
+// concurrent scraper hammering Gather the whole run. Gated alongside the
+// plain submit bench, it is the standing proof that instrumentation costs
+// stay in the noise on the paper's §IV-C hot path.
+func BenchmarkInstrumentedSubmit(b *testing.B) {
+	db, err := core.NewDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	db.Engine().SetSlowQueryLog(10*time.Second, func(sql string, d time.Duration) {
+		b.Errorf("slow-query log fired in benchmark: %v %s", d, sql)
+	})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				obs.Flatten(db.Metrics().Gather())
+			}
+		}
+	}()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Submit(bgctx, "bench", 1, `{"x": [1.0, 2.0, 3.0, 4.0]}`); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
 }
 
 func BenchmarkSubmitQueryReportCycle(b *testing.B) {

@@ -16,8 +16,10 @@ import (
 // tracks: one per optimized layer (core submit/pop cycle, minisql ordered
 // index, replica quorum shipping, service follower reads), plus the
 // logged-vs-unlogged pop pair guarding the Session redesign's claim that
-// commit tokens on pops stay under ~10% overhead.
-const keyBenchmarks = "^(BenchmarkSubmitTask|BenchmarkSubmitQueryReportCycle|" +
+// commit tokens on pops stay under ~10% overhead, and the instrumented
+// submit guarding the observability layer's negligible-overhead claim.
+const keyBenchmarks = "^(BenchmarkSubmitTask|BenchmarkInstrumentedSubmit|" +
+	"BenchmarkSubmitQueryReportCycle|" +
 	"BenchmarkPopResultsBatch50|BenchmarkQuorumSubmit|BenchmarkFollowerRead|" +
 	"BenchmarkMinisqlIndexedSelect|BenchmarkPopTokenOverhead)$"
 

@@ -35,6 +35,16 @@
 // It overrides the majority election gate, so only use it when the missing
 // peers are known dead — forcing both sides of a live partition creates
 // split brain.
+//
+// Observability: -ops-addr starts an HTTP listener with /metrics (Prometheus
+// text format), /healthz, /readyz (non-200 on a follower too stale to serve
+// token-bounded reads), /statusz, and /debug/pprof. -log-level info adds the
+// per-hop request-forwarding log lines that carry trace IDs. -slow-query
+// logs statements slower than the threshold. Without the ops listener,
+//
+//	osprey-service -stats host1:7654
+//
+// prints the same metric values fetched over the service protocol.
 package main
 
 import (
@@ -42,9 +52,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
+	"time"
 
 	"osprey/internal/core"
 	"osprey/internal/replica"
@@ -65,6 +78,10 @@ func main() {
 		join          = flag.String("join", "", "replication address of the leader to follow (empty: start as leader)")
 		writeQuorum   = flag.Int("write-quorum", 0, "followers that must apply a write before it is acknowledged (0: asynchronous replication)")
 		promote       = flag.String("promote", "", "admin: force-promote the node at this service address to cluster leader (majority-gate override for 2-node clusters), then exit")
+		opsAddr       = flag.String("ops-addr", "", "ops HTTP listen address (/metrics, /healthz, /readyz, /statusz, /debug/pprof); empty disables")
+		logLevel      = flag.String("log-level", "warn", "structured log level: debug, info, warn, error")
+		slowQuery     = flag.Duration("slow-query", 0, "log SQL statements slower than this threshold (0: disabled)")
+		stats         = flag.String("stats", "", "admin: print the metrics of the node at this service address (cluster_stats op), then exit")
 	)
 	flag.Parse()
 
@@ -72,11 +89,64 @@ func main() {
 		runPromote(*promote)
 		return
 	}
-	if *nodeID != "" {
-		runReplicated(*addr, *nodeID, *replAddr, *replAdvertise, *advertise, *priority, *writeQuorum, *join, *snapshot)
+	if *stats != "" {
+		runStats(*stats)
 		return
 	}
-	runStandalone(*addr, *snapshot)
+	opts := []service.ServerOption{service.WithLogger(newLogger(*logLevel))}
+	if *nodeID != "" {
+		runReplicated(*addr, *nodeID, *replAddr, *replAdvertise, *advertise, *priority, *writeQuorum, *join, *snapshot, *opsAddr, *slowQuery, opts)
+		return
+	}
+	runStandalone(*addr, *snapshot, *opsAddr, *slowQuery, opts)
+}
+
+func newLogger(level string) *slog.Logger {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(level)); err != nil {
+		log.Fatalf("bad -log-level %q: %v", level, err)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l}))
+}
+
+// startOps starts the ops HTTP listener and wires the slow-query log; both
+// are observability taps on an already-running server.
+func startOps(srv *service.Server, db *core.DB, opsAddr string, slowQuery time.Duration) {
+	if slowQuery > 0 {
+		db.Engine().SetSlowQueryLog(slowQuery, func(sql string, d time.Duration) {
+			log.Printf("slow query (%v): %s", d, sql)
+		})
+	}
+	if opsAddr == "" {
+		return
+	}
+	ops, err := srv.ServeOps(opsAddr)
+	if err != nil {
+		log.Fatalf("ops listener: %v", err)
+	}
+	log.Printf("ops endpoints (metrics, health, pprof) on http://%s", ops.Addr())
+}
+
+// runStats fetches and prints the flattened metrics of a running node over
+// the service protocol — for operators without access to the ops port.
+func runStats(addr string) {
+	c, err := service.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	stats, err := c.ClusterStats()
+	if err != nil {
+		log.Fatalf("fetching stats from %s: %v", addr, err)
+	}
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%s %g\n", name, stats[name])
+	}
 }
 
 // runPromote force-promotes the replicated node at addr: the operator
@@ -94,7 +164,7 @@ func runPromote(addr string) {
 	log.Printf("node %s promoted: role=%s term=%d applied=%d", info.NodeID, info.Role, info.Term, info.Applied)
 }
 
-func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, priority, writeQuorum int, join, snapshot string) {
+func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, priority, writeQuorum int, join, snapshot, opsAddr string, slowQuery time.Duration, opts []service.ServerOption) {
 	if snapshot != "" {
 		log.Fatal("-snapshot is a standalone-mode flag; replicated nodes bootstrap from the leader")
 	}
@@ -111,11 +181,12 @@ func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, prio
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := service.ServeNode(n, addr)
+	srv, err := service.ServeNode(n, addr, opts...)
 	if err != nil {
 		n.Close()
 		log.Fatal(err)
 	}
+	startOps(srv, n.DB(), opsAddr, slowQuery)
 	role := "leader"
 	if join != "" {
 		role = fmt.Sprintf("follower of %s", join)
@@ -135,18 +206,19 @@ func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, prio
 	n.Close()
 }
 
-func runStandalone(addr, snapshot string) {
+func runStandalone(addr, snapshot, opsAddr string, slowQuery time.Duration, opts []service.ServerOption) {
 	db, err := loadDB(snapshot)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
 
-	srv, err := service.Serve(db, addr)
+	srv, err := service.Serve(db, addr, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	startOps(srv, db, opsAddr, slowQuery)
 	log.Printf("EMEWS service listening on %s", srv.Addr())
 
 	sig := make(chan os.Signal, 1)

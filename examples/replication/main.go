@@ -22,7 +22,9 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"time"
 
 	"osprey"
@@ -43,6 +45,7 @@ func main() {
 		log.Fatal(err)
 	}
 	var nodes []*osprey.ReplicaNode
+	var srvs []*osprey.Server
 	var addrs = []string{srv1.Addr()}
 	for i, prio := range []int{2, 1} {
 		n, err := osprey.NewReplica(osprey.ReplicaConfig{
@@ -57,6 +60,7 @@ func main() {
 		}
 		defer func() { srv.Close(); n.Close() }()
 		nodes = append(nodes, n)
+		srvs = append(srvs, srv)
 		addrs = append(addrs, srv.Addr())
 	}
 	fmt.Printf("cluster up: leader n1 plus %d followers\n", len(nodes))
@@ -158,4 +162,32 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("final task counts, read from a follower replica: %v\n", counts)
+
+	// 7. Observability. Every node shares one metrics registry across its
+	// layers; the ops listener serves it as Prometheus text next to
+	// /healthz, /readyz and /statusz, and the same numbers travel the
+	// service protocol as the cluster_stats op — usable through the
+	// failover client even when the ops port is unreachable.
+	ops, err := srvs[0].ServeOps("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ops.Close()
+	resp, err := http.Get("http://" + ops.Addr() + "/readyz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("surviving replica /readyz: %d %s\n", resp.StatusCode, verdict)
+
+	stats, err := me.ClusterStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Metrics are per-node: the failover client routes read traffic across
+	// replicas, so this is whichever replica answered.
+	fmt.Printf("cluster_stats from one replica: applied_index=%.0f, plan-cache hits=%.0f\n",
+		stats["osprey_replica_applied_index"],
+		stats["osprey_minisql_plan_cache_hits_total"])
 }

@@ -71,6 +71,7 @@ type DB struct {
 	eng    *minisql.Engine
 	outN   *notifier // signaled when the output queue grows
 	inN    *notifier // signaled when the input queue grows
+	met    *dbMetrics
 	closed atomic.Bool
 }
 
@@ -84,7 +85,7 @@ func NewDB() (*DB, error) {
 			return nil, fmt.Errorf("eqsql: creating schema: %w", err)
 		}
 	}
-	return &DB{eng: eng, outN: newNotifier(), inN: newNotifier()}, nil
+	return &DB{eng: eng, outN: newNotifier(), inN: newNotifier(), met: newDBMetrics(eng)}, nil
 }
 
 // Close shuts the database down, waking all polling queries with ErrClosed.
@@ -107,7 +108,7 @@ func RestoreDB(r io.Reader) (*DB, error) {
 	if err := migrateSchema(eng); err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng, outN: newNotifier(), inN: newNotifier()}, nil
+	return &DB{eng: eng, outN: newNotifier(), inN: newNotifier(), met: newDBMetrics(eng)}, nil
 }
 
 // Restore replaces the database contents in place with a snapshot, keeping
@@ -276,6 +277,7 @@ func (db *DB) Submit(ctx context.Context, expID string, workType int, payload st
 	for _, opt := range opts {
 		opt(&o)
 	}
+	defer db.met.submit.ObserveSince(time.Now())
 	var taskID int64
 	dup := false
 	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
@@ -335,6 +337,7 @@ func (db *DB) SubmitBatch(ctx context.Context, expID string, workType int, paylo
 		return BatchRes{}, fmt.Errorf("eqsql: SubmitBatch needs 0 or %d dedup keys, got %d",
 			len(payloads), len(dedupKeys))
 	}
+	defer db.met.submitBatch.ObserveSince(time.Now())
 	prioOf := func(i int) int {
 		switch len(priorities) {
 		case 0:
@@ -472,6 +475,7 @@ func idArgs(ids []int64, extra int) []any {
 // mutation of the queues like any other, and its commit token is what lets
 // the popping session read its own pop through a follower (read-your-pops).
 func (db *DB) tryPopTasks(workType, n int, pool string) ([]Task, Token, error) {
+	defer db.met.popTasks.ObserveSince(time.Now())
 	var tasks []Task
 	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
 		tasks = tasks[:0]
@@ -541,6 +545,7 @@ func (db *DB) Report(ctx context.Context, taskID int64, workType int, result str
 	if err := ctx.Err(); err != nil {
 		return Res{}, ctxErr(ctx)
 	}
+	defer db.met.report.ObserveSince(time.Now())
 	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
 		res, err := tx.Exec(
 			"UPDATE eq_tasks SET status = ?, result = ?, stop_at = ? WHERE task_id = ?",
@@ -604,6 +609,7 @@ func (db *DB) PopResults(ctx context.Context, ids []int64, max int) (ResultsRes,
 // popped id set, committed through the statement log so the pop carries its
 // own token.
 func (db *DB) tryPopResults(ids []int64, max int) ([]TaskResult, Token, error) {
+	defer db.met.popResults.ObserveSince(time.Now())
 	var results []TaskResult
 	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
 		results = results[:0]

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"osprey/internal/minisql"
+	"osprey/internal/obs"
+)
+
+// dbMetrics is the DB's observability surface: one registry per DB (a
+// process may host several databases in tests), per-op latency histograms on
+// the non-polling bodies of the hot paths, and scrape-time collectors for
+// queue depths and plan-cache counters. Polling waits are deliberately
+// excluded from the latency histograms — a 30 s long-poll on an empty queue
+// is not a slow pop.
+type dbMetrics struct {
+	reg         *obs.Registry
+	submit      *obs.Histogram
+	submitBatch *obs.Histogram
+	popTasks    *obs.Histogram
+	popResults  *obs.Histogram
+	report      *obs.Histogram
+}
+
+func newDBMetrics(eng *minisql.Engine) *dbMetrics {
+	reg := obs.NewRegistry()
+	m := &dbMetrics{
+		reg:         reg,
+		submit:      reg.Histogram("osprey_db_op_seconds", obs.DurationBuckets, "op", "submit"),
+		submitBatch: reg.Histogram("osprey_db_op_seconds", obs.DurationBuckets, "op", "submit_batch"),
+		popTasks:    reg.Histogram("osprey_db_op_seconds", obs.DurationBuckets, "op", "pop_tasks"),
+		popResults:  reg.Histogram("osprey_db_op_seconds", obs.DurationBuckets, "op", "pop_results"),
+		report:      reg.Histogram("osprey_db_op_seconds", obs.DurationBuckets, "op", "report"),
+	}
+	reg.CollectFunc(func(e *obs.Emitter) {
+		s := eng.PlanCacheStats()
+		e.Counter("osprey_minisql_plan_cache_hits_total", float64(s.Hits))
+		e.Counter("osprey_minisql_plan_cache_misses_total", float64(s.Misses))
+		e.Counter("osprey_minisql_plan_cache_evictions_total", float64(s.Evictions))
+		e.Gauge("osprey_minisql_plan_cache_size", float64(s.Size))
+		e.Gauge("osprey_db_queue_depth", float64(eng.TableRows("eq_out_q")), "queue", "out")
+		e.Gauge("osprey_db_queue_depth", float64(eng.TableRows("eq_in_q")), "queue", "in")
+	})
+	return m
+}
+
+// Metrics returns the database's metrics registry. Layers above (replica
+// node, service server, ops endpoint) register their own metrics here so one
+// scrape covers the whole node.
+func (db *DB) Metrics() *obs.Registry { return db.met.reg }

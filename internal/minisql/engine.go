@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Common engine errors.
@@ -39,6 +40,11 @@ type Engine struct {
 	spreadN    int        // spread-IN width of the statement executing now
 
 	plans *planCache // parsed-statement LRU (plancache.go)
+
+	// Slow-query log (obs.go): statements at or over slowNanos are reported
+	// to slowFn. Both are read and written under mu; zero/nil means off.
+	slowNanos int64
+	slowFn    func(sql string, d time.Duration)
 }
 
 type undoKind uint8
@@ -203,7 +209,16 @@ func (tx *Tx) Exec(sql string, args ...any) (*Result, error) {
 // the statement log never saw — silently diverging replicas.
 func (e *Engine) execLocked(stmt any, args []Value, sql string) (*Result, error) {
 	mark := len(e.undo)
+	var t0 time.Time
+	if e.slowNanos > 0 {
+		t0 = time.Now()
+	}
 	res, err := e.execStmtLocked(stmt, args, sql)
+	if e.slowNanos > 0 && e.slowFn != nil {
+		if d := time.Since(t0); int64(d) >= e.slowNanos {
+			e.slowFn(sql, d)
+		}
+	}
 	if err != nil {
 		if e.inTx {
 			e.rollbackToLocked(mark)

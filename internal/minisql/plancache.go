@@ -33,6 +33,8 @@ type planCache struct {
 	mu  sync.Mutex
 	ent map[string]*list.Element
 	lru *list.List // front = most recently used; values are *planNode
+
+	cacheCounters // hit/miss/eviction telemetry (obs.go), atomics
 }
 
 type planNode struct {
@@ -71,6 +73,7 @@ func (c *planCache) put(sql string, p plan) {
 		last := c.lru.Back()
 		c.lru.Remove(last)
 		delete(c.ent, last.Value.(*planNode).sql)
+		c.evictions.Add(1)
 	}
 }
 
@@ -104,15 +107,18 @@ func (c *planCache) len() int {
 // width shares the same immutable AST.
 func (e *Engine) cachedParse(sql string) (plan, error) {
 	if p, ok := e.plans.get(sql); ok {
+		e.plans.hits.Add(1)
 		return p, nil
 	}
 	norm := normalizeIN(sql)
 	if norm != sql {
 		if p, ok := e.plans.get(norm); ok {
 			e.plans.put(sql, p) // alias: future raw-text hits skip the scan
+			e.plans.hits.Add(1)
 			return p, nil
 		}
 	}
+	e.plans.misses.Add(1)
 	stmt, nparams, spread, err := parse(norm)
 	if err != nil {
 		return plan{}, err

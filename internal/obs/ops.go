@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Health is one health verdict: OK plus a short human-readable detail line.
+type Health struct {
+	OK     bool
+	Detail string
+}
+
+// OpsConfig wires the ops endpoints to their data sources. Nil fields
+// degrade gracefully: a nil Registry serves an empty /metrics, nil health
+// funcs report OK, a nil Statusz writes nothing extra.
+type OpsConfig struct {
+	Registry *Registry
+	// Healthz reports liveness: the process is up and serving.
+	Healthz func() Health
+	// Readyz reports readiness: a node is ready when token-bounded reads
+	// would be served rather than refused (leader, or follower within its
+	// staleness bound of the leader).
+	Readyz func() Health
+	// Statusz writes a human-readable status snapshot.
+	Statusz func(io.Writer)
+}
+
+// NewMux builds the ops HTTP handler: /metrics (Prometheus text format),
+// /healthz, /readyz, /statusz, and /debug/pprof/*. The pprof handlers are
+// mounted explicitly rather than via net/http/pprof's DefaultServeMux side
+// effects, so importing this package never pollutes a caller's default mux.
+func NewMux(cfg OpsConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if cfg.Registry != nil {
+			_ = WritePrometheus(w, cfg.Registry.Gather())
+		}
+	})
+	mux.HandleFunc("/healthz", healthHandler(cfg.Healthz))
+	mux.HandleFunc("/readyz", healthHandler(cfg.Readyz))
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "time: %s\n", time.Now().UTC().Format(time.RFC3339Nano))
+		if cfg.Statusz != nil {
+			cfg.Statusz(w)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func healthHandler(fn func() Health) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h := Health{OK: true, Detail: "ok"}
+		if fn != nil {
+			h = fn()
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !h.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if h.Detail == "" {
+			if h.OK {
+				h.Detail = "ok"
+			} else {
+				h.Detail = "unavailable"
+			}
+		}
+		fmt.Fprintln(w, h.Detail)
+	}
+}
+
+// OpsServer is a running ops HTTP listener.
+type OpsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeOps starts the ops HTTP server on addr (e.g. ":9100", "127.0.0.1:0").
+func ServeOps(addr string, cfg OpsConfig) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(cfg), ReadHeaderTimeout: 5 * time.Second}
+	o := &OpsServer{ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return o, nil
+}
+
+// Addr returns the bound listen address.
+func (o *OpsServer) Addr() string { return o.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (o *OpsServer) Close() error { return o.srv.Close() }

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// promKind renders the Prometheus metric-family type keyword.
+func promKind(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// formatFloat renders a value the way Prometheus text exposition expects.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLabel splices an extra label (e.g. le="0.005") into a rendered label
+// string.
+func withLabel(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders gathered samples in Prometheus text exposition
+// format (version 0.0.4). Samples sharing a name form one metric family —
+// they are grouped together (families ordered by first registration, members
+// in registration order) under a single `# TYPE` header, as the format
+// requires.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	var names []string
+	families := map[string][]Sample{}
+	for _, s := range samples {
+		if _, ok := families[s.Name]; !ok {
+			names = append(names, s.Name)
+		}
+		families[s.Name] = append(families[s.Name], s)
+	}
+	for _, name := range names {
+		fam := families[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, promKind(fam[0].Kind)); err != nil {
+			return err
+		}
+		for _, s := range fam {
+			if err := writeSample(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, s Sample) error {
+	if s.Kind != KindHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, s.Labels, formatFloat(s.Value))
+		return err
+	}
+	{
+		h := s.Hist
+		cum := uint64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			ls := withLabel(s.Labels, `le="`+le+`"`)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, ls, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, s.Labels, formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, s.Labels, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// traceBase is a per-process random base XORed with a counter, so IDs are
+// unique within a process and collide across processes only by chance.
+var (
+	traceBase = rand.Uint64()
+	traceSeq  atomic.Uint64
+)
+
+// TraceID mints a 16-hex-digit request trace ID. IDs are minted once at the
+// originating client, carried in the wire protocol's `trace` field, preserved
+// across the follower→leader forward hop, and stamped on structured server
+// logs — grepping one ID across node logs follows a single request through
+// the cluster.
+func TraceID() string {
+	return fmt.Sprintf("%016x", traceBase^traceSeq.Add(1))
+}

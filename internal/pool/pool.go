@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"osprey/internal/core"
+	"osprey/internal/obs"
 	"osprey/internal/telemetry"
 )
 
@@ -58,6 +59,9 @@ type Config struct {
 	// slots for its whole execution. Requirements are clamped to
 	// [1, Workers]; nil treats every task as single-core.
 	CoresOf func(payload string) int
+	// Metrics, when set, receives the pool's worker busy/idle gauges and
+	// task counters, labeled by pool name. Nil disables instrumentation.
+	Metrics *obs.Registry
 }
 
 // JSONCores extracts an integer "cores" field from a JSON payload,
@@ -107,6 +111,7 @@ type Pool struct {
 	owned    atomic.Int64
 	executed atomic.Int64
 	failed   atomic.Int64
+	busy     atomic.Int64 // cores currently held by executing tasks
 	running  atomic.Bool
 }
 
@@ -121,7 +126,19 @@ func New(api core.Session, cfg Config, exec TaskFunc, rec *telemetry.Recorder) (
 	if api == nil || exec == nil {
 		return nil, fmt.Errorf("pool: api and exec are required")
 	}
-	return &Pool{cfg: cfg, api: api, exec: exec, rec: rec}, nil
+	p := &Pool{cfg: cfg, api: api, exec: exec, rec: rec}
+	if reg := cfg.Metrics; reg != nil {
+		name := cfg.Name
+		reg.CollectFunc(func(e *obs.Emitter) {
+			busy := p.busy.Load()
+			e.Gauge("osprey_pool_workers_busy", float64(busy), "pool", name)
+			e.Gauge("osprey_pool_workers_idle", float64(int64(p.cfg.Workers)-busy), "pool", name)
+			e.Gauge("osprey_pool_tasks_owned", float64(p.owned.Load()), "pool", name)
+			e.Counter("osprey_pool_tasks_executed_total", float64(p.executed.Load()), "pool", name)
+			e.Counter("osprey_pool_tasks_failed_total", float64(p.failed.Load()), "pool", name)
+		})
+	}
+	return p, nil
 }
 
 // Name returns the pool's identifier.
@@ -208,7 +225,9 @@ func (p *Pool) dispatch(ctx context.Context, taskCh <-chan core.Task, completion
 		wg.Add(1)
 		go func(task core.Task, need int) {
 			defer wg.Done()
+			p.busy.Add(int64(need))
 			p.execute(task)
+			p.busy.Add(int64(-need))
 			for i := 0; i < need; i++ {
 				<-cores
 			}

@@ -132,6 +132,9 @@ func (n *Node) followOnce(addr string, joined *bool, forceSnap bool) (redirect s
 		if err := dec.Decode(&f); err != nil {
 			return "", err
 		}
+		if f.Type != frameNotLeader {
+			n.noteLeaderFrame(f)
+		}
 		switch f.Type {
 		case frameNotLeader:
 			return f.LeaderRepl, nil
@@ -187,10 +190,12 @@ func (n *Node) applySnapshot(f frame) error {
 	// stream catches back up past their token.
 	n.mu.Lock()
 	n.applied = f.SnapIndex
+	n.lastProgress = time.Now()
 	close(n.appliedCh)
 	n.appliedCh = make(chan struct{})
 	n.mu.Unlock()
 	n.eng.SetLastLogged(f.SnapIndex)
+	n.met.snapsInstall.Inc()
 	n.logf("bootstrapped from snapshot at index %d (term %d)", f.SnapIndex, f.Term)
 	return nil
 }
@@ -210,6 +215,7 @@ func (n *Node) applyOne(ent minisql.LogEntry) (applied bool, err error) {
 	if err := n.eng.ApplyEntry(ent); err != nil {
 		return false, fmt.Errorf("%w: %v", errApply, err)
 	}
+	n.met.entriesApp.Inc()
 	n.setApplied(ent.Index)
 	n.db.Wake()
 	return true, nil

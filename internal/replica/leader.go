@@ -3,6 +3,7 @@ package replica
 import (
 	"encoding/gob"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"osprey/internal/minisql"
@@ -21,6 +22,11 @@ type followerConn struct {
 	conn  net.Conn
 	enc   *gob.Encoder
 	acked uint64 // highest applied index the follower acknowledged
+
+	// beatAt is the send time (unix nanos) of the heartbeat awaiting its
+	// ack, 0 when none is outstanding; the ack reader turns the round trip
+	// into the heartbeat-RTT histogram.
+	beatAt atomic.Int64
 }
 
 func (n *Node) acceptLoop() {
@@ -127,7 +133,7 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 	n.followers[join.Peer.ID] = fol
 	hello := frame{
 		Type: frameSnapshot, Term: n.term, Role: RoleLeader,
-		Snapshot: snap, SnapIndex: startIdx,
+		Snapshot: snap, SnapIndex: startIdx, Applied: n.applied,
 		Peers:    n.peerListLocked(),
 		LeaderID: n.leader.ID, LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
 	}
@@ -147,6 +153,7 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 	if resume {
 		n.logf("follower %s resumed from index %d", join.Peer.ID, startIdx)
 	} else {
+		n.met.snapsSent.Inc()
 		n.logf("follower %s joined at index %d", join.Peer.ID, startIdx)
 	}
 
@@ -176,6 +183,9 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 			}
 			n.contact[join.Peer.ID] = time.Now()
 			n.mu.Unlock()
+			if t := fol.beatAt.Swap(0); t != 0 {
+				n.met.heartbeatRTT.Observe(float64(time.Now().UnixNano()-t) / 1e9)
+			}
 			w.Ack(join.Peer.ID, ack.Applied)
 		}
 	}()
@@ -222,6 +232,7 @@ func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
 				if err := gobSend(fol, frame{Type: frameEntries, Term: term, Entries: batch}); err != nil {
 					return
 				}
+				n.met.batchEntries.Observe(float64(len(batch)))
 				pos = batch[len(batch)-1].Index
 			}
 			continue
@@ -249,7 +260,7 @@ func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
 		if sendBeat {
 			n.mu.Lock()
 			hb := frame{
-				Type: frameHeartbeat, Term: n.term, Role: n.role,
+				Type: frameHeartbeat, Term: n.term, Role: n.role, Applied: n.applied,
 				Peers:    n.peerListLocked(),
 				LeaderID: n.leader.ID, LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
 			}
@@ -258,6 +269,7 @@ func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
 			if err := gobSend(fol, hb); err != nil {
 				return
 			}
+			fol.beatAt.CompareAndSwap(0, time.Now().UnixNano())
 		}
 	}
 }

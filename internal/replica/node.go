@@ -120,6 +120,8 @@ type Node struct {
 	eng *minisql.Engine
 	ln  net.Listener
 
+	met *nodeMetrics // replication metrics (obs.go), on the DB's registry
+
 	mu        sync.Mutex
 	role      Role
 	term      uint64
@@ -133,6 +135,13 @@ type Node struct {
 	stream    net.Conn             // follower's live connection to the leader
 	started   bool
 	closed    bool
+
+	// Leader-health evidence for readiness (obs.go): when the leader was
+	// last heard from on the stream, its last reported applied index, and
+	// when this node's own applied index last advanced.
+	leaderContact time.Time
+	leaderApplied uint64
+	lastProgress  time.Time
 
 	peersCh   chan struct{} // closed and replaced when membership changes
 	appliedCh chan struct{} // closed and replaced when the applied index advances
@@ -185,6 +194,8 @@ func New(cfg Config) (*Node, error) {
 		appliedCh: make(chan struct{}),
 		closeCh:   make(chan struct{}),
 	}
+	n.met = newNodeMetrics(db.Metrics())
+	n.registerCollectors(db.Metrics())
 	self := n.selfPeerLocked()
 	n.peers[self.ID] = self
 	if cfg.Join == "" {
@@ -405,6 +416,7 @@ func (n *Node) setApplied(idx uint64) {
 	n.mu.Lock()
 	if idx > n.applied {
 		n.applied = idx
+		n.lastProgress = time.Now()
 		close(n.appliedCh)
 		n.appliedCh = make(chan struct{})
 	}
@@ -490,7 +502,10 @@ func (n *Node) WaitQuorumIndex(idx uint64) error {
 	}
 	w := n.wal
 	n.mu.Unlock()
-	return w.WaitCommitted(idx, 2*n.cfg.LeaseTimeout)
+	t0 := time.Now()
+	err := w.WaitCommitted(idx, 2*n.cfg.LeaseTimeout)
+	n.met.quorumWait.ObserveSince(t0)
+	return err
 }
 
 // WaitApplied blocks until this node's applied index reaches idx, so a read
@@ -589,6 +604,7 @@ func (n *Node) promote() {
 	n.leaseRef = now.Add(2 * n.cfg.LeaseTimeout)
 	term, applied := n.term, n.applied
 	n.mu.Unlock()
+	n.met.promotions.Inc()
 	n.db.Wake()
 	n.logf("promoted to leader (term %d, log index %d)", term, applied)
 	n.wg.Add(1)
@@ -620,6 +636,7 @@ func (n *Node) demote(reason string) {
 	for _, f := range fols {
 		f.conn.Close()
 	}
+	n.met.demotions.Inc()
 	n.logf("stepping down at term %d: %s", term, reason)
 	n.wg.Add(1)
 	go n.followLoop("", true)

@@ -758,6 +758,18 @@ func (cc *ClusterClient) Cluster() (ClusterInfo, error) {
 	return info, err
 }
 
+// ClusterStats fetches the current leader's metrics snapshot (see
+// Client.ClusterStats), retrying through failover like every other call.
+func (cc *ClusterClient) ClusterStats() (map[string]float64, error) {
+	var stats map[string]float64
+	err := cc.do(5*time.Second, func(c *Client) error {
+		var err error
+		stats, err = c.ClusterStats()
+		return err
+	})
+	return stats, err
+}
+
 // String describes the client for logs.
 func (cc *ClusterClient) String() string {
 	return "cluster(" + strings.Join(cc.addrs, ",") + ")"

@@ -17,6 +17,13 @@ import (
 type request struct {
 	Op string `json:"op"`
 
+	// Trace is the request's trace ID: 16 hex digits minted once at the
+	// originating client (obs.TraceID) and preserved verbatim across the
+	// follower→leader forward hop, so structured logs on every node that
+	// touched the request share one greppable ID. Optional; servers mint one
+	// for requests from older clients so their logs still correlate per hop.
+	Trace string `json:"trace,omitempty"`
+
 	// Fwd marks a request a follower already forwarded once; it is never
 	// forwarded again, bounding replication forwarding to a single hop.
 	Fwd bool `json:"fwd,omitempty"`
@@ -140,4 +147,10 @@ type response struct {
 	Term      uint64   `json:"term,omitempty"`
 	Applied   uint64   `json:"applied,omitempty"`
 	PeerSvcs  []string `json:"peer_svcs,omitempty"`
+
+	// Stats is the "cluster_stats" op's payload: the answering node's full
+	// metrics registry flattened to name{labels} -> value (histograms as
+	// _count/_sum/_p50/_p95/_p99), the same numbers /metrics exposes, for
+	// clients that can reach the service port but not the ops listener.
+	Stats map[string]float64 `json:"stats,omitempty"`
 }

@@ -7,11 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"osprey/internal/core"
+	"osprey/internal/obs"
 	"osprey/internal/replica"
 )
 
@@ -22,6 +24,10 @@ type Server struct {
 	ln        net.Listener
 	node      *replica.Node // nil for standalone servers
 
+	met        *serverMetrics // per-op counters/histograms (ops.go)
+	log        *slog.Logger
+	readyBound time.Duration // /readyz follower staleness bound (0 = node default)
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -31,8 +37,8 @@ type Server struct {
 // Serve starts a server for db on addr (e.g. "127.0.0.1:0") and returns once
 // the listener is bound. Use Addr for the chosen address and Close to stop.
 // Legacy token-less backends can be served through core.Lift.
-func Serve(db core.Session, addr string) (*Server, error) {
-	return serve(db, nil, addr)
+func Serve(db core.Session, addr string, opts ...ServerOption) (*Server, error) {
+	return serve(db, nil, addr, opts...)
 }
 
 // ServeNode starts a replica-aware server for cluster node n: reads are
@@ -44,8 +50,8 @@ func Serve(db core.Session, addr string) (*Server, error) {
 // remotely dialable one — needed for wildcard binds or NAT) and starts the
 // node's replication loops, so it is the one-call way to bring a cluster
 // member up.
-func ServeNode(n *replica.Node, addr string) (*Server, error) {
-	s, err := serve(n.DB(), n, addr)
+func ServeNode(n *replica.Node, addr string, opts ...ServerOption) (*Server, error) {
+	s, err := serve(n.DB(), n, addr, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -56,14 +62,33 @@ func ServeNode(n *replica.Node, addr string) (*Server, error) {
 	return s, nil
 }
 
-func serve(db core.Session, node *replica.Node, addr string) (*Server, error) {
+func serve(db core.Session, node *replica.Node, addr string, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("service: listen: %w", err)
 	}
+	// The metrics registry is shared downward: a replicated server reports
+	// into its node's (and therefore database's) registry so one scrape
+	// covers every layer; a standalone server over a core.DB does the same
+	// through the DB, and only a lifted legacy backend gets a private one.
+	var reg *obs.Registry
+	switch {
+	case node != nil:
+		reg = node.Metrics()
+	default:
+		if m, ok := db.(interface{ Metrics() *obs.Registry }); ok {
+			reg = m.Metrics()
+		} else {
+			reg = obs.NewRegistry()
+		}
+	}
 	s := &Server{
 		db: db, tokenless: core.Tokenless(db),
 		ln: ln, node: node, conns: make(map[net.Conn]struct{}),
+		met: newServerMetrics(reg), log: defaultLogger(),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.wg.Add(1)
 	go func() {
@@ -100,7 +125,18 @@ func (s *Server) acceptLoop() {
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient accept failure (e.g. out of file descriptors): count
+			// it, log it, and keep accepting rather than silently killing the
+			// listener for the rest of the process lifetime.
+			s.met.acceptErr.Inc()
+			s.log.Warn("accept failed", "error", err)
+			if !sleepCtx(s, 10*time.Millisecond) {
+				return
+			}
+			continue
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -110,6 +146,7 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.met.openConns.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -118,10 +155,26 @@ func (s *Server) acceptLoop() {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 				conn.Close()
+				s.met.openConns.Add(-1)
 			}()
 			s.handle(conn)
 		}()
 	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// sleepCtx pauses the accept loop briefly, aborting early on Close. Returns
+// false when the server closed during the pause.
+func sleepCtx(s *Server, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+	return !s.isClosed()
 }
 
 const maxLine = 64 << 20 // per-message bound; payloads are JSON strings
@@ -136,6 +189,7 @@ const maxLine = 64 << 20 // per-message bound; payloads are JSON strings
 // decode, preserving the old line scanner's property that one request can
 // never buffer more than maxLine bytes.
 func (s *Server) handle(conn net.Conn) {
+	peer := conn.RemoteAddr().String()
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	lr := &io.LimitedReader{R: bufio.NewReaderSize(conn, 64<<10)}
 	dec := json.NewDecoder(lr)
@@ -144,16 +198,43 @@ func (s *Server) handle(conn net.Conn) {
 		lr.N = maxLine
 		var req request
 		if err := dec.Decode(&req); err != nil {
+			// A clean EOF is the client hanging up between requests; a
+			// network-level error is the connection dying (or the server
+			// closing it). Anything else is a malformed request: the stream
+			// position is unknowable after a decode error, so the connection
+			// closes — but no longer silently.
+			var netErr net.Error
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed), s.isClosed():
+			case errors.As(err, &netErr):
+				s.log.Debug("connection read failed", "peer", peer, "error", err)
+			default:
+				s.met.malformed.Inc()
+				s.log.Warn("malformed request, closing connection",
+					"peer", peer, "trace", req.Trace, "error", err)
+			}
 			return
 		}
-		resp := s.dispatch(req)
+		resp := s.dispatch(req, peer)
 		if err := enc.Encode(&resp); err != nil {
+			s.logWriteErr(peer, req, err)
 			return
 		}
 		if err := bw.Flush(); err != nil {
+			s.logWriteErr(peer, req, err)
 			return
 		}
 	}
+}
+
+// logWriteErr reports a failed response write — usually the client vanishing
+// mid-poll, so Debug unless the server is still healthy and the error is not
+// a network one.
+func (s *Server) logWriteErr(peer string, req request, err error) {
+	if s.isClosed() || errors.Is(err, net.ErrClosed) {
+		return
+	}
+	s.log.Debug("response write failed", "peer", peer, "op", req.Op, "trace", req.Trace, "error", err)
 }
 
 // writeOps are the API calls that mutate the task database and therefore
@@ -181,7 +262,31 @@ var quorumOps = map[string]bool{
 	"update_priorities": true, "cancel": true, "requeue": true,
 }
 
-func (s *Server) dispatch(req request) response {
+// dispatch instruments and routes one request: per-op request count and
+// latency, error count (timeouts are normal long-poll outcomes, not errors),
+// and the trace-correlated log lines that let one request be followed across
+// the forward hop. Requests from older clients without a trace ID get one
+// minted here so per-hop logs still correlate.
+func (s *Server) dispatch(req request, peer string) response {
+	if req.Trace == "" {
+		req.Trace = obs.TraceID()
+	}
+	t0 := time.Now()
+	resp := s.route(req)
+	s.met.observe(req.Op, time.Since(t0), resp.OK || resp.Timeout)
+	if req.Fwd && s.node != nil {
+		// The leader half of the forward hop: the follower logged the same
+		// trace ID when it forwarded.
+		s.log.Info("handled forwarded request",
+			"op", req.Op, "trace", req.Trace, "peer", peer, "ok", resp.OK)
+	}
+	if !resp.OK && !resp.Timeout {
+		s.log.Debug("request failed", "op", req.Op, "trace", req.Trace, "peer", peer, "error", resp.Error)
+	}
+	return resp
+}
+
+func (s *Server) route(req request) response {
 	// Writes and strong-consistency reads must execute on the leader.
 	needLeader := writeOps[req.Op] || req.Level == "strong"
 	if s.node != nil && needLeader && !s.node.IsLeader() {
@@ -272,6 +377,10 @@ func (s *Server) exec(req request) response {
 				}
 			}
 		}
+		return resp
+	case "cluster_stats":
+		resp := s.exec(request{Op: "cluster"})
+		resp.Stats = obs.Flatten(s.met.reg.Gather())
 		return resp
 	case "cluster_promote":
 		if s.node == nil {
@@ -412,6 +521,10 @@ func (s *Server) forward(req request) response {
 	if addr == "" || addr == s.Addr() {
 		return response{Error: "service: no cluster leader elected", Transient: true}
 	}
+	s.met.forwards.Inc()
+	// The follower half of the forward hop: the leader logs the same trace
+	// ID when it handles the forwarded request.
+	s.log.Info("forwarding request to leader", "op", req.Op, "trace", req.Trace, "leader", addr)
 	c, err := Dial(addr)
 	if err != nil {
 		return response{Error: "service: leader unreachable: " + err.Error(), Transient: true}
@@ -504,6 +617,9 @@ func (c *Client) Ping() error {
 }
 
 func (c *Client) roundTrip(req request, timeout time.Duration) (response, error) {
+	if req.Trace == "" {
+		req.Trace = obs.TraceID()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Allow the server-side poll to finish before the read deadline.
@@ -913,6 +1029,20 @@ func (c *Client) Promote() (ClusterInfo, error) {
 		Role: resp.Role, NodeID: resp.NodeID, LeaderSvc: resp.LeaderSvc,
 		Term: resp.Term, Applied: resp.Applied, PeerSvcs: resp.PeerSvcs,
 	}, nil
+}
+
+// ClusterStats fetches the answering node's full metrics snapshot over the
+// wire protocol: the same numbers /metrics exposes, flattened to
+// name{labels} -> value (histograms as _count/_sum/_p50/_p95/_p99), for
+// callers that can reach the service port but not the ops listener. On a
+// follower it reports that follower's own metrics — per-node, not
+// cluster-aggregated.
+func (c *Client) ClusterStats() (map[string]float64, error) {
+	resp, err := c.roundTrip(request{Op: "cluster_stats"}, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
 }
 
 // DialContext dials with retry until the service is up or ctx expires —

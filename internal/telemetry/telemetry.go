@@ -16,6 +16,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"osprey/internal/obs"
 )
 
 // Kind labels a recorded event.
@@ -42,12 +44,22 @@ type Event struct {
 	Round int
 }
 
+// DefaultMaxEvents bounds a Recorder's in-memory event history. At the
+// paper's workload scale (thousands of tasks, two events each) the default
+// is far out of reach; a production service recording for days hits it and
+// starts dropping — counted, never silent — instead of growing memory with
+// history forever.
+const DefaultMaxEvents = 1 << 20
+
 // Recorder collects events. It is safe for concurrent use.
 type Recorder struct {
-	mu     sync.Mutex
-	start  time.Time
-	scale  float64
-	events []Event
+	mu        sync.Mutex
+	start     time.Time
+	scale     float64
+	events    []Event
+	maxEvents int              // cap on len(events); <= 0 means unbounded
+	dropped   uint64           // events discarded at the cap
+	runCount  map[string]int64 // live running-task count per pool
 }
 
 // NewRecorder creates a Recorder. timeScale is wall-seconds per
@@ -57,7 +69,27 @@ func NewRecorder(timeScale float64) *Recorder {
 	if timeScale <= 0 {
 		timeScale = 1
 	}
-	return &Recorder{start: time.Now(), scale: timeScale}
+	return &Recorder{
+		start: time.Now(), scale: timeScale,
+		maxEvents: DefaultMaxEvents,
+		runCount:  make(map[string]int64),
+	}
+}
+
+// SetMaxEvents changes the event-history cap (default DefaultMaxEvents).
+// n <= 0 removes the bound. Shrinking below the current history length keeps
+// the history already recorded and only blocks further growth.
+func (r *Recorder) SetMaxEvents(n int) {
+	r.mu.Lock()
+	r.maxEvents = n
+	r.mu.Unlock()
+}
+
+// Dropped returns how many events were discarded at the history cap.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Now returns the current time in paper-seconds since the recorder start.
@@ -71,11 +103,66 @@ func (r *Recorder) Record(kind Kind, pool string, taskID int64) {
 }
 
 // RecordRound appends an event carrying a reprioritization round number.
+// Past the history cap the event is dropped (and counted); the live per-pool
+// running counts stay exact either way, so the obs bridge keeps reporting
+// correct concurrency gauges on runs long enough to overflow the history.
 func (r *Recorder) RecordRound(kind Kind, pool string, taskID int64, round int) {
 	e := Event{T: r.Now(), Kind: kind, Pool: pool, TaskID: taskID, Round: round}
 	r.mu.Lock()
-	r.events = append(r.events, e)
+	switch kind {
+	case TaskStart:
+		r.runCount[pool]++
+	case TaskEnd:
+		r.runCount[pool]--
+	}
+	if r.maxEvents > 0 && len(r.events) >= r.maxEvents {
+		r.dropped++
+	} else {
+		r.events = append(r.events, e)
+	}
 	r.mu.Unlock()
+}
+
+// Running returns the live number of running tasks for pool ("" sums all
+// pools). Unlike ConcurrencySeries this is O(pools) and immune to the
+// history cap.
+func (r *Recorder) Running(pool string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if pool != "" {
+		return r.runCount[pool]
+	}
+	total := int64(0)
+	for _, n := range r.runCount {
+		total += n
+	}
+	return total
+}
+
+// BindObs bridges the recorder into a metrics registry: per-pool
+// running-task gauges (the live value behind the paper's Figures 3-4
+// concurrency series) plus history size and drop counters, sampled at
+// scrape time.
+func (r *Recorder) BindObs(reg *obs.Registry) {
+	reg.CollectFunc(func(e *obs.Emitter) {
+		r.mu.Lock()
+		pools := make([]string, 0, len(r.runCount))
+		for p := range r.runCount {
+			pools = append(pools, p)
+		}
+		sort.Strings(pools)
+		counts := make([]int64, len(pools))
+		for i, p := range pools {
+			counts[i] = r.runCount[p]
+		}
+		events, dropped := len(r.events), r.dropped
+		r.mu.Unlock()
+		for i, p := range pools {
+			e.Gauge("osprey_telemetry_running_tasks", float64(counts[i]), "pool", p)
+		}
+		e.Gauge("osprey_telemetry_events", float64(events))
+		e.Counter("osprey_telemetry_events_dropped_total", float64(dropped))
+	})
 }
 
 // Events returns a copy of all recorded events sorted by time.

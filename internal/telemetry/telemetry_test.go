@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"osprey/internal/obs"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -168,5 +169,52 @@ func TestPropertyConcurrencyBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEventCapAndObsBridge(t *testing.T) {
+	r := NewRecorder(1)
+	r.SetMaxEvents(10)
+	for i := 0; i < 20; i++ {
+		r.Record(TaskStart, "cpu", int64(i))
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(TaskEnd, "cpu", int64(i))
+	}
+	r.Record(TaskStart, "gpu", 100)
+	if got := len(r.Events()); got != 10 {
+		t.Fatalf("events kept = %d, want 10 (cap)", got)
+	}
+	if got := r.Dropped(); got != 16 {
+		t.Fatalf("dropped = %d, want 16", got)
+	}
+	// Running counts must survive the cap: 20 starts - 5 ends on cpu, 1 on gpu.
+	if got := r.Running("cpu"); got != 15 {
+		t.Fatalf("running(cpu) = %d, want 15", got)
+	}
+	if got := r.Running(""); got != 16 {
+		t.Fatalf("running(all) = %d, want 16", got)
+	}
+
+	reg := obs.NewRegistry()
+	r.BindObs(reg)
+	flat := obs.Flatten(reg.Gather())
+	if got := flat[`osprey_telemetry_running_tasks{pool="cpu"}`]; got != 15 {
+		t.Fatalf("bridge running cpu = %v, want 15", got)
+	}
+	if got := flat[`osprey_telemetry_running_tasks{pool="gpu"}`]; got != 1 {
+		t.Fatalf("bridge running gpu = %v, want 1", got)
+	}
+	if got := flat["osprey_telemetry_events_dropped_total"]; got != 16 {
+		t.Fatalf("bridge dropped = %v, want 16", got)
+	}
+	if got := flat["osprey_telemetry_events"]; got != 10 {
+		t.Fatalf("bridge events = %v, want 10", got)
+	}
+
+	r.SetMaxEvents(0) // unbounded again
+	r.Record(TaskEnd, "gpu", 100)
+	if got := len(r.Events()); got != 11 {
+		t.Fatalf("events after unbounding = %d, want 11", got)
 	}
 }
