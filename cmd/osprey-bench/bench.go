@@ -16,10 +16,14 @@ import (
 // tracks: one per optimized layer (core submit/pop cycle, minisql ordered
 // index, replica quorum shipping, service follower reads), plus the
 // logged-vs-unlogged pop pair guarding the Session redesign's claim that
-// commit tokens on pops stay under ~10% overhead, and the instrumented
-// submit guarding the observability layer's negligible-overhead claim.
+// commit tokens on pops stay under ~10% overhead, the instrumented submit
+// guarding the observability layer's negligible-overhead claim, and the
+// no-fsync durable submit guarding the WAL encode cost. The fsync'd durable
+// variants are recorded but not gated — fsync wall time is a property of the
+// host's storage stack, and gating it against a baseline from a different
+// machine would be pure hardware noise.
 const keyBenchmarks = "^(BenchmarkSubmitTask|BenchmarkInstrumentedSubmit|" +
-	"BenchmarkSubmitQueryReportCycle|" +
+	"BenchmarkSubmitQueryReportCycle|BenchmarkDurableSubmit|" +
 	"BenchmarkPopResultsBatch50|BenchmarkQuorumSubmit|BenchmarkFollowerRead|" +
 	"BenchmarkMinisqlIndexedSelect|BenchmarkPopTokenOverhead)$"
 

@@ -9,6 +9,19 @@
 // With -snapshot, existing state is restored at startup and persisted on
 // SIGINT/SIGTERM, providing the restart fault-tolerance path.
 //
+// Durable storage (crash fault tolerance, standalone or replicated):
+//
+//	osprey-service -addr 127.0.0.1:7654 -data-dir /var/lib/osprey -fsync
+//
+// With -data-dir, every committed write lands in an on-disk write-ahead log
+// and the engine checkpoints periodically; on restart the node recovers its
+// state from the latest checkpoint plus the log tail — no clean shutdown and
+// no live peer required. -fsync holds each write acknowledgement until the
+// log record is fsynced (concurrent writers share one fsync via the group
+// commit window), surviving power loss; without it the log is flushed to the
+// OS per write, surviving process crashes only. -checkpoint-every tunes how
+// many log entries accumulate between checkpoints.
+//
 // Replicated cluster (live fault tolerance): start an initial leader, then
 // join followers to its replication address. Priorities decide promotion
 // order on leader death; clients connect with osprey.DialCluster. Bind
@@ -68,20 +81,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("osprey-service: ")
 	var (
-		addr          = flag.String("addr", "127.0.0.1:7654", "listen address")
-		snapshot      = flag.String("snapshot", "", "optional snapshot file for restart persistence (standalone mode)")
-		nodeID        = flag.String("node-id", "", "cluster node id; enables replicated mode")
-		replAddr      = flag.String("repl-addr", "127.0.0.1:0", "replication (log shipping) listen address")
-		replAdvertise = flag.String("repl-advertise", "", "replication address peers should dial (default: the bound -repl-addr)")
-		advertise     = flag.String("advertise", "", "service address peers and clients should dial (default: the bound -addr)")
-		priority      = flag.Int("priority", 0, "promotion priority on leader death (higher wins)")
-		join          = flag.String("join", "", "replication address of the leader to follow (empty: start as leader)")
-		writeQuorum   = flag.Int("write-quorum", 0, "followers that must apply a write before it is acknowledged (0: asynchronous replication)")
-		promote       = flag.String("promote", "", "admin: force-promote the node at this service address to cluster leader (majority-gate override for 2-node clusters), then exit")
-		opsAddr       = flag.String("ops-addr", "", "ops HTTP listen address (/metrics, /healthz, /readyz, /statusz, /debug/pprof); empty disables")
-		logLevel      = flag.String("log-level", "warn", "structured log level: debug, info, warn, error")
-		slowQuery     = flag.Duration("slow-query", 0, "log SQL statements slower than this threshold (0: disabled)")
-		stats         = flag.String("stats", "", "admin: print the metrics of the node at this service address (cluster_stats op), then exit")
+		addr            = flag.String("addr", "127.0.0.1:7654", "listen address")
+		snapshot        = flag.String("snapshot", "", "optional snapshot file for restart persistence (standalone mode)")
+		dataDir         = flag.String("data-dir", "", "directory for the durable WAL and checkpoints; empty runs in-memory")
+		fsync           = flag.Bool("fsync", false, "fsync the WAL before acknowledging writes (requires -data-dir)")
+		checkpointEvery = flag.Int("checkpoint-every", 0, "log entries between engine checkpoints (0: default, negative: disabled)")
+		nodeID          = flag.String("node-id", "", "cluster node id; enables replicated mode")
+		replAddr        = flag.String("repl-addr", "127.0.0.1:0", "replication (log shipping) listen address")
+		replAdvertise   = flag.String("repl-advertise", "", "replication address peers should dial (default: the bound -repl-addr)")
+		advertise       = flag.String("advertise", "", "service address peers and clients should dial (default: the bound -addr)")
+		priority        = flag.Int("priority", 0, "promotion priority on leader death (higher wins)")
+		join            = flag.String("join", "", "replication address of the leader to follow (empty: start as leader)")
+		writeQuorum     = flag.Int("write-quorum", 0, "followers that must apply a write before it is acknowledged (0: asynchronous replication)")
+		promote         = flag.String("promote", "", "admin: force-promote the node at this service address to cluster leader (majority-gate override for 2-node clusters), then exit")
+		opsAddr         = flag.String("ops-addr", "", "ops HTTP listen address (/metrics, /healthz, /readyz, /statusz, /debug/pprof); empty disables")
+		logLevel        = flag.String("log-level", "warn", "structured log level: debug, info, warn, error")
+		slowQuery       = flag.Duration("slow-query", 0, "log SQL statements slower than this threshold (0: disabled)")
+		stats           = flag.String("stats", "", "admin: print the metrics of the node at this service address (cluster_stats op), then exit")
 	)
 	flag.Parse()
 
@@ -93,12 +109,26 @@ func main() {
 		runStats(*stats)
 		return
 	}
+	if *fsync && *dataDir == "" {
+		log.Fatal("-fsync requires -data-dir")
+	}
+	if *checkpointEvery != 0 && *dataDir == "" {
+		log.Fatal("-checkpoint-every requires -data-dir")
+	}
+	dur := durability{dir: *dataDir, fsync: *fsync, checkpointEvery: *checkpointEvery}
 	opts := []service.ServerOption{service.WithLogger(newLogger(*logLevel))}
 	if *nodeID != "" {
-		runReplicated(*addr, *nodeID, *replAddr, *replAdvertise, *advertise, *priority, *writeQuorum, *join, *snapshot, *opsAddr, *slowQuery, opts)
+		runReplicated(*addr, *nodeID, *replAddr, *replAdvertise, *advertise, *priority, *writeQuorum, *join, *snapshot, *opsAddr, dur, *slowQuery, opts)
 		return
 	}
-	runStandalone(*addr, *snapshot, *opsAddr, *slowQuery, opts)
+	runStandalone(*addr, *snapshot, *opsAddr, dur, *slowQuery, opts)
+}
+
+// durability groups the -data-dir flag family for plumbing into either mode.
+type durability struct {
+	dir             string
+	fsync           bool
+	checkpointEvery int
 }
 
 func newLogger(level string) *slog.Logger {
@@ -164,19 +194,22 @@ func runPromote(addr string) {
 	log.Printf("node %s promoted: role=%s term=%d applied=%d", info.NodeID, info.Role, info.Term, info.Applied)
 }
 
-func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, priority, writeQuorum int, join, snapshot, opsAddr string, slowQuery time.Duration, opts []service.ServerOption) {
+func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, priority, writeQuorum int, join, snapshot, opsAddr string, dur durability, slowQuery time.Duration, opts []service.ServerOption) {
 	if snapshot != "" {
-		log.Fatal("-snapshot is a standalone-mode flag; replicated nodes bootstrap from the leader")
+		log.Fatal("-snapshot is a standalone-mode flag; replicated nodes bootstrap from the leader (use -data-dir for durability)")
 	}
 	n, err := replica.New(replica.Config{
-		ID:          nodeID,
-		Priority:    priority,
-		Addr:        replAddr,
-		Advertise:   replAdvertise,
-		ServiceAddr: advertise,
-		Join:        join,
-		WriteQuorum: writeQuorum,
-		Logf:        log.Printf,
+		ID:              nodeID,
+		Priority:        priority,
+		Addr:            replAddr,
+		Advertise:       replAdvertise,
+		ServiceAddr:     advertise,
+		Join:            join,
+		WriteQuorum:     writeQuorum,
+		DataDir:         dur.dir,
+		Fsync:           dur.fsync,
+		CheckpointEvery: dur.checkpointEvery,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -195,6 +228,9 @@ func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, prio
 	if writeQuorum > 0 {
 		mode = fmt.Sprintf("write quorum %d", writeQuorum)
 	}
+	if dur.dir != "" {
+		mode += fmt.Sprintf(", durable in %s (fsync=%v)", dur.dir, dur.fsync)
+	}
 	log.Printf("EMEWS service node %s (%s, priority %d, %s) listening on %s, replication on %s",
 		nodeID, role, priority, mode, srv.Addr(), n.Addr())
 
@@ -206,8 +242,11 @@ func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, prio
 	n.Close()
 }
 
-func runStandalone(addr, snapshot, opsAddr string, slowQuery time.Duration, opts []service.ServerOption) {
-	db, err := loadDB(snapshot)
+func runStandalone(addr, snapshot, opsAddr string, dur durability, slowQuery time.Duration, opts []service.ServerOption) {
+	if snapshot != "" && dur.dir != "" {
+		log.Fatal("-snapshot and -data-dir are mutually exclusive; -data-dir persists continuously")
+	}
+	db, err := loadDB(snapshot, dur)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -233,7 +272,19 @@ func runStandalone(addr, snapshot, opsAddr string, slowQuery time.Duration, opts
 	}
 }
 
-func loadDB(path string) (*core.DB, error) {
+func loadDB(path string, dur durability) (*core.DB, error) {
+	if dur.dir != "" {
+		db, err := core.Open(dur.dir, core.OpenOptions{
+			Fsync:           dur.fsync,
+			CheckpointEvery: dur.checkpointEvery,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("opening %s: %w", dur.dir, err)
+		}
+		log.Printf("durable state in %s (fsync=%v)", dur.dir, dur.fsync)
+		return db, nil
+	}
 	if path == "" {
 		return core.NewDB()
 	}

@@ -16,6 +16,13 @@
 // the paper's snapshot/restart fault tolerance (§II-B1c) upgraded to live
 // failover with synchronous durability and follower read scale-out.
 //
+// Every node also runs durable (ReplicaConfig.DataDir): committed writes
+// land in an on-disk WAL with periodic engine checkpoints. The finale stops
+// the WHOLE cluster — no surviving replica anywhere — and restarts it from
+// those directories alone: the new leader recovers its state cold
+// (checkpoint + log replay, no live peer), the follower rejoins from its
+// own recovered position, and every task is still there.
+//
 //	go run ./examples/replication
 package main
 
@@ -25,6 +32,8 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"time"
 
 	"osprey"
@@ -33,10 +42,21 @@ import (
 func main() {
 	log.SetFlags(0)
 
+	// Durable storage: one data dir per node. A real deployment points each
+	// node at its own disk; the directories outlive the processes.
+	base, err := os.MkdirTemp("", "osprey-replication-demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(base)
+	dataDir := func(id string) string { return filepath.Join(base, id) }
+
 	// 1. The initial leader and two followers, in promotion order. Every
 	// node runs with WriteQuorum: 1, so a write is only acknowledged once a
 	// follower holds it.
-	lead, err := osprey.NewReplica(osprey.ReplicaConfig{ID: "n1", Priority: 3, WriteQuorum: 1})
+	lead, err := osprey.NewReplica(osprey.ReplicaConfig{
+		ID: "n1", Priority: 3, WriteQuorum: 1, DataDir: dataDir("n1"),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,6 +70,7 @@ func main() {
 	for i, prio := range []int{2, 1} {
 		n, err := osprey.NewReplica(osprey.ReplicaConfig{
 			ID: fmt.Sprintf("n%d", i+2), Priority: prio, Join: lead.Addr(), WriteQuorum: 1,
+			DataDir: dataDir(fmt.Sprintf("n%d", i+2)),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -190,4 +211,61 @@ func main() {
 	fmt.Printf("cluster_stats from one replica: applied_index=%.0f, plan-cache hits=%.0f\n",
 		stats["osprey_replica_applied_index"],
 		stats["osprey_minisql_plan_cache_hits_total"])
+
+	// 8. Durability finale: stop the ENTIRE cluster — this is the failure
+	// live replication cannot absorb, every replica gone at once — and
+	// restart it from the data directories alone. n2 (the post-failover
+	// leader) recovers cold: newest checkpoint, then WAL-tail replay, no
+	// peer needed. n3 recovers its own local state and rejoins, catching up
+	// from its recovered applied index instead of re-bootstrapping.
+	wantCounts := fmt.Sprint(counts)
+	me.Close()
+	cancel() // stop the pool before its cluster disappears
+	for i := range nodes {
+		srvs[i].Close()
+		nodes[i].Close()
+	}
+	fmt.Println("full cluster stopped; restarting from disk")
+
+	lead2, err := osprey.NewReplica(osprey.ReplicaConfig{
+		ID: "n2", Priority: 2, WriteQuorum: 1, DataDir: dataDir("n2"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lead2.Close()
+	srvLead2, err := osprey.ServeNode(lead2, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srvLead2.Close()
+	fol2, err := osprey.NewReplica(osprey.ReplicaConfig{
+		ID: "n3", Priority: 1, Join: lead2.Addr(), WriteQuorum: 1, DataDir: dataDir("n3"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fol2.Close()
+	srvFol2, err := osprey.ServeNode(fol2, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srvFol2.Close()
+
+	restarted, err := osprey.DialCluster(srvLead2.Addr(), srvFol2.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer restarted.Close()
+	counts2, err := restarted.Counts(context.Background(), "replicated")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fmt.Sprint(counts2) != wantCounts {
+		log.Fatalf("state diverged across full restart: %v != %v", counts2, counts)
+	}
+	if _, err := restarted.GetTask(context.Background(), marker); err != nil {
+		log.Fatalf("quorum marker lost across full restart: %v", err)
+	}
+	fmt.Printf("full-cluster restart from disk: counts intact %v, marker %d intact\n", counts2, marker)
 }

@@ -72,6 +72,7 @@ type DB struct {
 	outN   *notifier // signaled when the output queue grows
 	inN    *notifier // signaled when the input queue grows
 	met    *dbMetrics
+	store  *minisql.Store // durable WAL + checkpoints (nil: in-memory)
 	closed atomic.Bool
 }
 
@@ -88,11 +89,15 @@ func NewDB() (*DB, error) {
 	return &DB{eng: eng, outN: newNotifier(), inN: newNotifier(), met: newDBMetrics(eng)}, nil
 }
 
-// Close shuts the database down, waking all polling queries with ErrClosed.
+// Close shuts the database down, waking all polling queries with ErrClosed
+// and flushing and closing the durable store when one is attached.
 func (db *DB) Close() {
 	db.closed.Store(true)
 	db.outN.notify()
 	db.inN.notify()
+	if db.store != nil {
+		db.store.Close()
+	}
 }
 
 // Snapshot persists the full task-database state (fault tolerance: the
@@ -315,6 +320,9 @@ func (db *DB) Submit(ctx context.Context, expID string, workType int, payload st
 		return SubmitRes{ID: taskID, Token: db.eng.LastLogged()}, nil
 	}
 	db.outN.notify()
+	if err := db.waitDurable(tok); err != nil {
+		return SubmitRes{}, err
+	}
 	return SubmitRes{ID: taskID, Token: tok}, nil
 }
 
@@ -392,6 +400,9 @@ func (db *DB) SubmitBatch(ctx context.Context, expID string, workType int, paylo
 		return BatchRes{IDs: ids, Token: db.eng.LastLogged()}, nil
 	}
 	db.outN.notify()
+	if err := db.waitDurable(tok); err != nil {
+		return BatchRes{}, err
+	}
 	return BatchRes{IDs: ids, Token: tok}, nil
 }
 
@@ -534,6 +545,9 @@ func (db *DB) tryPopTasks(workType, n int, pool string) ([]Task, Token, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	if err := db.waitDurable(tok); err != nil {
+		return nil, 0, err
+	}
 	return tasks, tok, nil
 }
 
@@ -564,6 +578,9 @@ func (db *DB) Report(ctx context.Context, taskID int64, workType int, result str
 		return Res{}, err
 	}
 	db.inN.notify()
+	if err := db.waitDurable(tok); err != nil {
+		return Res{}, err
+	}
 	return Res{Token: tok}, nil
 }
 
@@ -649,6 +666,9 @@ func (db *DB) tryPopResults(ids []int64, max int) ([]TaskResult, Token, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	if err := db.waitDurable(tok); err != nil {
+		return nil, 0, err
+	}
 	return results, tok, nil
 }
 
@@ -732,6 +752,9 @@ func (db *DB) UpdatePriorities(ctx context.Context, ids []int64, priorities []in
 	}
 	// Priorities changed: waiting pools should re-pop in the new order.
 	db.outN.notify()
+	if err := db.waitDurable(tok); err != nil {
+		return CountRes{}, err
+	}
 	return CountRes{Count: updated, Token: tok}, nil
 }
 
@@ -765,6 +788,9 @@ func (db *DB) CancelTasks(ctx context.Context, ids []int64) (CountRes, error) {
 		return nil
 	})
 	if err != nil {
+		return CountRes{}, err
+	}
+	if err := db.waitDurable(tok); err != nil {
 		return CountRes{}, err
 	}
 	return CountRes{Count: canceled, Token: tok}, nil
@@ -808,6 +834,9 @@ func (db *DB) RequeueRunning(ctx context.Context, pool string) (CountRes, error)
 	}
 	if requeued > 0 {
 		db.outN.notify()
+	}
+	if err := db.waitDurable(tok); err != nil {
+		return CountRes{}, err
 	}
 	return CountRes{Count: requeued, Token: tok}, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"osprey/internal/minisql"
 	"osprey/internal/obs"
 )
@@ -40,6 +42,24 @@ func newDBMetrics(eng *minisql.Engine) *dbMetrics {
 		e.Gauge("osprey_db_queue_depth", float64(eng.TableRows("eq_in_q")), "queue", "in")
 	})
 	return m
+}
+
+// bindStore registers the durability metrics of a durable (Open) database:
+// the fsync latency histogram is fed from the store's group-fsync batches,
+// and the log/checkpoint position counters are collected at scrape time.
+func (m *dbMetrics) bindStore(store *minisql.Store) {
+	fsyncH := m.reg.Histogram("osprey_wal_fsync_seconds", obs.DurationBuckets)
+	store.SetFsyncObserver(func(d time.Duration) { fsyncH.Observe(d.Seconds()) })
+	m.reg.CollectFunc(func(e *obs.Emitter) {
+		st := store.Stats()
+		e.Gauge("osprey_wal_segment_count", float64(st.Log.Segments))
+		e.Gauge("osprey_wal_disk_bytes", float64(st.Log.DiskBytes))
+		e.Counter("osprey_wal_fsync_total", float64(st.Log.Fsyncs))
+		e.Counter("osprey_checkpoint_written_total", float64(st.Checkpoints))
+		e.Counter("osprey_checkpoint_truncated_entries_total", float64(st.Log.Truncated))
+		e.Gauge("osprey_checkpoint_age_seconds", st.CheckpointAge.Seconds())
+		e.Gauge("osprey_checkpoint_index", float64(st.CheckpointIndex))
+	})
 }
 
 // Metrics returns the database's metrics registry. Layers above (replica

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"osprey/internal/minisql"
+)
+
+// OpenOptions parameterizes a durable database (Open).
+type OpenOptions struct {
+	// Fsync makes every acknowledged write wait for fsync, surviving
+	// machine/power loss. Off (the default), writes are flushed to the OS —
+	// surviving process death (kill -9) but not the machine — and never
+	// block on the disk.
+	Fsync bool
+	// CheckpointEvery is the automatic checkpoint interval in committed log
+	// entries (0: the minisql default of 10000; negative disables).
+	CheckpointEvery int
+	// SegmentBytes is the WAL segment roll threshold (0: minisql default).
+	SegmentBytes int64
+	// Logf, when set, receives storage lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// durableWaitTimeout bounds how long an acknowledged write waits for its
+// log entry to become durable. Generously above any sane fsync latency: on
+// expiry the write is committed in memory but its durability is unknown, so
+// the caller gets an error (retryable; dedup keys disambiguate).
+const durableWaitTimeout = 15 * time.Second
+
+// Open opens (or creates) a durable EMEWS task database in dir, recovering
+// existing state without any live peer: the newest valid checkpoint is
+// restored, then the WAL tail is replayed through the deterministic
+// ApplyEntry path. Every committed write is appended to the on-disk WAL;
+// periodic checkpoints truncate it. The in-memory NewDB remains the
+// zero-config default — Open is its durable sibling.
+func Open(dir string, opt OpenOptions) (*DB, error) {
+	store, err := minisql.OpenStore(dir, minisql.StoreOptions{
+		Fsync:           opt.Fsync,
+		CheckpointEvery: opt.CheckpointEvery,
+		SegmentBytes:    opt.SegmentBytes,
+		Logf:            opt.Logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eqsql: opening store %s: %w", dir, err)
+	}
+	eng := minisql.NewEngine()
+	restored := false
+	applied, tail, err := store.Recover(func(r io.Reader, idx uint64) error {
+		if err := eng.Restore(r); err != nil {
+			return err
+		}
+		restored = true
+		return nil
+	})
+	if err != nil {
+		store.Close()
+		return nil, fmt.Errorf("eqsql: recovering %s: %w", dir, err)
+	}
+	if restored {
+		// Checkpoints from older versions migrate exactly like restored
+		// snapshots do.
+		if err := migrateSchema(eng); err != nil {
+			store.Close()
+			return nil, err
+		}
+	} else {
+		for _, stmt := range schema {
+			if _, err := eng.Exec(stmt); err != nil {
+				store.Close()
+				return nil, fmt.Errorf("eqsql: creating schema: %w", err)
+			}
+		}
+	}
+	for _, e := range tail {
+		if err := eng.ApplyEntry(e); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("eqsql: replaying WAL entry %d: %w", e.Index, err)
+		}
+	}
+	eng.SetLastLogged(applied)
+	store.SetSnapshotSource(eng.SnapshotLogged)
+
+	db := &DB{eng: eng, outN: newNotifier(), inN: newNotifier(), met: newDBMetrics(eng), store: store}
+	db.met.bindStore(store)
+	// Standalone durable mode: the store assigns commit indexes, giving
+	// every write a real commit token backed by its own on-disk WAL entry.
+	// The replication layer, when present, replaces this hook with its own
+	// (which appends to both the replication WAL and the store).
+	eng.SetCommitHook(func(stmts []minisql.Stmt) uint64 {
+		return store.AppendAssign(stmts)
+	})
+	return db, nil
+}
+
+// Store exposes the node's durable store (nil for an in-memory DB), so the
+// replication layer can persist shipped entries, terms, and snapshots.
+func (db *DB) Store() *minisql.Store { return db.store }
+
+// Checkpoint forces an immediate engine checkpoint (durable DBs only).
+func (db *DB) Checkpoint() error {
+	if db.store == nil {
+		return fmt.Errorf("eqsql: in-memory database has no checkpoints")
+	}
+	return db.store.Checkpoint()
+}
+
+// WriteDurability renders the store's position and checkpoint state as
+// human-readable text for /statusz; a no-op on in-memory databases.
+func (db *DB) WriteDurability(w io.Writer) {
+	if db.store == nil {
+		return
+	}
+	st := db.store.Stats()
+	fmt.Fprintf(w, "durable: true (fsync=%v)\n", db.store.Fsync())
+	fmt.Fprintf(w, "wal: segments=%d bytes=%d range=%d..%d synced=%d\n",
+		st.Log.Segments, st.Log.DiskBytes, st.Log.First, st.Log.Last, st.Log.Synced)
+	fmt.Fprintf(w, "checkpoint: index=%d age=%v pending_entries=%d\n",
+		st.CheckpointIndex, st.CheckpointAge.Round(time.Second), st.SinceCheckpoint)
+	if st.CheckpointErr != nil {
+		fmt.Fprintf(w, "checkpoint_error: %v\n", st.CheckpointErr)
+	}
+}
+
+// waitDurable blocks an acknowledged write until its log entry is durable
+// under the store's fsync policy. In-memory databases and unlogged commits
+// (token 0) return immediately. Because the store's fsync batching shares
+// one fsync across all concurrently blocked writers, N concurrent writes
+// pay ~one fsync, riding the same group-commit trade as replication.
+func (db *DB) waitDurable(tok Token) error {
+	if db.store == nil || tok == 0 {
+		return nil
+	}
+	if err := db.store.WaitDurable(tok, durableWaitTimeout); err != nil {
+		return fmt.Errorf("eqsql: write %d committed but not durable: %w", tok, err)
+	}
+	return nil
+}

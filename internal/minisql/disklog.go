@@ -1,0 +1,760 @@
+package minisql
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Disk log record framing: every LogEntry is one length-prefixed record
+//
+//	uint32 payload length | uint32 CRC-32 (IEEE) of payload | payload
+//
+// with the payload a compact binary encoding of the entry (varint index,
+// statement count, then per statement the SQL text and typed argument
+// values). The CRC is what turns a torn write — the tail of the file the
+// process was killed while appending — into a detectable, truncatable
+// condition instead of silent corruption.
+
+const (
+	recordHeaderSize = 8
+	// maxRecordSize bounds a single decoded record so a corrupt length
+	// prefix cannot ask for a multi-gigabyte allocation.
+	maxRecordSize = 256 << 20
+)
+
+// errCorrupt marks an undecodable record: CRC mismatch, truncated payload,
+// or malformed encoding. During recovery it means "valid log ends here".
+var errCorrupt = errors.New("minisql: corrupt log record")
+
+func encodeEntry(buf []byte, e LogEntry) []byte {
+	buf = binary.AppendUvarint(buf, e.Index)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Stmts)))
+	for _, s := range e.Stmts {
+		buf = binary.AppendUvarint(buf, uint64(len(s.SQL)))
+		buf = append(buf, s.SQL...)
+		buf = binary.AppendUvarint(buf, uint64(len(s.Args)))
+		for _, v := range s.Args {
+			buf = append(buf, byte(v.Kind))
+			switch v.Kind {
+			case KindInt:
+				buf = binary.AppendVarint(buf, v.Int)
+			case KindFloat:
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float))
+			case KindText:
+				buf = binary.AppendUvarint(buf, uint64(len(v.Text)))
+				buf = append(buf, v.Text...)
+			}
+		}
+	}
+	return buf
+}
+
+type entryReader struct{ b []byte }
+
+func (r *entryReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errCorrupt
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *entryReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		return 0, errCorrupt
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *entryReader) bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(r.b)) {
+		return nil, errCorrupt
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func decodeEntry(payload []byte) (LogEntry, error) {
+	r := entryReader{b: payload}
+	var e LogEntry
+	var err error
+	if e.Index, err = r.uvarint(); err != nil {
+		return e, err
+	}
+	nStmts, err := r.uvarint()
+	if err != nil || nStmts > uint64(len(r.b)) {
+		return e, errCorrupt
+	}
+	e.Stmts = make([]Stmt, 0, nStmts)
+	for i := uint64(0); i < nStmts; i++ {
+		var s Stmt
+		slen, err := r.uvarint()
+		if err != nil {
+			return e, err
+		}
+		sql, err := r.bytes(slen)
+		if err != nil {
+			return e, err
+		}
+		s.SQL = string(sql)
+		nArgs, err := r.uvarint()
+		if err != nil || nArgs > uint64(len(r.b))+1 {
+			return e, errCorrupt
+		}
+		if nArgs > 0 {
+			s.Args = make([]Value, 0, nArgs)
+		}
+		for j := uint64(0); j < nArgs; j++ {
+			kb, err := r.bytes(1)
+			if err != nil {
+				return e, err
+			}
+			v := Value{Kind: Kind(kb[0])}
+			switch v.Kind {
+			case KindNull:
+			case KindInt:
+				if v.Int, err = r.varint(); err != nil {
+					return e, err
+				}
+			case KindFloat:
+				fb, err := r.bytes(8)
+				if err != nil {
+					return e, err
+				}
+				v.Float = math.Float64frombits(binary.LittleEndian.Uint64(fb))
+			case KindText:
+				tlen, err := r.uvarint()
+				if err != nil {
+					return e, err
+				}
+				tb, err := r.bytes(tlen)
+				if err != nil {
+					return e, err
+				}
+				v.Text = string(tb)
+			default:
+				return e, errCorrupt
+			}
+			s.Args = append(s.Args, v)
+		}
+		e.Stmts = append(e.Stmts, s)
+	}
+	if len(r.b) != 0 {
+		return e, errCorrupt
+	}
+	return e, nil
+}
+
+// appendRecord frames payload as one record onto buf.
+func appendRecord(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// readRecord decodes the record starting at b. It returns the payload and
+// the total framed size, or errCorrupt when the prefix does not hold one
+// intact record.
+func readRecord(b []byte) (payload []byte, size int, err error) {
+	if len(b) < recordHeaderSize {
+		return nil, 0, errCorrupt
+	}
+	n := binary.LittleEndian.Uint32(b)
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if n > maxRecordSize || uint64(len(b)) < recordHeaderSize+uint64(n) {
+		return nil, 0, errCorrupt
+	}
+	payload = b[recordHeaderSize : recordHeaderSize+n]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, errCorrupt
+	}
+	return payload, recordHeaderSize + int(n), nil
+}
+
+// segment is one on-disk log file. The filename encodes the index of its
+// first record (seg-%020d.wal), so the set of segments orders itself and a
+// scan knows each file's range without reading it.
+type segment struct {
+	path  string
+	first uint64 // index of the first entry in the file
+	last  uint64 // index of the last entry (first-1 while empty)
+	bytes int64
+}
+
+func segmentPath(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%020d.wal", first))
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// DefaultSegmentBytes is the roll threshold for log segments: a segment
+// that grows past it is closed and a new one started, so truncation at a
+// checkpoint reclaims disk file-by-file.
+const DefaultSegmentBytes = 8 << 20
+
+// DiskLog is a segmented on-disk write-ahead log of LogEntries. Appends go
+// to the active (newest) segment through a buffered writer; in fsync mode a
+// background syncer fsyncs on demand, coalescing the fsyncs of concurrent
+// writers blocked in WaitDurable into one — the disk-side twin of the
+// replication layer's group-commit window. Without fsync every append is
+// still flushed to the OS, so the log survives process death (kill -9);
+// fsync additionally survives machine/power loss.
+//
+// Recovery truncates the log at the first torn or corrupt record and drops
+// any later segments: everything before that point is intact by CRC,
+// everything after could not have been acknowledged durable.
+type DiskLog struct {
+	dir      string
+	segBytes int64
+	fsync    bool
+	coalesce time.Duration
+
+	mu       sync.Mutex
+	segs     []segment // all segments, oldest first; last one is active
+	f        *os.File  // active segment file
+	w        *bufio.Writer
+	dirty    []*os.File // rolled-over files with writes not yet fsynced
+	base     uint64     // index before the first retained entry
+	last     uint64     // index of the newest appended entry
+	anchored bool       // last is a contiguity anchor (false: fresh log, any start index)
+	synced   uint64     // durable high-water mark
+	waiters  int        // callers blocked in WaitDurable
+	err      error      // sticky I/O error; fails all later operations
+	closed   bool
+	encBuf   []byte
+
+	syncReq   chan struct{}
+	syncedCh  chan struct{} // closed and replaced when synced advances
+	closeCh   chan struct{}
+	done      chan struct{}
+	truncated uint64 // entries dropped by TruncateTo (for metrics)
+	fsyncs    uint64
+	fsyncObs  func(time.Duration)
+}
+
+// OpenDiskLog opens (or creates) the segmented log in dir, recovering its
+// intact prefix. segBytes <= 0 selects DefaultSegmentBytes; coalesce is the
+// group-fsync window (<= 0 disables coalescing; ignored when fsync is
+// false).
+func OpenDiskLog(dir string, segBytes int64, fsync bool, coalesce time.Duration) (*DiskLog, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &DiskLog{
+		dir: dir, segBytes: segBytes, fsync: fsync, coalesce: coalesce,
+		syncReq:  make(chan struct{}, 1),
+		syncedCh: make(chan struct{}),
+		closeCh:  make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if err := d.scan(); err != nil {
+		return nil, err
+	}
+	go d.syncLoop()
+	return d, nil
+}
+
+// scan rebuilds the segment list from dir, validating every record and
+// truncating at the first invalid one.
+func (d *DiskLog) scan() error {
+	names, err := os.ReadDir(d.dir)
+	if err != nil {
+		return err
+	}
+	var segs []segment
+	for _, de := range names {
+		if first, ok := parseSegmentName(de.Name()); ok {
+			segs = append(segs, segment{path: filepath.Join(d.dir, de.Name()), first: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	valid := true // records so far extend an intact, contiguous prefix
+	for i := range segs {
+		s := &segs[i]
+		s.last = s.first - 1
+		if !valid || (i > 0 && s.first != segs[i-1].last+1) {
+			// Past a corruption point, or not contiguous with the previous
+			// segment: this file's entries are unreachable by replay.
+			valid = false
+			continue
+		}
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return err
+		}
+		off := 0
+		for off < len(data) {
+			payload, size, rerr := readRecord(data[off:])
+			if rerr != nil {
+				valid = false
+				break
+			}
+			e, derr := decodeEntry(payload)
+			if derr != nil || e.Index != s.last+1 {
+				valid = false
+				break
+			}
+			s.last = e.Index
+			off += size
+		}
+		if off < len(data) {
+			// Torn or corrupt tail: keep the intact prefix, drop the rest.
+			if err := os.Truncate(s.path, int64(off)); err != nil {
+				return err
+			}
+		}
+		s.bytes = int64(off)
+	}
+	// Drop unreachable segments (after a corruption/gap) and empty files
+	// from a crash between create and first append.
+	kept := segs[:0]
+	for _, s := range segs {
+		if s.last >= s.first {
+			kept = append(kept, s)
+		} else {
+			os.Remove(s.path)
+		}
+	}
+	d.segs = append([]segment(nil), kept...)
+	if len(d.segs) > 0 {
+		d.base = d.segs[0].first - 1
+		d.last = d.segs[len(d.segs)-1].last
+		d.anchored = true
+	}
+	d.synced = d.last
+	if len(d.segs) > 0 {
+		f, err := os.OpenFile(d.segs[len(d.segs)-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		d.f = f
+		d.w = bufio.NewWriter(f)
+	}
+	return nil
+}
+
+// Append writes entries to the log in order. Entry indexes must be
+// contiguous with the log's newest entry; an empty log accepts any starting
+// index (it continues from a checkpoint). The write reaches the OS before
+// Append returns; call WaitDurable for the fsync guarantee.
+func (d *DiskLog) Append(entries ...LogEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return d.err
+	}
+	if d.closed {
+		return errors.New("minisql: disk log closed")
+	}
+	for _, e := range entries {
+		if d.anchored && e.Index != d.last+1 {
+			return fmt.Errorf("minisql: disk log gap: have %d, appending %d", d.last, e.Index)
+		}
+		if d.f == nil || d.segs[len(d.segs)-1].bytes >= d.segBytes {
+			if err := d.rollLocked(e.Index); err != nil {
+				d.err = err
+				return err
+			}
+		}
+		s := &d.segs[len(d.segs)-1]
+		d.encBuf = appendRecord(d.encBuf[:0], encodeEntry(nil, e))
+		if _, err := d.w.Write(d.encBuf); err != nil {
+			d.err = err
+			return err
+		}
+		s.bytes += int64(len(d.encBuf))
+		s.last = e.Index
+		d.last = e.Index
+		d.anchored = true
+	}
+	if !d.fsync {
+		if err := d.w.Flush(); err != nil {
+			d.err = err
+			return err
+		}
+		d.advanceSyncedLocked(d.last)
+		return nil
+	}
+	select {
+	case d.syncReq <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// rollLocked closes out the active segment (keeping its file handle dirty
+// until the next fsync) and starts a new one whose first entry will be
+// next.
+func (d *DiskLog) rollLocked(next uint64) error {
+	if d.f != nil {
+		if err := d.w.Flush(); err != nil {
+			return err
+		}
+		if d.fsync {
+			d.dirty = append(d.dirty, d.f)
+		} else {
+			d.f.Close()
+		}
+	}
+	f, err := os.OpenFile(segmentPath(d.dir, next), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	d.f = f
+	d.w = bufio.NewWriter(f)
+	d.segs = append(d.segs, segment{path: f.Name(), first: next, last: next - 1})
+	if len(d.segs) == 1 {
+		d.base = next - 1
+	}
+	syncDir(d.dir)
+	return nil
+}
+
+// syncLoop is the group-fsync worker: each request flushes and fsyncs
+// everything appended so far, so N writers blocked in WaitDurable share one
+// fsync. When more than one waiter is blocked it holds the fsync for the
+// coalescing window first — the same trade as the replication layer's
+// group-commit delay: bounded added latency per write, large reduction in
+// fsyncs under concurrency.
+func (d *DiskLog) syncLoop() {
+	defer close(d.done)
+	for {
+		select {
+		case <-d.closeCh:
+			return
+		case <-d.syncReq:
+		}
+		d.mu.Lock()
+		if d.coalesce > 0 && d.waiters > 1 {
+			d.mu.Unlock()
+			time.Sleep(d.coalesce)
+			d.mu.Lock()
+		}
+		target := d.last
+		if d.err != nil || (target <= d.synced && len(d.dirty) == 0) {
+			d.mu.Unlock()
+			continue
+		}
+		if err := d.w.Flush(); err != nil {
+			d.failLocked(err)
+			d.mu.Unlock()
+			continue
+		}
+		files := append([]*os.File(nil), d.dirty...)
+		cur := d.f
+		d.mu.Unlock()
+
+		t0 := time.Now()
+		var serr error
+		for _, f := range files {
+			if err := f.Sync(); err != nil {
+				serr = err
+			}
+			f.Close()
+		}
+		if serr == nil && cur != nil {
+			serr = cur.Sync()
+		}
+		el := time.Since(t0)
+
+		d.mu.Lock()
+		d.dirty = d.dirty[:0]
+		d.fsyncs++
+		if obs := d.fsyncObs; obs != nil {
+			d.mu.Unlock()
+			obs(el)
+			d.mu.Lock()
+		}
+		if serr != nil {
+			d.failLocked(serr)
+		} else {
+			d.advanceSyncedLocked(target)
+		}
+		d.mu.Unlock()
+	}
+}
+
+func (d *DiskLog) advanceSyncedLocked(idx uint64) {
+	if idx > d.synced {
+		d.synced = idx
+		close(d.syncedCh)
+		d.syncedCh = make(chan struct{})
+	}
+}
+
+// failLocked records a sticky I/O error and wakes all durability waiters:
+// a log that cannot persist must fail writes loudly, not ack them.
+func (d *DiskLog) failLocked(err error) {
+	if d.err == nil {
+		d.err = fmt.Errorf("minisql: disk log: %w", err)
+	}
+	close(d.syncedCh)
+	d.syncedCh = make(chan struct{})
+}
+
+// WaitDurable blocks until the entry at idx is durable: fsynced in fsync
+// mode, flushed to the OS otherwise (where it returns immediately).
+func (d *DiskLog) WaitDurable(idx uint64, timeout time.Duration) error {
+	var timer *time.Timer
+	d.mu.Lock()
+	d.waiters++
+	defer func() {
+		d.waiters--
+		d.mu.Unlock()
+	}()
+	for {
+		if d.err != nil {
+			return d.err
+		}
+		if d.synced >= idx {
+			return nil
+		}
+		if d.closed {
+			return errors.New("minisql: disk log closed")
+		}
+		ch := d.syncedCh
+		select {
+		case d.syncReq <- struct{}{}:
+		default:
+		}
+		d.mu.Unlock()
+		if timer == nil {
+			timer = time.NewTimer(timeout)
+			defer timer.Stop()
+		}
+		select {
+		case <-ch:
+			d.mu.Lock()
+		case <-timer.C:
+			d.mu.Lock()
+			return fmt.Errorf("minisql: entry %d not durable within %v", idx, timeout)
+		}
+	}
+}
+
+// Entries returns a copy of all entries with index > after, reading them
+// back from the segment files. ok is false when after precedes the
+// truncated base — the caller needs a checkpoint instead.
+func (d *DiskLog) Entries(after uint64) (out []LogEntry, ok bool, err error) {
+	d.mu.Lock()
+	if d.err != nil {
+		err = d.err
+		d.mu.Unlock()
+		return nil, false, err
+	}
+	if after < d.base {
+		d.mu.Unlock()
+		return nil, false, nil
+	}
+	if after >= d.last {
+		d.mu.Unlock()
+		return nil, true, nil
+	}
+	if d.w != nil {
+		if ferr := d.w.Flush(); ferr != nil {
+			d.err = ferr
+			d.mu.Unlock()
+			return nil, false, ferr
+		}
+	}
+	segs := append([]segment(nil), d.segs...)
+	d.mu.Unlock()
+
+	for _, s := range segs {
+		if s.last <= after {
+			continue
+		}
+		data, rerr := os.ReadFile(s.path)
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		off := 0
+		for off < len(data) {
+			payload, size, rerr := readRecord(data[off:])
+			if rerr != nil {
+				return nil, false, fmt.Errorf("%w: segment %s offset %d", errCorrupt, s.path, off)
+			}
+			e, derr := decodeEntry(payload)
+			if derr != nil {
+				return nil, false, derr
+			}
+			if e.Index > after {
+				out = append(out, e)
+			}
+			off += size
+		}
+	}
+	return out, true, nil
+}
+
+// TruncateTo deletes whole segments whose entries all have index <= upTo,
+// bounding disk use once a checkpoint covers them. The active segment is
+// never deleted. Returns the number of entries dropped.
+func (d *DiskLog) TruncateTo(upTo uint64) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var dropped uint64
+	for len(d.segs) > 1 && d.segs[0].last <= upTo {
+		s := d.segs[0]
+		os.Remove(s.path)
+		dropped += s.last - s.first + 1
+		d.segs = d.segs[1:]
+	}
+	if len(d.segs) > 0 {
+		d.base = d.segs[0].first - 1
+	}
+	d.truncated += dropped
+	if dropped > 0 {
+		syncDir(d.dir)
+	}
+	return dropped
+}
+
+// Reset discards the entire log and restarts it after base — used when a
+// snapshot install replaces local state wholesale, making the old entries
+// meaningless.
+func (d *DiskLog) Reset(base uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f != nil {
+		d.w.Flush()
+		d.f.Close()
+		d.f, d.w = nil, nil
+	}
+	for _, f := range d.dirty {
+		f.Close()
+	}
+	d.dirty = d.dirty[:0]
+	for _, s := range d.segs {
+		os.Remove(s.path)
+	}
+	d.segs = nil
+	d.base, d.last, d.synced = base, base, base
+	d.anchored = true
+	d.err = nil
+	syncDir(d.dir)
+	return nil
+}
+
+// DiskLogStats is the log's metrics snapshot.
+type DiskLogStats struct {
+	Segments  int
+	DiskBytes int64
+	First     uint64 // index of the oldest retained entry (0 when empty)
+	Last      uint64
+	Synced    uint64
+	Truncated uint64 // entries dropped by checkpoint truncation
+	Fsyncs    uint64
+}
+
+// Stats snapshots the log's size and position counters.
+func (d *DiskLog) Stats() DiskLogStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := DiskLogStats{
+		Segments: len(d.segs), Last: d.last, Synced: d.synced,
+		Truncated: d.truncated, Fsyncs: d.fsyncs,
+	}
+	for _, s := range d.segs {
+		st.DiskBytes += s.bytes
+		if st.First == 0 && s.last >= s.first {
+			st.First = s.first
+		}
+	}
+	return st
+}
+
+// SetFsyncObserver registers fn to receive the duration of every fsync
+// batch (the obs bridge; minisql itself stays dependency-free).
+func (d *DiskLog) SetFsyncObserver(fn func(time.Duration)) {
+	d.mu.Lock()
+	d.fsyncObs = fn
+	d.mu.Unlock()
+}
+
+// LastIndex returns the index of the newest appended entry.
+func (d *DiskLog) LastIndex() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.last
+}
+
+// Close flushes, fsyncs (in fsync mode), and closes the log.
+func (d *DiskLog) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	close(d.closeCh)
+	var err error
+	if d.w != nil {
+		err = d.w.Flush()
+	}
+	files := append([]*os.File(nil), d.dirty...)
+	d.dirty = nil
+	f := d.f
+	d.f, d.w = nil, nil
+	close(d.syncedCh)
+	d.syncedCh = make(chan struct{})
+	d.mu.Unlock()
+	<-d.done
+	for _, df := range files {
+		if d.fsync {
+			df.Sync()
+		}
+		df.Close()
+	}
+	if f != nil {
+		if d.fsync {
+			if serr := f.Sync(); err == nil {
+				err = serr
+			}
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so file creates/renames/removes inside it are
+// durable. Best effort: not all filesystems support directory fsync.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}

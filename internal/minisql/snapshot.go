@@ -93,6 +93,16 @@ func (e *Engine) SnapshotWith(w io.Writer, observe func()) error {
 	return nil
 }
 
+// SnapshotLogged serializes the database like Snapshot and returns the
+// commit high-water mark (LastLogged) captured under the same engine lock
+// hold: the exact log index the snapshot reflects, with no commit able to
+// land in between. It is the checkpoint writer's snapshot source.
+func (e *Engine) SnapshotLogged(w io.Writer) (uint64, error) {
+	var idx uint64
+	err := e.SnapshotWith(w, func() { idx = e.lastLogged })
+	return idx, err
+}
+
 // Restore replaces the database contents with a snapshot produced by
 // Snapshot.
 func (e *Engine) Restore(r io.Reader) error {

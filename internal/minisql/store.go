@@ -1,0 +1,501 @@
+package minisql
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store is the durable storage spine of one node: a segmented on-disk
+// statement log (DiskLog) plus periodic engine checkpoints, in one data
+// directory:
+//
+//	<dir>/wal/seg-<firstIndex>.wal   log segments (CRC-framed entries)
+//	<dir>/checkpoint-<index>.snap    engine snapshots (atomic tmp+rename)
+//	<dir>/meta.json                  node metadata (leadership term)
+//
+// Checkpoints bound both disk and replay time: after writing checkpoint N
+// the log is truncated at the *previous* checkpoint's index, so the two
+// newest checkpoints are always recoverable — if the newest file turns out
+// unreadable, recovery falls back to the older one and replays forward.
+// Recovery = restore the newest valid checkpoint, then replay the log tail
+// with index > checkpoint through the engine's deterministic ApplyEntry.
+type Store struct {
+	dir string
+	opt StoreOptions
+	log *DiskLog
+
+	mu         sync.Mutex
+	term       uint64
+	checkIndex uint64    // index of the newest on-disk checkpoint
+	prevIndex  uint64    // index of the retained previous checkpoint
+	checkAt    time.Time // when the newest checkpoint was written (or recovery time)
+	sinceCheck uint64    // entries appended since the newest checkpoint
+	source     func(w io.Writer) (uint64, error)
+	written    uint64 // checkpoints written (metrics)
+	cpErr      error  // last checkpoint failure (surfaced in stats/status)
+
+	ckptReq chan struct{}
+	closeCh chan struct{}
+	done    chan struct{}
+	closed  bool
+}
+
+// StoreOptions parameterizes a Store.
+type StoreOptions struct {
+	// Fsync makes durability acknowledgements wait for fsync (survives
+	// power loss). Off, appends still reach the OS before WaitDurable
+	// returns, which survives process death but not machine loss.
+	Fsync bool
+	// CheckpointEvery is how many appended entries trigger an automatic
+	// checkpoint (0 selects the default 10000; negative disables automatic
+	// checkpoints).
+	CheckpointEvery int
+	// SegmentBytes is the log segment roll threshold (0: DefaultSegmentBytes).
+	SegmentBytes int64
+	// CoalesceDelay is the group-fsync window: with more than one writer
+	// blocked on durability the fsync is held this long so they share one.
+	// 0 selects the default 200µs; negative disables coalescing.
+	CoalesceDelay time.Duration
+	// Logf, when set, receives storage lifecycle messages (checkpoint
+	// failures, recovery notes).
+	Logf func(format string, args ...any)
+}
+
+// DefaultCheckpointEvery is the automatic checkpoint interval in log
+// entries.
+const DefaultCheckpointEvery = 10000
+
+type storeMeta struct {
+	Version int
+	Term    uint64
+}
+
+// OpenStore opens (or creates) the data directory and its log. The caller
+// drives recovery with Recover, then installs a snapshot source with
+// SetSnapshotSource to enable checkpoints.
+func OpenStore(dir string, opt StoreOptions) (*Store, error) {
+	if opt.CheckpointEvery == 0 {
+		opt.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if opt.CoalesceDelay == 0 {
+		opt.CoalesceDelay = 200 * time.Microsecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	log, err := OpenDiskLog(filepath.Join(dir, "wal"), opt.SegmentBytes, opt.Fsync, opt.CoalesceDelay)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir: dir, opt: opt, log: log,
+		checkAt: time.Now(),
+		ckptReq: make(chan struct{}, 1),
+		closeCh: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if data, err := os.ReadFile(s.metaPath()); err == nil {
+		var m storeMeta
+		if err := json.Unmarshal(data, &m); err == nil {
+			s.term = m.Term
+		}
+	}
+	cps := s.checkpointFiles()
+	if len(cps) > 0 {
+		s.checkIndex = cps[0].Index
+		if len(cps) > 1 {
+			s.prevIndex = cps[1].Index
+		}
+	}
+	go s.checkpointLoop()
+	return s, nil
+}
+
+func (s *Store) metaPath() string { return filepath.Join(s.dir, "meta.json") }
+
+// CheckpointRef names one on-disk checkpoint file.
+type CheckpointRef struct {
+	Index uint64
+	Path  string
+}
+
+// checkpointFiles lists the on-disk checkpoints, newest first.
+func (s *Store) checkpointFiles() []CheckpointRef {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []CheckpointRef
+	for _, de := range ents {
+		name := de.Name()
+		if !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "checkpoint-"), ".snap"), 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, CheckpointRef{Index: idx, Path: filepath.Join(s.dir, name)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index > out[j].Index })
+	return out
+}
+
+func checkpointPath(dir string, idx uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%020d.snap", idx))
+}
+
+// Recover rebuilds engine state from disk: it restores the newest readable
+// checkpoint via restore (which must leave the target untouched on decode
+// failure, as Engine.Restore does) and returns the log tail to replay plus
+// the resulting applied index. A fresh directory returns (0, nil, nil).
+func (s *Store) Recover(restore func(r io.Reader, index uint64) error) (applied uint64, tail []LogEntry, err error) {
+	var restored uint64
+	var lastErr error
+	for _, cp := range s.checkpointFiles() {
+		f, err := os.Open(cp.Path)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rerr := restore(f, cp.Index)
+		f.Close()
+		if rerr != nil {
+			lastErr = rerr
+			s.logf("checkpoint %s unreadable, falling back: %v", cp.Path, rerr)
+			continue
+		}
+		restored = cp.Index
+		break
+	}
+	if restored == 0 && lastErr != nil {
+		// No readable checkpoint. Recovery can still succeed below when the
+		// log reaches all the way back to genesis; otherwise Entries reports
+		// the gap and the open fails.
+		s.logf("no readable checkpoint, attempting full-log replay: %v", lastErr)
+	}
+	// The fsynced checkpoint can be ahead of a non-fsynced log tail lost in
+	// a crash: restart the log at the checkpoint so appends continue from
+	// the recovered state.
+	if s.log.LastIndex() < restored {
+		if err := s.log.Reset(restored); err != nil {
+			return 0, nil, err
+		}
+	}
+	tail, ok, err := s.log.Entries(restored)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !ok {
+		return 0, nil, fmt.Errorf("minisql: log truncated past checkpoint %d: unrecoverable gap", restored)
+	}
+	applied = restored
+	for _, e := range tail {
+		if e.Index != applied+1 {
+			return 0, nil, fmt.Errorf("minisql: log gap during recovery: have %d, next entry %d", applied, e.Index)
+		}
+		applied = e.Index
+	}
+	s.mu.Lock()
+	s.checkIndex = restored
+	s.checkAt = time.Now()
+	s.sinceCheck = uint64(len(tail))
+	s.mu.Unlock()
+	return applied, tail, nil
+}
+
+// SetSnapshotSource installs the engine serializer used by checkpoints: it
+// must write a Restore-compatible snapshot and return the log index the
+// snapshot reflects (Engine.SnapshotLogged).
+func (s *Store) SetSnapshotSource(fn func(w io.Writer) (uint64, error)) {
+	s.mu.Lock()
+	s.source = fn
+	s.mu.Unlock()
+}
+
+// Append records committed entries in the log and schedules a checkpoint
+// when enough have accumulated.
+func (s *Store) Append(entries ...LogEntry) error {
+	if err := s.log.Append(entries...); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sinceCheck += uint64(len(entries))
+	trigger := s.opt.CheckpointEvery > 0 && s.sinceCheck >= uint64(s.opt.CheckpointEvery) && s.source != nil
+	s.mu.Unlock()
+	if trigger {
+		select {
+		case s.ckptReq <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// AppendAssign assigns the next log index to stmts and appends the entry:
+// the commit hook of a durable standalone database, where the store itself
+// is the index authority. Returns 0 on failure (the commit stays in memory;
+// the caller's durability wait surfaces the error).
+func (s *Store) AppendAssign(stmts []Stmt) uint64 {
+	idx := s.log.LastIndex() + 1
+	if err := s.Append(LogEntry{Index: idx, Stmts: stmts}); err != nil {
+		return 0
+	}
+	return idx
+}
+
+// WaitDurable blocks until the entry at idx is durable under the store's
+// fsync policy.
+func (s *Store) WaitDurable(idx uint64, timeout time.Duration) error {
+	return s.log.WaitDurable(idx, timeout)
+}
+
+// EntriesAfter returns the retained log entries with index > after, or an
+// error when the log no longer reaches back that far (truncated by a
+// checkpoint) — the caller needs a checkpoint instead.
+func (s *Store) EntriesAfter(after uint64) ([]LogEntry, error) {
+	out, ok, err := s.log.Entries(after)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("minisql: log entries after %d truncated by checkpoint", after)
+	}
+	return out, nil
+}
+
+// Checkpoint writes an engine snapshot to disk (write-tmp, fsync, rename),
+// then truncates the log at the previous checkpoint's index. Serialization
+// runs outside the store lock: the snapshot source takes the engine lock,
+// and commit hooks holding the engine lock append here.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	src := s.source
+	s.mu.Unlock()
+	if src == nil {
+		return errors.New("minisql: no snapshot source installed")
+	}
+	tmp := filepath.Join(s.dir, "checkpoint.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return s.noteCheckpoint(err)
+	}
+	idx, err := src(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return s.noteCheckpoint(err)
+	}
+	s.mu.Lock()
+	cur := s.checkIndex
+	s.mu.Unlock()
+	if idx <= cur {
+		os.Remove(tmp)
+		return nil // nothing new committed since the last checkpoint
+	}
+	if err := os.Rename(tmp, checkpointPath(s.dir, idx)); err != nil {
+		os.Remove(tmp)
+		return s.noteCheckpoint(err)
+	}
+	syncDir(s.dir)
+
+	s.mu.Lock()
+	prev := s.checkIndex
+	s.checkIndex = idx
+	s.prevIndex = prev
+	s.checkAt = time.Now()
+	s.sinceCheck = 0
+	s.written++
+	s.cpErr = nil
+	s.mu.Unlock()
+
+	// Keep the new checkpoint and its predecessor; delete anything older,
+	// and truncate the log at the predecessor so both stay replayable.
+	for _, cp := range s.checkpointFiles() {
+		if cp.Index != idx && cp.Index != prev {
+			os.Remove(cp.Path)
+		}
+	}
+	if prev > 0 {
+		s.log.TruncateTo(prev)
+	}
+	return nil
+}
+
+func (s *Store) noteCheckpoint(err error) error {
+	s.mu.Lock()
+	s.cpErr = err
+	s.mu.Unlock()
+	s.logf("checkpoint failed: %v", err)
+	return err
+}
+
+// checkpointLoop services automatic checkpoint requests from Append.
+func (s *Store) checkpointLoop() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.closeCh:
+			return
+		case <-s.ckptReq:
+		}
+		s.Checkpoint()
+	}
+}
+
+// InstallSnapshot atomically replaces all durable state with snapshot data
+// at the given log index — the disk half of a follower snapshot bootstrap.
+// Old checkpoints and the whole log are discarded: they belong to a history
+// the install just replaced.
+func (s *Store) InstallSnapshot(data []byte, idx uint64) error {
+	tmp := filepath.Join(s.dir, "checkpoint.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if s.opt.Fsync {
+		if f, err := os.OpenFile(tmp, os.O_WRONLY, 0o644); err == nil {
+			f.Sync()
+			f.Close()
+		}
+	}
+	if err := os.Rename(tmp, checkpointPath(s.dir, idx)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(s.dir)
+	for _, cp := range s.checkpointFiles() {
+		if cp.Index != idx {
+			os.Remove(cp.Path)
+		}
+	}
+	if err := s.log.Reset(idx); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.checkIndex = idx
+	s.prevIndex = 0
+	s.checkAt = time.Now()
+	s.sinceCheck = 0
+	s.written++
+	s.mu.Unlock()
+	return nil
+}
+
+// CheckpointFile returns the newest on-disk checkpoint's path and index,
+// for file-streamed snapshot sends. ok is false when none exists yet.
+func (s *Store) CheckpointFile() (path string, idx uint64, ok bool) {
+	s.mu.Lock()
+	idx = s.checkIndex
+	s.mu.Unlock()
+	if idx == 0 {
+		return "", 0, false
+	}
+	return checkpointPath(s.dir, idx), idx, true
+}
+
+// Term returns the persisted leadership term.
+func (s *Store) Term() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.term
+}
+
+// SetTerm persists a leadership term change (atomic tmp+rename). No-op when
+// the term is unchanged, so heartbeat-path callers stay cheap.
+func (s *Store) SetTerm(t uint64) error {
+	s.mu.Lock()
+	if t == s.term {
+		s.mu.Unlock()
+		return nil
+	}
+	s.term = t
+	s.mu.Unlock()
+	data, err := json.Marshal(storeMeta{Version: 1, Term: t})
+	if err != nil {
+		return err
+	}
+	tmp := s.metaPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if s.opt.Fsync {
+		if f, err := os.OpenFile(tmp, os.O_WRONLY, 0o644); err == nil {
+			f.Sync()
+			f.Close()
+		}
+	}
+	if err := os.Rename(tmp, s.metaPath()); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(s.dir)
+	return nil
+}
+
+// LastIndex returns the index of the newest entry in the log.
+func (s *Store) LastIndex() uint64 { return s.log.LastIndex() }
+
+// Fsync reports whether the store acknowledges durability only after fsync.
+func (s *Store) Fsync() bool { return s.opt.Fsync }
+
+// SetFsyncObserver forwards fsync durations to fn (the obs bridge).
+func (s *Store) SetFsyncObserver(fn func(time.Duration)) { s.log.SetFsyncObserver(fn) }
+
+// StoreStats is the store's metrics snapshot.
+type StoreStats struct {
+	Log             DiskLogStats
+	CheckpointIndex uint64
+	CheckpointAge   time.Duration
+	Checkpoints     uint64 // checkpoints written since open
+	SinceCheckpoint uint64 // entries appended since the newest checkpoint
+	CheckpointErr   error
+}
+
+// Stats snapshots the store's counters for scrape-time collection.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	st := StoreStats{
+		CheckpointIndex: s.checkIndex,
+		CheckpointAge:   time.Since(s.checkAt),
+		Checkpoints:     s.written,
+		SinceCheckpoint: s.sinceCheck,
+		CheckpointErr:   s.cpErr,
+	}
+	s.mu.Unlock()
+	st.Log = s.log.Stats()
+	return st
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf("store %s: "+format, append([]any{s.dir}, args...)...)
+	}
+}
+
+// Close stops the checkpoint loop and closes the log (final flush/fsync).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.closeCh)
+	<-s.done
+	return s.log.Close()
+}

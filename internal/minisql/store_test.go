@@ -1,0 +1,243 @@
+package minisql
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+)
+
+// fakeSource is a stand-in engine snapshot: it writes a recognizable payload
+// carrying the index the caller set, which recovery reads back and verifies.
+type fakeSource struct{ idx uint64 }
+
+func (f *fakeSource) snapshot(w io.Writer) (uint64, error) {
+	_, err := fmt.Fprintf(w, "snap@%d", f.idx)
+	return f.idx, err
+}
+
+func openTestStore(t *testing.T, dir string, opt StoreOptions) *Store {
+	t.Helper()
+	if opt.CheckpointEvery == 0 {
+		opt.CheckpointEvery = -1 // explicit checkpoints only, unless asked
+	}
+	s, err := OpenStore(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreCheckpointTruncateRecover(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{SegmentBytes: 512})
+	src := &fakeSource{}
+	s.SetSnapshotSource(src.snapshot)
+	for i := uint64(1); i <= 50; i++ {
+		if err := s.Append(testEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.idx = 50
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	for i := uint64(51); i <= 60; i++ {
+		if err := s.Append(testEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second checkpoint truncates the log at the first one's index.
+	src.idx = 60
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.CheckpointIndex != 60 {
+		t.Fatalf("checkpoint index = %d, want 60", st.CheckpointIndex)
+	}
+	if st.Log.Truncated == 0 {
+		t.Fatal("second checkpoint truncated nothing")
+	}
+	if err := s.Append(testEntry(61)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	var restoredIdx uint64
+	var restoredBody string
+	applied, tail, err := s2.Recover(func(r io.Reader, idx uint64) error {
+		b, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		restoredIdx, restoredBody = idx, string(b)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if restoredIdx != 60 || restoredBody != "snap@60" {
+		t.Fatalf("restored checkpoint %d body %q", restoredIdx, restoredBody)
+	}
+	if applied != 61 {
+		t.Fatalf("applied = %d, want 61 (checkpoint 60 + replayed tail)", applied)
+	}
+	if len(tail) != 1 || tail[0].Index != 61 {
+		t.Fatalf("tail = %+v, want [entry 61]", tail)
+	}
+}
+
+func TestStoreRecoverFallsBackToOlderCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	src := &fakeSource{}
+	s.SetSnapshotSource(src.snapshot)
+	for i := uint64(1); i <= 20; i++ {
+		if err := s.Append(testEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.idx = 10
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	src.idx = 20
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	applied, tail, err := s2.Recover(func(r io.Reader, idx uint64) error {
+		b, _ := io.ReadAll(r)
+		if want := fmt.Sprintf("snap@%d", idx); string(b) != want {
+			// Simulate the newest checkpoint being unreadable garbage.
+			return fmt.Errorf("bad payload %q", b)
+		}
+		if idx == 20 {
+			return fmt.Errorf("newest checkpoint corrupt (simulated)")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("recover with corrupt newest: %v", err)
+	}
+	if applied != 20 {
+		t.Fatalf("applied = %d, want 20 (checkpoint 10 + log tail)", applied)
+	}
+	if len(tail) != 10 || tail[0].Index != 11 || tail[9].Index != 20 {
+		t.Fatalf("tail after fallback spans %d entries", len(tail))
+	}
+}
+
+func TestStoreInstallSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	defer s.Close()
+	for i := uint64(1); i <= 5; i++ {
+		if err := s.Append(testEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.InstallSnapshot([]byte("snap@100"), 100); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	path, idx, ok := s.CheckpointFile()
+	if !ok || idx != 100 {
+		t.Fatalf("CheckpointFile = %q %d %v", path, idx, ok)
+	}
+	if b, err := os.ReadFile(path); err != nil || string(b) != "snap@100" {
+		t.Fatalf("checkpoint file %q err %v", b, err)
+	}
+	if got := s.LastIndex(); got != 100 {
+		t.Fatalf("log reset to %d, want 100", got)
+	}
+	// The follower continues appending right after the installed index.
+	if err := s.Append(testEntry(101)); err != nil {
+		t.Fatalf("append after install: %v", err)
+	}
+	tail, err := s.EntriesAfter(100)
+	if err != nil || len(tail) != 1 || tail[0].Index != 101 {
+		t.Fatalf("EntriesAfter(100) = %+v err %v", tail, err)
+	}
+}
+
+func TestStoreTermPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	if got := s.Term(); got != 0 {
+		t.Fatalf("fresh term = %d", got)
+	}
+	if err := s.SetTerm(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	if got := s2.Term(); got != 3 {
+		t.Fatalf("term after reopen = %d, want 3", got)
+	}
+}
+
+func TestStoreAutomaticCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{CheckpointEvery: 8})
+	defer s.Close()
+	src := &fakeSource{}
+	s.SetSnapshotSource(src.snapshot)
+	for i := uint64(1); i <= 20; i++ {
+		src.idx = i
+		if err := s.Append(testEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().Checkpoints > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no automatic checkpoint after exceeding CheckpointEvery")
+}
+
+func TestStoreEntriesAfterTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{SegmentBytes: 256})
+	defer s.Close()
+	src := &fakeSource{}
+	s.SetSnapshotSource(src.snapshot)
+	for i := uint64(1); i <= 40; i++ {
+		if err := s.Append(testEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.idx = 20
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	src.idx = 40
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Log.Truncated == 0 {
+		t.Skip("segments did not roll; nothing truncated")
+	}
+	if _, err := s.EntriesAfter(0); err == nil {
+		t.Fatal("EntriesAfter(0) succeeded past truncation")
+	}
+	if tail, err := s.EntriesAfter(20); err != nil || len(tail) != 20 {
+		t.Fatalf("EntriesAfter(20): n=%d err=%v", len(tail), err)
+	}
+}

@@ -169,9 +169,24 @@ func (n *Node) followOnce(addr string, joined *bool, forceSnap bool) (redirect s
 	}
 }
 
+// ack reports this follower's applied high-water mark back to the leader.
+// On a durable node with fsync enabled the ack waits until that index is
+// actually on disk first — ack-after-fsync ordering, so the leader's quorum
+// watermark only ever counts follower state that survives a crash. One wait
+// covers a whole batched entries frame, riding the same group-commit
+// economics as the leader's fsync. A follower whose disk cannot keep its
+// promise drops the stream instead of lying.
 func (n *Node) ack(enc *gob.Encoder, conn net.Conn) {
+	applied := n.Applied()
+	if n.store != nil && n.store.Fsync() {
+		if err := n.store.WaitDurable(applied, 4*n.cfg.ElectionTimeout); err != nil {
+			n.logf("durability wait before ack of %d: %v", applied, err)
+			conn.Close()
+			return
+		}
+	}
 	conn.SetWriteDeadline(time.Now().Add(n.cfg.ElectionTimeout))
-	enc.Encode(&frame{Type: frameAck, Applied: n.Applied()})
+	enc.Encode(&frame{Type: frameAck, Applied: applied})
 }
 
 // applySnapshot bootstraps the local database from the leader's snapshot and
@@ -195,6 +210,14 @@ func (n *Node) applySnapshot(f frame) error {
 	n.appliedCh = make(chan struct{})
 	n.mu.Unlock()
 	n.eng.SetLastLogged(f.SnapIndex)
+	if n.store != nil {
+		// Persist the bootstrap: the snapshot becomes the local checkpoint
+		// and the old log (a replaced history) is discarded, so a restart
+		// recovers from this point instead of re-bootstrapping.
+		if err := n.store.InstallSnapshot(f.Snapshot, f.SnapIndex); err != nil {
+			return fmt.Errorf("replica: persisting snapshot: %w", err)
+		}
+	}
 	n.met.snapsInstall.Inc()
 	n.logf("bootstrapped from snapshot at index %d (term %d)", f.SnapIndex, f.Term)
 	return nil
@@ -214,6 +237,13 @@ func (n *Node) applyOne(ent minisql.LogEntry) (applied bool, err error) {
 	}
 	if err := n.eng.ApplyEntry(ent); err != nil {
 		return false, fmt.Errorf("%w: %v", errApply, err)
+	}
+	if n.store != nil {
+		// Persist the applied entry so a restarted follower re-joins from
+		// its own recovered position instead of taking a fresh snapshot.
+		if err := n.store.Append(ent); err != nil {
+			n.logf("disk WAL append %d: %v", ent.Index, err)
+		}
 	}
 	n.met.entriesApp.Inc()
 	n.setApplied(ent.Index)
@@ -268,6 +298,14 @@ func (n *Node) adoptView(f frame) error {
 	self := n.selfPeerLocked()
 	peers[self.ID] = self
 	n.peers = peers
+	// Persist an adopted term change so a restart rejoins at the cluster's
+	// term (SetTerm no-ops when unchanged, keeping the heartbeat path free
+	// of file I/O).
+	if n.store != nil {
+		if err := n.store.SetTerm(f.Term); err != nil {
+			n.logf("persisting term %d: %v", f.Term, err)
+		}
+	}
 	return nil
 }
 

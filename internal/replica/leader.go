@@ -3,6 +3,7 @@ package replica
 import (
 	"encoding/gob"
 	"net"
+	"os"
 	"sync/atomic"
 	"time"
 
@@ -99,25 +100,50 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 
 	// A follower resuming within this leader's own term whose position the
 	// WAL still holds catches up incrementally: same term means its applied
-	// prefix came from this very log, so no re-bootstrap is needed. Anything
-	// else (fresh join, term change, compacted-away position) gets a
-	// snapshot, which makes the leader's state authoritative after failover
-	// and heals follower divergence wholesale.
+	// prefix came from this very log, so no re-bootstrap is needed. When the
+	// in-memory WAL has compacted past the follower's position, a durable
+	// leader reaches further back through its on-disk log (truncated only at
+	// checkpoints) and serves the gap from disk. Anything else (fresh join,
+	// term change, position before the retained log) gets a snapshot, which
+	// makes the leader's state authoritative after failover and heals
+	// follower divergence wholesale — streamed from the on-disk checkpoint
+	// file when one covers it, avoiding a full in-memory serialize under the
+	// engine lock.
 	resume := false
 	var snap []byte
 	var startIdx uint64
+	var diskTail []minisql.LogEntry
 	if join.Term == term && join.From > 0 {
 		if _, ok := w.EntriesSince(join.From); ok {
 			resume = true
 			startIdx = join.From
+		} else if tail, last, ok := n.diskEntries(w, join.From); ok {
+			resume = true
+			startIdx = join.From
+			diskTail = tail
+			n.logf("follower %s resuming via disk log %d..%d", join.Peer.ID, join.From+1, last)
 		}
 	}
 	if !resume {
-		var err error
-		snap, startIdx, err = n.snapshotAt(w)
-		if err != nil {
-			n.logf("join %s: snapshot: %v", join.Peer.ID, err)
-			return
+		if n.store != nil {
+			if path, cidx, ok := n.store.CheckpointFile(); ok {
+				// File-streamed bootstrap: ship the checkpoint bytes as the
+				// snapshot if the disk log still holds everything after it.
+				if data, err := os.ReadFile(path); err == nil {
+					if tail, _, ok := n.diskEntries(w, cidx); ok {
+						snap, startIdx, diskTail = data, cidx, tail
+						n.met.snapsFile.Inc()
+					}
+				}
+			}
+		}
+		if snap == nil {
+			var err error
+			snap, startIdx, err = n.snapshotAt(w)
+			if err != nil {
+				n.logf("join %s: snapshot: %v", join.Peer.ID, err)
+				return
+			}
 		}
 	}
 
@@ -157,6 +183,25 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 		n.logf("follower %s joined at index %d", join.Peer.ID, startIdx)
 	}
 
+	// Entries served from the disk log (positions the in-memory WAL has
+	// compacted away) ship before the live stream takes over. The follower's
+	// apply path skips anything at or below its applied index, so overlap
+	// with the memory stream is harmless.
+	pos := startIdx
+	for start := 0; start < len(diskTail); start += maxBatchEntries {
+		end := start + maxBatchEntries
+		if end > len(diskTail) {
+			end = len(diskTail)
+		}
+		batch := diskTail[start:end]
+		fol.conn.SetWriteDeadline(time.Now().Add(n.snapshotTimeout()))
+		if err := gobSend(fol, frame{Type: frameEntries, Term: term, Entries: batch}); err != nil {
+			return
+		}
+		n.met.batchEntries.Observe(float64(len(batch)))
+		pos = batch[len(batch)-1].Index
+	}
+
 	// Acks flow back on the same connection; reading them also detects a
 	// dead follower, whose conn we close to unblock the sender below. The
 	// first ack waits out the follower's snapshot restore; later ones are
@@ -190,7 +235,31 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 		}
 	}()
 
-	n.streamTo(fol, w, startIdx)
+	n.streamTo(fol, w, pos)
+}
+
+// diskEntries fetches the log entries after `from` out of the durable store
+// for a follower whose position the in-memory WAL has compacted away. The
+// range is only usable when the live WAL still covers everything past the
+// disk tail's last index — otherwise there is a gap neither side holds and
+// the caller must fall back to a snapshot. Returns the tail, its last index,
+// and whether the handoff is contiguous.
+func (n *Node) diskEntries(w *minisql.WAL, from uint64) ([]minisql.LogEntry, uint64, bool) {
+	if n.store == nil {
+		return nil, 0, false
+	}
+	tail, err := n.store.EntriesAfter(from)
+	if err != nil {
+		return nil, 0, false
+	}
+	last := from
+	if len(tail) > 0 {
+		last = tail[len(tail)-1].Index
+	}
+	if _, ok := w.EntriesSince(last); !ok {
+		return nil, 0, false
+	}
+	return tail, last, true
 }
 
 // maxBatchEntries caps one frameEntries frame so a deeply lagged follower

@@ -94,6 +94,18 @@ type Config struct {
 	// stop consuming election backoff slots. 0 selects the default (20);
 	// negative disables decay.
 	PeerDecayTimeouts int
+	// DataDir enables durable storage: committed entries are appended to a
+	// segmented on-disk WAL under this directory, periodic checkpoints
+	// bound it, and a restart recovers the node's state from disk — no live
+	// peer required. Empty (the default) keeps the node fully in-memory.
+	DataDir string
+	// Fsync, with DataDir set, makes the node acknowledge writes (and ack
+	// replicated entries) only after fsync, surviving machine/power loss.
+	// Off, durability covers process death (kill -9) but not machine loss.
+	Fsync bool
+	// CheckpointEvery is the automatic checkpoint interval in log entries
+	// (0: default 10000; negative disables). Only meaningful with DataDir.
+	CheckpointEvery int
 	// GroupCommitDelay is the group-commit flush deadline. When two or more
 	// writers are blocked in quorum waits (WAL.QuorumWaiters > 1 — i.e.
 	// synchronous-replication mode under concurrent load), the leader holds
@@ -115,10 +127,11 @@ type Config struct {
 // protocol. Create with New, wire the service with service.ServeNode (or
 // SetServiceAddr + Start), and shut down with Close.
 type Node struct {
-	cfg Config
-	db  *core.DB
-	eng *minisql.Engine
-	ln  net.Listener
+	cfg   Config
+	db    *core.DB
+	eng   *minisql.Engine
+	store *minisql.Store // durable log + checkpoints (nil: in-memory node)
+	ln    net.Listener
 
 	met *nodeMetrics // replication metrics (obs.go), on the DB's registry
 
@@ -170,7 +183,19 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
 	}
-	db, err := core.NewDB()
+	var db *core.DB
+	var err error
+	if cfg.DataDir != "" {
+		// Durable node: recover engine state from the data directory
+		// (checkpoint + WAL tail) before any peer contact.
+		db, err = core.Open(cfg.DataDir, core.OpenOptions{
+			Fsync:           cfg.Fsync,
+			CheckpointEvery: cfg.CheckpointEvery,
+			Logf:            cfg.Logf,
+		})
+	} else {
+		db, err = core.NewDB()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +211,7 @@ func New(cfg Config) (*Node, error) {
 		cfg:       cfg,
 		db:        db,
 		eng:       db.Engine(),
+		store:     db.Store(),
 		ln:        ln,
 		peers:     make(map[string]Peer),
 		followers: make(map[string]*followerConn),
@@ -198,17 +224,41 @@ func New(cfg Config) (*Node, error) {
 	n.registerCollectors(db.Metrics())
 	self := n.selfPeerLocked()
 	n.peers[self.ID] = self
+	if n.store != nil {
+		// Resume the cluster position recovered from disk: the applied index
+		// is the engine's replayed high-water mark, the term the one
+		// persisted before the restart. A restarted follower re-joins from
+		// that position (no re-bootstrap); a restarted leader reopens its
+		// log at it.
+		n.applied = n.eng.LastLogged()
+		n.term = n.store.Term()
+	}
 	if cfg.Join == "" {
 		n.role = RoleLeader
-		n.term = 1
-		n.wal = minisql.NewWAL(0)
+		if n.term == 0 {
+			n.term = 1
+		}
+		n.wal = minisql.NewWAL(n.applied)
 		n.wal.SetQuorum(cfg.WriteQuorum)
 		n.leader = self
+		n.persistTerm(n.term)
 	} else {
 		n.role = RoleFollower
 	}
 	n.eng.SetCommitHook(n.onCommit)
 	return n, nil
+}
+
+// persistTerm records a term change in the durable store (no-op in-memory
+// or when unchanged), so a restart resumes the cluster's term instead of
+// restarting history at 1.
+func (n *Node) persistTerm(t uint64) {
+	if n.store == nil {
+		return
+	}
+	if err := n.store.SetTerm(t); err != nil {
+		n.logf("persisting term %d: %v", t, err)
+	}
 }
 
 // Start launches the replication loops. Idempotent.
@@ -396,7 +446,7 @@ func (n *Node) logf(format string, args ...any) {
 // statements to the WAL, which wakes the per-follower senders, and returns
 // the assigned index — the commit token the engine hands back to the caller
 // through ExecLogged/TxLogged. It runs under the engine lock, so it only
-// touches the WAL and node bookkeeping.
+// touches the WAL, the store's buffered log append, and node bookkeeping.
 func (n *Node) onCommit(stmts []minisql.Stmt) uint64 {
 	n.mu.Lock()
 	w := n.wal
@@ -406,6 +456,14 @@ func (n *Node) onCommit(stmts []minisql.Stmt) uint64 {
 		return 0
 	}
 	idx := w.Append(stmts)
+	if n.store != nil {
+		// The durable twin of the in-memory append. On failure the commit
+		// stands in memory and replication proceeds, but the client's
+		// durability wait (core waitDurable) surfaces the store error.
+		if err := n.store.Append(minisql.LogEntry{Index: idx, Stmts: stmts}); err != nil {
+			n.logf("disk WAL append %d: %v", idx, err)
+		}
+	}
 	n.setApplied(idx)
 	return idx
 }
@@ -604,6 +662,7 @@ func (n *Node) promote() {
 	n.leaseRef = now.Add(2 * n.cfg.LeaseTimeout)
 	term, applied := n.term, n.applied
 	n.mu.Unlock()
+	n.persistTerm(term)
 	n.met.promotions.Inc()
 	n.db.Wake()
 	n.logf("promoted to leader (term %d, log index %d)", term, applied)

@@ -19,6 +19,7 @@ type nodeMetrics struct {
 	demotions    *obs.Counter
 	entriesApp   *obs.Counter
 	snapsSent    *obs.Counter
+	snapsFile    *obs.Counter
 	snapsInstall *obs.Counter
 	quorumWait   *obs.Histogram
 	batchEntries *obs.Histogram
@@ -31,6 +32,7 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 		demotions:    reg.Counter("osprey_replica_demotions_total"),
 		entriesApp:   reg.Counter("osprey_replica_entries_applied_total"),
 		snapsSent:    reg.Counter("osprey_replica_snapshots_sent_total"),
+		snapsFile:    reg.Counter("osprey_replica_snapshots_file_streamed_total"),
 		snapsInstall: reg.Counter("osprey_replica_snapshots_installed_total"),
 		quorumWait:   reg.Histogram("osprey_replica_quorum_wait_seconds", obs.DurationBuckets),
 		batchEntries: reg.Histogram("osprey_replica_batch_entries", obs.SizeBuckets),
@@ -176,6 +178,19 @@ type NodeStatus struct {
 	Followers map[string]uint64
 	// LeaderApplied is the follower's estimate of the leader's applied index.
 	LeaderApplied uint64
+	// Durable reports whether the node runs with an on-disk store; the
+	// remaining durability fields are meaningful only when it is set.
+	Durable         bool
+	Fsync           bool
+	WALSegments     int
+	WALDiskBytes    int64
+	WALFirst        uint64
+	WALLast         uint64
+	WALSynced       uint64
+	CheckpointIndex uint64
+	CheckpointAge   time.Duration
+	SinceCheckpoint uint64
+	CheckpointErr   string
 }
 
 // Status snapshots the node's replication state.
@@ -199,6 +214,22 @@ func (n *Node) Status() NodeStatus {
 	if w != nil {
 		st.Committed = w.Committed()
 	}
+	if n.store != nil {
+		ss := n.store.Stats()
+		st.Durable = true
+		st.Fsync = n.store.Fsync()
+		st.WALSegments = ss.Log.Segments
+		st.WALDiskBytes = ss.Log.DiskBytes
+		st.WALFirst = ss.Log.First
+		st.WALLast = ss.Log.Last
+		st.WALSynced = ss.Log.Synced
+		st.CheckpointIndex = ss.CheckpointIndex
+		st.CheckpointAge = ss.CheckpointAge
+		st.SinceCheckpoint = ss.SinceCheckpoint
+		if ss.CheckpointErr != nil {
+			st.CheckpointErr = ss.CheckpointErr.Error()
+		}
+	}
 	rankPeers(st.Peers)
 	return st
 }
@@ -214,6 +245,16 @@ func (st NodeStatus) WriteStatus(w io.Writer) {
 	fmt.Fprintf(w, "leader: %s (svc %s)\n", st.LeaderID, st.LeaderSvc)
 	if st.Role == RoleFollower {
 		fmt.Fprintf(w, "leader_applied: %d\n", st.LeaderApplied)
+	}
+	if st.Durable {
+		fmt.Fprintf(w, "durable: true (fsync=%v)\n", st.Fsync)
+		fmt.Fprintf(w, "wal: segments=%d bytes=%d range=%d..%d synced=%d\n",
+			st.WALSegments, st.WALDiskBytes, st.WALFirst, st.WALLast, st.WALSynced)
+		fmt.Fprintf(w, "checkpoint: index=%d age=%v pending_entries=%d\n",
+			st.CheckpointIndex, st.CheckpointAge.Round(time.Second), st.SinceCheckpoint)
+		if st.CheckpointErr != "" {
+			fmt.Fprintf(w, "checkpoint_error: %s\n", st.CheckpointErr)
+		}
 	}
 	fmt.Fprintf(w, "peers:\n")
 	for _, p := range st.Peers {

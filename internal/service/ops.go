@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"osprey/internal/core"
 	"osprey/internal/obs"
 )
 
@@ -150,6 +151,9 @@ func (s *Server) ServeOps(addr string) (*obs.OpsServer, error) {
 				s.node.Status().WriteStatus(w)
 			} else {
 				io.WriteString(w, "mode: standalone\n")
+				if db, ok := s.db.(*core.DB); ok {
+					db.WriteDurability(w)
+				}
 			}
 		},
 	})

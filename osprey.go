@@ -6,7 +6,10 @@
 // resources. Its components, each in an internal package re-exported here:
 //
 //   - the EMEWS task database and its submit/query/report/result API
-//     (internal/core), backed by an embedded SQL engine (internal/minisql);
+//     (internal/core), backed by an embedded SQL engine (internal/minisql),
+//     optionally durable on disk (osprey.Open): a segmented write-ahead log
+//     with group-commit fsync, periodic engine checkpoints, and cold-start
+//     crash recovery;
 //   - an asynchronous futures API over that database (internal/future);
 //   - a TCP EMEWS service and client for remote access (internal/service);
 //   - a replication subsystem (internal/replica) that runs the service as a
@@ -106,6 +109,16 @@ var (
 
 // NewDB creates an empty EMEWS task database.
 func NewDB() (*DB, error) { return core.NewDB() }
+
+// OpenOptions parameterizes a durable database: fsync-before-acknowledge,
+// checkpoint cadence, and segment sizing.
+type OpenOptions = core.OpenOptions
+
+// Open creates or recovers a durable EMEWS task database rooted at dir:
+// committed writes land in a segmented on-disk write-ahead log, the engine
+// checkpoints periodically (truncating the log), and a restart recovers the
+// latest checkpoint plus the log tail — no clean shutdown required.
+func Open(dir string, opt OpenOptions) (*DB, error) { return core.Open(dir, opt) }
 
 // WithPriority sets a task's initial priority.
 func WithPriority(p int) SubmitOption { return core.WithPriority(p) }
