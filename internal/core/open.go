@@ -130,7 +130,17 @@ func (db *DB) WriteDurability(w io.Writer) {
 // one fsync across all concurrently blocked writers, N concurrent writes
 // pay ~one fsync, riding the same group-commit trade as replication.
 func (db *DB) waitDurable(tok Token) error {
-	if db.store == nil || tok == 0 {
+	if db.store == nil {
+		return nil
+	}
+	if tok == 0 {
+		// No log entry to wait for — but token 0 is also what the commit
+		// hook returns when the disk append itself failed. Check the log's
+		// sticky error so a write the store could not persist is refused
+		// loudly instead of acked as durable.
+		if err := db.store.Err(); err != nil {
+			return fmt.Errorf("eqsql: write committed but not durable: %w", err)
+		}
 		return nil
 	}
 	if err := db.store.WaitDurable(tok, durableWaitTimeout); err != nil {

@@ -246,8 +246,10 @@ type DiskLog struct {
 	err      error      // sticky I/O error; fails all later operations
 	closed   bool
 	encBuf   []byte
+	syncing  bool // an fsync batch is in flight outside the lock
 
 	syncReq   chan struct{}
+	syncIdle  chan struct{} // closed and replaced when an fsync batch finishes
 	syncedCh  chan struct{} // closed and replaced when synced advances
 	closeCh   chan struct{}
 	done      chan struct{}
@@ -270,6 +272,7 @@ func OpenDiskLog(dir string, segBytes int64, fsync bool, coalesce time.Duration)
 	d := &DiskLog{
 		dir: dir, segBytes: segBytes, fsync: fsync, coalesce: coalesce,
 		syncReq:  make(chan struct{}, 1),
+		syncIdle: make(chan struct{}),
 		syncedCh: make(chan struct{}),
 		closeCh:  make(chan struct{}),
 		done:     make(chan struct{}),
@@ -473,6 +476,11 @@ func (d *DiskLog) syncLoop() {
 		}
 		files := append([]*os.File(nil), d.dirty...)
 		cur := d.f
+		// Mark the batch in flight: Reset and Close wait for it instead of
+		// closing these handles underneath the Syncs below — a mid-flight
+		// Sync on a closed handle would record a spurious sticky error
+		// right after a snapshot install cleared the log.
+		d.syncing = true
 		d.mu.Unlock()
 
 		t0 := time.Now()
@@ -489,7 +497,9 @@ func (d *DiskLog) syncLoop() {
 		el := time.Since(t0)
 
 		d.mu.Lock()
-		d.dirty = d.dirty[:0]
+		// Drop only the handles this batch synced: segments rolled during
+		// the fsync appended new dirty handles that still need theirs.
+		d.dirty = append(d.dirty[:0], d.dirty[len(files):]...)
 		d.fsyncs++
 		if obs := d.fsyncObs; obs != nil {
 			d.mu.Unlock()
@@ -501,6 +511,9 @@ func (d *DiskLog) syncLoop() {
 		} else {
 			d.advanceSyncedLocked(target)
 		}
+		d.syncing = false
+		close(d.syncIdle)
+		d.syncIdle = make(chan struct{})
 		d.mu.Unlock()
 	}
 }
@@ -599,6 +612,13 @@ func (d *DiskLog) Entries(after uint64) (out []LogEntry, ok bool, err error) {
 		if rerr != nil {
 			return nil, false, rerr
 		}
+		// Bound the scan to the byte count recorded under the lock: the
+		// active segment may be growing concurrently, and reading past the
+		// flushed prefix can see a torn in-progress record that is not
+		// corruption.
+		if int64(len(data)) > s.bytes {
+			data = data[:s.bytes]
+		}
 		off := 0
 		for off < len(data) {
 			payload, size, rerr := readRecord(data[off:])
@@ -647,6 +667,15 @@ func (d *DiskLog) TruncateTo(upTo uint64) uint64 {
 func (d *DiskLog) Reset(base uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Wait out any in-flight fsync batch: it holds copies of the handles
+	// closed below, and its verdict (including a failure) belongs to the
+	// history being discarded, so it must land before d.err is cleared.
+	for d.syncing {
+		ch := d.syncIdle
+		d.mu.Unlock()
+		<-ch
+		d.mu.Lock()
+	}
 	if d.f != nil {
 		d.w.Flush()
 		d.f.Close()
@@ -703,6 +732,15 @@ func (d *DiskLog) SetFsyncObserver(fn func(time.Duration)) {
 	d.mu.Unlock()
 }
 
+// Err returns the log's sticky I/O error, if any. Once set, every append
+// and durability wait fails with it: a log that cannot persist must fail
+// writes loudly, not ack them.
+func (d *DiskLog) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
 // LastIndex returns the index of the newest appended entry.
 func (d *DiskLog) LastIndex() uint64 {
 	d.mu.Lock()
@@ -719,6 +757,13 @@ func (d *DiskLog) Close() error {
 	}
 	d.closed = true
 	close(d.closeCh)
+	// Let an in-flight fsync batch finish before harvesting its handles.
+	for d.syncing {
+		ch := d.syncIdle
+		d.mu.Unlock()
+		<-ch
+		d.mu.Lock()
+	}
 	var err error
 	if d.w != nil {
 		err = d.w.Flush()

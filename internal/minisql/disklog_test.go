@@ -324,3 +324,41 @@ func TestDiskLogIgnoresForeignFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDiskLogEntriesToleratesTornActiveTail: a read racing a concurrent
+// append can see a partially written record beyond the flushed prefix of the
+// active segment. Entries must bound its scan to the bytes recorded under
+// the lock instead of reporting corruption for the torn tail.
+func TestDiskLogEntriesToleratesTornActiveTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskLog(dir, 0, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := uint64(1); i <= 5; i++ {
+		if err := d.Append(testEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the in-flight record: bytes past the tracked segment size.
+	d.mu.Lock()
+	path := d.segs[len(d.segs)-1].path
+	d.mu.Unlock()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out, ok, err := d.Entries(0)
+	if err != nil || !ok {
+		t.Fatalf("Entries with torn active tail: ok=%v err=%v", ok, err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("got %d entries, want 5", len(out))
+	}
+}

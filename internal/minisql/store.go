@@ -33,6 +33,12 @@ type Store struct {
 	opt StoreOptions
 	log *DiskLog
 
+	// ckptMu serializes Checkpoint and InstallSnapshot: the automatic
+	// checkpoint loop (driven by Append) and a snapshot install (follower
+	// bootstrap) can otherwise race their write-tmp-rename publishes and
+	// prune each other's freshly renamed files.
+	ckptMu sync.Mutex
+
 	mu         sync.Mutex
 	term       uint64
 	checkIndex uint64    // index of the newest on-disk checkpoint
@@ -91,6 +97,15 @@ func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
+	}
+	// Sweep temp files left by a crash mid-checkpoint/install: never
+	// published, so never part of recoverable state.
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, de := range ents {
+			if strings.HasSuffix(de.Name(), ".tmp") {
+				os.Remove(filepath.Join(dir, de.Name()))
+			}
+		}
 	}
 	log, err := OpenDiskLog(filepath.Join(dir, "wal"), opt.SegmentBytes, opt.Fsync, opt.CoalesceDelay)
 	if err != nil {
@@ -259,6 +274,12 @@ func (s *Store) WaitDurable(idx uint64, timeout time.Duration) error {
 	return s.log.WaitDurable(idx, timeout)
 }
 
+// Err returns the log's sticky I/O error, if any. Callers acknowledging
+// writes must check it even for commits that got no log index (AppendAssign
+// returning 0 IS the failure signal), so a broken disk refuses writes
+// instead of silently acking them.
+func (s *Store) Err() error { return s.log.Err() }
+
 // EntriesAfter returns the retained log entries with index > after, or an
 // error when the log no longer reaches back that far (truncated by a
 // checkpoint) — the caller needs a checkpoint instead.
@@ -284,11 +305,13 @@ func (s *Store) Checkpoint() error {
 	if src == nil {
 		return errors.New("minisql: no snapshot source installed")
 	}
-	tmp := filepath.Join(s.dir, "checkpoint.tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	f, err := os.CreateTemp(s.dir, "checkpoint-*.tmp")
 	if err != nil {
 		return s.noteCheckpoint(err)
 	}
+	tmp := f.Name()
 	idx, err := src(f)
 	if err == nil {
 		err = f.Sync()
@@ -362,15 +385,23 @@ func (s *Store) checkpointLoop() {
 // Old checkpoints and the whole log are discarded: they belong to a history
 // the install just replaced.
 func (s *Store) InstallSnapshot(data []byte, idx uint64) error {
-	tmp := filepath.Join(s.dir, "checkpoint.tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	f, err := os.CreateTemp(s.dir, "checkpoint-*.tmp")
+	if err != nil {
 		return err
 	}
-	if s.opt.Fsync {
-		if f, err := os.OpenFile(tmp, os.O_WRONLY, 0o644); err == nil {
-			f.Sync()
-			f.Close()
-		}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if werr == nil && s.opt.Fsync {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
 	}
 	if err := os.Rename(tmp, checkpointPath(s.dir, idx)); err != nil {
 		os.Remove(tmp)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"testing"
 	"time"
 )
@@ -239,5 +240,93 @@ func TestStoreEntriesAfterTruncated(t *testing.T) {
 	}
 	if tail, err := s.EntriesAfter(20); err != nil || len(tail) != 20 {
 		t.Fatalf("EntriesAfter(20): n=%d err=%v", len(tail), err)
+	}
+}
+
+// TestStoreAppendAssignFailureSurfaced pins the ack-path contract: a failed
+// append yields token 0 AND a sticky store error. Token 0 alone looks like
+// "nothing to wait for" to durability waits, which would silently ack a
+// write the log never persisted.
+func TestStoreAppendAssignFailureSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	defer s.Close()
+	if idx := s.AppendAssign([]Stmt{{SQL: "INSERT"}}); idx != 1 {
+		t.Fatalf("healthy AppendAssign = %d, want 1", idx)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("healthy store Err() = %v, want nil", err)
+	}
+	// Poison the log the way a failed write/flush would.
+	s.log.mu.Lock()
+	s.log.err = fmt.Errorf("minisql: disk log: %w", os.ErrClosed)
+	s.log.mu.Unlock()
+	if idx := s.AppendAssign([]Stmt{{SQL: "INSERT"}}); idx != 0 {
+		t.Fatalf("poisoned AppendAssign = %d, want 0", idx)
+	}
+	if err := s.Err(); err == nil {
+		t.Fatal("store Err() = nil after append failure; the ack path would silently accept the write")
+	}
+}
+
+// TestStoreCheckpointInstallConcurrent races the automatic-checkpoint path
+// against snapshot installs: with a shared fixed tmp file their
+// write-tmp-rename publishes could interleave and publish a checkpoint whose
+// bytes belong to the other writer. Recovery must always see a checkpoint
+// whose content matches its index.
+func TestStoreCheckpointInstallConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	src := &fakeSource{}
+	s.SetSnapshotSource(src.snapshot)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			// AppendAssign rides the store's own index authority, so a
+			// concurrent install resetting the log just moves the next index
+			// instead of tearing a contiguity gap.
+			idx := s.AppendAssign(testEntry(1).Stmts)
+			if idx == 0 {
+				continue
+			}
+			src.idx = idx
+			s.Checkpoint()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i <= 50; i++ {
+			idx := 2*i + 1
+			if err := s.InstallSnapshot([]byte(fmt.Sprintf("snap@%d", idx)), idx); err != nil {
+				t.Errorf("InstallSnapshot(%d): %v", idx, err)
+			}
+		}
+	}()
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	var gotIdx uint64
+	var gotBody string
+	if _, _, err := s2.Recover(func(r io.Reader, idx uint64) error {
+		b, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		gotIdx, gotBody = idx, string(b)
+		return nil
+	}); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if gotIdx == 0 {
+		t.Fatal("no checkpoint survived the churn")
+	}
+	if want := fmt.Sprintf("snap@%d", gotIdx); gotBody != want {
+		t.Fatalf("checkpoint %d holds %q, want %q: cross-writer tmp collision", gotIdx, gotBody, want)
 	}
 }

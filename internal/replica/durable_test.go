@@ -91,6 +91,13 @@ func TestClusterFullRestartPreservesState(t *testing.T) {
 	if got := leader2.Applied(); got != wantApplied {
 		t.Fatalf("cold-restarted leader applied=%d, want %d", got, wantApplied)
 	}
+	// A restarted leader must open a NEW term, not resume the persisted one:
+	// crash recovery can roll its log back past entries a follower already
+	// applied, and a same-term rejoin would resume instead of healing via
+	// snapshot — silent divergence once new writes reuse those indexes.
+	if got := leader2.Term(); got < 2 {
+		t.Fatalf("cold-restarted leader term = %d, want > the recovered term 1", got)
+	}
 	if got := queuedCount(t, leader2.DB()); got != len(ids) {
 		t.Fatalf("cold-restarted leader sees %d queued, want %d", got, len(ids))
 	}

@@ -235,9 +235,16 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.Join == "" {
 		n.role = RoleLeader
-		if n.term == 0 {
-			n.term = 1
-		}
+		// Always start a NEW term, even when one was recovered from disk.
+		// Crash recovery can roll this leader's log back past entries a
+		// follower already applied (a non-fsync tail lost with the OS
+		// buffers, or a frame streamed from the memory WAL before its fsync
+		// completed). Resuming the old term would let such a follower pass
+		// the same-term resume check with nothing to stream and then watch
+		// new writes reuse its indexes with different content — silent
+		// divergence. The bump forces returning followers through the
+		// snapshot path, which heals any divergence wholesale.
+		n.term++
 		n.wal = minisql.NewWAL(n.applied)
 		n.wal.SetQuorum(cfg.WriteQuorum)
 		n.leader = self
