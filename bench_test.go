@@ -653,6 +653,32 @@ func BenchmarkServiceRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkWireCodec isolates the serialization layer the v2 protocol
+// replaced: one submit-shaped request/response pair encoded and decoded
+// through the v2 binary codec and through the JSON v1 codec, scratch buffers
+// reused as a live connection reuses them. The gated v2 number is the
+// executable form of the wire-codec claim (a fraction of JSON's allocs and
+// time); the json subbench is recorded for the comparison.
+func BenchmarkWireCodec(b *testing.B) {
+	for _, mode := range []string{"v2", "json"} {
+		b.Run(mode, func(b *testing.B) {
+			cb := service.NewCodecBench()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if mode == "v2" {
+					err = cb.RoundTripV2()
+				} else {
+					err = cb.RoundTripJSON()
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkReplicatedSubmit measures the submit path through a 3-node
 // replicated service (leader + 2 followers): the leader's statement WAL
 // records each commit and ships it to both followers asynchronously, so the
@@ -679,17 +705,29 @@ func BenchmarkQuorumSubmit(b *testing.B) {
 // 1/batch of a round trip instead of a full one (compare the serial
 // BenchmarkQuorumSubmit).
 func BenchmarkQuorumSubmitParallel8(b *testing.B) {
-	benchReplicatedSubmitN(b, 1, 8)
+	benchReplicatedSubmitN(b, 1, 8, false)
+}
+
+// BenchmarkPipelinedSubmitParallel8 is the client-side pipelining claim: the
+// same 8-way concurrent quorum workload as BenchmarkQuorumSubmitParallel8,
+// but every submitter shares ONE multiplexed client — 8 requests in flight
+// on a single TCP connection. The wire v2 request IDs let their responses
+// return independently, and their arrivals still land inside one leader
+// group-commit window, so per-submit quorum cost amortizes without the
+// caller owning connection-level parallelism.
+func BenchmarkPipelinedSubmitParallel8(b *testing.B) {
+	benchReplicatedSubmitN(b, 1, 8, true)
 }
 
 func benchReplicatedSubmit(b *testing.B, quorum int) {
-	benchReplicatedSubmitN(b, quorum, 0)
+	benchReplicatedSubmitN(b, quorum, 0, false)
 }
 
 // benchReplicatedSubmitN measures submits against a 3-node cluster; with
 // workers > 0 it drives that many concurrent submitters, each over its own
-// failover-aware client.
-func benchReplicatedSubmitN(b *testing.B, quorum, workers int) {
+// failover-aware client — or all over the one shared client when shared is
+// set (pipelining on a single connection).
+func benchReplicatedSubmitN(b *testing.B, quorum, workers int, shared bool) {
 	leader, err := replica.New(replica.Config{ID: "b1", Priority: 3, WriteQuorum: quorum})
 	if err != nil {
 		b.Fatal(err)
@@ -737,6 +775,10 @@ func benchReplicatedSubmitN(b *testing.B, quorum, workers int) {
 	}
 	var clients []*service.ClusterClient
 	for w := 0; w < workers; w++ {
+		if shared {
+			clients = append(clients, c)
+			continue
+		}
 		wc, err := service.DialCluster(addrs...)
 		if err != nil {
 			b.Fatal(err)

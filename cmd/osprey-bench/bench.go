@@ -21,11 +21,16 @@ import (
 // no-fsync durable submit guarding the WAL encode cost. The fsync'd durable
 // variants are recorded but not gated — fsync wall time is a property of the
 // host's storage stack, and gating it against a baseline from a different
-// machine would be pure hardware noise.
+// machine would be pure hardware noise. The wire-protocol pair guards the v2
+// binary codec (BenchmarkWireCodec, encode+decode of a submit-shaped round
+// trip against the JSON v1 equivalent) and the multiplexed client's
+// pipelining win (BenchmarkPipelinedSubmitParallel8, eight submitters
+// sharing one connection).
 const keyBenchmarks = "^(BenchmarkSubmitTask|BenchmarkInstrumentedSubmit|" +
 	"BenchmarkSubmitQueryReportCycle|BenchmarkDurableSubmit|" +
 	"BenchmarkPopResultsBatch50|BenchmarkQuorumSubmit|BenchmarkFollowerRead|" +
-	"BenchmarkMinisqlIndexedSelect|BenchmarkPopTokenOverhead)$"
+	"BenchmarkMinisqlIndexedSelect|BenchmarkPopTokenOverhead|" +
+	"BenchmarkWireCodec|BenchmarkPipelinedSubmitParallel8)$"
 
 // benchResult is one benchmark's measurements as recorded in BENCH_*.json.
 type benchResult struct {

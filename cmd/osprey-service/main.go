@@ -2,6 +2,11 @@
 // §IV-C): the resource-local component worker pools and ME algorithms
 // connect to.
 //
+// The service speaks wire protocol v2 — length-prefixed binary frames with
+// per-request IDs, so one client connection pipelines many concurrent
+// requests — and still serves newline-delimited JSON (v1) clients on the
+// same port; the protocol is sniffed from each connection's first byte.
+//
 // Standalone with restart persistence (§II-B1c):
 //
 //	osprey-service -addr 127.0.0.1:7654 -snapshot state.gob

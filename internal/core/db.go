@@ -499,6 +499,11 @@ func (db *DB) tryPopTasks(workType, n int, pool string) ([]Task, Token, error) {
 		if len(res.Rows) == 0 {
 			return nil
 		}
+		// The picked row count is the exact output size; sizing the slice
+		// here keeps a batch-50 pop from growing it append by append.
+		if cap(tasks) < len(res.Rows) {
+			tasks = make([]Task, 0, len(res.Rows))
+		}
 		now := nowNano()
 		ids := make([]int64, len(res.Rows))
 		prio := make(map[int64]int, len(res.Rows))
@@ -637,6 +642,9 @@ func (db *DB) tryPopResults(ids []int64, max int) ([]TaskResult, Token, error) {
 		}
 		if len(res.Rows) == 0 {
 			return nil
+		}
+		if cap(results) < len(res.Rows) {
+			results = make([]TaskResult, 0, len(res.Rows))
 		}
 		popped := make([]int64, len(res.Rows))
 		for i, row := range res.Rows {

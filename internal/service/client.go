@@ -1,0 +1,717 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"osprey/internal/core"
+	"osprey/internal/obs"
+)
+
+// Client is a TCP client for a remote EMEWS service implementing
+// core.Session. A Client is multiplexed and pipelined: it speaks wire
+// protocol v2 over one connection, every call ships a uniquely-numbered
+// frame without waiting for earlier replies, and a demux goroutine routes
+// response frames back to their callers by request ID. Concurrent callers
+// may share one Client — their requests interleave on the wire, so N
+// goroutines submitting through one connection land inside one server-side
+// group-commit window instead of serializing on round trips. A long-poll in
+// flight (QueryTasks, PopResults) never blocks other calls: the server
+// parks it on its own goroutine and answers the rest out of order.
+//
+// The session commit token still ratchets on every response — writes and
+// pops return their own WAL index, reads report the serving replica's
+// applied index — and session-level reads ship it back as their freshness
+// bound. When the connection dies, every in-flight call fails with ErrConn
+// and failover clients (DialCluster) re-resolve exactly as before.
+type Client struct {
+	conn net.Conn
+	addr string
+
+	// Write side: wmu serializes frame writes; fw.enc is the per-connection
+	// encode scratch reused across requests.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	fw  frameIO
+
+	// mu guards the demux state below.
+	mu        sync.Mutex
+	pending   map[uint64]*call // request ID -> waiting caller
+	nextID    uint64
+	lastToken uint64 // highest commit token seen in any response
+	connErr   error  // sticky; set once the connection is unusable
+
+	// done is closed by the demux teardown once the connection is dead;
+	// in-flight callers select on it alongside their own response channel.
+	done chan struct{}
+}
+
+// call is a caller's parked mailbox for one in-flight request. Calls are
+// pooled: the buffered channel is reused across requests (and across
+// clients), which keeps a round trip from allocating a fresh channel every
+// time. Reuse is safe because delivery happens under Client.mu only while
+// the call is registered, and release drains any undelivered response before
+// returning the call to the pool.
+type call struct {
+	ch chan response // buffered 1; demux copies the response in
+}
+
+var callPool = sync.Pool{
+	New: func() any { return &call{ch: make(chan response, 1)} },
+}
+
+// timerPool recycles round-trip timers. Go 1.23+ timer channels are
+// synchronous, so Stop followed by Reset can never observe a stale tick.
+var timerPool sync.Pool
+
+func acquireTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func releaseTimer(t *time.Timer) {
+	t.Stop()
+	timerPool.Put(t)
+}
+
+var _ core.Session = (*Client)(nil)
+
+// DefaultReadWait bounds how long a session-level read lets the serving
+// replica catch up to the freshness token before the replica answers
+// transiently, when the caller's context carries no deadline.
+const DefaultReadWait = time.Second
+
+// ErrConn marks transport-level failures (dial, write, read, peer close) as
+// opposed to application errors returned by the service. Failover clients
+// re-resolve the leader when a call fails with ErrConn.
+var ErrConn = errors.New("service: connection lost")
+
+// ErrUnavailable marks transient cluster conditions (no leader yet, leader
+// unreachable from a forwarding follower); callers may retry.
+var ErrUnavailable = errors.New("service: temporarily unavailable")
+
+var errClientClosed = errors.New("client closed")
+
+// clientWriteTimeout bounds one frame write. Frames flush immediately, so a
+// write only stalls when the peer stops draining its socket entirely.
+const clientWriteTimeout = 30 * time.Second
+
+// Dial connects to a service, announcing protocol v2 with the two-byte
+// preamble (flushed together with the first request frame).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial %s: %w: %w", addr, ErrConn, err)
+	}
+	c := &Client{
+		conn:    conn,
+		addr:    addr,
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint64]*call),
+		done:    make(chan struct{}),
+	}
+	c.bw.Write([]byte{wireMagic, wireVersion})
+	go c.demux()
+	return c, nil
+}
+
+// demux is the connection's single reader: it decodes response frames,
+// ratchets the session token, and hands each response to the caller waiting
+// on its request ID. Responses decode into one scratch struct and ship to
+// callers by value — safe because decodeResponse assigns every field, so
+// nothing carries over between frames. A read failure is terminal for the
+// connection — the stream position is unknowable — so every in-flight
+// caller is failed by closing the client's done channel.
+func (c *Client) demux() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	var f frameIO
+	var resp response
+	for {
+		id, err := f.readResponse(br, &resp)
+		if err != nil {
+			c.mu.Lock()
+			if c.connErr == nil {
+				c.connErr = err
+			}
+			clear(c.pending)
+			c.mu.Unlock()
+			close(c.done)
+			c.conn.Close()
+			return
+		}
+		c.mu.Lock()
+		if resp.Token > c.lastToken {
+			c.lastToken = resp.Token
+		}
+		if cl, ok := c.pending[id]; ok {
+			delete(c.pending, id)
+			cl.ch <- resp // buffered 1; one delivery per registration, never blocks
+		}
+		c.mu.Unlock()
+		// A response nobody waits for is a caller that timed out: drop it.
+	}
+}
+
+// Close closes the connection; in-flight calls fail with ErrConn.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.connErr == nil {
+		c.connErr = errClientClosed
+	}
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// broken reports whether the connection has failed; used by connection
+// caches (the server's forward client) to decide when to redial.
+func (c *Client) broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.connErr != nil
+}
+
+// Ping verifies the service is reachable.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(request{Op: "ping"}, time.Second)
+	return err
+}
+
+// register allocates a request ID and parks a pooled call mailbox for it.
+func (c *Client) register() (uint64, *call, error) {
+	cl := callPool.Get().(*call)
+	c.mu.Lock()
+	if c.connErr != nil {
+		err := c.connErr
+		c.mu.Unlock()
+		callPool.Put(cl)
+		return 0, nil, fmt.Errorf("service: %w: %w", ErrConn, err)
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = cl
+	c.mu.Unlock()
+	return id, cl, nil
+}
+
+// release returns a call to the pool once its registration is gone (the
+// demux delivered, the teardown cleared the map, or unregister removed it).
+// Draining first is what makes reuse safe: a response delivered after the
+// caller stopped waiting must not be seen by the mailbox's next owner.
+func (c *Client) release(cl *call) {
+	select {
+	case <-cl.ch:
+	default:
+	}
+	callPool.Put(cl)
+}
+
+// unregister abandons an in-flight request. After it returns, the demux can
+// no longer deliver into the call.
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// send encodes and flushes one request frame. A write failure poisons the
+// connection (the peer's stream position is unknowable) and fails every
+// other in-flight call via the demux teardown.
+func (c *Client) send(id uint64, req *request) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.conn.SetWriteDeadline(time.Now().Add(clientWriteTimeout))
+	err := c.fw.writeRequest(c.bw, id, req)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		c.mu.Lock()
+		if c.connErr == nil {
+			c.connErr = err
+		}
+		c.mu.Unlock()
+		c.conn.Close()
+		return fmt.Errorf("service: write: %w: %w", ErrConn, err)
+	}
+	return nil
+}
+
+// roundTrip issues one request and waits for its response frame. Other
+// callers' round trips proceed concurrently on the same connection; this
+// request's reply may arrive before or after theirs. The wait allows the
+// server-side poll (timeout) plus grace for the network round trip.
+func (c *Client) roundTrip(req request, timeout time.Duration) (response, error) {
+	if req.Trace == "" {
+		req.Trace = obs.TraceID()
+	}
+	id, cl, err := c.register()
+	if err != nil {
+		return response{}, err
+	}
+	if err := c.send(id, &req); err != nil {
+		c.unregister(id)
+		c.release(cl)
+		return response{}, err
+	}
+	timer := acquireTimer(timeout + 10*time.Second)
+	defer releaseTimer(timer)
+	select {
+	case resp := <-cl.ch:
+		c.release(cl)
+		return finishRoundTrip(resp)
+	case <-c.done:
+		// The connection died — but a response may have been delivered just
+		// before the teardown; prefer it.
+		select {
+		case resp := <-cl.ch:
+			c.release(cl)
+			return finishRoundTrip(resp)
+		default:
+		}
+		c.mu.Lock()
+		err := c.connErr
+		c.mu.Unlock()
+		c.release(cl)
+		return response{}, fmt.Errorf("service: read: %w: %w", ErrConn, err)
+	case <-timer.C:
+		// Leave the connection alive — only this request is abandoned; a
+		// late response frame is dropped by the demux loop. Failover layers
+		// treat ErrConn as cause to invalidate and redial, which is right:
+		// a server silent past the poll budget plus grace is suspect.
+		c.unregister(id)
+		c.release(cl)
+		return response{}, fmt.Errorf("service: %w: no response to %q within %v",
+			ErrConn, req.Op, timeout+10*time.Second)
+	}
+}
+
+// finishRoundTrip maps a decoded response to the Session error contract.
+func finishRoundTrip(resp response) (response, error) {
+	if !resp.OK {
+		if resp.Timeout {
+			return resp, core.ErrTimeout
+		}
+		if resp.Transient {
+			return resp, fmt.Errorf("%w: %s", ErrUnavailable, resp.Error)
+		}
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// LastToken returns the highest commit token observed in any response on
+// this client: the session's high-water mark for read-your-writes (and
+// read-your-pops) reads.
+func (c *Client) LastToken() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastToken
+}
+
+// Token implements core.Session.
+func (c *Client) Token() core.Token { return c.LastToken() }
+
+// callTimeout derives a per-attempt round-trip budget from ctx: the context
+// remaining time, capped at def. The cap is what keeps failover responsive —
+// a single write attempt against a silently dead peer must not consume a
+// generous caller deadline; the retry layers (ClusterClient.do) own the
+// long-horizon retrying, one bounded attempt at a time.
+func callTimeout(ctx context.Context, def time.Duration) time.Duration {
+	if d, ok := ctx.Deadline(); ok {
+		r := time.Until(d)
+		if r < time.Millisecond {
+			return time.Millisecond
+		}
+		if r < def {
+			return r
+		}
+	}
+	return def
+}
+
+// poll runs one polling op. With a context deadline the whole remaining
+// budget ships to the server as WaitMS in a single round trip; without one,
+// the client long-polls in chunks until the context is canceled or something
+// arrives — the wire analogue of an unbounded Session poll.
+func (c *Client) poll(ctx context.Context, send func(waitMS int64, budget time.Duration) (response, error)) (response, error) {
+	const chunk = time.Second
+	first := true
+	for {
+		// An explicit cancellation must not execute the pop at all (the pop
+		// mutates the queues); only a deadline expiry earns the one-shot try.
+		if err := ctx.Err(); errors.Is(err, context.Canceled) {
+			return response{}, err
+		}
+		budget := chunk
+		if d, ok := ctx.Deadline(); ok {
+			remain := time.Until(d)
+			if remain <= 0 {
+				if !first {
+					return response{}, core.ErrTimeout
+				}
+				// An expired deadline still earns one immediate attempt,
+				// matching the Session contract.
+				remain = time.Millisecond
+			}
+			budget = remain
+		}
+		resp, err := send(budget.Milliseconds(), budget)
+		first = false
+		if !errors.Is(err, core.ErrTimeout) {
+			return resp, err
+		}
+		if _, bounded := ctx.Deadline(); bounded {
+			return resp, core.ErrTimeout
+		}
+		select {
+		case <-ctx.Done():
+			return resp, core.CtxErr(ctx)
+		default:
+		}
+	}
+}
+
+// Submit implements core.Session.
+func (c *Client) Submit(ctx context.Context, expID string, workType int, payload string, opts ...core.SubmitOption) (core.SubmitRes, error) {
+	// Mutating ops honor cancellation before touching the wire — matching
+	// core.DB, a canceled context must not execute the write.
+	if err := ctx.Err(); err != nil {
+		return core.SubmitRes{}, core.CtxErr(ctx)
+	}
+	var o core.SubmitOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	resp, err := c.roundTrip(request{
+		Op: "submit", ExpID: expID, WorkType: workType, Payload: payload,
+		Priority: o.Priority, Tags: o.Tags, DedupKey: o.DedupKey,
+	}, callTimeout(ctx, time.Second))
+	if err != nil {
+		return core.SubmitRes{}, err
+	}
+	return core.SubmitRes{ID: resp.TaskID, Token: resp.Token}, nil
+}
+
+// SubmitBatch implements core.Session.
+func (c *Client) SubmitBatch(ctx context.Context, expID string, workType int, payloads []string, priorities []int, dedupKeys []string) (core.BatchRes, error) {
+	if err := ctx.Err(); err != nil {
+		return core.BatchRes{}, core.CtxErr(ctx)
+	}
+	resp, err := c.roundTrip(request{
+		Op: "submit_batch", ExpID: expID, WorkType: workType,
+		Payloads: payloads, Priorities: priorities, DedupKeys: dedupKeys,
+	}, callTimeout(ctx, 10*time.Second))
+	if err != nil {
+		return core.BatchRes{}, err
+	}
+	return core.BatchRes{IDs: resp.TaskIDs, Token: resp.Token}, nil
+}
+
+// QueryTasks implements core.Session.
+func (c *Client) QueryTasks(ctx context.Context, workType, n int, pool string) (core.TasksRes, error) {
+	resp, err := c.poll(ctx, func(waitMS int64, budget time.Duration) (response, error) {
+		return c.roundTrip(request{
+			Op: "query_tasks", WorkType: workType, N: n, Pool: pool, WaitMS: waitMS,
+		}, budget)
+	})
+	if err != nil {
+		return core.TasksRes{}, err
+	}
+	tasks := make([]core.Task, len(resp.Tasks))
+	for i, t := range resp.Tasks {
+		tasks[i] = fromWireTask(t)
+	}
+	return core.TasksRes{Tasks: tasks, Token: resp.Token}, nil
+}
+
+// Report implements core.Session.
+func (c *Client) Report(ctx context.Context, taskID int64, workType int, result string) (core.Res, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Res{}, core.CtxErr(ctx)
+	}
+	resp, err := c.roundTrip(request{Op: "report", TaskID: taskID, WorkType: workType, Result: result},
+		callTimeout(ctx, time.Second))
+	if err != nil {
+		return core.Res{}, err
+	}
+	return core.Res{Token: resp.Token}, nil
+}
+
+// QueryResult implements core.Session.
+func (c *Client) QueryResult(ctx context.Context, taskID int64) (core.ResultRes, error) {
+	resp, err := c.poll(ctx, func(waitMS int64, budget time.Duration) (response, error) {
+		return c.roundTrip(request{Op: "query_result", TaskID: taskID, WaitMS: waitMS}, budget)
+	})
+	if err != nil {
+		return core.ResultRes{}, err
+	}
+	return core.ResultRes{Result: resp.ResultText, Token: resp.Token}, nil
+}
+
+// PopResults implements core.Session.
+func (c *Client) PopResults(ctx context.Context, ids []int64, max int) (core.ResultsRes, error) {
+	resp, err := c.poll(ctx, func(waitMS int64, budget time.Duration) (response, error) {
+		return c.roundTrip(request{Op: "pop_results", TaskIDs: ids, N: max, WaitMS: waitMS}, budget)
+	})
+	if err != nil {
+		return core.ResultsRes{}, err
+	}
+	out := make([]core.TaskResult, len(resp.Results))
+	for i, r := range resp.Results {
+		out[i] = core.TaskResult{ID: r.ID, Result: r.Result}
+	}
+	return core.ResultsRes{Results: out, Token: resp.Token}, nil
+}
+
+// readParams renders per-call consistency options into wire terms: the
+// freshness token, the catch-up wait bound, and the level flag. The
+// connection's own session token is the session-level default.
+func (c *Client) readParams(ctx context.Context, opts []core.ReadOption) (token uint64, wait time.Duration, level string) {
+	o := core.ApplyReadOptions(opts)
+	switch o.Level {
+	case core.LevelStrong:
+		return 0, 0, "strong"
+	case core.LevelEventual:
+		return 0, 0, "eventual"
+	default:
+		wait = DefaultReadWait
+		if d, ok := ctx.Deadline(); ok {
+			if r := time.Until(d); r < wait {
+				wait = max(r, 0)
+			}
+		}
+		return c.LastToken(), wait, ""
+	}
+}
+
+// Statuses implements core.Session.
+func (c *Client) Statuses(ctx context.Context, ids []int64, opts ...core.ReadOption) (map[int64]core.Status, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.CtxErr(ctx)
+	}
+	token, wait, level := c.readParams(ctx, opts)
+	return c.statusesAt(ids, token, wait, level)
+}
+
+// statusesAt is Statuses with an explicit minimum-freshness commit token:
+// the replica answers only once it has applied the WAL through token
+// (waiting up to wait), or transiently refuses.
+func (c *Client) statusesAt(ids []int64, token uint64, wait time.Duration, level string) (map[int64]core.Status, error) {
+	resp, err := c.roundTrip(request{Op: "statuses", TaskIDs: ids, Token: token, WaitMS: wait.Milliseconds(), Level: level},
+		time.Second+wait)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]core.Status, len(resp.StatusMap))
+	for id, st := range resp.StatusMap {
+		out[id] = core.Status(st)
+	}
+	return out, nil
+}
+
+// Priorities implements core.Session.
+func (c *Client) Priorities(ctx context.Context, ids []int64, opts ...core.ReadOption) (map[int64]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.CtxErr(ctx)
+	}
+	token, wait, level := c.readParams(ctx, opts)
+	return c.prioritiesAt(ids, token, wait, level)
+}
+
+func (c *Client) prioritiesAt(ids []int64, token uint64, wait time.Duration, level string) (map[int64]int, error) {
+	resp, err := c.roundTrip(request{Op: "priorities", TaskIDs: ids, Token: token, WaitMS: wait.Milliseconds(), Level: level},
+		time.Second+wait)
+	if err != nil {
+		return nil, err
+	}
+	if resp.PrioMap == nil {
+		return map[int64]int{}, nil
+	}
+	return resp.PrioMap, nil
+}
+
+// UpdatePriorities implements core.Session.
+func (c *Client) UpdatePriorities(ctx context.Context, ids []int64, priorities []int) (core.CountRes, error) {
+	if err := ctx.Err(); err != nil {
+		return core.CountRes{}, core.CtxErr(ctx)
+	}
+	resp, err := c.roundTrip(request{Op: "update_priorities", TaskIDs: ids, Priorities: priorities},
+		callTimeout(ctx, time.Second))
+	if err != nil {
+		return core.CountRes{}, err
+	}
+	return core.CountRes{Count: resp.Count, Token: resp.Token}, nil
+}
+
+// CancelTasks implements core.Session.
+func (c *Client) CancelTasks(ctx context.Context, ids []int64) (core.CountRes, error) {
+	if err := ctx.Err(); err != nil {
+		return core.CountRes{}, core.CtxErr(ctx)
+	}
+	resp, err := c.roundTrip(request{Op: "cancel", TaskIDs: ids}, callTimeout(ctx, time.Second))
+	if err != nil {
+		return core.CountRes{}, err
+	}
+	return core.CountRes{Count: resp.Count, Token: resp.Token}, nil
+}
+
+// RequeueRunning implements core.Session.
+func (c *Client) RequeueRunning(ctx context.Context, pool string) (core.CountRes, error) {
+	if err := ctx.Err(); err != nil {
+		return core.CountRes{}, core.CtxErr(ctx)
+	}
+	resp, err := c.roundTrip(request{Op: "requeue", Pool: pool}, callTimeout(ctx, time.Second))
+	if err != nil {
+		return core.CountRes{}, err
+	}
+	return core.CountRes{Count: resp.Count, Token: resp.Token}, nil
+}
+
+// Counts implements core.Session.
+func (c *Client) Counts(ctx context.Context, expID string, opts ...core.ReadOption) (map[core.Status]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.CtxErr(ctx)
+	}
+	token, wait, level := c.readParams(ctx, opts)
+	return c.countsAt(expID, token, wait, level)
+}
+
+func (c *Client) countsAt(expID string, token uint64, wait time.Duration, level string) (map[core.Status]int, error) {
+	resp, err := c.roundTrip(request{Op: "counts", ExpID: expID, Token: token, WaitMS: wait.Milliseconds(), Level: level},
+		time.Second+wait)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[core.Status]int, len(resp.CountsMap))
+	for st, n := range resp.CountsMap {
+		out[core.Status(st)] = n
+	}
+	return out, nil
+}
+
+// Tags implements core.Session.
+func (c *Client) Tags(ctx context.Context, taskID int64, opts ...core.ReadOption) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.CtxErr(ctx)
+	}
+	token, wait, level := c.readParams(ctx, opts)
+	return c.tagsAt(taskID, token, wait, level)
+}
+
+func (c *Client) tagsAt(taskID int64, token uint64, wait time.Duration, level string) ([]string, error) {
+	resp, err := c.roundTrip(request{Op: "tags", TaskID: taskID, Token: token, WaitMS: wait.Milliseconds(), Level: level},
+		time.Second+wait)
+	if err != nil {
+		return nil, err
+	}
+	return resp.TagList, nil
+}
+
+// GetTask implements core.Session. It reads the local replica of whichever
+// node it reaches (under the session freshness bound), which is what lets
+// failover clients recover completed results whose input-queue entry died
+// with the old leader.
+func (c *Client) GetTask(ctx context.Context, taskID int64, opts ...core.ReadOption) (core.Task, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Task{}, core.CtxErr(ctx)
+	}
+	token, wait, level := c.readParams(ctx, opts)
+	return c.getTaskAt(taskID, token, wait, level)
+}
+
+func (c *Client) getTaskAt(taskID int64, token uint64, wait time.Duration, level string) (core.Task, error) {
+	resp, err := c.roundTrip(request{Op: "task_get", TaskID: taskID, Token: token, WaitMS: wait.Milliseconds(), Level: level},
+		time.Second+wait)
+	if err != nil {
+		return core.Task{}, err
+	}
+	if len(resp.Tasks) == 0 {
+		return core.Task{}, fmt.Errorf("service: task_get returned no task")
+	}
+	return fromWireTask(resp.Tasks[0]), nil
+}
+
+// ClusterInfo is a node's replication status as reported by the "cluster"
+// op. Standalone (non-replicated) servers answer as their own leader, so
+// failover clients work against them unchanged.
+type ClusterInfo struct {
+	Role      string
+	NodeID    string
+	LeaderSvc string
+	Term      uint64
+	Applied   uint64
+	// PeerSvcs lists the service addresses of every cluster member the
+	// answering node knows of (itself included).
+	PeerSvcs []string
+}
+
+// Cluster queries the node's replication status.
+func (c *Client) Cluster() (ClusterInfo, error) {
+	resp, err := c.roundTrip(request{Op: "cluster"}, time.Second)
+	if err != nil {
+		return ClusterInfo{}, err
+	}
+	return ClusterInfo{
+		Role: resp.Role, NodeID: resp.NodeID, LeaderSvc: resp.LeaderSvc,
+		Term: resp.Term, Applied: resp.Applied, PeerSvcs: resp.PeerSvcs,
+	}, nil
+}
+
+// Promote forces the connected node to promote itself to cluster leader,
+// overriding the majority election gate — the operator escape hatch for
+// deployments that cannot form a majority (canonically: the survivor of a
+// 2-node cluster). It returns the node's post-promotion status. Use only
+// when the missing peers are known dead; forcing both sides of a live
+// partition splits the brain.
+func (c *Client) Promote() (ClusterInfo, error) {
+	resp, err := c.roundTrip(request{Op: "cluster_promote"}, 5*time.Second)
+	if err != nil {
+		return ClusterInfo{}, err
+	}
+	return ClusterInfo{
+		Role: resp.Role, NodeID: resp.NodeID, LeaderSvc: resp.LeaderSvc,
+		Term: resp.Term, Applied: resp.Applied, PeerSvcs: resp.PeerSvcs,
+	}, nil
+}
+
+// ClusterStats fetches the answering node's full metrics snapshot over the
+// wire protocol: the same numbers /metrics exposes, flattened to
+// name{labels} -> value (histograms as _count/_sum/_p50/_p95/_p99), for
+// callers that can reach the service port but not the ops listener. On a
+// follower it reports that follower's own metrics — per-node, not
+// cluster-aggregated.
+func (c *Client) ClusterStats() (map[string]float64, error) {
+	resp, err := c.roundTrip(request{Op: "cluster_stats"}, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
+// DialContext dials with retry until the service is up or ctx expires —
+// used when funcX starts the service remotely and the client must wait for
+// it to come online.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	for {
+		c, err := Dial(addr)
+		if err == nil {
+			if perr := c.Ping(); perr == nil {
+				return c, nil
+			}
+			c.Close()
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("service: %s not reachable: %w", addr, ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

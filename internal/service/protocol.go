@@ -2,9 +2,11 @@
 // network-facing mediator between model-exploration algorithms, worker
 // pools, and the resource-local EMEWS task database. In the paper the ME
 // script on a laptop reaches the service on the Bebop cluster through an
-// SSH tunnel; here the service speaks a newline-delimited JSON protocol
-// over TCP and the Client type implements core.API so algorithms and pools
-// run unchanged against a local database or a remote service.
+// SSH tunnel; here the service speaks a length-prefixed binary protocol
+// (wire protocol v2, see wire.go) over TCP — multiplexed and pipelined,
+// with a newline-delimited JSON fallback negotiated per connection for
+// pre-v2 clients — and the Client type implements core.API so algorithms
+// and pools run unchanged against a local database or a remote service.
 package service
 
 import (
@@ -91,8 +93,8 @@ func toWireTask(t core.Task) wireTask {
 	return wireTask{
 		ID: t.ID, ExpID: t.ExpID, WorkType: t.WorkType, Status: string(t.Status),
 		Payload: t.Payload, Result: t.Result, Pool: t.Pool, Priority: t.Priority,
-		Created: t.Created.UnixNano(), Started: t.Started.UnixNano(),
-		Stopped: t.Stopped.UnixNano(),
+		Created: nanoOf(t.Created), Started: nanoOf(t.Started),
+		Stopped: nanoOf(t.Stopped),
 	}
 }
 
@@ -100,9 +102,28 @@ func fromWireTask(t wireTask) core.Task {
 	return core.Task{
 		ID: t.ID, ExpID: t.ExpID, WorkType: t.WorkType, Status: core.Status(t.Status),
 		Payload: t.Payload, Result: t.Result, Pool: t.Pool, Priority: t.Priority,
-		Created: time.Unix(0, t.Created), Started: time.Unix(0, t.Started),
-		Stopped: time.Unix(0, t.Stopped),
+		Created: timeOf(t.Created), Started: timeOf(t.Started),
+		Stopped: timeOf(t.Stopped),
 	}
+}
+
+// nanoOf and timeOf map timestamps across the wire with the zero value
+// preserved: a zero time.Time travels as 0 and rebuilds as a zero time.Time,
+// so an unstarted task's Started/Stopped survive a round trip as unstarted.
+// (UnixNano on a zero time is a huge negative number, and time.Unix(0, n) is
+// never zero — without the explicit mapping, IsZero breaks on the far side.)
+func nanoOf(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+func timeOf(ns int64) time.Time {
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 // wireResult mirrors core.TaskResult.

@@ -32,6 +32,15 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// Cached multiplexed client for the follower→leader forward hop: every
+	// forwarded request pipelines over one upstream connection instead of
+	// dialing per request, and a slow forwarded long-poll no longer
+	// head-of-line-blocks other forwards.
+	fwdMu     sync.Mutex
+	fwd       *Client
+	fwdAddr   string
+	fwdClosed bool
 }
 
 // Serve starts a server for db on addr (e.g. "127.0.0.1:0") and returns once
@@ -118,6 +127,16 @@ func (s *Server) Close() {
 	for _, c := range conns {
 		c.Close()
 	}
+	// Closing the cached forward client before waiting aborts in-flight
+	// forwarded round trips instead of riding out their timeouts; the
+	// fwdClosed latch stops a racing handler from re-dialing after this.
+	s.fwdMu.Lock()
+	s.fwdClosed = true
+	if s.fwd != nil {
+		s.fwd.Close()
+		s.fwd = nil
+	}
+	s.fwdMu.Unlock()
 	s.wg.Wait()
 }
 
@@ -179,19 +198,51 @@ func sleepCtx(s *Server, d time.Duration) bool {
 
 const maxLine = 64 << 20 // per-message bound; payloads are JSON strings
 
-// handle serves one connection with a single reused JSON decoder/encoder
-// pair over buffered I/O: the per-request Unmarshal/Marshal allocations and
-// the unbuffered per-response write syscall were measurable on the submit
-// hot path. json.Encoder terminates every value with '\n', so the wire
-// format stays newline-delimited JSON. A malformed request closes the
-// connection (the stream position is unknowable after a decode error)
-// instead of answering per line. The LimitedReader is topped up before each
-// decode, preserving the old line scanner's property that one request can
-// never buffer more than maxLine bytes.
+// handle negotiates the connection's protocol version off its first byte —
+// the only negotiation the protocol has, chosen so it costs nothing on
+// established connections. A v2 client leads with the wireMagic byte (never
+// a valid JSON start); anything else is served by the legacy
+// newline-delimited JSON loop, which is what keeps pre-v2 clients working
+// across a rolling upgrade with zero configuration.
 func (s *Server) handle(conn net.Conn) {
 	peer := conn.RemoteAddr().String()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		// Hung up (or was closed) before a single byte: not a protocol error.
+		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !s.isClosed() {
+			s.log.Debug("connection read failed", "peer", peer, "error", err)
+		}
+		return
+	}
+	if first[0] != wireMagic {
+		s.handleV1(conn, br, peer)
+		return
+	}
+	br.Discard(1)
+	ver, err := br.ReadByte()
+	if err != nil || ver == 0 || ver > wireVersion {
+		s.met.malformed.Inc()
+		s.log.Warn("unsupported wire preamble, closing connection",
+			"peer", peer, "version", ver, "error", err)
+		return
+	}
+	s.handleV2(conn, br, peer)
+}
+
+// handleV1 serves one legacy JSON connection with a single reused JSON
+// decoder/encoder pair over buffered I/O: the per-request Unmarshal/Marshal
+// allocations and the unbuffered per-response write syscall were measurable
+// on the submit hot path. json.Encoder terminates every value with '\n', so
+// the wire format stays newline-delimited JSON. A malformed request closes
+// the connection (the stream position is unknowable after a decode error)
+// instead of answering per line. The LimitedReader is topped up before each
+// decode, preserving the old line scanner's property that one request can
+// never buffer more than maxLine bytes. v1 is strictly serial: one request,
+// one response, in order.
+func (s *Server) handleV1(conn net.Conn, br *bufio.Reader, peer string) {
 	bw := bufio.NewWriterSize(conn, 64<<10)
-	lr := &io.LimitedReader{R: bufio.NewReaderSize(conn, 64<<10)}
+	lr := &io.LimitedReader{R: br}
 	dec := json.NewDecoder(lr)
 	enc := json.NewEncoder(bw)
 	for {
@@ -217,12 +268,130 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		resp := s.dispatch(req, peer)
 		if err := enc.Encode(&resp); err != nil {
-			s.logWriteErr(peer, req, err)
+			s.logWriteErr(peer, req.Op, req.Trace, err)
 			return
 		}
 		if err := bw.Flush(); err != nil {
-			s.logWriteErr(peer, req, err)
+			s.logWriteErr(peer, req.Op, req.Trace, err)
 			return
+		}
+	}
+}
+
+// maxInflight bounds one v2 connection's concurrently executing requests: a
+// client pipelining faster than the database drains parks in the connection
+// read loop (natural TCP backpressure) instead of growing an unbounded
+// goroutine pile.
+const maxInflight = 256
+
+// v2conn bundles one binary-protocol connection's shared write side: the
+// lock serializing frame writes, the buffered writer, and the encode
+// scratch. writeResp and serve are methods rather than closures so the
+// compiler can keep a completed response on the serving goroutine's stack.
+type v2conn struct {
+	s    *Server
+	conn net.Conn
+	peer string
+	bw   *bufio.Writer
+	wmu  sync.Mutex
+	wf   frameIO // write-side scratch, guarded by wmu
+}
+
+func (v *v2conn) writeResp(id uint64, resp *response, op, trace string) {
+	v.wmu.Lock()
+	err := v.wf.writeResponse(v.bw, id, resp)
+	if err == nil {
+		err = v.bw.Flush()
+	}
+	v.wmu.Unlock()
+	if err != nil {
+		v.s.logWriteErr(v.peer, op, trace, err)
+		// The write stream is poisoned mid-frame; closing the connection
+		// unblocks the read loop and fails the client over cleanly.
+		v.conn.Close()
+	}
+}
+
+// serve executes one request and writes its response frame.
+func (v *v2conn) serve(id uint64, req *request) {
+	resp := v.s.dispatch(*req, v.peer)
+	v.writeResp(id, &resp, req.Op, req.Trace)
+}
+
+// v2work is one request handed from the read loop to a connection worker.
+type v2work struct {
+	id  uint64
+	req request
+}
+
+// handleV2 serves one binary-protocol connection. The read loop decodes
+// frames with per-connection reusable buffers and dispatches each request by
+// shape: ops that can block — every write (pops and their long-polls
+// included), quorum waits, forwards, promote, and any read that may wait on
+// replication catch-up — are handed to connection workers so one slow
+// request never stalls the requests pipelined behind it; plain local reads
+// are answered inline, keeping the fast path allocation-light. Workers are
+// spawned lazily, reused across requests (a pipelined stream of writes costs
+// no per-request goroutine), and capped at maxInflight — when all are busy
+// the blocking hand-off is the backpressure that parks the read loop.
+// Responses are written in completion order under a write lock, each frame
+// echoing its request ID so the client's demux can route it.
+func (s *Server) handleV2(conn net.Conn, br *bufio.Reader, peer string) {
+	v := &v2conn{s: s, conn: conn, peer: peer, bw: bufio.NewWriterSize(conn, 64<<10)}
+	var (
+		rf      frameIO // read-side scratch, owned by this loop
+		wg      sync.WaitGroup
+		workers int
+	)
+	work := make(chan v2work) // unbuffered: rendezvous with an idle worker
+	defer func() {
+		close(work)
+		wg.Wait()
+	}()
+	for {
+		id, req, err := rf.readRequest(br)
+		if err != nil {
+			var netErr net.Error
+			switch {
+			case s.isClosed(), errors.Is(err, net.ErrClosed):
+			case errors.Is(err, errTruncated), errors.Is(err, errFrameTooBig):
+				// Includes a peer dying mid-frame (wrapped unexpected EOF):
+				// either way the stream is unrecoverable and counted.
+				s.met.malformed.Inc()
+				s.log.Warn("malformed v2 frame, closing connection", "peer", peer, "error", err)
+			case errors.Is(err, io.EOF): // clean hangup between frames
+			case errors.As(err, &netErr):
+				s.log.Debug("connection read failed", "peer", peer, "error", err)
+			default:
+				s.met.malformed.Inc()
+				s.log.Warn("malformed v2 frame, closing connection", "peer", peer, "error", err)
+			}
+			return
+		}
+		// The decoded request owns all its memory (strings and slices are
+		// copied out of the frame buffer), so it is safe to hand off while
+		// the loop reuses the buffer for the next frame.
+		mayBlock := writeOps[req.Op] || req.Op == "cluster_promote" ||
+			(s.node != nil && (req.Level == "strong" || req.Token > 0))
+		if !mayBlock {
+			v.serve(id, &req)
+			continue
+		}
+		w := v2work{id: id, req: req}
+		select {
+		case work <- w: // an idle worker takes it
+		default:
+			if workers < maxInflight {
+				workers++
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for w := range work {
+						v.serve(w.id, &w.req)
+					}
+				}()
+			}
+			work <- w // all workers busy: block until one frees (backpressure)
 		}
 	}
 }
@@ -230,11 +399,11 @@ func (s *Server) handle(conn net.Conn) {
 // logWriteErr reports a failed response write — usually the client vanishing
 // mid-poll, so Debug unless the server is still healthy and the error is not
 // a network one.
-func (s *Server) logWriteErr(peer string, req request, err error) {
+func (s *Server) logWriteErr(peer, op, trace string, err error) {
 	if s.isClosed() || errors.Is(err, net.ErrClosed) {
 		return
 	}
-	s.log.Debug("response write failed", "peer", peer, "op", req.Op, "trace", req.Trace, "error", err)
+	s.log.Debug("response write failed", "peer", peer, "op", op, "trace", trace, "error", err)
 }
 
 // writeOps are the API calls that mutate the task database and therefore
@@ -397,7 +566,12 @@ func (s *Server) exec(req request) response {
 		}
 		return response{OK: true, Tasks: []wireTask{toWireTask(task)}}
 	case "submit":
-		opts := []core.SubmitOption{core.WithPriority(req.Priority)}
+		// Options are built only for non-default settings: the common bare
+		// submit passes an empty opts slice and allocates nothing here.
+		var opts []core.SubmitOption
+		if req.Priority != 0 {
+			opts = append(opts, core.WithPriority(req.Priority))
+		}
 		if len(req.Tags) > 0 {
 			opts = append(opts, core.WithTags(req.Tags...))
 		}
@@ -508,10 +682,12 @@ func (s *Server) exec(req request) response {
 }
 
 // forward relays a request that needs the leader (a write, or a strong read)
-// from a follower to the current cluster leader over a fresh connection
-// (long-poll ops would head-of-line block a shared one) and returns the
-// leader's response verbatim. Forwarding is single-hop: a request that
-// bounced once fails fast so two nodes with stale role views cannot
+// from a follower to the current cluster leader and returns the leader's
+// response verbatim. The hop rides the server's cached multiplexed client —
+// concurrent forwards pipeline over one upstream connection, and because the
+// leader answers v2 frames out of order, a slow forwarded long-poll no
+// longer blocks the forwards behind it. Forwarding is single-hop: a request
+// that bounced once fails fast so two nodes with stale role views cannot
 // ping-pong it.
 func (s *Server) forward(req request) response {
 	if req.Fwd {
@@ -525,11 +701,10 @@ func (s *Server) forward(req request) response {
 	// The follower half of the forward hop: the leader logs the same trace
 	// ID when it handles the forwarded request.
 	s.log.Info("forwarding request to leader", "op", req.Op, "trace", req.Trace, "leader", addr)
-	c, err := Dial(addr)
+	c, err := s.forwardClient(addr)
 	if err != nil {
 		return response{Error: "service: leader unreachable: " + err.Error(), Transient: true}
 	}
-	defer c.Close()
 	req.Fwd = true
 	timeout := ms(req.WaitMS)
 	if timeout < time.Second {
@@ -537,9 +712,44 @@ func (s *Server) forward(req request) response {
 	}
 	resp, err := c.roundTrip(req, timeout)
 	if err != nil && errors.Is(err, ErrConn) {
+		s.invalidateForward(c)
 		return response{Error: "service: leader unreachable: " + err.Error(), Transient: true}
 	}
 	return resp
+}
+
+// forwardClient returns the cached upstream client for addr, redialing when
+// the leader moved or the cached connection died.
+func (s *Server) forwardClient(addr string) (*Client, error) {
+	s.fwdMu.Lock()
+	defer s.fwdMu.Unlock()
+	if s.fwdClosed {
+		return nil, errors.New("server closed")
+	}
+	if s.fwd != nil && (s.fwdAddr != addr || s.fwd.broken()) {
+		s.fwd.Close()
+		s.fwd = nil
+	}
+	if s.fwd == nil {
+		c, err := Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		s.fwd, s.fwdAddr = c, addr
+	}
+	return s.fwd, nil
+}
+
+// invalidateForward drops the cached forward client after a transport
+// failure, if it is still the cached one (a concurrent forward may already
+// have replaced it).
+func (s *Server) invalidateForward(c *Client) {
+	s.fwdMu.Lock()
+	defer s.fwdMu.Unlock()
+	if s.fwd == c {
+		s.fwd.Close()
+		s.fwd = nil
+	}
 }
 
 func errResponse(err error) response {
@@ -547,520 +757,3 @@ func errResponse(err error) response {
 }
 
 func ms(v int64) time.Duration { return time.Duration(v) * time.Millisecond }
-
-// --- client ---
-
-// Client is a TCP client for a remote EMEWS service implementing
-// core.Session. A Client multiplexes all calls over one connection,
-// serializing them; use one Client per concurrent component (one per worker
-// pool, one per ME algorithm), as the paper does with per-process DB
-// connections. The session commit token ratchets on every response — writes
-// and pops return their own WAL index, reads report the serving replica's
-// applied index — and session-level reads ship it back as their freshness
-// bound.
-type Client struct {
-	mu        sync.Mutex
-	conn      net.Conn
-	bw        *bufio.Writer
-	enc       *json.Encoder     // writes into bw; one per connection
-	lim       *io.LimitedReader // per-response size bound, topped up per read
-	dec       *json.Decoder     // reads the response stream; one per connection
-	addr      string
-	lastToken uint64 // highest commit token seen in any response
-}
-
-var _ core.Session = (*Client)(nil)
-
-// DefaultReadWait bounds how long a session-level read lets the serving
-// replica catch up to the freshness token before the replica answers
-// transiently, when the caller's context carries no deadline.
-const DefaultReadWait = time.Second
-
-// ErrConn marks transport-level failures (dial, write, read, peer close) as
-// opposed to application errors returned by the service. Failover clients
-// re-resolve the leader when a call fails with ErrConn.
-var ErrConn = errors.New("service: connection lost")
-
-// ErrUnavailable marks transient cluster conditions (no leader yet, leader
-// unreachable from a forwarding follower); callers may retry.
-var ErrUnavailable = errors.New("service: temporarily unavailable")
-
-// Dial connects to a service.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("service: dial %s: %w: %w", addr, ErrConn, err)
-	}
-	bw := bufio.NewWriterSize(conn, 64<<10)
-	lim := &io.LimitedReader{R: bufio.NewReaderSize(conn, 64<<10)}
-	return &Client{
-		conn: conn,
-		bw:   bw,
-		enc:  json.NewEncoder(bw),
-		lim:  lim,
-		dec:  json.NewDecoder(lim),
-		addr: addr,
-	}, nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
-}
-
-// Ping verifies the service is reachable.
-func (c *Client) Ping() error {
-	_, err := c.roundTrip(request{Op: "ping"}, time.Second)
-	return err
-}
-
-func (c *Client) roundTrip(req request, timeout time.Duration) (response, error) {
-	if req.Trace == "" {
-		req.Trace = obs.TraceID()
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	// Allow the server-side poll to finish before the read deadline.
-	deadline := time.Now().Add(timeout + 10*time.Second)
-	if err := c.conn.SetDeadline(deadline); err != nil {
-		return response{}, fmt.Errorf("service: deadline: %w: %w", ErrConn, err)
-	}
-	if err := c.enc.Encode(&req); err != nil {
-		return response{}, fmt.Errorf("service: write: %w: %w", ErrConn, err)
-	}
-	if err := c.bw.Flush(); err != nil {
-		return response{}, fmt.Errorf("service: write: %w: %w", ErrConn, err)
-	}
-	c.lim.N = maxLine
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		// Any decode failure poisons the stream (the position within a
-		// half-read value is unknowable), so surface it as a connection
-		// error and let failover clients redial.
-		return response{}, fmt.Errorf("service: read: %w: %w", ErrConn, err)
-	}
-	if resp.Token > c.lastToken {
-		c.lastToken = resp.Token
-	}
-	if !resp.OK {
-		if resp.Timeout {
-			return resp, core.ErrTimeout
-		}
-		if resp.Transient {
-			return resp, fmt.Errorf("%w: %s", ErrUnavailable, resp.Error)
-		}
-		return resp, errors.New(resp.Error)
-	}
-	return resp, nil
-}
-
-// LastToken returns the highest commit token observed in any response on
-// this client: the session's high-water mark for read-your-writes (and
-// read-your-pops) reads.
-func (c *Client) LastToken() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lastToken
-}
-
-// Token implements core.Session.
-func (c *Client) Token() core.Token { return c.LastToken() }
-
-// callTimeout derives a per-attempt round-trip budget from ctx: the context
-// remaining time, capped at def. The cap is what keeps failover responsive —
-// a single write attempt against a silently dead peer must not consume a
-// generous caller deadline; the retry layers (ClusterClient.do) own the
-// long-horizon retrying, one bounded attempt at a time.
-func callTimeout(ctx context.Context, def time.Duration) time.Duration {
-	if d, ok := ctx.Deadline(); ok {
-		r := time.Until(d)
-		if r < time.Millisecond {
-			return time.Millisecond
-		}
-		if r < def {
-			return r
-		}
-	}
-	return def
-}
-
-// poll runs one polling op. With a context deadline the whole remaining
-// budget ships to the server as WaitMS in a single round trip; without one,
-// the client long-polls in chunks until the context is canceled or something
-// arrives — the wire analogue of an unbounded Session poll.
-func (c *Client) poll(ctx context.Context, send func(waitMS int64, budget time.Duration) (response, error)) (response, error) {
-	const chunk = time.Second
-	first := true
-	for {
-		// An explicit cancellation must not execute the pop at all (the pop
-		// mutates the queues); only a deadline expiry earns the one-shot try.
-		if err := ctx.Err(); errors.Is(err, context.Canceled) {
-			return response{}, err
-		}
-		budget := chunk
-		if d, ok := ctx.Deadline(); ok {
-			remain := time.Until(d)
-			if remain <= 0 {
-				if !first {
-					return response{}, core.ErrTimeout
-				}
-				// An expired deadline still earns one immediate attempt,
-				// matching the Session contract.
-				remain = time.Millisecond
-			}
-			budget = remain
-		}
-		resp, err := send(budget.Milliseconds(), budget)
-		first = false
-		if !errors.Is(err, core.ErrTimeout) {
-			return resp, err
-		}
-		if _, bounded := ctx.Deadline(); bounded {
-			return resp, core.ErrTimeout
-		}
-		select {
-		case <-ctx.Done():
-			return resp, core.CtxErr(ctx)
-		default:
-		}
-	}
-}
-
-// Submit implements core.Session.
-func (c *Client) Submit(ctx context.Context, expID string, workType int, payload string, opts ...core.SubmitOption) (core.SubmitRes, error) {
-	// Mutating ops honor cancellation before touching the wire — matching
-	// core.DB, a canceled context must not execute the write.
-	if err := ctx.Err(); err != nil {
-		return core.SubmitRes{}, core.CtxErr(ctx)
-	}
-	var o core.SubmitOptions
-	for _, opt := range opts {
-		opt(&o)
-	}
-	resp, err := c.roundTrip(request{
-		Op: "submit", ExpID: expID, WorkType: workType, Payload: payload,
-		Priority: o.Priority, Tags: o.Tags, DedupKey: o.DedupKey,
-	}, callTimeout(ctx, time.Second))
-	if err != nil {
-		return core.SubmitRes{}, err
-	}
-	return core.SubmitRes{ID: resp.TaskID, Token: resp.Token}, nil
-}
-
-// SubmitBatch implements core.Session.
-func (c *Client) SubmitBatch(ctx context.Context, expID string, workType int, payloads []string, priorities []int, dedupKeys []string) (core.BatchRes, error) {
-	if err := ctx.Err(); err != nil {
-		return core.BatchRes{}, core.CtxErr(ctx)
-	}
-	resp, err := c.roundTrip(request{
-		Op: "submit_batch", ExpID: expID, WorkType: workType,
-		Payloads: payloads, Priorities: priorities, DedupKeys: dedupKeys,
-	}, callTimeout(ctx, 10*time.Second))
-	if err != nil {
-		return core.BatchRes{}, err
-	}
-	return core.BatchRes{IDs: resp.TaskIDs, Token: resp.Token}, nil
-}
-
-// QueryTasks implements core.Session.
-func (c *Client) QueryTasks(ctx context.Context, workType, n int, pool string) (core.TasksRes, error) {
-	resp, err := c.poll(ctx, func(waitMS int64, budget time.Duration) (response, error) {
-		return c.roundTrip(request{
-			Op: "query_tasks", WorkType: workType, N: n, Pool: pool, WaitMS: waitMS,
-		}, budget)
-	})
-	if err != nil {
-		return core.TasksRes{}, err
-	}
-	tasks := make([]core.Task, len(resp.Tasks))
-	for i, t := range resp.Tasks {
-		tasks[i] = fromWireTask(t)
-	}
-	return core.TasksRes{Tasks: tasks, Token: resp.Token}, nil
-}
-
-// Report implements core.Session.
-func (c *Client) Report(ctx context.Context, taskID int64, workType int, result string) (core.Res, error) {
-	if err := ctx.Err(); err != nil {
-		return core.Res{}, core.CtxErr(ctx)
-	}
-	resp, err := c.roundTrip(request{Op: "report", TaskID: taskID, WorkType: workType, Result: result},
-		callTimeout(ctx, time.Second))
-	if err != nil {
-		return core.Res{}, err
-	}
-	return core.Res{Token: resp.Token}, nil
-}
-
-// QueryResult implements core.Session.
-func (c *Client) QueryResult(ctx context.Context, taskID int64) (core.ResultRes, error) {
-	resp, err := c.poll(ctx, func(waitMS int64, budget time.Duration) (response, error) {
-		return c.roundTrip(request{Op: "query_result", TaskID: taskID, WaitMS: waitMS}, budget)
-	})
-	if err != nil {
-		return core.ResultRes{}, err
-	}
-	return core.ResultRes{Result: resp.ResultText, Token: resp.Token}, nil
-}
-
-// PopResults implements core.Session.
-func (c *Client) PopResults(ctx context.Context, ids []int64, max int) (core.ResultsRes, error) {
-	resp, err := c.poll(ctx, func(waitMS int64, budget time.Duration) (response, error) {
-		return c.roundTrip(request{Op: "pop_results", TaskIDs: ids, N: max, WaitMS: waitMS}, budget)
-	})
-	if err != nil {
-		return core.ResultsRes{}, err
-	}
-	out := make([]core.TaskResult, len(resp.Results))
-	for i, r := range resp.Results {
-		out[i] = core.TaskResult{ID: r.ID, Result: r.Result}
-	}
-	return core.ResultsRes{Results: out, Token: resp.Token}, nil
-}
-
-// readParams renders per-call consistency options into wire terms: the
-// freshness token, the catch-up wait bound, and the level flag. The
-// connection's own session token is the session-level default.
-func (c *Client) readParams(ctx context.Context, opts []core.ReadOption) (token uint64, wait time.Duration, level string) {
-	o := core.ApplyReadOptions(opts)
-	switch o.Level {
-	case core.LevelStrong:
-		return 0, 0, "strong"
-	case core.LevelEventual:
-		return 0, 0, "eventual"
-	default:
-		wait = DefaultReadWait
-		if d, ok := ctx.Deadline(); ok {
-			if r := time.Until(d); r < wait {
-				wait = max(r, 0)
-			}
-		}
-		return c.LastToken(), wait, ""
-	}
-}
-
-// Statuses implements core.Session.
-func (c *Client) Statuses(ctx context.Context, ids []int64, opts ...core.ReadOption) (map[int64]core.Status, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, core.CtxErr(ctx)
-	}
-	token, wait, level := c.readParams(ctx, opts)
-	return c.statusesAt(ids, token, wait, level)
-}
-
-// statusesAt is Statuses with an explicit minimum-freshness commit token:
-// the replica answers only once it has applied the WAL through token
-// (waiting up to wait), or transiently refuses.
-func (c *Client) statusesAt(ids []int64, token uint64, wait time.Duration, level string) (map[int64]core.Status, error) {
-	resp, err := c.roundTrip(request{Op: "statuses", TaskIDs: ids, Token: token, WaitMS: wait.Milliseconds(), Level: level},
-		time.Second+wait)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[int64]core.Status, len(resp.StatusMap))
-	for id, st := range resp.StatusMap {
-		out[id] = core.Status(st)
-	}
-	return out, nil
-}
-
-// Priorities implements core.Session.
-func (c *Client) Priorities(ctx context.Context, ids []int64, opts ...core.ReadOption) (map[int64]int, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, core.CtxErr(ctx)
-	}
-	token, wait, level := c.readParams(ctx, opts)
-	return c.prioritiesAt(ids, token, wait, level)
-}
-
-func (c *Client) prioritiesAt(ids []int64, token uint64, wait time.Duration, level string) (map[int64]int, error) {
-	resp, err := c.roundTrip(request{Op: "priorities", TaskIDs: ids, Token: token, WaitMS: wait.Milliseconds(), Level: level},
-		time.Second+wait)
-	if err != nil {
-		return nil, err
-	}
-	if resp.PrioMap == nil {
-		return map[int64]int{}, nil
-	}
-	return resp.PrioMap, nil
-}
-
-// UpdatePriorities implements core.Session.
-func (c *Client) UpdatePriorities(ctx context.Context, ids []int64, priorities []int) (core.CountRes, error) {
-	if err := ctx.Err(); err != nil {
-		return core.CountRes{}, core.CtxErr(ctx)
-	}
-	resp, err := c.roundTrip(request{Op: "update_priorities", TaskIDs: ids, Priorities: priorities},
-		callTimeout(ctx, time.Second))
-	if err != nil {
-		return core.CountRes{}, err
-	}
-	return core.CountRes{Count: resp.Count, Token: resp.Token}, nil
-}
-
-// CancelTasks implements core.Session.
-func (c *Client) CancelTasks(ctx context.Context, ids []int64) (core.CountRes, error) {
-	if err := ctx.Err(); err != nil {
-		return core.CountRes{}, core.CtxErr(ctx)
-	}
-	resp, err := c.roundTrip(request{Op: "cancel", TaskIDs: ids}, callTimeout(ctx, time.Second))
-	if err != nil {
-		return core.CountRes{}, err
-	}
-	return core.CountRes{Count: resp.Count, Token: resp.Token}, nil
-}
-
-// RequeueRunning implements core.Session.
-func (c *Client) RequeueRunning(ctx context.Context, pool string) (core.CountRes, error) {
-	if err := ctx.Err(); err != nil {
-		return core.CountRes{}, core.CtxErr(ctx)
-	}
-	resp, err := c.roundTrip(request{Op: "requeue", Pool: pool}, callTimeout(ctx, time.Second))
-	if err != nil {
-		return core.CountRes{}, err
-	}
-	return core.CountRes{Count: resp.Count, Token: resp.Token}, nil
-}
-
-// Counts implements core.Session.
-func (c *Client) Counts(ctx context.Context, expID string, opts ...core.ReadOption) (map[core.Status]int, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, core.CtxErr(ctx)
-	}
-	token, wait, level := c.readParams(ctx, opts)
-	return c.countsAt(expID, token, wait, level)
-}
-
-func (c *Client) countsAt(expID string, token uint64, wait time.Duration, level string) (map[core.Status]int, error) {
-	resp, err := c.roundTrip(request{Op: "counts", ExpID: expID, Token: token, WaitMS: wait.Milliseconds(), Level: level},
-		time.Second+wait)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[core.Status]int, len(resp.CountsMap))
-	for st, n := range resp.CountsMap {
-		out[core.Status(st)] = n
-	}
-	return out, nil
-}
-
-// Tags implements core.Session.
-func (c *Client) Tags(ctx context.Context, taskID int64, opts ...core.ReadOption) ([]string, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, core.CtxErr(ctx)
-	}
-	token, wait, level := c.readParams(ctx, opts)
-	return c.tagsAt(taskID, token, wait, level)
-}
-
-func (c *Client) tagsAt(taskID int64, token uint64, wait time.Duration, level string) ([]string, error) {
-	resp, err := c.roundTrip(request{Op: "tags", TaskID: taskID, Token: token, WaitMS: wait.Milliseconds(), Level: level},
-		time.Second+wait)
-	if err != nil {
-		return nil, err
-	}
-	return resp.TagList, nil
-}
-
-// GetTask implements core.Session. It reads the local replica of whichever
-// node it reaches (under the session freshness bound), which is what lets
-// failover clients recover completed results whose input-queue entry died
-// with the old leader.
-func (c *Client) GetTask(ctx context.Context, taskID int64, opts ...core.ReadOption) (core.Task, error) {
-	if err := ctx.Err(); err != nil {
-		return core.Task{}, core.CtxErr(ctx)
-	}
-	token, wait, level := c.readParams(ctx, opts)
-	return c.getTaskAt(taskID, token, wait, level)
-}
-
-func (c *Client) getTaskAt(taskID int64, token uint64, wait time.Duration, level string) (core.Task, error) {
-	resp, err := c.roundTrip(request{Op: "task_get", TaskID: taskID, Token: token, WaitMS: wait.Milliseconds(), Level: level},
-		time.Second+wait)
-	if err != nil {
-		return core.Task{}, err
-	}
-	if len(resp.Tasks) == 0 {
-		return core.Task{}, fmt.Errorf("service: task_get returned no task")
-	}
-	return fromWireTask(resp.Tasks[0]), nil
-}
-
-// ClusterInfo is a node's replication status as reported by the "cluster"
-// op. Standalone (non-replicated) servers answer as their own leader, so
-// failover clients work against them unchanged.
-type ClusterInfo struct {
-	Role      string
-	NodeID    string
-	LeaderSvc string
-	Term      uint64
-	Applied   uint64
-	// PeerSvcs lists the service addresses of every cluster member the
-	// answering node knows of (itself included).
-	PeerSvcs []string
-}
-
-// Cluster queries the node's replication status.
-func (c *Client) Cluster() (ClusterInfo, error) {
-	resp, err := c.roundTrip(request{Op: "cluster"}, time.Second)
-	if err != nil {
-		return ClusterInfo{}, err
-	}
-	return ClusterInfo{
-		Role: resp.Role, NodeID: resp.NodeID, LeaderSvc: resp.LeaderSvc,
-		Term: resp.Term, Applied: resp.Applied, PeerSvcs: resp.PeerSvcs,
-	}, nil
-}
-
-// Promote forces the connected node to promote itself to cluster leader,
-// overriding the majority election gate — the operator escape hatch for
-// deployments that cannot form a majority (canonically: the survivor of a
-// 2-node cluster). It returns the node's post-promotion status. Use only
-// when the missing peers are known dead; forcing both sides of a live
-// partition splits the brain.
-func (c *Client) Promote() (ClusterInfo, error) {
-	resp, err := c.roundTrip(request{Op: "cluster_promote"}, 5*time.Second)
-	if err != nil {
-		return ClusterInfo{}, err
-	}
-	return ClusterInfo{
-		Role: resp.Role, NodeID: resp.NodeID, LeaderSvc: resp.LeaderSvc,
-		Term: resp.Term, Applied: resp.Applied, PeerSvcs: resp.PeerSvcs,
-	}, nil
-}
-
-// ClusterStats fetches the answering node's full metrics snapshot over the
-// wire protocol: the same numbers /metrics exposes, flattened to
-// name{labels} -> value (histograms as _count/_sum/_p50/_p95/_p99), for
-// callers that can reach the service port but not the ops listener. On a
-// follower it reports that follower's own metrics — per-node, not
-// cluster-aggregated.
-func (c *Client) ClusterStats() (map[string]float64, error) {
-	resp, err := c.roundTrip(request{Op: "cluster_stats"}, 5*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	return resp.Stats, nil
-}
-
-// DialContext dials with retry until the service is up or ctx expires —
-// used when funcX starts the service remotely and the client must wait for
-// it to come online.
-func DialContext(ctx context.Context, addr string) (*Client, error) {
-	for {
-		c, err := Dial(addr)
-		if err == nil {
-			if perr := c.Ping(); perr == nil {
-				return c, nil
-			}
-			c.Close()
-		}
-		select {
-		case <-ctx.Done():
-			return nil, fmt.Errorf("service: %s not reachable: %w", addr, ctx.Err())
-		case <-time.After(20 * time.Millisecond):
-		}
-	}
-}
