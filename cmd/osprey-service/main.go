@@ -103,6 +103,8 @@ func main() {
 		logLevel        = flag.String("log-level", "warn", "structured log level: debug, info, warn, error")
 		slowQuery       = flag.Duration("slow-query", 0, "log SQL statements slower than this threshold (0: disabled)")
 		stats           = flag.String("stats", "", "admin: print the metrics of the node at this service address (cluster_stats op), then exit")
+		drainTimeout    = flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight requests before closing (SIGINT closes immediately)")
+		maxInflight     = flag.Int("max-inflight", 0, "server-wide cap on concurrently executing requests; beyond it requests are shed with a fast overloaded response (0: default)")
 	)
 	flag.Parse()
 
@@ -122,11 +124,35 @@ func main() {
 	}
 	dur := durability{dir: *dataDir, fsync: *fsync, checkpointEvery: *checkpointEvery}
 	opts := []service.ServerOption{service.WithLogger(newLogger(*logLevel))}
+	if *maxInflight > 0 {
+		opts = append(opts, service.WithMaxInflight(*maxInflight))
+	}
 	if *nodeID != "" {
-		runReplicated(*addr, *nodeID, *replAddr, *replAdvertise, *advertise, *priority, *writeQuorum, *join, *snapshot, *opsAddr, dur, *slowQuery, opts)
+		runReplicated(*addr, *nodeID, *replAddr, *replAdvertise, *advertise, *priority, *writeQuorum, *join, *snapshot, *opsAddr, dur, *slowQuery, *drainTimeout, opts)
 		return
 	}
-	runStandalone(*addr, *snapshot, *opsAddr, dur, *slowQuery, opts)
+	runStandalone(*addr, *snapshot, *opsAddr, dur, *slowQuery, *drainTimeout, opts)
+}
+
+// shutdown blocks until a termination signal and stops the server
+// accordingly: SIGTERM drains — stop accepting, go unready on /readyz,
+// finish in-flight requests (bounded by drainTimeout), step down if leading
+// — the rolling-restart path; SIGINT closes immediately, the Ctrl-C path.
+func shutdown(srv *service.Server, drainTimeout time.Duration) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	if s == syscall.SIGTERM {
+		log.Printf("SIGTERM: draining (timeout %v)", drainTimeout)
+		if srv.Drain(drainTimeout) {
+			log.Printf("drained cleanly")
+		} else {
+			log.Printf("drain timeout expired; closing with requests in flight")
+		}
+		return
+	}
+	log.Printf("shutting down")
+	srv.Close()
 }
 
 // durability groups the -data-dir flag family for plumbing into either mode.
@@ -199,7 +225,7 @@ func runPromote(addr string) {
 	log.Printf("node %s promoted: role=%s term=%d applied=%d", info.NodeID, info.Role, info.Term, info.Applied)
 }
 
-func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, priority, writeQuorum int, join, snapshot, opsAddr string, dur durability, slowQuery time.Duration, opts []service.ServerOption) {
+func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, priority, writeQuorum int, join, snapshot, opsAddr string, dur durability, slowQuery, drainTimeout time.Duration, opts []service.ServerOption) {
 	if snapshot != "" {
 		log.Fatal("-snapshot is a standalone-mode flag; replicated nodes bootstrap from the leader (use -data-dir for durability)")
 	}
@@ -239,15 +265,11 @@ func runReplicated(addr, nodeID, replAddr, replAdvertise, advertise string, prio
 	log.Printf("EMEWS service node %s (%s, priority %d, %s) listening on %s, replication on %s",
 		nodeID, role, priority, mode, srv.Addr(), n.Addr())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	log.Printf("shutting down")
-	srv.Close()
+	shutdown(srv, drainTimeout)
 	n.Close()
 }
 
-func runStandalone(addr, snapshot, opsAddr string, dur durability, slowQuery time.Duration, opts []service.ServerOption) {
+func runStandalone(addr, snapshot, opsAddr string, dur durability, slowQuery, drainTimeout time.Duration, opts []service.ServerOption) {
 	if snapshot != "" && dur.dir != "" {
 		log.Fatal("-snapshot and -data-dir are mutually exclusive; -data-dir persists continuously")
 	}
@@ -265,10 +287,7 @@ func runStandalone(addr, snapshot, opsAddr string, dur durability, slowQuery tim
 	startOps(srv, db, opsAddr, slowQuery)
 	log.Printf("EMEWS service listening on %s", srv.Addr())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	log.Printf("shutting down")
+	shutdown(srv, drainTimeout)
 	if snapshot != "" {
 		if err := saveDB(db, snapshot); err != nil {
 			log.Fatalf("saving snapshot: %v", err)

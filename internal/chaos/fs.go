@@ -1,0 +1,184 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"osprey/internal/minisql"
+)
+
+// ErrDiskFull is the injected out-of-space error.
+var ErrDiskFull = errors.New("chaos: no space left on device")
+
+// ErrFsync is the injected fsync failure.
+var ErrFsync = errors.New("chaos: fsync failed")
+
+// FaultFS implements minisql.FS over the real filesystem, with injectable
+// write-path faults. Files land on the actual disk — other readers using
+// plain os (the replica leader streaming a checkpoint file, the test
+// inspecting state) keep working — but every write, fsync, and append by the
+// durability layer can be made to fail or tear:
+//
+//   - FailFsync: Sync on every file returns ErrFsync until cleared. The WAL
+//     treats a failed fsync as fatal for the log (the sticky-error path):
+//     acknowledged writes can no longer be promised durable.
+//   - FailWrites: writes return ErrDiskFull (ENOSPC) until cleared.
+//   - TearAppends(n): the next n file writes persist only a prefix of their
+//     bytes and then fail — a crash mid-append. On reopen the WAL must
+//     detect the torn tail by CRC and truncate it.
+//
+// Faults apply to files opened through the FS, which is exactly the set the
+// durability layer touches; directory operations pass through so recovery
+// itself (reading back what survived) is never blocked.
+type FaultFS struct {
+	mu           sync.Mutex
+	fsyncErr     bool
+	writeErr     bool
+	tearNext     int
+	FsyncsFailed atomic.Uint64
+	WritesFailed atomic.Uint64
+	AppendsTorn  atomic.Uint64
+}
+
+var _ minisql.FS = (*FaultFS)(nil)
+
+// NewFaultFS returns a FaultFS with no faults armed: a passthrough until
+// told otherwise.
+func NewFaultFS() *FaultFS { return &FaultFS{} }
+
+// FailFsync arms (or, with false, clears) the sticky fsync failure.
+func (f *FaultFS) FailFsync(on bool) {
+	f.mu.Lock()
+	f.fsyncErr = on
+	f.mu.Unlock()
+}
+
+// FailWrites arms (or clears) ENOSPC on every write.
+func (f *FaultFS) FailWrites(on bool) {
+	f.mu.Lock()
+	f.writeErr = on
+	f.mu.Unlock()
+}
+
+// TearAppends makes the next n writes persist a prefix and fail.
+func (f *FaultFS) TearAppends(n int) {
+	f.mu.Lock()
+	f.tearNext += n
+	f.mu.Unlock()
+}
+
+// Clear disarms every fault.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	f.fsyncErr, f.writeErr, f.tearNext = false, false, 0
+	f.mu.Unlock()
+}
+
+// writeFate decides what happens to one write of len n: (bytes to actually
+// write, error to return). Full pass = (n, nil).
+func (f *FaultFS) writeFate(n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.writeErr {
+		f.WritesFailed.Add(1)
+		return 0, ErrDiskFull
+	}
+	if f.tearNext > 0 && n > 1 {
+		f.tearNext--
+		f.AppendsTorn.Add(1)
+		return n / 2, ErrDiskFull
+	}
+	return n, nil
+}
+
+func (f *FaultFS) syncFate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fsyncErr {
+		f.FsyncsFailed.Add(1)
+		return ErrFsync
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return minisql.OSFS.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	return minisql.OSFS.ReadDir(name)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	return minisql.OSFS.ReadFile(name)
+}
+
+func (f *FaultFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if _, err := f.writeFate(len(data)); err != nil {
+		return err
+	}
+	return minisql.OSFS.WriteFile(name, data, perm)
+}
+
+func (f *FaultFS) Open(name string) (minisql.File, error) {
+	// Read-only: recovery must always be able to read what survived.
+	return minisql.OSFS.Open(name)
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (minisql.File, error) {
+	file, err := minisql.OSFS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (minisql.File, error) {
+	file, err := minisql.OSFS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	return minisql.OSFS.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error { return minisql.OSFS.Remove(name) }
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	return minisql.OSFS.Truncate(name, size)
+}
+
+// faultFile wraps a real file with the FS's armed faults.
+type faultFile struct {
+	minisql.File
+	fs *FaultFS
+}
+
+func (f *faultFile) Write(b []byte) (int, error) {
+	n, err := f.fs.writeFate(len(b))
+	if err != nil {
+		if n > 0 {
+			// Torn: the prefix really lands on disk before the failure, so a
+			// subsequent reopen sees a half-written record.
+			wrote, werr := f.File.Write(b[:n])
+			if werr != nil {
+				return wrote, werr
+			}
+			return wrote, err
+		}
+		return 0, err
+	}
+	return f.File.Write(b)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.syncFate(); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}

@@ -22,6 +22,10 @@ type OpenOptions struct {
 	SegmentBytes int64
 	// Logf, when set, receives storage lifecycle messages.
 	Logf func(format string, args ...any)
+	// FS overrides the filesystem under the WAL and checkpoints (nil: the
+	// real disk). Chaos tests inject fsync failures, ENOSPC, and torn
+	// appends through it; production never sets it.
+	FS minisql.FS
 }
 
 // durableWaitTimeout bounds how long an acknowledged write waits for its
@@ -42,6 +46,7 @@ func Open(dir string, opt OpenOptions) (*DB, error) {
 		CheckpointEvery: opt.CheckpointEvery,
 		SegmentBytes:    opt.SegmentBytes,
 		Logf:            opt.Logf,
+		FS:              opt.FS,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("eqsql: opening store %s: %w", dir, err)

@@ -232,12 +232,13 @@ type DiskLog struct {
 	segBytes int64
 	fsync    bool
 	coalesce time.Duration
+	fs       FS // filesystem seam (fs.go); OSFS in production
 
 	mu       sync.Mutex
 	segs     []segment // all segments, oldest first; last one is active
-	f        *os.File  // active segment file
+	f        File      // active segment file
 	w        *bufio.Writer
-	dirty    []*os.File // rolled-over files with writes not yet fsynced
+	dirty    []File // rolled-over files with writes not yet fsynced
 	base     uint64     // index before the first retained entry
 	last     uint64     // index of the newest appended entry
 	anchored bool       // last is a contiguity anchor (false: fresh log, any start index)
@@ -263,14 +264,24 @@ type DiskLog struct {
 // group-fsync window (<= 0 disables coalescing; ignored when fsync is
 // false).
 func OpenDiskLog(dir string, segBytes int64, fsync bool, coalesce time.Duration) (*DiskLog, error) {
+	return OpenDiskLogFS(nil, dir, segBytes, fsync, coalesce)
+}
+
+// OpenDiskLogFS is OpenDiskLog over an explicit filesystem. A nil fsys
+// selects OSFS; anything else (chaos fault injection) sees every open,
+// append, fsync, rename, and remove the log performs.
+func OpenDiskLogFS(fsys FS, dir string, segBytes int64, fsync bool, coalesce time.Duration) (*DiskLog, error) {
+	if fsys == nil {
+		fsys = OSFS
+	}
 	if segBytes <= 0 {
 		segBytes = DefaultSegmentBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	d := &DiskLog{
-		dir: dir, segBytes: segBytes, fsync: fsync, coalesce: coalesce,
+		dir: dir, segBytes: segBytes, fsync: fsync, coalesce: coalesce, fs: fsys,
 		syncReq:  make(chan struct{}, 1),
 		syncIdle: make(chan struct{}),
 		syncedCh: make(chan struct{}),
@@ -287,7 +298,7 @@ func OpenDiskLog(dir string, segBytes int64, fsync bool, coalesce time.Duration)
 // scan rebuilds the segment list from dir, validating every record and
 // truncating at the first invalid one.
 func (d *DiskLog) scan() error {
-	names, err := os.ReadDir(d.dir)
+	names, err := d.fs.ReadDir(d.dir)
 	if err != nil {
 		return err
 	}
@@ -309,7 +320,7 @@ func (d *DiskLog) scan() error {
 			valid = false
 			continue
 		}
-		data, err := os.ReadFile(s.path)
+		data, err := d.fs.ReadFile(s.path)
 		if err != nil {
 			return err
 		}
@@ -330,7 +341,7 @@ func (d *DiskLog) scan() error {
 		}
 		if off < len(data) {
 			// Torn or corrupt tail: keep the intact prefix, drop the rest.
-			if err := os.Truncate(s.path, int64(off)); err != nil {
+			if err := d.fs.Truncate(s.path, int64(off)); err != nil {
 				return err
 			}
 		}
@@ -343,7 +354,7 @@ func (d *DiskLog) scan() error {
 		if s.last >= s.first {
 			kept = append(kept, s)
 		} else {
-			os.Remove(s.path)
+			d.fs.Remove(s.path)
 		}
 	}
 	d.segs = append([]segment(nil), kept...)
@@ -354,7 +365,7 @@ func (d *DiskLog) scan() error {
 	}
 	d.synced = d.last
 	if len(d.segs) > 0 {
-		f, err := os.OpenFile(d.segs[len(d.segs)-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := d.fs.OpenFile(d.segs[len(d.segs)-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return err
 		}
@@ -430,7 +441,7 @@ func (d *DiskLog) rollLocked(next uint64) error {
 			d.f.Close()
 		}
 	}
-	f, err := os.OpenFile(segmentPath(d.dir, next), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := d.fs.OpenFile(segmentPath(d.dir, next), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -474,7 +485,7 @@ func (d *DiskLog) syncLoop() {
 			d.mu.Unlock()
 			continue
 		}
-		files := append([]*os.File(nil), d.dirty...)
+		files := append([]File(nil), d.dirty...)
 		cur := d.f
 		// Mark the batch in flight: Reset and Close wait for it instead of
 		// closing these handles underneath the Syncs below — a mid-flight
@@ -608,7 +619,7 @@ func (d *DiskLog) Entries(after uint64) (out []LogEntry, ok bool, err error) {
 		if s.last <= after {
 			continue
 		}
-		data, rerr := os.ReadFile(s.path)
+		data, rerr := d.fs.ReadFile(s.path)
 		if rerr != nil {
 			return nil, false, rerr
 		}
@@ -647,7 +658,7 @@ func (d *DiskLog) TruncateTo(upTo uint64) uint64 {
 	var dropped uint64
 	for len(d.segs) > 1 && d.segs[0].last <= upTo {
 		s := d.segs[0]
-		os.Remove(s.path)
+		d.fs.Remove(s.path)
 		dropped += s.last - s.first + 1
 		d.segs = d.segs[1:]
 	}
@@ -686,7 +697,7 @@ func (d *DiskLog) Reset(base uint64) error {
 	}
 	d.dirty = d.dirty[:0]
 	for _, s := range d.segs {
-		os.Remove(s.path)
+		d.fs.Remove(s.path)
 	}
 	d.segs = nil
 	d.base, d.last, d.synced = base, base, base
@@ -768,7 +779,7 @@ func (d *DiskLog) Close() error {
 	if d.w != nil {
 		err = d.w.Flush()
 	}
-	files := append([]*os.File(nil), d.dirty...)
+	files := append([]File(nil), d.dirty...)
 	d.dirty = nil
 	f := d.f
 	d.f, d.w = nil, nil

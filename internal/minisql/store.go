@@ -1,6 +1,7 @@
 package minisql
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,7 +21,7 @@ import (
 //
 //	<dir>/wal/seg-<firstIndex>.wal   log segments (CRC-framed entries)
 //	<dir>/checkpoint-<index>.snap    engine snapshots (atomic tmp+rename)
-//	<dir>/meta.json                  node metadata (leadership term)
+//	<dir>/meta.json                  node metadata (leadership term, membership view)
 //
 // Checkpoints bound both disk and replay time: after writing checkpoint N
 // the log is truncated at the *previous* checkpoint's index, so the two
@@ -31,6 +32,7 @@ import (
 type Store struct {
 	dir string
 	opt StoreOptions
+	fs  FS // filesystem seam (fs.go); OSFS in production
 	log *DiskLog
 
 	// ckptMu serializes Checkpoint and InstallSnapshot: the automatic
@@ -39,8 +41,15 @@ type Store struct {
 	// prune each other's freshly renamed files.
 	ckptMu sync.Mutex
 
-	mu         sync.Mutex
-	term       uint64
+	// metaMu serializes meta.json writers (SetTerm / SetAppliedTerm /
+	// SetView), which would
+	// otherwise race their tmp+rename publishes through the same tmp path.
+	metaMu sync.Mutex
+
+	mu          sync.Mutex
+	term        uint64
+	appliedTerm uint64 // leadership term that produced the newest applied entry
+	view        []byte // opaque membership view owned by the replication layer
 	checkIndex uint64    // index of the newest on-disk checkpoint
 	prevIndex  uint64    // index of the retained previous checkpoint
 	checkAt    time.Time // when the newest checkpoint was written (or recovery time)
@@ -74,6 +83,10 @@ type StoreOptions struct {
 	// Logf, when set, receives storage lifecycle messages (checkpoint
 	// failures, recovery notes).
 	Logf func(format string, args ...any)
+	// FS overrides the filesystem under the log and checkpoints. Nil
+	// selects OSFS; tests inject faults (fsync failure, ENOSPC, torn
+	// appends) through it.
+	FS FS
 }
 
 // DefaultCheckpointEvery is the automatic checkpoint interval in log
@@ -81,8 +94,10 @@ type StoreOptions struct {
 const DefaultCheckpointEvery = 10000
 
 type storeMeta struct {
-	Version int
-	Term    uint64
+	Version     int
+	Term        uint64
+	AppliedTerm uint64          `json:",omitempty"`
+	View        json.RawMessage `json:",omitempty"`
 }
 
 // OpenStore opens (or creates) the data directory and its log. The caller
@@ -95,33 +110,39 @@ func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 	if opt.CoalesceDelay == 0 {
 		opt.CoalesceDelay = 200 * time.Microsecond
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = OSFS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	// Sweep temp files left by a crash mid-checkpoint/install: never
 	// published, so never part of recoverable state.
-	if ents, err := os.ReadDir(dir); err == nil {
+	if ents, err := fsys.ReadDir(dir); err == nil {
 		for _, de := range ents {
 			if strings.HasSuffix(de.Name(), ".tmp") {
-				os.Remove(filepath.Join(dir, de.Name()))
+				fsys.Remove(filepath.Join(dir, de.Name()))
 			}
 		}
 	}
-	log, err := OpenDiskLog(filepath.Join(dir, "wal"), opt.SegmentBytes, opt.Fsync, opt.CoalesceDelay)
+	log, err := OpenDiskLogFS(fsys, filepath.Join(dir, "wal"), opt.SegmentBytes, opt.Fsync, opt.CoalesceDelay)
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{
-		dir: dir, opt: opt, log: log,
+		dir: dir, opt: opt, fs: fsys, log: log,
 		checkAt: time.Now(),
 		ckptReq: make(chan struct{}, 1),
 		closeCh: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	if data, err := os.ReadFile(s.metaPath()); err == nil {
+	if data, err := fsys.ReadFile(s.metaPath()); err == nil {
 		var m storeMeta
 		if err := json.Unmarshal(data, &m); err == nil {
 			s.term = m.Term
+			s.appliedTerm = m.AppliedTerm
+			s.view = m.View
 		}
 	}
 	cps := s.checkpointFiles()
@@ -145,7 +166,7 @@ type CheckpointRef struct {
 
 // checkpointFiles lists the on-disk checkpoints, newest first.
 func (s *Store) checkpointFiles() []CheckpointRef {
-	ents, err := os.ReadDir(s.dir)
+	ents, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil
 	}
@@ -177,7 +198,7 @@ func (s *Store) Recover(restore func(r io.Reader, index uint64) error) (applied 
 	var restored uint64
 	var lastErr error
 	for _, cp := range s.checkpointFiles() {
-		f, err := os.Open(cp.Path)
+		f, err := s.fs.Open(cp.Path)
 		if err != nil {
 			lastErr = err
 			continue
@@ -307,7 +328,7 @@ func (s *Store) Checkpoint() error {
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	f, err := os.CreateTemp(s.dir, "checkpoint-*.tmp")
+	f, err := s.fs.CreateTemp(s.dir, "checkpoint-*.tmp")
 	if err != nil {
 		return s.noteCheckpoint(err)
 	}
@@ -320,18 +341,18 @@ func (s *Store) Checkpoint() error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return s.noteCheckpoint(err)
 	}
 	s.mu.Lock()
 	cur := s.checkIndex
 	s.mu.Unlock()
 	if idx <= cur {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return nil // nothing new committed since the last checkpoint
 	}
-	if err := os.Rename(tmp, checkpointPath(s.dir, idx)); err != nil {
-		os.Remove(tmp)
+	if err := s.fs.Rename(tmp, checkpointPath(s.dir, idx)); err != nil {
+		s.fs.Remove(tmp)
 		return s.noteCheckpoint(err)
 	}
 	syncDir(s.dir)
@@ -350,7 +371,7 @@ func (s *Store) Checkpoint() error {
 	// and truncate the log at the predecessor so both stay replayable.
 	for _, cp := range s.checkpointFiles() {
 		if cp.Index != idx && cp.Index != prev {
-			os.Remove(cp.Path)
+			s.fs.Remove(cp.Path)
 		}
 	}
 	if prev > 0 {
@@ -387,7 +408,7 @@ func (s *Store) checkpointLoop() {
 func (s *Store) InstallSnapshot(data []byte, idx uint64) error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	f, err := os.CreateTemp(s.dir, "checkpoint-*.tmp")
+	f, err := s.fs.CreateTemp(s.dir, "checkpoint-*.tmp")
 	if err != nil {
 		return err
 	}
@@ -400,17 +421,17 @@ func (s *Store) InstallSnapshot(data []byte, idx uint64) error {
 		werr = cerr
 	}
 	if werr != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return werr
 	}
-	if err := os.Rename(tmp, checkpointPath(s.dir, idx)); err != nil {
-		os.Remove(tmp)
+	if err := s.fs.Rename(tmp, checkpointPath(s.dir, idx)); err != nil {
+		s.fs.Remove(tmp)
 		return err
 	}
 	syncDir(s.dir)
 	for _, cp := range s.checkpointFiles() {
 		if cp.Index != idx {
-			os.Remove(cp.Path)
+			s.fs.Remove(cp.Path)
 		}
 	}
 	if err := s.log.Reset(idx); err != nil {
@@ -448,29 +469,95 @@ func (s *Store) Term() uint64 {
 // SetTerm persists a leadership term change (atomic tmp+rename). No-op when
 // the term is unchanged, so heartbeat-path callers stay cheap.
 func (s *Store) SetTerm(t uint64) error {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	s.mu.Lock()
 	if t == s.term {
 		s.mu.Unlock()
 		return nil
 	}
 	s.term = t
+	m := s.metaLocked()
 	s.mu.Unlock()
-	data, err := json.Marshal(storeMeta{Version: 1, Term: t})
+	return s.writeMeta(m)
+}
+
+// AppliedTerm returns the persisted term of the newest applied entry.
+func (s *Store) AppliedTerm() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appliedTerm
+}
+
+// SetAppliedTerm persists the leadership term that produced the newest
+// applied entry. It only changes when a node starts applying a new leader's
+// entries (or promotes), so the no-op check keeps the apply path free of
+// file I/O.
+func (s *Store) SetAppliedTerm(t uint64) error {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	s.mu.Lock()
+	if t == s.appliedTerm {
+		s.mu.Unlock()
+		return nil
+	}
+	s.appliedTerm = t
+	m := s.metaLocked()
+	s.mu.Unlock()
+	return s.writeMeta(m)
+}
+
+// metaLocked assembles the current meta.json payload. Caller holds s.mu.
+func (s *Store) metaLocked() storeMeta {
+	return storeMeta{Version: 1, Term: s.term, AppliedTerm: s.appliedTerm, View: s.view}
+}
+
+// View returns the membership view last persisted with SetView (nil when
+// none was ever saved). The bytes are opaque to the store; the replication
+// layer owns their encoding.
+func (s *Store) View() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.view
+}
+
+// SetView persists the replication layer's membership view alongside the
+// term, so a restarted node recovers who the cluster was — the majority
+// denominator for its elections — instead of waking up alone. No-op when the
+// bytes are unchanged, keeping the adopt-on-every-heartbeat caller cheap.
+func (s *Store) SetView(v []byte) error {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	s.mu.Lock()
+	if bytes.Equal(v, s.view) {
+		s.mu.Unlock()
+		return nil
+	}
+	s.view = append([]byte(nil), v...)
+	m := s.metaLocked()
+	s.mu.Unlock()
+	return s.writeMeta(m)
+}
+
+// writeMeta publishes meta.json atomically (tmp + optional fsync + rename).
+// Callers hold metaMu.
+func (s *Store) writeMeta(m storeMeta) error {
+	data, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
 	tmp := s.metaPath() + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := s.fs.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
 	if s.opt.Fsync {
-		if f, err := os.OpenFile(tmp, os.O_WRONLY, 0o644); err == nil {
+		if f, err := s.fs.OpenFile(tmp, os.O_WRONLY, 0o644); err == nil {
 			f.Sync()
 			f.Close()
 		}
 	}
-	if err := os.Rename(tmp, s.metaPath()); err != nil {
-		os.Remove(tmp)
+	if err := s.fs.Rename(tmp, s.metaPath()); err != nil {
+		s.fs.Remove(tmp)
 		return err
 	}
 	syncDir(s.dir)

@@ -26,7 +26,7 @@ func joinFake(t *testing.T, addr string, id string, term, from uint64) *fakeFoll
 	}
 	conn.SetDeadline(time.Now().Add(waitMax))
 	f := &fakeFollower{t: t, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-	join := frame{Type: frameJoin, Term: term, From: from,
+	join := frame{Type: frameJoin, Term: term, AppliedTerm: term, From: from,
 		Peer: Peer{ID: id, ReplAddr: "127.0.0.1:1", SvcAddr: "svc-" + id}}
 	if err := f.enc.Encode(&join); err != nil {
 		t.Fatal(err)

@@ -15,7 +15,7 @@ import (
 // until the connection dies, then either follow a redirect or run the
 // deterministic promotion protocol.
 func (n *Node) runFollower() {
-	n.followLoop(n.cfg.Join, false)
+	n.followLoop(n.cfg.Join, n.everJoined)
 }
 
 // followLoop streams from target (probing the membership for a leader when
@@ -31,10 +31,23 @@ func (n *Node) followLoop(target string, joined bool) {
 			return
 		}
 		if target == "" {
-			// No leader known (this node just stepped down): probe the
-			// membership until somebody claims or names one.
+			// No leader known (this node just stepped down, or restarted
+			// into a leaderless cluster): probe the membership until somebody
+			// claims or names one.
 			target = n.leaderHint()
 			if target == "" {
+				if joined {
+					// Nobody anywhere claims or names a leader. A node that
+					// has been part of the cluster must fall into the election
+					// protocol rather than wait forever — after a full-cluster
+					// restart there is no leader to find, only one to elect.
+					// The majority and log gates still apply.
+					target = n.electOrPromote("")
+					if target == "" {
+						return // promoted (or closed)
+					}
+					continue
+				}
 				if !n.sleep(n.cfg.Heartbeat) {
 					return
 				}
@@ -87,7 +100,7 @@ var (
 // pointed at a different leader. forceSnap requests a snapshot bootstrap
 // even when an incremental resume would be possible.
 func (n *Node) followOnce(addr string, joined *bool, forceSnap bool) (redirect string, err error) {
-	conn, err := net.DialTimeout("tcp", addr, n.cfg.ElectionTimeout)
+	conn, err := n.dial(addr, n.cfg.ElectionTimeout)
 	if err != nil {
 		return "", err
 	}
@@ -99,7 +112,7 @@ func (n *Node) followOnce(addr string, joined *bool, forceSnap bool) (redirect s
 	}
 	n.stream = conn
 	self := n.selfPeerLocked()
-	applied, term := n.applied, n.term
+	applied, term, appliedTerm := n.applied, n.term, n.appliedTerm
 	n.mu.Unlock()
 	defer func() {
 		conn.Close()
@@ -117,7 +130,7 @@ func (n *Node) followOnce(addr string, joined *bool, forceSnap bool) (redirect s
 		from = 0
 	}
 	conn.SetWriteDeadline(time.Now().Add(n.cfg.ElectionTimeout))
-	if err := enc.Encode(&frame{Type: frameJoin, Peer: self, From: from, Term: term}); err != nil {
+	if err := enc.Encode(&frame{Type: frameJoin, Peer: self, From: from, Term: term, AppliedTerm: appliedTerm}); err != nil {
 		return "", err
 	}
 
@@ -133,6 +146,14 @@ func (n *Node) followOnce(addr string, joined *bool, forceSnap bool) (redirect s
 			return "", err
 		}
 		if f.Type != frameNotLeader {
+			// A frame below this node's term is a deposed leader that does
+			// not know it yet (this node granted a newer leadership claim, or
+			// adopted a newer term elsewhere). Applying — or worse, acking —
+			// its entries would count this node toward a write quorum of a
+			// leadership the cluster has already voted past.
+			if cur := n.Term(); f.Term < cur {
+				return "", fmt.Errorf("replica: stale leader term %d < %d", f.Term, cur)
+			}
 			n.noteLeaderFrame(f)
 		}
 		switch f.Type {
@@ -150,6 +171,7 @@ func (n *Node) followOnce(addr string, joined *bool, forceSnap bool) (redirect s
 				return "", err
 			}
 			if ok {
+				n.noteAppliedTerm(f.Term)
 				n.ack(enc, conn)
 			}
 		case frameEntries:
@@ -158,6 +180,7 @@ func (n *Node) followOnce(addr string, joined *bool, forceSnap bool) (redirect s
 				return "", err
 			}
 			if ok {
+				n.noteAppliedTerm(f.Term)
 				n.ack(enc, conn)
 			}
 		case frameHeartbeat:
@@ -218,6 +241,10 @@ func (n *Node) applySnapshot(f frame) error {
 			return fmt.Errorf("replica: persisting snapshot: %w", err)
 		}
 	}
+	// The snapshot is a byte copy of the term-f.Term leader's state: prefix
+	// identity with that leader's log is established wholesale, which is
+	// what entitles later same-term joins to the incremental resume path.
+	n.noteAppliedTerm(f.Term)
 	n.met.snapsInstall.Inc()
 	n.logf("bootstrapped from snapshot at index %d (term %d)", f.SnapIndex, f.Term)
 	return nil
@@ -298,13 +325,15 @@ func (n *Node) adoptView(f frame) error {
 	self := n.selfPeerLocked()
 	peers[self.ID] = self
 	n.peers = peers
-	// Persist an adopted term change so a restart rejoins at the cluster's
-	// term (SetTerm no-ops when unchanged, keeping the heartbeat path free
-	// of file I/O).
+	// Persist the adopted term and membership view so a restart rejoins at
+	// the cluster's term with the cluster's majority denominator (both
+	// setters no-op when unchanged, keeping the heartbeat path free of file
+	// I/O).
 	if n.store != nil {
 		if err := n.store.SetTerm(f.Term); err != nil {
 			n.logf("persisting term %d: %v", f.Term, err)
 		}
+		n.persistViewLocked()
 	}
 	return nil
 }
@@ -334,6 +363,24 @@ func promotionRank(cands []Peer, selfID string) int {
 // an up-to-date log. Returns the new leader's replication address, or ""
 // after self-promotion.
 func (n *Node) electOrPromote(deadAddr string) string {
+	// A node that has just stepped down sits out the election it triggered:
+	// standing now would often win leadership straight back, defeating the
+	// handoff. Follow whoever emerges; candidacy resumes when the window
+	// expires, so a failed handoff cannot leave the cluster leaderless.
+	n.mu.Lock()
+	standDown := n.standDownUntil
+	n.mu.Unlock()
+	for time.Now().Before(standDown) {
+		if n.isClosed() {
+			return ""
+		}
+		if addr := n.leaderHint(); addr != "" {
+			return addr
+		}
+		if !n.sleep(n.cfg.Heartbeat) {
+			return ""
+		}
+	}
 	// A broken stream is not proof of death: if the old leader still answers
 	// probes as leader, re-join it instead of electing.
 	if f, ok := n.probe(deadAddr); ok && f.Role == RoleLeader {
@@ -354,7 +401,7 @@ func (n *Node) electOrPromote(deadAddr string) string {
 	myIdx := promotionRank(cands, self.ID)
 	if myIdx > 0 {
 		n.logf("leader %s lost; rank %d of %d in election", deadID, myIdx, len(cands))
-		deadline := time.Now().Add(time.Duration(myIdx) * n.cfg.ElectionTimeout)
+		deadline := time.Now().Add(n.jitter(time.Duration(myIdx) * n.cfg.ElectionTimeout))
 		for time.Now().Before(deadline) {
 			if n.isClosed() {
 				return ""
@@ -374,7 +421,7 @@ func (n *Node) electOrPromote(deadAddr string) string {
 				if f.Role == RoleLeader {
 					return c.ReplAddr
 				}
-				if f.LeaderRepl != "" && f.LeaderRepl != deadAddr && f.LeaderRepl != c.ReplAddr {
+				if f.LeaderRepl != "" && f.LeaderRepl != deadAddr && f.LeaderRepl != c.ReplAddr && f.LeaderRepl != self.ReplAddr {
 					return f.LeaderRepl
 				}
 			}
@@ -386,61 +433,175 @@ func (n *Node) electOrPromote(deadAddr string) string {
 	return n.promoteGated(cands, deadAddr)
 }
 
-// promoteGated is the final step of an election: self-promote only when this
-// node can reach a majority of the membership (counting itself) and no
-// reachable candidate has a more up-to-date log. Up-to-date is the (term,
-// applied) pair, compared lexicographically like Raft's election rule: a
-// higher term wins outright, equal terms compare applied indexes. Comparing
-// bare applied indexes would let a demoted ex-leader's unreplicated local
-// writes (high index, stale term) outrank a newer leader's
-// quorum-acknowledged entries and silently discard them on re-election.
-// The majority gate keeps a minority partition from electing a second
-// leader; the log gate keeps a quorum-acknowledged write alive by deferring
-// to whichever survivor holds it. A deferring node loops — the
-// more-up-to-date candidate promotes on its own backoff and is discovered by
-// the next probe round. A consequence of the majority gate: a 2-node cluster
-// cannot fail over automatically (the survivor is 1 of 2, not a majority) —
-// live failover needs 3+ nodes, the standard quorum trade.
+// promoteGated is the final step of an election, two rounds per attempt.
+//
+// Round one is the pre-vote: probe the membership and proceed only when a
+// majority is reachable (counting self) and no reachable peer has a more
+// up-to-date log. Up-to-date is the (appliedTerm, applied) pair compared
+// lexicographically, Raft's election rule: a log whose newest entry came
+// from a later leadership wins outright, same-leadership logs compare
+// length. Comparing bare applied indexes would let a demoted ex-leader's
+// unreplicated local writes (high index, stale term) outrank a newer
+// leader's quorum-acknowledged entries and silently discard them.
+//
+// Round two is the claim: bump the local term past every term seen and ask
+// each peer to grant it (frameClaim). A grant adopts the claimed term on the
+// granter — detaching it from whatever leader it was still acking — so
+// majority grants don't merely elect this node, they depose the old leader:
+// it can never again assemble a write quorum, because any quorum would need
+// a granter, and granters reject its stale-term frames. Without this round
+// an asymmetric partition (old leader unreachable from here, still reachable
+// from its followers) elects a second leader while the first keeps
+// committing, and one history eventually rolls back acked writes.
+//
+// The pre-vote keeps claim traffic (and term inflation) to candidates that
+// could actually win; the grant's own term and log checks hold the safety
+// line regardless. A deferring node loops — the better candidate promotes on
+// its own backoff and is discovered by the next probe round. A consequence
+// of the majority gate: a 2-node cluster cannot fail over automatically (the
+// survivor is 1 of 2, not a majority) — live failover needs 3+ nodes, the
+// standard quorum trade.
+//
+// Probes cover the FULL membership view, not just the election candidates:
+// the lost leader is excluded from candidacy but still counts toward
+// reachability (a crashed ex-leader back as a follower is a live majority
+// member), still competes on log position, and may even be leading again
+// after a heal. Counting candidates only undercounts the majority and
+// stalls a healthy cluster.
 func (n *Node) promoteGated(cands []Peer, deadAddr string) string {
 	for !n.isClosed() {
 		n.mu.Lock()
-		myTerm, myApplied := n.term, n.applied
+		myTerm, myApplied, myAppliedTerm := n.term, n.applied, n.appliedTerm
+		peers := n.peerListLocked()
+		majority := len(n.peers)/2 + 1
+		self := n.selfPeerLocked()
 		n.mu.Unlock()
 		reachable := 1 // self
 		behind := false
-		for _, c := range cands {
-			if c.ID == n.cfg.ID {
+		deadProbed := false
+		maxTerm := myTerm
+		for _, c := range peers {
+			if c.ID == self.ID {
 				continue
+			}
+			if c.ReplAddr == deadAddr {
+				deadProbed = true
 			}
 			f, ok := n.probe(c.ReplAddr)
 			if !ok {
 				continue
 			}
 			reachable++
+			if f.Term > maxTerm {
+				maxTerm = f.Term
+			}
 			if f.Role == RoleLeader {
+				// Follow even a leader whose term is below ours (possible
+				// after granting a claim whose candidate then died): the join
+				// carries our higher term, which deposes it and forces the
+				// re-election that reconciles the cluster — ignoring it would
+				// leave this node electing against a leader it can't join.
 				return c.ReplAddr
 			}
-			if f.LeaderRepl != "" && f.LeaderRepl != deadAddr && f.LeaderRepl != c.ReplAddr {
+			if f.LeaderRepl != "" && f.LeaderRepl != deadAddr && f.LeaderRepl != c.ReplAddr && f.LeaderRepl != self.ReplAddr {
 				return f.LeaderRepl
 			}
-			if f.Term > myTerm || (f.Term == myTerm && f.Applied > myApplied) {
+			if f.AppliedTerm > myAppliedTerm || (f.AppliedTerm == myAppliedTerm && f.Applied > myApplied) {
 				behind = true
 			}
 		}
-		n.mu.Lock()
-		majority := len(n.peers)/2 + 1
-		n.mu.Unlock()
-		if reachable >= majority && !behind {
-			n.promote()
-			return ""
+		// The lost leader may have healed or restarted on the same address
+		// without being in the view anymore (a decayed membership): re-probe
+		// it every round, or a node whose view shrank to {self, leader}
+		// would stall forever with the healthy leader one dial away.
+		if deadAddr != "" && !deadProbed {
+			if f, ok := n.probe(deadAddr); ok && f.Role == RoleLeader {
+				return deadAddr
+			}
 		}
-		n.logf("election stalled: %d/%d reachable (majority %d), behind=%v",
-			reachable, len(cands)+1, majority, behind)
-		if !n.sleep(n.cfg.ElectionTimeout) {
+		if reachable >= majority && !behind {
+			if addr := n.claimRound(peers, self, maxTerm, majority); addr != "" || n.IsLeader() {
+				return addr
+			}
+		} else {
+			n.logf("election stalled: %d/%d reachable (majority %d), behind=%v",
+				reachable, len(peers), majority, behind)
+		}
+		if !n.sleep(n.jitter(n.cfg.ElectionTimeout)) {
 			return ""
 		}
 	}
 	return ""
+}
+
+// claimRound claims leadership of the term after maxTerm from every peer in
+// the view, promoting on majority grants (counting the candidate's own).
+// Returns the address of a leader to follow instead when one is discovered
+// mid-round, "" otherwise — with the node promoted iff IsLeader() reports
+// so. The local term is bumped to the claimed term up front: that is the
+// candidate's vote for itself, and keeps it from granting a rival claim to
+// the same term while its own round is in flight.
+func (n *Node) claimRound(peers []Peer, self Peer, maxTerm uint64, majority int) string {
+	n.mu.Lock()
+	claimTerm := maxTerm + 1
+	if n.term >= claimTerm {
+		// Granted someone a term at or past the planned claim between the
+		// probe and now; claiming it again would be a second vote.
+		claimTerm = n.term + 1
+	}
+	n.term = claimTerm
+	myApplied, myAppliedTerm := n.applied, n.appliedTerm
+	n.mu.Unlock()
+	n.persistTerm(claimTerm)
+	grants := 1 // self
+	for _, c := range peers {
+		if c.ID == self.ID {
+			continue
+		}
+		f, ok := n.claim(c.ReplAddr, frame{
+			Type: frameClaim, Term: claimTerm, Peer: self,
+			Applied: myApplied, AppliedTerm: myAppliedTerm,
+		})
+		if !ok {
+			continue
+		}
+		if f.Granted {
+			grants++
+			continue
+		}
+		if f.Role == RoleLeader && f.Term >= claimTerm {
+			// A rival won a term at or past ours while we were claiming.
+			return c.ReplAddr
+		}
+	}
+	if grants >= majority {
+		n.promote(claimTerm)
+		return ""
+	}
+	n.logf("leadership claim for term %d denied: %d/%d grants (majority %d)",
+		claimTerm, grants, len(peers), majority)
+	return ""
+}
+
+// claim sends one leadership claim to addr and returns the response status.
+func (n *Node) claim(addr string, f frame) (frame, bool) {
+	if addr == "" {
+		return frame{}, false
+	}
+	conn, err := n.dial(addr, n.cfg.ElectionTimeout/2)
+	if err != nil {
+		return frame{}, false
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(n.cfg.ElectionTimeout))
+	if err := gob.NewEncoder(conn).Encode(&f); err != nil {
+		return frame{}, false
+	}
+	var resp frame
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return frame{}, false
+	}
+	return resp, true
 }
 
 // leaderHint probes the known membership for the current leader: the first
@@ -449,10 +610,10 @@ func (n *Node) promoteGated(cands []Peer, deadAddr string) string {
 func (n *Node) leaderHint() string {
 	n.mu.Lock()
 	peers := n.peerListLocked()
-	selfID := n.cfg.ID
+	self := n.selfPeerLocked()
 	n.mu.Unlock()
 	for _, p := range peers {
-		if p.ID == selfID {
+		if p.ID == self.ID {
 			continue
 		}
 		f, ok := n.probe(p.ReplAddr)
@@ -462,7 +623,9 @@ func (n *Node) leaderHint() string {
 		if f.Role == RoleLeader {
 			return p.ReplAddr
 		}
-		if f.LeaderRepl != "" {
+		// A hint naming THIS node is a peer's stale memory of our old
+		// leadership — following it would mean dialing ourselves.
+		if f.LeaderRepl != "" && f.LeaderRepl != self.ReplAddr {
 			return f.LeaderRepl
 		}
 	}
@@ -474,7 +637,10 @@ func (n *Node) leaderHint() string {
 // feeds the election majority gate. The probe carries this node's identity
 // so a leader can count probes toward its majority lease.
 func (n *Node) probe(addr string) (frame, bool) {
-	conn, err := net.DialTimeout("tcp", addr, n.cfg.ElectionTimeout/2)
+	if addr == "" {
+		return frame{}, false
+	}
+	conn, err := n.dial(addr, n.cfg.ElectionTimeout/2)
 	if err != nil {
 		return frame{}, false
 	}

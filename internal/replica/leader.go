@@ -2,6 +2,7 @@ package replica
 
 import (
 	"encoding/gob"
+	"fmt"
 	"net"
 	"os"
 	"sync/atomic"
@@ -64,23 +65,110 @@ func (n *Node) handleConn(conn net.Conn) {
 		n.touchPeer(f.Peer.ID)
 		n.mu.Lock()
 		st := frame{
-			Type: frameStatus, Term: n.term, Role: n.role, Applied: n.applied,
+			Type: frameStatus, Term: n.term, Role: n.role,
+			Applied: n.applied, AppliedTerm: n.appliedTerm,
 			LeaderID: n.leader.ID, LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
 		}
 		n.mu.Unlock()
 		conn.SetWriteDeadline(time.Now().Add(n.cfg.ElectionTimeout))
 		enc.Encode(&st)
+	case frameClaim:
+		n.handleClaim(conn, enc, f)
 	case frameJoin:
 		n.handleJoin(conn, enc, dec, f)
 	}
 }
 
+// handleClaim serves one leadership claim — the vote of the claim-based
+// election (see promoteGated). A claim for a term strictly above this node's
+// is granted when the candidate's log is at least as up-to-date as the local
+// one, (appliedTerm, applied) compared lexicographically. Granting adopts
+// the claimed term immediately, which is the teeth of the vote: a granting
+// follower detaches from the leader it was streaming from (whose frames it
+// will now reject as stale), and a granting leader steps down — so once a
+// majority has granted, the previous leadership is structurally unable to
+// commit another write. A denial for a log the candidate cannot match keeps
+// the local term unchanged, leaving the term free for a better candidate to
+// claim.
+func (n *Node) handleClaim(conn net.Conn, enc *gob.Encoder, claim frame) {
+	n.touchPeer(claim.Peer.ID)
+	n.mu.Lock()
+	logOK := claim.AppliedTerm > n.appliedTerm ||
+		(claim.AppliedTerm == n.appliedTerm && claim.Applied >= n.applied)
+	grant := !n.closed && claim.Term > n.term && logOK
+	var stream net.Conn
+	var finishDemote func(string)
+	if grant {
+		n.term = claim.Term
+		// Stepping down (if leading) happens in the same critical section as
+		// the term adoption: a leader that granted but kept its WAL live for
+		// one more commit would stamp that write with the claimant's term.
+		finishDemote, _ = n.demoteLocked()
+		// The candidate is about to lead this term: remember it as the
+		// leader so the follower loop heads straight for it, and sever the
+		// stream to the one it replaces.
+		n.leader = claim.Peer
+		stream = n.stream
+		if n.store != nil {
+			if err := n.store.SetTerm(claim.Term); err != nil {
+				n.logf("persisting granted term %d: %v", claim.Term, err)
+			}
+		}
+	}
+	resp := frame{
+		Type: frameStatus, Term: n.term, Role: n.role,
+		Applied: n.applied, AppliedTerm: n.appliedTerm, Granted: grant,
+		LeaderID: n.leader.ID, LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
+	}
+	n.mu.Unlock()
+	if grant {
+		// Teardown strictly before the response: the grant must not be
+		// observable while this node could still ack the old leadership.
+		if finishDemote != nil {
+			finishDemote(fmt.Sprintf("deposed: granted leadership claim for term %d by %s", claim.Term, claim.Peer.ID))
+		} else if stream != nil {
+			stream.Close()
+		}
+		n.logf("granted leadership claim for term %d to %s", claim.Term, claim.Peer.ID)
+	}
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.ElectionTimeout))
+	enc.Encode(&resp)
+}
+
 func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, join frame) {
 	n.mu.Lock()
+	if !n.closed && n.role == RoleLeader && join.Term > n.term {
+		// A joiner above our term means the cluster has voted past this
+		// leadership (we missed the claim — partitioned away, or its
+		// candidate died before finishing). Adopt the term and step down;
+		// the re-election this forces is the only way the higher-term node
+		// can ever rejoin, since it rejects our stale frames.
+		n.term = join.Term
+		if n.store != nil {
+			if err := n.store.SetTerm(join.Term); err != nil {
+				n.logf("persisting term %d: %v", join.Term, err)
+			}
+		}
+		finish, _ := n.demoteLocked()
+		resp := frame{Type: frameNotLeader, Term: n.term}
+		n.mu.Unlock()
+		if finish != nil {
+			finish(fmt.Sprintf("superseded: join from %s carries term %d", join.Peer.ID, join.Term))
+		}
+		conn.SetWriteDeadline(time.Now().Add(n.cfg.ElectionTimeout))
+		enc.Encode(&resp)
+		return
+	}
 	if n.closed || n.role != RoleLeader {
 		resp := frame{
 			Type: frameNotLeader, Term: n.term,
 			LeaderID: n.leader.ID, LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
+		}
+		if n.leader.ID == join.Peer.ID {
+			// Our leader memory names the joiner itself — its old leadership,
+			// now stale (it is knocking as a follower). Pointing it at itself
+			// would send it chasing its own address.
+			resp.LeaderID, resp.LeaderRepl, resp.LeaderSvc = "", "", ""
 		}
 		n.mu.Unlock()
 		conn.SetWriteDeadline(time.Now().Add(n.cfg.ElectionTimeout))
@@ -90,6 +178,7 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 	if _, known := n.peers[join.Peer.ID]; !known {
 		n.peers[join.Peer.ID] = join.Peer
 		n.notifyPeersChangedLocked()
+		n.persistViewLocked()
 	} else {
 		n.peers[join.Peer.ID] = join.Peer
 	}
@@ -99,21 +188,25 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 	n.mu.Unlock()
 
 	// A follower resuming within this leader's own term whose position the
-	// WAL still holds catches up incrementally: same term means its applied
-	// prefix came from this very log, so no re-bootstrap is needed. When the
-	// in-memory WAL has compacted past the follower's position, a durable
-	// leader reaches further back through its on-disk log (truncated only at
-	// checkpoints) and serves the gap from disk. Anything else (fresh join,
-	// term change, position before the retained log) gets a snapshot, which
-	// makes the leader's state authoritative after failover and heals
-	// follower divergence wholesale — streamed from the on-disk checkpoint
-	// file when one covers it, avoiding a full in-memory serialize under the
-	// engine lock.
+	// WAL still holds catches up incrementally — no re-bootstrap. "Within
+	// this term" means both halves: the joiner adopted this term AND its
+	// newest applied entry came from this leadership (AppliedTerm). The
+	// second half is what makes resume safe after a contested failover: a
+	// node whose term was bumped by a granted claim but whose log tail is
+	// the OLD leader's (possibly longer than ours, possibly divergent) must
+	// not graft our entries onto it. Its first attach goes through the
+	// snapshot path, which establishes byte identity with this leader's
+	// state; only then do later reconnects earn the incremental path. When
+	// the in-memory WAL has compacted past the follower's position, a
+	// durable leader reaches further back through its on-disk log (truncated
+	// only at checkpoints) and serves the gap from disk. Anything else gets
+	// a snapshot — streamed from the on-disk checkpoint file when one covers
+	// it, avoiding a full in-memory serialize under the engine lock.
 	resume := false
 	var snap []byte
 	var startIdx uint64
 	var diskTail []minisql.LogEntry
-	if join.Term == term && join.From > 0 {
+	if join.Term == term && join.AppliedTerm == term && join.From > 0 {
 		if _, ok := w.EntriesSince(join.From); ok {
 			resume = true
 			startIdx = join.From
@@ -274,7 +367,10 @@ const maxBatchEntries = 256
 // lost.
 func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
 	pos := from
-	beat := time.NewTicker(n.cfg.Heartbeat)
+	// Jittered heartbeat timer (not a fixed ticker): with many followers,
+	// lockstep beats synchronize the cluster's write bursts and, after a
+	// heal, its failure detectors. See Node.jitter.
+	beat := time.NewTimer(n.jitter(n.cfg.Heartbeat))
 	defer beat.Stop()
 	for {
 		if n.isClosed() || !n.IsLeader() {
@@ -325,6 +421,7 @@ func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
 			sendBeat = true // membership changed: broadcast it immediately
 		case <-beat.C:
 			sendBeat = true
+			beat.Reset(n.jitter(n.cfg.Heartbeat))
 		}
 		if sendBeat {
 			n.mu.Lock()
@@ -465,6 +562,7 @@ func (n *Node) decayPeers(w *minisql.WAL) {
 	}
 	if len(dropped) > 0 {
 		n.notifyPeersChangedLocked()
+		n.persistViewLocked()
 	}
 	n.mu.Unlock()
 	for _, id := range dropped {

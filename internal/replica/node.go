@@ -41,7 +41,9 @@ package replica
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -49,6 +51,15 @@ import (
 	"osprey/internal/core"
 	"osprey/internal/minisql"
 )
+
+// DialFunc dials a replication peer; the signature matches net.DialTimeout.
+// Config.Dialer lets tests route peer traffic through a fault-injecting
+// transport (internal/chaos); nil means the real network.
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+// ListenFunc binds the replication listener; the signature matches
+// net.Listen. Config.Listen is DialFunc's accept-side twin.
+type ListenFunc func(network, addr string) (net.Listener, error)
 
 // Config parameterizes one cluster node.
 type Config struct {
@@ -120,6 +131,16 @@ type Config struct {
 	GroupCommitDelay time.Duration
 	// Logf, when set, receives replication lifecycle messages.
 	Logf func(format string, args ...any)
+	// Dialer overrides how this node dials peers (joins, probes). Nil uses
+	// net.DialTimeout. Exists for fault injection; production leaves it nil,
+	// and the only cost of the seam is one nil check per (re)connect.
+	Dialer DialFunc
+	// Listen overrides how the replication listener binds. Nil uses
+	// net.Listen.
+	Listen ListenFunc
+	// FS overrides the filesystem under DataDir (nil: the real disk), the
+	// disk half of fault injection.
+	FS minisql.FS
 }
 
 // Node is one member of a replicated EMEWS service cluster. It owns a
@@ -135,10 +156,16 @@ type Node struct {
 
 	met *nodeMetrics // replication metrics (obs.go), on the DB's registry
 
-	mu        sync.Mutex
-	role      Role
-	term      uint64
-	applied   uint64 // last applied (follower) / committed (leader) log index
+	mu      sync.Mutex
+	role    Role
+	term    uint64
+	applied uint64 // last applied (follower) / committed (leader) log index
+	// appliedTerm is the leadership term that produced the newest applied
+	// entry — the Raft last-log-term half of every log comparison. Two nodes
+	// whose applied terms match hold prefixes of the same leader's log, so
+	// (appliedTerm, applied) ordered lexicographically decides both the
+	// election log gate and whether a join may resume incrementally.
+	appliedTerm uint64
 	wal       *minisql.WAL
 	peers     map[string]Peer
 	leader    Peer
@@ -148,6 +175,11 @@ type Node struct {
 	stream    net.Conn             // follower's live connection to the leader
 	started   bool
 	closed    bool
+	// standDownUntil suppresses this node's own candidacy after StepDown:
+	// a node that vacated leadership deliberately must not stand in the
+	// election it just triggered, or it would often win leadership straight
+	// back (freshest log, usually top priority) and defeat the handoff.
+	standDownUntil time.Time
 
 	// Leader-health evidence for readiness (obs.go): when the leader was
 	// last heard from on the stream, its last reported applied index, and
@@ -160,6 +192,22 @@ type Node struct {
 	appliedCh chan struct{} // closed and replaced when the applied index advances
 	closeCh   chan struct{}
 	wg        sync.WaitGroup
+
+	// everJoined records that this node recovered a multi-member membership
+	// view from disk: it has provably been part of the cluster, so it may
+	// take part in elections immediately after a restart instead of knocking
+	// on its join address forever waiting for a leader that may never exist
+	// (a fully-restarted cluster has no leader to find, only one to elect).
+	everJoined bool
+}
+
+// viewMeta is the durably persisted membership view: the peers list and
+// leader identity this node last adopted. A restarted node recovers it so
+// its elections run against the real majority denominator instead of a
+// one-node world view.
+type viewMeta struct {
+	Leader Peer
+	Peers  []Peer
 }
 
 // New creates a node with a fresh EMEWS database and a bound replication
@@ -192,6 +240,7 @@ func New(cfg Config) (*Node, error) {
 			Fsync:           cfg.Fsync,
 			CheckpointEvery: cfg.CheckpointEvery,
 			Logf:            cfg.Logf,
+			FS:              cfg.FS,
 		})
 	} else {
 		db, err = core.NewDB()
@@ -199,7 +248,11 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
+	listen := cfg.Listen
+	if listen == nil {
+		listen = net.Listen
+	}
+	ln, err := listen("tcp", cfg.Addr)
 	if err != nil {
 		db.Close()
 		return nil, fmt.Errorf("replica: listen %s: %w", cfg.Addr, err)
@@ -232,6 +285,30 @@ func New(cfg Config) (*Node, error) {
 		// log at it.
 		n.applied = n.eng.LastLogged()
 		n.term = n.store.Term()
+		n.appliedTerm = n.store.AppliedTerm()
+		if cfg.Join != "" {
+			// Recover the last adopted membership view: the restarted
+			// follower knows who the cluster was and may elect (majority- and
+			// log-gated as always) if it finds no leader to rejoin. A
+			// single-member view is not recovered — electing from it would be
+			// claiming leadership of a one-node world. The bootstrap-leader
+			// path (Join == "") keeps its fresh {self} view: it already leads,
+			// and members re-register as they return.
+			var vm viewMeta
+			if v := n.store.View(); len(v) > 0 && json.Unmarshal(v, &vm) == nil && len(vm.Peers) > 1 {
+				for _, p := range vm.Peers {
+					n.peers[p.ID] = p
+				}
+				n.peers[self.ID] = self // own addresses win over the recorded ones
+				if vm.Leader.ID != cfg.ID {
+					// A recovered leader identity naming this node is its own
+					// pre-crash leadership — stale the moment it restarts as
+					// a follower.
+					n.leader = vm.Leader
+				}
+				n.everJoined = true
+			}
+		}
 	}
 	if cfg.Join == "" {
 		n.role = RoleLeader
@@ -266,6 +343,48 @@ func (n *Node) persistTerm(t uint64) {
 	if err := n.store.SetTerm(t); err != nil {
 		n.logf("persisting term %d: %v", t, err)
 	}
+}
+
+// noteAppliedTerm advances the applied-term watermark (the term whose leader
+// produced the newest applied entry) and persists the change. It moves once
+// per adopted leadership, so the apply fast path only ever pays the no-op
+// comparison.
+func (n *Node) noteAppliedTerm(t uint64) {
+	n.mu.Lock()
+	changed := t != n.appliedTerm
+	if changed {
+		n.appliedTerm = t
+	}
+	n.mu.Unlock()
+	if changed && n.store != nil {
+		if err := n.store.SetAppliedTerm(t); err != nil {
+			n.logf("persisting applied term %d: %v", t, err)
+		}
+	}
+}
+
+// persistViewLocked records the current membership view in the durable store
+// (no-op in-memory or when unchanged), so a restart recovers the cluster it
+// was part of. Caller holds n.mu.
+func (n *Node) persistViewLocked() {
+	if n.store == nil {
+		return
+	}
+	peers := n.peerListLocked()
+	rankPeers(peers) // stable order, so unchanged views compare equal
+	data, err := json.Marshal(viewMeta{Leader: n.leader, Peers: peers})
+	if err != nil {
+		return
+	}
+	if err := n.store.SetView(data); err != nil {
+		n.logf("persisting membership view: %v", err)
+	}
+}
+
+func (n *Node) persistView() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.persistViewLocked()
 }
 
 // Start launches the replication loops. Idempotent.
@@ -458,10 +577,14 @@ func (n *Node) onCommit(stmts []minisql.Stmt) uint64 {
 	n.mu.Lock()
 	w := n.wal
 	isLeader := n.role == RoleLeader
+	term := n.term
 	n.mu.Unlock()
 	if !isLeader || w == nil {
 		return 0
 	}
+	// The entry being appended belongs to this leadership: the applied-term
+	// watermark moves with the first write of each term (no-op after).
+	n.noteAppliedTerm(term)
 	idx := w.Append(stmts)
 	if n.store != nil {
 		// The durable twin of the in-memory append. On failure the commit
@@ -632,7 +755,7 @@ func (n *Node) ForcePromote() error {
 	stream := n.stream
 	n.mu.Unlock()
 	n.logf("forced promotion: operator override of the majority election gate")
-	n.promote()
+	n.promote(0)
 	// Sever any live stream to an old leader; the follower loop observes the
 	// role change and exits instead of re-electing.
 	if stream != nil {
@@ -641,17 +764,29 @@ func (n *Node) ForcePromote() error {
 	return nil
 }
 
-// promote makes this follower the new leader: bump the term, drop the dead
-// leader from membership, and open a fresh WAL continuing at the applied
-// index so joiners resume the cluster's numbering.
-func (n *Node) promote() {
+// promote makes this follower the new leader: adopt the claimed term (0
+// means bump the current one — the operator ForcePromote path, which skips
+// the claim round), drop the dead leader from membership, and open a fresh
+// WAL continuing at the applied index so joiners resume the cluster's
+// numbering. A claimTerm the node has already moved past aborts the
+// promotion: this node granted a higher claim between its own claim round
+// and now, and leading at the stale term would undo that vote.
+func (n *Node) promote(claimTerm uint64) {
 	n.mu.Lock()
 	if n.closed || n.role == RoleLeader {
 		n.mu.Unlock()
 		return
 	}
+	if claimTerm == 0 {
+		claimTerm = n.term + 1
+	}
+	if claimTerm < n.term {
+		n.mu.Unlock()
+		n.logf("promotion at term %d aborted: already granted term %d", claimTerm, n.term)
+		return
+	}
 	n.role = RoleLeader
-	n.term++
+	n.term = claimTerm
 	if n.leader.ID != "" && n.leader.ID != n.cfg.ID {
 		delete(n.peers, n.leader.ID)
 	}
@@ -670,6 +805,7 @@ func (n *Node) promote() {
 	term, applied := n.term, n.applied
 	n.mu.Unlock()
 	n.persistTerm(term)
+	n.persistView()
 	n.met.promotions.Inc()
 	n.db.Wake()
 	n.logf("promoted to leader (term %d, log index %d)", term, applied)
@@ -684,9 +820,23 @@ func (n *Node) promote() {
 // promote — leadership is no longer one-way.
 func (n *Node) demote(reason string) {
 	n.mu.Lock()
+	finish, ok := n.demoteLocked()
+	n.mu.Unlock()
+	if ok {
+		finish(reason)
+	}
+}
+
+// demoteLocked flips the leader to follower under the caller's hold of n.mu:
+// the role change, the WAL detach, and whatever state change motivated the
+// demotion (a granted leadership claim adopting a higher term, say) land in
+// one critical section, so no commit can slip through between them. It
+// returns the teardown to run after unlock. Claim grants rely on the
+// atomicity: a leader that adopted a claimed term but still had a live WAL
+// for one more commit would stamp that write with the claimant's term.
+func (n *Node) demoteLocked() (finish func(reason string), ok bool) {
 	if n.closed || n.role != RoleLeader {
-		n.mu.Unlock()
-		return
+		return nil, false
 	}
 	n.role = RoleFollower
 	w := n.wal
@@ -695,17 +845,18 @@ func (n *Node) demote(reason string) {
 	fols := n.followers
 	n.followers = make(map[string]*followerConn)
 	term := n.term
-	n.mu.Unlock()
-	if w != nil {
-		w.Seal(ErrDemoted)
-	}
-	for _, f := range fols {
-		f.conn.Close()
-	}
-	n.met.demotions.Inc()
-	n.logf("stepping down at term %d: %s", term, reason)
-	n.wg.Add(1)
-	go n.followLoop("", true)
+	return func(reason string) {
+		if w != nil {
+			w.Seal(ErrDemoted)
+		}
+		for _, f := range fols {
+			f.conn.Close()
+		}
+		n.met.demotions.Inc()
+		n.logf("stepping down at term %d: %s", term, reason)
+		n.wg.Add(1)
+		go n.followLoop("", true)
+	}, true
 }
 
 // snapshotAt captures a database snapshot together with the WAL index it
@@ -744,4 +895,46 @@ func (n *Node) sleep(d time.Duration) bool {
 	case <-t.C:
 		return true
 	}
+}
+
+// dial connects to a peer's replication address through the configured
+// dialer (the chaos seam) or the real network.
+func (n *Node) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	if n.cfg.Dialer != nil {
+		return n.cfg.Dialer("tcp", addr, timeout)
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// jitter spreads a failure-detection or heartbeat interval ±20%. Identical
+// configs otherwise fire their election timers in lockstep after a
+// partition heals — every candidate probes, sees the same view, and backs
+// off the same amount, making split elections more likely and synchronizing
+// the retry storm that follows. Randomized timers are the standard fix
+// (Raft §5.2); the promotion rank still decides the winner, jitter only
+// de-synchronizes when each node looks.
+func (n *Node) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d*4/5 + time.Duration(rand.Int63n(int64(d)*2/5+1))
+}
+
+// StepDown demotes a leader to follower on operator request — the graceful
+// half of drain: a node about to shut down hands leadership off proactively
+// instead of making the cluster discover its death by timeout. The caller
+// is responsible for sequencing it after in-flight quorum waits resolve
+// (service.Server.Drain does). No-op on followers; returns false when the
+// node has no live peer to hand off to (a sole survivor demoting itself
+// would just leave the cluster leaderless).
+func (n *Node) StepDown() bool {
+	n.mu.Lock()
+	if n.closed || n.role != RoleLeader || len(n.peers) < 2 {
+		n.mu.Unlock()
+		return false
+	}
+	n.standDownUntil = time.Now().Add(4 * n.cfg.ElectionTimeout)
+	n.mu.Unlock()
+	n.demote("drain: operator-requested handoff")
+	return true
 }

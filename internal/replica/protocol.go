@@ -84,6 +84,18 @@ const (
 	// order and acks once at the batch high-water mark, so N concurrent
 	// writes cost ~1 replication round trip instead of N.
 	frameEntries
+	// frameClaim: candidate -> any. Claim leadership of Term (strictly above
+	// the receiver's current term), carrying the candidate's log position
+	// (AppliedTerm, Applied). Answered with frameStatus whose Granted says
+	// whether the receiver adopted the claimed term. Granting is the vote
+	// that makes promotion safe: the granter bumps its term immediately —
+	// detaching from any current leader and refusing its further frames —
+	// so a majority of grants guarantees the old leader can no longer
+	// assemble a write quorum. Probe-gated promotion alone cannot do this:
+	// it elects a new leader without deposing the old one, and an
+	// asymmetric partition then yields two leaders acking writes in
+	// parallel until one history is rolled back.
+	frameClaim
 )
 
 // frame is the single wire message of the replication protocol, gob-encoded
@@ -119,4 +131,14 @@ type frame struct {
 	// frameAck (cumulative applied index) and frameStatus (the responder's
 	// applied index, feeding the election log gate)
 	Applied uint64
+
+	// frameJoin / frameClaim / frameStatus: the term of the leadership that
+	// produced the sender's newest applied entry. Two logs agree up to the
+	// smaller applied index if and only if their applied terms lead back to
+	// the same leader — the comparison behind both the claim's log gate and
+	// the join resume gate.
+	AppliedTerm uint64
+
+	// frameStatus reply to frameClaim: the receiver adopted the claimed term.
+	Granted bool
 }

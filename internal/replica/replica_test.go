@@ -170,10 +170,18 @@ func TestJoinResumeVsSnapshot(t *testing.T) {
 	submitN(t, leader.DB(), 5)
 	peer := Peer{ID: "probe", Priority: 0, ReplAddr: "127.0.0.1:1", SvcAddr: "svc-probe"}
 
-	resume := dialJoin(t, leader.Addr(), frame{Type: frameJoin, Peer: peer, Term: 1, From: 3})
+	resume := dialJoin(t, leader.Addr(), frame{Type: frameJoin, Peer: peer, Term: 1, AppliedTerm: 1, From: 3})
 	if resume.Type != frameHeartbeat || resume.Snapshot != nil {
 		t.Fatalf("same-term resume got frame type %d (snapshot %d bytes), want heartbeat hello",
 			resume.Type, len(resume.Snapshot))
+	}
+
+	// Same adopted term but an older applied term: the joiner's log tail
+	// came from a previous leadership (its term was bumped by a granted
+	// claim), so its prefix is not provably this leader's — snapshot.
+	oldTail := dialJoin(t, leader.Addr(), frame{Type: frameJoin, Peer: peer, Term: 1, AppliedTerm: 0, From: 3})
+	if oldTail.Type != frameSnapshot {
+		t.Fatalf("old-applied-term join got frame type %d, want snapshot", oldTail.Type)
 	}
 
 	fresh := dialJoin(t, leader.Addr(), frame{Type: frameJoin, Peer: peer, Term: 1, From: 0})

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -98,16 +99,53 @@ var ErrConn = errors.New("service: connection lost")
 // unreachable from a forwarding follower); callers may retry.
 var ErrUnavailable = errors.New("service: temporarily unavailable")
 
+// ErrOverloaded marks a request the server refused at admission because its
+// in-flight limit was reached. The request never executed (no side effects,
+// safe to resend verbatim, writes included); the right response is to back
+// off and retry the SAME node — unlike ErrUnavailable, failing over is
+// pointless because the node is healthy, just saturated. roundTrip retries
+// these itself with full-jitter backoff inside the caller's budget, so
+// pipelined callers see slowdown, not errors, under overload.
+var ErrOverloaded = errors.New("service: server overloaded")
+
 var errClientClosed = errors.New("client closed")
 
 // clientWriteTimeout bounds one frame write. Frames flush immediately, so a
 // write only stalls when the peer stops draining its socket entirely.
 const clientWriteTimeout = 30 * time.Second
 
-// Dial connects to a service, announcing protocol v2 with the two-byte
-// preamble (flushed together with the first request frame).
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+// DefaultDialTimeout bounds one TCP connect when the caller brings no
+// deadline of its own.
+const DefaultDialTimeout = 5 * time.Second
+
+// DialFunc dials the service; the signature matches net.DialTimeout.
+// DialOptions.Dialer routes client traffic through a fault-injecting
+// transport (internal/chaos) in tests; nil means the real network.
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+// DialOptions parameterizes Dial.
+type DialOptions struct {
+	// Timeout bounds the TCP connect (0: DefaultDialTimeout).
+	Timeout time.Duration
+	// Dialer overrides the transport. Nil uses net.DialTimeout.
+	Dialer DialFunc
+}
+
+// Dial connects to a service with defaults, announcing the current wire
+// protocol with the two-byte preamble (flushed together with the first
+// request frame).
+func Dial(addr string) (*Client, error) { return DialWith(addr, DialOptions{}) }
+
+// DialWith is Dial with an explicit connect timeout and transport.
+func DialWith(addr string, o DialOptions) (*Client, error) {
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultDialTimeout
+	}
+	dial := o.Dialer
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	conn, err := dial("tcp", addr, o.Timeout)
 	if err != nil {
 		return nil, fmt.Errorf("service: dial %s: %w: %w", addr, ErrConn, err)
 	}
@@ -244,11 +282,44 @@ func (c *Client) send(id uint64, req *request) error {
 	return nil
 }
 
-// roundTrip issues one request and waits for its response frame. Other
+// Overload backoff bounds: the full-jitter retry of shed requests starts
+// at the base and doubles to the cap. Full jitter (sleep a uniform random
+// fraction of the window, AWS-style) is what keeps N pipelined callers
+// shed together from retrying together.
+const (
+	overloadBackoffBase = 5 * time.Millisecond
+	overloadBackoffCap  = 250 * time.Millisecond
+)
+
+// roundTrip issues one request, transparently retrying admission-control
+// sheds with full-jitter backoff inside the caller's overall budget. A shed
+// request never executed, so the resend is safe for every op including
+// writes; when the budget runs out the ErrOverloaded surfaces to the
+// caller (and, in a cluster client, to its own backoff loop).
+func (c *Client) roundTrip(req request, timeout time.Duration) (response, error) {
+	deadline := time.Now().Add(timeout + 10*time.Second)
+	backoff := overloadBackoffBase
+	for {
+		resp, err := c.roundTripOnce(req, timeout)
+		if err == nil || !errors.Is(err, ErrOverloaded) {
+			return resp, err
+		}
+		d := time.Duration(rand.Int63n(int64(backoff)))
+		if !time.Now().Add(d).Before(deadline) {
+			return resp, err
+		}
+		time.Sleep(d)
+		if backoff *= 2; backoff > overloadBackoffCap {
+			backoff = overloadBackoffCap
+		}
+	}
+}
+
+// roundTripOnce ships one request frame and waits for its response. Other
 // callers' round trips proceed concurrently on the same connection; this
 // request's reply may arrive before or after theirs. The wait allows the
 // server-side poll (timeout) plus grace for the network round trip.
-func (c *Client) roundTrip(req request, timeout time.Duration) (response, error) {
+func (c *Client) roundTripOnce(req request, timeout time.Duration) (response, error) {
 	if req.Trace == "" {
 		req.Trace = obs.TraceID()
 	}
@@ -298,6 +369,9 @@ func finishRoundTrip(resp response) (response, error) {
 	if !resp.OK {
 		if resp.Timeout {
 			return resp, core.ErrTimeout
+		}
+		if resp.Overloaded {
+			return resp, fmt.Errorf("%w: %s", ErrOverloaded, resp.Error)
 		}
 		if resp.Transient {
 			return resp, fmt.Errorf("%w: %s", ErrUnavailable, resp.Error)
@@ -698,10 +772,18 @@ func (c *Client) ClusterStats() (map[string]float64, error) {
 
 // DialContext dials with retry until the service is up or ctx expires —
 // used when funcX starts the service remotely and the client must wait for
-// it to come online.
+// it to come online. Each attempt's connect timeout derives from the
+// context deadline (clamped to DefaultDialTimeout), so a caller with a
+// tight budget is not parked behind a 5s dial against a black-holed peer.
 func DialContext(ctx context.Context, addr string) (*Client, error) {
 	for {
-		c, err := Dial(addr)
+		to := DefaultDialTimeout
+		if d, ok := ctx.Deadline(); ok {
+			if r := time.Until(d); r < to {
+				to = max(r, time.Millisecond)
+			}
+		}
+		c, err := DialWith(addr, DialOptions{Timeout: to})
 		if err == nil {
 			if perr := c.Ping(); perr == nil {
 				return c, nil

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"strings"
 	"sync"
 	"time"
@@ -59,8 +60,26 @@ type ClusterClient struct {
 	// connection loss and leaderless windows (beyond the call's own polling
 	// deadline). The default 15s rides out several election rounds.
 	FailTimeout time.Duration
-	// RetryDelay is the pause between re-resolution attempts (default 25ms).
+	// RetryDelay is the base of the exponential backoff between
+	// re-resolution attempts (default 25ms). Each retry sleeps a uniformly
+	// random duration in (0, min(RetryMaxDelay, RetryDelay·2^attempt)] —
+	// full jitter, so the many clients that lose a leader simultaneously
+	// spread their reconnects out instead of stampeding the new leader in
+	// 25ms lockstep waves.
 	RetryDelay time.Duration
+	// RetryMaxDelay caps the backoff (default 500ms): long enough to shed
+	// load during an election, short enough that calls notice a recovered
+	// leader within one heartbeat-scale delay.
+	RetryMaxDelay time.Duration
+	// DialTimeout bounds each connection attempt during leader resolution
+	// (default DefaultDialTimeout). Resolution scans every configured node,
+	// so a cluster with firewalled (silently dropping) members wants this
+	// well under FailTimeout.
+	DialTimeout time.Duration
+	// Dialer replaces the net.DialTimeout used for every connection this
+	// client opens (leader and follower reads alike). Tests inject fault
+	// transports here; nil uses the real network.
+	Dialer DialFunc
 	// ReadFromFollowers routes session- and eventual-consistency reads across
 	// follower replicas. Enabled by DialCluster; disable to pin every call to
 	// the leader. Strong reads always go to the leader regardless.
@@ -103,6 +122,7 @@ func DialCluster(addrs ...string) (*ClusterClient, error) {
 		addrs:             append([]string(nil), addrs...),
 		FailTimeout:       15 * time.Second,
 		RetryDelay:        25 * time.Millisecond,
+		RetryMaxDelay:     500 * time.Millisecond,
 		ReadFromFollowers: true,
 		ReadStaleness:     time.Second,
 		readers:           make(map[string]*Client),
@@ -228,7 +248,7 @@ func (cc *ClusterClient) clientLocked() (*Client, error) {
 			continue
 		}
 		seen[addr] = true
-		c, err := Dial(addr)
+		c, err := cc.dial(addr)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -285,6 +305,28 @@ func (cc *ClusterClient) clientLocked() (*Client, error) {
 	return nil, firstErr
 }
 
+// dial opens a client connection through the configured dialer and timeout.
+func (cc *ClusterClient) dial(addr string) (*Client, error) {
+	return DialWith(addr, DialOptions{Timeout: cc.DialTimeout, Dialer: cc.Dialer})
+}
+
+// retrySleep pauses before retry attempt n (0-based) with full jitter: a
+// uniform draw from (0, min(RetryMaxDelay, RetryDelay·2^n)]. Early attempts
+// stay fast (a lost connection usually has a live leader one dial away);
+// later attempts back off so a leaderless or overloaded cluster is not
+// hammered by synchronized retry waves.
+func (cc *ClusterClient) retrySleep(attempt int) {
+	base, ceil := cc.RetryDelay, cc.RetryMaxDelay
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if ceil <= 0 {
+		ceil = 500 * time.Millisecond
+	}
+	d := min(ceil, base<<uint(min(attempt, 16)))
+	time.Sleep(time.Duration(mrand.Int63n(int64(d))) + 1)
+}
+
 // invalidate drops c if it is still the cached connection.
 func (cc *ClusterClient) invalidate(c *Client) {
 	cc.mu.Lock()
@@ -305,24 +347,28 @@ func retryable(err error) bool {
 func (cc *ClusterClient) do(budget time.Duration, fn func(c *Client) error) error {
 	deadline := time.Now().Add(budget + cc.FailTimeout)
 	var err error
-	for {
+	for attempt := 0; ; attempt++ {
 		var c *Client
 		c, err = cc.client()
 		if err == nil {
 			err = fn(c)
-			if err == nil {
+			switch {
+			case err == nil:
 				cc.noteToken(c.LastToken())
 				return nil
-			}
-			if !retryable(err) {
+			case errors.Is(err, ErrOverloaded):
+				// The node is healthy, just saturated — keep the connection
+				// (failing over would dogpile another node) and back off.
+			case retryable(err):
+				cc.invalidate(c)
+			default:
 				return err
 			}
-			cc.invalidate(c)
 		}
 		if time.Now().After(deadline) {
 			return err
 		}
-		time.Sleep(cc.RetryDelay)
+		cc.retrySleep(attempt)
 	}
 }
 
@@ -334,7 +380,7 @@ func (cc *ClusterClient) reader(addr string) (*Client, error) {
 		return c, nil
 	}
 	cc.mu.Unlock()
-	c, err := Dial(addr)
+	c, err := cc.dial(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -431,6 +477,12 @@ func (cc *ClusterClient) doRead(ctx context.Context, opts []core.ReadOption, fn 
 		if err == nil {
 			cc.noteToken(c.LastToken())
 			return nil
+		}
+		if errors.Is(err, ErrOverloaded) {
+			// A saturated follower sheds reads; cool it down and let the
+			// rotation try the next replica (connection stays good).
+			cc.markReadBad(addr)
+			continue
 		}
 		if !retryable(err) {
 			return err
@@ -583,6 +635,7 @@ func (cc *ClusterClient) pollChunked(ctx context.Context, fn func(c *Client, chu
 	}
 	var connErr error // last connection-level failure; nil after any real answer
 	attempted := false
+	attempt := 0 // consecutive failed attempts, drives the retry backoff
 	for {
 		// A deadline expiry is handled below (grace chunks included); an
 		// explicit cancellation aborts the poll outright.
@@ -628,7 +681,7 @@ func (cc *ClusterClient) pollChunked(ctx context.Context, fn func(c *Client, chu
 				cc.noteToken(c.LastToken())
 				return nil
 			case errors.Is(err, core.ErrTimeout):
-				connErr = nil
+				connErr, attempt = nil, 0 // the node answered; reset backoff
 				if !bounded {
 					select {
 					case <-ctx.Done():
@@ -640,6 +693,9 @@ func (cc *ClusterClient) pollChunked(ctx context.Context, fn func(c *Client, chu
 					}
 				}
 				continue
+			case errors.Is(err, ErrOverloaded):
+				// Saturated node: keep the connection, back off, retry.
+				connErr = err
 			case retryable(err):
 				connErr = err
 				cc.invalidate(c)
@@ -652,7 +708,8 @@ func (cc *ClusterClient) pollChunked(ctx context.Context, fn func(c *Client, chu
 		if bounded && time.Now().After(hardDeadline) {
 			return connErr
 		}
-		time.Sleep(cc.RetryDelay)
+		cc.retrySleep(attempt)
+		attempt++
 	}
 }
 

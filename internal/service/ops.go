@@ -31,7 +31,9 @@ type serverMetrics struct {
 	forwards  *obs.Counter
 	malformed *obs.Counter
 	acceptErr *obs.Counter
+	shed      *obs.Counter
 	openConns *obs.Gauge
+	draining  *obs.Gauge
 	reqs      map[string]*obs.Counter
 	errs      map[string]*obs.Counter
 	lat       map[string]*obs.Histogram
@@ -46,7 +48,9 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		forwards:  reg.Counter("osprey_service_forwards_total"),
 		malformed: reg.Counter("osprey_service_malformed_total"),
 		acceptErr: reg.Counter("osprey_service_accept_errors_total"),
+		shed:      reg.Counter("osprey_service_shed_total"),
 		openConns: reg.Gauge("osprey_service_open_connections"),
+		draining:  reg.Gauge("osprey_service_draining"),
 		reqs:      make(map[string]*obs.Counter, len(knownOps)),
 		errs:      make(map[string]*obs.Counter, len(knownOps)),
 		lat:       make(map[string]*obs.Histogram, len(knownOps)),
@@ -107,6 +111,19 @@ func WithReadyBound(d time.Duration) ServerOption {
 	return func(s *Server) { s.readyBound = d }
 }
 
+// WithListener replaces the net.Listen used to bind the service port. Chaos
+// tests inject fault-wrapped listeners here; nil keeps the real network.
+func WithListener(listen ListenFunc) ServerOption {
+	return func(s *Server) { s.listen = listen }
+}
+
+// WithMaxInflight caps the data-plane requests executing concurrently across
+// all connections; arrivals beyond it are shed with a fast Overloaded
+// response before any execution. 0 keeps DefaultMaxInflight.
+func WithMaxInflight(n int) ServerOption {
+	return func(s *Server) { s.maxReq = n }
+}
+
 func defaultLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
 }
@@ -138,6 +155,12 @@ func (s *Server) ServeOps(addr string) (*obs.OpsServer, error) {
 			s.mu.Unlock()
 			if closed {
 				return obs.Health{OK: false, Detail: "server closed"}
+			}
+			if s.draining.Load() {
+				// Draining answers unready before anything else: the whole
+				// point of the drain window is that routers stop sending
+				// traffic here while in-flight requests finish.
+				return obs.Health{OK: false, Detail: "draining"}
 			}
 			if s.node == nil {
 				return obs.Health{OK: true, Detail: "standalone"}

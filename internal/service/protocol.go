@@ -140,6 +140,13 @@ type response struct {
 	// Transient marks errors worth retrying against another node (no leader
 	// elected yet, leader unreachable); failover clients re-resolve on them.
 	Transient bool `json:"transient,omitempty"`
+	// Overloaded marks a request the server shed at admission — refused
+	// before any execution (and before any side effect, so even
+	// non-idempotent ops are safe to resend verbatim). Clients back off
+	// with jitter and retry the SAME node rather than failing over: unlike
+	// Transient, the node is healthy, just saturated. Wire v3; absent on
+	// the wire from older servers, decoding as false.
+	Overloaded bool `json:"overloaded,omitempty"`
 
 	// Token is the commit token of the operation: for writes, the WAL index
 	// of the write's own log entry (what the server quorum-waited on); for

@@ -10,12 +10,17 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"osprey/internal/core"
 	"osprey/internal/obs"
 	"osprey/internal/replica"
 )
+
+// ListenFunc opens the server's listening socket; it matches net.Listen.
+// Tests inject fault-wrapped listeners through WithListener.
+type ListenFunc func(network, addr string) (net.Listener, error)
 
 // Server exposes an EMEWS task database over TCP.
 type Server struct {
@@ -27,6 +32,18 @@ type Server struct {
 	met        *serverMetrics // per-op counters/histograms (ops.go)
 	log        *slog.Logger
 	readyBound time.Duration // /readyz follower staleness bound (0 = node default)
+	listen     ListenFunc    // socket factory (WithListener); nil = net.Listen
+	maxReq     int           // server-wide admission cap (WithMaxInflight)
+
+	// Admission control: inflight counts the data-plane requests currently
+	// executing across every connection. A request arriving beyond maxReq is
+	// shed at dispatch — a fast Overloaded response before any execution or
+	// side effect — so saturation surfaces as explicit backpressure clients
+	// can back off on, instead of unbounded queueing. draining flips when
+	// Drain starts: new data-plane work is refused transiently (failover
+	// clients move to another node) while admitted requests finish.
+	inflight atomic.Int64
+	draining atomic.Bool
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -72,10 +89,6 @@ func ServeNode(n *replica.Node, addr string, opts ...ServerOption) (*Server, err
 }
 
 func serve(db core.Session, node *replica.Node, addr string, opts ...ServerOption) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("service: listen: %w", err)
-	}
 	// The metrics registry is shared downward: a replicated server reports
 	// into its node's (and therefore database's) registry so one scrape
 	// covers every layer; a standalone server over a core.DB does the same
@@ -93,12 +106,24 @@ func serve(db core.Session, node *replica.Node, addr string, opts ...ServerOptio
 	}
 	s := &Server{
 		db: db, tokenless: core.Tokenless(db),
-		ln: ln, node: node, conns: make(map[net.Conn]struct{}),
+		node: node, conns: make(map[net.Conn]struct{}),
 		met: newServerMetrics(reg), log: defaultLogger(),
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.maxReq <= 0 {
+		s.maxReq = DefaultMaxInflight
+	}
+	listen := s.listen
+	if listen == nil {
+		listen = net.Listen
+	}
+	ln, err := listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listen: %w", err)
+	}
+	s.ln = ln
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -139,6 +164,52 @@ func (s *Server) Close() {
 	s.fwdMu.Unlock()
 	s.wg.Wait()
 }
+
+// Drain shuts the server down gracefully, the SIGTERM path for rolling
+// restarts: stop accepting connections, go unready (/readyz answers 503 so
+// load balancers and orchestrators stop routing here), refuse newly arriving
+// data-plane requests transiently (failover clients re-resolve to another
+// node), and let the already-admitted requests finish — quorum waits
+// included — bounded by timeout. A draining leader then proactively steps
+// down, handing the cluster a head start on the election it would otherwise
+// discover only by missing heartbeats, and finally the server closes.
+// Returns true when every in-flight request finished inside the timeout.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return true
+	}
+	alreadyDraining := s.draining.Swap(true)
+	s.mu.Unlock()
+	if !alreadyDraining {
+		s.met.draining.Set(1)
+		s.ln.Close() // stop accepting; acceptLoop exits on net.ErrClosed
+		s.log.Info("draining", "addr", s.Addr(), "inflight", s.inflight.Load())
+	}
+	deadline := time.Now().Add(timeout)
+	clean := true
+	for s.inflight.Load() > 0 {
+		if !time.Now().Before(deadline) {
+			clean = false
+			s.log.Warn("drain deadline expired with requests in flight",
+				"inflight", s.inflight.Load())
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// In-flight work has resolved (or been abandoned): if this node leads,
+	// demote now — its last quorum waits are done, so no acknowledged write
+	// is still pending replication when leadership moves.
+	if s.node != nil {
+		s.node.StepDown()
+	}
+	s.Close()
+	return clean
+}
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 func (s *Server) acceptLoop() {
 	for {
@@ -431,12 +502,51 @@ var quorumOps = map[string]bool{
 	"update_priorities": true, "cancel": true, "requeue": true,
 }
 
-// dispatch instruments and routes one request: per-op request count and
-// latency, error count (timeouts are normal long-poll outcomes, not errors),
-// and the trace-correlated log lines that let one request be followed across
-// the forward hop. Requests from older clients without a trace ID get one
-// minted here so per-hop logs still correlate.
+// DefaultMaxInflight is the server-wide admission cap: the number of
+// data-plane requests allowed to execute concurrently before new arrivals
+// are shed with a fast Overloaded response. Four connections' worth of the
+// per-connection pipeline bound — past that, queueing more work only grows
+// latency for everyone already in line.
+const DefaultMaxInflight = 4 * maxInflight
+
+// controlOps bypass admission control and draining: health probes, leader
+// resolution, and operator promotion must answer on a saturated or draining
+// server — they are precisely how clients and operators route around it.
+var controlOps = map[string]bool{
+	"ping": true, "cluster": true, "cluster_stats": true, "cluster_promote": true,
+}
+
+// admit reserves an admission slot for a data-plane request, or returns the
+// refusal response. Shedding happens before any execution, so a shed request
+// has had no side effect and is safe to resend verbatim — even the
+// non-idempotent queue pops.
+func (s *Server) admit(op string) (func(), response, bool) {
+	if controlOps[op] {
+		return func() {}, response{}, true
+	}
+	if s.draining.Load() {
+		return nil, response{Error: "service: draining", Transient: true}, false
+	}
+	if n := s.inflight.Add(1); int(n) > s.maxReq {
+		s.inflight.Add(-1)
+		s.met.shed.Inc()
+		return nil, response{Error: "service: overloaded", Overloaded: true}, false
+	}
+	return func() { s.inflight.Add(-1) }, response{}, true
+}
+
+// dispatch instruments and routes one request: admission control first (shed
+// or drain refusals cost one atomic increment and no execution), then per-op
+// request count and latency, error count (timeouts are normal long-poll
+// outcomes, not errors), and the trace-correlated log lines that let one
+// request be followed across the forward hop. Requests from older clients
+// without a trace ID get one minted here so per-hop logs still correlate.
 func (s *Server) dispatch(req request, peer string) response {
+	release, refusal, ok := s.admit(req.Op)
+	if !ok {
+		return refusal
+	}
+	defer release()
 	if req.Trace == "" {
 		req.Trace = obs.TraceID()
 	}

@@ -58,7 +58,13 @@ const (
 	// wireVersion is the protocol version this build speaks. Servers accept
 	// any version from 1 through wireVersion (the codec only ever appends
 	// fields); clients send exactly wireVersion.
-	wireVersion = 2
+	//
+	// v3 appended response.Overloaded (admission-control shed marker). A v2
+	// peer's decoder ignores the trailing byte; a v3 decoder reading a v2
+	// writer's message sees an exhausted buffer and defaults the field
+	// (tailBool) — both directions stay compatible across a rolling
+	// upgrade.
+	wireVersion = 3
 	// maxFrame bounds one frame's decoded size, matching the JSON path's
 	// per-message bound so a corrupt or hostile length prefix cannot balloon
 	// memory.
@@ -206,6 +212,8 @@ func appendResponse(buf []byte, resp *response) []byte {
 		buf = appendString(buf, k)
 		buf = appendFloat64(buf, v)
 	}
+	// --- fields appended in v3 ---
+	buf = appendBool(buf, resp.Overloaded)
 	return buf
 }
 
@@ -298,6 +306,19 @@ func (d *wireDec) count() int {
 		return 0
 	}
 	return int(n)
+}
+
+// tailBool reads one bool appended by a NEWER protocol version: an
+// exhausted buffer is not an error but an older writer, and the field
+// defaults to false. Only valid for version-appended fields at the tail of
+// a message — mandatory fields keep the loud errTruncated behavior.
+func (d *wireDec) tailBool() bool {
+	if d.err != nil || d.pos >= len(d.buf) {
+		return false
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b != 0
 }
 
 func (d *wireDec) float64() float64 {
@@ -455,6 +476,8 @@ func (d *wireDec) decodeResponse(resp *response) error {
 			resp.Stats[k] = d.float64()
 		}
 	}
+	// v3 tail: absent when the writer is older, defaulting to false.
+	resp.Overloaded = d.tailBool()
 	if d.err != nil {
 		// A torn frame must not hand half-decoded collections to the caller.
 		*resp = response{}

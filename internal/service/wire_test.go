@@ -139,10 +139,28 @@ func TestWireDecodeNeverPanics(t *testing.T) {
 	var resp response
 	fillValue(reflect.ValueOf(&resp).Elem(), 7)
 	fullR := appendResponse(nil, &resp)
+	// The last byte is the v3 tail (response.Overloaded). A message cut
+	// exactly there is byte-identical to a valid v2 message, and the decoder
+	// accepts it by design — that tolerance is the append-only evolution
+	// contract that lets a v3 client read v2 servers. Every shorter
+	// truncation cuts into the v2 body and must error.
+	v2End := len(fullR) - 1
 	for i := 0; i < len(fullR); i++ {
 		dec.reset(fullR[:i])
 		var r response
-		if err := dec.decodeResponse(&r); err == nil {
+		err := dec.decodeResponse(&r)
+		if i == v2End {
+			want := resp
+			want.Overloaded = false
+			if err != nil {
+				t.Fatalf("decodeResponse rejected v2-length message: %v", err)
+			}
+			if !reflect.DeepEqual(r, want) {
+				t.Fatalf("v2-length decode = %+v", r)
+			}
+			continue
+		}
+		if err == nil {
 			t.Fatalf("decodeResponse accepted truncation at %d/%d", i, len(fullR))
 		}
 		if !reflect.DeepEqual(r, response{}) {
