@@ -33,6 +33,7 @@ import (
 	"osprey/internal/replica"
 	"osprey/internal/sched"
 	"osprey/internal/service"
+	"osprey/internal/watch"
 	"osprey/internal/workflow"
 )
 
@@ -1122,5 +1123,119 @@ func BenchmarkSubmitSingle750(b *testing.B) {
 			}
 		}
 		db.Close()
+	}
+}
+
+// --- Watch subsystem: push dispatch vs the poll loops it replaced ---
+
+// BenchmarkWatchDispatch measures the hub's per-commit fanout cost: 16 live
+// all-watch subscribers each receive every committed transition. One
+// iteration is one commit classified into one queued transition, delivered
+// to all 16 — the in-process cost a node pays per commit to keep its push
+// streams current, before any wire framing.
+func BenchmarkWatchDispatch(b *testing.B) {
+	hub := watch.NewHub(0, nil)
+	const subscribers = 16
+	var wg sync.WaitGroup
+	subs := make([]*watch.Sub, subscribers)
+	for i := range subs {
+		sub, _, _, _ := hub.Subscribe(watch.Query{All: true}, 1024)
+		subs[i] = sub
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range sub.C {
+			}
+		}()
+	}
+	trs := []watch.Transition{{TaskID: 1, WorkType: 1, Status: "queued"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.Commit(uint64(i+1), trs)
+	}
+	b.StopTimer()
+	for _, s := range subs {
+		s.Close()
+	}
+	wg.Wait()
+}
+
+// benchWatchWakeSetup starts a standalone service and a connected client for
+// the wake-path pair below.
+func benchWatchWakeSetup(b *testing.B) (*service.Client, func()) {
+	db, err := core.NewDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := service.Serve(db, "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		b.Fatal(err)
+	}
+	c, err := service.Dial(srv.Addr())
+	if err != nil {
+		srv.Close()
+		db.Close()
+		b.Fatal(err)
+	}
+	return c, func() { c.Close(); srv.Close(); db.Close() }
+}
+
+// BenchmarkWatchWake measures the push path an idle worker rides: a standing
+// watch subscription, one submit, and the server-push frame announcing the
+// new task. Compare with BenchmarkPollWake — the request/response cycle the
+// watch replaced. The deeper difference is off the clock: an idle watcher
+// costs zero requests while it waits, a poll loop pays PollWake per probe
+// whether or not work exists.
+func BenchmarkWatchWake(b *testing.B) {
+	c, done := benchWatchWakeSetup(b)
+	defer done()
+	st, err := c.Watch(bgctx, watch.Query{WorkType: 1}, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Submit(bgctx, "bench", 1, "p"); err != nil {
+			b.Fatal(err)
+		}
+		woken := false
+		for !woken {
+			batch, ok := <-st.Events()
+			if !ok {
+				b.Fatal(st.Err())
+			}
+			for _, ev := range batch {
+				if ev.Status == "queued" {
+					woken = true
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkPollWake measures one cycle of the poll loop the watch subsystem
+// replaced: submit, then the poller's QueryTasks round trip discovers (and
+// pops) the task. This is the per-probe price an idle poll loop keeps paying
+// with nothing to show when the queue is empty.
+func BenchmarkPollWake(b *testing.B) {
+	c, done := benchWatchWakeSetup(b)
+	defer done()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Submit(bgctx, "bench", 1, "p"); err != nil {
+			b.Fatal(err)
+		}
+		tasks, err := c.QueryTasks(bgctx, 1, 1, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tasks.Tasks) != 1 {
+			b.Fatalf("popped %d tasks, want 1", len(tasks.Tasks))
+		}
 	}
 }

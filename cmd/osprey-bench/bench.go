@@ -25,12 +25,17 @@ import (
 // binary codec (BenchmarkWireCodec, encode+decode of a submit-shaped round
 // trip against the JSON v1 equivalent) and the multiplexed client's
 // pipelining win (BenchmarkPipelinedSubmitParallel8, eight submitters
-// sharing one connection).
+// sharing one connection). The watch trio guards the push subsystem:
+// BenchmarkWatchDispatch is the hub's fan-out cost per committed transition
+// (16 subscribers), and BenchmarkWatchWake vs BenchmarkPollWake is the
+// standing proof that a server-push wake-up (submit -> queued event on a
+// watch stream) beats the poll round trip it replaced.
 const keyBenchmarks = "^(BenchmarkSubmitTask|BenchmarkInstrumentedSubmit|" +
 	"BenchmarkSubmitQueryReportCycle|BenchmarkDurableSubmit|" +
 	"BenchmarkPopResultsBatch50|BenchmarkQuorumSubmit|BenchmarkFollowerRead|" +
 	"BenchmarkMinisqlIndexedSelect|BenchmarkPopTokenOverhead|" +
-	"BenchmarkWireCodec|BenchmarkPipelinedSubmitParallel8)$"
+	"BenchmarkWireCodec|BenchmarkPipelinedSubmitParallel8|" +
+	"BenchmarkWatchDispatch|BenchmarkWatchWake|BenchmarkPollWake)$"
 
 // benchResult is one benchmark's measurements as recorded in BENCH_*.json.
 type benchResult struct {

@@ -7,6 +7,7 @@
 //	osprey-submit -addr HOST:PORT result -task 42 -timeout 30s
 //	osprey-submit -addr HOST:PORT cancel -task 42
 //	osprey-submit -addr HOST:PORT requeue -pool crashed-pool
+//	osprey-submit -addr HOST:PORT watch -worktype 7 -n 1 -timeout 10s
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"osprey/internal/core"
 	"osprey/internal/service"
+	"osprey/internal/watch"
 )
 
 func main() {
@@ -85,6 +87,44 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("canceled %d\n", res.Count)
+	case "watch":
+		fs := flag.NewFlagSet("watch", flag.ExitOnError)
+		workType := fs.Int("worktype", 0, "work type to watch (0 = all work types)")
+		n := fs.Int("n", 0, "exit after this many transitions (0 = until killed)")
+		timeout := fs.Duration("timeout", 0, "stop watching after this long (0 = no limit)")
+		fs.Parse(args[1:])
+		q := watch.Query{All: *workType == 0, WorkType: *workType}
+		st, err := client.Watch(context.Background(), q, 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		if *timeout > 0 {
+			// The context only guards the subscribe handshake; bound the
+			// stream itself by closing it, which ends Events() cleanly.
+			t := time.AfterFunc(*timeout, func() { st.Close() })
+			defer t.Stop()
+		}
+		printed := 0
+		for batch := range st.Events() {
+			for _, ev := range batch {
+				if ev.Resync {
+					fmt.Printf("%d resync worktype=%d depth=%d\n", ev.Token, ev.WorkType, ev.Depth)
+					continue
+				}
+				fmt.Printf("%d task=%d worktype=%d %s\n", ev.Token, ev.TaskID, ev.WorkType, ev.Status)
+				printed++
+				if *n > 0 && printed >= *n {
+					return
+				}
+			}
+		}
+		if err := st.Err(); err != nil {
+			log.Fatal(err)
+		}
+		if *n > 0 && printed < *n {
+			log.Fatalf("watch: stream ended after %d of %d transitions", printed, *n)
+		}
 	case "requeue":
 		fs := flag.NewFlagSet("requeue", flag.ExitOnError)
 		poolName := fs.String("pool", "", "crashed pool name")

@@ -16,14 +16,17 @@ var chaosSeed = flag.Int64("chaos.seed", 1, "PRNG seed for the chaos schedule (s
 var chaosEvents = flag.Int("chaos.events", 10, "number of fault events per chaos schedule")
 
 // TestChaos runs the seeded random schedule: a 3-node quorum-1 cluster, a
-// 3-session workload, and -chaos.events faults drawn from the weighted mix
-// (partitions, crashes, resets, torn writes, disk faults), then heals and
-// checks the five invariants. Any violation prints the replay seed.
+// 3-session workload, a schedule-long watch subscription, and -chaos.events
+// faults drawn from the weighted mix (partitions, crashes, resets, torn
+// writes, disk faults), then heals and checks the six invariants (the five
+// state invariants plus the watcher's exactly-once terminal delivery). Any
+// violation prints the replay seed.
 func TestChaos(t *testing.T) {
 	seed := *chaosSeed
 	c := NewCluster(t, 3, 1, seed)
 	defer c.Close()
 	rng := rand.New(rand.NewSource(seed))
+	w := c.StartWatcher()
 	c.StartWorkload(3)
 	for i := 0; i < *chaosEvents; i++ {
 		what := c.Fault(rng)
@@ -31,7 +34,10 @@ func TestChaos(t *testing.T) {
 		time.Sleep(time.Duration(30+rng.Intn(120)) * time.Millisecond)
 	}
 	c.StopWorkload()
-	c.HealAndVerify()
+	lead := c.HealAndVerify()
+	if w != nil {
+		w.DrainAndVerify(lead)
+	}
 	if n := c.AckedWrites(); n == 0 {
 		t.Fatalf("workload recorded no acknowledged writes: the schedule starved it and verified nothing (seed %d)", seed)
 	} else {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"osprey/internal/minisql"
+	"osprey/internal/watch"
 )
 
 // schema is the five-table EMEWS DB layout from paper §IV-C: a tasks table,
@@ -73,6 +74,8 @@ type DB struct {
 	inN    *notifier // signaled when the input queue grows
 	met    *dbMetrics
 	store  *minisql.Store // durable WAL + checkpoints (nil: in-memory)
+	hub    *watch.Hub     // task-state transition fan-out (events.go)
+	gate   watchGate      // quorum gate in front of the hub (events.go)
 	closed atomic.Bool
 }
 
@@ -86,7 +89,9 @@ func NewDB() (*DB, error) {
 			return nil, fmt.Errorf("eqsql: creating schema: %w", err)
 		}
 	}
-	return &DB{eng: eng, outN: newNotifier(), inN: newNotifier(), met: newDBMetrics(eng)}, nil
+	db := &DB{eng: eng, outN: newNotifier(), inN: newNotifier(), met: newDBMetrics(eng)}
+	db.attachWatch()
+	return db, nil
 }
 
 // Close shuts the database down, waking all polling queries with ErrClosed
@@ -113,7 +118,12 @@ func RestoreDB(r io.Reader) (*DB, error) {
 	if err := migrateSchema(eng); err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng, outN: newNotifier(), inN: newNotifier(), met: newDBMetrics(eng)}, nil
+	db := &DB{eng: eng, outN: newNotifier(), inN: newNotifier(), met: newDBMetrics(eng)}
+	db.attachWatch()
+	// The restored tables may hold queued and running tasks whose transitions
+	// predate this hub; seed depth/type state and mark history unreplayable.
+	db.ResetWatch(eng.LastLogged())
+	return db, nil
 }
 
 // Restore replaces the database contents in place with a snapshot, keeping
@@ -126,6 +136,11 @@ func (db *DB) Restore(r io.Reader) error {
 	if err := migrateSchema(db.eng); err != nil {
 		return err
 	}
+	// In-place restore invalidates the hub's history: subscribers are reset
+	// and the depth/type maps reseeded from the restored tables. Replication
+	// calls ResetWatch again once it has corrected the commit high-water mark
+	// to the snapshot index.
+	db.ResetWatch(db.eng.LastLogged())
 	db.Wake()
 	return nil
 }
@@ -259,9 +274,7 @@ func insertTask(tx *minisql.Tx, expID string, workType int, payload string, prio
 		return 0, err
 	}
 	id := res.LastInsertID
-	if _, err := tx.Exec(
-		"INSERT INTO eq_out_q (task_id, work_type, priority) VALUES (?, ?, ?)",
-		id, workType, priority); err != nil {
+	if _, err := tx.Exec(outQInsert, id, workType, priority); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -471,6 +484,15 @@ const (
 	popResultsSel  = "SELECT task_id, result FROM eq_tasks WHERE task_id IN (?...)"
 )
 
+// The transition statements are named constants because the watch classifier
+// (events.go) matches committed statements by exact SQL text: every code path
+// that moves a task between states must go through one of these strings.
+const (
+	outQInsert = "INSERT INTO eq_out_q (task_id, work_type, priority) VALUES (?, ?, ?)"
+	reportUpd  = "UPDATE eq_tasks SET status = ?, result = ?, stop_at = ? WHERE task_id = ?"
+	cancelUpd  = "UPDATE eq_tasks SET status = ?, stop_at = ? WHERE task_id = ?"
+)
+
 // idArgs widens an id slice into statement arguments.
 func idArgs(ids []int64, extra int) []any {
 	args := make([]any, len(ids), len(ids)+extra)
@@ -565,15 +587,39 @@ func (db *DB) Report(ctx context.Context, taskID int64, workType int, result str
 		return Res{}, ctxErr(ctx)
 	}
 	defer db.met.report.ObserveSince(time.Now())
+	already := false
 	tok, err := db.eng.TxLogged(func(tx *minisql.Tx) error {
-		res, err := tx.Exec(
-			"UPDATE eq_tasks SET status = ?, result = ?, stop_at = ? WHERE task_id = ?",
-			string(StatusComplete), result, nowNano(), taskID)
+		sel, err := tx.Exec("SELECT status FROM eq_tasks WHERE task_id = ?", taskID)
 		if err != nil {
 			return err
 		}
-		if res.RowsAffected == 0 {
+		if len(sel.Rows) == 0 {
 			return fmt.Errorf("eqsql: report for unknown task %d", taskID)
+		}
+		switch Status(sel.Rows[0][0].AsText()) {
+		case StatusComplete:
+			// Idempotent retry: the first attempt committed and its ack was
+			// lost in flight. Re-applying would log a second complete
+			// transition and a duplicate eq_in_q result row, so commit
+			// nothing and acknowledge the work that already stands.
+			already = true
+			return nil
+		case StatusRunning:
+			// The reporting worker holds the task: the only state a report
+			// may complete from.
+		default:
+			// The worker's claim is void: its pop was rolled back with a
+			// deposed leader's history (the task is queued again, still in
+			// eq_out_q), the task was requeued out from under it, or it was
+			// canceled. Completing it anyway would strand a "complete" row
+			// in the outbound queue to be popped — and completed — a second
+			// time, breaking terminal-transition exactly-once. The result
+			// is discarded; whoever holds the task now reports it.
+			return fmt.Errorf("eqsql: report for task %d in state %q (not running)",
+				taskID, sel.Rows[0][0].AsText())
+		}
+		if _, err := tx.Exec(reportUpd, string(StatusComplete), result, nowNano(), taskID); err != nil {
+			return err
 		}
 		_, err = tx.Exec(
 			"INSERT INTO eq_in_q (task_id, work_type) VALUES (?, ?)", taskID, workType)
@@ -581,6 +627,9 @@ func (db *DB) Report(ctx context.Context, taskID int64, workType int, result str
 	})
 	if err != nil {
 		return Res{}, err
+	}
+	if already {
+		return Res{Token: db.eng.LastLogged()}, nil
 	}
 	db.inN.notify()
 	if err := db.waitDurable(tok); err != nil {
@@ -785,9 +834,7 @@ func (db *DB) CancelTasks(ctx context.Context, ids []int64) (CountRes, error) {
 				return err
 			}
 			if res.RowsAffected > 0 {
-				if _, err := tx.Exec(
-					"UPDATE eq_tasks SET status = ?, stop_at = ? WHERE task_id = ?",
-					string(StatusCanceled), nowNano(), id); err != nil {
+				if _, err := tx.Exec(cancelUpd, string(StatusCanceled), nowNano(), id); err != nil {
 					return err
 				}
 				canceled++
@@ -823,9 +870,7 @@ func (db *DB) RequeueRunning(ctx context.Context, pool string) (CountRes, error)
 		}
 		for _, row := range res.Rows {
 			id := row[0].AsInt()
-			if _, err := tx.Exec(
-				"INSERT INTO eq_out_q (task_id, work_type, priority) VALUES (?, ?, ?)",
-				id, row[1].AsInt(), row[2].AsInt()); err != nil {
+			if _, err := tx.Exec(outQInsert, id, row[1].AsInt(), row[2].AsInt()); err != nil {
 				return err
 			}
 			if _, err := tx.Exec(

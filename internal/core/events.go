@@ -1,0 +1,319 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"osprey/internal/minisql"
+	"osprey/internal/watch"
+)
+
+// attachWatch creates the DB's watch hub and installs the engine commit
+// observer that feeds it. The observer runs under the engine lock on every
+// applied batch — leader commits, follower replays, and standalone durable
+// writes alike — so the hub sees transitions in exact WAL order with their
+// commit tokens.
+func (db *DB) attachWatch() {
+	db.hub = watch.NewHub(0, db.met.reg)
+	db.eng.SetCommitObserver(func(idx uint64, stmts []minisql.Stmt) {
+		if trs := classify(stmts); len(trs) > 0 {
+			db.publishCommit(idx, trs)
+		}
+	})
+}
+
+// watchGate sits between the engine's commit observer and the hub on
+// replicated nodes with a synchronous write quorum. Applying an entry is not
+// the same as committing it: a deposed minority leader applies (and a
+// follower replays) entries that can still be rolled back by a snapshot
+// re-bootstrap, and a transition pushed to a subscriber cannot be unpushed —
+// the recommit under the new leadership would then arrive as a duplicate the
+// client's token filter cannot recognize (new domain, new token). The gate
+// buffers classified transitions at apply time and releases them to the hub
+// only once the cluster's quorum commit watermark covers them, so everything
+// a subscriber ever sees is as durable as an acknowledged write and the
+// exactly-once delivery contract holds across rollbacks. Ungated (standalone
+// DBs and asynchronous replication, where acknowledged writes carry no
+// quorum promise either), commits flow straight through.
+type watchGate struct {
+	mu      sync.Mutex
+	gated   bool
+	mark    uint64 // publish watermark: commits at or below it are released
+	pending []pendingCommit
+}
+
+// pendingCommit is one applied-but-unreleased commit, held in ascending
+// index order (the observer runs under the engine lock).
+type pendingCommit struct {
+	idx uint64
+	trs []watch.Transition
+}
+
+// publishCommit routes one classified commit through the gate. Commits
+// already covered by the watermark — and every commit on an ungated DB —
+// publish immediately; the rest wait for AdvanceWatch.
+func (db *DB) publishCommit(idx uint64, trs []watch.Transition) {
+	g := &db.gate
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.gated && idx > g.mark {
+		g.pending = append(g.pending, pendingCommit{idx: idx, trs: trs})
+		return
+	}
+	db.hub.Commit(idx, trs)
+}
+
+// GateWatch enables quorum gating. Called once by the replication layer on
+// nodes with a synchronous write quorum, before any subscriber attaches.
+func (db *DB) GateWatch() {
+	db.gate.mu.Lock()
+	db.gate.gated = true
+	db.gate.mu.Unlock()
+}
+
+// AdvanceWatch lifts the publish watermark to mark (never backwards) and
+// releases the buffered commits it now covers, in index order. The leader
+// calls it as follower acks advance the WAL's quorum watermark; followers
+// call it with the watermark the leader ships in its frames. A mark ahead of
+// the local applied index is fine: it releases nothing yet, and later
+// applies at or below it publish immediately.
+func (db *DB) AdvanceWatch(mark uint64) {
+	g := &db.gate
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.gated || mark <= g.mark {
+		return
+	}
+	g.mark = mark
+	n := 0
+	for ; n < len(g.pending) && g.pending[n].idx <= mark; n++ {
+		db.hub.Commit(g.pending[n].idx, g.pending[n].trs)
+	}
+	if n > 0 {
+		g.pending = append(g.pending[:0:0], g.pending[n:]...)
+	}
+}
+
+// WatchHub exposes the DB's event hub to the service layer.
+func (db *DB) WatchHub() *watch.Hub { return db.hub }
+
+// classify extracts task-state transitions from one committed statement
+// batch. Matching is by exact SQL text against the named transition
+// statements, which every state-changing code path routes through:
+//
+//   - outQInsert marks a task queued (both fresh submits and requeues — the
+//     requeue's companion eq_tasks UPDATE is deliberately ignored so one
+//     requeue yields one transition);
+//   - popTasksUpd with a "running" status argument marks each popped id
+//     running;
+//   - reportUpd with "complete" marks the task complete;
+//   - cancelUpd with "canceled" marks it canceled.
+//
+// Everything else (tags, priorities, schema, experiment rows) is not a
+// transition and classifies to nothing.
+func classify(stmts []minisql.Stmt) []watch.Transition {
+	var out []watch.Transition
+	for _, s := range stmts {
+		switch s.SQL {
+		case outQInsert:
+			if len(s.Args) >= 2 {
+				out = append(out, watch.Transition{
+					TaskID:   s.Args[0].AsInt(),
+					WorkType: int(s.Args[1].AsInt()),
+					Status:   string(StatusQueued),
+				})
+			}
+		case popTasksUpd:
+			if len(s.Args) >= 4 && s.Args[0].AsText() == string(StatusRunning) {
+				for _, a := range s.Args[3:] {
+					out = append(out, watch.Transition{
+						TaskID:   a.AsInt(),
+						WorkType: -1,
+						Status:   string(StatusRunning),
+					})
+				}
+			}
+		case reportUpd:
+			if len(s.Args) >= 4 && s.Args[0].AsText() == string(StatusComplete) {
+				out = append(out, watch.Transition{
+					TaskID:   s.Args[3].AsInt(),
+					WorkType: -1,
+					Status:   string(StatusComplete),
+				})
+			}
+		case cancelUpd:
+			if len(s.Args) >= 3 && s.Args[0].AsText() == string(StatusCanceled) {
+				out = append(out, watch.Transition{
+					TaskID:   s.Args[2].AsInt(),
+					WorkType: -1,
+					Status:   string(StatusCanceled),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ResetWatch reseeds the hub from current table state and repositions its
+// resume floor at token: everything at or before token is treated as
+// unreplayable history (subscribers resync), everything after flows live.
+// Called after snapshot restores — in place (Restore) and by the replication
+// layer once it has corrected the applied index after a bootstrap.
+func (db *DB) ResetWatch(token Token) {
+	if db.hub == nil {
+		return
+	}
+	typeOf := make(map[int64]int)
+	depth := make(map[int]int)
+	if res, err := db.eng.Exec("SELECT task_id, work_type FROM eq_out_q"); err == nil {
+		for _, row := range res.Rows {
+			wt := int(row[1].AsInt())
+			typeOf[row[0].AsInt()] = wt
+			depth[wt]++
+		}
+	}
+	// Running tasks keep their type mapping so their terminal transitions
+	// (which carry only the task id) still resolve a work type.
+	if res, err := db.eng.Exec(
+		"SELECT task_id, work_type FROM eq_tasks WHERE status = ?", string(StatusRunning)); err == nil {
+		for _, row := range res.Rows {
+			typeOf[row[0].AsInt()] = int(row[1].AsInt())
+		}
+	}
+	// A reset replaces history wholesale, so anything the gate was holding
+	// belongs to the discarded domain: drop it and re-base the watermark at
+	// the reset token (downwards included — this is the one path where the
+	// mark may regress, mirroring the applied index).
+	db.gate.mu.Lock()
+	db.gate.pending = nil
+	db.gate.mark = token
+	db.gate.mu.Unlock()
+	db.hub.Reset(token, typeOf, depth)
+}
+
+// resyncEvents synthesizes the catch-up snapshot for a subscription whose
+// since-token predates the hub's replayable history: instead of the missed
+// transitions, the subscriber gets current state as Resync events carrying
+// the hub's current token — a task watch gets the task's present status, a
+// type watch (and an all watch) gets the present queue depths. The snapshot
+// is never empty: when there is no state to report (task gone, queues empty)
+// a single marker Resync event (no task, no status) is emitted instead, so
+// the subscriber always learns that a compaction seam occurred and always
+// adopts the hub's current token — without the marker an idle resume would
+// keep its stale position and be spuriously compacted again on the next
+// failover.
+func (db *DB) resyncEvents(q watch.Query, last uint64) []watch.Event {
+	marker := []watch.Event{{Token: last, WorkType: -1, Resync: true}}
+	if q.TaskID != 0 && !q.All {
+		res, err := db.eng.Exec(
+			"SELECT status, work_type FROM eq_tasks WHERE task_id = ?", q.TaskID)
+		if err != nil || len(res.Rows) == 0 {
+			return marker
+		}
+		return []watch.Event{{
+			Token:    last,
+			TaskID:   q.TaskID,
+			WorkType: int(res.Rows[0][1].AsInt()),
+			Status:   res.Rows[0][0].AsText(),
+			Depth:    db.hub.Depth(int(res.Rows[0][1].AsInt())),
+			Resync:   true,
+		}}
+	}
+	var out []watch.Event
+	for wt, d := range db.hub.Depths() {
+		if !q.All && wt != q.WorkType {
+			continue
+		}
+		out = append(out, watch.Event{
+			Token:    last,
+			WorkType: wt,
+			Status:   string(StatusQueued),
+			Depth:    d,
+			Resync:   true,
+		})
+	}
+	if len(out) == 0 {
+		return marker
+	}
+	return out
+}
+
+// Watch implements watch.Session in process: subscribe to task-state
+// transitions matching q, resuming after q.Since. The returned stream yields
+// per-commit batches in token order; a since-token older than the hub's
+// replayable history yields a Resync snapshot first. The stream ends when ctx
+// is canceled, Close is called, or the hub drops the subscription (overflow
+// or snapshot reset — resubscribe with the last token seen).
+func (db *DB) Watch(ctx context.Context, q watch.Query, buf int) (watch.Stream, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	if buf < 1 {
+		buf = 16
+	}
+	sub, replay, last, compacted := db.hub.Subscribe(q, buf)
+	if compacted {
+		replay = db.resyncEvents(q, last)
+	}
+	s := &dbStream{out: make(chan []watch.Event, 1), sub: sub, done: make(chan struct{})}
+	go s.run(ctx, replay)
+	return s, nil
+}
+
+var _ watch.Session = (*DB)(nil)
+
+// dbStream adapts a raw hub subscription to the watch.Stream interface,
+// prepending the subscribe-time replay and honoring ctx cancellation.
+type dbStream struct {
+	out  chan []watch.Event
+	sub  *watch.Sub
+	done chan struct{}
+	err  error // written by run before closing out
+}
+
+func (s *dbStream) Events() <-chan []watch.Event { return s.out }
+
+func (s *dbStream) Err() error {
+	select {
+	case <-s.done:
+		return s.err
+	default:
+		return nil
+	}
+}
+
+func (s *dbStream) Close() error {
+	s.sub.Close()
+	return nil
+}
+
+func (s *dbStream) run(ctx context.Context, replay []watch.Event) {
+	defer func() {
+		s.sub.Close()
+		close(s.out)
+		close(s.done)
+	}()
+	if len(replay) > 0 {
+		select {
+		case s.out <- replay:
+		case <-ctx.Done():
+			return
+		}
+	}
+	for {
+		select {
+		case batch, ok := <-s.sub.C:
+			if !ok {
+				s.err = s.sub.Err()
+				return
+			}
+			select {
+			case s.out <- batch:
+			case <-ctx.Done():
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"osprey/internal/watch"
+)
+
+// collect drains events from a stream until n transitions arrive or the
+// deadline hits.
+func collect(t *testing.T, st watch.Stream, n int) []watch.Event {
+	t.Helper()
+	var out []watch.Event
+	deadline := time.After(2 * time.Second)
+	for len(out) < n {
+		select {
+		case batch, ok := <-st.Events():
+			if !ok {
+				t.Fatalf("stream ended early (%v) after %d/%d events", st.Err(), len(out), n)
+			}
+			out = append(out, batch...)
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d events", len(out), n)
+		}
+	}
+	return out
+}
+
+// TestWatchLifecycleEvents drives a task through its full lifecycle with real
+// session calls and asserts the classifier emits exactly the right
+// transitions, with tokens strictly increasing.
+func TestWatchLifecycleEvents(t *testing.T) {
+	db, err := NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	st, err := db.Watch(ctx, watch.Query{All: true}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	res, err := db.Submit(ctx, "e1", 3, `{"x":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qctx, cancel := context.WithTimeout(ctx, time.Second)
+	if _, err := db.QueryTasks(qctx, 3, 1, "p0"); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := db.Report(ctx, res.ID, 3, "done"); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := collect(t, st, 3)
+	want := []string{watch.StatusQueued, watch.StatusRunning, watch.StatusComplete}
+	var lastTok uint64
+	for i, ev := range evs[:3] {
+		if ev.TaskID != res.ID || ev.Status != want[i] || ev.WorkType != 3 {
+			t.Fatalf("event %d = %+v, want task %d %s type 3", i, ev, res.ID, want[i])
+		}
+		if ev.Token <= lastTok {
+			t.Fatalf("tokens not increasing: %d after %d", ev.Token, lastTok)
+		}
+		lastTok = ev.Token
+	}
+	// queued bumped the depth to 1, running brought it back to 0.
+	if evs[0].Depth != 1 || evs[1].Depth != 0 {
+		t.Fatalf("depths = %d,%d want 1,0", evs[0].Depth, evs[1].Depth)
+	}
+}
+
+func TestWatchCancelAndRequeueEvents(t *testing.T) {
+	db, err := NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	st, err := db.Watch(ctx, watch.Query{All: true}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Cancel path: queued then canceled.
+	a, err := db.Submit(ctx, "e1", 1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CancelTasks(ctx, []int64{a.ID}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Requeue path: queued, popped running by pool p1, requeued -> queued again.
+	b, err := db.Submit(ctx, "e1", 1, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qctx, cancel := context.WithTimeout(ctx, time.Second)
+	if _, err := db.QueryTasks(qctx, 1, 1, "p1"); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := db.RequeueRunning(ctx, "p1"); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := collect(t, st, 5)
+	type tr struct {
+		id int64
+		st string
+	}
+	got := make([]tr, 0, len(evs))
+	for _, ev := range evs {
+		got = append(got, tr{ev.TaskID, ev.Status})
+	}
+	want := []tr{
+		{a.ID, watch.StatusQueued},
+		{a.ID, watch.StatusCanceled},
+		{b.ID, watch.StatusQueued},
+		{b.ID, watch.StatusRunning},
+		{b.ID, watch.StatusQueued}, // requeue is exactly one queued transition
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("transition %d = %+v, want %+v (all: %+v)", i, got[i], w, got)
+		}
+	}
+}
+
+// TestWatchResume asserts the exactly-once resume contract: a subscriber that
+// reconnects with its last token sees precisely the transitions it missed.
+func TestWatchResume(t *testing.T) {
+	db, err := NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	st, err := db.Watch(ctx, watch.Query{All: true}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := db.Submit(ctx, "e1", 1, "a")
+	evs := collect(t, st, 1)
+	last := evs[len(evs)-1].Token
+	st.Close()
+
+	// Transitions while disconnected.
+	b, _ := db.Submit(ctx, "e1", 1, "b")
+	if _, err := db.CancelTasks(ctx, []int64{a.ID}); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := db.Watch(ctx, watch.Query{All: true, Since: last}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	missed := collect(t, st2, 2)
+	if missed[0].TaskID != b.ID || missed[0].Status != watch.StatusQueued {
+		t.Fatalf("missed[0] = %+v", missed[0])
+	}
+	if missed[1].TaskID != a.ID || missed[1].Status != watch.StatusCanceled {
+		t.Fatalf("missed[1] = %+v", missed[1])
+	}
+	for _, ev := range missed {
+		if ev.Token <= last {
+			t.Fatalf("replayed token %d <= resume point %d (duplicate)", ev.Token, last)
+		}
+	}
+}
+
+// TestWatchTaskResync asserts the compaction fallback: a task watch whose
+// since-token predates the ring gets a Resync event with current status.
+func TestWatchTaskResync(t *testing.T) {
+	db, err := NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	id, _ := db.Submit(ctx, "e1", 2, "x")
+	if _, err := db.CancelTasks(ctx, []int64{id.ID}); err != nil {
+		t.Fatal(err)
+	}
+	// Force compaction by resetting the hub floor past all history.
+	db.ResetWatch(db.Token() + 100)
+
+	st, err := db.Watch(ctx, watch.Query{TaskID: id.ID, Since: 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	evs := collect(t, st, 1)
+	if !evs[0].Resync || evs[0].Status != watch.StatusCanceled || evs[0].TaskID != id.ID {
+		t.Fatalf("resync event = %+v, want canceled resync for task %d", evs[0], id.ID)
+	}
+}

@@ -90,6 +90,12 @@ func Open(dir string, opt OpenOptions) (*DB, error) {
 
 	db := &DB{eng: eng, outN: newNotifier(), inN: newNotifier(), met: newDBMetrics(eng), store: store}
 	db.met.bindStore(store)
+	db.attachWatch()
+	if restored || applied > 0 {
+		// Recovered tables may hold queued/running tasks from before this
+		// boot; seed the hub and mark pre-boot history unreplayable.
+		db.ResetWatch(applied)
+	}
 	// Standalone durable mode: the store assigns commit indexes, giving
 	// every write a real commit token backed by its own on-disk WAL entry.
 	// The replication layer, when present, replaces this hook with its own

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"osprey/internal/core"
+	"osprey/internal/watch"
 )
 
 // ErrCanceled is returned when a result is requested from a canceled future.
@@ -120,6 +121,12 @@ func (f *Future) Status() (core.Status, error) {
 // Result blocks until the task's result is available or timeout elapses
 // (core.ErrTimeout). Once retrieved, the result is cached locally: the
 // input-queue entry is consumed exactly once.
+//
+// On a watch-enabled Session the wait parks on a per-task event subscription:
+// a terminal transition wakes it, and cancellation surfaces as ErrCanceled in
+// the same hop — no follow-up status read, where the poll-based path needed a
+// second round trip after every timeout just to distinguish "not done" from
+// "canceled".
 func (f *Future) Result(timeout time.Duration) (string, error) {
 	f.mu.Lock()
 	if f.done {
@@ -128,6 +135,11 @@ func (f *Future) Result(timeout time.Duration) (string, error) {
 		return r, nil
 	}
 	f.mu.Unlock()
+	if ws, ok := f.sess.(watch.Session); ok {
+		if res, err, handled := f.resultWatch(ws, timeout); handled {
+			return res, err
+		}
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	res, err := f.sess.QueryResult(ctx, f.id)
@@ -142,6 +154,49 @@ func (f *Future) Result(timeout time.Duration) (string, error) {
 	}
 	f.setResult(res.Result, res.Token)
 	return res.Result, nil
+}
+
+// resultWatch waits for the task's terminal transition on a watch stream.
+// Subscribing from the submit's own commit token replays any transition that
+// already happened (a compacted position resyncs with current state), so a
+// task that completed before the call still wakes immediately. handled is
+// false when the subscription could not be established — the caller falls
+// back to the polling path.
+func (f *Future) resultWatch(ws watch.Session, timeout time.Duration) (string, error, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	st, err := ws.Watch(ctx, watch.Query{TaskID: f.id, Since: f.Token()}, 4)
+	if err != nil {
+		return "", nil, false
+	}
+	defer st.Close()
+	for {
+		select {
+		case batch, ok := <-st.Events():
+			if !ok {
+				// Stream died mid-wait (overflow, reset, connection loss on a
+				// non-failover client): the polling path takes over.
+				return "", nil, false
+			}
+			for _, ev := range batch {
+				switch ev.Status {
+				case watch.StatusCanceled:
+					return "", ErrCanceled, true
+				case watch.StatusComplete:
+					// The result row is committed; pop it. The read rides the
+					// same ctx — ample for a committed result's round trip.
+					res, err := f.sess.QueryResult(ctx, f.id)
+					if err != nil {
+						return "", err, true
+					}
+					f.setResult(res.Result, res.Token)
+					return res.Result, nil, true
+				}
+			}
+		case <-ctx.Done():
+			return "", core.ErrTimeout, true
+		}
+	}
 }
 
 func (f *Future) setResult(res string, tok core.Token) {

@@ -33,11 +33,12 @@ type Engine struct {
 	inTx bool
 	undo []undoOp
 
-	hook       CommitHook // observes committed mutating statements (wal.go)
-	applying   bool       // true while replaying a shipped entry
-	pending    []Stmt     // mutating statements awaiting commit
-	lastLogged uint64     // highest log index the hook has assigned
-	spreadN    int        // spread-IN width of the statement executing now
+	hook       CommitHook     // observes committed mutating statements (wal.go)
+	observer   CommitObserver // passive tap on every applied batch (wal.go)
+	applying   bool           // true while replaying a shipped entry
+	pending    []Stmt         // mutating statements awaiting commit
+	lastLogged uint64         // highest log index the hook has assigned
+	spreadN    int            // spread-IN width of the statement executing now
 
 	plans *planCache // parsed-statement LRU (plancache.go)
 
@@ -225,7 +226,7 @@ func (e *Engine) execLocked(stmt any, args []Value, sql string) (*Result, error)
 		}
 		return res, err
 	}
-	if e.hook != nil && !e.applying && isMutating(stmt) {
+	if (e.hook != nil || e.observer != nil) && !e.applying && isMutating(stmt) {
 		e.pending = append(e.pending, Stmt{SQL: sql, Args: args})
 	}
 	return res, err
@@ -250,12 +251,15 @@ func (e *Engine) flushPendingLocked() uint64 {
 	}
 	stmts := e.pending
 	e.pending = nil
-	if e.hook == nil {
-		return 0
+	var idx uint64
+	if e.hook != nil {
+		idx = e.hook(stmts)
+		if idx > e.lastLogged {
+			e.lastLogged = idx
+		}
 	}
-	idx := e.hook(stmts)
-	if idx > e.lastLogged {
-		e.lastLogged = idx
+	if e.observer != nil {
+		e.observer(idx, stmts)
 	}
 	return idx
 }

@@ -44,6 +44,24 @@ func (e *Engine) SetCommitHook(h CommitHook) {
 	e.hook = h
 }
 
+// CommitObserver is a passive tap on every statement batch the engine
+// applies, whether committed locally (after the commit hook has assigned idx;
+// idx is 0 on an unlogged engine) or replayed through ApplyEntry (idx is the
+// entry's index). Unlike CommitHook it fires on replicas too, which makes it
+// the one ordered feed covering leaders, followers, durable standalone
+// engines, and plain in-memory databases. It runs under the engine lock:
+// implementations must be fast and must not call back into the engine.
+type CommitObserver func(idx uint64, stmts []Stmt)
+
+// SetCommitObserver installs o as the engine's applied-batch tap (nil to
+// remove). The observer fires after the commit hook for locally committed
+// batches and after successful replay for shipped entries.
+func (e *Engine) SetCommitObserver(o CommitObserver) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.observer = o
+}
+
 // ApplyEntry deterministically replays one log entry produced by a commit
 // hook on another engine. Multi-statement entries apply atomically: any
 // statement error rolls back the whole entry. The commit hook is suppressed
@@ -82,6 +100,9 @@ func (e *Engine) ApplyEntry(entry LogEntry) error {
 	// for writes it only ever saw through the log.
 	if entry.Index > e.lastLogged {
 		e.lastLogged = entry.Index
+	}
+	if e.observer != nil {
+		e.observer(entry.Index, entry.Stmts)
 	}
 	return nil
 }

@@ -22,7 +22,9 @@ package pool
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +32,7 @@ import (
 	"osprey/internal/core"
 	"osprey/internal/obs"
 	"osprey/internal/telemetry"
+	"osprey/internal/watch"
 )
 
 // TaskFunc executes one task payload and returns its result payload.
@@ -239,9 +242,67 @@ func (p *Pool) dispatch(ctx context.Context, taskCh <-chan core.Task, completion
 	}
 }
 
-// fetch implements the enhanced worker-pool query of §IV-D: request up to
-// (BatchSize - owned) tasks whenever that deficit reaches Threshold.
+// Fetch-error backoff bounds: non-timeout query errors (a restarting or
+// failing-over backend) retry with full jitter — a uniform draw from
+// (0, backoff], doubling to the cap — instead of a hot retry loop.
+const (
+	fetchBackoffBase = 5 * time.Millisecond
+	fetchBackoffCap  = 250 * time.Millisecond
+)
+
+// sleepJitter sleeps a uniform random fraction of backoff, honoring ctx;
+// false once ctx is done.
+func sleepJitter(ctx context.Context, backoff time.Duration) bool {
+	t := time.NewTimer(time.Duration(rand.Int63n(int64(backoff))) + 1)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// fetch keeps the pool supplied with tasks: the watch-driven loop when the
+// backend supports it (an idle pool parks on push events and issues zero
+// periodic queries), the classic poll loop of §IV-D otherwise.
 func (p *Pool) fetch(ctx context.Context, taskCh chan<- core.Task, completions <-chan struct{}) {
+	if ws, ok := p.api.(watch.Session); ok {
+		if p.fetchWatch(ctx, ws, taskCh, completions) {
+			return
+		}
+		// The backend answered that it cannot watch (a lifted legacy store or
+		// pre-v4 server): fall back to polling for the pool's lifetime.
+	}
+	p.fetchPoll(ctx, taskCh, completions)
+}
+
+// query issues one deficit query and hands the obtained tasks to dispatch.
+// It returns the number of tasks obtained; ok is false only for non-timeout
+// errors (a timeout is the backend's normal "queue empty" answer).
+func (p *Pool) query(ctx context.Context, deficit int, taskCh chan<- core.Task) (n int, ok bool) {
+	qctx, cancel := context.WithTimeout(ctx, p.cfg.QueryTimeout)
+	res, err := p.api.QueryTasks(qctx, p.cfg.WorkType, deficit, p.cfg.Name)
+	cancel()
+	if err != nil {
+		return 0, errors.Is(err, core.ErrTimeout)
+	}
+	p.owned.Add(int64(len(res.Tasks)))
+	for _, task := range res.Tasks {
+		select {
+		case taskCh <- task:
+		case <-ctx.Done():
+			// Undelivered tasks stay running in the DB for requeue.
+			return len(res.Tasks), true
+		}
+	}
+	return len(res.Tasks), true
+}
+
+// fetchPoll implements the enhanced worker-pool query of §IV-D: request up to
+// (BatchSize - owned) tasks whenever that deficit reaches Threshold.
+func (p *Pool) fetchPoll(ctx context.Context, taskCh chan<- core.Task, completions <-chan struct{}) {
+	backoff := fetchBackoffBase
 	for ctx.Err() == nil {
 		deficit := p.cfg.BatchSize - int(p.owned.Load())
 		if deficit < p.cfg.Threshold {
@@ -253,25 +314,98 @@ func (p *Pool) fetch(ctx context.Context, taskCh chan<- core.Task, completions <
 			}
 			continue
 		}
-		qctx, cancel := context.WithTimeout(ctx, p.cfg.QueryTimeout)
-		res, err := p.api.QueryTasks(qctx, p.cfg.WorkType, deficit, p.cfg.Name)
-		cancel()
-		if err != nil {
-			// Timeout means an empty queue; anything else is retried the
-			// same way since the DB may be restarting (fire-and-forget).
-			continue
-		}
-		tasks := res.Tasks
-		p.owned.Add(int64(len(tasks)))
-		for _, task := range tasks {
-			select {
-			case taskCh <- task:
-			case <-ctx.Done():
-				// Undelivered tasks stay running in the DB for requeue.
+		if _, ok := p.query(ctx, deficit, taskCh); !ok {
+			// Transport or backend failure (not an empty queue): back off with
+			// full jitter before retrying so a restarting or failing-over
+			// backend is not hammered by a hot retry loop.
+			if !sleepJitter(ctx, backoff) {
 				return
 			}
+			if backoff *= 2; backoff > fetchBackoffCap {
+				backoff = fetchBackoffCap
+			}
+			continue
+		}
+		backoff = fetchBackoffBase
+	}
+}
+
+// fetchWatch is the push-driven fetch loop: a subscription to the pool's work
+// type says when the out queue has work, and the pool queries only while it
+// believes tasks are available. An idle pool — no queued work, no deficit —
+// parks in the select below issuing no reads at all, which is the whole point
+// of push-based dispatch (the paper's poll loops, §IV-D, burn a query per
+// QueryDelay per pool regardless of load). Returns false when the backend
+// does not support watch (caller falls back to polling), true when ctx ended.
+func (p *Pool) fetchWatch(ctx context.Context, ws watch.Session, taskCh chan<- core.Task, completions <-chan struct{}) bool {
+	st, err := ws.Watch(ctx, watch.Query{WorkType: p.cfg.WorkType}, 0)
+	if err != nil {
+		return ctx.Err() != nil
+	}
+	defer func() { st.Close() }()
+	var last uint64 // newest token seen; resume position for resubscribes
+	avail := true   // until proven empty, the queue may hold tasks
+	backoff := fetchBackoffBase
+	for ctx.Err() == nil {
+		deficit := p.cfg.BatchSize - int(p.owned.Load())
+		if deficit >= p.cfg.Threshold && avail {
+			n, ok := p.query(ctx, deficit, taskCh)
+			switch {
+			case !ok:
+				if !sleepJitter(ctx, backoff) {
+					return true
+				}
+				if backoff *= 2; backoff > fetchBackoffCap {
+					backoff = fetchBackoffCap
+				}
+			case n < deficit:
+				// The queue had less than asked for: it is now empty of this
+				// work type, so stop querying until a queued event arrives.
+				avail = false
+				backoff = fetchBackoffBase
+			default:
+				backoff = fetchBackoffBase
+			}
+			continue
+		}
+		select {
+		case <-completions:
+			// Owned dropped; reconsider the deficit.
+		case batch, ok := <-st.Events():
+			if !ok {
+				// Stream ended (overflow, hub reset, connection loss on a
+				// non-failover client): resubscribe from the last seen token.
+				// Events may have been missed in between, so assume work.
+				avail = true
+				st.Close()
+				if !sleepJitter(ctx, backoff) {
+					return true
+				}
+				if backoff *= 2; backoff > fetchBackoffCap {
+					backoff = fetchBackoffCap
+				}
+				st, err = ws.Watch(ctx, watch.Query{WorkType: p.cfg.WorkType, Since: last}, 0)
+				if err != nil {
+					return ctx.Err() != nil
+				}
+				continue
+			}
+			for _, ev := range batch {
+				if ev.Token > last {
+					last = ev.Token
+				}
+				if ev.Status == watch.StatusQueued || ev.Resync {
+					// A resync seam means transitions were compacted away:
+					// queue state is unknown, so assume work until a query
+					// says otherwise.
+					avail = true
+				}
+			}
+		case <-ctx.Done():
+			return true
 		}
 	}
+	return true
 }
 
 // execute runs one task to completion and reports its result.

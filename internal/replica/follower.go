@@ -179,6 +179,10 @@ func (n *Node) followOnce(addr string, joined *bool, forceSnap bool) (redirect s
 			if err != nil {
 				return "", err
 			}
+			// The leader's quorum watermark rides every entries frame:
+			// release the watch transitions it covers (applied entries
+			// buffered by the gate) before acking.
+			n.db.AdvanceWatch(f.Committed)
 			if ok {
 				n.noteAppliedTerm(f.Term)
 				n.ack(enc, conn)
@@ -187,6 +191,7 @@ func (n *Node) followOnce(addr string, joined *bool, forceSnap bool) (redirect s
 			if err := n.adoptView(f); err != nil {
 				return "", err
 			}
+			n.db.AdvanceWatch(f.Committed)
 			n.ack(enc, conn)
 		}
 	}
@@ -233,6 +238,10 @@ func (n *Node) applySnapshot(f frame) error {
 	n.appliedCh = make(chan struct{})
 	n.mu.Unlock()
 	n.eng.SetLastLogged(f.SnapIndex)
+	// Reposition the watch hub's resume floor at the snapshot index: Restore
+	// already reseeded it, but with whatever stale high-water mark the engine
+	// held mid-bootstrap. Local watch subscribers were reset and will resync.
+	n.db.ResetWatch(f.SnapIndex)
 	if n.store != nil {
 		// Persist the bootstrap: the snapshot becomes the local checkpoint
 		// and the old log (a replaced history) is discarded, so a restart

@@ -288,7 +288,7 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 		}
 		batch := diskTail[start:end]
 		fol.conn.SetWriteDeadline(time.Now().Add(n.snapshotTimeout()))
-		if err := gobSend(fol, frame{Type: frameEntries, Term: term, Entries: batch}); err != nil {
+		if err := gobSend(fol, frame{Type: frameEntries, Term: term, Entries: batch, Committed: w.Committed()}); err != nil {
 			return
 		}
 		n.met.batchEntries.Observe(float64(len(batch)))
@@ -325,6 +325,10 @@ func (n *Node) handleJoin(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, joi
 				n.met.heartbeatRTT.Observe(float64(time.Now().UnixNano()-t) / 1e9)
 			}
 			w.Ack(join.Peer.ID, ack.Applied)
+			// The ack may have advanced the quorum watermark: release the
+			// gated watch transitions it now covers and wake the senders so
+			// followers learn the new watermark without waiting a heartbeat.
+			n.noteCommitted(w.Committed())
 		}
 	}()
 
@@ -377,6 +381,7 @@ func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
 			return
 		}
 		watch := w.Watch()
+		commits := n.commitWatch()
 		entries, ok := w.EntriesSince(pos)
 		if !ok {
 			// Compacted past this follower's position (only possible when it
@@ -394,7 +399,7 @@ func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
 				}
 				batch := entries[start:end]
 				fol.conn.SetWriteDeadline(time.Now().Add(2 * n.cfg.ElectionTimeout))
-				if err := gobSend(fol, frame{Type: frameEntries, Term: term, Entries: batch}); err != nil {
+				if err := gobSend(fol, frame{Type: frameEntries, Term: term, Entries: batch, Committed: w.Committed()}); err != nil {
 					return
 				}
 				n.met.batchEntries.Observe(float64(len(batch)))
@@ -419,6 +424,11 @@ func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
 			}
 		case <-n.peersWatch():
 			sendBeat = true // membership changed: broadcast it immediately
+		case <-commits:
+			// The quorum watermark advanced with no new entries to carry it:
+			// ship it in a heartbeat now so the follower's watch gate (and
+			// its subscribers) do not idle until the next beat.
+			sendBeat = true
 		case <-beat.C:
 			sendBeat = true
 			beat.Reset(n.jitter(n.cfg.Heartbeat))
@@ -431,6 +441,7 @@ func (n *Node) streamTo(fol *followerConn, w *minisql.WAL, from uint64) {
 				LeaderID: n.leader.ID, LeaderRepl: n.leader.ReplAddr, LeaderSvc: n.leader.SvcAddr,
 			}
 			n.mu.Unlock()
+			hb.Committed = w.Committed()
 			fol.conn.SetWriteDeadline(time.Now().Add(2 * n.cfg.ElectionTimeout))
 			if err := gobSend(fol, hb); err != nil {
 				return

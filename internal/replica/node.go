@@ -190,7 +190,10 @@ type Node struct {
 
 	peersCh   chan struct{} // closed and replaced when membership changes
 	appliedCh chan struct{} // closed and replaced when the applied index advances
+	commitCh  chan struct{} // closed and replaced when the quorum watermark advances
 	closeCh   chan struct{}
+
+	committedSeen uint64 // newest quorum watermark fanned out via commitCh
 	wg        sync.WaitGroup
 
 	// everJoined records that this node recovered a multi-member membership
@@ -271,6 +274,7 @@ func New(cfg Config) (*Node, error) {
 		contact:   make(map[string]time.Time),
 		peersCh:   make(chan struct{}),
 		appliedCh: make(chan struct{}),
+		commitCh:  make(chan struct{}),
 		closeCh:   make(chan struct{}),
 	}
 	n.met = newNodeMetrics(db.Metrics())
@@ -328,6 +332,15 @@ func New(cfg Config) (*Node, error) {
 		n.persistTerm(n.term)
 	} else {
 		n.role = RoleFollower
+	}
+	if cfg.WriteQuorum > 0 {
+		// Synchronous replication: gate watch publication on the quorum
+		// commit watermark, so subscribers on this node only ever see
+		// transitions as durable as an acknowledged write (an applied but
+		// unacked entry can still roll back — see core's watchGate). In
+		// asynchronous mode acknowledged writes carry no such promise, so
+		// the watch does not pretend to either.
+		db.GateWatch()
 	}
 	n.eng.SetCommitHook(n.onCommit)
 	return n, nil
@@ -544,6 +557,30 @@ func (n *Node) peerListLocked() []Peer {
 func (n *Node) notifyPeersChangedLocked() {
 	close(n.peersCh)
 	n.peersCh = make(chan struct{})
+}
+
+// noteCommitted fans a quorum-watermark advance out to the watch gate and
+// the per-follower senders (which propagate it in their next frame). Called
+// by the leader's ack readers; deduplicated so only genuine advances wake
+// anyone.
+func (n *Node) noteCommitted(c uint64) {
+	n.mu.Lock()
+	if c <= n.committedSeen {
+		n.mu.Unlock()
+		return
+	}
+	n.committedSeen = c
+	close(n.commitCh)
+	n.commitCh = make(chan struct{})
+	n.mu.Unlock()
+	n.db.AdvanceWatch(c)
+}
+
+// commitWatch returns a channel closed at the next quorum-watermark advance.
+func (n *Node) commitWatch() <-chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.commitCh
 }
 
 // peersWatch returns a channel closed at the next membership change.

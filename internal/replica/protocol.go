@@ -132,6 +132,14 @@ type frame struct {
 	// applied index, feeding the election log gate)
 	Applied uint64
 
+	// frameEntries / frameHeartbeat: the leader's quorum commit watermark.
+	// Followers gate their watch-hub publication on it, so subscribers on
+	// any node only ever see transitions the cluster has durably committed
+	// (an applied-but-unacked entry can still be rolled back). Zero in
+	// frames from builds or roles that do not ship it — a no-op for the
+	// receiver's gate.
+	Committed uint64
+
 	// frameJoin / frameClaim / frameStatus: the term of the leadership that
 	// produced the sender's newest applied entry. Two logs agree up to the
 	// smaller applied index if and only if their applied terms lead back to

@@ -42,7 +42,8 @@ type Client struct {
 
 	// mu guards the demux state below.
 	mu        sync.Mutex
-	pending   map[uint64]*call // request ID -> waiting caller
+	pending   map[uint64]*call      // request ID -> waiting caller
+	subs      map[uint64]*clientSub // request ID -> watch subscription (watch_client.go)
 	nextID    uint64
 	lastToken uint64 // highest commit token seen in any response
 	connErr   error  // sticky; set once the connection is unusable
@@ -180,7 +181,13 @@ func (c *Client) demux() {
 				c.connErr = err
 			}
 			clear(c.pending)
+			subs := c.subs
+			c.subs = nil
 			c.mu.Unlock()
+			cause := fmt.Errorf("service: read: %w: %w", ErrConn, err)
+			for _, sub := range subs {
+				sub.finish(cause)
+			}
 			close(c.done)
 			c.conn.Close()
 			return
@@ -188,6 +195,15 @@ func (c *Client) demux() {
 		c.mu.Lock()
 		if resp.Token > c.lastToken {
 			c.lastToken = resp.Token
+		}
+		// Watch subscriptions hold their request ID open: frames route to the
+		// subscription until it finishes, not one-shot like pending calls.
+		if sub, ok := c.subs[id]; ok {
+			if !sub.deliver(&resp) {
+				delete(c.subs, id)
+			}
+			c.mu.Unlock()
+			continue
 		}
 		if cl, ok := c.pending[id]; ok {
 			delete(c.pending, id)

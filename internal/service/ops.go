@@ -18,7 +18,7 @@ var knownOps = []string{
 	"ping", "cluster", "cluster_promote", "cluster_stats", "task_get",
 	"submit", "submit_batch", "query_tasks", "report", "query_result",
 	"pop_results", "statuses", "priorities", "update_priorities", "cancel",
-	"requeue", "counts", "tags",
+	"requeue", "counts", "tags", "watch", "unwatch",
 }
 
 // serverMetrics is the service layer's observability surface. The per-op

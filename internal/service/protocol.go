@@ -70,6 +70,15 @@ type request struct {
 	Result     string   `json:"result,omitempty"`
 	Priorities []int    `json:"priorities,omitempty"`
 	Payloads   []string `json:"payloads,omitempty"`
+
+	// Watch ("watch" op, wire v4) selects the subscription shape: "task"
+	// (transitions of TaskID), "type" (transitions touching WorkType), or
+	// "all". The request's Token doubles as the resume position — only
+	// transitions after it are delivered. The subscription is keyed by the
+	// frame's request ID: notification frames reuse it, and "unwatch" names
+	// it in SubID to tear the stream down.
+	Watch string `json:"watch,omitempty"`
+	SubID uint64 `json:"sub_id,omitempty"`
 }
 
 // wireTask mirrors core.Task with wire-friendly timestamps.
@@ -181,4 +190,23 @@ type response struct {
 	// _count/_sum/_p50/_p95/_p99), the same numbers /metrics exposes, for
 	// clients that can reach the service port but not the ops listener.
 	Stats map[string]float64 `json:"stats,omitempty"`
+
+	// Done (wire v4) marks the final frame of a watch subscription: the
+	// server will send nothing further under this request ID. Set on unwatch
+	// acknowledgements, drain terminations, and overflow drops.
+	Done bool `json:"done,omitempty"`
+	// Events (wire v4) carries one commit's task-state transitions on watch
+	// notification frames (and the resume replay on the frames right after
+	// the subscribe acknowledgement).
+	Events []wireEvent `json:"events,omitempty"`
+}
+
+// wireEvent mirrors watch.Event.
+type wireEvent struct {
+	Token    uint64 `json:"token"`
+	TaskID   int64  `json:"task_id,omitempty"`
+	WorkType int    `json:"work_type"`
+	Status   string `json:"status"`
+	Depth    int    `json:"depth,omitempty"`
+	Resync   bool   `json:"resync,omitempty"`
 }

@@ -50,6 +50,11 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// Open watch subscriptions across every connection, so Drain can end the
+	// push streams proactively (watch_server.go).
+	watchMu  sync.Mutex
+	watchers map[*srvSub]struct{}
+
 	// Cached multiplexed client for the follower→leader forward hop: every
 	// forwarded request pipelines over one upstream connection instead of
 	// dialing per request, and a slow forwarded long-poll no longer
@@ -185,6 +190,10 @@ func (s *Server) Drain(timeout time.Duration) bool {
 	if !alreadyDraining {
 		s.met.draining.Set(1)
 		s.ln.Close() // stop accepting; acceptLoop exits on net.ErrClosed
+		// End every watch push stream now (terminal Transient frame) so parked
+		// subscribers resubscribe elsewhere instead of waiting for the socket
+		// to die.
+		s.terminateWatches()
 		s.log.Info("draining", "addr", s.Addr(), "inflight", s.inflight.Load())
 	}
 	deadline := time.Now().Add(timeout)
@@ -196,6 +205,12 @@ func (s *Server) Drain(timeout time.Duration) bool {
 				"inflight", s.inflight.Load())
 			break
 		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Watch pumps hold no inflight slot; wait (inside the same deadline) for
+	// their transient terminal frames to flush before connections close, so
+	// parked subscribers learn to fail over rather than seeing a raw EOF.
+	for s.watcherCount() > 0 && time.Now().Before(deadline) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	// In-flight work has resolved (or been abandoned): if this node leads,
@@ -366,6 +381,12 @@ type v2conn struct {
 	bw   *bufio.Writer
 	wmu  sync.Mutex
 	wf   frameIO // write-side scratch, guarded by wmu
+
+	// Live watch subscriptions keyed by their request ID (watch_server.go),
+	// torn down when the connection dies.
+	subMu      sync.Mutex
+	subs       map[uint64]*srvSub
+	subsClosed bool
 }
 
 func (v *v2conn) writeResp(id uint64, resp *response, op, trace string) {
@@ -416,6 +437,7 @@ func (s *Server) handleV2(conn net.Conn, br *bufio.Reader, peer string) {
 	)
 	work := make(chan v2work) // unbuffered: rendezvous with an idle worker
 	defer func() {
+		v.closeSubs()
 		close(work)
 		wg.Wait()
 	}()
@@ -442,6 +464,17 @@ func (s *Server) handleV2(conn net.Conn, br *bufio.Reader, peer string) {
 		// The decoded request owns all its memory (strings and slices are
 		// copied out of the frame buffer), so it is safe to hand off while
 		// the loop reuses the buffer for the next frame.
+		// Watch subscriptions never go through dispatch: they need the frame
+		// ID and the connection's write side to push notification frames, and
+		// they hold no inflight slot (a parked subscriber is not load).
+		if req.Op == "watch" {
+			v.startWatch(id, &req)
+			continue
+		}
+		if req.Op == "unwatch" {
+			v.serveUnwatch(id, &req)
+			continue
+		}
 		mayBlock := writeOps[req.Op] || req.Op == "cluster_promote" ||
 			(s.node != nil && (req.Level == "strong" || req.Token > 0))
 		if !mayBlock {

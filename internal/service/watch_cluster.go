@@ -1,0 +1,248 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"osprey/internal/core"
+	"osprey/internal/watch"
+)
+
+// Failover-aware watch: ClusterClient.Watch returns a stream that survives
+// node loss. The underlying subscription lands on a follower replica when one
+// is known (followers push their own applied transitions, so the watch load
+// spreads off the leader like reads do), and whenever the subscription dies —
+// connection loss, drain, hub overflow, leader failover — the stream
+// transparently resubscribes elsewhere with the last delivered commit token
+// as the resume position. The hub replays what was missed (or bridges with
+// resync events when compacted), and a client-side token filter drops
+// anything redelivered across the seam, so the consumer observes every
+// transition exactly once, in order, across failover.
+
+// clusterStream is the resubscribing stream handed to ClusterClient.Watch
+// callers; it implements watch.Stream.
+type clusterStream struct {
+	cc  *ClusterClient
+	q   watch.Query
+	buf int
+
+	out  chan []watch.Event
+	stop chan struct{}
+	once sync.Once
+
+	last uint64 // highest non-resync token delivered (run goroutine only)
+
+	mu  sync.Mutex
+	err error
+}
+
+func (s *clusterStream) Events() <-chan []watch.Event { return s.out }
+
+func (s *clusterStream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *clusterStream) Close() error {
+	s.once.Do(func() { close(s.stop) })
+	return nil
+}
+
+func (s *clusterStream) fail(err error) {
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+}
+
+// Watch subscribes to task-state transitions across the cluster. Unlike the
+// single-connection Client.Watch, the returned stream does not end on node
+// loss: it resubscribes (follower-first, leader as last resort) with its last
+// delivered token and continues, so the only terminal conditions are the
+// caller closing it, ctx ending, or a backend that does not support watch at
+// all (reported synchronously or via Err after the stream closes).
+func (cc *ClusterClient) Watch(ctx context.Context, q watch.Query, buf int) (watch.Stream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.CtxErr(ctx)
+	}
+	if buf <= 0 {
+		buf = 16
+	}
+	// First subscribe runs synchronously so unsupported backends fail the
+	// call instead of a stream that dies on first read.
+	st, err := cc.subscribeWatch(q, buf)
+	if err != nil && !retryable(err) && !errors.Is(err, ErrOverloaded) {
+		return nil, err
+	}
+	s := &clusterStream{
+		cc: cc, q: q, buf: buf, last: q.Since,
+		out: make(chan []watch.Event, 1), stop: make(chan struct{}),
+	}
+	go s.run(ctx, st, err)
+	return s, nil
+}
+
+// subscribeWatch opens one server-side subscription: follower replicas in
+// rotation first (cooldown-aware, like doRead), the leader connection last.
+// A non-retryable error (watch unsupported) aborts the scan immediately.
+func (cc *ClusterClient) subscribeWatch(q watch.Query, buf int) (watch.Stream, error) {
+	now := time.Now()
+	cc.mu.Lock()
+	leader := cc.leader
+	wait := cc.ReadStaleness
+	var followers []string
+	if cc.ReadFromFollowers {
+		for _, addr := range cc.peers {
+			if addr == "" || addr == leader {
+				continue
+			}
+			if bad, ok := cc.readBad[addr]; ok && now.Sub(bad) < wait {
+				continue
+			}
+			followers = append(followers, addr)
+		}
+	}
+	seq := cc.readSeq
+	cc.readSeq++
+	cc.mu.Unlock()
+
+	ctx := context.Background()
+	var lastErr error
+	for i := range followers {
+		addr := followers[(int(seq)+i)%len(followers)]
+		c, err := cc.reader(addr)
+		if err != nil {
+			cc.markReadBad(addr)
+			lastErr = err
+			continue
+		}
+		st, err := c.Watch(ctx, q, buf)
+		if err == nil {
+			return st, nil
+		}
+		if !retryable(err) && !errors.Is(err, ErrOverloaded) {
+			return nil, err
+		}
+		lastErr = err
+		cc.markReadBad(addr)
+		if errors.Is(err, ErrConn) {
+			cc.dropReader(addr, c)
+		}
+	}
+	c, err := cc.client()
+	if err != nil {
+		if lastErr != nil {
+			return nil, lastErr
+		}
+		return nil, err
+	}
+	st, err := c.Watch(ctx, q, buf)
+	if err != nil {
+		if errors.Is(err, ErrConn) {
+			cc.invalidate(c)
+		}
+		return nil, err
+	}
+	return st, nil
+}
+
+// run owns the subscription lifecycle: forward the live stream, and when it
+// ends resubscribe from the last delivered token with the client's usual
+// full-jitter backoff. st/err carry the synchronous first attempt.
+func (s *clusterStream) run(ctx context.Context, st watch.Stream, err error) {
+	defer close(s.out)
+	attempt := 0
+	for {
+		if st == nil {
+			if s.stopped(ctx) {
+				return
+			}
+			if err != nil && !retryable(err) && !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrWatchOverflow) {
+				// The cluster answered and refused (not a node being down):
+				// resubscribing elsewhere cannot help.
+				s.fail(err)
+				return
+			}
+			s.cc.retrySleep(attempt)
+			attempt++
+			q := s.q
+			q.Since = s.last
+			st, err = s.cc.subscribeWatch(q, s.buf)
+			continue
+		}
+		attempt = 0
+		err = s.forward(ctx, st)
+		st = nil
+		if s.stopped(ctx) {
+			return
+		}
+	}
+}
+
+// forward relays one live subscription into the consumer channel, filtering
+// out transitions already delivered before a resubscribe seam (resync events
+// always pass: they carry current state, not history). Returns the stream's
+// terminal error once it ends, nil when stopped locally.
+func (s *clusterStream) forward(ctx context.Context, st watch.Stream) error {
+	defer st.Close()
+	for {
+		select {
+		case batch, ok := <-st.Events():
+			if !ok {
+				return st.Err()
+			}
+			// Dedup against the position BEFORE this batch: a commit's
+			// events share one token, so ratcheting s.last mid-batch would
+			// drop every event of the commit after the first.
+			prev := s.last
+			evs := make([]watch.Event, 0, len(batch))
+			for _, ev := range batch {
+				if ev.Resync {
+					// A resync seam re-bases the stream position to the
+					// hub's token — downward included: after a snapshot
+					// rollback the old position names a token domain that
+					// no longer exists, and keeping it would drop every
+					// recommitted transition at or below it.
+					evs = append(evs, ev)
+					s.last = ev.Token
+					continue
+				}
+				if ev.Token <= prev {
+					continue
+				}
+				evs = append(evs, ev)
+				if ev.Token > s.last {
+					s.last = ev.Token
+				}
+			}
+			if len(evs) == 0 {
+				continue
+			}
+			s.cc.noteToken(s.last)
+			select {
+			case s.out <- evs:
+			case <-s.stop:
+				return nil
+			case <-ctx.Done():
+				return nil
+			}
+		case <-s.stop:
+			return nil
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+func (s *clusterStream) stopped(ctx context.Context) bool {
+	select {
+	case <-s.stop:
+		return true
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}

@@ -64,7 +64,11 @@ const (
 	// writer's message sees an exhausted buffer and defaults the field
 	// (tailBool) — both directions stay compatible across a rolling
 	// upgrade.
-	wireVersion = 3
+	//
+	// v4 appended the watch subsystem's fields: request.Watch/SubID and
+	// response.Done/Events (server-push task-state transition frames). Same
+	// contract: older writers leave the tail absent and the fields default.
+	wireVersion = 4
 	// maxFrame bounds one frame's decoded size, matching the JSON path's
 	// per-message bound so a corrupt or hostile length prefix cannot balloon
 	// memory.
@@ -146,6 +150,9 @@ func appendRequest(buf []byte, req *request) []byte {
 	buf = appendString(buf, req.Result)
 	buf = appendIntSlice(buf, req.Priorities)
 	buf = appendStringSlice(buf, req.Payloads)
+	// --- fields appended in v4 ---
+	buf = appendString(buf, req.Watch)
+	buf = binary.AppendUvarint(buf, req.SubID)
 	return buf
 }
 
@@ -214,6 +221,18 @@ func appendResponse(buf []byte, resp *response) []byte {
 	}
 	// --- fields appended in v3 ---
 	buf = appendBool(buf, resp.Overloaded)
+	// --- fields appended in v4 ---
+	buf = appendBool(buf, resp.Done)
+	buf = binary.AppendUvarint(buf, uint64(len(resp.Events)))
+	for i := range resp.Events {
+		ev := &resp.Events[i]
+		buf = binary.AppendUvarint(buf, ev.Token)
+		buf = binary.AppendVarint(buf, ev.TaskID)
+		buf = binary.AppendVarint(buf, int64(ev.WorkType))
+		buf = appendString(buf, ev.Status)
+		buf = binary.AppendVarint(buf, int64(ev.Depth))
+		buf = appendBool(buf, ev.Resync)
+	}
 	return buf
 }
 
@@ -321,6 +340,23 @@ func (d *wireDec) tailBool() bool {
 	return b != 0
 }
 
+// tailString and tailUvarint are the string/uvarint analogues of tailBool: an
+// exhausted buffer at the field boundary is an older writer and defaults the
+// field, but a field that is present and then torn mid-bytes still fails.
+func (d *wireDec) tailString() string {
+	if d.err != nil || d.pos >= len(d.buf) {
+		return ""
+	}
+	return d.string()
+}
+
+func (d *wireDec) tailUvarint() uint64 {
+	if d.err != nil || d.pos >= len(d.buf) {
+		return 0
+	}
+	return d.uvarint()
+}
+
 func (d *wireDec) float64() float64 {
 	if d.err != nil {
 		return 0
@@ -401,6 +437,9 @@ func (d *wireDec) decodeRequest(req *request) error {
 	req.Result = d.string()
 	req.Priorities = d.intSlice()
 	req.Payloads = d.stringSlice()
+	// v4 tail: absent when the writer is older, defaulting to zero values.
+	req.Watch = d.tailString()
+	req.SubID = d.tailUvarint()
 	return d.err
 }
 
@@ -419,6 +458,11 @@ func (d *wireDec) decodeWireTask(t *wireTask) {
 }
 
 func (d *wireDec) decodeResponse(resp *response) error {
+	// Start from zero: the caller reuses resp across frames, and collection
+	// fields below are only assigned when non-empty on the wire — without
+	// this a frame with an empty Tasks (or Events) would inherit the previous
+	// frame's slice.
+	*resp = response{}
 	resp.OK = d.bool()
 	resp.Error = d.string()
 	resp.Timeout = d.bool()
@@ -478,6 +522,22 @@ func (d *wireDec) decodeResponse(resp *response) error {
 	}
 	// v3 tail: absent when the writer is older, defaulting to false.
 	resp.Overloaded = d.tailBool()
+	// v4 tail: watch push fields.
+	resp.Done = d.tailBool()
+	if d.err == nil && d.pos < len(d.buf) {
+		if n := d.count(); n > 0 {
+			resp.Events = make([]wireEvent, n)
+			for i := range resp.Events {
+				ev := &resp.Events[i]
+				ev.Token = d.uvarint()
+				ev.TaskID = d.varint()
+				ev.WorkType = int(d.varint())
+				ev.Status = d.string()
+				ev.Depth = int(d.varint())
+				ev.Resync = d.bool()
+			}
+		}
+	}
 	if d.err != nil {
 		// A torn frame must not hand half-decoded collections to the caller.
 		*resp = response{}

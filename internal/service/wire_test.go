@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -125,38 +126,76 @@ func TestWireZeroValuesRoundTrip(t *testing.T) {
 // valid message and over corrupt prefixes: they must return errors, never
 // panic, never hand back partially-filled collections.
 func TestWireDecodeNeverPanics(t *testing.T) {
+	// Version-appended tail fields make some truncation points byte-identical
+	// to a valid older-version message, and the decoder accepts those by
+	// design — that tolerance is the append-only evolution contract. A cut at
+	// any other offset tears a mandatory field and must error.
 	var req request
 	fillValue(reflect.ValueOf(&req).Elem(), 0)
 	full := appendRequest(nil, &req)
+	// The v4 request tail is Watch then SubID; cuts at either field boundary
+	// decode as an older writer with the rest defaulted.
+	watchLen := len(appendString(nil, req.Watch))
+	subIDLen := len(binary.AppendUvarint(nil, req.SubID))
+	reqCuts := map[int]request{}
+	{
+		atV3 := req
+		atV3.Watch, atV3.SubID = "", 0
+		reqCuts[len(full)-watchLen-subIDLen] = atV3
+		atWatch := req
+		atWatch.SubID = 0
+		reqCuts[len(full)-subIDLen] = atWatch
+	}
 	var dec wireDec
 	for i := 0; i < len(full); i++ {
 		dec.reset(full[:i])
 		var r request
-		if err := dec.decodeRequest(&r); err == nil {
+		err := dec.decodeRequest(&r)
+		if want, ok := reqCuts[i]; ok {
+			if err != nil {
+				t.Fatalf("decodeRequest rejected older-version-length message at %d: %v", i, err)
+			}
+			if !reflect.DeepEqual(r, want) {
+				t.Fatalf("older-version decode at %d = %+v", i, r)
+			}
+			continue
+		}
+		if err == nil {
 			t.Fatalf("decodeRequest accepted truncation at %d/%d", i, len(full))
 		}
 	}
 	var resp response
 	fillValue(reflect.ValueOf(&resp).Elem(), 7)
 	fullR := appendResponse(nil, &resp)
-	// The last byte is the v3 tail (response.Overloaded). A message cut
-	// exactly there is byte-identical to a valid v2 message, and the decoder
-	// accepts it by design — that tolerance is the append-only evolution
-	// contract that lets a v3 client read v2 servers. Every shorter
-	// truncation cuts into the v2 body and must error.
-	v2End := len(fullR) - 1
+	// The response tail is Overloaded (v3), then Done and Events (v4). The
+	// Events encoding length is measured by re-encoding without them (the
+	// +1 accounts for the zero count byte that encoding still writes).
+	respNE := resp
+	respNE.Events = nil
+	eventsLen := len(fullR) - len(appendResponse(nil, &respNE)) + 1
+	countStart := len(fullR) - eventsLen
+	respCuts := map[int]response{}
+	{
+		atV2 := resp
+		atV2.Overloaded, atV2.Done, atV2.Events = false, false, nil
+		respCuts[countStart-2] = atV2
+		atV3 := resp
+		atV3.Done, atV3.Events = false, nil
+		respCuts[countStart-1] = atV3
+		atDone := resp
+		atDone.Events = nil
+		respCuts[countStart] = atDone
+	}
 	for i := 0; i < len(fullR); i++ {
 		dec.reset(fullR[:i])
 		var r response
 		err := dec.decodeResponse(&r)
-		if i == v2End {
-			want := resp
-			want.Overloaded = false
+		if want, ok := respCuts[i]; ok {
 			if err != nil {
-				t.Fatalf("decodeResponse rejected v2-length message: %v", err)
+				t.Fatalf("decodeResponse rejected older-version-length message at %d: %v", i, err)
 			}
 			if !reflect.DeepEqual(r, want) {
-				t.Fatalf("v2-length decode = %+v", r)
+				t.Fatalf("older-version decode at %d = %+v", i, r)
 			}
 			continue
 		}

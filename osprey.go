@@ -49,6 +49,7 @@ import (
 	"osprey/internal/pool"
 	"osprey/internal/replica"
 	"osprey/internal/service"
+	"osprey/internal/watch"
 )
 
 // Core task-database types.
@@ -144,6 +145,30 @@ var Strong = core.Strong
 
 // Eventual lets any replica answer a Session read with no freshness bound.
 var Eventual = core.Eventual
+
+// Watch API: server-push task-state streams, the push replacement for the
+// poll loops. DB, the service client, and the failover cluster client all
+// implement Watcher; pool and future type-assert it and fall back to polling
+// against backends that don't.
+type (
+	// Watcher is the optional push interface next to Session.
+	Watcher = watch.Session
+	// WatchQuery selects the transitions a subscription receives (all
+	// tasks, one task, or one work type) and the resume position (Since:
+	// only events with a newer commit token are delivered).
+	WatchQuery = watch.Query
+	// WatchEvent is one pushed task-state transition — or, when Resync is
+	// set, a notice that per-task history before Token was lost (queue
+	// depths are carried instead) and the consumer must re-read state.
+	WatchEvent = watch.Event
+	// WatchStream is the consumer half of a subscription: Events yields
+	// batches in commit order, Err reports why the stream ended.
+	WatchStream = watch.Stream
+)
+
+// ErrWatchOverflow terminates subscribers that fall behind the hub rather
+// than letting them stall commits; resubscribe with the last seen token.
+var ErrWatchOverflow = watch.ErrOverflow
 
 // Compat adapts a Session to the deprecated v1 API, so ME algorithms written
 // against core.API compile unchanged for one release.
